@@ -1,0 +1,56 @@
+/// \file ablation_vertical_links.cpp
+/// \brief Ablation of the Sec. IV closing remarks: TSV area will not
+///        allow every router a vertical link, and vertical inter-chip
+///        links may offer more bandwidth than planar wires. Sweeps the
+///        vertical-link density and compares TSV / inductive /
+///        capacitive technologies in a 4-layer NiCS.
+
+#include <iostream>
+
+#include "wi/common/table.hpp"
+#include "wi/core/nics_stack.hpp"
+
+int main() {
+  using namespace wi;
+  using namespace wi::core;
+
+  std::cout << "# Ablation — vertical link density and technology in a "
+               "4x4x4 NiCS (uniform traffic)\n\n";
+
+  std::cout << "## vertical density sweep (TSV)\n";
+  Table t1({"period", "vertical_links", "area_cost", "lat0_cycles",
+            "saturation"});
+  for (const std::size_t period : {1, 2, 3, 4}) {
+    NicsStackConfig config;
+    config.vertical_period = period;
+    const auto eval = NicsStackModel(config).evaluate();
+    t1.add_row({Table::num(static_cast<long long>(period)),
+                Table::num(eval.vertical_link_count, 0),
+                Table::num(eval.area_cost, 0),
+                Table::num(eval.zero_load_latency_cycles, 2),
+                Table::num(eval.saturation_rate, 3)});
+  }
+  t1.print(std::cout);
+
+  std::cout << "\n## technology sweep (all routers vertical, 60% "
+               "vertical traffic — memory-on-logic mix)\n";
+  Table t2({"tech", "bandwidth", "area_cost", "lat0_cycles", "saturation"});
+  for (const auto tech : {VerticalLinkTech::kTsv, VerticalLinkTech::kInductive,
+                          VerticalLinkTech::kCapacitive}) {
+    NicsStackConfig config;
+    config.tech = tech;
+    config.vertical_traffic_fraction = 0.6;
+    const auto params = vertical_link_params(tech);
+    const auto eval = NicsStackModel(config).evaluate();
+    t2.add_row({params.name, Table::num(params.bandwidth, 2),
+                Table::num(eval.area_cost, 0),
+                Table::num(eval.zero_load_latency_cycles, 2),
+                Table::num(eval.saturation_rate, 3)});
+  }
+  t2.print(std::cout);
+
+  std::cout << "\n# check: sparser verticals lengthen routes and lower "
+               "capacity — quantifying the paper's call for irregular "
+               "topologies with heterogeneous links\n";
+  return 0;
+}

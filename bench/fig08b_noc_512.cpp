@@ -1,0 +1,52 @@
+/// \file fig08b_noc_512.cpp
+/// \brief Reproduces Fig. 8(b): scaling to 512 modules — 32x16 2D mesh
+///        vs 8x8x8 3D mesh (64-module curves included for reference).
+///        The paper's observation: the latency gap between 2D and 3D
+///        widens significantly with network size.
+
+#include <iostream>
+
+#include "wi/common/math.hpp"
+#include "wi/common/table.hpp"
+#include "wi/noc/queueing_model.hpp"
+
+int main() {
+  using namespace wi;
+  using namespace wi::noc;
+
+  const DimensionOrderRouting routing;
+  const QueueingModel m2d_64(Topology::mesh_2d(8, 8), routing,
+                             TrafficPattern::uniform(64));
+  const QueueingModel m3d_64(Topology::mesh_3d(4, 4, 4), routing,
+                             TrafficPattern::uniform(64));
+  const QueueingModel m2d_512(Topology::mesh_2d(32, 16), routing,
+                              TrafficPattern::uniform(512));
+  const QueueingModel m3d_512(Topology::mesh_3d(8, 8, 8), routing,
+                              TrafficPattern::uniform(512));
+
+  std::cout << "# Fig. 8(b) — latency vs injection, 512 vs 64 modules\n\n";
+  Table table({"inj_rate", "2D_64", "3D_64", "2D_512", "3D_512"});
+  auto cell = [](const QueueingModel& m, double rate) {
+    const auto perf = m.evaluate(rate);
+    return perf.saturated ? std::string("sat")
+                          : Table::num(perf.mean_latency_cycles, 2);
+  };
+  for (const double rate : linspace(0.01, 0.7, 18)) {
+    table.add_row({Table::num(rate, 3), cell(m2d_64, rate),
+                   cell(m3d_64, rate), cell(m2d_512, rate),
+                   cell(m3d_512, rate)});
+  }
+  table.print(std::cout);
+
+  const double gap_64 = m2d_64.zero_load_latency_cycles() -
+                        m3d_64.zero_load_latency_cycles();
+  const double gap_512 = m2d_512.zero_load_latency_cycles() -
+                         m3d_512.zero_load_latency_cycles();
+  std::cout << "\n# latency gap 2D vs 3D: " << gap_64 << " cycles at 64 "
+            << "modules -> " << gap_512
+            << " cycles at 512 modules (paper: gap increases "
+               "significantly)\n";
+  std::cout << "saturation 512: 2D " << m2d_512.saturation_rate() << " vs 3D "
+            << m3d_512.saturation_rate() << " flits/cycle/module\n";
+  return 0;
+}

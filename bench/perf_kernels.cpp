@@ -1,0 +1,124 @@
+/// \file perf_kernels.cpp
+/// \brief google-benchmark microbenchmarks of the library's hot kernels:
+///        FFT, BP decoding, window decoding, the queueing model and the
+///        flit-level simulator. These quantify the cost of regenerating
+///        the paper's figures and catch performance regressions.
+
+#include <benchmark/benchmark.h>
+
+#include "wi/common/rng.hpp"
+#include "wi/comm/filter_design.hpp"
+#include "wi/comm/info_rate.hpp"
+#include "wi/dsp/fft.hpp"
+#include "wi/fec/ber.hpp"
+#include "wi/noc/flit_sim.hpp"
+#include "wi/noc/queueing_model.hpp"
+
+namespace {
+
+void BM_Fft4096(benchmark::State& state) {
+  std::vector<wi::dsp::cplx> x(4096);
+  wi::Rng rng(1);
+  for (auto& v : x) v = {rng.gaussian(), rng.gaussian()};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wi::dsp::fft(x));
+  }
+}
+BENCHMARK(BM_Fft4096);
+
+void BM_BpDecodeBlock(benchmark::State& state) {
+  const wi::fec::QcLdpcBlockCode code(wi::fec::BaseMatrix({{4, 4}}),
+                                      static_cast<std::size_t>(state.range(0)),
+                                      3);
+  const wi::fec::BpDecoder decoder(code.parity_check());
+  wi::Rng rng(2);
+  std::vector<double> llr(code.block_length());
+  const double sigma = 0.7;
+  for (auto& v : llr) v = 2.0 / (sigma * sigma) * (1.0 + sigma * rng.gaussian());
+  wi::fec::BpOptions options;
+  options.max_iterations = 50;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decoder.decode(llr, options));
+  }
+}
+BENCHMARK(BM_BpDecodeBlock)->Arg(100)->Arg(400);
+
+void BM_WindowDecode(benchmark::State& state) {
+  const wi::fec::LdpcConvolutionalCode code(
+      wi::fec::EdgeSpreading::paper_example(), 40, 24, 5);
+  const wi::fec::WindowDecoder decoder(code,
+                                       static_cast<std::size_t>(state.range(0)));
+  wi::Rng rng(3);
+  std::vector<double> llr(code.codeword_length());
+  const double sigma = 0.7;
+  for (auto& v : llr) v = 2.0 / (sigma * sigma) * (1.0 + sigma * rng.gaussian());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decoder.decode(llr));
+  }
+}
+BENCHMARK(BM_WindowDecode)->Arg(3)->Arg(8);
+
+void BM_QueueingModelBuild512(benchmark::State& state) {
+  const wi::noc::Topology topo = wi::noc::Topology::mesh_3d(8, 8, 8);
+  const wi::noc::DimensionOrderRouting routing;
+  const wi::noc::TrafficPattern traffic =
+      wi::noc::TrafficPattern::uniform(512);
+  for (auto _ : state) {
+    wi::noc::QueueingModel model(topo, routing, traffic);
+    benchmark::DoNotOptimize(model.evaluate(0.2));
+  }
+}
+BENCHMARK(BM_QueueingModelBuild512);
+
+void BM_QueueingModelEval(benchmark::State& state) {
+  const wi::noc::Topology topo = wi::noc::Topology::mesh_3d(8, 8, 8);
+  const wi::noc::DimensionOrderRouting routing;
+  const wi::noc::QueueingModel model(topo, routing,
+                                     wi::noc::TrafficPattern::uniform(512));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.evaluate(0.2));
+  }
+}
+BENCHMARK(BM_QueueingModelEval);
+
+void BM_FlitSim64(benchmark::State& state) {
+  const wi::noc::Topology topo = wi::noc::Topology::mesh_3d(4, 4, 4);
+  const wi::noc::DimensionOrderRouting routing;
+  const wi::noc::TrafficPattern traffic = wi::noc::TrafficPattern::uniform(64);
+  wi::noc::FlitSimConfig config;
+  config.warmup_cycles = 500;
+  config.measure_cycles = 2000;
+  config.drain_cycles = 1000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        wi::noc::simulate_network(topo, routing, traffic, 0.2, config));
+  }
+}
+BENCHMARK(BM_FlitSim64);
+
+void BM_SymbolwiseMi(benchmark::State& state) {
+  const wi::comm::OneBitOsChannel channel(wi::comm::paper_filter_symbolwise(),
+                                          wi::comm::Constellation::ask(4),
+                                          25.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wi::comm::mi_one_bit_symbolwise(channel));
+  }
+}
+BENCHMARK(BM_SymbolwiseMi);
+
+void BM_SequenceInfoRate(benchmark::State& state) {
+  const wi::comm::OneBitOsChannel channel(wi::comm::paper_filter_sequence(),
+                                          wi::comm::Constellation::ask(4),
+                                          25.0);
+  wi::comm::SequenceRateOptions options;
+  options.symbols = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        wi::comm::info_rate_one_bit_sequence(channel, options));
+  }
+}
+BENCHMARK(BM_SequenceInfoRate)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+/// \file board_to_board_phy.cpp
+/// \brief Full PHY walk-through for one board-to-board link:
+///        1. synthesise the 220-245 GHz channel and check it is benign
+///           (reflections >= 15 dB below LoS, Sec. II);
+///        2. compute the link budget SNR at a power budget (Table I);
+///        3. evaluate the 1-bit 5x-oversampling receiver at that SNR:
+///           information rates and uncoded symbol error rates for the
+///           symbolwise and sequence detectors (Sec. III).
+
+#include <iostream>
+
+#include "wi/comm/detectors.hpp"
+#include "wi/comm/filter_design.hpp"
+#include "wi/comm/info_rate.hpp"
+#include "wi/rf/channel.hpp"
+#include "wi/rf/link_budget.hpp"
+#include "wi/rf/vna.hpp"
+
+int main() {
+  using namespace wi;
+
+  // --- 1. channel ---
+  rf::BoardToBoardScenario scenario;
+  scenario.distance_m = 0.1;  // ahead link
+  scenario.copper_boards = true;
+  const rf::MultipathChannel channel = rf::board_to_board_channel(scenario);
+  rf::SyntheticVna vna;
+  const rf::ImpulseResponse ir = rf::to_impulse_response(vna.measure(channel));
+  std::cout << "channel: worst reflection "
+            << rf::worst_reflection_rel_db(ir, 6)
+            << " dB below LoS -> treat as AWGN (the paper's conclusion)\n";
+
+  // --- 2. link budget ---
+  const rf::LinkBudget budget;
+  const double ptx_dbm = 15.0;
+  const double snr_db = budget.snr_db(ptx_dbm, scenario.distance_m, false);
+  std::cout << "link budget: " << ptx_dbm << " dBm TX -> " << snr_db
+            << " dB SNR at the receiver\n";
+
+  // --- 3. one-bit oversampling receiver ---
+  const comm::Constellation c4 = comm::Constellation::ask(4);
+  const comm::IsiFilter f_seq = comm::paper_filter_sequence();
+  const comm::IsiFilter f_sym = comm::paper_filter_symbolwise();
+
+  const comm::OneBitOsChannel ch_seq(f_seq, c4, snr_db);
+  const comm::OneBitOsChannel ch_sym(f_sym, c4, snr_db);
+  std::cout << "information rates @ " << snr_db << " dB: sequence "
+            << comm::info_rate_one_bit_sequence(ch_seq, {40000, 4})
+            << " bpcu, symbolwise " << comm::mi_one_bit_symbolwise(ch_sym)
+            << " bpcu (unquantized "
+            << comm::mi_unquantized_awgn(c4, snr_db) << ")\n";
+
+  const auto ser_viterbi = comm::simulate_ser_viterbi(ch_seq, 20000, 5);
+  const auto ser_symbol = comm::simulate_ser_symbolwise(ch_sym, 20000, 5);
+  std::cout << "uncoded SER: Viterbi " << ser_viterbi.ser << " ("
+            << ser_viterbi.errors << "/" << ser_viterbi.symbols
+            << "), symbolwise " << ser_symbol.ser << "\n";
+
+  const double symbol_rate = budget.params().bandwidth_hz;
+  std::cout << "net rate with dual polarization: "
+            << comm::info_rate_one_bit_sequence(ch_seq, {40000, 6}) *
+                   symbol_rate * 2.0 / 1e9
+            << " Gbit/s on a 25 GHz channel\n";
+  return 0;
+}

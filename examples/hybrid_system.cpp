@@ -1,0 +1,75 @@
+/// \file hybrid_system.cpp
+/// \brief End-to-end system design in the spirit of the whole paper:
+///        geometry -> link budget -> PHY rate -> coding plan -> NoC
+///        evaluation of the wireless multi-board box vs the backplane
+///        baseline.
+
+#include <iostream>
+
+#include "wi/core/coding_planner.hpp"
+#include "wi/core/geometry.hpp"
+#include "wi/core/hybrid_system.hpp"
+#include "wi/core/link_planner.hpp"
+#include "wi/core/phy_abstraction.hpp"
+
+int main() {
+  using namespace wi;
+  using namespace wi::core;
+
+  // --- geometry: 4 boards, 4x4 chip-stack nodes each ---
+  const BoardGeometry geometry(4, 100.0, 100.0, 4);
+  std::cout << "system: " << geometry.board_count() << " boards, "
+            << geometry.node_count() << " nodes; links "
+            << geometry.shortest_link_mm() << ".."
+            << geometry.longest_link_mm() << " mm\n";
+
+  // --- per-link budget with Butler-matrix beamforming ---
+  const WirelessLinkPlanner planner(rf::LinkBudgetParams{},
+                                    Beamforming::kButlerMatrix);
+  const auto links = planner.plan(geometry, /*ptx_dbm=*/20.0,
+                                  /*target_snr_db=*/15.0);
+  double worst_snr = 1e9;
+  double best_snr = -1e9;
+  for (const auto& link : links) {
+    worst_snr = std::min(worst_snr, link.snr_db);
+    best_snr = std::max(best_snr, link.snr_db);
+  }
+  std::cout << "planned " << links.size() << " wireless links, SNR "
+            << worst_snr << ".." << best_snr << " dB at 20 dBm\n";
+
+  // --- PHY abstraction: what rate does the 1-bit receiver deliver? ---
+  const PhyAbstraction phy(PhyReceiver::kOneBitSequence);
+  // The 1-bit receiver asymptotes at 2 bpcu x 25 GHz x 2 pol = 100
+  // Gbit/s; it gets within ~1.5% of that at high SNR.
+  std::cout << "1-bit sequence receiver at worst-link SNR: "
+            << phy.link_rate_gbps(worst_snr)
+            << " Gbit/s (target 100, the 1-bit asymptote)\n";
+  std::cout << "SNR needed for 90 Gbit/s: " << phy.required_snr_db(90.0)
+            << " dB\n";
+
+  // --- coding: fit the FEC into a 250-information-bit latency budget ---
+  const CodingPlanner coding = CodingPlanner::paper_table();
+  if (const auto* point = coding.best_within_latency(250.0)) {
+    std::cout << "coding plan: LDPC-CC N=" << point->lifting
+              << " W=" << point->window << " ("
+              << point->latency_info_bits << " bits latency, "
+              << point->required_ebn0_db << " dB)\n";
+  }
+
+  // --- NoC comparison: wireless box vs backplane box ---
+  HybridSystemConfig config;
+  config.boards = 4;
+  config.mesh_k = 4;
+  config.inter_board_fraction = 0.3;
+  const HybridComparison cmp = HybridSystemModel(config).compare();
+  std::cout << "\nbackplane: capacity " << cmp.backplane.saturation_rate
+            << " flits/cycle/module, zero-load "
+            << cmp.backplane.zero_load_latency_cycles << " cycles\n";
+  std::cout << "wireless:  capacity " << cmp.wireless.saturation_rate
+            << " flits/cycle/module, zero-load "
+            << cmp.wireless.zero_load_latency_cycles << " cycles\n";
+  std::cout << "capacity gain " << cmp.capacity_gain << "x, latency gain "
+            << cmp.latency_gain << "x — the wireless links take the load "
+            << "off the backplane.\n";
+  return 0;
+}

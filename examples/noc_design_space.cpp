@@ -1,0 +1,68 @@
+/// \file noc_design_space.cpp
+/// \brief Explore the Fig. 7 topology family for a 64-module many-core
+///        SoC: 2D mesh, star-mesh, 3D mesh and ciliated 3D mesh, plus a
+///        TSV-constrained 3D mesh. Prints static metrics (hops,
+///        bisection, wire length) and dynamic performance (latency,
+///        capacity) from the analytic model, cross-checked by the
+///        flit-level simulator.
+
+#include <iostream>
+
+#include "wi/common/table.hpp"
+#include "wi/noc/flit_sim.hpp"
+#include "wi/noc/metrics.hpp"
+#include "wi/noc/queueing_model.hpp"
+
+int main() {
+  using namespace wi;
+  using namespace wi::noc;
+
+  const std::vector<Topology> candidates = {
+      Topology::mesh_2d(8, 8),
+      Topology::star_mesh(4, 4, 4),
+      Topology::mesh_3d(4, 4, 4),
+      Topology::ciliated_mesh_3d(4, 4, 2, 2),
+      Topology::partial_vertical_mesh_3d(4, 4, 4, 2, 2.0),
+  };
+
+  std::cout << "64-module NoC design space (uniform traffic)\n\n";
+  Table table({"topology", "avg_hops", "diam", "bisect", "wire_mm",
+               "lat0_cycles", "capacity"});
+  for (const auto& topo : candidates) {
+    // DOR needs every mesh link; the partial-vertical variant routes
+    // around missing TSVs with shortest-path.
+    const bool irregular = topo.name().rfind("Partial", 0) == 0;
+    const DimensionOrderRouting dor;
+    const ShortestPathRouting spr;
+    const Routing& routing =
+        irregular ? static_cast<const Routing&>(spr)
+                  : static_cast<const Routing&>(dor);
+    const TopologyMetrics metrics = compute_metrics(topo, routing);
+    const QueueingModel model(topo, routing,
+                              TrafficPattern::uniform(topo.module_count()));
+    table.add_row({topo.name(), Table::num(metrics.average_hops, 2),
+                   Table::num(static_cast<long long>(metrics.diameter_hops)),
+                   Table::num(metrics.bisection_bandwidth, 1),
+                   Table::num(metrics.total_wire_mm, 0),
+                   Table::num(model.zero_load_latency_cycles(), 2),
+                   Table::num(model.saturation_rate(), 3)});
+  }
+  table.print(std::cout);
+
+  // Validate one point against the cycle-accurate simulator.
+  const Topology mesh3d = Topology::mesh_3d(4, 4, 4);
+  const DimensionOrderRouting routing;
+  const TrafficPattern uniform = TrafficPattern::uniform(64);
+  const QueueingModel model(mesh3d, routing, uniform);
+  FlitSimConfig sim_config;
+  const FlitSimResult sim =
+      simulate_network(mesh3d, routing, uniform, 0.25, sim_config);
+  std::cout << "\n3D mesh @ 0.25 flits/cycle/module: analytic "
+            << model.evaluate(0.25).mean_latency_cycles << " cycles, DES "
+            << sim.mean_latency_cycles << " cycles ("
+            << (sim.stable ? "stable" : "UNSTABLE") << ")\n"
+            << "\nThe 3D mesh offers the best latency/throughput "
+               "trade-off and the shortest wires — Sec. IV's argument "
+               "for 3D NiCS.\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+#pragma once
+/// \file info_rate.hpp
+/// \brief Information-rate computations for Fig. 6.
+///
+/// Six quantities are needed:
+///  - unquantized 4-ASK over AWGN (upper reference) — exact via
+///    Gauss–Hermite quadrature;
+///  - 1-bit, no oversampling — exact (binary-output DMC);
+///  - 1-bit, M-fold oversampling, symbol-by-symbol detection — exact by
+///    enumerating interference windows and the 2^M output patterns;
+///  - 1-bit, M-fold oversampling, sequence estimation — simulation-based
+///    (Arnold–Loeliger forward recursion for H(Y), exact H(Y|X));
+///  computed for the rectangular pulse and the three Fig. 5 designs.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "wi/comm/os_channel.hpp"
+
+namespace wi::comm {
+
+/// Mutual information [bit/channel use] of an unquantized real AWGN
+/// channel with equiprobable constellation inputs at the given SNR
+/// (signal power / noise power). Gauss–Hermite with `nodes` points.
+[[nodiscard]] double mi_unquantized_awgn(const Constellation& constellation,
+                                         double snr_db,
+                                         std::size_t nodes = 96);
+
+/// The "No Quantization" reference of Fig. 6: an ideal (unquantized)
+/// receiver that matched-filters the whole M-sample block. With the
+/// ||h||^2 = M power constraint the block carries M times the energy of
+/// one sample, so the effective SNR is snr_per_sample + 10 log10(M).
+/// This upper-bounds every M-fold oversampled 1-bit receiver.
+[[nodiscard]] double mi_unquantized_matched_filter(
+    const Constellation& constellation, double snr_per_sample_db,
+    std::size_t oversampling, std::size_t nodes = 96);
+
+/// Mutual information of a 1-bit quantized, symbol-rate-sampled AWGN
+/// channel (M = 1, rectangular pulse): saturates at 1 bpcu.
+[[nodiscard]] double mi_one_bit_no_oversampling(
+    const Constellation& constellation, double snr_db);
+
+/// Exact I(X_t; Y_t) for the 1-bit oversampled channel with
+/// symbol-by-symbol detection; interference from neighbouring symbols is
+/// marginalised (treated as dithering, as in the paper).
+[[nodiscard]] double mi_one_bit_symbolwise(const OneBitOsChannel& channel);
+
+/// Settings for the sequence information-rate estimator.
+struct SequenceRateOptions {
+  std::size_t symbols = 200000;  ///< simulated sequence length
+  std::uint64_t seed = 7;        ///< RNG seed
+};
+
+/// Simulation-based information rate lim (1/n) I(X; Y) for i.u.d.
+/// inputs (sequence estimation bound): H(Y) by the normalised forward
+/// recursion over the ISI state trellis, H(Y|X) in closed form.
+[[nodiscard]] double info_rate_one_bit_sequence(
+    const OneBitOsChannel& channel, const SequenceRateOptions& options = {});
+
+/// Closed-form conditional output entropy rate H(Y|X) [bit/symbol]:
+/// expectation over all symbol windows of the per-sample binary
+/// entropies (noise independent across samples).
+[[nodiscard]] double conditional_entropy_rate(const OneBitOsChannel& channel);
+
+}  // namespace wi::comm

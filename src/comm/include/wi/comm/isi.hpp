@@ -1,0 +1,62 @@
+#pragma once
+/// \file isi.hpp
+/// \brief Intersymbol-interference filter container (Fig. 5).
+///
+/// The transmit waveform is s[i] = sum_j x_j h[i - j M] with M samples per
+/// symbol. A filter spanning S symbol periods (L = S*M taps) makes the
+/// samples of symbol block t depend on the current symbol and the S-1
+/// previous ones; the per-symbol "slices" g_k[m] = h[k M + m] are the
+/// quantities the information-rate engines consume.
+///
+/// Filters are normalised to ||h||^2 = M so that unit-energy symbol
+/// streams produce unit average sample power, keeping the SNR definition
+/// (signal power / noise power per sample) filter-independent.
+
+#include <cstddef>
+#include <vector>
+
+namespace wi::comm {
+
+/// FIR pulse/ISI filter at the oversampled rate.
+class IsiFilter {
+ public:
+  /// \param taps               L = span*samples_per_symbol coefficients
+  /// \param samples_per_symbol oversampling factor M (>= 1)
+  /// \param normalize          rescale to ||h||^2 = M (default true)
+  IsiFilter(std::vector<double> taps, std::size_t samples_per_symbol,
+            bool normalize = true);
+
+  /// Rectangular pulse (no ISI): M unit taps, span 1. Fig. 5(a).
+  [[nodiscard]] static IsiFilter rectangular(std::size_t samples_per_symbol);
+
+  [[nodiscard]] std::size_t samples_per_symbol() const { return m_; }
+  [[nodiscard]] std::size_t span_symbols() const {
+    return taps_.size() / m_;
+  }
+  [[nodiscard]] const std::vector<double>& taps() const { return taps_; }
+
+  /// Slice value g_k[m] = h[k*M + m]; k in [0, span), m in [0, M).
+  [[nodiscard]] double slice(std::size_t k, std::size_t m) const {
+    return taps_[k * m_ + m];
+  }
+
+  /// Noiseless sample m of the current symbol block given the symbol
+  /// window (current symbol first, then increasingly old symbols).
+  /// window.size() must equal span_symbols().
+  [[nodiscard]] double noiseless_sample(const std::vector<double>& window,
+                                        std::size_t m) const;
+
+  /// ||h||^2.
+  [[nodiscard]] double energy() const;
+
+ private:
+  std::vector<double> taps_;
+  std::size_t m_;
+};
+
+/// Full transmit waveform for a symbol sequence (length symbols.size()*M;
+/// start-up transient uses zero initial symbols).
+[[nodiscard]] std::vector<double> modulate_waveform(
+    const IsiFilter& filter, const std::vector<double>& symbols);
+
+}  // namespace wi::comm

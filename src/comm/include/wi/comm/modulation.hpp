@@ -1,0 +1,43 @@
+#pragma once
+/// \file modulation.hpp
+/// \brief Real-valued amplitude constellations.
+///
+/// The 1-bit oversampling study (Sec. III) uses regular 4-ASK. The FEC
+/// experiments (Sec. V) use BPSK. Constellations are normalised to unit
+/// average symbol energy so SNR definitions stay consistent everywhere.
+
+#include <cstddef>
+#include <vector>
+
+namespace wi::comm {
+
+/// Real amplitude constellation with equiprobable points.
+class Constellation {
+ public:
+  /// Regular M-ASK with levels {±1, ±3, ...} scaled to unit energy.
+  [[nodiscard]] static Constellation ask(std::size_t order);
+
+  /// BPSK = 2-ASK.
+  [[nodiscard]] static Constellation bpsk();
+
+  /// Custom levels (normalised to unit average energy unless all zero).
+  explicit Constellation(std::vector<double> levels);
+
+  [[nodiscard]] std::size_t order() const { return levels_.size(); }
+  [[nodiscard]] double level(std::size_t index) const { return levels_[index]; }
+  [[nodiscard]] const std::vector<double>& levels() const { return levels_; }
+
+  /// log2(order); fractional for non-power-of-two orders.
+  [[nodiscard]] double bits_per_symbol() const;
+
+  /// Average symbol energy (1.0 after normalisation).
+  [[nodiscard]] double average_energy() const;
+
+  /// Index of the nearest constellation point to a value.
+  [[nodiscard]] std::size_t nearest(double value) const;
+
+ private:
+  std::vector<double> levels_;
+};
+
+}  // namespace wi::comm

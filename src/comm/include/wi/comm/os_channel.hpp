@@ -1,0 +1,74 @@
+#pragma once
+/// \file os_channel.hpp
+/// \brief AWGN channel with M-fold oversampling and 1-bit quantization at
+///        the receiver (Sec. III architecture, ref. [7] of the paper).
+///
+/// Per symbol interval the receiver observes M one-bit samples
+///   y_m = sign(z_m + n_m),  n_m iid N(0, sigma^2),
+/// where z_m is the noiseless filter output. Noise samples are modelled
+/// as uncorrelated within the oversampling vector, exactly as the paper
+/// assumes. SNR is defined as average signal sample power (= 1 by the
+/// filter normalisation) over sigma^2.
+
+#include <cstdint>
+#include <vector>
+
+#include "wi/common/rng.hpp"
+#include "wi/comm/isi.hpp"
+#include "wi/comm/modulation.hpp"
+
+namespace wi::comm {
+
+/// Noise standard deviation for an SNR in dB (unit signal power).
+[[nodiscard]] double noise_std_for_snr_db(double snr_db);
+
+/// One-bit oversampled AWGN channel bound to a filter and constellation.
+class OneBitOsChannel {
+ public:
+  OneBitOsChannel(IsiFilter filter, Constellation constellation,
+                  double snr_db);
+
+  [[nodiscard]] const IsiFilter& filter() const { return filter_; }
+  [[nodiscard]] const Constellation& constellation() const {
+    return constellation_;
+  }
+  [[nodiscard]] double noise_std() const { return noise_std_; }
+  [[nodiscard]] std::size_t samples_per_symbol() const {
+    return filter_.samples_per_symbol();
+  }
+  /// Number of trellis states = order^(span-1).
+  [[nodiscard]] std::size_t state_count() const { return state_count_; }
+
+  /// P(y_m = 1 | noiseless sample z).
+  [[nodiscard]] double sample_one_prob(double z) const;
+
+  /// Probability of an M-bit output pattern given a symbol window
+  /// (window[0] = current symbol index, window[k] = k symbols ago).
+  [[nodiscard]] double block_prob(std::uint32_t pattern,
+                                  const std::vector<std::size_t>& window) const;
+
+  /// Noiseless samples for a symbol-index window (size M).
+  [[nodiscard]] std::vector<double> noiseless_block(
+      const std::vector<std::size_t>& window) const;
+
+  /// Simulate: draw iid uniform symbols, emit one M-bit pattern per
+  /// symbol. Outputs are bit-packed (LSB = first sample of the block).
+  struct SimulationResult {
+    std::vector<std::size_t> symbols;    ///< transmitted symbol indices
+    std::vector<std::uint32_t> patterns; ///< received 1-bit blocks
+  };
+  [[nodiscard]] SimulationResult simulate(std::size_t n_symbols,
+                                          Rng& rng) const;
+
+  /// Enumerate every symbol window (span symbols); used by the exact
+  /// computations. Each entry lists symbol indices, current first.
+  [[nodiscard]] std::vector<std::vector<std::size_t>> all_windows() const;
+
+ private:
+  IsiFilter filter_;
+  Constellation constellation_;
+  double noise_std_;
+  std::size_t state_count_;
+};
+
+}  // namespace wi::comm

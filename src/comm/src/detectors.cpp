@@ -1,0 +1,163 @@
+#include "wi/comm/detectors.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace wi::comm {
+
+SymbolwiseDetector::SymbolwiseDetector(const OneBitOsChannel& channel) {
+  const std::size_t m = channel.samples_per_symbol();
+  const std::size_t order = channel.constellation().order();
+  const std::size_t patterns = std::size_t{1} << m;
+  std::vector<std::vector<double>> p_y_given_a(
+      order, std::vector<double>(patterns, 0.0));
+  for (const auto& window : channel.all_windows()) {
+    const std::vector<double> z = channel.noiseless_block(window);
+    std::vector<double> p1(m);
+    for (std::size_t s = 0; s < m; ++s) p1[s] = channel.sample_one_prob(z[s]);
+    for (std::size_t pat = 0; pat < patterns; ++pat) {
+      double prob = 1.0;
+      for (std::size_t s = 0; s < m; ++s) {
+        prob *= ((pat >> s) & 1u) ? p1[s] : (1.0 - p1[s]);
+      }
+      p_y_given_a[window[0]][pat] += prob;
+    }
+  }
+  decision_table_.resize(patterns);
+  for (std::size_t pat = 0; pat < patterns; ++pat) {
+    std::size_t best = 0;
+    for (std::size_t a = 1; a < order; ++a) {
+      if (p_y_given_a[a][pat] > p_y_given_a[best][pat]) best = a;
+    }
+    decision_table_[pat] = best;
+  }
+}
+
+std::size_t SymbolwiseDetector::detect(std::uint32_t pattern) const {
+  return decision_table_[pattern];
+}
+
+ViterbiDetector::ViterbiDetector(const OneBitOsChannel& channel)
+    : order_(channel.constellation().order()),
+      states_(channel.state_count()),
+      samples_(channel.samples_per_symbol()) {
+  const std::size_t span = channel.filter().span_symbols();
+  const std::size_t patterns = std::size_t{1} << samples_;
+  branch_next_.resize(states_ * order_);
+  branch_logp_.assign(states_ * order_, std::vector<double>(patterns));
+  std::vector<std::size_t> window(span);
+  for (std::size_t state = 0; state < states_; ++state) {
+    for (std::size_t input = 0; input < order_; ++input) {
+      window[0] = input;
+      std::size_t rem = state;
+      for (std::size_t k = 1; k < span; ++k) {
+        window[k] = rem % order_;
+        rem /= order_;
+      }
+      const std::size_t b = state * order_ + input;
+      const std::vector<double> z = channel.noiseless_block(window);
+      for (std::size_t pat = 0; pat < patterns; ++pat) {
+        double logp = 0.0;
+        for (std::size_t s = 0; s < samples_; ++s) {
+          const double p1 = channel.sample_one_prob(z[s]);
+          const double p = ((pat >> s) & 1u) ? p1 : (1.0 - p1);
+          logp += std::log(std::max(p, 1e-300));
+        }
+        branch_logp_[b][pat] = logp;
+      }
+      std::size_t next = input;
+      std::size_t mult = order_;
+      rem = state;
+      for (std::size_t k = 1; k + 1 < span; ++k) {
+        next += (rem % order_) * mult;
+        mult *= order_;
+        rem /= order_;
+      }
+      branch_next_[b] = (span > 1) ? next : 0;
+    }
+  }
+}
+
+std::vector<std::size_t> ViterbiDetector::detect(
+    const std::vector<std::uint32_t>& patterns) const {
+  const std::size_t n = patterns.size();
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  std::vector<double> metric(states_, 0.0);
+  std::vector<double> next_metric(states_);
+  // Survivor bookkeeping: predecessor branch per (time, state).
+  std::vector<std::vector<std::size_t>> survivor(
+      n, std::vector<std::size_t>(states_, 0));
+  for (std::size_t t = 0; t < n; ++t) {
+    std::fill(next_metric.begin(), next_metric.end(), kNegInf);
+    for (std::size_t state = 0; state < states_; ++state) {
+      if (metric[state] == kNegInf) continue;
+      for (std::size_t input = 0; input < order_; ++input) {
+        const std::size_t b = state * order_ + input;
+        const double candidate =
+            metric[state] + branch_logp_[b][patterns[t]];
+        const std::size_t next = branch_next_[b];
+        if (candidate > next_metric[next]) {
+          next_metric[next] = candidate;
+          survivor[t][next] = b;
+        }
+      }
+    }
+    metric.swap(next_metric);
+  }
+  // Trace back from the best final state.
+  std::vector<std::size_t> decisions(n, 0);
+  std::size_t state = static_cast<std::size_t>(
+      std::max_element(metric.begin(), metric.end()) - metric.begin());
+  for (std::size_t t = n; t-- > 0;) {
+    const std::size_t b = survivor[t][state];
+    decisions[t] = b % order_;
+    state = b / order_;
+  }
+  return decisions;
+}
+
+namespace {
+
+SerResult count_errors(const std::vector<std::size_t>& truth,
+                       const std::vector<std::size_t>& decisions,
+                       std::size_t skip_edges) {
+  SerResult result;
+  const std::size_t n = truth.size();
+  for (std::size_t t = skip_edges; t + skip_edges < n; ++t) {
+    ++result.symbols;
+    if (truth[t] != decisions[t]) ++result.errors;
+  }
+  result.ser = result.symbols == 0
+                   ? 0.0
+                   : static_cast<double>(result.errors) /
+                         static_cast<double>(result.symbols);
+  return result;
+}
+
+}  // namespace
+
+SerResult simulate_ser_symbolwise(const OneBitOsChannel& channel,
+                                  std::size_t n_symbols, std::uint64_t seed) {
+  Rng rng(seed);
+  const auto sim = channel.simulate(n_symbols, rng);
+  const SymbolwiseDetector detector(channel);
+  std::vector<std::size_t> decisions(n_symbols);
+  for (std::size_t t = 0; t < n_symbols; ++t) {
+    decisions[t] = detector.detect(sim.patterns[t]);
+  }
+  return count_errors(sim.symbols, decisions,
+                      channel.filter().span_symbols());
+}
+
+SerResult simulate_ser_viterbi(const OneBitOsChannel& channel,
+                               std::size_t n_symbols, std::uint64_t seed) {
+  Rng rng(seed);
+  const auto sim = channel.simulate(n_symbols, rng);
+  const ViterbiDetector detector(channel);
+  const std::vector<std::size_t> decisions = detector.detect(sim.patterns);
+  return count_errors(sim.symbols, decisions,
+                      channel.filter().span_symbols());
+}
+
+}  // namespace wi::comm

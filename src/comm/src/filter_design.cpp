@@ -1,0 +1,329 @@
+#include "wi/comm/filter_design.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "wi/common/optimize.hpp"
+#include "wi/common/rng.hpp"
+#include "wi/comm/info_rate.hpp"
+
+namespace wi::comm {
+
+namespace {
+
+/// Branch table of the noise-free trellis: per branch the signs of the
+/// M samples (+1 / -1, 0 when within `margin` of the threshold).
+struct NoiseFreeTrellis {
+  std::size_t states = 0;
+  std::size_t order = 0;
+  std::vector<std::size_t> next;          ///< [state*order + input]
+  std::vector<std::vector<int>> signs;    ///< [branch][sample]
+};
+
+NoiseFreeTrellis build_noise_free_trellis(const IsiFilter& filter,
+                                          const Constellation& constellation,
+                                          double margin) {
+  NoiseFreeTrellis trellis;
+  const std::size_t span = filter.span_symbols();
+  const std::size_t m = filter.samples_per_symbol();
+  trellis.order = constellation.order();
+  trellis.states = 1;
+  for (std::size_t k = 1; k < span; ++k) trellis.states *= trellis.order;
+  trellis.next.resize(trellis.states * trellis.order);
+  trellis.signs.assign(trellis.states * trellis.order,
+                       std::vector<int>(m, 0));
+  std::vector<double> window(span);
+  for (std::size_t state = 0; state < trellis.states; ++state) {
+    for (std::size_t input = 0; input < trellis.order; ++input) {
+      window[0] = constellation.level(input);
+      std::size_t rem = state;
+      for (std::size_t k = 1; k < span; ++k) {
+        window[k] = constellation.level(rem % trellis.order);
+        rem /= trellis.order;
+      }
+      const std::size_t b = state * trellis.order + input;
+      for (std::size_t s = 0; s < m; ++s) {
+        const double z = filter.noiseless_sample(window, s);
+        trellis.signs[b][s] = (z > margin) ? 1 : ((z < -margin) ? -1 : 0);
+      }
+      std::size_t next = input;
+      std::size_t mult = trellis.order;
+      rem = state;
+      for (std::size_t k = 1; k + 1 < span; ++k) {
+        next += (rem % trellis.order) * mult;
+        mult *= trellis.order;
+        rem /= trellis.order;
+      }
+      trellis.next[b] = (span > 1) ? next : 0;
+    }
+  }
+  return trellis;
+}
+
+bool signs_compatible(const std::vector<int>& a, const std::vector<int>& b) {
+  for (std::size_t s = 0; s < a.size(); ++s) {
+    if (a[s] != 0 && b[s] != 0 && a[s] != b[s]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::size_t ambiguity_count(const IsiFilter& filter,
+                            const Constellation& constellation,
+                            std::size_t max_delay, double margin) {
+  const NoiseFreeTrellis trellis =
+      build_noise_free_trellis(filter, constellation, margin);
+
+  using Pair = std::pair<std::size_t, std::size_t>;
+  auto canonical = [](std::size_t a, std::size_t b) {
+    return (a <= b) ? Pair{a, b} : Pair{b, a};
+  };
+
+  // Two distinct input sequences are indistinguishable when their output
+  // sign patterns stay compatible forever — in particular when the pair
+  // of paths *merges* back into one state (identical futures exist) or
+  // revisits a pair (a compatible cycle extends the ambiguity forever).
+  // Each such event counts once; pairs still alive after max_delay count
+  // as one event each.
+  std::size_t events = 0;
+
+  // Seed: paths diverging from a common state with compatible outputs.
+  std::set<Pair> frontier;
+  for (std::size_t state = 0; state < trellis.states; ++state) {
+    for (std::size_t u1 = 0; u1 < trellis.order; ++u1) {
+      for (std::size_t u2 = u1 + 1; u2 < trellis.order; ++u2) {
+        const std::size_t b1 = state * trellis.order + u1;
+        const std::size_t b2 = state * trellis.order + u2;
+        if (signs_compatible(trellis.signs[b1], trellis.signs[b2])) {
+          const Pair p = canonical(trellis.next[b1], trellis.next[b2]);
+          if (p.first == p.second) {
+            ++events;  // merged immediately: ambiguous
+          } else {
+            frontier.insert(p);
+          }
+        }
+      }
+    }
+  }
+  std::set<Pair> visited = frontier;
+  for (std::size_t depth = 0; depth < max_delay && !frontier.empty();
+       ++depth) {
+    std::set<Pair> next_frontier;
+    for (const auto& [s1, s2] : frontier) {
+      for (std::size_t u1 = 0; u1 < trellis.order; ++u1) {
+        for (std::size_t u2 = 0; u2 < trellis.order; ++u2) {
+          const std::size_t b1 = s1 * trellis.order + u1;
+          const std::size_t b2 = s2 * trellis.order + u2;
+          if (!signs_compatible(trellis.signs[b1], trellis.signs[b2])) {
+            continue;
+          }
+          const Pair p = canonical(trellis.next[b1], trellis.next[b2]);
+          if (p.first == p.second) {
+            ++events;  // merged: ambiguous
+            continue;
+          }
+          if (visited.contains(p)) {
+            ++events;  // compatible cycle
+            continue;
+          }
+          visited.insert(p);
+          next_frontier.insert(p);
+        }
+      }
+    }
+    frontier = std::move(next_frontier);
+  }
+  events += frontier.size();  // survivors: unresolved at the horizon
+  return events;
+}
+
+bool is_uniquely_detectable(const IsiFilter& filter,
+                            const Constellation& constellation,
+                            std::size_t max_delay, double margin) {
+  return ambiguity_count(filter, constellation, max_delay, margin) == 0;
+}
+
+double noise_free_margin(const IsiFilter& filter,
+                         const Constellation& constellation) {
+  const std::size_t span = filter.span_symbols();
+  const std::size_t m = filter.samples_per_symbol();
+  const std::size_t order = constellation.order();
+  std::size_t total = 1;
+  for (std::size_t k = 0; k < span; ++k) total *= order;
+  double margin = 1e300;
+  std::vector<double> window(span);
+  for (std::size_t idx = 0; idx < total; ++idx) {
+    std::size_t rem = idx;
+    for (std::size_t k = 0; k < span; ++k) {
+      window[k] = constellation.level(rem % order);
+      rem /= order;
+    }
+    for (std::size_t s = 0; s < m; ++s) {
+      margin = std::min(margin, std::abs(filter.noiseless_sample(window, s)));
+    }
+  }
+  return margin;
+}
+
+namespace {
+
+using Objective = std::function<double(const IsiFilter&)>;
+
+IsiFilter optimize_taps(const FilterDesignOptions& options,
+                        const Objective& objective,
+                        const std::vector<double>& initial_taps) {
+  const std::size_t m = options.samples_per_symbol;
+  const std::size_t length = m * options.span_symbols;
+  Rng rng(options.seed);
+
+  auto make_filter = [&](const std::vector<double>& taps) {
+    return IsiFilter(taps, m, /*normalize=*/true);
+  };
+  auto wrapped = [&](const std::vector<double>& taps) {
+    double energy = 0.0;
+    for (const double t : taps) energy += t * t;
+    if (energy < 1e-9) return 1e6;  // reject the degenerate all-zero point
+    return objective(make_filter(taps));
+  };
+
+  std::vector<double> best_taps = initial_taps;
+  best_taps.resize(length, 0.0);
+  double best_value = wrapped(best_taps);
+
+  NelderMeadOptions nm;
+  nm.max_evals = options.max_evals;
+  nm.initial_step = 0.3;
+  for (int restart = 0; restart < std::max(1, options.restarts); ++restart) {
+    std::vector<double> start(length);
+    if (restart == 0) {
+      start = best_taps;
+    } else {
+      for (auto& t : start) t = rng.uniform(-1.0, 1.0);
+      // Bias towards a pulse so restarts don't wander into flat regions.
+      start[m / 2] += 1.5;
+    }
+    const MinimizeResult result = nelder_mead(wrapped, start, nm);
+    if (result.fx < best_value) {
+      best_value = result.fx;
+      best_taps = result.x;
+    }
+  }
+  return make_filter(best_taps);
+}
+
+}  // namespace
+
+IsiFilter optimize_filter_symbolwise(const Constellation& constellation,
+                                     const FilterDesignOptions& options) {
+  const Objective objective = [&](const IsiFilter& filter) {
+    const OneBitOsChannel channel(filter, constellation,
+                                  options.design_snr_db);
+    return -mi_one_bit_symbolwise(channel);
+  };
+  // Start from a slightly dithered rectangular pulse: pure rect is a
+  // saddle for symbolwise detection (all samples identical).
+  std::vector<double> start(options.samples_per_symbol *
+                            options.span_symbols, 0.0);
+  for (std::size_t s = 0; s < options.samples_per_symbol; ++s) {
+    start[s] = 1.0 + 0.3 * static_cast<double>(s % 2 ? 1 : -1) *
+                         (static_cast<double>(s) + 1.0) /
+                         static_cast<double>(options.samples_per_symbol);
+  }
+  return optimize_taps(options, objective, start);
+}
+
+IsiFilter optimize_filter_sequence(const Constellation& constellation,
+                                   const FilterDesignOptions& options) {
+  // Common random numbers: a fixed seed inside the objective keeps the
+  // Monte-Carlo noise consistent across evaluations so Nelder–Mead sees
+  // a (nearly) deterministic surface.
+  SequenceRateOptions mc;
+  mc.symbols = options.sequence_mc_symbols;
+  mc.seed = options.seed + 101;
+  const Objective objective = [&, mc](const IsiFilter& filter) {
+    const OneBitOsChannel channel(filter, constellation,
+                                  options.design_snr_db);
+    return -info_rate_one_bit_sequence(channel, mc);
+  };
+  std::vector<double> start(options.samples_per_symbol *
+                            options.span_symbols, 0.0);
+  for (std::size_t s = 0; s < options.samples_per_symbol; ++s) {
+    start[s] = 1.0;
+  }
+  // Let the pulse leak into the next symbol interval as a starting shape.
+  for (std::size_t s = 0; s < options.samples_per_symbol; ++s) {
+    start[options.samples_per_symbol + s] =
+        -0.4 * static_cast<double>(s + 1) /
+        static_cast<double>(options.samples_per_symbol);
+  }
+  return optimize_taps(options, objective, start);
+}
+
+IsiFilter design_filter_suboptimal(const Constellation& constellation,
+                                   const FilterDesignOptions& options) {
+  const Objective objective = [&](const IsiFilter& filter) {
+    const double margin = noise_free_margin(filter, constellation);
+    // Graded penalty: every unresolved ambiguity event costs more than
+    // any achievable margin, so the optimiser buys uniqueness first but
+    // still sees a slope while ambiguities remain.
+    const double penalty =
+        2.0 * static_cast<double>(ambiguity_count(filter, constellation));
+    return -margin + penalty;
+  };
+  // Feasible start: the threshold-spread construction. With g0 = 1 and
+  // per-sample echo ratios r_m = g1[m]/g0[m] in {-2, -0.6, 0, 0.6, 2},
+  // the noise-free decision thresholds -b r_m cover every separator of
+  // the 4-ASK levels for every previous symbol b, so the current symbol
+  // is identified within one block — unique detection with exactly five
+  // samples (matching the paper's observation that 5-fold oversampling
+  // is the smallest rate enabling it). The optimiser then pushes the
+  // margin while the ambiguity penalty keeps the property.
+  std::vector<double> start(options.samples_per_symbol *
+                            options.span_symbols, 0.0);
+  const double ratios[] = {-2.0, -0.6, 0.0, 0.6, 2.0};
+  for (std::size_t s = 0; s < options.samples_per_symbol; ++s) {
+    start[s] = 1.0;
+    start[options.samples_per_symbol + s] =
+        ratios[s % (sizeof(ratios) / sizeof(ratios[0]))];
+  }
+  return optimize_taps(options, objective, start);
+}
+
+IsiFilter paper_filter_symbolwise() {
+  // optimize_filter_symbolwise(ask(4)) with a 6000-eval, 4-restart
+  // budget (tools/tune_filters): exact symbolwise MI 1.642 bpcu at
+  // 25 dB — the Fig. 6 "Max Information Rate 1Bit-OS (symbolwise)"
+  // level. The sample-to-sample dithering within the symbol is what
+  // lets the 1-bit receiver resolve the four amplitudes.
+  return IsiFilter({1.5540, 0.5724, 0.7823, 0.6121, 0.4293,
+                    0.1139, 0.0000, 0.0001, -0.5075, 0.3247,
+                    -0.1798, 0.4679, -0.6777, 0.0001, 0.0001},
+                   5);
+}
+
+IsiFilter paper_filter_sequence() {
+  // optimize_filter_sequence(ask(4)), same budget: sequence information
+  // rate 1.961 bpcu at 25 dB — the Fig. 6 "Max Information Rate
+  // 1Bit-OS" level, approaching the 2 bpcu of unquantized 4-ASK.
+  return IsiFilter({0.3053, -0.6212, 0.7303, 0.5674, -0.7215,
+                    0.7520, -0.5881, 0.7863, -0.6758, 0.0292,
+                    -0.7479, -0.3324, -0.1383, -0.5613, -0.3920},
+                   5);
+}
+
+IsiFilter paper_filter_suboptimal() {
+  // The threshold-spread construction (see design_filter_suboptimal):
+  // flat main pulse plus a one-symbol echo whose per-sample ratios
+  // {-2, -0.6, 0, 0.6, 2} make the noise-free 1-bit patterns uniquely
+  // decodable for 4-ASK — the Fig. 5(d) strategy, needing no knowledge
+  // of the noise statistics.
+  return IsiFilter({1.0, 1.0, 1.0, 1.0, 1.0,
+                    -2.0, -0.6, 0.0, 0.6, 2.0},
+                   5);
+}
+
+}  // namespace wi::comm

@@ -1,0 +1,210 @@
+#include "wi/comm/info_rate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "wi/common/math.hpp"
+#include "wi/common/quadrature.hpp"
+
+namespace wi::comm {
+
+double mi_unquantized_awgn(const Constellation& constellation, double snr_db,
+                           std::size_t nodes) {
+  const double sigma = noise_std_for_snr_db(snr_db);
+  const std::size_t order = constellation.order();
+  const GaussHermiteRule rule = gauss_hermite(nodes);
+  const double inv_sqrt_pi = 1.0 / std::sqrt(M_PI);
+
+  // I = log2(M) - (1/M) sum_i E_n[ log2 sum_j exp(-((x_i-x_j)^2
+  //      + 2 n (x_i - x_j)) / (2 sigma^2)) ]  with n ~ N(0, sigma^2).
+  double penalty = 0.0;
+  for (std::size_t i = 0; i < order; ++i) {
+    const double xi = constellation.level(i);
+    double expectation = 0.0;
+    for (std::size_t q = 0; q < nodes; ++q) {
+      const double n = sigma * std::sqrt(2.0) * rule.nodes[q];
+      double sum = 0.0;
+      for (std::size_t j = 0; j < order; ++j) {
+        const double d = xi - constellation.level(j);
+        sum += std::exp(-(d * d + 2.0 * n * d) / (2.0 * sigma * sigma));
+      }
+      expectation += rule.weights[q] * std::log2(sum);
+    }
+    penalty += expectation * inv_sqrt_pi;
+  }
+  penalty /= static_cast<double>(order);
+  return std::log2(static_cast<double>(order)) - penalty;
+}
+
+double mi_unquantized_matched_filter(const Constellation& constellation,
+                                     double snr_per_sample_db,
+                                     std::size_t oversampling,
+                                     std::size_t nodes) {
+  const double gain_db = 10.0 * std::log10(static_cast<double>(oversampling));
+  return mi_unquantized_awgn(constellation, snr_per_sample_db + gain_db,
+                             nodes);
+}
+
+double mi_one_bit_no_oversampling(const Constellation& constellation,
+                                  double snr_db) {
+  const double sigma = noise_std_for_snr_db(snr_db);
+  const std::size_t order = constellation.order();
+  // Binary-output DMC with P(1|x) = Phi(x/sigma).
+  double p1_avg = 0.0;
+  std::vector<double> p1(order);
+  for (std::size_t i = 0; i < order; ++i) {
+    p1[i] = normal_cdf(constellation.level(i) / sigma);
+    p1_avg += p1[i];
+  }
+  p1_avg /= static_cast<double>(order);
+  double h_cond = 0.0;
+  for (std::size_t i = 0; i < order; ++i) h_cond += binary_entropy(p1[i]);
+  h_cond /= static_cast<double>(order);
+  return binary_entropy(p1_avg) - h_cond;
+}
+
+double mi_one_bit_symbolwise(const OneBitOsChannel& channel) {
+  const std::size_t m = channel.samples_per_symbol();
+  const std::size_t order = channel.constellation().order();
+  const std::size_t patterns = std::size_t{1} << m;
+  const auto windows = channel.all_windows();
+  const double window_weight = 1.0 / static_cast<double>(windows.size());
+
+  // P(y | x_t = a): marginalise the span-1 interfering symbols.
+  std::vector<std::vector<double>> p_y_given_a(
+      order, std::vector<double>(patterns, 0.0));
+  for (const auto& window : windows) {
+    const std::vector<double> z = channel.noiseless_block(window);
+    std::vector<double> p1(m);
+    for (std::size_t s = 0; s < m; ++s) p1[s] = channel.sample_one_prob(z[s]);
+    for (std::size_t pat = 0; pat < patterns; ++pat) {
+      double prob = 1.0;
+      for (std::size_t s = 0; s < m; ++s) {
+        prob *= ((pat >> s) & 1u) ? p1[s] : (1.0 - p1[s]);
+      }
+      // Weight by the probability of the interfering symbols
+      // (window_weight * order accounts for conditioning on x_t).
+      p_y_given_a[window[0]][pat] +=
+          prob * window_weight * static_cast<double>(order);
+    }
+  }
+  std::vector<double> p_y(patterns, 0.0);
+  for (std::size_t a = 0; a < order; ++a) {
+    for (std::size_t pat = 0; pat < patterns; ++pat) {
+      p_y[pat] += p_y_given_a[a][pat] / static_cast<double>(order);
+    }
+  }
+  double mi = 0.0;
+  for (std::size_t a = 0; a < order; ++a) {
+    for (std::size_t pat = 0; pat < patterns; ++pat) {
+      const double p = p_y_given_a[a][pat];
+      if (p > 0.0 && p_y[pat] > 0.0) {
+        mi += (p / static_cast<double>(order)) * std::log2(p / p_y[pat]);
+      }
+    }
+  }
+  return std::max(0.0, mi);
+}
+
+double conditional_entropy_rate(const OneBitOsChannel& channel) {
+  const auto windows = channel.all_windows();
+  const std::size_t m = channel.samples_per_symbol();
+  double h = 0.0;
+  for (const auto& window : windows) {
+    const std::vector<double> z = channel.noiseless_block(window);
+    for (std::size_t s = 0; s < m; ++s) {
+      h += binary_entropy(channel.sample_one_prob(z[s]));
+    }
+  }
+  return h / static_cast<double>(windows.size());
+}
+
+double info_rate_one_bit_sequence(const OneBitOsChannel& channel,
+                                  const SequenceRateOptions& options) {
+  const std::size_t order = channel.constellation().order();
+  const std::size_t span = channel.filter().span_symbols();
+  const std::size_t states = channel.state_count();
+  const std::size_t m = channel.samples_per_symbol();
+
+  // Pre-compute per-branch sample probabilities: branch = (state, input)
+  // with state encoding the span-1 previous symbols (most recent in the
+  // lowest digit). The emitted window is [input, state digits...].
+  const std::size_t branches = states * order;
+  std::vector<std::vector<double>> branch_p1(branches, std::vector<double>(m));
+  std::vector<std::size_t> branch_next(branches);
+  {
+    std::vector<std::size_t> window(span);
+    for (std::size_t state = 0; state < states; ++state) {
+      for (std::size_t input = 0; input < order; ++input) {
+        window[0] = input;
+        std::size_t rem = state;
+        for (std::size_t k = 1; k < span; ++k) {
+          window[k] = rem % order;
+          rem /= order;
+        }
+        const std::vector<double> z = channel.noiseless_block(window);
+        const std::size_t b = state * order + input;
+        for (std::size_t s = 0; s < m; ++s) {
+          branch_p1[b][s] = channel.sample_one_prob(z[s]);
+        }
+        // Next state: shift input into the most-recent digit.
+        std::size_t next = input;
+        std::size_t mult = order;
+        rem = state;
+        for (std::size_t k = 1; k + 1 < span; ++k) {
+          next += (rem % order) * mult;
+          mult *= order;
+          rem /= order;
+        }
+        branch_next[b] = (span > 1) ? next : 0;
+      }
+    }
+  }
+
+  Rng rng(options.seed);
+  const auto sim = channel.simulate(options.symbols, rng);
+
+  // Normalised forward recursion over the hidden state for H(Y).
+  std::vector<double> alpha(states, 1.0 / static_cast<double>(states));
+  std::vector<double> next_alpha(states);
+  double log2_py = 0.0;
+  const double input_prob = 1.0 / static_cast<double>(order);
+  for (std::size_t t = 0; t < options.symbols; ++t) {
+    const std::uint32_t pattern = sim.patterns[t];
+    std::fill(next_alpha.begin(), next_alpha.end(), 0.0);
+    for (std::size_t state = 0; state < states; ++state) {
+      const double a = alpha[state];
+      if (a <= 0.0) continue;
+      for (std::size_t input = 0; input < order; ++input) {
+        const std::size_t b = state * order + input;
+        double prob = 1.0;
+        const auto& p1 = branch_p1[b];
+        for (std::size_t s = 0; s < m; ++s) {
+          prob *= ((pattern >> s) & 1u) ? p1[s] : (1.0 - p1[s]);
+        }
+        next_alpha[branch_next[b]] += a * input_prob * prob;
+      }
+    }
+    double norm = 0.0;
+    for (const double v : next_alpha) norm += v;
+    if (norm <= 0.0) {
+      // Numerically impossible pattern (can only happen at extreme SNR);
+      // restart the recursion from the uniform state distribution.
+      std::fill(next_alpha.begin(), next_alpha.end(),
+                1.0 / static_cast<double>(states));
+      norm = 1.0;
+    }
+    log2_py += std::log2(norm);
+    for (std::size_t state = 0; state < states; ++state) {
+      alpha[state] = next_alpha[state] / norm;
+    }
+  }
+  const double h_y = -log2_py / static_cast<double>(options.symbols);
+  const double h_y_given_x = conditional_entropy_rate(channel);
+  const double rate = h_y - h_y_given_x;
+  return std::clamp(rate, 0.0,
+                    std::log2(static_cast<double>(order)));
+}
+
+}  // namespace wi::comm

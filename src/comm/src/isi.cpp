@@ -1,0 +1,65 @@
+#include "wi/comm/isi.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wi::comm {
+
+IsiFilter::IsiFilter(std::vector<double> taps, std::size_t samples_per_symbol,
+                     bool normalize)
+    : taps_(std::move(taps)), m_(samples_per_symbol) {
+  if (m_ == 0) throw std::invalid_argument("IsiFilter: M must be >= 1");
+  if (taps_.empty() || taps_.size() % m_ != 0) {
+    throw std::invalid_argument(
+        "IsiFilter: tap count must be a positive multiple of M");
+  }
+  if (normalize) {
+    double e = 0.0;
+    for (const double t : taps_) e += t * t;
+    if (e <= 0.0) throw std::invalid_argument("IsiFilter: zero filter");
+    const double scale = std::sqrt(static_cast<double>(m_) / e);
+    for (auto& t : taps_) t *= scale;
+  }
+}
+
+IsiFilter IsiFilter::rectangular(std::size_t samples_per_symbol) {
+  return IsiFilter(std::vector<double>(samples_per_symbol, 1.0),
+                   samples_per_symbol);
+}
+
+double IsiFilter::noiseless_sample(const std::vector<double>& window,
+                                   std::size_t m) const {
+  if (window.size() != span_symbols()) {
+    throw std::invalid_argument("noiseless_sample: window/span mismatch");
+  }
+  double z = 0.0;
+  for (std::size_t k = 0; k < window.size(); ++k) {
+    z += window[k] * slice(k, m);
+  }
+  return z;
+}
+
+double IsiFilter::energy() const {
+  double e = 0.0;
+  for (const double t : taps_) e += t * t;
+  return e;
+}
+
+std::vector<double> modulate_waveform(const IsiFilter& filter,
+                                      const std::vector<double>& symbols) {
+  const std::size_t m = filter.samples_per_symbol();
+  const std::size_t span = filter.span_symbols();
+  std::vector<double> wave(symbols.size() * m, 0.0);
+  for (std::size_t t = 0; t < symbols.size(); ++t) {
+    for (std::size_t sample = 0; sample < m; ++sample) {
+      double z = 0.0;
+      for (std::size_t k = 0; k < span && k <= t; ++k) {
+        z += symbols[t - k] * filter.slice(k, sample);
+      }
+      wave[t * m + sample] = z;
+    }
+  }
+  return wave;
+}
+
+}  // namespace wi::comm

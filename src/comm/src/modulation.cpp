@@ -1,0 +1,56 @@
+#include "wi/comm/modulation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wi::comm {
+
+Constellation Constellation::ask(std::size_t order) {
+  if (order < 2) throw std::invalid_argument("ask: order must be >= 2");
+  std::vector<double> levels(order);
+  for (std::size_t i = 0; i < order; ++i) {
+    levels[i] = -static_cast<double>(order - 1) + 2.0 * static_cast<double>(i);
+  }
+  return Constellation(std::move(levels));
+}
+
+Constellation Constellation::bpsk() { return ask(2); }
+
+Constellation::Constellation(std::vector<double> levels)
+    : levels_(std::move(levels)) {
+  if (levels_.empty()) {
+    throw std::invalid_argument("Constellation: empty level set");
+  }
+  double energy = 0.0;
+  for (const double v : levels_) energy += v * v;
+  energy /= static_cast<double>(levels_.size());
+  if (energy > 0.0) {
+    const double scale = 1.0 / std::sqrt(energy);
+    for (auto& v : levels_) v *= scale;
+  }
+}
+
+double Constellation::bits_per_symbol() const {
+  return std::log2(static_cast<double>(levels_.size()));
+}
+
+double Constellation::average_energy() const {
+  double energy = 0.0;
+  for (const double v : levels_) energy += v * v;
+  return energy / static_cast<double>(levels_.size());
+}
+
+std::size_t Constellation::nearest(double value) const {
+  std::size_t best = 0;
+  double best_dist = std::abs(value - levels_[0]);
+  for (std::size_t i = 1; i < levels_.size(); ++i) {
+    const double dist = std::abs(value - levels_[i]);
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace wi::comm

@@ -1,0 +1,99 @@
+#include "wi/comm/os_channel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "wi/common/math.hpp"
+
+namespace wi::comm {
+
+double noise_std_for_snr_db(double snr_db) {
+  return std::pow(10.0, -snr_db / 20.0);
+}
+
+OneBitOsChannel::OneBitOsChannel(IsiFilter filter, Constellation constellation,
+                                 double snr_db)
+    : filter_(std::move(filter)), constellation_(std::move(constellation)),
+      noise_std_(noise_std_for_snr_db(snr_db)) {
+  if (filter_.samples_per_symbol() > 31) {
+    throw std::invalid_argument("OneBitOsChannel: M must be <= 31");
+  }
+  state_count_ = 1;
+  for (std::size_t k = 1; k < filter_.span_symbols(); ++k) {
+    state_count_ *= constellation_.order();
+  }
+}
+
+double OneBitOsChannel::sample_one_prob(double z) const {
+  return normal_cdf(z / noise_std_);
+}
+
+std::vector<double> OneBitOsChannel::noiseless_block(
+    const std::vector<std::size_t>& window) const {
+  const std::size_t m = filter_.samples_per_symbol();
+  std::vector<double> amplitudes(window.size());
+  for (std::size_t k = 0; k < window.size(); ++k) {
+    amplitudes[k] = constellation_.level(window[k]);
+  }
+  std::vector<double> z(m);
+  for (std::size_t sample = 0; sample < m; ++sample) {
+    z[sample] = filter_.noiseless_sample(amplitudes, sample);
+  }
+  return z;
+}
+
+double OneBitOsChannel::block_prob(
+    std::uint32_t pattern, const std::vector<std::size_t>& window) const {
+  const std::vector<double> z = noiseless_block(window);
+  double prob = 1.0;
+  for (std::size_t m = 0; m < z.size(); ++m) {
+    const double p1 = sample_one_prob(z[m]);
+    prob *= ((pattern >> m) & 1u) ? p1 : (1.0 - p1);
+  }
+  return prob;
+}
+
+OneBitOsChannel::SimulationResult OneBitOsChannel::simulate(
+    std::size_t n_symbols, Rng& rng) const {
+  const std::size_t m = filter_.samples_per_symbol();
+  const std::size_t span = filter_.span_symbols();
+  SimulationResult result;
+  result.symbols.resize(n_symbols);
+  result.patterns.resize(n_symbols);
+  // Symbol history, most recent first; zero-padding start-up handled by
+  // treating pre-start symbols as the middle level closest to zero.
+  std::vector<double> window(span, 0.0);
+  for (std::size_t t = 0; t < n_symbols; ++t) {
+    const std::size_t s = rng.uniform_int(constellation_.order());
+    result.symbols[t] = s;
+    for (std::size_t k = span - 1; k > 0; --k) window[k] = window[k - 1];
+    window[0] = constellation_.level(s);
+    std::uint32_t pattern = 0;
+    for (std::size_t sample = 0; sample < m; ++sample) {
+      const double z = filter_.noiseless_sample(window, sample);
+      const double y = z + noise_std_ * rng.gaussian();
+      if (y > 0.0) pattern |= (1u << sample);
+    }
+    result.patterns[t] = pattern;
+  }
+  return result;
+}
+
+std::vector<std::vector<std::size_t>> OneBitOsChannel::all_windows() const {
+  const std::size_t span = filter_.span_symbols();
+  const std::size_t order = constellation_.order();
+  std::size_t total = 1;
+  for (std::size_t k = 0; k < span; ++k) total *= order;
+  std::vector<std::vector<std::size_t>> windows(total,
+                                                std::vector<std::size_t>(span));
+  for (std::size_t idx = 0; idx < total; ++idx) {
+    std::size_t rem = idx;
+    for (std::size_t k = 0; k < span; ++k) {
+      windows[idx][k] = rem % order;
+      rem /= order;
+    }
+  }
+  return windows;
+}
+
+}  // namespace wi::comm

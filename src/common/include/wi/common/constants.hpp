@@ -1,0 +1,22 @@
+#pragma once
+/// \file constants.hpp
+/// \brief Physical constants used by the RF and link-budget modules.
+
+namespace wi {
+
+/// Speed of light in vacuum [m/s].
+inline constexpr double kSpeedOfLight_mps = 299'792'458.0;
+
+/// Boltzmann constant [J/K].
+inline constexpr double kBoltzmann_jpk = 1.380649e-23;
+
+/// Thermal noise density at 290 K [dBm/Hz]: 10*log10(k*290*1000).
+inline constexpr double kThermalNoiseDensity290k_dbmhz = -173.975;
+
+/// pi with double precision.
+inline constexpr double kPi = 3.141592653589793238462643383279502884;
+
+/// Two pi.
+inline constexpr double kTwoPi = 2.0 * kPi;
+
+}  // namespace wi

@@ -1,0 +1,59 @@
+#pragma once
+/// \file optimize.hpp
+/// \brief Derivative-free optimisation used by the ISI filter design and
+///        the required-Eb/N0 searches.
+
+#include <functional>
+#include <vector>
+
+namespace wi {
+
+/// Result of a one-dimensional root/threshold search.
+struct RootResult {
+  double x = 0.0;        ///< location of the root/threshold
+  double fx = 0.0;       ///< residual at x
+  int iterations = 0;    ///< iterations spent
+  bool converged = false;
+};
+
+/// Bisection on a bracketing interval [lo, hi]; f(lo) and f(hi) must have
+/// opposite signs. Monotonicity is not required, only the bracket.
+[[nodiscard]] RootResult bisect(const std::function<double(double)>& f,
+                                double lo, double hi, double xtol = 1e-6,
+                                int max_iter = 100);
+
+/// Golden-section search for the minimum of a unimodal f on [lo, hi].
+[[nodiscard]] RootResult golden_section_min(
+    const std::function<double(double)>& f, double lo, double hi,
+    double xtol = 1e-6, int max_iter = 200);
+
+/// Options for Nelder–Mead.
+struct NelderMeadOptions {
+  int max_evals = 2000;     ///< budget of objective evaluations
+  double xtol = 1e-6;       ///< simplex size tolerance
+  double ftol = 1e-9;       ///< objective spread tolerance
+  double initial_step = 0.25;  ///< simplex edge length around the start
+};
+
+/// Result of a multidimensional minimisation.
+struct MinimizeResult {
+  std::vector<double> x;  ///< best point
+  double fx = 0.0;        ///< best objective value
+  int evaluations = 0;    ///< number of f evaluations
+  bool converged = false;
+};
+
+/// Nelder–Mead downhill simplex minimisation of f starting from x0.
+/// Robust to noisy objectives (used with Monte-Carlo information rates).
+[[nodiscard]] MinimizeResult nelder_mead(
+    const std::function<double(const std::vector<double>&)>& f,
+    const std::vector<double>& x0, const NelderMeadOptions& options = {});
+
+/// Cyclic coordinate descent with a shrinking step; cheap local polish
+/// for low-dimensional problems with bound constraints.
+[[nodiscard]] MinimizeResult coordinate_descent(
+    const std::function<double(const std::vector<double>&)>& f,
+    const std::vector<double>& x0, double initial_step = 0.25,
+    double min_step = 1e-4, int max_sweeps = 100);
+
+}  // namespace wi

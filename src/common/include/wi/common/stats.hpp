@@ -1,0 +1,83 @@
+#pragma once
+/// \file stats.hpp
+/// \brief Streaming statistics and simple histograms for simulations.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace wi {
+
+/// Numerically stable streaming mean/variance (Welford's algorithm).
+class RunningStats {
+ public:
+  /// Incorporate one sample.
+  void add(double x);
+
+  /// Incorporate another accumulator (parallel merge).
+  void merge(const RunningStats& other);
+
+  /// Number of samples seen so far.
+  [[nodiscard]] std::size_t count() const { return count_; }
+
+  /// Sample mean; 0 when empty.
+  [[nodiscard]] double mean() const { return mean_; }
+
+  /// Unbiased sample variance; 0 with fewer than two samples.
+  [[nodiscard]] double variance() const;
+
+  /// Square root of variance().
+  [[nodiscard]] double stddev() const;
+
+  /// Smallest sample seen; +inf when empty.
+  [[nodiscard]] double min() const { return min_; }
+
+  /// Largest sample seen; -inf when empty.
+  [[nodiscard]] double max() const { return max_; }
+
+  /// Half-width of the normal-approximation 95% confidence interval.
+  [[nodiscard]] double ci95_halfwidth() const;
+
+  /// Reset to the empty state.
+  void reset();
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 1.0 / 0.0;
+  double max_ = -1.0 / 0.0;
+};
+
+/// Fixed-range histogram with uniform bins plus under/overflow counters.
+class Histogram {
+ public:
+  /// Bins cover [lo, hi) uniformly; bins must be >= 1 and hi > lo.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Count one sample (under/overflow tracked separately).
+  void add(double x);
+
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bin(std::size_t i) const { return counts_[i]; }
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+  /// Centre of bin i.
+  [[nodiscard]] double bin_center(std::size_t i) const;
+
+  /// Empirical quantile (linear in the bin index); q in [0,1].
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace wi

@@ -1,0 +1,42 @@
+#pragma once
+/// \file table.hpp
+/// \brief Minimal fixed-width / CSV table printer used by the benchmark
+///        harnesses to emit the paper's tables and figure series.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace wi {
+
+/// Column-oriented table: set headers once, append rows, print aligned
+/// text or CSV. Cells are stored as strings; format_cell helpers convert
+/// numerics with a fixed precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; the arity must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Number of data rows.
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Fixed-width aligned rendering with a header separator.
+  void print(std::ostream& os) const;
+
+  /// Comma-separated rendering (no quoting; values must not contain ',').
+  void print_csv(std::ostream& os) const;
+
+  /// Format a double with the given number of decimals.
+  [[nodiscard]] static std::string num(double value, int decimals = 3);
+
+  /// Format an integer.
+  [[nodiscard]] static std::string num(long long value);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace wi

@@ -1,0 +1,226 @@
+#include "wi/common/optimize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace wi {
+
+RootResult bisect(const std::function<double(double)>& f, double lo,
+                  double hi, double xtol, int max_iter) {
+  RootResult result;
+  double flo = f(lo);
+  double fhi = f(hi);
+  if (flo == 0.0) return {lo, 0.0, 0, true};
+  if (fhi == 0.0) return {hi, 0.0, 0, true};
+  if ((flo > 0.0) == (fhi > 0.0)) {
+    throw std::invalid_argument("bisect: interval does not bracket a root");
+  }
+  double mid = 0.5 * (lo + hi);
+  for (int i = 0; i < max_iter; ++i) {
+    mid = 0.5 * (lo + hi);
+    const double fmid = f(mid);
+    ++result.iterations;
+    if (fmid == 0.0 || (hi - lo) < xtol) {
+      result.converged = true;
+      result.x = mid;
+      result.fx = fmid;
+      return result;
+    }
+    if ((fmid > 0.0) == (flo > 0.0)) {
+      lo = mid;
+      flo = fmid;
+    } else {
+      hi = mid;
+    }
+  }
+  result.x = mid;
+  result.fx = f(mid);
+  result.converged = (hi - lo) < xtol;
+  return result;
+}
+
+RootResult golden_section_min(const std::function<double(double)>& f,
+                              double lo, double hi, double xtol,
+                              int max_iter) {
+  constexpr double kInvPhi = 0.6180339887498949;
+  double a = lo;
+  double b = hi;
+  double x1 = b - kInvPhi * (b - a);
+  double x2 = a + kInvPhi * (b - a);
+  double f1 = f(x1);
+  double f2 = f(x2);
+  RootResult result;
+  for (int i = 0; i < max_iter && (b - a) > xtol; ++i) {
+    ++result.iterations;
+    if (f1 < f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kInvPhi * (b - a);
+      f1 = f(x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kInvPhi * (b - a);
+      f2 = f(x2);
+    }
+  }
+  result.x = 0.5 * (a + b);
+  result.fx = f(result.x);
+  result.converged = (b - a) <= xtol;
+  return result;
+}
+
+MinimizeResult nelder_mead(
+    const std::function<double(const std::vector<double>&)>& f,
+    const std::vector<double>& x0, const NelderMeadOptions& options) {
+  const std::size_t n = x0.size();
+  if (n == 0) throw std::invalid_argument("nelder_mead: empty start point");
+
+  MinimizeResult result;
+  result.evaluations = 0;
+
+  auto eval = [&](const std::vector<double>& x) {
+    ++result.evaluations;
+    return f(x);
+  };
+
+  // Initial simplex: x0 plus a displaced vertex per coordinate.
+  std::vector<std::vector<double>> simplex(n + 1, x0);
+  std::vector<double> fvals(n + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    simplex[i + 1][i] +=
+        (x0[i] != 0.0) ? options.initial_step * std::abs(x0[i])
+                       : options.initial_step;
+  }
+  for (std::size_t i = 0; i <= n; ++i) fvals[i] = eval(simplex[i]);
+
+  constexpr double kAlpha = 1.0;   // reflection
+  constexpr double kGamma = 2.0;   // expansion
+  constexpr double kRho = 0.5;     // contraction
+  constexpr double kSigma = 0.5;   // shrink
+
+  std::vector<std::size_t> order(n + 1);
+  while (result.evaluations < options.max_evals) {
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return fvals[a] < fvals[b]; });
+
+    const std::size_t best = order.front();
+    const std::size_t worst = order.back();
+    const std::size_t second_worst = order[n - 1];
+
+    // Convergence: simplex diameter and objective spread both small.
+    double diameter = 0.0;
+    for (std::size_t i = 0; i <= n; ++i) {
+      double dist = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        const double d = simplex[i][j] - simplex[best][j];
+        dist += d * d;
+      }
+      diameter = std::max(diameter, std::sqrt(dist));
+    }
+    if (diameter < options.xtol &&
+        std::abs(fvals[worst] - fvals[best]) < options.ftol) {
+      result.converged = true;
+      break;
+    }
+
+    // Centroid of all but the worst vertex.
+    std::vector<double> centroid(n, 0.0);
+    for (std::size_t i = 0; i <= n; ++i) {
+      if (i == worst) continue;
+      for (std::size_t j = 0; j < n; ++j) centroid[j] += simplex[i][j];
+    }
+    for (auto& c : centroid) c /= static_cast<double>(n);
+
+    auto blend = [&](double coeff) {
+      std::vector<double> x(n);
+      for (std::size_t j = 0; j < n; ++j) {
+        x[j] = centroid[j] + coeff * (centroid[j] - simplex[worst][j]);
+      }
+      return x;
+    };
+
+    const std::vector<double> reflected = blend(kAlpha);
+    const double f_reflected = eval(reflected);
+
+    if (f_reflected < fvals[best]) {
+      const std::vector<double> expanded = blend(kGamma);
+      const double f_expanded = eval(expanded);
+      if (f_expanded < f_reflected) {
+        simplex[worst] = expanded;
+        fvals[worst] = f_expanded;
+      } else {
+        simplex[worst] = reflected;
+        fvals[worst] = f_reflected;
+      }
+      continue;
+    }
+    if (f_reflected < fvals[second_worst]) {
+      simplex[worst] = reflected;
+      fvals[worst] = f_reflected;
+      continue;
+    }
+    const std::vector<double> contracted = blend(-kRho);
+    const double f_contracted = eval(contracted);
+    if (f_contracted < fvals[worst]) {
+      simplex[worst] = contracted;
+      fvals[worst] = f_contracted;
+      continue;
+    }
+    // Shrink towards the best vertex.
+    for (std::size_t i = 0; i <= n; ++i) {
+      if (i == best) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        simplex[i][j] =
+            simplex[best][j] + kSigma * (simplex[i][j] - simplex[best][j]);
+      }
+      fvals[i] = eval(simplex[i]);
+    }
+  }
+
+  const std::size_t best = static_cast<std::size_t>(
+      std::min_element(fvals.begin(), fvals.end()) - fvals.begin());
+  result.x = simplex[best];
+  result.fx = fvals[best];
+  return result;
+}
+
+MinimizeResult coordinate_descent(
+    const std::function<double(const std::vector<double>&)>& f,
+    const std::vector<double>& x0, double initial_step, double min_step,
+    int max_sweeps) {
+  MinimizeResult result;
+  std::vector<double> x = x0;
+  double fx = f(x);
+  ++result.evaluations;
+  double step = initial_step;
+  for (int sweep = 0; sweep < max_sweeps && step >= min_step; ++sweep) {
+    bool improved = false;
+    for (std::size_t j = 0; j < x.size(); ++j) {
+      for (const double direction : {+1.0, -1.0}) {
+        std::vector<double> candidate = x;
+        candidate[j] += direction * step;
+        const double fc = f(candidate);
+        ++result.evaluations;
+        if (fc < fx) {
+          x = std::move(candidate);
+          fx = fc;
+          improved = true;
+          break;
+        }
+      }
+    }
+    if (!improved) step *= 0.5;
+  }
+  result.x = std::move(x);
+  result.fx = fx;
+  result.converged = step < min_step;
+  return result;
+}
+
+}  // namespace wi

@@ -1,0 +1,58 @@
+#pragma once
+/// \file coding_planner.hpp
+/// \brief Selects an LDPC-CC (N, W) configuration under a structural
+///        latency budget — the system-level use of Fig. 10.
+///
+/// The window size W is a pure decoder property: it can be adapted at
+/// run time without touching the encoder, which is exactly the
+/// flexibility the paper advertises. The planner therefore (a) picks the
+/// strongest configuration whose Eq.-4 latency fits the budget and (b)
+/// can re-plan W for an already-deployed code when the budget changes.
+
+#include <cstddef>
+#include <vector>
+
+namespace wi::core {
+
+/// One operating point of a coding scheme (from Fig. 10's curves).
+struct CodingPoint {
+  std::size_t lifting = 0;        ///< N
+  std::size_t window = 0;         ///< W (0 for a block code)
+  double latency_info_bits = 0.0; ///< Eq. 4 / Eq. 5
+  double required_ebn0_db = 0.0;  ///< for the target BER
+  bool block_code = false;
+};
+
+/// Planner over a table of measured operating points.
+class CodingPlanner {
+ public:
+  /// \param points  measured (or benchmarked) operating points
+  explicit CodingPlanner(std::vector<CodingPoint> points);
+
+  /// Built-in table for the paper's (4,8)-regular ensemble (B0=[2,2],
+  /// B1=B2=[1,1]) at BER 1e-5, from our Fig. 10 reproduction run.
+  [[nodiscard]] static CodingPlanner paper_table();
+
+  /// Best point (lowest required Eb/N0) within a latency budget;
+  /// returns nullptr when nothing fits.
+  [[nodiscard]] const CodingPoint* best_within_latency(
+      double max_latency_info_bits) const;
+
+  /// Best point for a fixed, already-deployed code (fixed N): only the
+  /// window may change (decoder-side adaptation).
+  [[nodiscard]] const CodingPoint* best_window_for_lifting(
+      std::size_t lifting, double max_latency_info_bits) const;
+
+  /// Latency saved vs the best block code at equal required Eb/N0
+  /// (the paper's headline: 200 vs 400 info bits at 3 dB).
+  [[nodiscard]] double latency_gain_vs_block_bits(double ebn0_db) const;
+
+  [[nodiscard]] const std::vector<CodingPoint>& points() const {
+    return points_;
+  }
+
+ private:
+  std::vector<CodingPoint> points_;
+};
+
+}  // namespace wi::core

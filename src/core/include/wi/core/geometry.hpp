@@ -1,0 +1,75 @@
+#pragma once
+/// \file geometry.hpp
+/// \brief Physical geometry of a multi-board system with wireless nodes.
+///
+/// The paper's scenario: printed circuit boards (e.g. 10 cm x 10 cm)
+/// stacked in parallel, each carrying a grid of chip-stack nodes with
+/// 4x4 antenna arrays (2 mm x 2 mm) on their interposers. The extreme
+/// links of the two-board case are the "ahead" link (100 mm) and the
+/// "diagonal" link (300 mm) used in Table I / Fig. 4.
+
+#include <cstddef>
+#include <vector>
+
+namespace wi::core {
+
+/// 3D position in millimetres.
+struct Position {
+  double x_mm = 0.0;
+  double y_mm = 0.0;
+  double z_mm = 0.0;
+};
+
+/// Euclidean distance [mm].
+[[nodiscard]] double distance_mm(const Position& a, const Position& b);
+
+/// Off-boresight angle [deg] of the line a->b relative to the board
+/// normal (z axis) — the steering angle an array on a board must serve.
+[[nodiscard]] double boresight_angle_deg(const Position& a,
+                                         const Position& b);
+
+/// One wireless communication node (chip-stack with antenna array).
+struct Node {
+  std::size_t board = 0;   ///< board index
+  Position position;       ///< antenna phase-centre position
+};
+
+/// Parallel-board system geometry.
+class BoardGeometry {
+ public:
+  /// \param boards          number of parallel boards (>= 1)
+  /// \param board_size_mm   square board edge (default 100 mm)
+  /// \param separation_mm   board-to-board spacing (Fig. 4 uses 100 mm)
+  /// \param nodes_per_edge  nodes per board edge (grid)
+  BoardGeometry(std::size_t boards, double board_size_mm,
+                double separation_mm, std::size_t nodes_per_edge);
+
+  [[nodiscard]] std::size_t board_count() const { return boards_; }
+  [[nodiscard]] std::size_t nodes_per_board() const {
+    return nodes_per_edge_ * nodes_per_edge_;
+  }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] const Node& node(std::size_t i) const { return nodes_[i]; }
+  [[nodiscard]] const std::vector<Node>& nodes() const { return nodes_; }
+  [[nodiscard]] double separation_mm() const { return separation_mm_; }
+  [[nodiscard]] double board_size_mm() const { return board_size_mm_; }
+
+  /// Shortest ("ahead") inter-board link distance [mm].
+  [[nodiscard]] double shortest_link_mm() const;
+
+  /// Longest ("diagonal") link distance between adjacent boards [mm].
+  [[nodiscard]] double longest_link_mm() const;
+
+  /// All node index pairs on adjacent boards (candidate wireless links).
+  [[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>>
+  adjacent_board_pairs() const;
+
+ private:
+  std::size_t boards_;
+  double board_size_mm_;
+  double separation_mm_;
+  std::size_t nodes_per_edge_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace wi::core

@@ -1,0 +1,88 @@
+#pragma once
+/// \file hybrid_system.hpp
+/// \brief End-to-end model of the paper's proposal: replace the
+///        backplane bus of a multi-board system with direct wireless
+///        board-to-board links ("take the load off the backplane").
+///
+/// Two system variants are built over identical per-board NoCs:
+///  - backplane baseline: every board bridges through one backplane
+///    spine router; all inter-board traffic funnels through it;
+///  - wireless system: chip-stack nodes carry >200 GHz arrays, giving a
+///    grid of direct links between facing nodes of adjacent boards.
+/// Both are evaluated with the analytic queueing model under a traffic
+/// mix with a configurable inter-board fraction.
+
+#include <cstddef>
+#include <vector>
+
+#include "wi/noc/queueing_model.hpp"
+#include "wi/noc/topology.hpp"
+#include "wi/noc/traffic.hpp"
+
+namespace wi::core {
+
+/// System configuration.
+struct HybridSystemConfig {
+  std::size_t boards = 4;          ///< boards in the box
+  std::size_t mesh_k = 4;          ///< per-board k x k node mesh
+  double inter_board_fraction = 0.3;  ///< share of traffic leaving a board
+  /// Wireless link bandwidth in flits/cycle, normalised to an on-board
+  /// NoC channel = 1.0 (100 Gbit/s per the paper's target).
+  double wireless_bandwidth = 1.0;
+  /// Backplane spine link bandwidth in flits/cycle (a shared bus
+  /// serving whole boards — the aggregation bottleneck the paper wants
+  /// to relieve).
+  double backplane_bandwidth = 2.0;
+  /// Fraction of node positions equipped with an antenna array
+  /// (1.0 = every node has a direct wireless counterpart link).
+  double wireless_node_fraction = 1.0;
+  noc::QueueingModelParams model;
+};
+
+/// Evaluation outcome for one variant.
+struct SystemEvaluation {
+  double zero_load_latency_cycles = 0.0;
+  double saturation_rate = 0.0;  ///< flits/cycle/module capacity
+  double latency_at_low_load = 0.0;   ///< at 0.05 flits/cycle/module
+};
+
+/// Comparison of the two variants.
+struct HybridComparison {
+  SystemEvaluation backplane;
+  SystemEvaluation wireless;
+  double capacity_gain = 0.0;  ///< wireless/backplane saturation ratio
+  double latency_gain = 0.0;   ///< backplane/wireless zero-load ratio
+};
+
+/// Builder/evaluator for the two variants.
+class HybridSystemModel {
+ public:
+  explicit HybridSystemModel(HybridSystemConfig config);
+
+  /// Multi-board topology with a backplane spine.
+  [[nodiscard]] noc::Topology build_backplane_topology() const;
+
+  /// Multi-board topology with direct wireless board-to-board links.
+  [[nodiscard]] noc::Topology build_wireless_topology() const;
+
+  /// Traffic pattern: uniform within a board, uniform across boards for
+  /// the inter-board fraction.
+  [[nodiscard]] noc::TrafficPattern build_traffic() const;
+
+  /// Evaluate one topology under the system traffic.
+  [[nodiscard]] SystemEvaluation evaluate(const noc::Topology& topology) const;
+
+  /// Evaluate both variants and compare.
+  [[nodiscard]] HybridComparison compare() const;
+
+  [[nodiscard]] const HybridSystemConfig& config() const { return config_; }
+
+ private:
+  [[nodiscard]] std::size_t modules_per_board() const {
+    return config_.mesh_k * config_.mesh_k;
+  }
+
+  HybridSystemConfig config_;
+};
+
+}  // namespace wi::core

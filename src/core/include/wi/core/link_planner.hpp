@@ -1,0 +1,65 @@
+#pragma once
+/// \file link_planner.hpp
+/// \brief Plans the wireless board-to-board links of a system: per link
+///        the distance, steering angle, required transmit power (Fig. 4)
+///        and — given a power budget — the achieved SNR and data rate.
+
+#include <vector>
+
+#include "wi/core/geometry.hpp"
+#include "wi/rf/antenna.hpp"
+#include "wi/rf/link_budget.hpp"
+
+namespace wi::core {
+
+/// Beamforming realisation at the nodes.
+enum class Beamforming {
+  kIdealSteering,  ///< continuous beamsteering (ref. [4])
+  kButlerMatrix,   ///< fixed beam set, worst-case mismatch (ref. [5])
+};
+
+/// Planner output per link.
+struct PlannedLink {
+  std::size_t src_node = 0;
+  std::size_t dst_node = 0;
+  double distance_mm = 0.0;
+  double steering_angle_deg = 0.0;
+  double required_ptx_dbm = 0.0;  ///< for the target SNR
+  double snr_db = 0.0;            ///< at the provided power budget
+  double rate_gbps = 0.0;         ///< Shannon rate at snr_db (dual pol)
+};
+
+/// Plans every adjacent-board link of a geometry.
+class WirelessLinkPlanner {
+ public:
+  /// \param budget       link-budget parameters (Table I defaults)
+  /// \param beamforming  ideal steering or Butler matrix
+  WirelessLinkPlanner(rf::LinkBudgetParams budget, Beamforming beamforming);
+
+  /// Required PTX [dBm] for a target SNR over a given distance/angle.
+  /// The Butler inaccuracy is charged only for off-boresight targets
+  /// (the paper charges it on the worst-case links).
+  [[nodiscard]] double required_ptx_dbm(double target_snr_db,
+                                        double distance_mm,
+                                        double steering_angle_deg) const;
+
+  /// SNR [dB] at a given transmit power.
+  [[nodiscard]] double snr_db(double ptx_dbm, double distance_mm,
+                              double steering_angle_deg) const;
+
+  /// Plan all adjacent-board links of a geometry at a fixed transmit
+  /// power and target SNR.
+  [[nodiscard]] std::vector<PlannedLink> plan(const BoardGeometry& geometry,
+                                              double ptx_dbm,
+                                              double target_snr_db) const;
+
+  [[nodiscard]] const rf::LinkBudget& budget() const { return budget_; }
+
+ private:
+  [[nodiscard]] bool charges_butler(double steering_angle_deg) const;
+
+  rf::LinkBudget budget_;
+  Beamforming beamforming_;
+};
+
+}  // namespace wi::core

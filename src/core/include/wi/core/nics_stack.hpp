@@ -1,0 +1,81 @@
+#pragma once
+/// \file nics_stack.hpp
+/// \brief 3D Network-in-Chip-Stack (NiCS) intra-connect model (Sec. IV).
+///
+/// Models a 3D chip stack whose layers are 2D meshes joined by vertical
+/// links of a chosen technology — through-silicon vias, inductive or
+/// capacitive coupling (the paper's two wireless intra-stack options).
+/// Each technology brings its own bandwidth/area trade-off; the TSV area
+/// remark of Sec. IV is modelled by a configurable fraction of router
+/// columns that actually get a vertical link.
+
+#include <cstddef>
+#include <string>
+
+#include "wi/noc/queueing_model.hpp"
+#include "wi/noc/topology.hpp"
+
+namespace wi::core {
+
+/// Vertical interconnect technology.
+enum class VerticalLinkTech {
+  kTsv,        ///< through-silicon via: fast, large area
+  kInductive,  ///< inductive coupling: contactless, moderate bandwidth
+  kCapacitive, ///< capacitive coupling: contactless, short range
+};
+
+/// Technology parameters (bandwidth relative to a planar NoC channel).
+struct VerticalLinkParams {
+  double bandwidth = 1.0;    ///< flits/cycle
+  double area_cost = 1.0;    ///< relative router area for the port
+  std::string name;
+};
+
+/// Reference parameters per technology. Vertical inter-chip links are
+/// expected to offer *more* bandwidth than on-chip wires (Sec. IV), so
+/// TSVs default to 2x.
+[[nodiscard]] VerticalLinkParams vertical_link_params(VerticalLinkTech tech);
+
+/// Stack configuration.
+struct NicsStackConfig {
+  std::size_t layers = 4;          ///< chips in the stack
+  std::size_t mesh_k = 4;          ///< per-layer k x k mesh
+  VerticalLinkTech tech = VerticalLinkTech::kTsv;
+  /// Every `vertical_period`-th router (x+y) column carries a vertical
+  /// link (1 = all; 2 = half; ... the TSV area constraint).
+  std::size_t vertical_period = 1;
+  /// Fraction of traffic that targets the module at the same (x, y) on
+  /// another layer (memory-on-logic style vertical streams); the rest
+  /// is global uniform. Vertical-heavy mixes make the vertical-link
+  /// bandwidth the binding resource.
+  double vertical_traffic_fraction = 0.0;
+  noc::QueueingModelParams model;
+};
+
+/// Builder/evaluator for one chip stack.
+class NicsStackModel {
+ public:
+  explicit NicsStackModel(NicsStackConfig config);
+
+  /// The stack's topology (3D mesh, possibly with sparse verticals).
+  [[nodiscard]] noc::Topology build_topology() const;
+
+  /// Uniform traffic blended with the configured vertical fraction.
+  [[nodiscard]] noc::TrafficPattern build_traffic() const;
+
+  /// Zero-load latency and capacity under uniform traffic.
+  struct StackEvaluation {
+    double zero_load_latency_cycles = 0.0;
+    double saturation_rate = 0.0;
+    double vertical_link_count = 0.0;
+    double area_cost = 0.0;  ///< summed vertical port area
+  };
+  [[nodiscard]] StackEvaluation evaluate() const;
+
+  [[nodiscard]] const NicsStackConfig& config() const { return config_; }
+
+ private:
+  NicsStackConfig config_;
+};
+
+}  // namespace wi::core

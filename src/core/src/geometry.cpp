@@ -1,0 +1,77 @@
+#include "wi/core/geometry.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "wi/common/constants.hpp"
+
+namespace wi::core {
+
+double distance_mm(const Position& a, const Position& b) {
+  const double dx = a.x_mm - b.x_mm;
+  const double dy = a.y_mm - b.y_mm;
+  const double dz = a.z_mm - b.z_mm;
+  return std::sqrt(dx * dx + dy * dy + dz * dz);
+}
+
+double boresight_angle_deg(const Position& a, const Position& b) {
+  const double dx = b.x_mm - a.x_mm;
+  const double dy = b.y_mm - a.y_mm;
+  const double dz = b.z_mm - a.z_mm;
+  const double lateral = std::sqrt(dx * dx + dy * dy);
+  if (lateral == 0.0 && dz == 0.0) return 0.0;
+  return std::atan2(lateral, std::abs(dz)) * 180.0 / kPi;
+}
+
+BoardGeometry::BoardGeometry(std::size_t boards, double board_size_mm,
+                             double separation_mm,
+                             std::size_t nodes_per_edge)
+    : boards_(boards), board_size_mm_(board_size_mm),
+      separation_mm_(separation_mm), nodes_per_edge_(nodes_per_edge) {
+  if (boards == 0 || nodes_per_edge == 0) {
+    throw std::invalid_argument("BoardGeometry: need boards and nodes");
+  }
+  if (!(board_size_mm > 0.0) || !(separation_mm > 0.0)) {
+    throw std::invalid_argument("BoardGeometry: positive dimensions");
+  }
+  // Nodes on a centred grid with half-pitch margins.
+  const double pitch =
+      board_size_mm / static_cast<double>(nodes_per_edge);
+  for (std::size_t b = 0; b < boards; ++b) {
+    for (std::size_t j = 0; j < nodes_per_edge; ++j) {
+      for (std::size_t i = 0; i < nodes_per_edge; ++i) {
+        Node node;
+        node.board = b;
+        node.position = {pitch * (0.5 + static_cast<double>(i)),
+                         pitch * (0.5 + static_cast<double>(j)),
+                         separation_mm * static_cast<double>(b)};
+        nodes_.push_back(node);
+      }
+    }
+  }
+}
+
+double BoardGeometry::shortest_link_mm() const { return separation_mm_; }
+
+double BoardGeometry::longest_link_mm() const {
+  // Opposite corners of adjacent boards.
+  const double pitch =
+      board_size_mm_ / static_cast<double>(nodes_per_edge_);
+  const double span = board_size_mm_ - pitch;  // first to last node
+  return std::sqrt(2.0 * span * span + separation_mm_ * separation_mm_);
+}
+
+std::vector<std::pair<std::size_t, std::size_t>>
+BoardGeometry::adjacent_board_pairs() const {
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  for (std::size_t a = 0; a < nodes_.size(); ++a) {
+    for (std::size_t b = 0; b < nodes_.size(); ++b) {
+      if (nodes_[b].board == nodes_[a].board + 1) {
+        pairs.emplace_back(a, b);
+      }
+    }
+  }
+  return pairs;
+}
+
+}  // namespace wi::core

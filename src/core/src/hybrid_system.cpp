@@ -1,0 +1,154 @@
+#include "wi/core/hybrid_system.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wi::core {
+
+HybridSystemModel::HybridSystemModel(HybridSystemConfig config)
+    : config_(config) {
+  if (config_.boards < 2 || config_.mesh_k == 0) {
+    throw std::invalid_argument("HybridSystemModel: >= 2 boards, k >= 1");
+  }
+  if (config_.inter_board_fraction < 0.0 ||
+      config_.inter_board_fraction > 1.0 ||
+      config_.wireless_node_fraction < 0.0 ||
+      config_.wireless_node_fraction > 1.0) {
+    throw std::invalid_argument("HybridSystemModel: fractions in [0,1]");
+  }
+}
+
+namespace {
+
+/// Adds a k x k board mesh at layer z; returns the board's router base
+/// index. Boards are stacked along z so coordinates stay unique.
+std::size_t add_board(noc::Topology& topo, std::size_t k, int z) {
+  const std::size_t base = topo.router_count();
+  for (std::size_t y = 0; y < k; ++y) {
+    for (std::size_t x = 0; x < k; ++x) {
+      topo.add_router({static_cast<int>(x), static_cast<int>(y), z});
+    }
+  }
+  auto idx = [&](std::size_t x, std::size_t y) { return base + y * k + x; };
+  for (std::size_t y = 0; y < k; ++y) {
+    for (std::size_t x = 0; x < k; ++x) {
+      if (x + 1 < k) {
+        topo.add_link({idx(x, y), idx(x + 1, y), 1.0, 1.0, false});
+        topo.add_link({idx(x + 1, y), idx(x, y), 1.0, 1.0, false});
+      }
+      if (y + 1 < k) {
+        topo.add_link({idx(x, y), idx(x, y + 1), 1.0, 1.0, false});
+        topo.add_link({idx(x, y + 1), idx(x, y), 1.0, 1.0, false});
+      }
+    }
+  }
+  for (std::size_t m = 0; m < k * k; ++m) topo.attach_module(base + m);
+  return base;
+}
+
+}  // namespace
+
+noc::Topology HybridSystemModel::build_backplane_topology() const {
+  const std::size_t k = config_.mesh_k;
+  noc::Topology topo("Backplane system", k, k,
+                     config_.boards + 1 /* spine layer */);
+  std::vector<std::size_t> bases;
+  for (std::size_t b = 0; b < config_.boards; ++b) {
+    bases.push_back(add_board(topo, k, static_cast<int>(b)));
+  }
+  // Backplane spine: one bridge router per board, chained. The bridge
+  // is the board's edge connector: every router of row y = 0 has a
+  // trace to it, so the spine links (not the board entry) are the
+  // backplane's capacity limit.
+  std::vector<std::size_t> bridges;
+  for (std::size_t b = 0; b < config_.boards; ++b) {
+    const std::size_t bridge = topo.add_router(
+        {-1, 0, static_cast<int>(b)});
+    bridges.push_back(bridge);
+    for (std::size_t x = 0; x < k; ++x) {
+      const std::size_t edge_router = bases[b] + x;  // row y = 0
+      topo.add_link({edge_router, bridge, 1.0, 20.0, false});
+      topo.add_link({bridge, edge_router, 1.0, 20.0, false});
+    }
+  }
+  for (std::size_t b = 0; b + 1 < config_.boards; ++b) {
+    topo.add_link({bridges[b], bridges[b + 1], config_.backplane_bandwidth,
+                   25.0, false});
+    topo.add_link({bridges[b + 1], bridges[b], config_.backplane_bandwidth,
+                   25.0, false});
+  }
+  return topo;
+}
+
+noc::Topology HybridSystemModel::build_wireless_topology() const {
+  const std::size_t k = config_.mesh_k;
+  noc::Topology topo("Wireless system", k, k, config_.boards);
+  std::vector<std::size_t> bases;
+  for (std::size_t b = 0; b < config_.boards; ++b) {
+    bases.push_back(add_board(topo, k, static_cast<int>(b)));
+  }
+  // Direct wireless links between facing nodes of adjacent boards.
+  // A fraction of node positions carries an array; positions are taken
+  // in row-major order (deterministic, testable).
+  const std::size_t per_board = modules_per_board();
+  const auto equipped = static_cast<std::size_t>(
+      std::ceil(config_.wireless_node_fraction *
+                static_cast<double>(per_board)));
+  for (std::size_t b = 0; b + 1 < config_.boards; ++b) {
+    for (std::size_t m = 0; m < equipped; ++m) {
+      const std::size_t lower = bases[b] + m;
+      const std::size_t upper = bases[b + 1] + m;
+      topo.add_link({lower, upper, config_.wireless_bandwidth, 100.0, true});
+      topo.add_link({upper, lower, config_.wireless_bandwidth, 100.0, true});
+    }
+  }
+  return topo;
+}
+
+noc::TrafficPattern HybridSystemModel::build_traffic() const {
+  const std::size_t per_board = modules_per_board();
+  const std::size_t modules = per_board * config_.boards;
+  std::vector<double> matrix(modules * modules, 0.0);
+  for (std::size_t s = 0; s < modules; ++s) {
+    const std::size_t sb = s / per_board;
+    for (std::size_t d = 0; d < modules; ++d) {
+      if (s == d) continue;
+      const std::size_t db = d / per_board;
+      if (sb == db) {
+        matrix[s * modules + d] =
+            (1.0 - config_.inter_board_fraction) /
+            static_cast<double>(per_board - 1);
+      } else {
+        matrix[s * modules + d] =
+            config_.inter_board_fraction /
+            static_cast<double>(modules - per_board);
+      }
+    }
+  }
+  return noc::TrafficPattern(std::move(matrix), modules);
+}
+
+SystemEvaluation HybridSystemModel::evaluate(
+    const noc::Topology& topology) const {
+  const noc::ShortestPathRouting routing;
+  const noc::TrafficPattern traffic = build_traffic();
+  const noc::QueueingModel model(topology, routing, traffic, config_.model);
+  SystemEvaluation eval;
+  eval.zero_load_latency_cycles = model.zero_load_latency_cycles();
+  eval.saturation_rate = model.saturation_rate();
+  eval.latency_at_low_load = model.evaluate(0.05).mean_latency_cycles;
+  return eval;
+}
+
+HybridComparison HybridSystemModel::compare() const {
+  HybridComparison cmp;
+  cmp.backplane = evaluate(build_backplane_topology());
+  cmp.wireless = evaluate(build_wireless_topology());
+  cmp.capacity_gain =
+      cmp.wireless.saturation_rate / cmp.backplane.saturation_rate;
+  cmp.latency_gain = cmp.backplane.zero_load_latency_cycles /
+                     cmp.wireless.zero_load_latency_cycles;
+  return cmp;
+}
+
+}  // namespace wi::core

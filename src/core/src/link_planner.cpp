@@ -1,0 +1,56 @@
+#include "wi/core/link_planner.hpp"
+
+#include <cmath>
+
+namespace wi::core {
+
+WirelessLinkPlanner::WirelessLinkPlanner(rf::LinkBudgetParams budget,
+                                         Beamforming beamforming)
+    : budget_(budget), beamforming_(beamforming) {}
+
+bool WirelessLinkPlanner::charges_butler(double steering_angle_deg) const {
+  // Boresight targets hit a Butler beam centre; only steered links pay
+  // the direction mismatch (the paper: "only the worst-case links suffer
+  // from the butler matrix realization").
+  return beamforming_ == Beamforming::kButlerMatrix &&
+         std::abs(steering_angle_deg) > 5.0;
+}
+
+double WirelessLinkPlanner::required_ptx_dbm(double target_snr_db,
+                                             double distance_mm,
+                                             double steering_angle_deg) const {
+  return budget_.required_tx_power_dbm(target_snr_db, distance_mm * 1e-3,
+                                       charges_butler(steering_angle_deg));
+}
+
+double WirelessLinkPlanner::snr_db(double ptx_dbm, double distance_mm,
+                                   double steering_angle_deg) const {
+  return budget_.snr_db(ptx_dbm, distance_mm * 1e-3,
+                        charges_butler(steering_angle_deg));
+}
+
+std::vector<PlannedLink> WirelessLinkPlanner::plan(
+    const BoardGeometry& geometry, double ptx_dbm,
+    double target_snr_db) const {
+  std::vector<PlannedLink> links;
+  for (const auto& [a, b] : geometry.adjacent_board_pairs()) {
+    PlannedLink link;
+    link.src_node = a;
+    link.dst_node = b;
+    link.distance_mm =
+        distance_mm(geometry.node(a).position, geometry.node(b).position);
+    link.steering_angle_deg = boresight_angle_deg(
+        geometry.node(a).position, geometry.node(b).position);
+    link.required_ptx_dbm = required_ptx_dbm(
+        target_snr_db, link.distance_mm, link.steering_angle_deg);
+    link.snr_db =
+        snr_db(ptx_dbm, link.distance_mm, link.steering_angle_deg);
+    link.rate_gbps =
+        budget_.shannon_rate_bps(link.snr_db, /*dual_polarization=*/true) /
+        1e9;
+    links.push_back(link);
+  }
+  return links;
+}
+
+}  // namespace wi::core

@@ -1,0 +1,85 @@
+#include "wi/core/nics_stack.hpp"
+
+#include <stdexcept>
+
+#include "wi/noc/routing.hpp"
+#include "wi/noc/traffic.hpp"
+
+namespace wi::core {
+
+VerticalLinkParams vertical_link_params(VerticalLinkTech tech) {
+  switch (tech) {
+    case VerticalLinkTech::kTsv:
+      return {2.0, 4.0, "TSV"};
+    case VerticalLinkTech::kInductive:
+      return {1.0, 1.5, "inductive"};
+    case VerticalLinkTech::kCapacitive:
+      return {0.75, 1.0, "capacitive"};
+  }
+  throw std::logic_error("vertical_link_params: unknown technology");
+}
+
+NicsStackModel::NicsStackModel(NicsStackConfig config) : config_(config) {
+  if (config_.layers == 0 || config_.mesh_k == 0 ||
+      config_.vertical_period == 0) {
+    throw std::invalid_argument("NicsStackModel: positive dimensions");
+  }
+  if (config_.vertical_traffic_fraction < 0.0 ||
+      config_.vertical_traffic_fraction > 1.0) {
+    throw std::invalid_argument("NicsStackModel: fraction in [0,1]");
+  }
+}
+
+noc::Topology NicsStackModel::build_topology() const {
+  const VerticalLinkParams params = vertical_link_params(config_.tech);
+  return noc::Topology::partial_vertical_mesh_3d(
+      config_.mesh_k, config_.mesh_k, config_.layers,
+      config_.vertical_period, params.bandwidth);
+}
+
+noc::TrafficPattern NicsStackModel::build_traffic() const {
+  const std::size_t per_layer = config_.mesh_k * config_.mesh_k;
+  const std::size_t modules = per_layer * config_.layers;
+  const double vertical = config_.vertical_traffic_fraction;
+  std::vector<double> matrix(modules * modules, 0.0);
+  for (std::size_t s = 0; s < modules; ++s) {
+    const std::size_t column = s % per_layer;  // same (x, y) stack
+    for (std::size_t d = 0; d < modules; ++d) {
+      if (s == d) continue;
+      double p = (1.0 - vertical) / static_cast<double>(modules - 1);
+      if (d % per_layer == column) {
+        p += vertical / static_cast<double>(config_.layers - 1);
+      }
+      matrix[s * modules + d] = p;
+    }
+  }
+  return noc::TrafficPattern(std::move(matrix), modules);
+}
+
+NicsStackModel::StackEvaluation NicsStackModel::evaluate() const {
+  const noc::Topology topo = build_topology();
+  // Dimension-order routing on the full mesh keeps channel loads
+  // balanced; irregular (sparse-vertical) stacks need shortest-path.
+  const noc::DimensionOrderRouting dor;
+  const noc::ShortestPathRouting spr;
+  const noc::Routing& routing =
+      (config_.vertical_period == 1)
+          ? static_cast<const noc::Routing&>(dor)
+          : static_cast<const noc::Routing&>(spr);
+  const noc::TrafficPattern traffic = build_traffic();
+  const noc::QueueingModel model(topo, routing, traffic, config_.model);
+
+  StackEvaluation eval;
+  eval.zero_load_latency_cycles = model.zero_load_latency_cycles();
+  eval.saturation_rate = model.saturation_rate();
+  const VerticalLinkParams params = vertical_link_params(config_.tech);
+  for (const auto& link : topo.links()) {
+    if (link.vertical) {
+      eval.vertical_link_count += 0.5;  // directed pairs count once
+      eval.area_cost += 0.5 * params.area_cost;
+    }
+  }
+  return eval;
+}
+
+}  // namespace wi::core

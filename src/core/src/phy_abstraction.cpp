@@ -1,0 +1,94 @@
+#include "wi/core/phy_abstraction.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "wi/common/math.hpp"
+#include "wi/comm/info_rate.hpp"
+
+namespace wi::core {
+
+namespace {
+
+comm::IsiFilter filter_for(PhyReceiver receiver) {
+  switch (receiver) {
+    case PhyReceiver::kOneBitSequence:
+      return comm::paper_filter_sequence();
+    case PhyReceiver::kOneBitSymbolwise:
+      return comm::paper_filter_symbolwise();
+    default:
+      return comm::IsiFilter::rectangular(5);
+  }
+}
+
+}  // namespace
+
+PhyAbstraction::PhyAbstraction(PhyReceiver receiver, double bandwidth_hz,
+                               std::size_t polarizations)
+    : receiver_(receiver), bandwidth_hz_(bandwidth_hz),
+      polarizations_(polarizations) {
+  snr_grid_db_ = linspace(-5.0, 35.0, 17);
+  rate_bpcu_.reserve(snr_grid_db_.size());
+  const comm::Constellation constellation = comm::Constellation::ask(4);
+  for (const double snr : snr_grid_db_) {
+    double rate = 0.0;
+    switch (receiver_) {
+      case PhyReceiver::kUnquantized:
+        rate = comm::mi_unquantized_awgn(constellation, snr);
+        break;
+      case PhyReceiver::kOneBitSymbolwise: {
+        const comm::OneBitOsChannel channel(filter_for(receiver_),
+                                            constellation, snr);
+        rate = comm::mi_one_bit_symbolwise(channel);
+        break;
+      }
+      case PhyReceiver::kOneBitSequence:
+      case PhyReceiver::kOneBitRect: {
+        const comm::OneBitOsChannel channel(filter_for(receiver_),
+                                            constellation, snr);
+        comm::SequenceRateOptions options;
+        options.symbols = 20000;  // fast, ±0.03 bpcu is plenty here
+        rate = comm::info_rate_one_bit_sequence(channel, options);
+        break;
+      }
+    }
+    rate_bpcu_.push_back(rate);
+  }
+  // Enforce monotonicity (Monte-Carlo jitter) so required_snr_db is
+  // well defined.
+  for (std::size_t i = 1; i < rate_bpcu_.size(); ++i) {
+    rate_bpcu_[i] = std::max(rate_bpcu_[i], rate_bpcu_[i - 1]);
+  }
+}
+
+double PhyAbstraction::info_rate_bpcu(double snr_db) const {
+  return interp_linear(snr_grid_db_, rate_bpcu_, snr_db);
+}
+
+double PhyAbstraction::link_rate_gbps(double snr_db) const {
+  return info_rate_bpcu(snr_db) * bandwidth_hz_ *
+         static_cast<double>(polarizations_) / 1e9;
+}
+
+double PhyAbstraction::required_snr_db(double target_gbps) const {
+  const double target_bpcu =
+      target_gbps * 1e9 /
+      (bandwidth_hz_ * static_cast<double>(polarizations_));
+  if (target_bpcu > rate_bpcu_.back()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  // Invert the monotone piecewise-linear curve.
+  for (std::size_t i = 1; i < snr_grid_db_.size(); ++i) {
+    if (rate_bpcu_[i] >= target_bpcu) {
+      const double r0 = rate_bpcu_[i - 1];
+      const double r1 = rate_bpcu_[i];
+      if (r1 == r0) return snr_grid_db_[i];
+      const double t = (target_bpcu - r0) / (r1 - r0);
+      return snr_grid_db_[i - 1] +
+             t * (snr_grid_db_[i] - snr_grid_db_[i - 1]);
+    }
+  }
+  return snr_grid_db_.back();
+}
+
+}  // namespace wi::core

@@ -1,0 +1,44 @@
+#pragma once
+/// \file filter.hpp
+/// \brief FIR filtering, resampling and pulse-shaping primitives.
+///
+/// The 1-bit oversampling study (Fig. 5–6) models intersymbol interference
+/// as an FIR filter sampled at the oversampling rate; these helpers apply
+/// such filters to symbol sequences.
+
+#include <cstddef>
+#include <vector>
+
+namespace wi::dsp {
+
+/// Direct-form FIR filter y[n] = sum_k h[k] x[n-k] (zero initial state).
+/// Output has the same length as the input (tail truncated).
+[[nodiscard]] std::vector<double> fir_filter(const std::vector<double>& taps,
+                                             const std::vector<double>& x);
+
+/// Insert (factor-1) zeros between samples (expander).
+[[nodiscard]] std::vector<double> upsample(const std::vector<double>& x,
+                                           std::size_t factor);
+
+/// Keep every factor-th sample starting at the given offset.
+[[nodiscard]] std::vector<double> downsample(const std::vector<double>& x,
+                                             std::size_t factor,
+                                             std::size_t offset = 0);
+
+/// Rectangular pulse of `samples_per_symbol` unit taps (amplitude keeps
+/// unit symbol energy when scaled by 1/samples_per_symbol outside).
+[[nodiscard]] std::vector<double> rectangular_pulse(
+    std::size_t samples_per_symbol);
+
+/// Root-raised-cosine pulse (span in symbols, oversampling factor,
+/// roll-off in [0,1]); normalised to unit energy.
+[[nodiscard]] std::vector<double> root_raised_cosine(
+    std::size_t span_symbols, std::size_t samples_per_symbol, double rolloff);
+
+/// Energy (sum of squares) of a tap vector.
+[[nodiscard]] double energy(const std::vector<double>& taps);
+
+/// Scale taps to unit energy (no-op on an all-zero vector).
+[[nodiscard]] std::vector<double> normalize_energy(std::vector<double> taps);
+
+}  // namespace wi::dsp

@@ -1,0 +1,29 @@
+#pragma once
+/// \file peaks.hpp
+/// \brief Peak detection on magnitude profiles.
+///
+/// Used to identify reflection taps in synthetic impulse responses
+/// (Fig. 2/3): the paper's claim is that every reflection stays at least
+/// 15 dB below the line-of-sight tap.
+
+#include <cstddef>
+#include <vector>
+
+namespace wi::dsp {
+
+/// A detected local maximum.
+struct Peak {
+  std::size_t index = 0;  ///< sample index
+  double value = 0.0;     ///< amplitude at the peak
+};
+
+/// Local maxima of x that exceed `min_value` and are separated by at
+/// least `min_distance` samples (greedy, strongest first).
+[[nodiscard]] std::vector<Peak> find_peaks(const std::vector<double>& x,
+                                           double min_value,
+                                           std::size_t min_distance);
+
+/// Index of the global maximum (0 for an empty vector).
+[[nodiscard]] std::size_t argmax(const std::vector<double>& x);
+
+}  // namespace wi::dsp

@@ -1,0 +1,30 @@
+#pragma once
+/// \file window.hpp
+/// \brief Spectral windows and time gating for the VNA post-processing.
+///
+/// The synthetic channel sounder applies a window to the frequency sweep
+/// before the inverse transform to suppress sidelobes of the band-limited
+/// impulse response, mirroring standard VNA time-domain practice.
+
+#include <cstddef>
+#include <vector>
+
+namespace wi::dsp {
+
+enum class WindowKind {
+  kRectangular,  ///< no shaping
+  kHann,         ///< raised cosine
+  kHamming,      ///< 0.54/0.46 variant
+  kBlackman,     ///< three-term, lower sidelobes
+};
+
+/// Window taps of the requested length (symmetric definition).
+[[nodiscard]] std::vector<double> make_window(WindowKind kind, std::size_t n);
+
+/// Zero out samples outside [start, stop) — crude time gate used to
+/// isolate the line-of-sight tap in impulse responses.
+[[nodiscard]] std::vector<double> time_gate(std::vector<double> x,
+                                            std::size_t start,
+                                            std::size_t stop);
+
+}  // namespace wi::dsp

@@ -1,0 +1,93 @@
+#include "wi/dsp/filter.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "wi/common/constants.hpp"
+
+namespace wi::dsp {
+
+std::vector<double> fir_filter(const std::vector<double>& taps,
+                               const std::vector<double>& x) {
+  std::vector<double> y(x.size(), 0.0);
+  for (std::size_t n = 0; n < x.size(); ++n) {
+    double acc = 0.0;
+    const std::size_t kmax = std::min(taps.size(), n + 1);
+    for (std::size_t k = 0; k < kmax; ++k) {
+      acc += taps[k] * x[n - k];
+    }
+    y[n] = acc;
+  }
+  return y;
+}
+
+std::vector<double> upsample(const std::vector<double>& x,
+                             std::size_t factor) {
+  if (factor == 0) throw std::invalid_argument("upsample: factor must be > 0");
+  std::vector<double> y(x.size() * factor, 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i) y[i * factor] = x[i];
+  return y;
+}
+
+std::vector<double> downsample(const std::vector<double>& x,
+                               std::size_t factor, std::size_t offset) {
+  if (factor == 0) {
+    throw std::invalid_argument("downsample: factor must be > 0");
+  }
+  std::vector<double> y;
+  y.reserve(x.size() / factor + 1);
+  for (std::size_t i = offset; i < x.size(); i += factor) y.push_back(x[i]);
+  return y;
+}
+
+std::vector<double> rectangular_pulse(std::size_t samples_per_symbol) {
+  return std::vector<double>(samples_per_symbol, 1.0);
+}
+
+std::vector<double> root_raised_cosine(std::size_t span_symbols,
+                                       std::size_t samples_per_symbol,
+                                       double rolloff) {
+  if (rolloff < 0.0 || rolloff > 1.0) {
+    throw std::invalid_argument("root_raised_cosine: rolloff in [0,1]");
+  }
+  const std::size_t n = span_symbols * samples_per_symbol + 1;
+  std::vector<double> h(n);
+  const double mid = static_cast<double>(n - 1) / 2.0;
+  const double sps = static_cast<double>(samples_per_symbol);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = (static_cast<double>(i) - mid) / sps;  // in symbols
+    double value = 0.0;
+    const double beta = rolloff;
+    if (std::abs(t) < 1e-12) {
+      value = 1.0 + beta * (4.0 / kPi - 1.0);
+    } else if (beta > 0.0 &&
+               std::abs(std::abs(t) - 1.0 / (4.0 * beta)) < 1e-9) {
+      const double a = (1.0 + 2.0 / kPi) * std::sin(kPi / (4.0 * beta));
+      const double b = (1.0 - 2.0 / kPi) * std::cos(kPi / (4.0 * beta));
+      value = beta / std::sqrt(2.0) * (a + b);
+    } else {
+      const double num = std::sin(kPi * t * (1.0 - beta)) +
+                         4.0 * beta * t * std::cos(kPi * t * (1.0 + beta));
+      const double den = kPi * t * (1.0 - std::pow(4.0 * beta * t, 2.0));
+      value = num / den;
+    }
+    h[i] = value;
+  }
+  return normalize_energy(std::move(h));
+}
+
+double energy(const std::vector<double>& taps) {
+  double e = 0.0;
+  for (const double t : taps) e += t * t;
+  return e;
+}
+
+std::vector<double> normalize_energy(std::vector<double> taps) {
+  const double e = energy(taps);
+  if (e <= 0.0) return taps;
+  const double scale = 1.0 / std::sqrt(e);
+  for (auto& t : taps) t *= scale;
+  return taps;
+}
+
+}  // namespace wi::dsp

@@ -1,0 +1,40 @@
+#include "wi/dsp/peaks.hpp"
+
+#include <algorithm>
+
+namespace wi::dsp {
+
+std::vector<Peak> find_peaks(const std::vector<double>& x, double min_value,
+                             std::size_t min_distance) {
+  std::vector<Peak> candidates;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const bool left_ok = (i == 0) || (x[i] >= x[i - 1]);
+    const bool right_ok = (i + 1 == x.size()) || (x[i] > x[i + 1]);
+    if (left_ok && right_ok && x[i] >= min_value) {
+      candidates.push_back({i, x[i]});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Peak& a, const Peak& b) { return a.value > b.value; });
+  std::vector<Peak> selected;
+  for (const auto& c : candidates) {
+    const bool too_close = std::any_of(
+        selected.begin(), selected.end(), [&](const Peak& s) {
+          const std::size_t lo = std::min(s.index, c.index);
+          const std::size_t hi = std::max(s.index, c.index);
+          return hi - lo < min_distance;
+        });
+    if (!too_close) selected.push_back(c);
+  }
+  std::sort(selected.begin(), selected.end(),
+            [](const Peak& a, const Peak& b) { return a.index < b.index; });
+  return selected;
+}
+
+std::size_t argmax(const std::vector<double>& x) {
+  if (x.empty()) return 0;
+  return static_cast<std::size_t>(
+      std::max_element(x.begin(), x.end()) - x.begin());
+}
+
+}  // namespace wi::dsp

@@ -1,0 +1,83 @@
+#pragma once
+/// \file base_matrix.hpp
+/// \brief Protograph base matrices and edge spreading (Eqs. 2 and 3).
+///
+/// A protograph with nc check and nv variable nodes is represented by its
+/// bi-adjacency (base) matrix B of edge multiplicities. An LDPC
+/// convolutional code spreads the edges of B over component matrices
+/// B_0..B_mcc with sum_i B_i = B (Eq. 2); terminating after L time
+/// instants yields the convolutional protograph B_[1,L] of Eq. 3.
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace wi::fec {
+
+/// Dense small integer matrix of edge multiplicities.
+class BaseMatrix {
+ public:
+  BaseMatrix() = default;
+  /// All-`fill` matrix of the given shape.
+  [[nodiscard]] static BaseMatrix zeros(std::size_t rows, std::size_t cols);
+  /// From a row-major initialiser, e.g. {{2,2}} for B0 = [2,2].
+  explicit BaseMatrix(const std::vector<std::vector<int>>& rows);
+  /// Brace-friendly overload: BaseMatrix({{4, 4}}).
+  BaseMatrix(std::initializer_list<std::vector<int>> rows);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] int at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+  int& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+
+  /// Element-wise sum; dimensions must match.
+  [[nodiscard]] BaseMatrix operator+(const BaseMatrix& other) const;
+  [[nodiscard]] bool operator==(const BaseMatrix& other) const;
+
+  /// Total number of edges.
+  [[nodiscard]] int edge_count() const;
+
+  /// Row degrees (check degrees) and column degrees (variable degrees).
+  [[nodiscard]] std::vector<int> row_degrees() const;
+  [[nodiscard]] std::vector<int> col_degrees() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<int> data_;
+};
+
+/// Edge spreading B -> (B_0, ..., B_mcc).
+class EdgeSpreading {
+ public:
+  /// \param components  B_0 first; all the same shape; at least one.
+  explicit EdgeSpreading(std::vector<BaseMatrix> components);
+
+  /// The paper's running example: B = [4,4] split as B0 = [2,2],
+  /// B1 = B2 = [1,1] ((4,8)-regular, mcc = 2, rate 1/2).
+  [[nodiscard]] static EdgeSpreading paper_example();
+
+  [[nodiscard]] std::size_t mcc() const { return components_.size() - 1; }
+  [[nodiscard]] std::size_t nc() const { return components_[0].rows(); }
+  [[nodiscard]] std::size_t nv() const { return components_[0].cols(); }
+  [[nodiscard]] const BaseMatrix& component(std::size_t i) const {
+    return components_[i];
+  }
+
+  /// sum_i B_i (must equal the original B per Eq. 2).
+  [[nodiscard]] BaseMatrix total() const;
+
+  /// Validates Eq. 2 against a target base matrix.
+  [[nodiscard]] bool is_valid_spreading_of(const BaseMatrix& base) const;
+
+  /// Convolutional protograph B_[1,L] of Eq. 3:
+  /// ((L + mcc) nc) x (L nv) with component i at block row t+i, column t.
+  [[nodiscard]] BaseMatrix coupled_protograph(std::size_t termination) const;
+
+ private:
+  std::vector<BaseMatrix> components_;
+};
+
+}  // namespace wi::fec

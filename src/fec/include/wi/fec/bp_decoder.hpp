@@ -1,0 +1,58 @@
+#pragma once
+/// \file bp_decoder.hpp
+/// \brief Belief-propagation decoding (sum-product and normalised
+///        min-sum) on a Tanner graph, with optional per-check parity
+///        targets so a window decoder can freeze already-decoded symbols.
+
+#include <cstdint>
+#include <vector>
+
+#include "wi/fec/sparse_matrix.hpp"
+
+namespace wi::fec {
+
+/// Decoder settings.
+struct BpOptions {
+  int max_iterations = 50;
+  bool min_sum = false;          ///< normalised min-sum instead of tanh
+  double min_sum_scale = 0.75;   ///< normalisation factor
+  bool early_stop = true;        ///< stop when the syndrome matches
+  double llr_clip = 30.0;        ///< message clipping for stability
+};
+
+/// Decoding outcome.
+struct BpResult {
+  std::vector<std::uint8_t> hard;  ///< hard decisions per variable
+  std::vector<double> llr_out;     ///< posterior LLRs
+  int iterations = 0;              ///< iterations actually run
+  bool converged = false;          ///< syndrome satisfied
+};
+
+/// Flooding-schedule BP decoder bound to a parity-check matrix.
+///
+/// The LLR convention is positive = bit 0 more likely.
+class BpDecoder {
+ public:
+  explicit BpDecoder(const SparseBinaryMatrix& h);
+
+  /// Decode channel LLRs. `check_parity` (optional) gives a target
+  /// parity per check (default all zero); used to absorb the known
+  /// contribution of frozen variables outside a decoding window.
+  [[nodiscard]] BpResult decode(
+      const std::vector<double>& channel_llr, const BpOptions& options = {},
+      const std::vector<std::uint8_t>* check_parity = nullptr) const;
+
+  [[nodiscard]] std::size_t variable_count() const { return n_vars_; }
+  [[nodiscard]] std::size_t check_count() const { return n_checks_; }
+
+ private:
+  std::size_t n_vars_;
+  std::size_t n_checks_;
+  // Edge arrays: edges are grouped by check; per edge the variable it
+  // touches, plus per variable the list of its edge ids.
+  std::vector<std::uint32_t> check_edge_begin_;  ///< size n_checks+1
+  std::vector<std::uint32_t> edge_var_;          ///< size n_edges
+  std::vector<std::vector<std::uint32_t>> var_edges_;
+};
+
+}  // namespace wi::fec

@@ -1,0 +1,53 @@
+#pragma once
+/// \file encoder.hpp
+/// \brief Systematic LDPC encoder via Gaussian elimination over GF(2).
+///
+/// Works for any parity-check matrix (block codes and terminated
+/// convolutional codes alike): the elimination identifies an information
+/// set (the non-pivot columns) and expresses every pivot bit as a parity
+/// of information bits. Performance studies use the all-zero codeword
+/// (the channel and decoder are symmetric), so this encoder mainly backs
+/// functional tests and the examples.
+
+#include <cstdint>
+#include <vector>
+
+#include "wi/fec/sparse_matrix.hpp"
+
+namespace wi::fec {
+
+/// GF(2) Gaussian-elimination encoder.
+class GaussianEncoder {
+ public:
+  explicit GaussianEncoder(const SparseBinaryMatrix& h);
+
+  /// Rank of H (= number of dependent/pivot bit positions).
+  [[nodiscard]] std::size_t rank() const { return pivot_cols_.size(); }
+
+  /// Number of free information bits (n - rank).
+  [[nodiscard]] std::size_t info_length() const {
+    return n_cols_ - pivot_cols_.size();
+  }
+
+  /// Codeword length n.
+  [[nodiscard]] std::size_t block_length() const { return n_cols_; }
+
+  /// Columns carrying information bits, ascending.
+  [[nodiscard]] const std::vector<std::size_t>& info_positions() const {
+    return info_cols_;
+  }
+
+  /// Encode: place `info` at the information positions, solve the pivot
+  /// positions so that H x = 0. info.size() must equal info_length().
+  [[nodiscard]] std::vector<std::uint8_t> encode(
+      const std::vector<std::uint8_t>& info) const;
+
+ private:
+  std::size_t n_cols_;
+  std::size_t words_per_row_;
+  std::vector<std::size_t> pivot_cols_;  ///< pivot column per RREF row
+  std::vector<std::size_t> info_cols_;   ///< non-pivot columns
+  std::vector<std::uint64_t> rref_;      ///< RREF rows, bit-packed
+};
+
+}  // namespace wi::fec

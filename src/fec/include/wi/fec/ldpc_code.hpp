@@ -1,0 +1,93 @@
+#pragma once
+/// \file ldpc_code.hpp
+/// \brief Quasi-cyclic lifted LDPC block and convolutional codes.
+///
+/// Every 1 in the (convolutional) protograph is replaced by an N x N
+/// permutation matrix (Sec. V-A); we use circulant permutations, with an
+/// entry of multiplicity e realised as e distinct circulant shifts.
+/// LDPC-CC liftings are time-invariant: the same shift set is reused at
+/// every time instant, so the terminated parity-check matrix (Eq. 3)
+/// inherits the convolutional structure.
+
+#include <cstdint>
+#include <vector>
+
+#include "wi/fec/base_matrix.hpp"
+#include "wi/fec/sparse_matrix.hpp"
+
+namespace wi::fec {
+
+/// Circulant shifts for one protograph entry (one shift per edge).
+using ShiftSet = std::vector<std::size_t>;
+
+/// QC-LDPC block code: lifted protograph.
+class QcLdpcBlockCode {
+ public:
+  /// Random distinct shifts per edge, seeded; among `girth_trials`
+  /// candidate liftings the one with the largest Tanner girth is kept.
+  QcLdpcBlockCode(const BaseMatrix& base, std::size_t lifting,
+                  std::uint64_t seed = 1, int girth_trials = 8);
+
+  [[nodiscard]] const SparseBinaryMatrix& parity_check() const { return h_; }
+  [[nodiscard]] const BaseMatrix& base() const { return base_; }
+  [[nodiscard]] std::size_t lifting() const { return lifting_; }
+  [[nodiscard]] std::size_t block_length() const { return h_.cols(); }
+  [[nodiscard]] std::size_t check_count() const { return h_.rows(); }
+
+  /// 1 - nc/nv (actual rate can be marginally higher on rank deficiency).
+  [[nodiscard]] double design_rate() const;
+
+ private:
+  BaseMatrix base_;
+  std::size_t lifting_;
+  SparseBinaryMatrix h_;
+};
+
+/// Terminated protograph-based LDPC convolutional code (Sec. V-A).
+class LdpcConvolutionalCode {
+ public:
+  /// \param spreading    edge spreading (B_0..B_mcc), Eq. 2
+  /// \param lifting      permutation size N
+  /// \param termination  L coupled blocks
+  LdpcConvolutionalCode(EdgeSpreading spreading, std::size_t lifting,
+                        std::size_t termination, std::uint64_t seed = 1,
+                        int girth_trials = 8);
+
+  [[nodiscard]] const SparseBinaryMatrix& parity_check() const { return h_; }
+  [[nodiscard]] const EdgeSpreading& spreading() const { return spreading_; }
+  [[nodiscard]] std::size_t lifting() const { return lifting_; }       ///< N
+  [[nodiscard]] std::size_t termination() const { return termination_; } ///< L
+  [[nodiscard]] std::size_t mcc() const { return spreading_.mcc(); }
+  [[nodiscard]] std::size_t nc() const { return spreading_.nc(); }
+  [[nodiscard]] std::size_t nv() const { return spreading_.nv(); }
+
+  /// Bits per coupled block (N nv).
+  [[nodiscard]] std::size_t block_bits() const { return lifting_ * nv(); }
+  /// Total codeword length L N nv.
+  [[nodiscard]] std::size_t codeword_length() const {
+    return termination_ * block_bits();
+  }
+
+  /// Asymptotic (unterminated) rate 1 - nc/nv; the paper's R.
+  [[nodiscard]] double rate_asymptotic() const;
+  /// Terminated rate 1 - (L+mcc)nc / (L nv) — shows the termination loss.
+  [[nodiscard]] double rate_terminated() const;
+
+ private:
+  EdgeSpreading spreading_;
+  std::size_t lifting_;
+  std::size_t termination_;
+  SparseBinaryMatrix h_;
+};
+
+/// Structural latency of a window decoder, Eq. 4:
+/// T_WD = W * N * nv * R   [information bits].
+[[nodiscard]] double window_decoder_latency_bits(std::size_t window,
+                                                 std::size_t lifting,
+                                                 std::size_t nv, double rate);
+
+/// Structural latency of a block code, Eq. 5: T_B = N * nv * R.
+[[nodiscard]] double block_code_latency_bits(std::size_t lifting,
+                                             std::size_t nv, double rate);
+
+}  // namespace wi::fec

@@ -1,0 +1,126 @@
+#include "wi/fec/base_matrix.hpp"
+
+#include <stdexcept>
+
+namespace wi::fec {
+
+BaseMatrix BaseMatrix::zeros(std::size_t rows, std::size_t cols) {
+  if (rows == 0 || cols == 0) {
+    throw std::invalid_argument("BaseMatrix: empty dimensions");
+  }
+  BaseMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.data_.assign(rows * cols, 0);
+  return m;
+}
+
+BaseMatrix::BaseMatrix(std::initializer_list<std::vector<int>> rows)
+    : BaseMatrix(std::vector<std::vector<int>>(rows)) {}
+
+BaseMatrix::BaseMatrix(const std::vector<std::vector<int>>& rows) {
+  if (rows.empty() || rows[0].empty()) {
+    throw std::invalid_argument("BaseMatrix: empty initialiser");
+  }
+  rows_ = rows.size();
+  cols_ = rows[0].size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    if (row.size() != cols_) {
+      throw std::invalid_argument("BaseMatrix: ragged initialiser");
+    }
+    for (const int v : row) {
+      if (v < 0) throw std::invalid_argument("BaseMatrix: negative entry");
+      data_.push_back(v);
+    }
+  }
+}
+
+BaseMatrix BaseMatrix::operator+(const BaseMatrix& other) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    throw std::invalid_argument("BaseMatrix: shape mismatch in +");
+  }
+  BaseMatrix out = zeros(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    out.data_[i] = data_[i] + other.data_[i];
+  }
+  return out;
+}
+
+bool BaseMatrix::operator==(const BaseMatrix& other) const {
+  return rows_ == other.rows_ && cols_ == other.cols_ &&
+         data_ == other.data_;
+}
+
+int BaseMatrix::edge_count() const {
+  int total = 0;
+  for (const int v : data_) total += v;
+  return total;
+}
+
+std::vector<int> BaseMatrix::row_degrees() const {
+  std::vector<int> degrees(rows_, 0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) degrees[r] += at(r, c);
+  }
+  return degrees;
+}
+
+std::vector<int> BaseMatrix::col_degrees() const {
+  std::vector<int> degrees(cols_, 0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) degrees[c] += at(r, c);
+  }
+  return degrees;
+}
+
+EdgeSpreading::EdgeSpreading(std::vector<BaseMatrix> components)
+    : components_(std::move(components)) {
+  if (components_.empty()) {
+    throw std::invalid_argument("EdgeSpreading: need at least B0");
+  }
+  for (const auto& b : components_) {
+    if (b.rows() != components_[0].rows() ||
+        b.cols() != components_[0].cols()) {
+      throw std::invalid_argument("EdgeSpreading: component shape mismatch");
+    }
+  }
+}
+
+EdgeSpreading EdgeSpreading::paper_example() {
+  return EdgeSpreading({BaseMatrix({{2, 2}}), BaseMatrix({{1, 1}}),
+                        BaseMatrix({{1, 1}})});
+}
+
+BaseMatrix EdgeSpreading::total() const {
+  BaseMatrix sum = components_[0];
+  for (std::size_t i = 1; i < components_.size(); ++i) {
+    sum = sum + components_[i];
+  }
+  return sum;
+}
+
+bool EdgeSpreading::is_valid_spreading_of(const BaseMatrix& base) const {
+  return total() == base;
+}
+
+BaseMatrix EdgeSpreading::coupled_protograph(std::size_t termination) const {
+  if (termination == 0) {
+    throw std::invalid_argument("coupled_protograph: L must be >= 1");
+  }
+  const std::size_t block_rows = termination + mcc();
+  BaseMatrix out = BaseMatrix::zeros(block_rows * nc(), termination * nv());
+  for (std::size_t t = 0; t < termination; ++t) {
+    for (std::size_t i = 0; i < components_.size(); ++i) {
+      const BaseMatrix& b = components_[i];
+      for (std::size_t r = 0; r < nc(); ++r) {
+        for (std::size_t c = 0; c < nv(); ++c) {
+          out.at((t + i) * nc() + r, t * nv() + c) += b.at(r, c);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace wi::fec

@@ -1,0 +1,78 @@
+#include "wi/fec/encoder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wi::fec {
+
+GaussianEncoder::GaussianEncoder(const SparseBinaryMatrix& h)
+    : n_cols_(h.cols()), words_per_row_((h.cols() + 63) / 64) {
+  const std::size_t m = h.rows();
+  std::vector<std::uint64_t> rows(m * words_per_row_, 0);
+  for (std::size_t r = 0; r < m; ++r) {
+    for (const std::uint32_t c : h.row(r)) {
+      rows[r * words_per_row_ + c / 64] |= (std::uint64_t{1} << (c % 64));
+    }
+  }
+
+  auto get_bit = [&](std::size_t r, std::size_t c) {
+    return (rows[r * words_per_row_ + c / 64] >> (c % 64)) & 1u;
+  };
+  auto xor_rows = [&](std::size_t dst, std::size_t src) {
+    for (std::size_t w = 0; w < words_per_row_; ++w) {
+      rows[dst * words_per_row_ + w] ^= rows[src * words_per_row_ + w];
+    }
+  };
+
+  // Forward elimination with row swaps; reduce fully (RREF).
+  std::size_t pivot_row = 0;
+  std::vector<char> is_pivot_col(n_cols_, 0);
+  for (std::size_t col = 0; col < n_cols_ && pivot_row < m; ++col) {
+    std::size_t r = pivot_row;
+    while (r < m && !get_bit(r, col)) ++r;
+    if (r == m) continue;
+    if (r != pivot_row) {
+      for (std::size_t w = 0; w < words_per_row_; ++w) {
+        std::swap(rows[r * words_per_row_ + w],
+                  rows[pivot_row * words_per_row_ + w]);
+      }
+    }
+    for (std::size_t r2 = 0; r2 < m; ++r2) {
+      if (r2 != pivot_row && get_bit(r2, col)) xor_rows(r2, pivot_row);
+    }
+    pivot_cols_.push_back(col);
+    is_pivot_col[col] = 1;
+    ++pivot_row;
+  }
+  for (std::size_t c = 0; c < n_cols_; ++c) {
+    if (!is_pivot_col[c]) info_cols_.push_back(c);
+  }
+  rref_.assign(rows.begin(),
+               rows.begin() + static_cast<std::ptrdiff_t>(
+                                  pivot_cols_.size() * words_per_row_));
+}
+
+std::vector<std::uint8_t> GaussianEncoder::encode(
+    const std::vector<std::uint8_t>& info) const {
+  if (info.size() != info_length()) {
+    throw std::invalid_argument("GaussianEncoder::encode: info length");
+  }
+  std::vector<std::uint8_t> codeword(n_cols_, 0);
+  for (std::size_t i = 0; i < info.size(); ++i) {
+    codeword[info_cols_[i]] = info[i] & 1;
+  }
+  // Pivot bit r = sum over non-pivot columns set in RREF row r.
+  for (std::size_t r = 0; r < pivot_cols_.size(); ++r) {
+    std::uint8_t parity = 0;
+    for (std::size_t i = 0; i < info_cols_.size(); ++i) {
+      const std::size_t c = info_cols_[i];
+      const std::uint64_t bit =
+          (rref_[r * words_per_row_ + c / 64] >> (c % 64)) & 1u;
+      parity ^= static_cast<std::uint8_t>(bit & codeword[c]);
+    }
+    codeword[pivot_cols_[r]] = parity;
+  }
+  return codeword;
+}
+
+}  // namespace wi::fec

@@ -1,0 +1,32 @@
+#pragma once
+/// \file metrics.hpp
+/// \brief Static topology metrics backing the Sec. IV claims (low
+///        latency, high bisection bandwidth, short wires).
+
+#include "wi/noc/routing.hpp"
+#include "wi/noc/topology.hpp"
+
+namespace wi::noc {
+
+/// Bundle of comparative topology metrics.
+struct TopologyMetrics {
+  double average_hops = 0.0;        ///< uniform-traffic mean router hops
+  std::size_t diameter_hops = 0;    ///< worst-case hops
+  double bisection_bandwidth = 0.0; ///< flits/cycle across the mid cut
+  double total_wire_mm = 0.0;       ///< summed link length
+  std::size_t router_count = 0;
+  std::size_t link_count = 0;
+};
+
+/// Compute all metrics with the given routing function.
+[[nodiscard]] TopologyMetrics compute_metrics(const Topology& topology,
+                                              const Routing& routing);
+
+/// Crossbar-area proxy: sum over routers of (port count)^2, where the
+/// port count is the attached modules plus one port per unit of link
+/// bandwidth in each direction (parallel inter-router links need
+/// parallel ports — the area drawback the paper attributes to the
+/// star-mesh IRL remedy).
+[[nodiscard]] double total_router_crossbar_area(const Topology& topology);
+
+}  // namespace wi::noc

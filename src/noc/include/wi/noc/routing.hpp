@@ -1,0 +1,53 @@
+#pragma once
+/// \file routing.hpp
+/// \brief Routing functions: dimension-order (XYZ) for regular meshes
+///        and BFS shortest-path for irregular topologies (partial
+///        vertical connectivity, hybrid wireless express links).
+
+#include <cstddef>
+#include <vector>
+
+#include "wi/noc/topology.hpp"
+
+namespace wi::noc {
+
+/// A route is the ordered list of link indices from source router to
+/// destination router (empty when src == dst).
+using Route = std::vector<std::size_t>;
+
+/// Routing strategy interface.
+class Routing {
+ public:
+  virtual ~Routing() = default;
+  /// Route between two routers. Throws when no route exists.
+  [[nodiscard]] virtual Route route(const Topology& topology,
+                                    std::size_t src_router,
+                                    std::size_t dst_router) const = 0;
+};
+
+/// Deterministic dimension-order routing (X, then Y, then Z). Requires
+/// the full mesh links to exist.
+class DimensionOrderRouting final : public Routing {
+ public:
+  [[nodiscard]] Route route(const Topology& topology, std::size_t src_router,
+                            std::size_t dst_router) const override;
+};
+
+/// Breadth-first shortest path; ties broken by link index order. Handles
+/// arbitrary (connected) topologies, preferring high-bandwidth links on
+/// equal hop count.
+class ShortestPathRouting final : public Routing {
+ public:
+  [[nodiscard]] Route route(const Topology& topology, std::size_t src_router,
+                            std::size_t dst_router) const override;
+};
+
+/// Average router-to-router hop count over all module pairs.
+[[nodiscard]] double average_hop_count(const Topology& topology,
+                                       const Routing& routing);
+
+/// Network diameter in router hops over module-attached routers.
+[[nodiscard]] std::size_t diameter(const Topology& topology,
+                                   const Routing& routing);
+
+}  // namespace wi::noc

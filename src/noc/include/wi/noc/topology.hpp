@@ -1,0 +1,134 @@
+#pragma once
+/// \file topology.hpp
+/// \brief NoC topologies of Fig. 7: 2D mesh, star-mesh (concentrated
+///        mesh), 3D mesh and ciliated 3D mesh, plus irregular variants
+///        with heterogeneous vertical links (the paper's TSV remark).
+///
+/// A topology is a directed graph of routers plus a module-to-router
+/// attachment map (concentration factor >= 1). Links carry a bandwidth
+/// (flits/cycle; vertical inter-chip links may be faster than in-plane
+/// wires) and a physical length used by the wire-length metric.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace wi::noc {
+
+/// Integer router coordinate in the (up to) three mesh dimensions.
+struct Coord {
+  int x = 0;
+  int y = 0;
+  int z = 0;
+  [[nodiscard]] bool operator==(const Coord&) const = default;
+};
+
+/// One directed router-to-router channel.
+struct Link {
+  std::size_t src = 0;          ///< source router
+  std::size_t dst = 0;          ///< destination router
+  double bandwidth = 1.0;       ///< flits per cycle
+  double length_mm = 1.0;       ///< physical wire length
+  bool vertical = false;        ///< inter-layer (TSV/inductive) link
+};
+
+/// Router network + module attachment.
+class Topology {
+ public:
+  /// kx x ky 2D mesh, one module per router.
+  [[nodiscard]] static Topology mesh_2d(std::size_t kx, std::size_t ky);
+
+  /// Star-mesh / concentrated mesh: kx x ky router mesh with
+  /// `concentration` modules per router (Fig. 7 top right).
+  [[nodiscard]] static Topology star_mesh(std::size_t kx, std::size_t ky,
+                                          std::size_t concentration);
+
+  /// Star-mesh with `irl` parallel inter-router links per mesh channel
+  /// (the paper's remedy for the star-mesh's low bisection bandwidth;
+  /// modelled as channel bandwidth = irl, at the cost of irl ports per
+  /// channel on every router).
+  [[nodiscard]] static Topology star_mesh_irl(std::size_t kx, std::size_t ky,
+                                              std::size_t concentration,
+                                              std::size_t irl);
+
+  /// kx x ky x kz 3D mesh, one module per router.
+  [[nodiscard]] static Topology mesh_3d(std::size_t kx, std::size_t ky,
+                                        std::size_t kz);
+
+  /// Ciliated 3D mesh: a 3D router mesh where each router carries
+  /// `concentration` modules (star-mesh generalised to 3D, Fig. 7).
+  [[nodiscard]] static Topology ciliated_mesh_3d(std::size_t kx,
+                                                 std::size_t ky,
+                                                 std::size_t kz,
+                                                 std::size_t concentration);
+
+  /// 3D mesh where only every `tsv_period`-th router column carries
+  /// vertical links (TSV area constraint); vertical links get
+  /// `vertical_bandwidth` flits/cycle.
+  [[nodiscard]] static Topology partial_vertical_mesh_3d(
+      std::size_t kx, std::size_t ky, std::size_t kz, std::size_t tsv_period,
+      double vertical_bandwidth = 1.0);
+
+  [[nodiscard]] std::size_t router_count() const { return coords_.size(); }
+  [[nodiscard]] std::size_t module_count() const { return module_router_.size(); }
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+  [[nodiscard]] const std::vector<Link>& links() const { return links_; }
+  [[nodiscard]] const Link& link(std::size_t i) const { return links_[i]; }
+  [[nodiscard]] const Coord& coord(std::size_t router) const {
+    return coords_[router];
+  }
+  [[nodiscard]] std::size_t module_router(std::size_t module) const {
+    return module_router_[module];
+  }
+  /// Outgoing link indices of a router.
+  [[nodiscard]] const std::vector<std::size_t>& out_links(
+      std::size_t router) const {
+    return out_links_[router];
+  }
+  /// Link index from src to dst, or npos when absent.
+  [[nodiscard]] std::size_t find_link(std::size_t src, std::size_t dst) const;
+
+  /// Mesh extents (1 for unused dimensions).
+  [[nodiscard]] std::size_t kx() const { return kx_; }
+  [[nodiscard]] std::size_t ky() const { return ky_; }
+  [[nodiscard]] std::size_t kz() const { return kz_; }
+
+  /// Router index from a coordinate.
+  [[nodiscard]] std::size_t router_at(int x, int y, int z) const;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Total wire length [mm] (sum over directed links / 2 would count
+  /// bidirectional pairs once; we keep directed sum for symmetry).
+  [[nodiscard]] double total_wire_length_mm() const;
+
+  /// Bisection bandwidth [flits/cycle] across the widest dimension cut.
+  [[nodiscard]] double bisection_bandwidth() const;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  /// Manual construction for custom/irregular topologies.
+  Topology(std::string name, std::size_t kx, std::size_t ky, std::size_t kz);
+  /// Adds a router at a coordinate, returns its index.
+  std::size_t add_router(Coord coord);
+  /// Adds a directed link.
+  void add_link(Link link);
+  /// Attaches a module to a router, returns the module index.
+  std::size_t attach_module(std::size_t router);
+
+ private:
+  static Topology build_mesh(std::string name, std::size_t kx, std::size_t ky,
+                             std::size_t kz, std::size_t concentration,
+                             double xy_pitch_mm, double z_pitch_mm);
+
+  std::string name_;
+  std::size_t kx_ = 1;
+  std::size_t ky_ = 1;
+  std::size_t kz_ = 1;
+  std::vector<Coord> coords_;
+  std::vector<Link> links_;
+  std::vector<std::vector<std::size_t>> out_links_;
+  std::vector<std::size_t> module_router_;
+};
+
+}  // namespace wi::noc

@@ -1,0 +1,44 @@
+#pragma once
+/// \file traffic.hpp
+/// \brief Traffic patterns. Fig. 8 uses global uniform traffic with
+///        Poisson arrivals; hotspot/transpose/bit-complement patterns
+///        back the additional design-space studies.
+
+#include <cstddef>
+#include <vector>
+
+namespace wi::noc {
+
+/// Destination probability distribution per source module:
+/// entry (s, d) is the probability that a packet from s targets d
+/// (zero on the diagonal; rows sum to 1).
+class TrafficPattern {
+ public:
+  /// Global uniform: every other module equally likely.
+  [[nodiscard]] static TrafficPattern uniform(std::size_t modules);
+
+  /// Transpose: module i sends to (i + M/2) mod M.
+  [[nodiscard]] static TrafficPattern transpose(std::size_t modules);
+
+  /// Bit-complement on the module index (modules must be a power of 2).
+  [[nodiscard]] static TrafficPattern bit_complement(std::size_t modules);
+
+  /// Uniform with a fraction of traffic focused on one hotspot module.
+  [[nodiscard]] static TrafficPattern hotspot(std::size_t modules,
+                                              std::size_t hotspot_module,
+                                              double hotspot_fraction);
+
+  [[nodiscard]] std::size_t modules() const { return modules_; }
+  [[nodiscard]] double probability(std::size_t src, std::size_t dst) const {
+    return matrix_[src * modules_ + dst];
+  }
+
+  /// Explicit matrix constructor (rows are normalised).
+  explicit TrafficPattern(std::vector<double> matrix, std::size_t modules);
+
+ private:
+  std::size_t modules_;
+  std::vector<double> matrix_;
+};
+
+}  // namespace wi::noc

@@ -1,0 +1,35 @@
+#include "wi/noc/metrics.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace wi::noc {
+
+TopologyMetrics compute_metrics(const Topology& topology,
+                                const Routing& routing) {
+  TopologyMetrics metrics;
+  metrics.average_hops = average_hop_count(topology, routing);
+  metrics.diameter_hops = diameter(topology, routing);
+  metrics.bisection_bandwidth = topology.bisection_bandwidth();
+  metrics.total_wire_mm = topology.total_wire_length_mm();
+  metrics.router_count = topology.router_count();
+  metrics.link_count = topology.link_count();
+  return metrics;
+}
+
+double total_router_crossbar_area(const Topology& topology) {
+  std::vector<double> ports(topology.router_count(), 0.0);
+  for (const auto& link : topology.links()) {
+    const double lanes = std::ceil(link.bandwidth);
+    ports[link.src] += lanes;  // output ports
+    ports[link.dst] += lanes;  // input ports
+  }
+  for (std::size_t m = 0; m < topology.module_count(); ++m) {
+    ports[topology.module_router(m)] += 2.0;  // inject + eject
+  }
+  double area = 0.0;
+  for (const double p : ports) area += p * p;
+  return area;
+}
+
+}  // namespace wi::noc

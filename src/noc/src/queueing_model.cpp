@@ -1,0 +1,114 @@
+#include "wi/noc/queueing_model.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace wi::noc {
+
+QueueingModel::QueueingModel(const Topology& topology, const Routing& routing,
+                             const TrafficPattern& traffic,
+                             QueueingModelParams params)
+    : params_(params), channel_count_(topology.link_count()) {
+  const std::size_t modules = topology.module_count();
+  if (traffic.modules() != modules) {
+    throw std::invalid_argument("QueueingModel: traffic/module mismatch");
+  }
+  channel_load_coeff_.assign(channel_count_, 0.0);
+  channel_service_.resize(channel_count_);
+  for (std::size_t l = 0; l < channel_count_; ++l) {
+    channel_service_[l] =
+        params_.channel_efficiency * topology.link(l).bandwidth;
+  }
+
+  // Exact per-channel load coefficients: each module injects 1 unit of
+  // flits per cycle at lambda = 1, split over destinations by the
+  // traffic matrix and mapped onto channels by the routing function.
+  const double per_module = 1.0;
+  for (std::size_t s = 0; s < modules; ++s) {
+    for (std::size_t d = 0; d < modules; ++d) {
+      const double p = traffic.probability(s, d);
+      if (p <= 0.0 || s == d) continue;
+      const Route route = routing.route(topology, topology.module_router(s),
+                                        topology.module_router(d));
+      PathEntry entry;
+      entry.weight = p / static_cast<double>(modules);
+      entry.channels = route;
+      for (const std::size_t l : route) {
+        channel_load_coeff_[l] += per_module * p;
+      }
+      average_hops_ += entry.weight * static_cast<double>(route.size());
+      paths_.push_back(std::move(entry));
+    }
+  }
+}
+
+NetworkPerformance QueueingModel::evaluate(double injection_rate) const {
+  NetworkPerformance perf;
+  if (injection_rate < 0.0) {
+    throw std::invalid_argument("QueueingModel: negative injection rate");
+  }
+  // Per-channel waiting times.
+  std::vector<double> wait(channel_count_, 0.0);
+  for (std::size_t l = 0; l < channel_count_; ++l) {
+    const double lambda = injection_rate * channel_load_coeff_[l] *
+                          params_.packet_length_flits;
+    const double mu = channel_service_[l];
+    const double rho = lambda / mu;
+    perf.max_channel_load = std::max(perf.max_channel_load, rho);
+    if (rho >= 1.0) {
+      perf.saturated = true;
+    } else {
+      // M/M/1 waiting time in service-time units of this channel.
+      wait[l] = rho / (mu * (1.0 - rho));
+    }
+  }
+  if (perf.saturated) {
+    perf.mean_latency_cycles = std::numeric_limits<double>::infinity();
+    return perf;
+  }
+  // Traffic-weighted mean path latency.
+  const double hop_fixed = params_.router_delay_cycles +
+                           params_.link_delay_cycles;
+  const double serialization = params_.packet_length_flits - 1.0;
+  double latency = 0.0;
+  for (const PathEntry& path : paths_) {
+    double t = 2.0 * params_.local_delay_cycles +  // inject + eject
+               params_.router_delay_cycles +       // destination router
+               serialization;
+    for (const std::size_t l : path.channels) {
+      t += hop_fixed + wait[l];
+    }
+    latency += path.weight * t;
+  }
+  perf.mean_latency_cycles = latency;
+  return perf;
+}
+
+double QueueingModel::zero_load_latency_cycles() const {
+  return evaluate(0.0).mean_latency_cycles;
+}
+
+double QueueingModel::saturation_rate() const {
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t l = 0; l < channel_count_; ++l) {
+    if (channel_load_coeff_[l] <= 0.0) continue;
+    best = std::min(best, channel_service_[l] /
+                              (channel_load_coeff_[l] *
+                               params_.packet_length_flits));
+  }
+  return best;
+}
+
+std::vector<QueueingModel::SweepPoint> QueueingModel::sweep(
+    const std::vector<double>& injection_rates) const {
+  std::vector<SweepPoint> points;
+  points.reserve(injection_rates.size());
+  for (const double rate : injection_rates) {
+    const NetworkPerformance perf = evaluate(rate);
+    points.push_back({rate, perf.mean_latency_cycles, perf.saturated});
+  }
+  return points;
+}
+
+}  // namespace wi::noc

@@ -1,0 +1,106 @@
+#include "wi/noc/routing.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace wi::noc {
+
+Route DimensionOrderRouting::route(const Topology& topology,
+                                   std::size_t src_router,
+                                   std::size_t dst_router) const {
+  Route route;
+  Coord at = topology.coord(src_router);
+  const Coord target = topology.coord(dst_router);
+  std::size_t current = src_router;
+  auto step = [&](int dx, int dy, int dz) {
+    const std::size_t next =
+        topology.router_at(at.x + dx, at.y + dy, at.z + dz);
+    const std::size_t link = topology.find_link(current, next);
+    if (link == Topology::npos) {
+      throw std::runtime_error("DimensionOrderRouting: missing mesh link");
+    }
+    route.push_back(link);
+    current = next;
+    at = topology.coord(next);
+  };
+  while (at.x != target.x) step(at.x < target.x ? 1 : -1, 0, 0);
+  while (at.y != target.y) step(0, at.y < target.y ? 1 : -1, 0);
+  while (at.z != target.z) step(0, 0, at.z < target.z ? 1 : -1);
+  return route;
+}
+
+Route ShortestPathRouting::route(const Topology& topology,
+                                 std::size_t src_router,
+                                 std::size_t dst_router) const {
+  if (src_router == dst_router) return {};
+  const std::size_t n = topology.router_count();
+  std::vector<std::size_t> parent_link(n, Topology::npos);
+  std::vector<char> visited(n, 0);
+  std::queue<std::size_t> queue;
+  visited[src_router] = 1;
+  queue.push(src_router);
+  while (!queue.empty()) {
+    const std::size_t u = queue.front();
+    queue.pop();
+    if (u == dst_router) break;
+    // Ties broken by link index: routes are independent of link
+    // bandwidths, so technology sweeps compare like against like.
+    for (const std::size_t l : topology.out_links(u)) {
+      const std::size_t v = topology.link(l).dst;
+      if (!visited[v]) {
+        visited[v] = 1;
+        parent_link[v] = l;
+        queue.push(v);
+      }
+    }
+  }
+  if (!visited[dst_router]) {
+    throw std::runtime_error("ShortestPathRouting: destination unreachable");
+  }
+  Route route;
+  std::size_t at = dst_router;
+  while (at != src_router) {
+    const std::size_t l = parent_link[at];
+    route.push_back(l);
+    at = topology.link(l).src;
+  }
+  std::reverse(route.begin(), route.end());
+  return route;
+}
+
+double average_hop_count(const Topology& topology, const Routing& routing) {
+  const std::size_t modules = topology.module_count();
+  double total = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t s = 0; s < modules; ++s) {
+    for (std::size_t d = 0; d < modules; ++d) {
+      if (s == d) continue;
+      total += static_cast<double>(
+          routing
+              .route(topology, topology.module_router(s),
+                     topology.module_router(d))
+              .size());
+      ++pairs;
+    }
+  }
+  return pairs == 0 ? 0.0 : total / static_cast<double>(pairs);
+}
+
+std::size_t diameter(const Topology& topology, const Routing& routing) {
+  const std::size_t modules = topology.module_count();
+  std::size_t worst = 0;
+  for (std::size_t s = 0; s < modules; ++s) {
+    for (std::size_t d = 0; d < modules; ++d) {
+      if (s == d) continue;
+      worst = std::max(worst,
+                       routing
+                           .route(topology, topology.module_router(s),
+                                  topology.module_router(d))
+                           .size());
+    }
+  }
+  return worst;
+}
+
+}  // namespace wi::noc

@@ -1,0 +1,233 @@
+#include "wi/noc/topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wi::noc {
+
+Topology::Topology(std::string name, std::size_t kx, std::size_t ky,
+                   std::size_t kz)
+    : name_(std::move(name)), kx_(kx), ky_(ky), kz_(kz) {
+  if (kx == 0 || ky == 0 || kz == 0) {
+    throw std::invalid_argument("Topology: extents must be >= 1");
+  }
+}
+
+std::size_t Topology::add_router(Coord coord) {
+  coords_.push_back(coord);
+  out_links_.emplace_back();
+  return coords_.size() - 1;
+}
+
+void Topology::add_link(Link link) {
+  if (link.src >= router_count() || link.dst >= router_count()) {
+    throw std::out_of_range("Topology::add_link: router out of range");
+  }
+  if (link.src == link.dst) {
+    throw std::invalid_argument("Topology::add_link: self loop");
+  }
+  out_links_[link.src].push_back(links_.size());
+  links_.push_back(link);
+}
+
+std::size_t Topology::attach_module(std::size_t router) {
+  if (router >= router_count()) {
+    throw std::out_of_range("Topology::attach_module: router out of range");
+  }
+  module_router_.push_back(router);
+  return module_router_.size() - 1;
+}
+
+std::size_t Topology::find_link(std::size_t src, std::size_t dst) const {
+  for (const std::size_t l : out_links_[src]) {
+    if (links_[l].dst == dst) return l;
+  }
+  return npos;
+}
+
+std::size_t Topology::router_at(int x, int y, int z) const {
+  if (x < 0 || y < 0 || z < 0 || static_cast<std::size_t>(x) >= kx_ ||
+      static_cast<std::size_t>(y) >= ky_ ||
+      static_cast<std::size_t>(z) >= kz_) {
+    throw std::out_of_range("Topology::router_at: coordinate out of range");
+  }
+  return (static_cast<std::size_t>(z) * ky_ + static_cast<std::size_t>(y)) *
+             kx_ +
+         static_cast<std::size_t>(x);
+}
+
+Topology Topology::build_mesh(std::string name, std::size_t kx,
+                              std::size_t ky, std::size_t kz,
+                              std::size_t concentration, double xy_pitch_mm,
+                              double z_pitch_mm) {
+  Topology topo(std::move(name), kx, ky, kz);
+  for (std::size_t z = 0; z < kz; ++z) {
+    for (std::size_t y = 0; y < ky; ++y) {
+      for (std::size_t x = 0; x < kx; ++x) {
+        topo.add_router({static_cast<int>(x), static_cast<int>(y),
+                         static_cast<int>(z)});
+      }
+    }
+  }
+  auto connect = [&](std::size_t a, std::size_t b, double len, bool vert) {
+    topo.add_link({a, b, 1.0, len, vert});
+    topo.add_link({b, a, 1.0, len, vert});
+  };
+  for (std::size_t z = 0; z < kz; ++z) {
+    for (std::size_t y = 0; y < ky; ++y) {
+      for (std::size_t x = 0; x < kx; ++x) {
+        const std::size_t r = topo.router_at(
+            static_cast<int>(x), static_cast<int>(y), static_cast<int>(z));
+        if (x + 1 < kx) {
+          connect(r, topo.router_at(static_cast<int>(x + 1),
+                                    static_cast<int>(y), static_cast<int>(z)),
+                  xy_pitch_mm, false);
+        }
+        if (y + 1 < ky) {
+          connect(r, topo.router_at(static_cast<int>(x),
+                                    static_cast<int>(y + 1),
+                                    static_cast<int>(z)),
+                  xy_pitch_mm, false);
+        }
+        if (z + 1 < kz) {
+          connect(r, topo.router_at(static_cast<int>(x), static_cast<int>(y),
+                                    static_cast<int>(z + 1)),
+                  z_pitch_mm, true);
+        }
+      }
+    }
+  }
+  for (std::size_t r = 0; r < topo.router_count(); ++r) {
+    for (std::size_t c = 0; c < concentration; ++c) topo.attach_module(r);
+  }
+  return topo;
+}
+
+Topology Topology::mesh_2d(std::size_t kx, std::size_t ky) {
+  return build_mesh("2D-Mesh " + std::to_string(kx) + "x" + std::to_string(ky),
+                    kx, ky, 1, 1, 1.0, 0.05);
+}
+
+Topology Topology::star_mesh(std::size_t kx, std::size_t ky,
+                             std::size_t concentration) {
+  if (concentration == 0) {
+    throw std::invalid_argument("star_mesh: concentration >= 1");
+  }
+  // Concentrated routers sit further apart: pitch grows with sqrt(c).
+  return build_mesh("Star-Mesh " + std::to_string(kx) + "x" +
+                        std::to_string(ky) + "c" +
+                        std::to_string(concentration),
+                    kx, ky, 1, concentration,
+                    std::sqrt(static_cast<double>(concentration)), 0.05);
+}
+
+Topology Topology::star_mesh_irl(std::size_t kx, std::size_t ky,
+                                 std::size_t concentration,
+                                 std::size_t irl) {
+  if (irl == 0) throw std::invalid_argument("star_mesh_irl: irl >= 1");
+  Topology base = star_mesh(kx, ky, concentration);
+  Topology boosted("Star-Mesh " + std::to_string(kx) + "x" +
+                       std::to_string(ky) + "c" +
+                       std::to_string(concentration) + " IRL" +
+                       std::to_string(irl),
+                   kx, ky, 1);
+  for (std::size_t r = 0; r < base.router_count(); ++r) {
+    boosted.add_router(base.coord(r));
+  }
+  for (Link link : base.links()) {
+    link.bandwidth = static_cast<double>(irl);
+    boosted.add_link(link);
+  }
+  for (std::size_t m = 0; m < base.module_count(); ++m) {
+    boosted.attach_module(base.module_router(m));
+  }
+  return boosted;
+}
+
+Topology Topology::mesh_3d(std::size_t kx, std::size_t ky, std::size_t kz) {
+  return build_mesh("3D-Mesh " + std::to_string(kx) + "x" +
+                        std::to_string(ky) + "x" + std::to_string(kz),
+                    kx, ky, kz, 1, 1.0, 0.05);
+}
+
+Topology Topology::ciliated_mesh_3d(std::size_t kx, std::size_t ky,
+                                    std::size_t kz,
+                                    std::size_t concentration) {
+  if (concentration == 0) {
+    throw std::invalid_argument("ciliated_mesh_3d: concentration >= 1");
+  }
+  return build_mesh("Ciliated-3D-Mesh " + std::to_string(kx) + "x" +
+                        std::to_string(ky) + "x" + std::to_string(kz) + "c" +
+                        std::to_string(concentration),
+                    kx, ky, kz, concentration,
+                    std::sqrt(static_cast<double>(concentration)), 0.05);
+}
+
+Topology Topology::partial_vertical_mesh_3d(std::size_t kx, std::size_t ky,
+                                            std::size_t kz,
+                                            std::size_t tsv_period,
+                                            double vertical_bandwidth) {
+  if (tsv_period == 0) {
+    throw std::invalid_argument("partial_vertical_mesh_3d: period >= 1");
+  }
+  Topology topo = build_mesh(
+      "Partial-Vertical-3D-Mesh p" + std::to_string(tsv_period), kx, ky, kz,
+      1, 1.0, 0.05);
+  // Rebuild links: drop vertical links at routers whose (x + y) index is
+  // not a multiple of the period; retag bandwidth of the kept ones.
+  Topology filtered("Partial-Vertical-3D-Mesh p" + std::to_string(tsv_period),
+                    kx, ky, kz);
+  for (std::size_t r = 0; r < topo.router_count(); ++r) {
+    filtered.add_router(topo.coord(r));
+  }
+  for (const Link& link : topo.links()) {
+    if (link.vertical) {
+      const Coord& c = topo.coord(link.src);
+      if ((static_cast<std::size_t>(c.x) + static_cast<std::size_t>(c.y)) %
+              tsv_period !=
+          0) {
+        continue;  // this router column has no TSV budget
+      }
+      Link boosted = link;
+      boosted.bandwidth = vertical_bandwidth;
+      filtered.add_link(boosted);
+    } else {
+      filtered.add_link(link);
+    }
+  }
+  for (std::size_t m = 0; m < topo.module_count(); ++m) {
+    filtered.attach_module(topo.module_router(m));
+  }
+  return filtered;
+}
+
+double Topology::total_wire_length_mm() const {
+  double total = 0.0;
+  for (const Link& link : links_) total += link.length_mm;
+  return total;
+}
+
+double Topology::bisection_bandwidth() const {
+  // Cut across the widest dimension at its midpoint.
+  double best = 0.0;
+  for (int dim = 0; dim < 3; ++dim) {
+    const std::size_t extent = dim == 0 ? kx_ : (dim == 1 ? ky_ : kz_);
+    if (extent < 2) continue;
+    const int cut = static_cast<int>(extent) / 2;
+    double bandwidth = 0.0;
+    for (const Link& link : links_) {
+      const Coord& a = coords_[link.src];
+      const Coord& b = coords_[link.dst];
+      const int ca = dim == 0 ? a.x : (dim == 1 ? a.y : a.z);
+      const int cb = dim == 0 ? b.x : (dim == 1 ? b.y : b.z);
+      if (ca < cut && cb >= cut) bandwidth += link.bandwidth;
+    }
+    if (best == 0.0 || (bandwidth > 0.0 && bandwidth < best)) {
+      best = bandwidth;
+    }
+  }
+  return best;
+}
+
+}  // namespace wi::noc

@@ -1,0 +1,79 @@
+#include "wi/noc/traffic.hpp"
+
+#include <stdexcept>
+
+namespace wi::noc {
+
+TrafficPattern::TrafficPattern(std::vector<double> matrix,
+                               std::size_t modules)
+    : modules_(modules), matrix_(std::move(matrix)) {
+  if (modules_ == 0 || matrix_.size() != modules_ * modules_) {
+    throw std::invalid_argument("TrafficPattern: bad matrix size");
+  }
+  for (std::size_t s = 0; s < modules_; ++s) {
+    double row = 0.0;
+    for (std::size_t d = 0; d < modules_; ++d) {
+      if (matrix_[s * modules_ + d] < 0.0) {
+        throw std::invalid_argument("TrafficPattern: negative probability");
+      }
+      row += matrix_[s * modules_ + d];
+    }
+    if (row <= 0.0) {
+      throw std::invalid_argument("TrafficPattern: empty row");
+    }
+    for (std::size_t d = 0; d < modules_; ++d) {
+      matrix_[s * modules_ + d] /= row;
+    }
+  }
+}
+
+TrafficPattern TrafficPattern::uniform(std::size_t modules) {
+  if (modules < 2) throw std::invalid_argument("uniform: modules >= 2");
+  std::vector<double> m(modules * modules, 1.0);
+  for (std::size_t i = 0; i < modules; ++i) m[i * modules + i] = 0.0;
+  return TrafficPattern(std::move(m), modules);
+}
+
+TrafficPattern TrafficPattern::transpose(std::size_t modules) {
+  if (modules < 2) throw std::invalid_argument("transpose: modules >= 2");
+  std::vector<double> m(modules * modules, 0.0);
+  for (std::size_t i = 0; i < modules; ++i) {
+    m[i * modules + (i + modules / 2) % modules] = 1.0;
+  }
+  return TrafficPattern(std::move(m), modules);
+}
+
+TrafficPattern TrafficPattern::bit_complement(std::size_t modules) {
+  if (modules < 2 || (modules & (modules - 1)) != 0) {
+    throw std::invalid_argument("bit_complement: modules must be 2^k");
+  }
+  std::vector<double> m(modules * modules, 0.0);
+  for (std::size_t i = 0; i < modules; ++i) {
+    m[i * modules + (modules - 1 - i)] = 1.0;
+  }
+  return TrafficPattern(std::move(m), modules);
+}
+
+TrafficPattern TrafficPattern::hotspot(std::size_t modules,
+                                       std::size_t hotspot_module,
+                                       double hotspot_fraction) {
+  if (hotspot_module >= modules) {
+    throw std::invalid_argument("hotspot: module out of range");
+  }
+  if (hotspot_fraction < 0.0 || hotspot_fraction > 1.0) {
+    throw std::invalid_argument("hotspot: fraction in [0,1]");
+  }
+  std::vector<double> m(modules * modules, 0.0);
+  for (std::size_t s = 0; s < modules; ++s) {
+    for (std::size_t d = 0; d < modules; ++d) {
+      if (s == d) continue;
+      double p = (1.0 - hotspot_fraction) /
+                 static_cast<double>(modules - 1);
+      if (d == hotspot_module) p += hotspot_fraction;
+      m[s * modules + d] = p;
+    }
+  }
+  return TrafficPattern(std::move(m), modules);
+}
+
+}  // namespace wi::noc

@@ -1,0 +1,44 @@
+#pragma once
+/// \file campaign.hpp
+/// \brief Scripted measurement campaigns over the synthetic VNA.
+///
+/// Reproduces the paper's two measurement setups (Sec. II-A):
+///  1. free space with absorber material, distance stepped by motor;
+///  2. parallel copper boards at 50 mm separation, diagonal links
+///     realised by rotating the boards (equivalent to longer port
+///     distances).
+/// Each campaign yields pathloss-vs-distance points which are then fitted
+/// with the log-distance model (Fig. 1: n = 2.000 free space, n = 2.0454
+/// copper boards).
+
+#include <cstdint>
+#include <vector>
+
+#include "wi/rf/channel.hpp"
+#include "wi/rf/pathloss.hpp"
+#include "wi/rf/vna.hpp"
+
+namespace wi::rf {
+
+/// Campaign configuration.
+struct CampaignConfig {
+  std::vector<double> distances_m;  ///< stepped port distances
+  bool copper_boards = false;       ///< setup 2 when true
+  double board_separation_m = 0.05;
+  double horn_gain_dbi = 9.5;
+  VnaConfig vna;                    ///< instrument settings
+};
+
+/// Default distance grid 20..200 mm in 10 mm steps (as in Fig. 1's axis).
+[[nodiscard]] std::vector<double> default_distance_grid_m();
+
+/// Runs a full campaign: for each distance, build the scenario channel,
+/// sweep it, and extract the pathloss.
+[[nodiscard]] std::vector<PathLossPoint> run_campaign(
+    const CampaignConfig& config);
+
+/// Convenience: run a campaign and fit the log-distance model.
+[[nodiscard]] PathLossFit run_and_fit(const CampaignConfig& config,
+                                      double reference_distance_m = 0.05);
+
+}  // namespace wi::rf

@@ -1,0 +1,90 @@
+#pragma once
+/// \file channel.hpp
+/// \brief Deterministic multipath channel model of the board-to-board
+///        measurement scenario (the substitution for the physical R&S
+///        ZVA24 testbed).
+///
+/// The measured impulse responses (Fig. 2/3) show a line-of-sight tap
+/// followed by reflection clusters attributable to the antenna ports, the
+/// horn apertures and — when present — the parallel copper boards. The
+/// paper's key observation is that every reflection stays >= 15 dB below
+/// the LoS tap. `board_to_board_channel` synthesises exactly these
+/// clusters from the scenario geometry so the VNA pipeline reproduces the
+/// figures from the same physics.
+
+#include <complex>
+#include <string>
+#include <vector>
+
+namespace wi::rf {
+
+using cplx = std::complex<double>;
+
+/// One propagation path.
+struct Tap {
+  double delay_s = 0.0;   ///< absolute propagation delay
+  double gain_db = 0.0;   ///< path gain (negative; includes antennas)
+  double phase_rad = 0.0; ///< carrier phase offset
+  std::string label;      ///< provenance ("LoS", "copper board", ...)
+};
+
+/// Linear time-invariant multipath channel as a tapped delay line.
+class MultipathChannel {
+ public:
+  MultipathChannel() = default;
+  explicit MultipathChannel(std::vector<Tap> taps);
+
+  /// Add one path.
+  void add_tap(Tap tap);
+
+  [[nodiscard]] const std::vector<Tap>& taps() const { return taps_; }
+
+  /// Complex baseband-equivalent frequency response at an RF frequency:
+  /// H(f) = sum_i g_i e^{j phi_i} e^{-j 2 pi f tau_i}.
+  [[nodiscard]] cplx frequency_response(double freq_hz) const;
+
+  /// Gain of the strongest tap [dB].
+  [[nodiscard]] double strongest_tap_db() const;
+
+  /// Delay of the strongest tap [s].
+  [[nodiscard]] double strongest_tap_delay_s() const;
+
+  /// Largest reflection gain relative to the strongest tap [dB];
+  /// returns -inf-like (-300) when only one tap exists.
+  [[nodiscard]] double worst_reflection_rel_db() const;
+
+ private:
+  std::vector<Tap> taps_;
+};
+
+/// Geometry of the two-board measurement scenario.
+struct BoardToBoardScenario {
+  double distance_m = 0.05;        ///< port-to-port link distance
+  bool copper_boards = false;      ///< parallel copper boards present
+  double board_separation_m = 0.05;///< board-to-board spacing (lower bound)
+  double horn_gain_dbi = 9.5;      ///< effective horn gain (phase-centre
+                                   ///  corrected, paper Fig. 1)
+  double carrier_freq_hz = 232.5e9;///< sweep centre
+  double waveguide_length_m = 0.02;///< port-to-aperture feed length
+  double horn_return_loss_db = 12.0;   ///< aperture reflection per bounce
+  double port_return_loss_db = 18.0;   ///< port/flange reflection per bounce
+  double copper_reflection_db = 1.0;   ///< copper is nearly ideal (-1 dB)
+};
+
+/// Build the multipath channel for a scenario. Clusters generated:
+///  - "LoS": direct path, Friis loss minus 2x horn gain.
+///  - "antenna ports": double bounce inside the feed (always present).
+///  - "horn antenna and antenna port": mixed feed/aperture bounce.
+///  - "horn antennas": aperture-to-aperture triple transit (3x distance).
+///  - "copper boards (+horn antennas)": board-bounce paths (only when
+///    copper_boards is set); off-axis, so horn pattern suppression keeps
+///    them >= 15 dB below LoS, as measured.
+[[nodiscard]] MultipathChannel board_to_board_channel(
+    const BoardToBoardScenario& scenario);
+
+/// Extra diffuse loss of the copper-board environment relative to free
+/// space at a given distance. Calibrated so a pathloss fit over the
+/// campaign distances yields n ≈ 2.0454 (paper Fig. 1) instead of 2.000.
+[[nodiscard]] double copper_board_excess_loss_db(double distance_m);
+
+}  // namespace wi::rf

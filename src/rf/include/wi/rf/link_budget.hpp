@@ -1,0 +1,67 @@
+#pragma once
+/// \file link_budget.hpp
+/// \brief Link budget of the >200 GHz board-to-board wireless link
+///        (Table I and Fig. 4 of the paper).
+///
+/// Default parameters reproduce Table I exactly:
+///   RX noise figure 10 dB, pathloss exponent 2, PL(0.1 m) = 59.8 dB and
+///   PL(0.3 m) = 69.3 dB at 232.5 GHz, array gain 12 dB per side, Butler
+///   matrix inaccuracy 5 dB, polarization mismatch 3 dB, implementation
+///   loss 5 dB, RX temperature 323 K. Bandwidth 25 GHz gives 100 Gbit/s
+///   with dual polarization at ~2 bit/s/Hz.
+
+namespace wi::rf {
+
+/// Table I parameters (defaults = the paper's values).
+struct LinkBudgetParams {
+  double carrier_freq_hz = 232.5e9;
+  double bandwidth_hz = 25e9;
+  double rx_noise_figure_db = 10.0;
+  double path_loss_exponent = 2.0;
+  double array_gain_db = 12.0;            ///< per side (4x4 array)
+  double butler_inaccuracy_db = 5.0;      ///< worst-case beams only
+  double polarization_mismatch_db = 3.0;
+  double implementation_loss_db = 5.0;
+  double rx_temperature_k = 323.0;
+};
+
+/// Distances of the extreme links in the two-board scenario.
+inline constexpr double kShortestLink_m = 0.1;  ///< ahead link
+inline constexpr double kLongestLink_m = 0.3;   ///< diagonal link
+
+/// Link budget calculator.
+class LinkBudget {
+ public:
+  explicit LinkBudget(LinkBudgetParams params = {});
+
+  /// Pathloss at a distance per the log-distance model anchored at the
+  /// Friis value of the carrier (matches Table I at 0.1 / 0.3 m).
+  [[nodiscard]] double path_loss_db(double distance_m) const;
+
+  /// Thermal noise power over the signal bandwidth at the RX
+  /// temperature, including the noise figure [dBm].
+  [[nodiscard]] double noise_power_dbm() const;
+
+  /// Required transmit power [dBm] for a target receive SNR (Fig. 4).
+  /// \param butler_mismatch  charge the Butler inaccuracy (worst-case
+  ///                         direction between two fixed beams)
+  [[nodiscard]] double required_tx_power_dbm(double target_snr_db,
+                                             double distance_m,
+                                             bool butler_mismatch) const;
+
+  /// Receive SNR [dB] for a given transmit power (inverse of the above).
+  [[nodiscard]] double snr_db(double tx_power_dbm, double distance_m,
+                              bool butler_mismatch) const;
+
+  /// Shannon-limit link rate [bit/s] at a given SNR; doubled when
+  /// dual polarization is used (the paper's 100 Gbit/s target).
+  [[nodiscard]] double shannon_rate_bps(double snr_db,
+                                        bool dual_polarization) const;
+
+  [[nodiscard]] const LinkBudgetParams& params() const { return params_; }
+
+ private:
+  LinkBudgetParams params_;
+};
+
+}  // namespace wi::rf

@@ -1,0 +1,64 @@
+#pragma once
+/// \file pathloss.hpp
+/// \brief Log-distance pathloss model (Eq. 1 of the paper) and Friis
+///        free-space loss, plus least-squares exponent fitting.
+///
+/// PL_d[dB] = PL_d0[dB] + 10 n log10(d / d0)
+///
+/// The paper validates n = 2.000 for free space and n = 2.0454 for the
+/// parallel-copper-board scenario at 220–245 GHz (Fig. 1).
+
+#include <vector>
+
+namespace wi::rf {
+
+/// Log-distance pathloss model.
+class PathLossModel {
+ public:
+  /// \param reference_loss_db  PL at the reference distance
+  /// \param exponent           pathloss exponent n
+  /// \param reference_distance_m  d0 (> 0)
+  PathLossModel(double reference_loss_db, double exponent,
+                double reference_distance_m = 1.0);
+
+  /// Free-space model at the given carrier: exponent 2, Friis reference.
+  [[nodiscard]] static PathLossModel free_space(double carrier_freq_hz);
+
+  /// PL(d) in dB per Eq. (1).
+  [[nodiscard]] double loss_db(double distance_m) const;
+
+  [[nodiscard]] double exponent() const { return exponent_; }
+  [[nodiscard]] double reference_loss_db() const { return reference_loss_db_; }
+  [[nodiscard]] double reference_distance_m() const {
+    return reference_distance_m_;
+  }
+
+ private:
+  double reference_loss_db_;
+  double exponent_;
+  double reference_distance_m_;
+};
+
+/// Friis free-space loss 20 log10(4 pi d / lambda) in dB.
+[[nodiscard]] double friis_loss_db(double distance_m, double carrier_freq_hz);
+
+/// One extracted pathloss sample.
+struct PathLossPoint {
+  double distance_m = 0.0;
+  double pathloss_db = 0.0;
+};
+
+/// Result of fitting Eq. (1) to measured points.
+struct PathLossFit {
+  double exponent = 0.0;           ///< fitted n
+  double reference_loss_db = 0.0;  ///< fitted PL(d0)
+  double rmse_db = 0.0;            ///< residual RMS error
+  double reference_distance_m = 1.0;
+};
+
+/// Ordinary least squares of pathloss_db on 10 log10(d/d0).
+/// Needs at least two distinct distances.
+[[nodiscard]] PathLossFit fit_path_loss(const std::vector<PathLossPoint>& points,
+                                        double reference_distance_m = 1.0);
+
+}  // namespace wi::rf

@@ -1,0 +1,81 @@
+#pragma once
+/// \file vna.hpp
+/// \brief Synthetic vector network analyser.
+///
+/// Substitutes the R&S ZVA24 (220–245 GHz extension) used by the paper:
+/// sweeps a `MultipathChannel` in the frequency domain with 4096 samples,
+/// adds receiver noise, and post-processes sweeps into impulse responses
+/// (windowed IDFT) and scalar pathloss values (band-averaged |S21|^2) —
+/// the same extraction pipeline the authors apply to real measurements
+/// for Figs. 1–3.
+
+#include <vector>
+
+#include "wi/common/rng.hpp"
+#include "wi/dsp/window.hpp"
+#include "wi/rf/channel.hpp"
+
+namespace wi::rf {
+
+/// One S21 frequency sweep.
+struct FrequencySweep {
+  std::vector<double> freqs_hz;  ///< sample frequencies (ascending)
+  std::vector<cplx> s21;         ///< complex transmission coefficient
+};
+
+/// Band-limited impulse response derived from a sweep.
+struct ImpulseResponse {
+  std::vector<double> delay_s;       ///< time axis (starting at 0)
+  std::vector<double> magnitude_db;  ///< 20 log10 |h(tau)|
+};
+
+/// Sweep configuration mirroring the measurement campaign.
+struct VnaConfig {
+  double f_start_hz = 220e9;
+  double f_stop_hz = 245e9;
+  std::size_t points = 4096;
+  double noise_floor_db = -110.0;  ///< per-sample additive noise level
+  std::uint64_t seed = 1;
+};
+
+/// Synthetic VNA instrument.
+class SyntheticVna {
+ public:
+  explicit SyntheticVna(VnaConfig config = {});
+
+  /// Measure S21 of a channel over the configured band. Each call
+  /// advances the internal noise generator (repeat measurements differ,
+  /// like a real instrument); construct with the same config/seed to
+  /// reproduce a campaign exactly.
+  [[nodiscard]] FrequencySweep measure(const MultipathChannel& channel);
+
+  [[nodiscard]] const VnaConfig& config() const { return config_; }
+
+ private:
+  VnaConfig config_;
+  Rng rng_;
+};
+
+/// Windowed IDFT of a sweep. The delay axis resolution is 1/bandwidth;
+/// the unambiguous range is points/bandwidth.
+[[nodiscard]] ImpulseResponse to_impulse_response(
+    const FrequencySweep& sweep,
+    dsp::WindowKind window = dsp::WindowKind::kHann);
+
+/// Scalar pathloss: -10 log10(band average of |S21|^2) with the antenna
+/// gains added back (so the result is the pure channel loss).
+[[nodiscard]] double extract_pathloss_db(const FrequencySweep& sweep,
+                                         double total_antenna_gain_db);
+
+/// Peak-to-peak magnitude ripple of a sweep [dB]: the paper concludes
+/// the board-to-board channel "can be assumed to be static and largely
+/// frequency flat"; this quantifies the flatness over the 25 GHz band.
+[[nodiscard]] double magnitude_ripple_db(const FrequencySweep& sweep);
+
+/// Largest reflection level relative to the LoS peak [dB] within the
+/// impulse response, ignoring a guard of `guard_samples` around the peak.
+/// The paper reports this to be <= -15 dB in all scenarios.
+[[nodiscard]] double worst_reflection_rel_db(const ImpulseResponse& ir,
+                                             std::size_t guard_samples = 8);
+
+}  // namespace wi::rf

@@ -1,0 +1,109 @@
+#include "wi/rf/antenna.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "wi/common/constants.hpp"
+
+namespace wi::rf {
+
+HornAntenna::HornAntenna(double boresight_gain_dbi, double hpbw_deg)
+    : gain_dbi_(boresight_gain_dbi), hpbw_deg_(hpbw_deg) {
+  if (!(hpbw_deg > 0.0)) {
+    throw std::invalid_argument("HornAntenna: beamwidth must be positive");
+  }
+}
+
+double HornAntenna::gain_dbi(double angle_deg) const {
+  // Gaussian beam: -3 dB at hpbw/2  =>  loss = 12 (theta/hpbw)^2 dB.
+  const double loss_db = 12.0 * std::pow(angle_deg / hpbw_deg_, 2.0);
+  return gain_dbi_ - std::min(loss_db, 30.0);
+}
+
+PlanarArray::PlanarArray(std::size_t rows, std::size_t cols,
+                         double element_gain_dbi, double spacing_wavelengths)
+    : rows_(rows), cols_(cols), element_gain_dbi_(element_gain_dbi),
+      spacing_wl_(spacing_wavelengths) {
+  if (rows == 0 || cols == 0) {
+    throw std::invalid_argument("PlanarArray: need at least one element");
+  }
+  if (!(spacing_wavelengths > 0.0)) {
+    throw std::invalid_argument("PlanarArray: spacing must be positive");
+  }
+}
+
+double PlanarArray::broadside_gain_dbi() const {
+  return 10.0 * std::log10(static_cast<double>(element_count())) +
+         element_gain_dbi_;
+}
+
+double PlanarArray::array_factor_db(double theta_deg, double steer_deg) const {
+  // Uniform linear array factor along the steering plane (cols_ elements).
+  const std::size_t n = cols_;
+  const double psi =
+      kTwoPi * spacing_wl_ *
+      (std::sin(theta_deg * kPi / 180.0) - std::sin(steer_deg * kPi / 180.0));
+  double magnitude = 0.0;
+  if (std::abs(psi) < 1e-12) {
+    magnitude = static_cast<double>(n);
+  } else {
+    magnitude = std::abs(std::sin(0.5 * static_cast<double>(n) * psi) /
+                         std::sin(0.5 * psi));
+  }
+  const double normalized = magnitude / static_cast<double>(n);
+  const double power_db = 20.0 * std::log10(std::max(normalized, 1e-6));
+  return power_db;
+}
+
+double PlanarArray::gain_dbi(double theta_deg, double steer_deg) const {
+  return broadside_gain_dbi() + array_factor_db(theta_deg, steer_deg);
+}
+
+ButlerMatrixBeamformer::ButlerMatrixBeamformer(PlanarArray array,
+                                               std::size_t beam_count,
+                                               double network_loss_db)
+    : array_(array), network_loss_db_(network_loss_db) {
+  if (beam_count == 0) {
+    throw std::invalid_argument("ButlerMatrixBeamformer: need >= 1 beam");
+  }
+  // Classic Butler beams at sin(theta_k) = (2k + 1 - K) / K for a
+  // half-wavelength-spaced K-element array.
+  beam_angles_deg_.reserve(beam_count);
+  const double count = static_cast<double>(beam_count);
+  for (std::size_t k = 0; k < beam_count; ++k) {
+    const double s = (2.0 * static_cast<double>(k) + 1.0 - count) / count;
+    beam_angles_deg_.push_back(std::asin(std::clamp(s, -1.0, 1.0)) * 180.0 /
+                               kPi);
+  }
+}
+
+std::size_t ButlerMatrixBeamformer::best_beam(double target_deg) const {
+  std::size_t best = 0;
+  double best_gain = -1e9;
+  for (std::size_t k = 0; k < beam_angles_deg_.size(); ++k) {
+    const double g = array_.gain_dbi(target_deg, beam_angles_deg_[k]);
+    if (g > best_gain) {
+      best_gain = g;
+      best = k;
+    }
+  }
+  return best;
+}
+
+double ButlerMatrixBeamformer::effective_gain_dbi(double target_deg) const {
+  const std::size_t k = best_beam(target_deg);
+  return array_.gain_dbi(target_deg, beam_angles_deg_[k]) - network_loss_db_;
+}
+
+double ButlerMatrixBeamformer::worst_case_mismatch_db() const {
+  double worst = 0.0;
+  for (double target = -60.0; target <= 60.0; target += 0.25) {
+    const double ideal = array_.gain_dbi(target, target);
+    const double actual = effective_gain_dbi(target);
+    worst = std::max(worst, ideal - actual);
+  }
+  return worst;
+}
+
+}  // namespace wi::rf

@@ -1,0 +1,43 @@
+#include "wi/rf/campaign.hpp"
+
+#include <stdexcept>
+
+namespace wi::rf {
+
+std::vector<double> default_distance_grid_m() {
+  std::vector<double> grid;
+  for (int mm = 20; mm <= 200; mm += 10) {
+    grid.push_back(static_cast<double>(mm) * 1e-3);
+  }
+  return grid;
+}
+
+std::vector<PathLossPoint> run_campaign(const CampaignConfig& config) {
+  if (config.distances_m.empty()) {
+    throw std::invalid_argument("run_campaign: no distances configured");
+  }
+  SyntheticVna vna(config.vna);
+  std::vector<PathLossPoint> points;
+  points.reserve(config.distances_m.size());
+  for (const double d : config.distances_m) {
+    BoardToBoardScenario scenario;
+    scenario.distance_m = d;
+    scenario.copper_boards = config.copper_boards;
+    scenario.board_separation_m = config.board_separation_m;
+    scenario.horn_gain_dbi = config.horn_gain_dbi;
+    scenario.carrier_freq_hz =
+        0.5 * (config.vna.f_start_hz + config.vna.f_stop_hz);
+    const MultipathChannel channel = board_to_board_channel(scenario);
+    const FrequencySweep sweep = vna.measure(channel);
+    points.push_back(
+        {d, extract_pathloss_db(sweep, 2.0 * config.horn_gain_dbi)});
+  }
+  return points;
+}
+
+PathLossFit run_and_fit(const CampaignConfig& config,
+                        double reference_distance_m) {
+  return fit_path_loss(run_campaign(config), reference_distance_m);
+}
+
+}  // namespace wi::rf

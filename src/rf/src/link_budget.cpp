@@ -1,0 +1,56 @@
+#include "wi/rf/link_budget.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "wi/common/constants.hpp"
+#include "wi/common/units.hpp"
+#include "wi/rf/pathloss.hpp"
+
+namespace wi::rf {
+
+LinkBudget::LinkBudget(LinkBudgetParams params) : params_(params) {
+  if (!(params_.bandwidth_hz > 0.0) || !(params_.carrier_freq_hz > 0.0) ||
+      !(params_.rx_temperature_k > 0.0)) {
+    throw std::invalid_argument("LinkBudget: invalid parameters");
+  }
+}
+
+double LinkBudget::path_loss_db(double distance_m) const {
+  const double reference = friis_loss_db(1.0, params_.carrier_freq_hz);
+  return reference +
+         10.0 * params_.path_loss_exponent * std::log10(distance_m);
+}
+
+double LinkBudget::noise_power_dbm() const {
+  const double noise_watt =
+      kBoltzmann_jpk * params_.rx_temperature_k * params_.bandwidth_hz;
+  return watt_to_dbm(noise_watt) + params_.rx_noise_figure_db;
+}
+
+double LinkBudget::required_tx_power_dbm(double target_snr_db,
+                                         double distance_m,
+                                         bool butler_mismatch) const {
+  double ptx = target_snr_db + noise_power_dbm() + path_loss_db(distance_m);
+  ptx -= 2.0 * params_.array_gain_db;  // TX and RX arrays
+  ptx += params_.polarization_mismatch_db + params_.implementation_loss_db;
+  if (butler_mismatch) ptx += params_.butler_inaccuracy_db;
+  return ptx;
+}
+
+double LinkBudget::snr_db(double tx_power_dbm, double distance_m,
+                          bool butler_mismatch) const {
+  // required_tx_power is affine in the SNR, so invert directly.
+  const double ptx_at_zero_snr =
+      required_tx_power_dbm(0.0, distance_m, butler_mismatch);
+  return tx_power_dbm - ptx_at_zero_snr;
+}
+
+double LinkBudget::shannon_rate_bps(double snr_db,
+                                    bool dual_polarization) const {
+  const double capacity =
+      params_.bandwidth_hz * std::log2(1.0 + db_to_lin(snr_db));
+  return dual_polarization ? 2.0 * capacity : capacity;
+}
+
+}  // namespace wi::rf

@@ -1,0 +1,75 @@
+#include "wi/rf/pathloss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "wi/common/constants.hpp"
+
+namespace wi::rf {
+
+PathLossModel::PathLossModel(double reference_loss_db, double exponent,
+                             double reference_distance_m)
+    : reference_loss_db_(reference_loss_db), exponent_(exponent),
+      reference_distance_m_(reference_distance_m) {
+  if (!(reference_distance_m > 0.0)) {
+    throw std::invalid_argument("PathLossModel: d0 must be positive");
+  }
+}
+
+PathLossModel PathLossModel::free_space(double carrier_freq_hz) {
+  return PathLossModel(friis_loss_db(1.0, carrier_freq_hz), 2.0, 1.0);
+}
+
+double PathLossModel::loss_db(double distance_m) const {
+  if (!(distance_m > 0.0)) {
+    throw std::invalid_argument("PathLossModel: distance must be positive");
+  }
+  return reference_loss_db_ +
+         10.0 * exponent_ * std::log10(distance_m / reference_distance_m_);
+}
+
+double friis_loss_db(double distance_m, double carrier_freq_hz) {
+  if (!(distance_m > 0.0) || !(carrier_freq_hz > 0.0)) {
+    throw std::invalid_argument("friis_loss_db: positive arguments required");
+  }
+  const double lambda = kSpeedOfLight_mps / carrier_freq_hz;
+  return 20.0 * std::log10(4.0 * kPi * distance_m / lambda);
+}
+
+PathLossFit fit_path_loss(const std::vector<PathLossPoint>& points,
+                          double reference_distance_m) {
+  if (points.size() < 2) {
+    throw std::invalid_argument("fit_path_loss: need at least two points");
+  }
+  // Regress y = a + n * x with x = 10 log10(d/d0).
+  double sx = 0.0;
+  double sy = 0.0;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  const double count = static_cast<double>(points.size());
+  for (const auto& p : points) {
+    const double x = 10.0 * std::log10(p.distance_m / reference_distance_m);
+    sx += x;
+    sy += p.pathloss_db;
+    sxx += x * x;
+    sxy += x * p.pathloss_db;
+  }
+  const double denom = count * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12) {
+    throw std::invalid_argument("fit_path_loss: distances are degenerate");
+  }
+  PathLossFit fit;
+  fit.reference_distance_m = reference_distance_m;
+  fit.exponent = (count * sxy - sx * sy) / denom;
+  fit.reference_loss_db = (sy - fit.exponent * sx) / count;
+  double sq = 0.0;
+  for (const auto& p : points) {
+    const double x = 10.0 * std::log10(p.distance_m / reference_distance_m);
+    const double pred = fit.reference_loss_db + fit.exponent * x;
+    sq += (p.pathloss_db - pred) * (p.pathloss_db - pred);
+  }
+  fit.rmse_db = std::sqrt(sq / count);
+  return fit;
+}
+
+}  // namespace wi::rf

@@ -1,0 +1,105 @@
+#include "wi/rf/vna.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "wi/common/units.hpp"
+#include "wi/dsp/fft.hpp"
+
+namespace wi::rf {
+
+SyntheticVna::SyntheticVna(VnaConfig config)
+    : config_(config), rng_(config.seed) {
+  if (config_.points < 2 || !(config_.f_stop_hz > config_.f_start_hz)) {
+    throw std::invalid_argument("SyntheticVna: invalid sweep configuration");
+  }
+}
+
+FrequencySweep SyntheticVna::measure(const MultipathChannel& channel) {
+  FrequencySweep sweep;
+  sweep.freqs_hz.resize(config_.points);
+  sweep.s21.resize(config_.points);
+  const double step = (config_.f_stop_hz - config_.f_start_hz) /
+                      static_cast<double>(config_.points - 1);
+  const double noise_amp = db_to_amp(config_.noise_floor_db);
+  for (std::size_t i = 0; i < config_.points; ++i) {
+    const double f = config_.f_start_hz + step * static_cast<double>(i);
+    sweep.freqs_hz[i] = f;
+    const cplx noise(noise_amp * rng_.gaussian() / std::sqrt(2.0),
+                     noise_amp * rng_.gaussian() / std::sqrt(2.0));
+    sweep.s21[i] = channel.frequency_response(f) + noise;
+  }
+  return sweep;
+}
+
+ImpulseResponse to_impulse_response(const FrequencySweep& sweep,
+                                    dsp::WindowKind window) {
+  const std::size_t n = sweep.s21.size();
+  if (n < 2) throw std::invalid_argument("to_impulse_response: empty sweep");
+  const std::vector<double> w = dsp::make_window(window, n);
+  double w_sum = 0.0;
+  for (const double v : w) w_sum += v;
+  std::vector<dsp::cplx> spectrum(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Normalise by the window DC gain so tap amplitudes stay calibrated.
+    spectrum[i] = sweep.s21[i] * (w[i] * static_cast<double>(n) / w_sum);
+  }
+  std::vector<dsp::cplx> h = dsp::ifft(std::move(spectrum));
+
+  const double bandwidth = sweep.freqs_hz.back() - sweep.freqs_hz.front();
+  const double dt = 1.0 / bandwidth / (static_cast<double>(n) /
+                                       static_cast<double>(n - 1));
+  ImpulseResponse ir;
+  ir.delay_s.resize(n);
+  ir.magnitude_db.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ir.delay_s[i] = dt * static_cast<double>(i);
+    const double mag = std::abs(h[i]);
+    ir.magnitude_db[i] = 20.0 * std::log10(std::max(mag, 1e-15));
+  }
+  return ir;
+}
+
+double extract_pathloss_db(const FrequencySweep& sweep,
+                           double total_antenna_gain_db) {
+  if (sweep.s21.empty()) {
+    throw std::invalid_argument("extract_pathloss_db: empty sweep");
+  }
+  double mean_power = 0.0;
+  for (const auto& s : sweep.s21) mean_power += std::norm(s);
+  mean_power /= static_cast<double>(sweep.s21.size());
+  return -lin_to_db(mean_power) + total_antenna_gain_db;
+}
+
+double magnitude_ripple_db(const FrequencySweep& sweep) {
+  if (sweep.s21.empty()) {
+    throw std::invalid_argument("magnitude_ripple_db: empty sweep");
+  }
+  double lo = 1e300;
+  double hi = -1e300;
+  for (const auto& s : sweep.s21) {
+    const double mag_db = 20.0 * std::log10(std::max(std::abs(s), 1e-15));
+    lo = std::min(lo, mag_db);
+    hi = std::max(hi, mag_db);
+  }
+  return hi - lo;
+}
+
+double worst_reflection_rel_db(const ImpulseResponse& ir,
+                               std::size_t guard_samples) {
+  if (ir.magnitude_db.empty()) return -300.0;
+  std::size_t peak = 0;
+  for (std::size_t i = 1; i < ir.magnitude_db.size(); ++i) {
+    if (ir.magnitude_db[i] > ir.magnitude_db[peak]) peak = i;
+  }
+  double worst = -300.0;
+  for (std::size_t i = 0; i < ir.magnitude_db.size(); ++i) {
+    const std::size_t dist = (i > peak) ? i - peak : peak - i;
+    if (dist <= guard_samples) continue;
+    worst = std::max(worst, ir.magnitude_db[i] - ir.magnitude_db[peak]);
+  }
+  return worst;
+}
+
+}  // namespace wi::rf

@@ -1,0 +1,99 @@
+#include "wi/comm/filter_design.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "wi/comm/info_rate.hpp"
+
+namespace wi::comm {
+namespace {
+
+const Constellation& ask4() {
+  static const Constellation c = Constellation::ask(4);
+  return c;
+}
+
+TEST(UniqueDetection, RectIsNotUnique) {
+  // All samples equal: levels of the same sign are indistinguishable.
+  EXPECT_FALSE(is_uniquely_detectable(IsiFilter::rectangular(5), ask4()));
+}
+
+TEST(UniqueDetection, SuboptimalPresetIsUnique) {
+  EXPECT_TRUE(is_uniquely_detectable(paper_filter_suboptimal(), ask4()));
+}
+
+TEST(UniqueDetection, BpskRectIsUnique) {
+  // Two antipodal levels: the sign alone identifies the symbol.
+  EXPECT_TRUE(is_uniquely_detectable(IsiFilter::rectangular(5),
+                                     Constellation::bpsk()));
+}
+
+TEST(UniqueDetection, OneFoldOversamplingCannotSeparateFourLevels) {
+  // The paper: 5-fold oversampling was found to be the smallest rate
+  // enabling unique detection for 4-ASK. With M = 1 it is impossible
+  // for any single-span filter (only the sign is seen).
+  const IsiFilter one_sample({1.0}, 1);
+  EXPECT_FALSE(is_uniquely_detectable(one_sample, ask4()));
+}
+
+TEST(NoiseFreeMargin, RectMarginIsSmallestLevel) {
+  const double margin =
+      noise_free_margin(IsiFilter::rectangular(5), ask4());
+  EXPECT_NEAR(margin, 1.0 / std::sqrt(5.0), 1e-9);
+}
+
+TEST(NoiseFreeMargin, PositiveForPresets) {
+  EXPECT_GT(noise_free_margin(paper_filter_suboptimal(), ask4()), 0.0);
+  EXPECT_GT(noise_free_margin(paper_filter_sequence(), ask4()), 0.0);
+}
+
+TEST(Presets, NormalisedToPowerConstraint) {
+  EXPECT_NEAR(paper_filter_symbolwise().energy(), 5.0, 1e-9);
+  EXPECT_NEAR(paper_filter_sequence().energy(), 5.0, 1e-9);
+  EXPECT_NEAR(paper_filter_suboptimal().energy(), 5.0, 1e-9);
+}
+
+TEST(Presets, MatchFig6Levels) {
+  // The pre-optimised designs must reproduce the Fig. 6 operating
+  // points at the 25 dB design SNR.
+  const OneBitOsChannel sym(paper_filter_symbolwise(), ask4(), 25.0);
+  EXPECT_GT(mi_one_bit_symbolwise(sym), 1.55);
+  const OneBitOsChannel seq(paper_filter_sequence(), ask4(), 25.0);
+  EXPECT_GT(info_rate_one_bit_sequence(seq, {40000, 21}), 1.85);
+}
+
+TEST(Optimizer, SymbolwiseImprovesOnRect) {
+  FilterDesignOptions options;
+  options.max_evals = 400;  // small budget: just has to beat rect
+  options.restarts = 1;
+  const IsiFilter optimised = optimize_filter_symbolwise(ask4(), options);
+  const OneBitOsChannel ch_opt(optimised, ask4(), 25.0);
+  const OneBitOsChannel ch_rect(IsiFilter::rectangular(5), ask4(), 25.0);
+  EXPECT_GT(mi_one_bit_symbolwise(ch_opt),
+            mi_one_bit_symbolwise(ch_rect) + 0.1);
+}
+
+TEST(Optimizer, SuboptimalDesignAchievesUniqueness) {
+  FilterDesignOptions options;
+  options.max_evals = 1500;
+  options.restarts = 2;
+  const IsiFilter designed = design_filter_suboptimal(ask4(), options);
+  EXPECT_TRUE(is_uniquely_detectable(designed, ask4()));
+  EXPECT_GT(noise_free_margin(designed, ask4()), 0.0);
+}
+
+TEST(Optimizer, RespectsConfiguredShape) {
+  FilterDesignOptions options;
+  options.samples_per_symbol = 3;
+  options.span_symbols = 2;
+  options.max_evals = 200;
+  options.restarts = 1;
+  const IsiFilter f = optimize_filter_symbolwise(ask4(), options);
+  EXPECT_EQ(f.samples_per_symbol(), 3u);
+  EXPECT_EQ(f.span_symbols(), 2u);
+  EXPECT_NEAR(f.energy(), 3.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace wi::comm

@@ -1,0 +1,173 @@
+#include "wi/comm/info_rate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "wi/comm/filter_design.hpp"
+
+namespace wi::comm {
+namespace {
+
+const Constellation& ask4() {
+  static const Constellation c = Constellation::ask(4);
+  return c;
+}
+
+TEST(UnquantizedMi, ApproachesLog2MAtHighSnr) {
+  EXPECT_NEAR(mi_unquantized_awgn(ask4(), 35.0), 2.0, 1e-3);
+  EXPECT_NEAR(mi_unquantized_awgn(Constellation::bpsk(), 20.0), 1.0, 1e-3);
+}
+
+TEST(UnquantizedMi, VanishesAtVeryLowSnr) {
+  EXPECT_LT(mi_unquantized_awgn(ask4(), -30.0), 0.01);
+}
+
+TEST(UnquantizedMi, MonotoneInSnr) {
+  double prev = 0.0;
+  for (double snr = -10.0; snr <= 30.0; snr += 5.0) {
+    const double mi = mi_unquantized_awgn(ask4(), snr);
+    EXPECT_GE(mi, prev - 1e-9) << "snr " << snr;
+    prev = mi;
+  }
+}
+
+TEST(UnquantizedMi, BelowShannonCapacity) {
+  for (double snr = -5.0; snr <= 35.0; snr += 5.0) {
+    const double shannon =
+        0.5 * std::log2(1.0 + std::pow(10.0, snr / 10.0));
+    EXPECT_LE(mi_unquantized_awgn(ask4(), snr), shannon + 1e-6);
+  }
+}
+
+TEST(OneBitNoOs, CappedAtOneBit) {
+  for (double snr = -5.0; snr <= 35.0; snr += 5.0) {
+    const double mi = mi_one_bit_no_oversampling(ask4(), snr);
+    EXPECT_GE(mi, 0.0);
+    EXPECT_LE(mi, 1.0 + 1e-12);
+  }
+  EXPECT_NEAR(mi_one_bit_no_oversampling(ask4(), 35.0), 1.0, 1e-3);
+}
+
+TEST(OneBitNoOs, BpskMatchesBscFormula) {
+  // y = sign(x + n): BSC with crossover Q(1/sigma); I = 1 - Hb(eps).
+  const double snr_db = 6.0;
+  const double sigma = noise_std_for_snr_db(snr_db);
+  const double eps = 0.5 * std::erfc(1.0 / sigma / std::sqrt(2.0));
+  const double expected =
+      1.0 + eps * std::log2(eps) + (1.0 - eps) * std::log2(1.0 - eps);
+  EXPECT_NEAR(mi_one_bit_no_oversampling(Constellation::bpsk(), snr_db),
+              expected, 1e-9);
+}
+
+TEST(SymbolwiseMi, RectAtHighSnrIsOneBit) {
+  // All five samples identical -> only the sign survives at high SNR.
+  const OneBitOsChannel channel(IsiFilter::rectangular(5), ask4(), 35.0);
+  EXPECT_NEAR(mi_one_bit_symbolwise(channel), 1.0, 1e-2);
+}
+
+TEST(SymbolwiseMi, RectOversamplingBeatsNoOversamplingAtLowSnr) {
+  // At low SNR the five noisy looks carry amplitude information the
+  // single look cannot (the paper's stochastic-resonance effect).
+  const double snr_db = 3.0;
+  const OneBitOsChannel channel(IsiFilter::rectangular(5), ask4(), snr_db);
+  EXPECT_GT(mi_one_bit_symbolwise(channel),
+            mi_one_bit_no_oversampling(ask4(), snr_db) + 0.02);
+}
+
+TEST(SymbolwiseMi, OptimisedFilterBreaksOneBitCeiling) {
+  // The Fig. 5(b) design: ISI as dithering lifts the symbolwise rate
+  // far above 1 bpcu at the design SNR.
+  const OneBitOsChannel channel(paper_filter_symbolwise(), ask4(), 25.0);
+  EXPECT_GT(mi_one_bit_symbolwise(channel), 1.5);
+}
+
+TEST(SymbolwiseMi, BoundedByTwoBits) {
+  for (double snr = -5.0; snr <= 35.0; snr += 10.0) {
+    const OneBitOsChannel channel(paper_filter_symbolwise(), ask4(), snr);
+    const double mi = mi_one_bit_symbolwise(channel);
+    EXPECT_GE(mi, 0.0);
+    EXPECT_LE(mi, 2.0 + 1e-9);
+  }
+}
+
+TEST(ConditionalEntropy, VanishesAtHighSnr) {
+  const OneBitOsChannel channel(paper_filter_sequence(), ask4(), 60.0);
+  EXPECT_LT(conditional_entropy_rate(channel), 1e-3);
+}
+
+TEST(ConditionalEntropy, ApproachesMBitsAtVeryLowSnr) {
+  // Noise dominates: each of the 5 samples is a fair coin.
+  const OneBitOsChannel channel(paper_filter_sequence(), ask4(), -40.0);
+  EXPECT_NEAR(conditional_entropy_rate(channel), 5.0, 1e-2);
+}
+
+TEST(UnquantizedMi, MatchedFilterGainIs7dB) {
+  // 5 samples collect 5x the energy: the bound equals the plain MI
+  // shifted by 10 log10(5) ~ 7 dB.
+  EXPECT_NEAR(mi_unquantized_matched_filter(ask4(), 10.0, 5),
+              mi_unquantized_awgn(ask4(), 10.0 + 10.0 * std::log10(5.0)),
+              1e-12);
+  EXPECT_GT(mi_unquantized_matched_filter(ask4(), 0.0, 5),
+            mi_unquantized_awgn(ask4(), 0.0));
+}
+
+TEST(SequenceRate, ExceedsSymbolwiseForSequenceFilter) {
+  // Sequence estimation exploits the ISI linear combinations (the
+  // paper's Sec. III conclusion).
+  const OneBitOsChannel channel(paper_filter_sequence(), ask4(), 25.0);
+  const double seq = info_rate_one_bit_sequence(channel, {40000, 11});
+  const double sym = mi_one_bit_symbolwise(channel);
+  EXPECT_GT(seq, sym + 0.1);
+  EXPECT_GT(seq, 1.8);  // near 2 bpcu at 25 dB (Fig. 6)
+}
+
+TEST(SequenceRate, WithinBounds) {
+  const OneBitOsChannel channel(paper_filter_sequence(), ask4(), 5.0);
+  const double rate = info_rate_one_bit_sequence(channel, {20000, 12});
+  EXPECT_GE(rate, 0.0);
+  EXPECT_LE(rate, 2.0);
+}
+
+TEST(SequenceRate, ReproducibleWithSeed) {
+  const OneBitOsChannel channel(paper_filter_sequence(), ask4(), 15.0);
+  const double a = info_rate_one_bit_sequence(channel, {10000, 42});
+  const double b = info_rate_one_bit_sequence(channel, {10000, 42});
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(SequenceRate, RectMatchesSymbolwiseRect) {
+  // With span 1 (no memory) the sequence rate equals the symbolwise MI.
+  const OneBitOsChannel channel(IsiFilter::rectangular(5), ask4(), 10.0);
+  const double seq = info_rate_one_bit_sequence(channel, {150000, 13});
+  const double sym = mi_one_bit_symbolwise(channel);
+  EXPECT_NEAR(seq, sym, 0.02);
+}
+
+class Fig6OrderingTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(Fig6OrderingTest, CurveOrderingHolds) {
+  // At every SNR: no-quantization >= sequence-optimised >= rect 1-bit,
+  // and 1-bit no-OS <= 1.0 (Fig. 6's vertical ordering).
+  const double snr = GetParam();
+  // The valid upper bound for M-fold oversampled receivers is the
+  // unquantized matched-filter MI at the block energy.
+  const double unq = mi_unquantized_matched_filter(ask4(), snr, 5);
+  const OneBitOsChannel seq_ch(paper_filter_sequence(), ask4(), snr);
+  const double seq = info_rate_one_bit_sequence(seq_ch, {40000, 14});
+  const OneBitOsChannel rect_ch(IsiFilter::rectangular(5), ask4(), snr);
+  const double rect = info_rate_one_bit_sequence(rect_ch, {40000, 14});
+  EXPECT_GE(unq + 0.05, seq) << "snr " << snr;
+  // The 25 dB design may trail the rectangular pulse slightly below its
+  // design region; from 10 dB on it must win.
+  if (snr >= 10.0) {
+    EXPECT_GE(seq + 0.03, rect) << "snr " << snr;
+  }
+  EXPECT_LE(mi_one_bit_no_oversampling(ask4(), snr), 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(SnrSweep, Fig6OrderingTest,
+                         ::testing::Values(0.0, 10.0, 20.0, 30.0));
+
+}  // namespace
+}  // namespace wi::comm

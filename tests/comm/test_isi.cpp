@@ -1,0 +1,82 @@
+#include "wi/comm/isi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace wi::comm {
+namespace {
+
+TEST(IsiFilter, NormalisedEnergyEqualsM) {
+  // The power constraint ||h||^2 = M keeps the SNR definition
+  // filter-independent.
+  const IsiFilter f({1.0, 2.0, 3.0, 4.0, 5.0, 0.5, 0.5, 0.5, 0.5, 0.5}, 5);
+  EXPECT_NEAR(f.energy(), 5.0, 1e-12);
+}
+
+TEST(IsiFilter, RectangularProperties) {
+  const IsiFilter rect = IsiFilter::rectangular(5);
+  EXPECT_EQ(rect.samples_per_symbol(), 5u);
+  EXPECT_EQ(rect.span_symbols(), 1u);
+  for (std::size_t m = 0; m < 5; ++m) {
+    EXPECT_NEAR(rect.slice(0, m), 1.0, 1e-12);
+  }
+}
+
+TEST(IsiFilter, SliceIndexing) {
+  const IsiFilter f({1.0, 2.0, 3.0, 4.0, 5.0, 6.0}, 3, /*normalize=*/false);
+  EXPECT_EQ(f.span_symbols(), 2u);
+  EXPECT_DOUBLE_EQ(f.slice(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(f.slice(0, 2), 3.0);
+  EXPECT_DOUBLE_EQ(f.slice(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(f.slice(1, 2), 6.0);
+}
+
+TEST(IsiFilter, NoiselessSampleSuperposition) {
+  const IsiFilter f({1.0, 0.0, 0.5, 0.25, 0.0, 0.0}, 3, false);
+  // z_m = x_t g0[m] + x_{t-1} g1[m].
+  EXPECT_DOUBLE_EQ(f.noiseless_sample({2.0, 4.0}, 0), 2.0 * 1.0 + 4.0 * 0.25);
+  EXPECT_DOUBLE_EQ(f.noiseless_sample({2.0, 4.0}, 2), 2.0 * 0.5);
+}
+
+TEST(IsiFilter, NoiselessSampleRejectsWrongWindow) {
+  const IsiFilter f = IsiFilter::rectangular(5);
+  EXPECT_THROW(f.noiseless_sample({1.0, 2.0}, 0), std::invalid_argument);
+}
+
+TEST(IsiFilter, RejectsBadConstruction) {
+  EXPECT_THROW(IsiFilter({}, 5), std::invalid_argument);
+  EXPECT_THROW(IsiFilter({1.0, 2.0, 3.0}, 2), std::invalid_argument);
+  EXPECT_THROW(IsiFilter({1.0}, 0), std::invalid_argument);
+  EXPECT_THROW(IsiFilter({0.0, 0.0}, 2), std::invalid_argument);  // zero
+}
+
+TEST(ModulateWaveform, RectIsZeroOrderHold) {
+  const IsiFilter rect = IsiFilter::rectangular(3);
+  const auto wave = modulate_waveform(rect, {1.0, -2.0});
+  ASSERT_EQ(wave.size(), 6u);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(wave[i], 1.0, 1e-12);
+  for (int i = 3; i < 6; ++i) EXPECT_NEAR(wave[i], -2.0, 1e-12);
+}
+
+TEST(ModulateWaveform, OverlapAddsAcrossSymbols) {
+  // Span-2 filter: second symbol block sees the first symbol through g1.
+  const IsiFilter f({1.0, 1.0, 0.5, 0.5}, 2, false);
+  const auto wave = modulate_waveform(f, {1.0, 1.0});
+  EXPECT_DOUBLE_EQ(wave[2], 1.0 + 0.5);
+  EXPECT_DOUBLE_EQ(wave[3], 1.0 + 0.5);
+}
+
+TEST(ModulateWaveform, MatchesNoiselessSampleAfterWarmup) {
+  const IsiFilter f({0.9, -0.2, 0.4, 0.1, 0.3, -0.05}, 2, false);
+  const std::vector<double> symbols = {1.0, -1.0, 3.0, 2.0};
+  const auto wave = modulate_waveform(f, symbols);
+  // Symbol index 2 (fully warmed up, span 3).
+  const std::vector<double> window = {3.0, -1.0, 1.0};
+  for (std::size_t m = 0; m < 2; ++m) {
+    EXPECT_NEAR(wave[2 * 2 + m], f.noiseless_sample(window, m), 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace wi::comm

@@ -1,0 +1,68 @@
+#include "wi/comm/modulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace wi::comm {
+namespace {
+
+TEST(Constellation, Ask4LevelsNormalised) {
+  const Constellation c = Constellation::ask(4);
+  ASSERT_EQ(c.order(), 4u);
+  // Regular 4-ASK {-3,-1,1,3}/sqrt(5).
+  const double s = 1.0 / std::sqrt(5.0);
+  EXPECT_NEAR(c.level(0), -3.0 * s, 1e-12);
+  EXPECT_NEAR(c.level(1), -1.0 * s, 1e-12);
+  EXPECT_NEAR(c.level(2), 1.0 * s, 1e-12);
+  EXPECT_NEAR(c.level(3), 3.0 * s, 1e-12);
+}
+
+TEST(Constellation, UnitAverageEnergy) {
+  for (const std::size_t order : {2u, 4u, 8u, 16u}) {
+    EXPECT_NEAR(Constellation::ask(order).average_energy(), 1.0, 1e-12)
+        << "order " << order;
+  }
+}
+
+TEST(Constellation, BpskIsAntipodal) {
+  const Constellation c = Constellation::bpsk();
+  ASSERT_EQ(c.order(), 2u);
+  EXPECT_NEAR(c.level(0), -1.0, 1e-12);
+  EXPECT_NEAR(c.level(1), 1.0, 1e-12);
+}
+
+TEST(Constellation, BitsPerSymbol) {
+  EXPECT_DOUBLE_EQ(Constellation::ask(4).bits_per_symbol(), 2.0);
+  EXPECT_DOUBLE_EQ(Constellation::ask(8).bits_per_symbol(), 3.0);
+}
+
+TEST(Constellation, NearestDecision) {
+  const Constellation c = Constellation::ask(4);
+  EXPECT_EQ(c.nearest(-10.0), 0u);
+  EXPECT_EQ(c.nearest(10.0), 3u);
+  EXPECT_EQ(c.nearest(c.level(1) + 0.01), 1u);
+  EXPECT_EQ(c.nearest(0.5 * (c.level(1) + c.level(2)) + 1e-6), 2u);
+}
+
+TEST(Constellation, CustomLevelsNormalised) {
+  const Constellation c(std::vector<double>{-2.0, 0.0, 2.0});
+  EXPECT_NEAR(c.average_energy(), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(c.level(1), 0.0);
+}
+
+TEST(Constellation, RejectsEmptyAndBadOrder) {
+  EXPECT_THROW(Constellation(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(Constellation::ask(1), std::invalid_argument);
+  EXPECT_THROW(Constellation::ask(0), std::invalid_argument);
+}
+
+TEST(Constellation, LevelsStrictlyIncreasing) {
+  const Constellation c = Constellation::ask(8);
+  for (std::size_t i = 1; i < c.order(); ++i) {
+    EXPECT_GT(c.level(i), c.level(i - 1));
+  }
+}
+
+}  // namespace
+}  // namespace wi::comm

@@ -1,0 +1,107 @@
+#include "wi/comm/os_channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace wi::comm {
+namespace {
+
+OneBitOsChannel make_channel(double snr_db) {
+  return OneBitOsChannel(IsiFilter::rectangular(5), Constellation::ask(4),
+                         snr_db);
+}
+
+TEST(OsChannel, NoiseStdFromSnr) {
+  EXPECT_NEAR(noise_std_for_snr_db(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(noise_std_for_snr_db(20.0), 0.1, 1e-12);
+  EXPECT_NEAR(noise_std_for_snr_db(-20.0), 10.0, 1e-12);
+}
+
+TEST(OsChannel, StateCountFollowsSpan) {
+  EXPECT_EQ(make_channel(10.0).state_count(), 1u);  // span 1
+  const IsiFilter span3(std::vector<double>(15, 0.3), 5);
+  const OneBitOsChannel channel(span3, Constellation::ask(4), 10.0);
+  EXPECT_EQ(channel.state_count(), 16u);  // 4^(3-1)
+}
+
+TEST(OsChannel, SampleOneProbLimits) {
+  const OneBitOsChannel channel = make_channel(20.0);
+  EXPECT_NEAR(channel.sample_one_prob(0.0), 0.5, 1e-12);
+  EXPECT_GT(channel.sample_one_prob(1.0), 0.999);
+  EXPECT_LT(channel.sample_one_prob(-1.0), 0.001);
+}
+
+TEST(OsChannel, BlockProbsSumToOne) {
+  const IsiFilter f({0.8, 1.2, -0.4, 0.6, 0.9, 0.1, -0.3, 0.2, 0.5, -0.1},
+                    5);
+  const OneBitOsChannel channel(f, Constellation::ask(4), 8.0);
+  for (const auto& window : channel.all_windows()) {
+    double total = 0.0;
+    for (std::uint32_t pattern = 0; pattern < 32; ++pattern) {
+      total += channel.block_prob(pattern, window);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(OsChannel, NoiselessBlockMatchesFilter) {
+  const IsiFilter f = IsiFilter::rectangular(5);
+  const OneBitOsChannel channel(f, Constellation::ask(4), 10.0);
+  const auto z = channel.noiseless_block({3});
+  const double level = Constellation::ask(4).level(3);
+  for (const double v : z) EXPECT_NEAR(v, level, 1e-12);
+}
+
+TEST(OsChannel, AllWindowsEnumeration) {
+  const IsiFilter span2(std::vector<double>(10, 0.4), 5);
+  const OneBitOsChannel channel(span2, Constellation::ask(4), 10.0);
+  const auto windows = channel.all_windows();
+  EXPECT_EQ(windows.size(), 16u);  // 4^2
+  // Every window distinct.
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    for (std::size_t j = i + 1; j < windows.size(); ++j) {
+      EXPECT_NE(windows[i], windows[j]);
+    }
+  }
+}
+
+TEST(OsChannel, SimulateDeterministicGivenSeed) {
+  const OneBitOsChannel channel = make_channel(10.0);
+  Rng rng_a(5);
+  Rng rng_b(5);
+  const auto a = channel.simulate(500, rng_a);
+  const auto b = channel.simulate(500, rng_b);
+  EXPECT_EQ(a.symbols, b.symbols);
+  EXPECT_EQ(a.patterns, b.patterns);
+}
+
+TEST(OsChannel, HighSnrRectPatternsAreSignConsistent) {
+  // At 40 dB SNR the rectangular pulse gives all-ones for positive
+  // levels and all-zeros for negative ones.
+  const OneBitOsChannel channel = make_channel(40.0);
+  Rng rng(6);
+  const auto sim = channel.simulate(2000, rng);
+  for (std::size_t t = 0; t < sim.symbols.size(); ++t) {
+    const double level = channel.constellation().level(sim.symbols[t]);
+    EXPECT_EQ(sim.patterns[t], level > 0.0 ? 0x1Fu : 0x0u) << "t=" << t;
+  }
+}
+
+TEST(OsChannel, SymbolsUniform) {
+  const OneBitOsChannel channel = make_channel(10.0);
+  Rng rng(7);
+  const auto sim = channel.simulate(40000, rng);
+  std::vector<int> counts(4, 0);
+  for (const auto s : sim.symbols) ++counts[s];
+  for (const int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(OsChannel, RejectsHugeOversampling) {
+  const IsiFilter f(std::vector<double>(32, 0.2), 32);
+  EXPECT_THROW(OneBitOsChannel(f, Constellation::ask(4), 10.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wi::comm

@@ -1,0 +1,52 @@
+#include "wi/common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace wi {
+namespace {
+
+TEST(Table, RejectsEmptyHeadersAndArityMismatch) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"1"}), std::invalid_argument);
+  EXPECT_THROW(table.add_row({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(Table, RowCount) {
+  Table table({"x"});
+  EXPECT_EQ(table.rows(), 0u);
+  table.add_row({"1"});
+  table.add_row({"2"});
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(Table, PrintContainsHeadersAndValues) {
+  Table table({"dist", "loss"});
+  table.add_row({"100", "59.8"});
+  std::ostringstream oss;
+  table.print(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("dist"), std::string::npos);
+  EXPECT_NE(out.find("59.8"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, CsvFormat) {
+  Table table({"a", "b"});
+  table.add_row({"1", "2"});
+  std::ostringstream oss;
+  table.print_csv(oss);
+  EXPECT_EQ(oss.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(3.14159, 0), "3");
+  EXPECT_EQ(Table::num(static_cast<long long>(42)), "42");
+  EXPECT_EQ(Table::num(-1.5, 1), "-1.5");
+}
+
+}  // namespace
+}  // namespace wi

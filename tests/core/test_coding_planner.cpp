@@ -1,0 +1,101 @@
+#include "wi/core/coding_planner.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wi::core {
+namespace {
+
+TEST(CodingPlanner, PaperTableNonEmptyAndConsistent) {
+  const CodingPlanner planner = CodingPlanner::paper_table();
+  EXPECT_GT(planner.points().size(), 10u);
+  for (const auto& p : planner.points()) {
+    // Eq. 4/5 with R = 1/2, nv = 2: latency = W*N (CC) or N (BC).
+    const double expected = p.block_code
+                                ? static_cast<double>(p.lifting)
+                                : static_cast<double>(p.lifting * p.window);
+    EXPECT_DOUBLE_EQ(p.latency_info_bits, expected);
+  }
+}
+
+TEST(CodingPlanner, BestWithinLatencyRespectsBudget) {
+  const CodingPlanner planner = CodingPlanner::paper_table();
+  for (const double budget : {80.0, 150.0, 250.0, 500.0}) {
+    const auto* best = planner.best_within_latency(budget);
+    ASSERT_NE(best, nullptr) << budget;
+    EXPECT_LE(best->latency_info_bits, budget);
+    // Nothing within budget beats it.
+    for (const auto& p : planner.points()) {
+      if (p.latency_info_bits <= budget) {
+        EXPECT_GE(p.required_ebn0_db, best->required_ebn0_db);
+      }
+    }
+  }
+}
+
+TEST(CodingPlanner, NothingFitsTinyBudget) {
+  const CodingPlanner planner = CodingPlanner::paper_table();
+  EXPECT_EQ(planner.best_within_latency(10.0), nullptr);
+}
+
+TEST(CodingPlanner, LargerBudgetNeverWorse) {
+  const CodingPlanner planner = CodingPlanner::paper_table();
+  double prev = 1e9;
+  for (const double budget : {80.0, 120.0, 200.0, 320.0, 480.0}) {
+    const auto* best = planner.best_within_latency(budget);
+    ASSERT_NE(best, nullptr);
+    EXPECT_LE(best->required_ebn0_db, prev + 1e-12);
+    prev = best->required_ebn0_db;
+  }
+}
+
+TEST(CodingPlanner, WindowAdaptationForFixedCode) {
+  // The decoder-side flexibility: for a deployed N = 40 code, relaxing
+  // the latency budget buys a bigger window and a lower Eb/N0.
+  const CodingPlanner planner = CodingPlanner::paper_table();
+  const auto* tight = planner.best_window_for_lifting(40, 130.0);
+  const auto* loose = planner.best_window_for_lifting(40, 320.0);
+  ASSERT_NE(tight, nullptr);
+  ASSERT_NE(loose, nullptr);
+  EXPECT_LT(tight->window, loose->window);
+  EXPECT_GT(tight->required_ebn0_db, loose->required_ebn0_db);
+  EXPECT_EQ(planner.best_window_for_lifting(40, 50.0), nullptr);
+}
+
+TEST(CodingPlanner, PaperHeadlineLatencyGain) {
+  // Paper: at Eb/N0 = 3 dB the CC needs 200 info bits where the BC
+  // needs 400 — a 200-bit gain.
+  const CodingPlanner planner = CodingPlanner::paper_table();
+  EXPECT_NEAR(planner.latency_gain_vs_block_bits(3.0), 200.0, 40.0);
+}
+
+TEST(CodingPlanner, GainZeroWhenUnreachable) {
+  const CodingPlanner planner = CodingPlanner::paper_table();
+  EXPECT_DOUBLE_EQ(planner.latency_gain_vs_block_bits(0.5), 0.0);
+}
+
+TEST(CodingPlanner, RejectsEmptyTable) {
+  EXPECT_THROW(CodingPlanner({}), std::invalid_argument);
+}
+
+TEST(CodingPlanner, CcDominatesBcAtEqualLatency) {
+  // Fig. 10's message: at (roughly) every latency the CC curve sits
+  // below the BC curve. Check at the BC latencies present in the table.
+  const CodingPlanner planner = CodingPlanner::paper_table();
+  for (const auto& bc : planner.points()) {
+    if (!bc.block_code) continue;
+    double best_cc = 1e9;
+    for (const auto& cc : planner.points()) {
+      if (cc.block_code) continue;
+      if (cc.latency_info_bits <= bc.latency_info_bits) {
+        best_cc = std::min(best_cc, cc.required_ebn0_db);
+      }
+    }
+    if (best_cc < 1e9) {
+      EXPECT_LE(best_cc, bc.required_ebn0_db + 1e-9)
+          << "BC N=" << bc.lifting;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wi::core

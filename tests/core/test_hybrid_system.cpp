@@ -1,0 +1,118 @@
+#include "wi/core/hybrid_system.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wi::core {
+namespace {
+
+TEST(HybridSystem, TopologySizes) {
+  HybridSystemConfig config;
+  config.boards = 4;
+  config.mesh_k = 4;
+  const HybridSystemModel model(config);
+  const auto backplane = model.build_backplane_topology();
+  const auto wireless = model.build_wireless_topology();
+  EXPECT_EQ(backplane.module_count(), 64u);
+  EXPECT_EQ(wireless.module_count(), 64u);
+  // Backplane adds one bridge router per board.
+  EXPECT_EQ(backplane.router_count(), 64u + 4u);
+  EXPECT_EQ(wireless.router_count(), 64u);
+}
+
+TEST(HybridSystem, WirelessLinksAreVerticalAndCounted) {
+  HybridSystemConfig config;
+  config.boards = 3;
+  config.mesh_k = 2;
+  config.wireless_node_fraction = 1.0;
+  const HybridSystemModel model(config);
+  const auto topo = model.build_wireless_topology();
+  std::size_t wireless_links = 0;
+  for (const auto& link : topo.links()) {
+    if (link.vertical) ++wireless_links;
+  }
+  // 4 positions x 2 gaps x 2 directions.
+  EXPECT_EQ(wireless_links, 16u);
+}
+
+TEST(HybridSystem, NodeFractionScalesLinks) {
+  HybridSystemConfig config;
+  config.boards = 2;
+  config.mesh_k = 4;
+  config.wireless_node_fraction = 0.5;
+  const HybridSystemModel model(config);
+  const auto topo = model.build_wireless_topology();
+  std::size_t wireless_links = 0;
+  for (const auto& link : topo.links()) {
+    if (link.vertical) ++wireless_links;
+  }
+  EXPECT_EQ(wireless_links, 16u);  // 8 positions x 1 gap x 2 dirs
+}
+
+TEST(HybridSystem, TrafficMixRespectsFractions) {
+  HybridSystemConfig config;
+  config.boards = 2;
+  config.mesh_k = 2;
+  config.inter_board_fraction = 0.25;
+  const HybridSystemModel model(config);
+  const auto traffic = model.build_traffic();
+  // Source 0 (board 0): intra-board mass 0.75, inter 0.25.
+  double intra = 0.0;
+  double inter = 0.0;
+  for (std::size_t d = 0; d < traffic.modules(); ++d) {
+    if (d < 4) {
+      intra += traffic.probability(0, d);
+    } else {
+      inter += traffic.probability(0, d);
+    }
+  }
+  EXPECT_NEAR(intra, 0.75, 1e-9);
+  EXPECT_NEAR(inter, 0.25, 1e-9);
+}
+
+TEST(HybridSystem, WirelessBeatsBackplaneOnInterBoardTraffic) {
+  // The paper's proposal pays off when inter-board traffic matters.
+  HybridSystemConfig config;
+  config.boards = 4;
+  config.mesh_k = 4;
+  config.inter_board_fraction = 0.4;
+  const HybridComparison cmp = HybridSystemModel(config).compare();
+  EXPECT_GT(cmp.capacity_gain, 1.5);
+  EXPECT_GE(cmp.wireless.saturation_rate, cmp.backplane.saturation_rate);
+  // Direct links also shorten paths.
+  EXPECT_LE(cmp.wireless.zero_load_latency_cycles,
+            cmp.backplane.zero_load_latency_cycles);
+}
+
+TEST(HybridSystem, GainGrowsWithInterBoardFraction) {
+  auto gain_at = [](double fraction) {
+    HybridSystemConfig config;
+    config.inter_board_fraction = fraction;
+    return HybridSystemModel(config).compare().capacity_gain;
+  };
+  EXPECT_GT(gain_at(0.5), gain_at(0.1));
+}
+
+TEST(HybridSystem, FatterBackplaneClosesTheGap) {
+  HybridSystemConfig thin;
+  thin.backplane_bandwidth = 2.0;
+  HybridSystemConfig fat;
+  fat.backplane_bandwidth = 16.0;
+  const double gain_thin = HybridSystemModel(thin).compare().capacity_gain;
+  const double gain_fat = HybridSystemModel(fat).compare().capacity_gain;
+  EXPECT_LT(gain_fat, gain_thin);
+}
+
+TEST(HybridSystem, RejectsBadConfig) {
+  HybridSystemConfig config;
+  config.boards = 1;
+  EXPECT_THROW(HybridSystemModel{config}, std::invalid_argument);
+  config = {};
+  config.inter_board_fraction = 1.5;
+  EXPECT_THROW(HybridSystemModel{config}, std::invalid_argument);
+  config = {};
+  config.wireless_node_fraction = -0.1;
+  EXPECT_THROW(HybridSystemModel{config}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wi::core

@@ -1,0 +1,87 @@
+#include "wi/core/link_planner.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wi::core {
+namespace {
+
+TEST(LinkPlanner, MatchesLinkBudgetOnBoresight) {
+  const WirelessLinkPlanner planner(rf::LinkBudgetParams{},
+                                    Beamforming::kIdealSteering);
+  const rf::LinkBudget budget;
+  EXPECT_DOUBLE_EQ(planner.required_ptx_dbm(10.0, 100.0, 0.0),
+                   budget.required_tx_power_dbm(10.0, 0.1, false));
+}
+
+TEST(LinkPlanner, ButlerChargesOnlySteeredLinks) {
+  const WirelessLinkPlanner butler(rf::LinkBudgetParams{},
+                                   Beamforming::kButlerMatrix);
+  const WirelessLinkPlanner ideal(rf::LinkBudgetParams{},
+                                  Beamforming::kIdealSteering);
+  // Boresight: identical.
+  EXPECT_DOUBLE_EQ(butler.required_ptx_dbm(10.0, 100.0, 0.0),
+                   ideal.required_ptx_dbm(10.0, 100.0, 0.0));
+  // Steered: the 5 dB Table I penalty.
+  EXPECT_NEAR(butler.required_ptx_dbm(10.0, 300.0, 45.0) -
+                  ideal.required_ptx_dbm(10.0, 300.0, 45.0),
+              5.0, 1e-9);
+}
+
+TEST(LinkPlanner, SnrConsistentWithRequiredPower) {
+  const WirelessLinkPlanner planner(rf::LinkBudgetParams{},
+                                    Beamforming::kButlerMatrix);
+  const double ptx = planner.required_ptx_dbm(18.0, 250.0, 30.0);
+  EXPECT_NEAR(planner.snr_db(ptx, 250.0, 30.0), 18.0, 1e-9);
+}
+
+TEST(LinkPlanner, PlansAllAdjacentPairs) {
+  const BoardGeometry geometry(2, 100.0, 100.0, 2);
+  const WirelessLinkPlanner planner(rf::LinkBudgetParams{},
+                                    Beamforming::kButlerMatrix);
+  const auto links = planner.plan(geometry, 20.0, 15.0);
+  EXPECT_EQ(links.size(), 16u);  // 4 x 4 ordered pairs
+  for (const auto& link : links) {
+    EXPECT_GE(link.distance_mm, 100.0);  // separation is the minimum
+    EXPECT_GT(link.rate_gbps, 0.0);
+  }
+}
+
+TEST(LinkPlanner, AheadLinkBeatsDiagonal) {
+  const BoardGeometry geometry(2, 100.0, 100.0, 2);
+  const WirelessLinkPlanner planner(rf::LinkBudgetParams{},
+                                    Beamforming::kButlerMatrix);
+  const auto links = planner.plan(geometry, 20.0, 15.0);
+  const PlannedLink* ahead = nullptr;
+  const PlannedLink* diagonal = nullptr;
+  for (const auto& link : links) {
+    if (ahead == nullptr || link.distance_mm < ahead->distance_mm) {
+      ahead = &link;
+    }
+    if (diagonal == nullptr || link.distance_mm > diagonal->distance_mm) {
+      diagonal = &link;
+    }
+  }
+  ASSERT_NE(ahead, nullptr);
+  ASSERT_NE(diagonal, nullptr);
+  EXPECT_GT(ahead->snr_db, diagonal->snr_db);
+  EXPECT_GT(ahead->rate_gbps, diagonal->rate_gbps);
+  EXPECT_LT(ahead->required_ptx_dbm, diagonal->required_ptx_dbm);
+  EXPECT_NEAR(ahead->steering_angle_deg, 0.0, 1e-9);
+  EXPECT_GT(diagonal->steering_angle_deg, 30.0);
+}
+
+TEST(LinkPlanner, HundredGbitFeasibleAtModeratePower) {
+  // The paper's target: 100 Gbit/s per link. With the Table I budget,
+  // a Shannon-capacity link at ~20 dBm should exceed it on the ahead
+  // link.
+  const BoardGeometry geometry(2, 100.0, 100.0, 2);
+  const WirelessLinkPlanner planner(rf::LinkBudgetParams{},
+                                    Beamforming::kIdealSteering);
+  const auto links = planner.plan(geometry, 20.0, 15.0);
+  double best = 0.0;
+  for (const auto& link : links) best = std::max(best, link.rate_gbps);
+  EXPECT_GT(best, 100.0);
+}
+
+}  // namespace
+}  // namespace wi::core

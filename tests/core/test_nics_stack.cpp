@@ -1,0 +1,107 @@
+#include "wi/core/nics_stack.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wi::core {
+namespace {
+
+TEST(NicsStack, TechnologyParameters) {
+  const auto tsv = vertical_link_params(VerticalLinkTech::kTsv);
+  const auto inductive = vertical_link_params(VerticalLinkTech::kInductive);
+  const auto capacitive =
+      vertical_link_params(VerticalLinkTech::kCapacitive);
+  // Sec. IV: vertical inter-chip links are expected to offer more
+  // bandwidth than planar wires — TSVs at 2x — but cost area.
+  EXPECT_GT(tsv.bandwidth, 1.0);
+  EXPECT_GT(tsv.area_cost, inductive.area_cost);
+  EXPECT_GT(inductive.area_cost, capacitive.area_cost);
+  EXPECT_GE(inductive.bandwidth, capacitive.bandwidth);
+}
+
+TEST(NicsStack, FullVerticalTopology) {
+  NicsStackConfig config;
+  config.layers = 4;
+  config.mesh_k = 4;
+  const NicsStackModel model(config);
+  const auto topo = model.build_topology();
+  EXPECT_EQ(topo.module_count(), 64u);
+  std::size_t vertical = 0;
+  for (const auto& link : topo.links()) {
+    if (link.vertical) {
+      ++vertical;
+      EXPECT_DOUBLE_EQ(link.bandwidth, 2.0);  // TSV default
+    }
+  }
+  EXPECT_EQ(vertical, 2u * 16u * 3u);  // 16 columns x 3 gaps x 2 dirs
+}
+
+TEST(NicsStack, SparserVerticalsDegradePerformance) {
+  auto eval_at = [](std::size_t period) {
+    NicsStackConfig config;
+    config.vertical_period = period;
+    return NicsStackModel(config).evaluate();
+  };
+  const auto dense = eval_at(1);
+  const auto sparse = eval_at(3);
+  EXPECT_LT(dense.zero_load_latency_cycles,
+            sparse.zero_load_latency_cycles);
+  EXPECT_GE(dense.saturation_rate, sparse.saturation_rate);
+  EXPECT_GT(dense.vertical_link_count, sparse.vertical_link_count);
+  EXPECT_GT(dense.area_cost, sparse.area_cost);
+}
+
+TEST(NicsStack, TsvFastestButCostliest) {
+  auto eval_tech = [](VerticalLinkTech tech) {
+    NicsStackConfig config;
+    config.tech = tech;
+    // A vertical-heavy mix makes the vertical bandwidth binding.
+    config.vertical_traffic_fraction = 0.6;
+    return NicsStackModel(config).evaluate();
+  };
+  const auto tsv = eval_tech(VerticalLinkTech::kTsv);
+  const auto capacitive = eval_tech(VerticalLinkTech::kCapacitive);
+  EXPECT_GT(tsv.saturation_rate, capacitive.saturation_rate);
+  EXPECT_GT(tsv.area_cost, capacitive.area_cost);
+}
+
+TEST(NicsStack, VerticalTrafficStressesVerticalLinks) {
+  NicsStackConfig uniform;
+  NicsStackConfig vertical;
+  vertical.vertical_traffic_fraction = 0.8;
+  vertical.tech = VerticalLinkTech::kCapacitive;  // weakest verticals
+  uniform.tech = VerticalLinkTech::kCapacitive;
+  const auto u = NicsStackModel(uniform).evaluate();
+  const auto v = NicsStackModel(vertical).evaluate();
+  EXPECT_LT(v.saturation_rate, u.saturation_rate + 1e-9);
+}
+
+TEST(NicsStack, RejectsBadVerticalFraction) {
+  NicsStackConfig config;
+  config.vertical_traffic_fraction = 1.5;
+  EXPECT_THROW(NicsStackModel{config}, std::invalid_argument);
+}
+
+TEST(NicsStack, AreaBandwidthTradeoffExists) {
+  // The paper's future-work point: sparse TSVs trade performance for
+  // area. Halving the TSV count (period 2) should save ~half the area
+  // while losing some but not all capacity.
+  NicsStackConfig dense_config;
+  const auto dense = NicsStackModel(dense_config).evaluate();
+  NicsStackConfig sparse_config;
+  sparse_config.vertical_period = 2;
+  const auto sparse = NicsStackModel(sparse_config).evaluate();
+  EXPECT_LT(sparse.area_cost, 0.7 * dense.area_cost);
+  EXPECT_GT(sparse.saturation_rate, 0.25 * dense.saturation_rate);
+}
+
+TEST(NicsStack, RejectsDegenerateConfig) {
+  NicsStackConfig config;
+  config.layers = 0;
+  EXPECT_THROW(NicsStackModel{config}, std::invalid_argument);
+  config = {};
+  config.vertical_period = 0;
+  EXPECT_THROW(NicsStackModel{config}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wi::core

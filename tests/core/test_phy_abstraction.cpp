@@ -1,0 +1,60 @@
+#include "wi/core/phy_abstraction.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace wi::core {
+namespace {
+
+TEST(PhyAbstraction, UnquantizedReachesTwoBpcu) {
+  const PhyAbstraction phy(PhyReceiver::kUnquantized);
+  EXPECT_NEAR(phy.info_rate_bpcu(35.0), 2.0, 0.01);
+  EXPECT_LT(phy.info_rate_bpcu(-5.0), 0.5);
+}
+
+TEST(PhyAbstraction, RateMonotoneInSnr) {
+  const PhyAbstraction phy(PhyReceiver::kOneBitSymbolwise);
+  double prev = -1.0;
+  for (double snr = -5.0; snr <= 35.0; snr += 2.5) {
+    const double rate = phy.info_rate_bpcu(snr);
+    EXPECT_GE(rate, prev - 1e-9);
+    prev = rate;
+  }
+}
+
+TEST(PhyAbstraction, SequenceBeatsSymbolwiseAtHighSnr) {
+  const PhyAbstraction seq(PhyReceiver::kOneBitSequence);
+  const PhyAbstraction sym(PhyReceiver::kOneBitSymbolwise);
+  EXPECT_GT(seq.info_rate_bpcu(30.0), sym.info_rate_bpcu(30.0));
+}
+
+TEST(PhyAbstraction, LinkRateScalesWithBandwidthAndPol) {
+  const PhyAbstraction dual(PhyReceiver::kUnquantized, 25e9, 2);
+  const PhyAbstraction single(PhyReceiver::kUnquantized, 25e9, 1);
+  EXPECT_NEAR(dual.link_rate_gbps(20.0) / single.link_rate_gbps(20.0), 2.0,
+              1e-9);
+  // 2 bpcu * 25 GHz * 2 pol = 100 Gbit/s — the paper's headline number.
+  EXPECT_NEAR(dual.link_rate_gbps(35.0), 100.0, 1.0);
+}
+
+TEST(PhyAbstraction, RequiredSnrInvertsRate) {
+  const PhyAbstraction phy(PhyReceiver::kUnquantized);
+  const double target = 60.0;  // Gbit/s
+  const double snr = phy.required_snr_db(target);
+  EXPECT_NEAR(phy.link_rate_gbps(snr), target, 1.0);
+}
+
+TEST(PhyAbstraction, UnreachableRateIsInfinite) {
+  const PhyAbstraction phy(PhyReceiver::kOneBitRect);
+  EXPECT_TRUE(std::isinf(phy.required_snr_db(500.0)));
+}
+
+TEST(PhyAbstraction, ClampsOutsideGrid) {
+  const PhyAbstraction phy(PhyReceiver::kUnquantized);
+  EXPECT_DOUBLE_EQ(phy.info_rate_bpcu(-50.0), phy.info_rate_bpcu(-5.0));
+  EXPECT_DOUBLE_EQ(phy.info_rate_bpcu(90.0), phy.info_rate_bpcu(35.0));
+}
+
+}  // namespace
+}  // namespace wi::core

@@ -1,0 +1,100 @@
+#include "wi/dsp/filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace wi::dsp {
+namespace {
+
+TEST(FirFilter, IdentityTap) {
+  const std::vector<double> x = {1.0, -2.0, 3.0};
+  const auto y = fir_filter({1.0}, x);
+  EXPECT_EQ(y, x);
+}
+
+TEST(FirFilter, DelayTap) {
+  const auto y = fir_filter({0.0, 1.0}, {1.0, 2.0, 3.0});
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_DOUBLE_EQ(y[0], 0.0);
+  EXPECT_DOUBLE_EQ(y[1], 1.0);
+  EXPECT_DOUBLE_EQ(y[2], 2.0);
+}
+
+TEST(FirFilter, MovingAverage) {
+  const auto y = fir_filter({0.5, 0.5}, {2.0, 4.0, 6.0});
+  EXPECT_DOUBLE_EQ(y[0], 1.0);  // zero initial state
+  EXPECT_DOUBLE_EQ(y[1], 3.0);
+  EXPECT_DOUBLE_EQ(y[2], 5.0);
+}
+
+TEST(Upsample, InsertsZeros) {
+  const auto y = upsample({1.0, 2.0}, 3);
+  const std::vector<double> expected = {1.0, 0.0, 0.0, 2.0, 0.0, 0.0};
+  EXPECT_EQ(y, expected);
+}
+
+TEST(Upsample, RejectsZeroFactor) {
+  EXPECT_THROW(upsample({1.0}, 0), std::invalid_argument);
+}
+
+TEST(Downsample, KeepsEveryFactorth) {
+  const std::vector<double> x = {0.0, 1.0, 2.0, 3.0, 4.0, 5.0};
+  const auto y = downsample(x, 2);
+  const std::vector<double> expected = {0.0, 2.0, 4.0};
+  EXPECT_EQ(y, expected);
+  const auto y_off = downsample(x, 2, 1);
+  const std::vector<double> expected_off = {1.0, 3.0, 5.0};
+  EXPECT_EQ(y_off, expected_off);
+}
+
+TEST(UpDownSample, RoundTrip) {
+  const std::vector<double> x = {3.0, 1.0, 4.0, 1.0, 5.0};
+  EXPECT_EQ(downsample(upsample(x, 4), 4), x);
+}
+
+TEST(RectangularPulse, AllOnes) {
+  const auto p = rectangular_pulse(5);
+  ASSERT_EQ(p.size(), 5u);
+  for (const double v : p) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(RootRaisedCosine, UnitEnergy) {
+  for (const double beta : {0.0, 0.25, 0.5, 1.0}) {
+    const auto h = root_raised_cosine(8, 4, beta);
+    EXPECT_NEAR(energy(h), 1.0, 1e-9) << "beta=" << beta;
+  }
+}
+
+TEST(RootRaisedCosine, SymmetricAndPeakCentred) {
+  const auto h = root_raised_cosine(6, 5, 0.3);
+  const std::size_t n = h.size();
+  for (std::size_t i = 0; i < n / 2; ++i) {
+    EXPECT_NEAR(h[i], h[n - 1 - i], 1e-10);
+  }
+  const std::size_t mid = (n - 1) / 2;
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_LE(h[i], h[mid] + 1e-12);
+  }
+}
+
+TEST(RootRaisedCosine, RejectsBadRolloff) {
+  EXPECT_THROW(root_raised_cosine(4, 4, -0.1), std::invalid_argument);
+  EXPECT_THROW(root_raised_cosine(4, 4, 1.1), std::invalid_argument);
+}
+
+TEST(NormalizeEnergy, ScalesToUnit) {
+  const auto h = normalize_energy({3.0, 4.0});
+  EXPECT_NEAR(energy(h), 1.0, 1e-12);
+  EXPECT_NEAR(h[0] / h[1], 0.75, 1e-12);  // direction preserved
+}
+
+TEST(NormalizeEnergy, ZeroVectorUnchanged) {
+  const auto h = normalize_energy({0.0, 0.0});
+  EXPECT_DOUBLE_EQ(h[0], 0.0);
+  EXPECT_DOUBLE_EQ(h[1], 0.0);
+}
+
+}  // namespace
+}  // namespace wi::dsp

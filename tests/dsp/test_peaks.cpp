@@ -1,0 +1,63 @@
+#include "wi/dsp/peaks.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wi::dsp {
+namespace {
+
+TEST(FindPeaks, SinglePeak) {
+  const auto peaks = find_peaks({0.0, 1.0, 3.0, 1.0, 0.0}, 0.5, 1);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_EQ(peaks[0].index, 2u);
+  EXPECT_DOUBLE_EQ(peaks[0].value, 3.0);
+}
+
+TEST(FindPeaks, ThresholdFilters) {
+  const auto peaks = find_peaks({0.0, 1.0, 0.0, 5.0, 0.0}, 2.0, 1);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_EQ(peaks[0].index, 3u);
+}
+
+TEST(FindPeaks, MinDistanceSuppressesWeaker) {
+  // Two peaks 2 apart; with min_distance 3 only the stronger survives.
+  const std::vector<double> x = {0.0, 4.0, 0.0, 5.0, 0.0};
+  const auto close = find_peaks(x, 0.5, 3);
+  ASSERT_EQ(close.size(), 1u);
+  EXPECT_EQ(close[0].index, 3u);
+  const auto both = find_peaks(x, 0.5, 1);
+  EXPECT_EQ(both.size(), 2u);
+}
+
+TEST(FindPeaks, ResultsSortedByIndex) {
+  const auto peaks =
+      find_peaks({0.0, 9.0, 0.0, 3.0, 0.0, 6.0, 0.0}, 1.0, 1);
+  ASSERT_EQ(peaks.size(), 3u);
+  EXPECT_LT(peaks[0].index, peaks[1].index);
+  EXPECT_LT(peaks[1].index, peaks[2].index);
+}
+
+TEST(FindPeaks, EdgesCanBePeaks) {
+  const auto peaks = find_peaks({5.0, 1.0, 0.0, 1.0, 6.0}, 0.5, 1);
+  ASSERT_EQ(peaks.size(), 2u);
+  EXPECT_EQ(peaks.front().index, 0u);
+  EXPECT_EQ(peaks.back().index, 4u);
+}
+
+TEST(FindPeaks, EmptyAndFlatInputs) {
+  EXPECT_TRUE(find_peaks({}, 0.0, 1).empty());
+  // A strictly flat line has no local maxima above threshold except via
+  // the plateau rule (left >=, right >): only the last plateau sample
+  // of a rising edge qualifies; a constant vector yields its final
+  // element only if it exceeds min_value and has no right neighbour.
+  const auto flat = find_peaks({1.0, 1.0, 1.0}, 2.0, 1);
+  EXPECT_TRUE(flat.empty());
+}
+
+TEST(Argmax, Basic) {
+  EXPECT_EQ(argmax({1.0, 5.0, 3.0}), 1u);
+  EXPECT_EQ(argmax({7.0}), 0u);
+  EXPECT_EQ(argmax({}), 0u);
+}
+
+}  // namespace
+}  // namespace wi::dsp

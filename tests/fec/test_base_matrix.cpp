@@ -1,0 +1,104 @@
+#include "wi/fec/base_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wi::fec {
+namespace {
+
+TEST(BaseMatrix, InitialiserAndAccess) {
+  const BaseMatrix b({{2, 2}, {1, 3}});
+  EXPECT_EQ(b.rows(), 2u);
+  EXPECT_EQ(b.cols(), 2u);
+  EXPECT_EQ(b.at(0, 0), 2);
+  EXPECT_EQ(b.at(1, 1), 3);
+  EXPECT_EQ(b.edge_count(), 8);
+}
+
+TEST(BaseMatrix, Degrees) {
+  const BaseMatrix b({{4, 4}});
+  EXPECT_EQ(b.row_degrees(), std::vector<int>{8});
+  EXPECT_EQ(b.col_degrees(), (std::vector<int>{4, 4}));
+}
+
+TEST(BaseMatrix, AdditionAndEquality) {
+  const BaseMatrix a({{1, 2}});
+  const BaseMatrix b({{3, 0}});
+  EXPECT_EQ(a + b, BaseMatrix({{4, 2}}));
+  EXPECT_FALSE(a == b);
+}
+
+TEST(BaseMatrix, RejectsBadInput) {
+  EXPECT_THROW(BaseMatrix({}), std::invalid_argument);
+  EXPECT_THROW(BaseMatrix({{1, 2}, {3}}), std::invalid_argument);
+  EXPECT_THROW(BaseMatrix({{-1}}), std::invalid_argument);
+  EXPECT_THROW(BaseMatrix({{1}}) + BaseMatrix({{1, 2}}),
+               std::invalid_argument);
+}
+
+TEST(EdgeSpreading, PaperExampleSatisfiesEq2) {
+  // B0 = [2,2], B1 = B2 = [1,1] must sum to B = [4,4] (Eq. 2).
+  const EdgeSpreading spreading = EdgeSpreading::paper_example();
+  EXPECT_EQ(spreading.mcc(), 2u);
+  EXPECT_EQ(spreading.nc(), 1u);
+  EXPECT_EQ(spreading.nv(), 2u);
+  EXPECT_EQ(spreading.total(), BaseMatrix({{4, 4}}));
+  EXPECT_TRUE(spreading.is_valid_spreading_of(BaseMatrix({{4, 4}})));
+  EXPECT_FALSE(spreading.is_valid_spreading_of(BaseMatrix({{4, 3}})));
+}
+
+TEST(EdgeSpreading, PreservesDegreeDistribution) {
+  // A valid edge spreading keeps the protograph (4,8)-regular.
+  const EdgeSpreading spreading = EdgeSpreading::paper_example();
+  const BaseMatrix total = spreading.total();
+  EXPECT_EQ(total.row_degrees(), std::vector<int>{8});
+  EXPECT_EQ(total.col_degrees(), (std::vector<int>{4, 4}));
+}
+
+TEST(EdgeSpreading, RejectsMismatchedComponents) {
+  EXPECT_THROW(EdgeSpreading({BaseMatrix({{1, 1}}), BaseMatrix({{1}})}),
+               std::invalid_argument);
+  EXPECT_THROW(EdgeSpreading({}), std::invalid_argument);
+}
+
+TEST(CoupledProtograph, Eq3Dimensions) {
+  // B_[1,L] is ((L + mcc) nc) x (L nv)  (Eq. 3).
+  const EdgeSpreading spreading = EdgeSpreading::paper_example();
+  for (const std::size_t termination : {1u, 4u, 10u}) {
+    const BaseMatrix coupled = spreading.coupled_protograph(termination);
+    EXPECT_EQ(coupled.rows(), (termination + 2) * 1);
+    EXPECT_EQ(coupled.cols(), termination * 2);
+  }
+}
+
+TEST(CoupledProtograph, DiagonalBandStructure) {
+  const EdgeSpreading spreading = EdgeSpreading::paper_example();
+  const BaseMatrix coupled = spreading.coupled_protograph(5);
+  for (std::size_t r = 0; r < coupled.rows(); ++r) {
+    for (std::size_t t = 0; t < 5; ++t) {
+      const int expected =
+          (r >= t && r - t <= 2) ? spreading.component(r - t).at(0, 0) : 0;
+      EXPECT_EQ(coupled.at(r, t * 2), expected) << "r=" << r << " t=" << t;
+    }
+  }
+}
+
+TEST(CoupledProtograph, InteriorColumnsKeepFullDegree) {
+  // Away from termination every variable keeps degree 4; the first/last
+  // check rows have reduced degree (the termination rate loss).
+  const EdgeSpreading spreading = EdgeSpreading::paper_example();
+  const BaseMatrix coupled = spreading.coupled_protograph(8);
+  const auto col_deg = coupled.col_degrees();
+  for (const int d : col_deg) EXPECT_EQ(d, 4);
+  const auto row_deg = coupled.row_degrees();
+  EXPECT_LT(row_deg.front(), 8);  // first check row: only B0 present
+  EXPECT_LT(row_deg.back(), 8);   // last: only B_mcc
+  EXPECT_EQ(row_deg[4], 8);       // interior: full (4,8)-regular
+}
+
+TEST(CoupledProtograph, RejectsZeroTermination) {
+  EXPECT_THROW(EdgeSpreading::paper_example().coupled_protograph(0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wi::fec

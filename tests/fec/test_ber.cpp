@@ -1,0 +1,135 @@
+#include "wi/fec/ber.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace wi::fec {
+namespace {
+
+TEST(BerBlock, HighSnrIsClean) {
+  const QcLdpcBlockCode code(BaseMatrix({{4, 4}}), 50, 3);
+  BerConfig config;
+  config.ebn0_db = 8.0;
+  config.max_codewords = 30;
+  config.min_errors = 1000000;  // run all codewords
+  const BerResult result = simulate_ber_block(code, config);
+  EXPECT_EQ(result.bit_errors, 0u);
+  EXPECT_EQ(result.codewords, 30u);
+  EXPECT_EQ(result.bits, 30u * code.block_length());
+}
+
+TEST(BerBlock, LowSnrHasErrors) {
+  const QcLdpcBlockCode code(BaseMatrix({{4, 4}}), 50, 3);
+  BerConfig config;
+  config.ebn0_db = -2.0;
+  config.max_codewords = 20;
+  config.min_errors = 50;
+  const BerResult result = simulate_ber_block(code, config);
+  EXPECT_GT(result.bit_errors, 0u);
+  EXPECT_GT(result.ber, 0.01);
+}
+
+TEST(BerBlock, MonotoneNonIncreasingInSnr) {
+  const QcLdpcBlockCode code(BaseMatrix({{4, 4}}), 60, 4);
+  auto ber_at = [&](double ebn0) {
+    BerConfig config;
+    config.ebn0_db = ebn0;
+    config.max_codewords = 60;
+    config.min_errors = 80;
+    config.seed = 7;
+    return simulate_ber_block(code, config).ber;
+  };
+  const double low = ber_at(0.0);
+  const double mid = ber_at(2.0);
+  const double high = ber_at(4.0);
+  EXPECT_GE(low, mid);
+  EXPECT_GE(mid + 1e-6, high);
+}
+
+TEST(BerBlock, StopsAtErrorTarget) {
+  const QcLdpcBlockCode code(BaseMatrix({{4, 4}}), 50, 3);
+  BerConfig config;
+  config.ebn0_db = -2.0;
+  config.min_errors = 10;
+  config.max_codewords = 100000;
+  const BerResult result = simulate_ber_block(code, config);
+  EXPECT_GE(result.bit_errors, 10u);
+  EXPECT_LT(result.codewords, 10u);  // low SNR: errors come fast
+}
+
+TEST(BerBlock, DeterministicBySeed) {
+  const QcLdpcBlockCode code(BaseMatrix({{4, 4}}), 40, 3);
+  BerConfig config;
+  config.ebn0_db = 1.5;
+  config.max_codewords = 10;
+  config.min_errors = 1000000;
+  config.seed = 77;
+  const BerResult a = simulate_ber_block(code, config);
+  const BerResult b = simulate_ber_block(code, config);
+  EXPECT_EQ(a.bit_errors, b.bit_errors);
+}
+
+TEST(BerWindow, HighSnrIsClean) {
+  const LdpcConvolutionalCode code(EdgeSpreading::paper_example(), 20, 8,
+                                   5);
+  BerConfig config;
+  config.ebn0_db = 8.0;
+  config.max_codewords = 5;
+  config.min_errors = 1000000;
+  const BerResult result = simulate_ber_window(code, 4, config);
+  EXPECT_EQ(result.bit_errors, 0u);
+}
+
+TEST(BerWindow, WindowSizeImprovesBer) {
+  // Fig. 10's driving effect: larger W lowers BER at fixed Eb/N0.
+  const LdpcConvolutionalCode code(EdgeSpreading::paper_example(), 25, 16,
+                                   5);
+  auto ber_at = [&](std::size_t w) {
+    BerConfig config;
+    config.ebn0_db = 2.2;
+    config.max_codewords = 40;
+    config.min_errors = 60;
+    config.seed = 11;
+    return simulate_ber_window(code, w, config).ber;
+  };
+  EXPECT_GT(ber_at(3), ber_at(8) * 0.999);
+}
+
+TEST(RequiredEbn0, FindsThresholdOfSyntheticCurve) {
+  // Synthetic BER(ebn0) = 10^(-ebn0/2): target 1e-3 at exactly 6 dB.
+  const auto simulate = [](double ebn0) {
+    BerResult r;
+    r.ber = std::pow(10.0, -ebn0 / 2.0);
+    r.bit_errors = 100;
+    r.bits = static_cast<std::size_t>(100.0 / r.ber);
+    return r;
+  };
+  const double found = required_ebn0_db(simulate, 1e-3, 0.0, 10.0, 0.5);
+  EXPECT_NEAR(found, 6.0, 0.05);
+}
+
+TEST(RequiredEbn0, ReturnsLoWhenAlreadyBelowTarget) {
+  const auto simulate = [](double) {
+    BerResult r;
+    r.ber = 1e-9;
+    r.bit_errors = 1;
+    r.bits = 1000000000;
+    return r;
+  };
+  EXPECT_DOUBLE_EQ(required_ebn0_db(simulate, 1e-3, 2.0, 10.0), 2.0);
+}
+
+TEST(RequiredEbn0, CensoredAtHiWhenUnreachable) {
+  const auto simulate = [](double) {
+    BerResult r;
+    r.ber = 0.4;
+    r.bit_errors = 400;
+    r.bits = 1000;
+    return r;
+  };
+  EXPECT_DOUBLE_EQ(required_ebn0_db(simulate, 1e-5, 0.0, 4.0), 4.0);
+}
+
+}  // namespace
+}  // namespace wi::fec

@@ -1,0 +1,69 @@
+#include "wi/fec/density_evolution.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wi::fec {
+namespace {
+
+TEST(DensityEvolution, ConvergesBelowThreshold) {
+  const BaseMatrix block({{4, 4}});
+  const auto result = evolve_bec(block, 0.30);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.residual_erasure, 1e-9);
+}
+
+TEST(DensityEvolution, FailsAboveThreshold) {
+  const BaseMatrix block({{4, 4}});
+  const auto result = evolve_bec(block, 0.45);
+  EXPECT_FALSE(result.converged);
+  EXPECT_GT(result.residual_erasure, 0.05);
+}
+
+TEST(DensityEvolution, EpsilonZeroTrivial) {
+  const auto result = evolve_bec(BaseMatrix({{4, 4}}), 0.0);
+  EXPECT_TRUE(result.converged);
+}
+
+TEST(DensityEvolution, BlockThresholdMatchesLiterature) {
+  // (4,8)-regular BEC BP threshold: eps* ~ 0.3834 (Richardson/Urbanke).
+  const double threshold = bec_threshold(BaseMatrix({{4, 4}}), 1e-4);
+  EXPECT_NEAR(threshold, 0.3834, 0.002);
+}
+
+TEST(DensityEvolution, ThresholdOf36Regular) {
+  // (3,6)-regular: eps* ~ 0.4294 — a second literature anchor.
+  const double threshold = bec_threshold(BaseMatrix({{3, 3}}), 1e-4);
+  EXPECT_NEAR(threshold, 0.4294, 0.002);
+}
+
+TEST(ThresholdSaturation, CoupledBeatsBlock) {
+  // The theory behind Fig. 10: the terminated coupled ensemble decodes
+  // beyond the block BP threshold, approaching the MAP threshold
+  // (~0.4977 for (4,8)) as L grows.
+  const double block = bec_threshold(BaseMatrix({{4, 4}}), 1e-3);
+  const double coupled =
+      coupled_bec_threshold(EdgeSpreading::paper_example(), 30, 1e-3);
+  EXPECT_GT(coupled, block + 0.05);
+  EXPECT_NEAR(coupled, 0.4977, 0.02);
+}
+
+TEST(ThresholdSaturation, ImprovesWithTermination) {
+  // Longer chains cannot have a lower threshold (within tolerance) —
+  // and even short chains already beat the block ensemble.
+  const EdgeSpreading spreading = EdgeSpreading::paper_example();
+  const double l10 = coupled_bec_threshold(spreading, 10, 1e-3);
+  const double l30 = coupled_bec_threshold(spreading, 30, 1e-3);
+  EXPECT_GE(l30, l10 - 5e-3);
+  EXPECT_GT(l10, bec_threshold(BaseMatrix({{4, 4}}), 1e-3));
+}
+
+TEST(DensityEvolution, IterationBudgetRespected) {
+  DensityEvolutionOptions options;
+  options.max_iterations = 5;
+  options.stall_delta = 0.0;  // disable the stall early-out
+  const auto result = evolve_bec(BaseMatrix({{4, 4}}), 0.383, options);
+  EXPECT_LE(result.iterations, 5u);
+}
+
+}  // namespace
+}  // namespace wi::fec

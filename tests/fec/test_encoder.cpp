@@ -1,0 +1,113 @@
+#include "wi/fec/encoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wi/common/rng.hpp"
+#include "wi/fec/ldpc_code.hpp"
+
+namespace wi::fec {
+namespace {
+
+TEST(Encoder, TinyMatrixRankAndDims) {
+  // H = [1 1 0; 0 1 1]: rank 2, one free bit.
+  SparseBinaryMatrix h(2, 3);
+  h.insert(0, 0);
+  h.insert(0, 1);
+  h.insert(1, 1);
+  h.insert(1, 2);
+  const GaussianEncoder encoder(h);
+  EXPECT_EQ(encoder.rank(), 2u);
+  EXPECT_EQ(encoder.info_length(), 1u);
+  EXPECT_EQ(encoder.block_length(), 3u);
+}
+
+TEST(Encoder, TinyMatrixCodewordsValid) {
+  SparseBinaryMatrix h(2, 3);
+  h.insert(0, 0);
+  h.insert(0, 1);
+  h.insert(1, 1);
+  h.insert(1, 2);
+  const GaussianEncoder encoder(h);
+  // Only codewords of this H: 000 and 111.
+  EXPECT_TRUE(h.in_null_space(encoder.encode({0})));
+  const auto one = encoder.encode({1});
+  EXPECT_TRUE(h.in_null_space(one));
+  EXPECT_EQ(one, (std::vector<std::uint8_t>{1, 1, 1}));
+}
+
+TEST(Encoder, BlockCodeCodewordsSatisfyH) {
+  const QcLdpcBlockCode code(BaseMatrix({{4, 4}}), 40, 5);
+  const GaussianEncoder encoder(code.parity_check());
+  // Rank can be slightly below N (circulant sums are often singular);
+  // the information length adjusts accordingly.
+  EXPECT_LE(encoder.rank(), 40u);
+  EXPECT_EQ(encoder.info_length(), 80u - encoder.rank());
+  Rng rng(41);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<std::uint8_t> info(encoder.info_length());
+    for (auto& b : info) b = static_cast<std::uint8_t>(rng.uniform_int(2));
+    EXPECT_TRUE(code.parity_check().in_null_space(encoder.encode(info)));
+  }
+}
+
+TEST(Encoder, ConvolutionalCodewordsSatisfyH) {
+  const LdpcConvolutionalCode code(EdgeSpreading::paper_example(), 15, 8,
+                                   6);
+  const GaussianEncoder encoder(code.parity_check());
+  Rng rng(42);
+  std::vector<std::uint8_t> info(encoder.info_length());
+  for (auto& b : info) b = static_cast<std::uint8_t>(rng.uniform_int(2));
+  const auto codeword = encoder.encode(info);
+  EXPECT_EQ(codeword.size(), code.codeword_length());
+  EXPECT_TRUE(code.parity_check().in_null_space(codeword));
+}
+
+TEST(Encoder, LinearityOverGf2) {
+  const QcLdpcBlockCode code(BaseMatrix({{2, 2}}), 20, 8);
+  const GaussianEncoder encoder(code.parity_check());
+  Rng rng(43);
+  std::vector<std::uint8_t> u(encoder.info_length());
+  std::vector<std::uint8_t> v(encoder.info_length());
+  for (auto& b : u) b = static_cast<std::uint8_t>(rng.uniform_int(2));
+  for (auto& b : v) b = static_cast<std::uint8_t>(rng.uniform_int(2));
+  std::vector<std::uint8_t> w(u.size());
+  for (std::size_t i = 0; i < u.size(); ++i) w[i] = u[i] ^ v[i];
+  const auto cu = encoder.encode(u);
+  const auto cv = encoder.encode(v);
+  const auto cw = encoder.encode(w);
+  for (std::size_t i = 0; i < cw.size(); ++i) {
+    EXPECT_EQ(cw[i], cu[i] ^ cv[i]);
+  }
+}
+
+TEST(Encoder, InfoBitsRecoverableFromCodeword) {
+  const QcLdpcBlockCode code(BaseMatrix({{2, 2}}), 16, 9);
+  const GaussianEncoder encoder(code.parity_check());
+  Rng rng(44);
+  std::vector<std::uint8_t> info(encoder.info_length());
+  for (auto& b : info) b = static_cast<std::uint8_t>(rng.uniform_int(2));
+  const auto codeword = encoder.encode(info);
+  const auto& positions = encoder.info_positions();
+  for (std::size_t i = 0; i < info.size(); ++i) {
+    EXPECT_EQ(codeword[positions[i]], info[i]);
+  }
+}
+
+TEST(Encoder, RejectsWrongInfoLength) {
+  SparseBinaryMatrix h(1, 3);
+  h.insert(0, 0);
+  h.insert(0, 1);
+  const GaussianEncoder encoder(h);
+  EXPECT_THROW(encoder.encode({1}), std::invalid_argument);
+}
+
+TEST(Encoder, AllZeroInfoGivesAllZeroCodeword) {
+  const QcLdpcBlockCode code(BaseMatrix({{4, 4}}), 25, 10);
+  const GaussianEncoder encoder(code.parity_check());
+  const auto codeword =
+      encoder.encode(std::vector<std::uint8_t>(encoder.info_length(), 0));
+  for (const auto bit : codeword) EXPECT_EQ(bit, 0);
+}
+
+}  // namespace
+}  // namespace wi::fec

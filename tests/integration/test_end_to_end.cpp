@@ -1,0 +1,112 @@
+/// End-to-end pipeline tests: geometry -> link budget -> PHY -> coding
+/// -> system NoC, exercising the public API the way the examples do.
+
+#include <gtest/gtest.h>
+
+#include "wi/core/coding_planner.hpp"
+#include "wi/core/geometry.hpp"
+#include "wi/core/hybrid_system.hpp"
+#include "wi/core/link_planner.hpp"
+#include "wi/core/phy_abstraction.hpp"
+#include "wi/fec/ber.hpp"
+#include "wi/fec/encoder.hpp"
+
+namespace wi {
+namespace {
+
+TEST(EndToEnd, GeometryToRatePipeline) {
+  const core::BoardGeometry geometry(2, 100.0, 100.0, 4);
+  const core::WirelessLinkPlanner planner(rf::LinkBudgetParams{},
+                                          core::Beamforming::kButlerMatrix);
+  const auto links = planner.plan(geometry, 20.0, 15.0);
+  ASSERT_FALSE(links.empty());
+
+  const core::PhyAbstraction phy(core::PhyReceiver::kOneBitSequence);
+  for (const auto& link : links) {
+    const double rate = phy.link_rate_gbps(link.snr_db);
+    EXPECT_GE(rate, 0.0);
+    EXPECT_LE(rate, 2.0 * 25.0 * 2.0);  // 2 bpcu * 25 GHz * 2 pol
+  }
+  // The best link should be usable for serious traffic.
+  double best = 0.0;
+  for (const auto& link : links) {
+    best = std::max(best, phy.link_rate_gbps(link.snr_db));
+  }
+  EXPECT_GT(best, 40.0);
+}
+
+TEST(EndToEnd, CodedLinkClosesAtPlannedOperatingPoint) {
+  // Pick a coding plan for a 250-bit latency budget and verify by
+  // simulation that the planned code at ~0.5 dB above its tabulated
+  // threshold decodes cleanly at moderate blocklength.
+  const core::CodingPlanner planner = core::CodingPlanner::paper_table();
+  const auto* point = planner.best_within_latency(250.0);
+  ASSERT_NE(point, nullptr);
+  ASSERT_FALSE(point->block_code);
+
+  const fec::LdpcConvolutionalCode code(fec::EdgeSpreading::paper_example(),
+                                        point->lifting, 16, 9);
+  fec::BerConfig config;
+  config.ebn0_db = point->required_ebn0_db + 1.0;
+  config.min_errors = 30;
+  config.max_codewords = 30;
+  const fec::BerResult result =
+      fec::simulate_ber_window(code, point->window, config);
+  EXPECT_LT(result.ber, 5e-3);
+}
+
+TEST(EndToEnd, EncodedTrafficSurvivesWindowDecoding) {
+  // Encode -> BPSK -> AWGN -> window decode -> compare, with a real
+  // (non-zero) codeword, closing the full FEC loop.
+  const fec::LdpcConvolutionalCode code(fec::EdgeSpreading::paper_example(),
+                                        15, 10, 21);
+  const fec::GaussianEncoder encoder(code.parity_check());
+  Rng rng(77);
+  std::vector<std::uint8_t> info(encoder.info_length());
+  for (auto& b : info) b = static_cast<std::uint8_t>(rng.uniform_int(2));
+  const auto codeword = encoder.encode(info);
+
+  const double sigma = 0.6;
+  std::vector<double> llr(codeword.size());
+  for (std::size_t i = 0; i < codeword.size(); ++i) {
+    const double tx = codeword[i] ? -1.0 : 1.0;
+    llr[i] = 2.0 / (sigma * sigma) * (tx + sigma * rng.gaussian());
+  }
+  const fec::WindowDecoder decoder(code, 5);
+  const auto result = decoder.decode(llr);
+  std::size_t errors = 0;
+  for (std::size_t i = 0; i < codeword.size(); ++i) {
+    if (result.hard[i] != codeword[i]) ++errors;
+  }
+  EXPECT_EQ(errors, 0u);
+}
+
+TEST(EndToEnd, SystemComparisonIsInternallyConsistent) {
+  core::HybridSystemConfig config;
+  config.boards = 3;
+  config.mesh_k = 3;
+  const core::HybridSystemModel model(config);
+  const core::HybridComparison cmp = model.compare();
+  EXPECT_NEAR(cmp.capacity_gain,
+              cmp.wireless.saturation_rate / cmp.backplane.saturation_rate,
+              1e-12);
+  EXPECT_GT(cmp.backplane.latency_at_low_load,
+            cmp.backplane.zero_load_latency_cycles - 1e-9);
+  EXPECT_GT(cmp.wireless.latency_at_low_load,
+            cmp.wireless.zero_load_latency_cycles - 1e-9);
+}
+
+TEST(EndToEnd, PhyRateFeedsNocBandwidth) {
+  // Convert the PHY link rate into NoC channel bandwidth units and make
+  // sure the hybrid model accepts heterogeneous values.
+  const core::PhyAbstraction phy(core::PhyReceiver::kOneBitSequence);
+  const double rate_gbps = phy.link_rate_gbps(25.0);
+  core::HybridSystemConfig config;
+  config.wireless_bandwidth = rate_gbps / 100.0;  // 100 Gbit/s = 1 flit/cyc
+  const core::HybridSystemModel model(config);
+  const auto eval = model.evaluate(model.build_wireless_topology());
+  EXPECT_GT(eval.saturation_rate, 0.0);
+}
+
+}  // namespace
+}  // namespace wi

@@ -1,0 +1,115 @@
+/// Integration tests pinning the paper's headline numbers across
+/// modules — the quantitative contract of the reproduction.
+
+#include <gtest/gtest.h>
+
+#include "wi/comm/filter_design.hpp"
+#include "wi/comm/info_rate.hpp"
+#include "wi/fec/ber.hpp"
+#include "wi/noc/queueing_model.hpp"
+#include "wi/rf/campaign.hpp"
+#include "wi/rf/link_budget.hpp"
+#include "wi/rf/vna.hpp"
+
+namespace wi {
+namespace {
+
+TEST(PaperAnchors, TableI) {
+  const rf::LinkBudget budget;
+  EXPECT_NEAR(budget.path_loss_db(0.1), 59.8, 0.05);
+  EXPECT_NEAR(budget.path_loss_db(0.3), 69.3, 0.05);
+  EXPECT_DOUBLE_EQ(budget.params().rx_noise_figure_db, 10.0);
+  EXPECT_DOUBLE_EQ(budget.params().path_loss_exponent, 2.0);
+  EXPECT_DOUBLE_EQ(budget.params().array_gain_db, 12.0);
+  EXPECT_DOUBLE_EQ(budget.params().butler_inaccuracy_db, 5.0);
+  EXPECT_DOUBLE_EQ(budget.params().polarization_mismatch_db, 3.0);
+  EXPECT_DOUBLE_EQ(budget.params().implementation_loss_db, 5.0);
+  EXPECT_DOUBLE_EQ(budget.params().rx_temperature_k, 323.0);
+}
+
+TEST(PaperAnchors, Fig1PathlossExponents) {
+  rf::CampaignConfig config;
+  config.distances_m = rf::default_distance_grid_m();
+  config.copper_boards = false;
+  EXPECT_NEAR(rf::run_and_fit(config).exponent, 2.000, 0.01);
+  config.copper_boards = true;
+  EXPECT_NEAR(rf::run_and_fit(config).exponent, 2.0454, 0.02);
+}
+
+TEST(PaperAnchors, Fig2Fig3ReflectionsBelow15dB) {
+  for (const double distance : {0.05, 0.15}) {
+    for (const bool copper : {false, true}) {
+      rf::BoardToBoardScenario scenario;
+      scenario.distance_m = distance;
+      scenario.copper_boards = copper;
+      rf::SyntheticVna vna;
+      const auto ir = rf::to_impulse_response(
+          vna.measure(rf::board_to_board_channel(scenario)));
+      EXPECT_LE(rf::worst_reflection_rel_db(ir, 6), -15.0)
+          << "d=" << distance << " copper=" << copper;
+    }
+  }
+}
+
+TEST(PaperAnchors, Fig4PowerRange) {
+  // The figure's span: roughly -16 dBm (shortest @ SNR 0) to +34 dBm
+  // (longest + Butler @ SNR 35).
+  const rf::LinkBudget budget;
+  EXPECT_NEAR(budget.required_tx_power_dbm(0.0, 0.1, false), -15.7, 0.5);
+  EXPECT_NEAR(budget.required_tx_power_dbm(35.0, 0.3, true), 33.8, 0.5);
+}
+
+TEST(PaperAnchors, Fig6KeyLevels) {
+  const comm::Constellation c4 = comm::Constellation::ask(4);
+  // No quantization -> 2 bpcu; 1-bit no-OS -> 1 bpcu at 35 dB.
+  EXPECT_NEAR(comm::mi_unquantized_awgn(c4, 35.0), 2.0, 0.01);
+  EXPECT_NEAR(comm::mi_one_bit_no_oversampling(c4, 35.0), 1.0, 0.01);
+  // Optimised ISI + sequence estimation approaches 2 bpcu at 25 dB.
+  const comm::OneBitOsChannel seq(comm::paper_filter_sequence(), c4, 25.0);
+  EXPECT_GT(comm::info_rate_one_bit_sequence(seq, {60000, 3}), 1.9);
+  // Symbolwise optimised ISI far above the rect 1 bpcu.
+  const comm::OneBitOsChannel sym(comm::paper_filter_symbolwise(), c4,
+                                  25.0);
+  EXPECT_GT(comm::mi_one_bit_symbolwise(sym), 1.55);
+}
+
+TEST(PaperAnchors, Fig8aLatencyAnchors) {
+  const noc::DimensionOrderRouting routing;
+  const noc::QueueingModel m2d(noc::Topology::mesh_2d(8, 8), routing,
+                               noc::TrafficPattern::uniform(64));
+  const noc::QueueingModel star(noc::Topology::star_mesh(4, 4, 4), routing,
+                                noc::TrafficPattern::uniform(64));
+  const noc::QueueingModel m3d(noc::Topology::mesh_3d(4, 4, 4), routing,
+                               noc::TrafficPattern::uniform(64));
+  EXPECT_NEAR(m2d.zero_load_latency_cycles(), 13.0, 0.75);
+  EXPECT_NEAR(star.zero_load_latency_cycles(), 7.0, 0.75);
+  EXPECT_NEAR(m3d.zero_load_latency_cycles(), 10.0, 0.75);
+  EXPECT_NEAR(m2d.saturation_rate(), 0.41, 0.03);
+  EXPECT_NEAR(star.saturation_rate(), 0.19, 0.03);
+  EXPECT_GT(m3d.saturation_rate(), 0.65);  // paper: 0.75
+}
+
+TEST(PaperAnchors, Fig10WindowGainAtFixedEbn0) {
+  // At a fixed Eb/N0 in the waterfall, W = 8 must beat W = 3 clearly
+  // (the Fig. 10 mechanism), using the paper's ensemble at N = 25.
+  const fec::LdpcConvolutionalCode code(fec::EdgeSpreading::paper_example(),
+                                        25, 16, 5);
+  fec::BerConfig config;
+  config.ebn0_db = 2.5;
+  config.min_errors = 80;
+  config.max_codewords = 50;
+  config.seed = 3;
+  const double ber_w3 = fec::simulate_ber_window(code, 3, config).ber;
+  const double ber_w8 = fec::simulate_ber_window(code, 8, config).ber;
+  EXPECT_LT(ber_w8, ber_w3);
+}
+
+TEST(PaperAnchors, Fig10LatencyFormulaExample) {
+  // The paper's worked example: T_WD = 200 info bits (N=40, W=5) vs
+  // T_B = 400 (N=400) at equal code family.
+  EXPECT_DOUBLE_EQ(fec::window_decoder_latency_bits(5, 40, 2, 0.5), 200.0);
+  EXPECT_DOUBLE_EQ(fec::block_code_latency_bits(400, 2, 0.5), 400.0);
+}
+
+}  // namespace
+}  // namespace wi

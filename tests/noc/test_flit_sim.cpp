@@ -1,0 +1,106 @@
+#include "wi/noc/flit_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wi/noc/queueing_model.hpp"
+
+namespace wi::noc {
+namespace {
+
+FlitSimConfig quick_config() {
+  FlitSimConfig config;
+  config.warmup_cycles = 1000;
+  config.measure_cycles = 6000;
+  config.drain_cycles = 6000;
+  return config;
+}
+
+TEST(FlitSim, DeliversAllAtLowLoad) {
+  const Topology t = Topology::mesh_2d(4, 4);
+  const DimensionOrderRouting routing;
+  const auto result = simulate_network(t, routing,
+                                       TrafficPattern::uniform(16), 0.05,
+                                       quick_config());
+  EXPECT_TRUE(result.stable);
+  EXPECT_GT(result.delivered, 0u);
+  EXPECT_GE(result.delivered, result.injected * 99 / 100);
+}
+
+TEST(FlitSim, ThroughputTracksInjectionBelowSaturation) {
+  const Topology t = Topology::mesh_3d(4, 4, 4);
+  const DimensionOrderRouting routing;
+  const auto result = simulate_network(t, routing,
+                                       TrafficPattern::uniform(64), 0.2,
+                                       quick_config());
+  EXPECT_NEAR(result.delivered_per_cycle, 0.2, 0.02);
+}
+
+TEST(FlitSim, LatencyRisesWithLoad) {
+  const Topology t = Topology::mesh_2d(8, 8);
+  const DimensionOrderRouting routing;
+  const TrafficPattern traffic = TrafficPattern::uniform(64);
+  const auto low =
+      simulate_network(t, routing, traffic, 0.05, quick_config());
+  const auto high =
+      simulate_network(t, routing, traffic, 0.3, quick_config());
+  EXPECT_GT(high.mean_latency_cycles, low.mean_latency_cycles);
+}
+
+TEST(FlitSim, SaturatedNetworkDeliversLessThanInjected) {
+  const Topology t = Topology::mesh_2d(8, 8);
+  const DimensionOrderRouting routing;
+  FlitSimConfig config = quick_config();
+  config.drain_cycles = 500;  // don't let it fully drain
+  const auto result = simulate_network(
+      t, routing, TrafficPattern::uniform(64), 0.9, config);
+  EXPECT_LT(result.delivered_per_cycle, 0.6);
+}
+
+TEST(FlitSim, AgreesWithAnalyticModelAtLowLoad) {
+  // The DES and the M/M/1 model should agree within ~15% well below
+  // saturation (the analytic model's validation).
+  const Topology t = Topology::mesh_3d(4, 4, 4);
+  const DimensionOrderRouting routing;
+  const TrafficPattern traffic = TrafficPattern::uniform(64);
+  const QueueingModel model(t, routing, traffic);
+  for (const double rate : {0.05, 0.15}) {
+    const auto des = simulate_network(t, routing, traffic, rate,
+                                      quick_config());
+    const double analytic = model.evaluate(rate).mean_latency_cycles;
+    EXPECT_NEAR(des.mean_latency_cycles, analytic, 0.15 * analytic)
+        << "rate " << rate;
+  }
+}
+
+TEST(FlitSim, DeterministicBySeed) {
+  const Topology t = Topology::mesh_2d(4, 4);
+  const DimensionOrderRouting routing;
+  FlitSimConfig config = quick_config();
+  config.seed = 5;
+  const auto a = simulate_network(t, routing, TrafficPattern::uniform(16),
+                                  0.1, config);
+  const auto b = simulate_network(t, routing, TrafficPattern::uniform(16),
+                                  0.1, config);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_DOUBLE_EQ(a.mean_latency_cycles, b.mean_latency_cycles);
+}
+
+TEST(FlitSim, PermutationTrafficWorks) {
+  const Topology t = Topology::mesh_2d(4, 4);
+  const DimensionOrderRouting routing;
+  const auto result = simulate_network(
+      t, routing, TrafficPattern::transpose(16), 0.1, quick_config());
+  EXPECT_TRUE(result.stable);
+  EXPECT_GT(result.delivered, 0u);
+}
+
+TEST(FlitSim, RejectsTrafficMismatch) {
+  const Topology t = Topology::mesh_2d(4, 4);
+  const DimensionOrderRouting routing;
+  EXPECT_THROW(simulate_network(t, routing, TrafficPattern::uniform(8),
+                                0.1, quick_config()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wi::noc

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "wi/noc/metrics.hpp"
+#include "wi/noc/queueing_model.hpp"
+#include "wi/noc/topology.hpp"
+
+namespace wi::noc {
+namespace {
+
+TEST(StarMeshIrl, BandwidthOnMeshChannels) {
+  const Topology t = Topology::star_mesh_irl(4, 4, 4, 3);
+  EXPECT_EQ(t.module_count(), 64u);
+  for (const auto& link : t.links()) {
+    EXPECT_DOUBLE_EQ(link.bandwidth, 3.0);
+  }
+}
+
+TEST(StarMeshIrl, OneIrlMatchesPlainStarMesh) {
+  const Topology plain = Topology::star_mesh(4, 4, 4);
+  const Topology irl1 = Topology::star_mesh_irl(4, 4, 4, 1);
+  EXPECT_EQ(plain.link_count(), irl1.link_count());
+  const DimensionOrderRouting routing;
+  const QueueingModel a(plain, routing, TrafficPattern::uniform(64));
+  const QueueingModel b(irl1, routing, TrafficPattern::uniform(64));
+  EXPECT_DOUBLE_EQ(a.saturation_rate(), b.saturation_rate());
+}
+
+TEST(StarMeshIrl, ThroughputScalesWithIrls) {
+  // The paper: "a common technique is to employ multiple inter-router
+  // links" to fix the star-mesh's low bisection bandwidth.
+  const DimensionOrderRouting routing;
+  const TrafficPattern uniform = TrafficPattern::uniform(64);
+  double prev = 0.0;
+  for (const std::size_t irl : {1u, 2u, 4u}) {
+    const Topology t = Topology::star_mesh_irl(4, 4, 4, irl);
+    const QueueingModel model(t, routing, uniform);
+    const double sat = model.saturation_rate();
+    EXPECT_GT(sat, prev);
+    prev = sat;
+  }
+  // 4 IRLs bring the star-mesh to roughly 3D-mesh capacity...
+  EXPECT_GT(prev, 0.6);
+}
+
+TEST(StarMeshIrl, RejectsZeroIrl) {
+  EXPECT_THROW(Topology::star_mesh_irl(4, 4, 4, 0), std::invalid_argument);
+}
+
+TEST(CrossbarArea, GrowsQuadraticallyWithIrls) {
+  // ...but the router area explodes — the paper's stated drawback.
+  const double area1 =
+      total_router_crossbar_area(Topology::star_mesh_irl(4, 4, 4, 1));
+  const double area4 =
+      total_router_crossbar_area(Topology::star_mesh_irl(4, 4, 4, 4));
+  EXPECT_GT(area4, 4.0 * area1);  // super-linear in the IRL count
+}
+
+TEST(CrossbarArea, KnownSmallTopology) {
+  // 2x1 mesh, 1 module per router: each router has 1 in + 1 out port
+  // from the single channel pair plus 2 module ports -> 4 ports each,
+  // area = 2 * 16.
+  const Topology t = Topology::mesh_2d(2, 1);
+  EXPECT_DOUBLE_EQ(total_router_crossbar_area(t), 32.0);
+}
+
+TEST(CrossbarArea, ConcentrationCostsPorts) {
+  // Same module count: the star-mesh routers carry 4 module ports each,
+  // so per-router area is larger than the plain mesh's despite fewer
+  // routers.
+  const double mesh = total_router_crossbar_area(Topology::mesh_2d(8, 8));
+  const double star =
+      total_router_crossbar_area(Topology::star_mesh(4, 4, 4));
+  const double mesh_per_router = mesh / 64.0;
+  const double star_per_router = star / 16.0;
+  EXPECT_GT(star_per_router, mesh_per_router);
+}
+
+}  // namespace
+}  // namespace wi::noc

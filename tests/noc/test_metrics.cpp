@@ -1,0 +1,55 @@
+#include "wi/noc/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wi::noc {
+namespace {
+
+TEST(Metrics, Mesh2dValues) {
+  const DimensionOrderRouting routing;
+  const TopologyMetrics m =
+      compute_metrics(Topology::mesh_2d(8, 8), routing);
+  EXPECT_EQ(m.router_count, 64u);
+  EXPECT_EQ(m.diameter_hops, 14u);
+  EXPECT_DOUBLE_EQ(m.bisection_bandwidth, 8.0);
+  EXPECT_GT(m.average_hops, 5.0);
+  EXPECT_LT(m.average_hops, 5.6);
+}
+
+TEST(Metrics, SecIVComparative3dAdvantages) {
+  // The three Sec. IV claims for the 3D mesh vs the 2D mesh at equal
+  // module count: fewer hops (low latency), higher bisection bandwidth
+  // (throughput), shorter wires.
+  const DimensionOrderRouting routing;
+  const TopologyMetrics m2d =
+      compute_metrics(Topology::mesh_2d(8, 8), routing);
+  const TopologyMetrics m3d =
+      compute_metrics(Topology::mesh_3d(4, 4, 4), routing);
+  EXPECT_LT(m3d.average_hops, m2d.average_hops);
+  EXPECT_GT(m3d.bisection_bandwidth, m2d.bisection_bandwidth);
+  EXPECT_LT(m3d.total_wire_mm, m2d.total_wire_mm);
+  EXPECT_LT(m3d.diameter_hops, m2d.diameter_hops);
+}
+
+TEST(Metrics, StarMeshTradeoff) {
+  // Star-mesh: fewest hops but the weakest bisection (the paper's
+  // latency-vs-throughput story).
+  const DimensionOrderRouting routing;
+  const TopologyMetrics star =
+      compute_metrics(Topology::star_mesh(4, 4, 4), routing);
+  const TopologyMetrics mesh =
+      compute_metrics(Topology::mesh_2d(8, 8), routing);
+  EXPECT_LT(star.average_hops, mesh.average_hops);
+  EXPECT_LT(star.bisection_bandwidth, mesh.bisection_bandwidth);
+}
+
+TEST(Metrics, LinkAndRouterCounts) {
+  const DimensionOrderRouting routing;
+  const TopologyMetrics m =
+      compute_metrics(Topology::mesh_3d(4, 4, 4), routing);
+  EXPECT_EQ(m.router_count, 64u);
+  EXPECT_EQ(m.link_count, Topology::mesh_3d(4, 4, 4).link_count());
+}
+
+}  // namespace
+}  // namespace wi::noc

@@ -1,0 +1,112 @@
+#include "wi/noc/routing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wi::noc {
+namespace {
+
+TEST(DimensionOrder, XBeforeYBeforeZ) {
+  const Topology t = Topology::mesh_3d(4, 4, 4);
+  const DimensionOrderRouting routing;
+  const Route route =
+      routing.route(t, t.router_at(0, 0, 0), t.router_at(2, 1, 1));
+  ASSERT_EQ(route.size(), 4u);
+  // First hops move in x, then y, then z.
+  EXPECT_EQ(t.coord(t.link(route[0]).dst).x, 1);
+  EXPECT_EQ(t.coord(t.link(route[1]).dst).x, 2);
+  EXPECT_EQ(t.coord(t.link(route[2]).dst).y, 1);
+  EXPECT_EQ(t.coord(t.link(route[3]).dst).z, 1);
+}
+
+TEST(DimensionOrder, EmptyRouteForSelf) {
+  const Topology t = Topology::mesh_2d(3, 3);
+  const DimensionOrderRouting routing;
+  EXPECT_TRUE(routing.route(t, 4, 4).empty());
+}
+
+TEST(DimensionOrder, HopCountIsManhattan) {
+  const Topology t = Topology::mesh_3d(4, 4, 4);
+  const DimensionOrderRouting routing;
+  for (const auto& [src, dst] :
+       std::vector<std::pair<std::size_t, std::size_t>>{
+           {0, 63}, {5, 40}, {12, 12}, {3, 60}}) {
+    const Coord a = t.coord(src);
+    const Coord b = t.coord(dst);
+    const std::size_t manhattan = static_cast<std::size_t>(
+        std::abs(a.x - b.x) + std::abs(a.y - b.y) + std::abs(a.z - b.z));
+    EXPECT_EQ(routing.route(t, src, dst).size(), manhattan);
+  }
+}
+
+TEST(DimensionOrder, PathIsConnected) {
+  const Topology t = Topology::mesh_2d(5, 5);
+  const DimensionOrderRouting routing;
+  const Route route = routing.route(t, 0, 24);
+  std::size_t at = 0;
+  for (const std::size_t l : route) {
+    EXPECT_EQ(t.link(l).src, at);
+    at = t.link(l).dst;
+  }
+  EXPECT_EQ(at, 24u);
+}
+
+TEST(ShortestPath, MatchesManhattanOnFullMesh) {
+  const Topology t = Topology::mesh_2d(4, 4);
+  const DimensionOrderRouting dor;
+  const ShortestPathRouting spr;
+  for (std::size_t s = 0; s < 16; ++s) {
+    for (std::size_t d = 0; d < 16; ++d) {
+      EXPECT_EQ(spr.route(t, s, d).size(), dor.route(t, s, d).size());
+    }
+  }
+}
+
+TEST(ShortestPath, RoutesAroundMissingVerticals) {
+  // Partial vertical mesh: DOR would need a missing link; BFS finds a
+  // detour.
+  const Topology t = Topology::partial_vertical_mesh_3d(4, 4, 2, 4);
+  const ShortestPathRouting routing;
+  const std::size_t src = t.router_at(1, 0, 0);
+  const std::size_t dst = t.router_at(1, 0, 1);
+  const Route route = routing.route(t, src, dst);
+  EXPECT_GE(route.size(), 1u);
+  std::size_t at = src;
+  for (const std::size_t l : route) {
+    EXPECT_EQ(t.link(l).src, at);
+    at = t.link(l).dst;
+  }
+  EXPECT_EQ(at, dst);
+}
+
+TEST(ShortestPath, ThrowsWhenUnreachable) {
+  Topology t("disconnected", 2, 1, 1);
+  t.add_router({0, 0, 0});
+  t.add_router({1, 0, 0});
+  const ShortestPathRouting routing;
+  EXPECT_THROW(routing.route(t, 0, 1), std::runtime_error);
+}
+
+TEST(AverageHops, KnownMeshValues) {
+  // k x k mesh uniform (excluding self): per-dim mean (k^2-1)/(3k)
+  // over ordered pairs including same-coordinate; total = 2 dims.
+  const Topology t = Topology::mesh_2d(8, 8);
+  const DimensionOrderRouting routing;
+  // 5.25 over all pairs incl. self-pairs; excluding self raises it a
+  // touch: 5.25 * 64/63.
+  EXPECT_NEAR(average_hop_count(t, routing), 5.25 * 64.0 / 63.0, 1e-9);
+}
+
+TEST(AverageHops, StarMeshLowerThan2dMesh) {
+  const DimensionOrderRouting routing;
+  EXPECT_LT(average_hop_count(Topology::star_mesh(4, 4, 4), routing),
+            average_hop_count(Topology::mesh_2d(8, 8), routing));
+}
+
+TEST(Diameter, MeshCornerToCorner) {
+  const DimensionOrderRouting routing;
+  EXPECT_EQ(diameter(Topology::mesh_2d(8, 8), routing), 14u);
+  EXPECT_EQ(diameter(Topology::mesh_3d(4, 4, 4), routing), 9u);
+}
+
+}  // namespace
+}  // namespace wi::noc

@@ -1,0 +1,134 @@
+#include "wi/noc/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wi::noc {
+namespace {
+
+TEST(Topology, Mesh2dCounts) {
+  const Topology t = Topology::mesh_2d(8, 8);
+  EXPECT_EQ(t.router_count(), 64u);
+  EXPECT_EQ(t.module_count(), 64u);
+  // 2 * (kx-1)*ky + 2 * kx*(ky-1) directed links.
+  EXPECT_EQ(t.link_count(), 2u * (7 * 8) + 2u * (8 * 7));
+}
+
+TEST(Topology, Mesh3dCounts) {
+  const Topology t = Topology::mesh_3d(4, 4, 4);
+  EXPECT_EQ(t.router_count(), 64u);
+  EXPECT_EQ(t.module_count(), 64u);
+  // 3 dimensions x 2 directions x 3*16 adjacent pairs per dim.
+  EXPECT_EQ(t.link_count(), 3u * 2u * 48u);
+}
+
+TEST(Topology, StarMeshConcentration) {
+  const Topology t = Topology::star_mesh(4, 4, 4);
+  EXPECT_EQ(t.router_count(), 16u);
+  EXPECT_EQ(t.module_count(), 64u);
+  // Four modules share each router.
+  for (std::size_t m = 0; m < 64; ++m) {
+    EXPECT_EQ(t.module_router(m), m / 4);
+  }
+}
+
+TEST(Topology, CiliatedMeshIs3dConcentrated) {
+  const Topology t = Topology::ciliated_mesh_3d(4, 4, 2, 2);
+  EXPECT_EQ(t.router_count(), 32u);
+  EXPECT_EQ(t.module_count(), 64u);
+}
+
+TEST(Topology, RouterAtRoundTrips) {
+  const Topology t = Topology::mesh_3d(4, 3, 2);
+  for (int z = 0; z < 2; ++z) {
+    for (int y = 0; y < 3; ++y) {
+      for (int x = 0; x < 4; ++x) {
+        const std::size_t r = t.router_at(x, y, z);
+        EXPECT_EQ(t.coord(r).x, x);
+        EXPECT_EQ(t.coord(r).y, y);
+        EXPECT_EQ(t.coord(r).z, z);
+      }
+    }
+  }
+  EXPECT_THROW(t.router_at(4, 0, 0), std::out_of_range);
+  EXPECT_THROW(t.router_at(0, 0, 2), std::out_of_range);
+}
+
+TEST(Topology, LinksAreBidirectionalPairs) {
+  const Topology t = Topology::mesh_2d(3, 3);
+  for (const auto& link : t.links()) {
+    EXPECT_NE(t.find_link(link.dst, link.src), Topology::npos);
+  }
+}
+
+TEST(Topology, FindLinkMissing) {
+  const Topology t = Topology::mesh_2d(3, 3);
+  // Non-adjacent routers have no direct link.
+  EXPECT_EQ(t.find_link(t.router_at(0, 0, 0), t.router_at(2, 2, 0)),
+            Topology::npos);
+}
+
+TEST(Topology, VerticalLinksTagged) {
+  const Topology t = Topology::mesh_3d(2, 2, 2);
+  std::size_t vertical = 0;
+  for (const auto& link : t.links()) {
+    if (link.vertical) ++vertical;
+  }
+  EXPECT_EQ(vertical, 2u * 4u);  // 4 vertical pairs, both directions
+}
+
+TEST(Topology, PartialVerticalMeshDropsLinks) {
+  const Topology full = Topology::mesh_3d(4, 4, 4);
+  const Topology sparse =
+      Topology::partial_vertical_mesh_3d(4, 4, 4, 2, 2.0);
+  std::size_t full_vertical = 0;
+  std::size_t sparse_vertical = 0;
+  for (const auto& link : full.links()) {
+    if (link.vertical) ++full_vertical;
+  }
+  for (const auto& link : sparse.links()) {
+    if (link.vertical) {
+      ++sparse_vertical;
+      EXPECT_DOUBLE_EQ(link.bandwidth, 2.0);
+    }
+  }
+  EXPECT_LT(sparse_vertical, full_vertical);
+  EXPECT_EQ(sparse.module_count(), full.module_count());
+}
+
+TEST(Topology, BisectionBandwidth) {
+  // 8x8 mesh: 8 links cross the mid cut in one direction.
+  EXPECT_DOUBLE_EQ(Topology::mesh_2d(8, 8).bisection_bandwidth(), 8.0);
+  // 4x4x4: 16 links cross.
+  EXPECT_DOUBLE_EQ(Topology::mesh_3d(4, 4, 4).bisection_bandwidth(), 16.0);
+  // Star-mesh 4x4: 4 links.
+  EXPECT_DOUBLE_EQ(Topology::star_mesh(4, 4, 4).bisection_bandwidth(), 4.0);
+}
+
+TEST(Topology, WireLength3dShorterThan2d) {
+  // The Sec. IV "short wires" claim: same module count, less total wire.
+  const double wire_2d = Topology::mesh_2d(8, 8).total_wire_length_mm();
+  const double wire_3d = Topology::mesh_3d(4, 4, 4).total_wire_length_mm();
+  EXPECT_LT(wire_3d, wire_2d);
+}
+
+TEST(Topology, ManualConstructionAndValidation) {
+  Topology t("custom", 2, 1, 1);
+  const std::size_t a = t.add_router({0, 0, 0});
+  const std::size_t b = t.add_router({1, 0, 0});
+  t.add_link({a, b, 1.0, 1.0, false});
+  EXPECT_THROW(t.add_link({a, a, 1.0, 1.0, false}), std::invalid_argument);
+  EXPECT_THROW(t.add_link({a, 5, 1.0, 1.0, false}), std::out_of_range);
+  EXPECT_EQ(t.attach_module(a), 0u);
+  EXPECT_THROW(t.attach_module(9), std::out_of_range);
+}
+
+TEST(Topology, BuildersRejectDegenerate) {
+  EXPECT_THROW(Topology::star_mesh(4, 4, 0), std::invalid_argument);
+  EXPECT_THROW(Topology::ciliated_mesh_3d(2, 2, 2, 0),
+               std::invalid_argument);
+  EXPECT_THROW(Topology::partial_vertical_mesh_3d(2, 2, 2, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wi::noc

@@ -1,0 +1,88 @@
+#include "wi/noc/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wi::noc {
+namespace {
+
+TEST(Traffic, UniformRowsNormalised) {
+  const TrafficPattern t = TrafficPattern::uniform(8);
+  for (std::size_t s = 0; s < 8; ++s) {
+    double row = 0.0;
+    for (std::size_t d = 0; d < 8; ++d) row += t.probability(s, d);
+    EXPECT_NEAR(row, 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(t.probability(s, s), 0.0);
+  }
+}
+
+TEST(Traffic, UniformEquiprobable) {
+  const TrafficPattern t = TrafficPattern::uniform(5);
+  for (std::size_t s = 0; s < 5; ++s) {
+    for (std::size_t d = 0; d < 5; ++d) {
+      if (s != d) EXPECT_NEAR(t.probability(s, d), 0.25, 1e-12);
+    }
+  }
+}
+
+TEST(Traffic, TransposeIsPermutation) {
+  const TrafficPattern t = TrafficPattern::transpose(8);
+  for (std::size_t s = 0; s < 8; ++s) {
+    EXPECT_DOUBLE_EQ(t.probability(s, (s + 4) % 8), 1.0);
+  }
+}
+
+TEST(Traffic, BitComplementReverses) {
+  const TrafficPattern t = TrafficPattern::bit_complement(8);
+  for (std::size_t s = 0; s < 8; ++s) {
+    EXPECT_DOUBLE_EQ(t.probability(s, 7 - s), 1.0);
+  }
+  EXPECT_THROW(TrafficPattern::bit_complement(6), std::invalid_argument);
+}
+
+TEST(Traffic, HotspotConcentrates) {
+  const TrafficPattern t = TrafficPattern::hotspot(8, 3, 0.5);
+  for (std::size_t s = 0; s < 8; ++s) {
+    if (s == 3) continue;
+    // Hotspot destination receives more than any other.
+    for (std::size_t d = 0; d < 8; ++d) {
+      if (d == 3 || d == s) continue;
+      EXPECT_GT(t.probability(s, 3), t.probability(s, d));
+    }
+    double row = 0.0;
+    for (std::size_t d = 0; d < 8; ++d) row += t.probability(s, d);
+    EXPECT_NEAR(row, 1.0, 1e-12);
+  }
+}
+
+TEST(Traffic, HotspotZeroFractionIsUniform) {
+  const TrafficPattern hotspot = TrafficPattern::hotspot(6, 0, 0.0);
+  const TrafficPattern uniform = TrafficPattern::uniform(6);
+  for (std::size_t s = 0; s < 6; ++s) {
+    for (std::size_t d = 0; d < 6; ++d) {
+      EXPECT_NEAR(hotspot.probability(s, d), uniform.probability(s, d),
+                  1e-12);
+    }
+  }
+}
+
+TEST(Traffic, RejectsBadArguments) {
+  EXPECT_THROW(TrafficPattern::uniform(1), std::invalid_argument);
+  EXPECT_THROW(TrafficPattern::hotspot(4, 9, 0.5), std::invalid_argument);
+  EXPECT_THROW(TrafficPattern::hotspot(4, 0, 1.5), std::invalid_argument);
+  EXPECT_THROW(TrafficPattern({1.0}, 2), std::invalid_argument);
+  // A row of all zeros cannot be normalised.
+  EXPECT_THROW(TrafficPattern({0.0, 0.0, 0.0, 0.0}, 2),
+               std::invalid_argument);
+  EXPECT_THROW(TrafficPattern({0.0, -1.0, 1.0, 0.0}, 2),
+               std::invalid_argument);
+}
+
+TEST(Traffic, CustomMatrixNormalised) {
+  // Rows are rescaled to sum to one.
+  const TrafficPattern t({0.0, 2.0, 2.0, 0.0}, 2);
+  EXPECT_DOUBLE_EQ(t.probability(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(t.probability(1, 0), 1.0);
+}
+
+}  // namespace
+}  // namespace wi::noc

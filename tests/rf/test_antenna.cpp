@@ -1,0 +1,117 @@
+#include "wi/rf/antenna.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wi::rf {
+namespace {
+
+TEST(HornAntenna, BoresightGain) {
+  const HornAntenna horn(10.0, 30.0);
+  EXPECT_DOUBLE_EQ(horn.gain_dbi(0.0), 10.0);
+}
+
+TEST(HornAntenna, HalfPowerBeamwidth) {
+  const HornAntenna horn(10.0, 30.0);
+  // -3 dB at half the HPBW off boresight.
+  EXPECT_NEAR(horn.gain_dbi(15.0), 7.0, 1e-9);
+}
+
+TEST(HornAntenna, SidelobeFloor) {
+  const HornAntenna horn(10.0, 30.0);
+  EXPECT_NEAR(horn.gain_dbi(90.0), -20.0, 1e-9);  // 10 - 30 floor
+}
+
+TEST(HornAntenna, PatternSymmetricAndMonotone) {
+  const HornAntenna horn(9.5);
+  EXPECT_DOUBLE_EQ(horn.gain_dbi(10.0), horn.gain_dbi(-10.0));
+  double prev = horn.gain_dbi(0.0);
+  for (double a = 2.0; a <= 40.0; a += 2.0) {
+    const double g = horn.gain_dbi(a);
+    EXPECT_LE(g, prev + 1e-12);
+    prev = g;
+  }
+}
+
+TEST(HornAntenna, RejectsBadBeamwidth) {
+  EXPECT_THROW(HornAntenna(10.0, 0.0), std::invalid_argument);
+}
+
+TEST(PlanarArray, PaperArrayGain) {
+  // Table I: 4x4 array -> 12 dB array gain.
+  const PlanarArray array(4, 4);
+  EXPECT_NEAR(array.broadside_gain_dbi(), 12.04, 0.05);
+}
+
+TEST(PlanarArray, GainScalesWithElements) {
+  EXPECT_NEAR(PlanarArray(8, 8).broadside_gain_dbi() -
+                  PlanarArray(4, 4).broadside_gain_dbi(),
+              6.02, 0.01);
+}
+
+TEST(PlanarArray, ElementGainAdds) {
+  const PlanarArray with_gain(4, 4, 3.0);
+  const PlanarArray without(4, 4, 0.0);
+  EXPECT_NEAR(with_gain.broadside_gain_dbi() - without.broadside_gain_dbi(),
+              3.0, 1e-12);
+}
+
+TEST(PlanarArray, ArrayFactorPeaksAtSteeringAngle) {
+  const PlanarArray array(4, 4);
+  for (const double steer : {-30.0, 0.0, 20.0}) {
+    EXPECT_NEAR(array.array_factor_db(steer, steer), 0.0, 1e-9);
+    // Off the main lobe, power drops.
+    EXPECT_LT(array.array_factor_db(steer + 25.0, steer), -1.0);
+  }
+}
+
+TEST(PlanarArray, RejectsDegenerate) {
+  EXPECT_THROW(PlanarArray(0, 4), std::invalid_argument);
+  EXPECT_THROW(PlanarArray(4, 0), std::invalid_argument);
+  EXPECT_THROW(PlanarArray(4, 4, 0.0, 0.0), std::invalid_argument);
+}
+
+TEST(ButlerMatrix, BeamCountAndCoverage) {
+  const PlanarArray array(4, 4);
+  const ButlerMatrixBeamformer butler(array, 4);
+  ASSERT_EQ(butler.beam_angles_deg().size(), 4u);
+  // Beams symmetric about broadside.
+  EXPECT_NEAR(butler.beam_angles_deg()[0], -butler.beam_angles_deg()[3],
+              1e-9);
+}
+
+TEST(ButlerMatrix, BestBeamIsNearestPattern) {
+  const PlanarArray array(4, 4);
+  const ButlerMatrixBeamformer butler(array, 4);
+  // A target on a beam centre selects that beam.
+  for (std::size_t k = 0; k < 4; ++k) {
+    EXPECT_EQ(butler.best_beam(butler.beam_angles_deg()[k]), k);
+  }
+}
+
+TEST(ButlerMatrix, MismatchNearPaperBudget) {
+  // Table I budgets 5 dB for the Butler matrix inaccuracy; the physical
+  // model (scalloping between 4 fixed beams + network loss) should land
+  // in that ballpark.
+  const PlanarArray array(4, 4);
+  const ButlerMatrixBeamformer butler(array, 4);
+  const double mismatch = butler.worst_case_mismatch_db();
+  EXPECT_GT(mismatch, 2.5);
+  EXPECT_LT(mismatch, 8.0);
+}
+
+TEST(ButlerMatrix, EffectiveGainNeverExceedsIdeal) {
+  const PlanarArray array(4, 4);
+  const ButlerMatrixBeamformer butler(array, 4);
+  for (double target = -60.0; target <= 60.0; target += 5.0) {
+    EXPECT_LE(butler.effective_gain_dbi(target),
+              array.gain_dbi(target, target) + 1e-9);
+  }
+}
+
+TEST(ButlerMatrix, RejectsZeroBeams) {
+  EXPECT_THROW(ButlerMatrixBeamformer(PlanarArray(4, 4), 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wi::rf

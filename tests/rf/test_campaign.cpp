@@ -1,0 +1,74 @@
+#include "wi/rf/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wi::rf {
+namespace {
+
+TEST(Campaign, DefaultGridMatchesFigureAxis) {
+  const auto grid = default_distance_grid_m();
+  ASSERT_FALSE(grid.empty());
+  EXPECT_DOUBLE_EQ(grid.front(), 0.02);
+  EXPECT_DOUBLE_EQ(grid.back(), 0.2);  // Fig. 1 x-axis reaches 200 mm
+  for (std::size_t i = 1; i < grid.size(); ++i) {
+    EXPECT_NEAR(grid[i] - grid[i - 1], 0.01, 1e-12);
+  }
+}
+
+TEST(Campaign, RejectsEmptyDistances) {
+  CampaignConfig config;
+  EXPECT_THROW(run_campaign(config), std::invalid_argument);
+}
+
+TEST(Campaign, PathlossIncreasesWithDistance) {
+  CampaignConfig config;
+  config.distances_m = {0.05, 0.1, 0.2};
+  const auto points = run_campaign(config);
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_LT(points[0].pathloss_db, points[1].pathloss_db);
+  EXPECT_LT(points[1].pathloss_db, points[2].pathloss_db);
+}
+
+TEST(Campaign, FreeSpaceFitsExponentTwo) {
+  // Fig. 1: the free-space measurement fits n = 2.000.
+  CampaignConfig config;
+  config.distances_m = default_distance_grid_m();
+  config.copper_boards = false;
+  const PathLossFit fit = run_and_fit(config);
+  EXPECT_NEAR(fit.exponent, 2.000, 0.01);
+  EXPECT_LT(fit.rmse_db, 0.5);
+}
+
+TEST(Campaign, CopperBoardsFitHigherExponent) {
+  // Fig. 1: parallel copper boards fit n = 2.0454.
+  CampaignConfig config;
+  config.distances_m = default_distance_grid_m();
+  config.copper_boards = true;
+  const PathLossFit fit = run_and_fit(config);
+  EXPECT_NEAR(fit.exponent, 2.0454, 0.02);
+}
+
+TEST(Campaign, MeasuredPointsTrackTheModel) {
+  CampaignConfig config;
+  config.distances_m = default_distance_grid_m();
+  const auto points = run_campaign(config);
+  const PathLossModel model = PathLossModel::free_space(232.5e9);
+  for (const auto& p : points) {
+    EXPECT_NEAR(p.pathloss_db, model.loss_db(p.distance_m), 1.5)
+        << "d=" << p.distance_m;
+  }
+}
+
+TEST(Campaign, DeterministicWithSeed) {
+  CampaignConfig config;
+  config.distances_m = {0.05, 0.1};
+  config.vna.seed = 7;
+  const auto a = run_campaign(config);
+  const auto b = run_campaign(config);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].pathloss_db, b[i].pathloss_db);
+  }
+}
+
+}  // namespace
+}  // namespace wi::rf

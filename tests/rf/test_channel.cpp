@@ -1,0 +1,144 @@
+#include "wi/rf/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "wi/common/constants.hpp"
+
+namespace wi::rf {
+namespace {
+
+TEST(MultipathChannel, SingleTapFrequencyResponse) {
+  MultipathChannel channel;
+  channel.add_tap({1e-9, -20.0, 0.0, "tap"});
+  const cplx h = channel.frequency_response(232.5e9);
+  EXPECT_NEAR(std::abs(h), std::pow(10.0, -1.0), 1e-9);  // -20 dB amp
+}
+
+TEST(MultipathChannel, TwoTapInterference) {
+  // Two equal taps half a period apart cancel; a full period adds.
+  const double f = 1e9;
+  MultipathChannel channel;
+  channel.add_tap({0.0, 0.0, 0.0, "a"});
+  channel.add_tap({0.5 / f, 0.0, 0.0, "b"});
+  EXPECT_NEAR(std::abs(channel.frequency_response(f)), 0.0, 1e-9);
+  MultipathChannel aligned;
+  aligned.add_tap({0.0, 0.0, 0.0, "a"});
+  aligned.add_tap({1.0 / f, 0.0, 0.0, "b"});
+  EXPECT_NEAR(std::abs(aligned.frequency_response(f)), 2.0, 1e-9);
+}
+
+TEST(MultipathChannel, StrongestTapQueries) {
+  MultipathChannel channel({{1e-9, -40.0, 0.0, "weak"},
+                            {2e-9, -30.0, 0.0, "strong"},
+                            {3e-9, -55.0, 0.0, "weaker"}});
+  EXPECT_DOUBLE_EQ(channel.strongest_tap_db(), -30.0);
+  EXPECT_DOUBLE_EQ(channel.strongest_tap_delay_s(), 2e-9);
+  EXPECT_DOUBLE_EQ(channel.worst_reflection_rel_db(), -10.0);
+}
+
+TEST(MultipathChannel, WorstReflectionDegenerate) {
+  MultipathChannel empty;
+  EXPECT_LT(empty.worst_reflection_rel_db(), -200.0);
+  MultipathChannel single({{1e-9, -30.0, 0.0, "only"}});
+  EXPECT_LT(single.worst_reflection_rel_db(), -200.0);
+}
+
+TEST(BoardToBoard, LosMatchesFriisMinusGains) {
+  BoardToBoardScenario s;
+  s.distance_m = 0.1;
+  s.copper_boards = false;
+  const MultipathChannel channel = board_to_board_channel(s);
+  // LoS gain = -(Friis - 2 * 9.5 dB).
+  EXPECT_NEAR(channel.strongest_tap_db(), -(59.78 - 19.0), 0.1);
+}
+
+TEST(BoardToBoard, LosDelayMatchesGeometry) {
+  BoardToBoardScenario s;
+  s.distance_m = 0.05;
+  const MultipathChannel channel = board_to_board_channel(s);
+  const double expected =
+      (0.05 + 2.0 * s.waveguide_length_m) / kSpeedOfLight_mps;
+  EXPECT_NEAR(channel.strongest_tap_delay_s(), expected, 1e-13);
+}
+
+TEST(BoardToBoard, FreespaceHasNoBoardCluster) {
+  BoardToBoardScenario s;
+  s.copper_boards = false;
+  const MultipathChannel channel = board_to_board_channel(s);
+  for (const auto& tap : channel.taps()) {
+    EXPECT_EQ(tap.label.find("copper"), std::string::npos);
+  }
+}
+
+TEST(BoardToBoard, CopperAddsBoardCluster) {
+  BoardToBoardScenario s;
+  s.copper_boards = true;
+  const MultipathChannel channel = board_to_board_channel(s);
+  int copper_taps = 0;
+  for (const auto& tap : channel.taps()) {
+    if (tap.label.find("copper") != std::string::npos) ++copper_taps;
+  }
+  EXPECT_EQ(copper_taps, 2);
+}
+
+class ReflectionLevelTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ReflectionLevelTest, AllReflectionsAtLeast15dBDown) {
+  // The paper's central measurement claim (Sec. II-A): reflections are
+  // always at least 15 dB below the line of sight — for free space and
+  // copper boards, at every link distance.
+  for (const bool copper : {false, true}) {
+    BoardToBoardScenario s;
+    s.distance_m = GetParam();
+    s.copper_boards = copper;
+    const MultipathChannel channel = board_to_board_channel(s);
+    EXPECT_LE(channel.worst_reflection_rel_db(), -15.0)
+        << "distance " << GetParam() << " copper " << copper;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, ReflectionLevelTest,
+                         ::testing::Values(0.05, 0.1, 0.15, 0.2, 0.3));
+
+TEST(BoardToBoard, BounceClusterLaterThanLos) {
+  BoardToBoardScenario s;
+  s.distance_m = 0.05;
+  s.copper_boards = true;
+  const MultipathChannel channel = board_to_board_channel(s);
+  const double los_delay = channel.strongest_tap_delay_s();
+  for (const auto& tap : channel.taps()) {
+    if (tap.label.find("copper") != std::string::npos) {
+      EXPECT_GT(tap.delay_s, los_delay);
+    }
+  }
+}
+
+TEST(BoardToBoard, DiagonalLinkLongerDelay) {
+  BoardToBoardScenario ahead;
+  ahead.distance_m = 0.05;
+  BoardToBoardScenario diagonal;
+  diagonal.distance_m = 0.15;
+  EXPECT_GT(board_to_board_channel(diagonal).strongest_tap_delay_s(),
+            board_to_board_channel(ahead).strongest_tap_delay_s());
+}
+
+TEST(BoardToBoard, RejectsNonPositiveDistance) {
+  BoardToBoardScenario s;
+  s.distance_m = 0.0;
+  EXPECT_THROW(board_to_board_channel(s), std::invalid_argument);
+}
+
+TEST(CopperExcessLoss, GrowsWithDistanceFromReference) {
+  EXPECT_DOUBLE_EQ(copper_board_excess_loss_db(0.005), 0.0);
+  EXPECT_GT(copper_board_excess_loss_db(0.1),
+            copper_board_excess_loss_db(0.05));
+  // 0.454 dB per decade by construction.
+  EXPECT_NEAR(copper_board_excess_loss_db(0.1) -
+                  copper_board_excess_loss_db(0.01),
+              0.454, 1e-9);
+}
+
+}  // namespace
+}  // namespace wi::rf

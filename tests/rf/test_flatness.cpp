@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "wi/rf/channel.hpp"
+#include "wi/rf/vna.hpp"
+
+namespace wi::rf {
+namespace {
+
+TEST(Flatness, SingleTapIsFlat) {
+  MultipathChannel channel;
+  channel.add_tap({0.5e-9, -40.0, 0.0, "tap"});
+  VnaConfig config;
+  config.noise_floor_db = -150.0;
+  SyntheticVna vna(config);
+  EXPECT_LT(magnitude_ripple_db(vna.measure(channel)), 0.1);
+}
+
+TEST(Flatness, StrongEchoCausesRipple) {
+  // Two taps 3 dB apart produce deep frequency-selective fading.
+  MultipathChannel channel;
+  channel.add_tap({0.3e-9, -40.0, 0.0, "los"});
+  channel.add_tap({0.8e-9, -43.0, 0.0, "echo"});
+  VnaConfig config;
+  config.noise_floor_db = -150.0;
+  SyntheticVna vna(config);
+  EXPECT_GT(magnitude_ripple_db(vna.measure(channel)), 6.0);
+}
+
+class BoardChannelFlatnessTest
+    : public ::testing::TestWithParam<std::tuple<double, bool>> {};
+
+TEST_P(BoardChannelFlatnessTest, LargelyFrequencyFlat) {
+  // Sec. VI: "the channel can be assumed to be static and largely
+  // frequency flat". With all reflections >= 15 dB below LoS the ripple
+  // over 220-245 GHz stays within a few dB.
+  const auto [distance, copper] = GetParam();
+  BoardToBoardScenario scenario;
+  scenario.distance_m = distance;
+  scenario.copper_boards = copper;
+  VnaConfig config;
+  config.noise_floor_db = -150.0;
+  SyntheticVna vna(config);
+  const double ripple =
+      magnitude_ripple_db(vna.measure(board_to_board_channel(scenario)));
+  EXPECT_LT(ripple, 3.0) << "d=" << distance << " copper=" << copper;
+  EXPECT_GT(ripple, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, BoardChannelFlatnessTest,
+    ::testing::Combine(::testing::Values(0.05, 0.1, 0.15, 0.3),
+                       ::testing::Values(false, true)));
+
+TEST(Flatness, RejectsEmptySweep) {
+  EXPECT_THROW(magnitude_ripple_db(FrequencySweep{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wi::rf

@@ -1,0 +1,95 @@
+#include "wi/rf/link_budget.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wi/common/units.hpp"
+
+namespace wi::rf {
+namespace {
+
+TEST(LinkBudget, TableIPathlossAnchors) {
+  const LinkBudget budget;
+  EXPECT_NEAR(budget.path_loss_db(kShortestLink_m), 59.8, 0.05);
+  EXPECT_NEAR(budget.path_loss_db(kLongestLink_m), 69.3, 0.05);
+}
+
+TEST(LinkBudget, NoisePowerAt323K) {
+  // kTB over 25 GHz at 323 K = -69.5 dBm; +10 dB NF = -59.5 dBm.
+  const LinkBudget budget;
+  EXPECT_NEAR(budget.noise_power_dbm(), -59.5, 0.1);
+}
+
+TEST(LinkBudget, RequiredPowerIsAffineInSnr) {
+  const LinkBudget budget;
+  const double p0 = budget.required_tx_power_dbm(0.0, 0.1, false);
+  const double p10 = budget.required_tx_power_dbm(10.0, 0.1, false);
+  const double p20 = budget.required_tx_power_dbm(20.0, 0.1, false);
+  EXPECT_NEAR(p10 - p0, 10.0, 1e-9);
+  EXPECT_NEAR(p20 - p10, 10.0, 1e-9);
+}
+
+TEST(LinkBudget, Fig4CurveSeparations) {
+  // The three Fig. 4 curves are parallel: longest-shortest = pathloss
+  // delta (9.5 dB); Butler adds exactly 5 dB on top.
+  const LinkBudget budget;
+  for (const double snr : {0.0, 15.0, 35.0}) {
+    const double shortest =
+        budget.required_tx_power_dbm(snr, kShortestLink_m, false);
+    const double longest =
+        budget.required_tx_power_dbm(snr, kLongestLink_m, false);
+    const double butler =
+        budget.required_tx_power_dbm(snr, kLongestLink_m, true);
+    EXPECT_NEAR(longest - shortest, 9.54, 0.05);
+    EXPECT_NEAR(butler - longest, 5.0, 1e-9);
+  }
+}
+
+TEST(LinkBudget, Fig4RangeMatchesFigureAxes) {
+  // Fig. 4 plots PTX from about -20 to +40 dBm over SNR 0..35 dB.
+  const LinkBudget budget;
+  EXPECT_NEAR(budget.required_tx_power_dbm(0.0, kShortestLink_m, false),
+              -15.7, 0.5);
+  EXPECT_NEAR(budget.required_tx_power_dbm(35.0, kLongestLink_m, true),
+              33.8, 0.5);
+}
+
+TEST(LinkBudget, SnrInvertsRequiredPower) {
+  const LinkBudget budget;
+  for (const double snr : {3.0, 12.5, 27.0}) {
+    const double ptx = budget.required_tx_power_dbm(snr, 0.2, true);
+    EXPECT_NEAR(budget.snr_db(ptx, 0.2, true), snr, 1e-9);
+  }
+}
+
+TEST(LinkBudget, GainsReduceRequiredPower) {
+  LinkBudgetParams params;
+  const LinkBudget base(params);
+  params.array_gain_db = 15.0;  // bigger arrays
+  const LinkBudget bigger(params);
+  EXPECT_NEAR(base.required_tx_power_dbm(10.0, 0.1, false) -
+                  bigger.required_tx_power_dbm(10.0, 0.1, false),
+              6.0, 1e-9);  // 2 x 3 dB
+}
+
+TEST(LinkBudget, ShannonRateHitsPaperTarget) {
+  // 25 GHz, dual polarization, ~2 bit/s/Hz -> 100 Gbit/s (Sec. II-B).
+  const LinkBudget budget;
+  const double snr_for_2bpcu = lin_to_db(3.0);  // log2(1+3) = 2
+  EXPECT_NEAR(budget.shannon_rate_bps(snr_for_2bpcu, true) / 1e9, 100.0,
+              0.1);
+  // Single polarization carries half.
+  EXPECT_NEAR(budget.shannon_rate_bps(snr_for_2bpcu, false) / 1e9, 50.0,
+              0.1);
+}
+
+TEST(LinkBudget, RejectsInvalidParams) {
+  LinkBudgetParams params;
+  params.bandwidth_hz = 0.0;
+  EXPECT_THROW(LinkBudget{params}, std::invalid_argument);
+  params = {};
+  params.rx_temperature_k = -1.0;
+  EXPECT_THROW(LinkBudget{params}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wi::rf

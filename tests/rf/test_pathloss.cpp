@@ -1,0 +1,93 @@
+#include "wi/rf/pathloss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "wi/common/rng.hpp"
+
+namespace wi::rf {
+namespace {
+
+constexpr double kCarrier = 232.5e9;
+
+TEST(Friis, PaperAnchors) {
+  // Table I: 59.8 dB at 0.1 m and 69.3 dB at 0.3 m, 232.5 GHz.
+  EXPECT_NEAR(friis_loss_db(0.1, kCarrier), 59.8, 0.05);
+  EXPECT_NEAR(friis_loss_db(0.3, kCarrier), 69.3, 0.05);
+}
+
+TEST(Friis, SixDbPerDistanceDoubling) {
+  const double base = friis_loss_db(0.05, kCarrier);
+  EXPECT_NEAR(friis_loss_db(0.1, kCarrier) - base, 6.0206, 1e-3);
+}
+
+TEST(Friis, FrequencyScaling) {
+  // Doubling the frequency adds 6 dB.
+  EXPECT_NEAR(friis_loss_db(0.1, 2.0 * kCarrier) -
+                  friis_loss_db(0.1, kCarrier),
+              6.0206, 1e-3);
+}
+
+TEST(Friis, RejectsNonPositive) {
+  EXPECT_THROW(friis_loss_db(0.0, kCarrier), std::invalid_argument);
+  EXPECT_THROW(friis_loss_db(0.1, 0.0), std::invalid_argument);
+}
+
+TEST(PathLossModel, Eq1Evaluation) {
+  // PL_d = PL_d0 + 10 n log10(d/d0) (Eq. 1 of the paper).
+  const PathLossModel model(60.0, 2.0, 0.1);
+  EXPECT_DOUBLE_EQ(model.loss_db(0.1), 60.0);
+  EXPECT_NEAR(model.loss_db(1.0), 80.0, 1e-9);
+  EXPECT_NEAR(model.loss_db(0.2), 60.0 + 20.0 * std::log10(2.0), 1e-9);
+}
+
+TEST(PathLossModel, FreeSpaceMatchesFriis) {
+  const PathLossModel model = PathLossModel::free_space(kCarrier);
+  for (const double d : {0.02, 0.1, 0.3, 1.0}) {
+    EXPECT_NEAR(model.loss_db(d), friis_loss_db(d, kCarrier), 1e-9);
+  }
+}
+
+TEST(PathLossModel, RejectsBadInput) {
+  EXPECT_THROW(PathLossModel(60.0, 2.0, 0.0), std::invalid_argument);
+  const PathLossModel model(60.0, 2.0, 0.1);
+  EXPECT_THROW(model.loss_db(0.0), std::invalid_argument);
+  EXPECT_THROW(model.loss_db(-1.0), std::invalid_argument);
+}
+
+TEST(FitPathLoss, RecoversExactModel) {
+  const PathLossModel truth(59.8, 2.0454, 0.05);
+  std::vector<PathLossPoint> points;
+  for (double d = 0.02; d <= 0.2; d += 0.01) {
+    points.push_back({d, truth.loss_db(d)});
+  }
+  const PathLossFit fit = fit_path_loss(points, 0.05);
+  EXPECT_NEAR(fit.exponent, 2.0454, 1e-9);
+  EXPECT_NEAR(fit.reference_loss_db, 59.8, 1e-9);
+  EXPECT_NEAR(fit.rmse_db, 0.0, 1e-9);
+}
+
+TEST(FitPathLoss, RobustToNoise) {
+  const PathLossModel truth(60.0, 2.0, 0.05);
+  Rng rng(31);
+  std::vector<PathLossPoint> points;
+  for (double d = 0.02; d <= 0.2; d += 0.005) {
+    points.push_back({d, truth.loss_db(d) + rng.gaussian(0.0, 0.3)});
+  }
+  const PathLossFit fit = fit_path_loss(points, 0.05);
+  EXPECT_NEAR(fit.exponent, 2.0, 0.1);
+  EXPECT_GT(fit.rmse_db, 0.0);
+  EXPECT_LT(fit.rmse_db, 1.0);
+}
+
+TEST(FitPathLoss, RejectsDegenerateInput) {
+  EXPECT_THROW(fit_path_loss({}, 0.05), std::invalid_argument);
+  EXPECT_THROW(fit_path_loss({{0.1, 60.0}}, 0.05), std::invalid_argument);
+  // Two identical distances cannot determine a slope.
+  EXPECT_THROW(fit_path_loss({{0.1, 60.0}, {0.1, 61.0}}, 0.05),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wi::rf

@@ -1,0 +1,137 @@
+#include "wi/rf/vna.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "wi/common/constants.hpp"
+
+namespace wi::rf {
+namespace {
+
+MultipathChannel simple_channel(double delay_s, double gain_db) {
+  MultipathChannel channel;
+  channel.add_tap({delay_s, gain_db, 0.0, "tap"});
+  return channel;
+}
+
+TEST(SyntheticVna, SweepDimensionsAndRange) {
+  SyntheticVna vna;  // defaults: 220-245 GHz, 4096 points
+  const FrequencySweep sweep = vna.measure(simple_channel(1e-9, -40.0));
+  ASSERT_EQ(sweep.freqs_hz.size(), 4096u);
+  ASSERT_EQ(sweep.s21.size(), 4096u);
+  EXPECT_DOUBLE_EQ(sweep.freqs_hz.front(), 220e9);
+  EXPECT_DOUBLE_EQ(sweep.freqs_hz.back(), 245e9);
+  for (std::size_t i = 1; i < sweep.freqs_hz.size(); ++i) {
+    EXPECT_GT(sweep.freqs_hz[i], sweep.freqs_hz[i - 1]);
+  }
+}
+
+TEST(SyntheticVna, DeterministicWithSeed) {
+  VnaConfig config;
+  config.seed = 99;
+  SyntheticVna a(config);
+  SyntheticVna b(config);
+  const auto sa = a.measure(simple_channel(1e-9, -40.0));
+  const auto sb = b.measure(simple_channel(1e-9, -40.0));
+  for (std::size_t i = 0; i < sa.s21.size(); ++i) {
+    EXPECT_EQ(sa.s21[i], sb.s21[i]);
+  }
+}
+
+TEST(SyntheticVna, RepeatMeasurementsDiffer) {
+  SyntheticVna vna;
+  const auto s1 = vna.measure(simple_channel(1e-9, -40.0));
+  const auto s2 = vna.measure(simple_channel(1e-9, -40.0));
+  // Same channel, different instrument noise (like a real VNA).
+  bool any_different = false;
+  for (std::size_t i = 0; i < s1.s21.size(); ++i) {
+    if (s1.s21[i] != s2.s21[i]) {
+      any_different = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(SyntheticVna, RejectsBadConfig) {
+  VnaConfig config;
+  config.points = 1;
+  EXPECT_THROW(SyntheticVna{config}, std::invalid_argument);
+  config.points = 100;
+  config.f_stop_hz = config.f_start_hz;
+  EXPECT_THROW(SyntheticVna{config}, std::invalid_argument);
+}
+
+TEST(ImpulseResponse, PeakAtTapDelay) {
+  VnaConfig config;
+  config.noise_floor_db = -140.0;
+  SyntheticVna vna(config);
+  const double tap_delay = 0.5e-9;
+  const auto ir =
+      to_impulse_response(vna.measure(simple_channel(tap_delay, -40.0)));
+  std::size_t peak = 0;
+  for (std::size_t i = 1; i < ir.magnitude_db.size(); ++i) {
+    if (ir.magnitude_db[i] > ir.magnitude_db[peak]) peak = i;
+  }
+  EXPECT_NEAR(ir.delay_s[peak], tap_delay, 2.0 / 25e9);  // +/- 2 bins
+}
+
+TEST(ImpulseResponse, PeakAmplitudeCalibrated) {
+  // The windowed IDFT is normalised so the tap amplitude is preserved.
+  VnaConfig config;
+  config.noise_floor_db = -150.0;
+  SyntheticVna vna(config);
+  const auto ir =
+      to_impulse_response(vna.measure(simple_channel(0.5e-9, -43.0)));
+  double peak = -1e9;
+  for (const double v : ir.magnitude_db) peak = std::max(peak, v);
+  // A tap midway between delay bins suffers up to ~1.4 dB of Hann
+  // scalloping; the calibration bound accounts for that.
+  EXPECT_NEAR(peak, -43.0, 1.6);
+}
+
+TEST(ImpulseResponse, TwoTapsResolved) {
+  MultipathChannel channel;
+  channel.add_tap({0.3e-9, -40.0, 0.0, "los"});
+  channel.add_tap({0.9e-9, -55.0, 1.0, "echo"});
+  VnaConfig config;
+  config.noise_floor_db = -140.0;
+  SyntheticVna vna(config);
+  const auto ir = to_impulse_response(vna.measure(channel));
+  EXPECT_NEAR(worst_reflection_rel_db(ir, 6), -15.0, 1.5);
+}
+
+TEST(ImpulseResponse, RejectsEmptySweep) {
+  FrequencySweep sweep;
+  EXPECT_THROW(to_impulse_response(sweep), std::invalid_argument);
+}
+
+TEST(ExtractPathloss, RecoverssTapLoss) {
+  // A single -60 dB tap with 2x10 dB antennas: extracted pathloss should
+  // be 60 + 20 = 80 dB when the gains are handed in.
+  VnaConfig config;
+  config.noise_floor_db = -150.0;
+  SyntheticVna vna(config);
+  const auto sweep = vna.measure(simple_channel(0.4e-9, -60.0));
+  EXPECT_NEAR(extract_pathloss_db(sweep, 20.0), 80.0, 0.05);
+}
+
+TEST(ExtractPathloss, RejectsEmpty) {
+  EXPECT_THROW(extract_pathloss_db(FrequencySweep{}, 0.0),
+               std::invalid_argument);
+}
+
+TEST(WorstReflection, GuardExcludesMainLobe) {
+  VnaConfig config;
+  config.noise_floor_db = -150.0;
+  SyntheticVna vna(config);
+  const auto ir =
+      to_impulse_response(vna.measure(simple_channel(0.5e-9, -40.0)));
+  // With a reasonable guard the only "reflections" left are window
+  // sidelobes and the noise floor, far below -15 dB.
+  EXPECT_LT(worst_reflection_rel_db(ir, 8), -40.0);
+}
+
+}  // namespace
+}  // namespace wi::rf

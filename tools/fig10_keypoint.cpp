@@ -1,0 +1,37 @@
+// Targeted check of the paper's Fig. 10 worked example at BER 1e-5:
+// LDPC-CC N=40 W=5 (T_WD = 200) vs LDPC-BC N=400 (T_B = 400) and
+// BC N=200 (equal latency to the CC).
+#include <cstdio>
+#include "wi/fec/ber.hpp"
+using namespace wi::fec;
+
+int main() {
+  const double target = 1e-5;
+  const LdpcConvolutionalCode cc(EdgeSpreading::paper_example(), 40, 24, 40, 32);
+  const QcLdpcBlockCode bc400(BaseMatrix({{4, 4}}), 400, 400, 32);
+  const QcLdpcBlockCode bc200(BaseMatrix({{4, 4}}), 200, 200, 32);
+  std::printf("girths: CC %zu, BC400 %zu, BC200 %zu\n",
+              cc.parity_check().girth(), bc400.parity_check().girth(),
+              bc200.parity_check().girth());
+  auto run_cc = [&](double e) {
+    BerConfig c; c.ebn0_db = e; c.min_errors = 120; c.max_codewords = 12000; c.seed = 7;
+    auto r = simulate_ber_window(cc, 5, c);
+    std::printf("  CC  @%.2f: BER %.2e (%zu err / %zu cw)\n", e, r.ber, r.bit_errors, r.codewords);
+    return r;
+  };
+  auto run_bc = [&](const QcLdpcBlockCode& code, const char* name, double e) {
+    BerConfig c; c.ebn0_db = e; c.min_errors = 120; c.max_codewords = 40000; c.seed = 8;
+    auto r = simulate_ber_block(code, c);
+    std::printf("  %s @%.2f: BER %.2e (%zu err / %zu cw)\n", name, e, r.ber, r.bit_errors, r.codewords);
+    return r;
+  };
+  const double cc_req = required_ebn0_db([&](double e){ return run_cc(e); }, target, 2.5, 6.0, 0.25);
+  std::printf("CC N=40 W=5 (latency 200): required Eb/N0 @1e-5 = %.2f dB\n\n", cc_req);
+  const double bc400_req = required_ebn0_db([&](double e){ return run_bc(bc400, "BC400", e); }, target, 2.5, 6.0, 0.25);
+  std::printf("BC N=400 (latency 400): required Eb/N0 @1e-5 = %.2f dB\n\n", bc400_req);
+  const double bc200_req = required_ebn0_db([&](double e){ return run_bc(bc200, "BC200", e); }, target, 2.5, 6.0, 0.25);
+  std::printf("BC N=200 (latency 200): required Eb/N0 @1e-5 = %.2f dB\n", bc200_req);
+  std::printf("\nsummary: CC(200 bits) %.2f dB vs BC(200 bits) %.2f dB vs BC(400 bits) %.2f dB\n",
+              cc_req, bc200_req, bc400_req);
+  return 0;
+}

@@ -1,0 +1,30 @@
+#include <cstdio>
+#include "wi/comm/filter_design.hpp"
+#include "wi/comm/info_rate.hpp"
+using namespace wi::comm;
+
+static void dump(const char* name, const IsiFilter& f, const Constellation& c) {
+  OneBitOsChannel ch(f, c, 25.0);
+  double sym = mi_one_bit_symbolwise(ch);
+  double seq = info_rate_one_bit_sequence(ch, {60000, 5});
+  std::printf("%s: symMI=%.4f seqIR=%.4f unique=%d margin=%.4f\n  taps:",
+    name, sym, seq, (int)is_uniquely_detectable(f, c), noise_free_margin(f, c));
+  for (double t : f.taps()) std::printf(" %.4f,", t);
+  std::printf("\n");
+}
+
+int main() {
+  Constellation c4 = Constellation::ask(4);
+  FilterDesignOptions opt;
+  opt.max_evals = 6000; opt.restarts = 4; opt.sequence_mc_symbols = 6000;
+
+  IsiFilter fsym = optimize_filter_symbolwise(c4, opt);
+  dump("SYMBOLWISE", fsym, c4);
+
+  IsiFilter fseq = optimize_filter_sequence(c4, opt);
+  dump("SEQUENCE", fseq, c4);
+
+  IsiFilter fsub = design_filter_suboptimal(c4, opt);
+  dump("SUBOPTIMAL", fsub, c4);
+  return 0;
+}

@@ -1,0 +1,19 @@
+#include <cstdio>
+#include "wi/comm/filter_design.hpp"
+#include "wi/comm/info_rate.hpp"
+using namespace wi::comm;
+int main() {
+  Constellation c4 = Constellation::ask(4);
+  FilterDesignOptions opt;
+  opt.max_evals = 8000; opt.restarts = 6;
+  IsiFilter f = design_filter_suboptimal(c4, opt);
+  std::printf("unique=%d margin=%.4f ambig=%zu\n  taps:",
+    (int)is_uniquely_detectable(f, c4), noise_free_margin(f, c4),
+    ambiguity_count(f, c4));
+  for (double t : f.taps()) std::printf(" %.4f,", t);
+  std::printf("\n");
+  OneBitOsChannel ch(f, c4, 25.0);
+  std::printf("seqIR@25=%.4f symMI@25=%.4f\n",
+    info_rate_one_bit_sequence(ch, {60000, 5}), mi_one_bit_symbolwise(ch));
+  return 0;
+}
