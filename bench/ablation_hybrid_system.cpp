@@ -3,62 +3,50 @@
 ///        (Sec. I/VI): replace the backplane bus of a multi-board box
 ///        with direct wireless board-to-board links.
 ///
-/// Sweeps the inter-board traffic fraction and the share of nodes
-/// equipped with antenna arrays, comparing capacity (saturation
-/// injection rate) and zero-load latency of the two system variants.
+/// Two declarative sweeps over the registered hybrid-system scenario:
+/// the inter-board traffic fraction, and the share of nodes equipped
+/// with antenna arrays — comparing capacity (saturation injection
+/// rate) and zero-load latency of the two system variants.
 
 #include <iostream>
 
-#include "wi/common/table.hpp"
-#include "wi/core/hybrid_system.hpp"
+#include "wi/sim/sim.hpp"
 
 int main() {
-  using namespace wi;
-  using namespace wi::core;
+  using namespace wi::sim;
+  const ScenarioSpec base =
+      ScenarioRegistry::paper().get("ablation_hybrid_system");
+  SimEngine engine;
 
   std::cout << "# Ablation — backplane bus vs direct wireless "
                "board-to-board links (4 boards, 4x4 nodes each)\n\n";
 
   std::cout << "## sweep: inter-board traffic fraction (all nodes "
                "equipped)\n";
-  Table t1({"inter_frac", "backplane_sat", "wireless_sat", "capacity_gain",
-            "backplane_lat0", "wireless_lat0"});
-  for (const double frac : {0.1, 0.2, 0.3, 0.5, 0.7}) {
-    HybridSystemConfig config;
-    config.inter_board_fraction = frac;
-    const HybridComparison cmp = HybridSystemModel(config).compare();
-    t1.add_row({Table::num(frac, 2),
-                Table::num(cmp.backplane.saturation_rate, 3),
-                Table::num(cmp.wireless.saturation_rate, 3),
-                Table::num(cmp.capacity_gain, 2),
-                Table::num(cmp.backplane.zero_load_latency_cycles, 2),
-                Table::num(cmp.wireless.zero_load_latency_cycles, 2)});
-  }
-  t1.print(std::cout);
+  const SweepAxis inter_axis{
+      "inter_frac",
+      {0.1, 0.2, 0.3, 0.5, 0.7},
+      [](ScenarioSpec& spec, double value) {
+        spec.hybrid.config.inter_board_fraction = value;
+      }};
+  const RunResult inter = engine.run_sweep(base, {inter_axis});
+  print_result(std::cout, inter);
 
   std::cout << "\n## sweep: fraction of nodes with antenna arrays "
                "(30% inter-board traffic)\n";
-  Table t2({"equipped_frac", "wireless_sat", "capacity_gain_vs_backplane",
-            "wireless_lat0"});
-  HybridSystemConfig base;
-  const HybridComparison baseline = HybridSystemModel(base).compare();
-  for (const double frac : {0.25, 0.5, 0.75, 1.0}) {
-    HybridSystemConfig config;
-    config.wireless_node_fraction = frac;
-    const HybridSystemModel model(config);
-    const SystemEvaluation eval =
-        model.evaluate(model.build_wireless_topology());
-    t2.add_row({Table::num(frac, 2), Table::num(eval.saturation_rate, 3),
-                Table::num(eval.saturation_rate /
-                               baseline.backplane.saturation_rate, 2),
-                Table::num(eval.zero_load_latency_cycles, 2)});
-  }
-  t2.print(std::cout);
+  const SweepAxis equip_axis{
+      "equipped_frac",
+      {0.25, 0.5, 0.75, 1.0},
+      [](ScenarioSpec& spec, double value) {
+        spec.hybrid.config.wireless_node_fraction = value;
+      }};
+  const RunResult equipped = engine.run_sweep(base, {equip_axis});
+  print_result(std::cout, equipped);
 
   std::cout << "\n# check: the wireless system scales its inter-board "
                "capacity with the number of equipped nodes, while the "
                "backplane funnels everything through one spine — the "
                "paper's motivation for 'taking the load off the "
                "backplane'\n";
-  return 0;
+  return (inter.ok() && equipped.ok()) ? 0 : 1;
 }

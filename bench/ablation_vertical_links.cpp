@@ -1,56 +1,56 @@
 /// \file ablation_vertical_links.cpp
 /// \brief Ablation of the Sec. IV closing remarks: TSV area will not
 ///        allow every router a vertical link, and vertical inter-chip
-///        links may offer more bandwidth than planar wires. Sweeps the
-///        vertical-link density and compares TSV / inductive /
-///        capacitive technologies in a 4-layer NiCS.
+///        links may offer more bandwidth than planar wires. Two
+///        declarative sweeps over the registered 4-layer NiCS scenario:
+///        vertical-link density, and TSV / inductive / capacitive
+///        technology under a memory-on-logic traffic mix.
 
 #include <iostream>
 
-#include "wi/common/table.hpp"
-#include "wi/core/nics_stack.hpp"
+#include "wi/sim/sim.hpp"
 
 int main() {
   using namespace wi;
-  using namespace wi::core;
+  using namespace wi::sim;
+  const ScenarioSpec base =
+      ScenarioRegistry::paper().get("ablation_vertical_links");
+  SimEngine engine;
 
   std::cout << "# Ablation — vertical link density and technology in a "
                "4x4x4 NiCS (uniform traffic)\n\n";
 
   std::cout << "## vertical density sweep (TSV)\n";
-  Table t1({"period", "vertical_links", "area_cost", "lat0_cycles",
-            "saturation"});
-  for (const std::size_t period : {1, 2, 3, 4}) {
-    NicsStackConfig config;
-    config.vertical_period = period;
-    const auto eval = NicsStackModel(config).evaluate();
-    t1.add_row({Table::num(static_cast<long long>(period)),
-                Table::num(eval.vertical_link_count, 0),
-                Table::num(eval.area_cost, 0),
-                Table::num(eval.zero_load_latency_cycles, 2),
-                Table::num(eval.saturation_rate, 3)});
-  }
-  t1.print(std::cout);
+  const SweepAxis period_axis{
+      "period",
+      {1, 2, 3, 4},
+      [](ScenarioSpec& spec, double value) {
+        spec.nics.config.vertical_period = static_cast<std::size_t>(value);
+      }};
+  const RunResult density = engine.run_sweep(base, {period_axis});
+  print_result(std::cout, density);
 
   std::cout << "\n## technology sweep (all routers vertical, 60% "
                "vertical traffic — memory-on-logic mix)\n";
-  Table t2({"tech", "bandwidth", "area_cost", "lat0_cycles", "saturation"});
-  for (const auto tech : {VerticalLinkTech::kTsv, VerticalLinkTech::kInductive,
-                          VerticalLinkTech::kCapacitive}) {
-    NicsStackConfig config;
-    config.tech = tech;
-    config.vertical_traffic_fraction = 0.6;
-    const auto params = vertical_link_params(tech);
-    const auto eval = NicsStackModel(config).evaluate();
-    t2.add_row({params.name, Table::num(params.bandwidth, 2),
-                Table::num(eval.area_cost, 0),
-                Table::num(eval.zero_load_latency_cycles, 2),
-                Table::num(eval.saturation_rate, 3)});
+  std::vector<ScenarioSpec> tech_specs;
+  for (const auto tech :
+       {core::VerticalLinkTech::kTsv, core::VerticalLinkTech::kInductive,
+        core::VerticalLinkTech::kCapacitive}) {
+    ScenarioSpec spec = base;
+    spec.name += "/tech=" + core::vertical_link_params(tech).name;
+    spec.nics.config.tech = tech;
+    spec.nics.config.vertical_traffic_fraction = 0.6;
+    tech_specs.push_back(std::move(spec));
   }
-  t2.print(std::cout);
+  bool tech_ok = true;
+  for (const auto& result : engine.run_all(tech_specs)) {
+    std::cout << "\n";
+    print_result(std::cout, result);
+    tech_ok = tech_ok && result.ok();
+  }
 
   std::cout << "\n# check: sparser verticals lengthen routes and lower "
                "capacity — quantifying the paper's call for irregular "
                "topologies with heterogeneous links\n";
-  return 0;
+  return (density.ok() && tech_ok) ? 0 : 1;
 }

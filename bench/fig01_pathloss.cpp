@@ -1,67 +1,24 @@
 /// \file fig01_pathloss.cpp
 /// \brief Reproduces Fig. 1: theoretical pathloss and (synthetic)
-///        measurement data for board-to-board communication, 220-245 GHz.
-///
-/// Series printed:
-///  - computed pathloss (n = 2.000), free-space model
-///  - synthetic free-space measurement (horn-horn, NWA)
-///  - computed pathloss (n = 2.0454), parallel copper boards
-///  - synthetic copper-board measurement (diagonal links)
-///  - reference lines: free-space PL, +2x9.5 dB antenna gain,
-///    +2x12 dB array gain
-/// plus the fitted pathloss exponents, which must land at n = 2.000 and
-/// n = 2.0454 as reported in the paper.
+///        measurement data for board-to-board communication, 220-245
+///        GHz, via the registered "fig01_pathloss" scenario. The fitted
+///        exponents must land at n = 2.000 (free space) and n = 2.0454
+///        (parallel copper boards) as reported in the paper; they
+///        arrive as notes on the result.
 
 #include <iostream>
 
-#include "wi/common/table.hpp"
-#include "wi/rf/campaign.hpp"
-#include "wi/rf/pathloss.hpp"
+#include "wi/sim/sim.hpp"
 
 int main() {
-  using namespace wi;
-  const double carrier_hz = 232.5e9;
-
-  rf::CampaignConfig freespace;
-  freespace.distances_m = rf::default_distance_grid_m();
-  freespace.copper_boards = false;
-  freespace.vna.seed = 2013;
-  const auto points_free = rf::run_campaign(freespace);
-  const auto fit_free = rf::fit_path_loss(points_free, 0.05);
-
-  rf::CampaignConfig copper = freespace;
-  copper.copper_boards = true;
-  const auto points_copper = rf::run_campaign(copper);
-  const auto fit_copper = rf::fit_path_loss(points_copper, 0.05);
-
-  const rf::PathLossModel model_free =
-      rf::PathLossModel::free_space(carrier_hz);
-  const rf::PathLossModel model_copper(
-      fit_copper.reference_loss_db, fit_copper.exponent, 0.05);
-
-  std::cout << "# Fig. 1 — pathloss vs distance, board-to-board @ "
-            << carrier_hz / 1e9 << " GHz\n";
-  std::cout << "# fitted exponents: free space n = " << fit_free.exponent
-            << " (paper: 2.000), copper boards n = " << fit_copper.exponent
-            << " (paper: 2.0454)\n\n";
-
-  Table table({"dist_mm", "model_n2.000_dB", "meas_free_dB",
-               "model_n2.045_dB", "meas_copper_dB", "free+2x9.5dB",
-               "free+2x12dB"});
-  for (std::size_t i = 0; i < points_free.size(); ++i) {
-    const double d = points_free[i].distance_m;
-    const double pl_free = model_free.loss_db(d);
-    table.add_row({Table::num(d * 1e3, 0), Table::num(pl_free, 2),
-                   Table::num(points_free[i].pathloss_db, 2),
-                   Table::num(model_copper.loss_db(d), 2),
-                   Table::num(points_copper[i].pathloss_db, 2),
-                   Table::num(pl_free - 19.0, 2),
-                   Table::num(pl_free - 24.0, 2)});
-  }
-  table.print(std::cout);
-
+  using namespace wi::sim;
+  SimEngine engine;
+  const RunResult result =
+      engine.run(ScenarioRegistry::paper().get("fig01_pathloss"));
+  std::cout << "# Fig. 1 — pathloss vs distance, board-to-board @ 232.5 "
+               "GHz\n\n";
+  print_result(std::cout, result);
   std::cout << "\n# check: measured points track the n=2 model; copper "
-               "boards add ~0.45 dB/decade (n = "
-            << fit_copper.exponent << ")\n";
-  return 0;
+               "boards add ~0.45 dB/decade\n";
+  return result.ok() ? 0 : 1;
 }

@@ -1,43 +1,22 @@
 /// \file fig04_tx_power.cpp
 /// \brief Reproduces Fig. 4: required transmit power [dBm] vs target SNR
 ///        for the shortest (100 mm) and longest (300 mm) links, the
-///        latter also with Butler-matrix direction mismatch.
-///
-/// Uses the Table I link budget; the 5 dB Butler penalty applies only to
-/// the worst-case (diagonal) links, exactly as the paper assumes.
+///        latter also with Butler-matrix direction mismatch — via the
+///        registered "fig04_tx_power" scenario (Table I budget).
 
-#include <cmath>
 #include <iostream>
 
-#include "wi/common/table.hpp"
-#include "wi/rf/link_budget.hpp"
+#include "wi/sim/sim.hpp"
 
 int main() {
-  using namespace wi;
-  const rf::LinkBudget budget;
-
+  using namespace wi::sim;
+  SimEngine engine;
+  const RunResult result =
+      engine.run(ScenarioRegistry::paper().get("fig04_tx_power"));
   std::cout << "# Fig. 4 — required PTX vs target receive SNR "
                "(25 GHz bandwidth, Table I budget)\n\n";
-  Table table({"SNR_dB", "shortest_100mm_dBm", "longest_300mm_dBm",
-               "longest_300mm_butler_dBm"});
-  for (int snr = 0; snr <= 35; snr += 5) {
-    table.add_row(
-        {Table::num(static_cast<long long>(snr)),
-         Table::num(budget.required_tx_power_dbm(snr, rf::kShortestLink_m,
-                                                 false), 2),
-         Table::num(budget.required_tx_power_dbm(snr, rf::kLongestLink_m,
-                                                 false), 2),
-         Table::num(budget.required_tx_power_dbm(snr, rf::kLongestLink_m,
-                                                 true), 2)});
-  }
-  table.print(std::cout);
-
+  print_result(std::cout, result);
   std::cout << "\n# checks: curves are parallel lines 9.5 dB apart "
-               "(pathloss delta) and +5 dB for the Butler case;\n"
-            << "# e.g. 100 Gbit/s at ~2 bit/s/Hz needs SNR ~ "
-            << 10.0 * std::log10(std::pow(2.0, 2.0) - 1.0)
-            << " dB -> PTX "
-            << budget.required_tx_power_dbm(4.77, rf::kLongestLink_m, true)
-            << " dBm on the worst link\n";
-  return 0;
+               "(pathloss delta) and +5 dB for the Butler case\n";
+  return result.ok() ? 0 : 1;
 }

@@ -1,68 +1,37 @@
 /// \file fig08a_noc_64.cpp
 /// \brief Reproduces Fig. 8(a): average packet latency vs injection rate
 ///        for 64 modules — 8x8 2D mesh vs 4x4 (c=4) star-mesh vs 4x4x4
-///        3D mesh — under global uniform traffic with Poisson arrivals,
-///        using the queueing-theory analytic model of ref. [14].
+///        3D mesh — by running the three registered scenarios through
+///        one SimEngine (shared queueing model defaults, parallel
+///        execution).
 ///
 /// Paper anchors: low-traffic latency 13 / 7 / 10 clock cycles and
-/// saturation at 0.41 / 0.19 / 0.75 flits/cycle/module. A flit-level
-/// discrete-event cross-check at one operating point validates the
-/// analytic curve.
+/// saturation at 0.41 / 0.19 / 0.75 flits/cycle/module (reported as
+/// notes). The 3D-mesh scenario carries a flit-level DES cross-check at
+/// injection rate 0.3.
 
 #include <iostream>
 
-#include "wi/common/math.hpp"
-#include "wi/common/table.hpp"
-#include "wi/noc/flit_sim.hpp"
-#include "wi/noc/queueing_model.hpp"
+#include "wi/sim/sim.hpp"
 
 int main() {
-  using namespace wi;
-  using namespace wi::noc;
-
-  const Topology mesh2d = Topology::mesh_2d(8, 8);
-  const Topology star = Topology::star_mesh(4, 4, 4);
-  const Topology mesh3d = Topology::mesh_3d(4, 4, 4);
-  const DimensionOrderRouting routing;
-
-  const QueueingModel model_2d(mesh2d, routing,
-                               TrafficPattern::uniform(64));
-  const QueueingModel model_star(star, routing, TrafficPattern::uniform(64));
-  const QueueingModel model_3d(mesh3d, routing, TrafficPattern::uniform(64));
-
+  using namespace wi::sim;
+  const auto& registry = ScenarioRegistry::paper();
+  SimEngine engine;
+  const auto results = engine.run_all({
+      registry.get("fig08a_mesh2d_8x8"),
+      registry.get("fig08a_star_mesh_4x4c4"),
+      registry.get("fig08a_mesh3d_4x4x4"),
+  });
   std::cout << "# Fig. 8(a) — mean packet latency vs injection rate, "
-               "64 modules, uniform Poisson traffic\n\n";
-  Table table({"inj_rate", "2D-Mesh_8x8", "Star-Mesh_4x4c4",
-               "3D-Mesh_4x4x4"});
-  auto cell = [](const QueueingModel& m, double rate) {
-    const auto perf = m.evaluate(rate);
-    return perf.saturated ? std::string("sat")
-                          : Table::num(perf.mean_latency_cycles, 2);
-  };
-  for (const double rate : linspace(0.01, 0.8, 21)) {
-    table.add_row({Table::num(rate, 3), cell(model_2d, rate),
-                   cell(model_star, rate), cell(model_3d, rate)});
-  }
-  table.print(std::cout);
-
-  std::cout << "\n# anchors (paper): zero-load 13 / 7 / 10 cycles; "
+               "64 modules, uniform Poisson traffic\n"
+            << "# anchors (paper): zero-load 13 / 7 / 10 cycles; "
                "saturation 0.41 / 0.19 / 0.75\n";
-  std::cout << "zero-load: " << model_2d.zero_load_latency_cycles() << " / "
-            << model_star.zero_load_latency_cycles() << " / "
-            << model_3d.zero_load_latency_cycles() << " cycles\n";
-  std::cout << "saturation: " << model_2d.saturation_rate() << " / "
-            << model_star.saturation_rate() << " / "
-            << model_3d.saturation_rate() << " flits/cycle/module\n";
-
-  // Cross-check: flit-level DES at a medium load.
-  FlitSimConfig sim;
-  sim.warmup_cycles = 2000;
-  sim.measure_cycles = 8000;
-  const auto des =
-      simulate_network(mesh3d, routing, TrafficPattern::uniform(64), 0.3,
-                       sim);
-  std::cout << "\nDES cross-check (3D mesh @ 0.3): " << des.mean_latency_cycles
-            << " cycles vs analytic "
-            << model_3d.evaluate(0.3).mean_latency_cycles << "\n";
-  return 0;
+  int exit_code = 0;
+  for (const auto& result : results) {
+    std::cout << "\n";
+    print_result(std::cout, result);
+    if (!result.ok()) exit_code = 1;
+  }
+  return exit_code;
 }

@@ -1,52 +1,42 @@
 /// \file fig08b_noc_512.cpp
 /// \brief Reproduces Fig. 8(b): scaling to 512 modules — 32x16 2D mesh
-///        vs 8x8x8 3D mesh (64-module curves included for reference).
-///        The paper's observation: the latency gap between 2D and 3D
-///        widens significantly with network size.
+///        vs 8x8x8 3D mesh (64-module scenarios included for
+///        reference). The paper's observation: the latency gap between
+///        2D and 3D widens significantly with network size — compare
+///        the zero-load notes of the four results.
 
 #include <iostream>
 
-#include "wi/common/math.hpp"
-#include "wi/common/table.hpp"
-#include "wi/noc/queueing_model.hpp"
+#include "wi/sim/sim.hpp"
 
 int main() {
-  using namespace wi;
-  using namespace wi::noc;
-
-  const DimensionOrderRouting routing;
-  const QueueingModel m2d_64(Topology::mesh_2d(8, 8), routing,
-                             TrafficPattern::uniform(64));
-  const QueueingModel m3d_64(Topology::mesh_3d(4, 4, 4), routing,
-                             TrafficPattern::uniform(64));
-  const QueueingModel m2d_512(Topology::mesh_2d(32, 16), routing,
-                              TrafficPattern::uniform(512));
-  const QueueingModel m3d_512(Topology::mesh_3d(8, 8, 8), routing,
-                              TrafficPattern::uniform(512));
-
-  std::cout << "# Fig. 8(b) — latency vs injection, 512 vs 64 modules\n\n";
-  Table table({"inj_rate", "2D_64", "3D_64", "2D_512", "3D_512"});
-  auto cell = [](const QueueingModel& m, double rate) {
-    const auto perf = m.evaluate(rate);
-    return perf.saturated ? std::string("sat")
-                          : Table::num(perf.mean_latency_cycles, 2);
-  };
-  for (const double rate : linspace(0.01, 0.7, 18)) {
-    table.add_row({Table::num(rate, 3), cell(m2d_64, rate),
-                   cell(m3d_64, rate), cell(m2d_512, rate),
-                   cell(m3d_512, rate)});
+  using namespace wi::sim;
+  const auto& registry = ScenarioRegistry::paper();
+  SimEngine engine;
+  // Put the 64-module references on the 512-module scenarios' grid so
+  // the four latency tables share x-axis points row-by-row.
+  const auto grid = registry.get("fig08b_mesh2d_32x16").noc.injection_rates;
+  ScenarioSpec ref2d = registry.get("fig08a_mesh2d_8x8");
+  ref2d.name += "/fig08b_grid";  // modified copy, not the registered spec
+  ref2d.noc.injection_rates = grid;
+  ScenarioSpec ref3d = registry.get("fig08a_mesh3d_4x4x4");
+  ref3d.name += "/fig08b_grid";
+  ref3d.noc.injection_rates = grid;
+  ref3d.noc.des_check_rate = 0.0;  // the DES cross-check is Fig. 8(a)'s
+  const auto results = engine.run_all({
+      ref2d,
+      ref3d,
+      registry.get("fig08b_mesh2d_32x16"),
+      registry.get("fig08b_mesh3d_8x8x8"),
+  });
+  std::cout << "# Fig. 8(b) — latency vs injection, 512 vs 64 modules\n"
+            << "# (paper: the 2D-vs-3D latency gap increases "
+               "significantly with module count)\n";
+  int exit_code = 0;
+  for (const auto& result : results) {
+    std::cout << "\n";
+    print_result(std::cout, result);
+    if (!result.ok()) exit_code = 1;
   }
-  table.print(std::cout);
-
-  const double gap_64 = m2d_64.zero_load_latency_cycles() -
-                        m3d_64.zero_load_latency_cycles();
-  const double gap_512 = m2d_512.zero_load_latency_cycles() -
-                         m3d_512.zero_load_latency_cycles();
-  std::cout << "\n# latency gap 2D vs 3D: " << gap_64 << " cycles at 64 "
-            << "modules -> " << gap_512
-            << " cycles at 512 modules (paper: gap increases "
-               "significantly)\n";
-  std::cout << "saturation 512: 2D " << m2d_512.saturation_rate() << " vs 3D "
-            << m3d_512.saturation_rate() << " flits/cycle/module\n";
-  return 0;
+  return exit_code;
 }

@@ -1,57 +1,21 @@
 /// \file table1_link_budget.cpp
-/// \brief Reproduces Table I: link budget parameters for board-to-board
-///        communication, including the derived pathloss anchors
-///        PL(0.1 m) = 59.8 dB and PL(0.3 m) = 69.3 dB at 232.5 GHz, and
-///        cross-checks the 12 dB array gain (4x4) and ~5 dB Butler
-///        inaccuracy against the antenna models.
+/// \brief Reproduces Table I through the declarative scenario API: the
+///        link budget parameters, the derived pathloss anchors
+///        PL(0.1 m) = 59.8 dB / PL(0.3 m) = 69.3 dB at 232.5 GHz, and
+///        the antenna-model cross-checks (12 dB array gain, ~5 dB
+///        Butler inaccuracy) arrive as notes on the result.
 
 #include <iostream>
 
-#include "wi/common/table.hpp"
-#include "wi/rf/antenna.hpp"
-#include "wi/rf/link_budget.hpp"
+#include "wi/sim/sim.hpp"
 
 int main() {
-  using namespace wi;
-  const rf::LinkBudget budget;
-  const auto& p = budget.params();
-
-  std::cout << "# Table I — link budget parameters (paper values in "
-               "parentheses)\n\n";
-  Table table({"parameter", "unit", "value", "paper"});
-  table.add_row({"RX noise figure", "dB",
-                 Table::num(p.rx_noise_figure_db, 1), "10"});
-  table.add_row({"Path loss exponent", "-",
-                 Table::num(p.path_loss_exponent, 1), "2"});
-  table.add_row({"Path loss shortest link 0.1m (232.5 GHz)", "dB",
-                 Table::num(budget.path_loss_db(rf::kShortestLink_m), 1),
-                 "59.8"});
-  table.add_row({"Path loss largest link 0.3m (232.5 GHz)", "dB",
-                 Table::num(budget.path_loss_db(rf::kLongestLink_m), 1),
-                 "69.3"});
-  table.add_row({"Array gain", "dB", Table::num(p.array_gain_db, 1), "12"});
-  table.add_row({"Butler matrix inaccuracy", "dB",
-                 Table::num(p.butler_inaccuracy_db, 1), "5"});
-  table.add_row({"Polarization mismatch", "dB",
-                 Table::num(p.polarization_mismatch_db, 1), "3"});
-  table.add_row({"Implementation loss", "dB",
-                 Table::num(p.implementation_loss_db, 1), "5"});
-  table.add_row({"RX temperature", "K",
-                 Table::num(p.rx_temperature_k, 0), "323"});
-  table.print(std::cout);
-
-  std::cout << "\n# derived quantities\n";
-  std::cout << "noise power over " << p.bandwidth_hz / 1e9
-            << " GHz at " << p.rx_temperature_k
-            << " K (incl. NF): " << budget.noise_power_dbm() << " dBm\n";
-
-  // Cross-checks against the physical antenna models.
-  const rf::PlanarArray array(4, 4);
-  std::cout << "4x4 array broadside gain: " << array.broadside_gain_dbi()
-            << " dBi (paper: 12 dB, in 2mm x 2mm at >200 GHz)\n";
-  const rf::ButlerMatrixBeamformer butler(array, 4);
-  std::cout << "Butler matrix worst-case mismatch: "
-            << butler.worst_case_mismatch_db()
-            << " dB (paper budget: 5 dB)\n";
-  return 0;
+  using namespace wi::sim;
+  SimEngine engine;
+  const RunResult result =
+      engine.run(ScenarioRegistry::paper().get("table1_link_budget"));
+  std::cout << "# Table I — link budget parameters (paper values in the "
+               "last column)\n\n";
+  print_result(std::cout, result);
+  return result.ok() ? 0 : 1;
 }

@@ -1,32 +1,32 @@
 /// \file quickstart.cpp
-/// \brief 30-line tour: size a >200 GHz wireless board-to-board link
-///        with the Table I budget and see what data rate it carries.
+/// \brief 10-line tour of the declarative scenario API.
+///
+/// The "quickstart_link_rate" scenario spans every layer at once: the
+/// Table I link budget, the two-board geometry (100 mm ahead link,
+/// 300 mm diagonal), Butler-matrix beamforming and the 1-bit
+/// sequence-detection PHY rate curve (the paper's flagship receiver).
+/// SimEngine executes it and returns a structured ResultTable — one row
+/// per extreme link with the SNR bought by the 10 dBm power budget and
+/// the data rate that SNR carries (the paper's target: at least
+/// 100 Gbit/s per link with dual polarization). Notes report the
+/// required PTX for the 15 dB planning target and the SNR needed for
+/// 100 Gbit/s.
+///
+/// To explore beyond the paper's operating point, copy the spec and
+/// override fields before running, e.g.:
+///   ScenarioSpec mine = ScenarioRegistry::paper().get("quickstart_link_rate");
+///   mine.link.ptx_dbm = 13.0;
+///   mine.phy.receiver = core::PhyReceiver::kUnquantized;  // ideal ADC
 
 #include <iostream>
 
-#include "wi/rf/link_budget.hpp"
+#include "wi/sim/sim.hpp"
 
 int main() {
-  // Table I defaults: 232.5 GHz carrier, 25 GHz bandwidth, 4x4 arrays.
-  const wi::rf::LinkBudget budget;
-
-  // How much transmit power does the worst link (300 mm diagonal,
-  // Butler-matrix beamforming) need for a 15 dB receive SNR?
-  const double ptx_dbm = budget.required_tx_power_dbm(
-      /*target_snr_db=*/15.0, wi::rf::kLongestLink_m,
-      /*butler_mismatch=*/true);
-  std::cout << "PTX for 15 dB SNR on the 300 mm diagonal link: " << ptx_dbm
-            << " dBm\n";
-
-  // And what does 10 dBm of transmit power buy on the 100 mm ahead link?
-  const double snr_db =
-      budget.snr_db(/*tx_power_dbm=*/10.0, wi::rf::kShortestLink_m,
-                    /*butler_mismatch=*/false);
-  const double rate_gbps =
-      budget.shannon_rate_bps(snr_db, /*dual_polarization=*/true) / 1e9;
-  std::cout << "10 dBm on the 100 mm ahead link: SNR " << snr_db
-            << " dB -> up to " << rate_gbps
-            << " Gbit/s with dual polarization\n"
-            << "(the paper's target: at least 100 Gbit/s per link)\n";
-  return 0;
+  using namespace wi::sim;
+  SimEngine engine;
+  const RunResult result =
+      engine.run(ScenarioRegistry::paper().get("quickstart_link_rate"));
+  print_result(std::cout, result);
+  return result.ok() ? 0 : 1;
 }

@@ -1,0 +1,82 @@
+#pragma once
+/// \file status.hpp
+/// \brief Structured error reporting shared by all layers.
+///
+/// A Status carries a machine-readable code plus a human-readable
+/// message. Deep layers (e.g. routing) throw a StatusError; the
+/// scenario engine catches it at the per-scenario boundary and surfaces
+/// the Status in the result row, so one bad grid point never aborts a
+/// whole sweep. `wi::sim` re-exports these names as its public error
+/// type.
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace wi {
+
+/// Error taxonomy of the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidSpec,        ///< a ScenarioSpec failed validation
+  kUnreachableRoute,   ///< routing found no path between two routers
+  kUnsupported,        ///< a requested combination is not implemented
+  kExecutionError,     ///< unexpected failure while running a scenario
+};
+
+/// Short stable identifier of a code ("ok", "invalid_spec", ...).
+[[nodiscard]] constexpr const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidSpec: return "invalid_spec";
+    case StatusCode::kUnreachableRoute: return "unreachable_route";
+    case StatusCode::kUnsupported: return "unsupported";
+    case StatusCode::kExecutionError: return "execution_error";
+  }
+  return "unknown";
+}
+
+/// Value-type result status: a code plus context message.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  [[nodiscard]] static Status ok() { return {}; }
+
+  [[nodiscard]] bool is_ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  /// "ok" or "<code_name>: <message>".
+  [[nodiscard]] std::string to_string() const {
+    if (is_ok()) return "ok";
+    std::string s = status_code_name(code_);
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+  [[nodiscard]] bool operator==(const Status&) const = default;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Exception wrapper used where an API cannot return a Status.
+class StatusError : public std::runtime_error {
+ public:
+  explicit StatusError(Status status)
+      : std::runtime_error(status.to_string()), status_(std::move(status)) {}
+
+  [[nodiscard]] const Status& status() const { return status_; }
+
+ private:
+  Status status_;
+};
+
+}  // namespace wi

@@ -14,6 +14,10 @@ namespace wi {
 /// numerics with a fixed precision.
 class Table {
  public:
+  /// Headerless placeholder (e.g. the table of a failed scenario run);
+  /// add_row on it throws until headers are assigned.
+  Table() = default;
+
   explicit Table(std::vector<std::string> headers);
 
   /// Append one row; the arity must match the header count.
@@ -21,6 +25,27 @@ class Table {
 
   /// Number of data rows.
   [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Number of columns.
+  [[nodiscard]] std::size_t columns() const { return headers_.size(); }
+
+  [[nodiscard]] const std::vector<std::string>& headers() const {
+    return headers_;
+  }
+
+  /// Cell (row, column); bounds-checked.
+  [[nodiscard]] const std::string& cell(std::size_t row,
+                                        std::size_t column) const {
+    return rows_.at(row).at(column);
+  }
+
+  [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const {
+    return rows_.at(i);
+  }
+
+  /// Exact (cell-for-cell) comparison — the reproducibility contract of
+  /// the parallel sweep runner.
+  [[nodiscard]] bool operator==(const Table&) const = default;
 
   /// Fixed-width aligned rendering with a header separator.
   void print(std::ostream& os) const;

@@ -15,6 +15,9 @@ Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
 }
 
 void Table::add_row(std::vector<std::string> cells) {
+  if (headers_.empty()) {
+    throw std::invalid_argument("Table: headerless placeholder");
+  }
   if (cells.size() != headers_.size()) {
     throw std::invalid_argument("Table: row arity mismatch");
   }

@@ -77,6 +77,10 @@ double PhyAbstraction::required_snr_db(double target_gbps) const {
   if (target_bpcu > rate_bpcu_.back()) {
     return std::numeric_limits<double>::infinity();
   }
+  // Clamp at the grid start (mirrors info_rate_bpcu's clamping).
+  if (target_bpcu <= rate_bpcu_.front()) {
+    return snr_grid_db_.front();
+  }
   // Invert the monotone piecewise-linear curve.
   for (std::size_t i = 1; i < snr_grid_db_.size(); ++i) {
     if (rate_bpcu_[i] >= target_bpcu) {

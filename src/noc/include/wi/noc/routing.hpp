@@ -19,7 +19,9 @@ using Route = std::vector<std::size_t>;
 class Routing {
  public:
   virtual ~Routing() = default;
-  /// Route between two routers. Throws when no route exists.
+  /// Route between two routers. Throws wi::StatusError with
+  /// StatusCode::kUnreachableRoute when no route exists (the scenario
+  /// engine surfaces this per result row instead of aborting a sweep).
   [[nodiscard]] virtual Route route(const Topology& topology,
                                     std::size_t src_router,
                                     std::size_t dst_router) const = 0;

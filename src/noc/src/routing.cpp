@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <queue>
-#include <stdexcept>
+#include <string>
+
+#include "wi/common/status.hpp"
 
 namespace wi::noc {
 
@@ -18,7 +20,11 @@ Route DimensionOrderRouting::route(const Topology& topology,
         topology.router_at(at.x + dx, at.y + dy, at.z + dz);
     const std::size_t link = topology.find_link(current, next);
     if (link == Topology::npos) {
-      throw std::runtime_error("DimensionOrderRouting: missing mesh link");
+      throw StatusError(Status(
+          StatusCode::kUnreachableRoute,
+          "DimensionOrderRouting: no mesh link " + std::to_string(current) +
+              " -> " + std::to_string(next) + " in '" + topology.name() +
+              "' (irregular topologies need ShortestPathRouting)"));
     }
     route.push_back(link);
     current = next;
@@ -56,7 +62,11 @@ Route ShortestPathRouting::route(const Topology& topology,
     }
   }
   if (!visited[dst_router]) {
-    throw std::runtime_error("ShortestPathRouting: destination unreachable");
+    throw StatusError(Status(
+        StatusCode::kUnreachableRoute,
+        "ShortestPathRouting: router " + std::to_string(dst_router) +
+            " unreachable from " + std::to_string(src_router) + " in '" +
+            topology.name() + "'"));
   }
   Route route;
   std::size_t at = dst_router;

@@ -1,0 +1,89 @@
+#pragma once
+/// \file engine.hpp
+/// \brief Scenario execution facade: one entry point from link budget
+///        to NoC evaluation.
+///
+/// SimEngine turns a declarative ScenarioSpec into a structured
+/// ResultTable. It owns the shared PhyCurveCache (receiver curves are
+/// built once per configuration, not once per bench) and a
+/// work-stealing parallel runner for scenario grids. Per-scenario
+/// failures (invalid specs, unreachable routes, ...) are captured as a
+/// Status in the result — one bad grid point never aborts a sweep —
+/// and results are deterministic: the same spec list produces
+/// cell-identical tables at any thread count.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "wi/common/table.hpp"
+#include "wi/sim/phy_curve_cache.hpp"
+#include "wi/sim/scenario.hpp"
+#include "wi/sim/status.hpp"
+
+namespace wi::sim {
+
+/// Result of one scenario run. `table` uses the workload's schema (see
+/// workload_headers); `notes` carry derived scalars (fits, anchors,
+/// cross-checks) that do not fit the row schema.
+struct RunResult {
+  std::string scenario;
+  Status status;
+  Table table;
+  std::vector<std::string> notes;
+
+  [[nodiscard]] bool ok() const { return status.is_ok(); }
+};
+
+/// ResultTable column schema of a workload (stable independent of
+/// success/failure, so merged sweep tables always line up).
+[[nodiscard]] std::vector<std::string> workload_headers(Workload workload);
+
+/// Engine options.
+struct EngineOptions {
+  /// Worker threads for run_all/run_sweep; 0 = hardware concurrency.
+  std::size_t threads = 0;
+};
+
+/// Executes scenarios; owns the PHY curve cache shared across runs.
+class SimEngine {
+ public:
+  explicit SimEngine(EngineOptions options = {});
+
+  /// Run one scenario. Never throws for per-scenario failures: the
+  /// returned status records them and the table stays empty.
+  [[nodiscard]] RunResult run(const ScenarioSpec& spec);
+
+  /// Run many scenarios on a work-stealing thread pool. Results are in
+  /// input order and cell-identical for every thread count.
+  /// \param threads  0 = engine option (0 there = hardware concurrency)
+  [[nodiscard]] std::vector<RunResult> run_all(
+      const std::vector<ScenarioSpec>& specs, std::size_t threads = 0);
+
+  /// Expand a sweep grid, run it in parallel, and merge everything into
+  /// one long-format table: scenario + status columns, then the
+  /// workload's row schema. Failed points contribute one row with '-'
+  /// data cells and their status message; the sweep always completes,
+  /// but any failed point marks the merged result's status failed so
+  /// exit-code checks notice.
+  [[nodiscard]] RunResult run_sweep(const ScenarioSpec& base,
+                                    const std::vector<SweepAxis>& axes,
+                                    std::size_t threads = 0);
+
+  [[nodiscard]] PhyCurveCache& phy_cache() { return phy_cache_; }
+  [[nodiscard]] const PhyCurveCache& phy_cache() const { return phy_cache_; }
+
+  [[nodiscard]] const EngineOptions& options() const { return options_; }
+
+ private:
+  [[nodiscard]] std::size_t resolve_threads(std::size_t requested) const;
+
+  EngineOptions options_;
+  PhyCurveCache phy_cache_;
+};
+
+/// Print a run result (notes, then the table) — the shared output path
+/// of the ported benches.
+void print_result(std::ostream& os, const RunResult& result);
+
+}  // namespace wi::sim

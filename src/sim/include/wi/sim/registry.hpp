@@ -1,0 +1,46 @@
+#pragma once
+/// \file registry.hpp
+/// \brief Named scenario registry: every paper figure and ablation as a
+///        ready-to-run ScenarioSpec.
+///
+/// The registry is the lookup half of the declarative API: benches,
+/// tools and tests fetch specs by name ("fig04_tx_power",
+/// "ablation_vertical_links", ...) instead of hand-wiring model stacks.
+/// Sweeps start from a registered base spec plus SweepAxis overrides
+/// (see expand_grid / SimEngine::run_sweep).
+
+#include <string>
+#include <vector>
+
+#include "wi/sim/scenario.hpp"
+
+namespace wi::sim {
+
+/// Name-keyed collection of validated scenario specs.
+class ScenarioRegistry {
+ public:
+  /// Adds a spec; throws StatusError(kInvalidSpec) on validation
+  /// failure or duplicate name.
+  void add(ScenarioSpec spec);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+
+  /// Spec by name; throws StatusError(kInvalidSpec) for unknown names
+  /// (the message lists the available scenarios).
+  [[nodiscard]] const ScenarioSpec& get(const std::string& name) const;
+
+  /// Registered names in registration order.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  [[nodiscard]] std::size_t size() const { return specs_.size(); }
+
+  /// The preloaded paper registry: Table I, Figs. 1/4/8(a)/8(b), the
+  /// quickstart link, the link plan, the Sec. IV stack and star-mesh
+  /// ablations, the Sec. VI hybrid system and the Fig. 10 coding plan.
+  [[nodiscard]] static const ScenarioRegistry& paper();
+
+ private:
+  std::vector<ScenarioSpec> specs_;
+};
+
+}  // namespace wi::sim

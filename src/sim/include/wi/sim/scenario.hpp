@@ -1,0 +1,180 @@
+#pragma once
+/// \file scenario.hpp
+/// \brief Declarative scenario description spanning every layer of the
+///        library: geometry, link budget, beamforming, PHY receiver,
+///        LDPC coding and NoC topology/traffic.
+///
+/// A ScenarioSpec is a plain value: construct one (defaults reproduce
+/// the paper's Table I system), override fields, and hand it to
+/// SimEngine. Sweeps are expressed as a base spec plus SweepAxis
+/// overrides expanded into a scenario grid — no per-experiment glue
+/// code. Named paper figures/ablations are preloaded in
+/// ScenarioRegistry.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "wi/core/hybrid_system.hpp"
+#include "wi/core/link_planner.hpp"
+#include "wi/core/nics_stack.hpp"
+#include "wi/core/phy_abstraction.hpp"
+#include "wi/noc/queueing_model.hpp"
+#include "wi/noc/topology.hpp"
+#include "wi/noc/traffic.hpp"
+#include "wi/rf/link_budget.hpp"
+#include "wi/sim/status.hpp"
+
+namespace wi::sim {
+
+/// What a scenario computes (each maps to one ResultTable schema).
+enum class Workload {
+  kLinkBudgetTable,   ///< Table I parameters + derived anchors
+  kPathlossCampaign,  ///< Fig. 1: synthetic campaigns + model fits
+  kTxPowerSweep,      ///< Fig. 4: required PTX vs target SNR
+  kLinkRate,          ///< link SNR -> PHY data rate (quickstart)
+  kLinkPlan,          ///< plan all board-to-board links of a geometry
+  kNocLatency,        ///< Fig. 8: latency vs injection for one topology
+  kNicsStack,         ///< Sec. IV: one 3D chip-stack configuration
+  kHybridSystem,      ///< Sec. VI: backplane vs wireless comparison
+  kCodingPlan,        ///< Fig. 10: LDPC-CC choice under latency budget
+};
+
+[[nodiscard]] const char* workload_name(Workload workload);
+
+/// Multi-board physical geometry (paper: 10 cm boards, 100 mm apart).
+struct GeometrySpec {
+  std::size_t boards = 2;
+  double board_size_mm = 100.0;
+  double separation_mm = 100.0;
+  std::size_t nodes_per_edge = 4;
+};
+
+/// RF link parameters: Table I budget + beamforming + operating point.
+struct LinkSpec {
+  rf::LinkBudgetParams budget;  ///< defaults reproduce Table I
+  core::Beamforming beamforming = core::Beamforming::kButlerMatrix;
+  double ptx_dbm = 10.0;        ///< transmit power budget
+  double target_snr_db = 15.0;  ///< planning target
+};
+
+/// PHY receiver abstraction (Sec. III).
+struct PhySpec {
+  core::PhyReceiver receiver = core::PhyReceiver::kOneBitSequence;
+  double bandwidth_hz = 25e9;
+  std::size_t polarizations = 2;
+};
+
+/// Fig. 1 measurement-campaign settings (distances: Fig. 1 grid).
+struct CampaignSpec {
+  std::uint64_t seed = 2013;  ///< synthetic VNA noise seed
+};
+
+/// Fig. 4 sweep settings.
+struct TxPowerSpec {
+  double snr_lo_db = 0.0;
+  double snr_hi_db = 35.0;
+  double snr_step_db = 5.0;
+  double shortest_m = rf::kShortestLink_m;
+  double longest_m = rf::kLongestLink_m;
+};
+
+/// Declarative NoC topology (built on demand by the engine).
+struct TopologySpec {
+  enum class Kind {
+    kMesh2d,
+    kStarMesh,
+    kStarMeshIrl,
+    kMesh3d,
+    kCiliatedMesh3d,
+    kPartialVertical3d,
+  };
+  Kind kind = Kind::kMesh2d;
+  std::size_t kx = 8;
+  std::size_t ky = 8;
+  std::size_t kz = 1;
+  std::size_t concentration = 1;
+  std::size_t irl = 1;          ///< inter-router links (star-mesh fix)
+  std::size_t tsv_period = 1;   ///< partial vertical connectivity
+  double vertical_bandwidth = 1.0;
+
+  /// Materialise the topology (throws StatusError on bad dimensions).
+  [[nodiscard]] noc::Topology build() const;
+
+  /// Modules the built topology will attach (for validation).
+  [[nodiscard]] std::size_t module_count() const;
+};
+
+enum class TrafficKind { kUniform, kTranspose, kBitComplement, kHotspot };
+enum class RoutingKind { kDimensionOrder, kShortestPath };
+
+/// NoC evaluation settings (Fig. 8 style latency/throughput curves).
+struct NocSpec {
+  TopologySpec topology;
+  TrafficKind traffic = TrafficKind::kUniform;
+  std::size_t hotspot_module = 0;
+  double hotspot_fraction = 0.2;
+  RoutingKind routing = RoutingKind::kDimensionOrder;
+  noc::QueueingModelParams model;
+  std::vector<double> injection_rates;  ///< empty = default grid
+  /// When > 0: flit-level DES cross-check at this injection rate.
+  double des_check_rate = 0.0;
+  std::uint64_t des_seed = 1;
+};
+
+/// Sec. IV chip-stack settings (wraps the core config).
+struct NicsSpec {
+  core::NicsStackConfig config;
+};
+
+/// Sec. VI backplane-vs-wireless settings (wraps the core config).
+struct HybridSpec {
+  core::HybridSystemConfig config;
+};
+
+/// Fig. 10 coding-plan settings.
+struct CodingSpec {
+  std::vector<double> latency_budgets_bits = {100, 150, 200, 250, 300, 400};
+  std::size_t deployed_lifting = 40;  ///< fixed-N replanning example
+  double ebn0_db = 3.0;               ///< for the latency-gain headline
+};
+
+/// The declarative scenario: one value spanning all layers.
+struct ScenarioSpec {
+  std::string name;
+  std::string description;
+  Workload workload = Workload::kLinkRate;
+
+  GeometrySpec geometry;
+  LinkSpec link;
+  PhySpec phy;
+  CampaignSpec campaign;
+  TxPowerSpec tx_power;
+  NocSpec noc;
+  NicsSpec nics;
+  HybridSpec hybrid;
+  CodingSpec coding;
+
+  /// Field-by-field sanity check; kInvalidSpec with a precise message
+  /// on the first violated constraint.
+  [[nodiscard]] Status validate() const;
+};
+
+/// One sweep dimension: a named list of values and how to apply a value
+/// to a spec (usually a lambda writing one field).
+struct SweepAxis {
+  std::string name;
+  std::vector<double> values;
+  std::function<void(ScenarioSpec&, double)> apply;
+};
+
+/// Cartesian grid expansion: every combination of axis values applied
+/// to the base spec; names become "base/axis1=v1;axis2=v2". Axis order
+/// is significant (first axis varies slowest) and the result order is
+/// deterministic — the contract the parallel runner preserves.
+[[nodiscard]] std::vector<ScenarioSpec> expand_grid(
+    const ScenarioSpec& base, const std::vector<SweepAxis>& axes);
+
+}  // namespace wi::sim

@@ -1,0 +1,10 @@
+#pragma once
+/// \file sim.hpp
+/// \brief Umbrella header of the declarative scenario API: include this
+///        and use ScenarioRegistry::paper() + SimEngine.
+
+#include "wi/sim/engine.hpp"
+#include "wi/sim/phy_curve_cache.hpp"
+#include "wi/sim/registry.hpp"
+#include "wi/sim/scenario.hpp"
+#include "wi/sim/status.hpp"

@@ -1,0 +1,18 @@
+#pragma once
+/// \file status.hpp
+/// \brief Error type of the scenario engine.
+///
+/// The concrete types live in wi/common/status.hpp so deep layers (noc
+/// routing, future subsystems) can throw them without depending on
+/// wi::sim; this header fixes them as the sim API's error vocabulary.
+
+#include "wi/common/status.hpp"
+
+namespace wi::sim {
+
+using wi::Status;
+using wi::StatusCode;
+using wi::StatusError;
+using wi::status_code_name;
+
+}  // namespace wi::sim

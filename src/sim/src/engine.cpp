@@ -1,0 +1,516 @@
+#include "wi/sim/engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <ostream>
+#include <thread>
+#include <utility>
+
+#include "wi/common/math.hpp"
+#include "wi/core/coding_planner.hpp"
+#include "wi/core/geometry.hpp"
+#include "wi/core/hybrid_system.hpp"
+#include "wi/core/link_planner.hpp"
+#include "wi/core/nics_stack.hpp"
+#include "wi/noc/flit_sim.hpp"
+#include "wi/noc/metrics.hpp"
+#include "wi/noc/queueing_model.hpp"
+#include "wi/rf/antenna.hpp"
+#include "wi/rf/campaign.hpp"
+#include "wi/rf/pathloss.hpp"
+
+namespace wi::sim {
+
+namespace {
+
+using core::BoardGeometry;
+
+[[nodiscard]] noc::TrafficPattern build_traffic(const NocSpec& spec,
+                                                std::size_t modules) {
+  switch (spec.traffic) {
+    case TrafficKind::kUniform:
+      return noc::TrafficPattern::uniform(modules);
+    case TrafficKind::kTranspose:
+      return noc::TrafficPattern::transpose(modules);
+    case TrafficKind::kBitComplement:
+      return noc::TrafficPattern::bit_complement(modules);
+    case TrafficKind::kHotspot:
+      return noc::TrafficPattern::hotspot(modules, spec.hotspot_module,
+                                          spec.hotspot_fraction);
+  }
+  throw StatusError(
+      Status(StatusCode::kUnsupported, "unknown traffic kind"));
+}
+
+[[nodiscard]] std::unique_ptr<noc::Routing> build_routing(RoutingKind kind) {
+  if (kind == RoutingKind::kShortestPath) {
+    return std::make_unique<noc::ShortestPathRouting>();
+  }
+  return std::make_unique<noc::DimensionOrderRouting>();
+}
+
+void run_link_budget_table(const ScenarioSpec& spec, RunResult& result) {
+  const rf::LinkBudget budget(spec.link.budget);
+  const auto& p = budget.params();
+  auto row = [&](const char* name, const char* unit, double value,
+                 int decimals, const char* paper) {
+    result.table.add_row({name, unit, Table::num(value, decimals), paper});
+  };
+  row("RX noise figure", "dB", p.rx_noise_figure_db, 1, "10");
+  row("Path loss exponent", "-", p.path_loss_exponent, 1, "2");
+  row("Path loss shortest link 0.1m", "dB",
+      budget.path_loss_db(rf::kShortestLink_m), 1, "59.8");
+  row("Path loss largest link 0.3m", "dB",
+      budget.path_loss_db(rf::kLongestLink_m), 1, "69.3");
+  row("Array gain", "dB", p.array_gain_db, 1, "12");
+  row("Butler matrix inaccuracy", "dB", p.butler_inaccuracy_db, 1, "5");
+  row("Polarization mismatch", "dB", p.polarization_mismatch_db, 1, "3");
+  row("Implementation loss", "dB", p.implementation_loss_db, 1, "5");
+  row("RX temperature", "K", p.rx_temperature_k, 0, "323");
+  result.notes.push_back("noise power over " +
+                         Table::num(p.bandwidth_hz / 1e9, 1) + " GHz: " +
+                         Table::num(budget.noise_power_dbm(), 2) + " dBm");
+  const rf::PlanarArray array(4, 4);
+  result.notes.push_back("4x4 array broadside gain: " +
+                         Table::num(array.broadside_gain_dbi(), 2) +
+                         " dBi (paper: 12)");
+  const rf::ButlerMatrixBeamformer butler(array, 4);
+  result.notes.push_back("Butler worst-case mismatch: " +
+                         Table::num(butler.worst_case_mismatch_db(), 2) +
+                         " dB (paper budget: 5)");
+}
+
+void run_pathloss_campaign(const ScenarioSpec& spec, RunResult& result) {
+  rf::CampaignConfig freespace;
+  freespace.distances_m = rf::default_distance_grid_m();
+  freespace.copper_boards = false;
+  freespace.vna.seed = spec.campaign.seed;
+  const auto points_free = rf::run_campaign(freespace);
+  const auto fit_free = rf::fit_path_loss(points_free, 0.05);
+
+  rf::CampaignConfig copper = freespace;
+  copper.copper_boards = true;
+  const auto points_copper = rf::run_campaign(copper);
+  const auto fit_copper = rf::fit_path_loss(points_copper, 0.05);
+
+  const rf::PathLossModel model_free =
+      rf::PathLossModel::free_space(spec.link.budget.carrier_freq_hz);
+  const rf::PathLossModel model_copper(fit_copper.reference_loss_db,
+                                       fit_copper.exponent, 0.05);
+  for (std::size_t i = 0; i < points_free.size(); ++i) {
+    const double d = points_free[i].distance_m;
+    const double pl_free = model_free.loss_db(d);
+    result.table.add_row({Table::num(d * 1e3, 0), Table::num(pl_free, 2),
+                          Table::num(points_free[i].pathloss_db, 2),
+                          Table::num(model_copper.loss_db(d), 2),
+                          Table::num(points_copper[i].pathloss_db, 2),
+                          // Fig. 1 reference lines: free-space PL minus
+                          // 2x9.5 dB horn gain / 2x12 dB array gain.
+                          Table::num(pl_free - 19.0, 2),
+                          Table::num(pl_free - 24.0, 2)});
+  }
+  result.notes.push_back("fitted exponent free space: n = " +
+                         Table::num(fit_free.exponent, 4) +
+                         " (paper: 2.000)");
+  result.notes.push_back("fitted exponent copper boards: n = " +
+                         Table::num(fit_copper.exponent, 4) +
+                         " (paper: 2.0454)");
+}
+
+void run_tx_power_sweep(const ScenarioSpec& spec, RunResult& result) {
+  const rf::LinkBudget budget(spec.link.budget);
+  const TxPowerSpec& tx = spec.tx_power;
+  for (double snr = tx.snr_lo_db; snr <= tx.snr_hi_db + 1e-9;
+       snr += tx.snr_step_db) {
+    result.table.add_row(
+        {Table::num(snr, 1),
+         Table::num(budget.required_tx_power_dbm(snr, tx.shortest_m, false),
+                    2),
+         Table::num(budget.required_tx_power_dbm(snr, tx.longest_m, false),
+                    2),
+         Table::num(budget.required_tx_power_dbm(snr, tx.longest_m, true),
+                    2)});
+  }
+  result.notes.push_back(
+      "100 Gbit/s at ~2 bit/s/Hz needs SNR ~4.77 dB -> PTX " +
+      Table::num(budget.required_tx_power_dbm(4.77, tx.longest_m, true), 2) +
+      " dBm on the worst link");
+}
+
+void run_link_rate(const ScenarioSpec& spec, PhyCurveCache& cache,
+                   RunResult& result) {
+  const rf::LinkBudget budget(spec.link.budget);
+  const auto curve = cache.get(spec.phy.receiver, spec.phy.bandwidth_hz,
+                               spec.phy.polarizations);
+  const BoardGeometry geometry(spec.geometry.boards,
+                               spec.geometry.board_size_mm,
+                               spec.geometry.separation_mm,
+                               spec.geometry.nodes_per_edge);
+  const bool butler =
+      spec.link.beamforming == core::Beamforming::kButlerMatrix;
+  const bool dual_pol = spec.phy.polarizations >= 2;
+  struct Case {
+    const char* name;
+    double distance_m;
+    bool mismatch;
+  };
+  const Case cases[] = {
+      {"ahead", geometry.shortest_link_mm() / 1e3, false},
+      {"diagonal", geometry.longest_link_mm() / 1e3, butler},
+      // Table I's 300 mm worst-case link (larger rack scenario).
+      {"table1_worst", rf::kLongestLink_m, butler},
+  };
+  for (const Case& c : cases) {
+    const double snr = budget.snr_db(spec.link.ptx_dbm, c.distance_m,
+                                     c.mismatch);
+    result.table.add_row(
+        {c.name, Table::num(c.distance_m, 3),
+         Table::num(spec.link.ptx_dbm, 1), Table::num(snr, 2),
+         Table::num(curve->link_rate_gbps(snr), 2),
+         Table::num(budget.shannon_rate_bps(snr, dual_pol) / 1e9, 2)});
+  }
+  result.notes.push_back(
+      "PTX for " + Table::num(spec.link.target_snr_db, 1) +
+      " dB SNR on the 300 mm worst-case link: " +
+      Table::num(budget.required_tx_power_dbm(spec.link.target_snr_db,
+                                              rf::kLongestLink_m, butler),
+                 2) +
+      " dBm");
+  const double snr_100g = curve->required_snr_db(100.0);
+  result.notes.push_back(
+      std::isinf(snr_100g)
+          ? std::string("100 Gbit/s unreachable with this receiver")
+          : "SNR for 100 Gbit/s: " + Table::num(snr_100g, 2) + " dB");
+}
+
+void run_link_plan(const ScenarioSpec& spec, PhyCurveCache& cache,
+                   RunResult& result) {
+  const core::WirelessLinkPlanner planner(spec.link.budget,
+                                          spec.link.beamforming);
+  const auto curve = cache.get(spec.phy.receiver, spec.phy.bandwidth_hz,
+                               spec.phy.polarizations);
+  const BoardGeometry geometry(spec.geometry.boards,
+                               spec.geometry.board_size_mm,
+                               spec.geometry.separation_mm,
+                               spec.geometry.nodes_per_edge);
+  const auto links = planner.plan(geometry, spec.link.ptx_dbm,
+                                  spec.link.target_snr_db);
+  double min_rate = std::numeric_limits<double>::infinity();
+  double max_rate = 0.0;
+  for (const auto& link : links) {
+    const double phy_rate = curve->link_rate_gbps(link.snr_db);
+    min_rate = std::min(min_rate, phy_rate);
+    max_rate = std::max(max_rate, phy_rate);
+    result.table.add_row(
+        {Table::num(static_cast<long long>(link.src_node)),
+         Table::num(static_cast<long long>(link.dst_node)),
+         Table::num(link.distance_mm, 1),
+         Table::num(link.steering_angle_deg, 1),
+         Table::num(link.required_ptx_dbm, 2), Table::num(link.snr_db, 2),
+         Table::num(phy_rate, 2)});
+  }
+  result.notes.push_back(
+      links.empty()
+          ? std::string("no adjacent-board links in this geometry")
+          : Table::num(static_cast<long long>(links.size())) +
+                " adjacent-board links planned; PHY rate " +
+                Table::num(min_rate, 1) + " - " + Table::num(max_rate, 1) +
+                " Gbit/s");
+}
+
+void run_noc_latency(const ScenarioSpec& spec, RunResult& result) {
+  const noc::Topology topology = spec.noc.topology.build();
+  const auto routing = build_routing(spec.noc.routing);
+  const noc::TrafficPattern traffic =
+      build_traffic(spec.noc, topology.module_count());
+  const noc::QueueingModel model(topology, *routing, traffic,
+                                 spec.noc.model);
+  std::vector<double> rates = spec.noc.injection_rates;
+  if (rates.empty()) rates = linspace(0.01, 0.8, 21);
+  for (const double rate : rates) {
+    const auto perf = model.evaluate(rate);
+    result.table.add_row(
+        {Table::num(rate, 3),
+         perf.saturated ? std::string("sat")
+                        : Table::num(perf.mean_latency_cycles, 2),
+         Table::num(perf.max_channel_load, 3),
+         perf.saturated ? "yes" : "no"});
+  }
+  result.notes.push_back("topology: " + topology.name());
+  result.notes.push_back(
+      "zero-load latency: " + Table::num(model.zero_load_latency_cycles(), 2) +
+      " cycles; saturation: " + Table::num(model.saturation_rate(), 3) +
+      " flits/cycle/module");
+  const double area = noc::total_router_crossbar_area(topology);
+  result.notes.push_back(
+      "crossbar area proxy: " + Table::num(area, 0) + " (" +
+      Table::num(area / static_cast<double>(topology.router_count()), 1) +
+      " per router)");
+  if (spec.noc.des_check_rate > 0.0) {
+    noc::FlitSimConfig sim;
+    sim.warmup_cycles = 2000;
+    sim.measure_cycles = 8000;
+    sim.seed = spec.noc.des_seed;
+    const auto des = simulate_network(topology, *routing, traffic,
+                                      spec.noc.des_check_rate, sim);
+    result.notes.push_back(
+        "DES cross-check @ " + Table::num(spec.noc.des_check_rate, 2) + ": " +
+        Table::num(des.mean_latency_cycles, 2) + " cycles vs analytic " +
+        Table::num(model.evaluate(spec.noc.des_check_rate)
+                       .mean_latency_cycles,
+                   2));
+  }
+}
+
+void run_nics_stack(const ScenarioSpec& spec, RunResult& result) {
+  const core::NicsStackModel model(spec.nics.config);
+  const auto eval = model.evaluate();
+  const auto params = core::vertical_link_params(spec.nics.config.tech);
+  result.table.add_row(
+      {params.name,
+       Table::num(static_cast<long long>(spec.nics.config.vertical_period)),
+       Table::num(eval.vertical_link_count, 0),
+       Table::num(eval.area_cost, 0),
+       Table::num(eval.zero_load_latency_cycles, 2),
+       Table::num(eval.saturation_rate, 3)});
+}
+
+void run_hybrid_system(const ScenarioSpec& spec, RunResult& result) {
+  const core::HybridSystemModel model(spec.hybrid.config);
+  const auto cmp = model.compare();
+  const auto& c = spec.hybrid.config;
+  result.table.add_row({Table::num(c.inter_board_fraction, 2),
+                        Table::num(c.wireless_node_fraction, 2),
+                        Table::num(cmp.backplane.saturation_rate, 3),
+                        Table::num(cmp.wireless.saturation_rate, 3),
+                        Table::num(cmp.capacity_gain, 2),
+                        Table::num(cmp.backplane.zero_load_latency_cycles, 2),
+                        Table::num(cmp.wireless.zero_load_latency_cycles, 2),
+                        Table::num(cmp.latency_gain, 2)});
+}
+
+void run_coding_plan(const ScenarioSpec& spec, RunResult& result) {
+  const core::CodingPlanner planner = core::CodingPlanner::paper_table();
+  for (const double budget : spec.coding.latency_budgets_bits) {
+    const core::CodingPoint* best = planner.best_within_latency(budget);
+    if (best == nullptr) {
+      result.table.add_row(
+          {Table::num(budget, 0), "none", "-", "-", "-", "-"});
+      continue;
+    }
+    result.table.add_row(
+        {Table::num(budget, 0), best->block_code ? "LDPC-BC" : "LDPC-CC",
+         Table::num(static_cast<long long>(best->lifting)),
+         best->block_code
+             ? std::string("-")
+             : Table::num(static_cast<long long>(best->window)),
+         Table::num(best->latency_info_bits, 0),
+         Table::num(best->required_ebn0_db, 2)});
+  }
+  result.notes.push_back(
+      "latency gain vs best block code at " +
+      Table::num(spec.coding.ebn0_db, 1) + " dB: " +
+      Table::num(planner.latency_gain_vs_block_bits(spec.coding.ebn0_db), 0) +
+      " info bits");
+  const double replan_budget = spec.coding.latency_budgets_bits.back();
+  const core::CodingPoint* replanned = planner.best_window_for_lifting(
+      spec.coding.deployed_lifting, replan_budget);
+  if (replanned != nullptr) {
+    result.notes.push_back(
+        "deployed N=" +
+        Table::num(static_cast<long long>(spec.coding.deployed_lifting)) +
+        " replanned within " + Table::num(replan_budget, 0) + " bits: W=" +
+        Table::num(static_cast<long long>(replanned->window)) + " at " +
+        Table::num(replanned->required_ebn0_db, 2) + " dB");
+  }
+}
+
+void execute(const ScenarioSpec& spec, PhyCurveCache& cache,
+             RunResult& result) {
+  switch (spec.workload) {
+    case Workload::kLinkBudgetTable:
+      return run_link_budget_table(spec, result);
+    case Workload::kPathlossCampaign:
+      return run_pathloss_campaign(spec, result);
+    case Workload::kTxPowerSweep:
+      return run_tx_power_sweep(spec, result);
+    case Workload::kLinkRate:
+      return run_link_rate(spec, cache, result);
+    case Workload::kLinkPlan:
+      return run_link_plan(spec, cache, result);
+    case Workload::kNocLatency:
+      return run_noc_latency(spec, result);
+    case Workload::kNicsStack:
+      return run_nics_stack(spec, result);
+    case Workload::kHybridSystem:
+      return run_hybrid_system(spec, result);
+    case Workload::kCodingPlan:
+      return run_coding_plan(spec, result);
+  }
+  throw StatusError(Status(StatusCode::kUnsupported, "unknown workload"));
+}
+
+}  // namespace
+
+std::vector<std::string> workload_headers(Workload workload) {
+  switch (workload) {
+    case Workload::kLinkBudgetTable:
+      return {"parameter", "unit", "value", "paper"};
+    case Workload::kPathlossCampaign:
+      return {"dist_mm", "model_free_dB", "meas_free_dB", "model_copper_dB",
+              "meas_copper_dB", "free+2x9.5dB", "free+2x12dB"};
+    case Workload::kTxPowerSweep:
+      return {"SNR_dB", "shortest_dBm", "longest_dBm", "longest_butler_dBm"};
+    case Workload::kLinkRate:
+      return {"link", "distance_m", "ptx_dbm", "snr_db", "phy_rate_gbps",
+              "shannon_gbps"};
+    case Workload::kLinkPlan:
+      return {"src", "dst", "distance_mm", "angle_deg", "reqd_ptx_dbm",
+              "snr_db", "phy_rate_gbps"};
+    case Workload::kNocLatency:
+      return {"inj_rate", "latency_cycles", "max_channel_load", "saturated"};
+    case Workload::kNicsStack:
+      return {"tech", "period", "vertical_links", "area_cost", "lat0_cycles",
+              "saturation"};
+    case Workload::kHybridSystem:
+      return {"inter_frac", "equipped_frac", "backplane_sat", "wireless_sat",
+              "capacity_gain", "backplane_lat0", "wireless_lat0",
+              "latency_gain"};
+    case Workload::kCodingPlan:
+      return {"latency_budget_bits", "family", "N", "W", "latency_bits",
+              "reqd_EbN0_dB"};
+  }
+  return {"-"};
+}
+
+SimEngine::SimEngine(EngineOptions options) : options_(options) {}
+
+std::size_t SimEngine::resolve_threads(std::size_t requested) const {
+  std::size_t threads = requested != 0 ? requested : options_.threads;
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  return threads;
+}
+
+RunResult SimEngine::run(const ScenarioSpec& spec) {
+  RunResult result;
+  result.scenario = spec.name;
+  try {
+    result.table = Table(workload_headers(spec.workload));
+    result.status = spec.validate();
+    if (result.status.is_ok()) execute(spec, phy_cache_, result);
+  } catch (const StatusError& e) {
+    result.status = e.status();
+  } catch (const std::exception& e) {
+    result.status = Status(StatusCode::kExecutionError, e.what());
+  } catch (...) {
+    // Catch-all barrier: a stray exception must fail this scenario,
+    // never terminate a parallel worker thread.
+    result.status =
+        Status(StatusCode::kExecutionError, "unknown exception");
+  }
+  if (!result.status.is_ok()) {
+    // Failed runs report an empty table under the workload's schema.
+    result.table = Table(workload_headers(spec.workload));
+  }
+  return result;
+}
+
+std::vector<RunResult> SimEngine::run_all(
+    const std::vector<ScenarioSpec>& specs, std::size_t threads) {
+  std::vector<RunResult> results(specs.size());
+  if (specs.empty()) return results;
+  const std::size_t workers =
+      std::min(resolve_threads(threads), specs.size());
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      results[i] = run(specs[i]);
+    }
+    return results;
+  }
+  // Work stealing via a shared atomic cursor: idle workers pull the
+  // next pending scenario, so long scenarios never leave threads idle.
+  std::atomic<std::size_t> next{0};
+  auto worker = [&]() {
+    while (true) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= specs.size()) break;
+      results[i] = run(specs[i]);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (std::size_t t = 0; t + 1 < workers; ++t) pool.emplace_back(worker);
+  worker();
+  for (auto& thread : pool) thread.join();
+  return results;
+}
+
+RunResult SimEngine::run_sweep(const ScenarioSpec& base,
+                               const std::vector<SweepAxis>& axes,
+                               std::size_t threads) {
+  const std::vector<ScenarioSpec> specs = expand_grid(base, axes);
+  const std::size_t hits_before = phy_cache_.hits();
+  const std::size_t misses_before = phy_cache_.misses();
+  const std::vector<RunResult> runs = run_all(specs, threads);
+
+  RunResult merged;
+  merged.scenario = base.name;
+  std::size_t failed = 0;
+  std::vector<std::string> headers = {"scenario", "status"};
+  const std::vector<std::string> schema = workload_headers(base.workload);
+  headers.insert(headers.end(), schema.begin(), schema.end());
+  merged.table = Table(headers);
+  for (const RunResult& r : runs) {
+    if (r.ok()) {
+      for (std::size_t i = 0; i < r.table.rows(); ++i) {
+        std::vector<std::string> cells = {r.scenario, "ok"};
+        const auto& row = r.table.row(i);
+        cells.insert(cells.end(), row.begin(), row.end());
+        merged.table.add_row(std::move(cells));
+      }
+    } else {
+      // Surface the failure as a row so the sweep itself survives.
+      ++failed;
+      std::vector<std::string> cells = {r.scenario, r.status.to_string()};
+      cells.insert(cells.end(), schema.size(), "-");
+      merged.table.add_row(std::move(cells));
+    }
+    for (const auto& note : r.notes) {
+      merged.notes.push_back(r.scenario + ": " + note);
+    }
+  }
+  if (failed > 0) {
+    // Aggregate failure so callers' exit-code checks see it; the
+    // per-point rows above carry the individual diagnoses.
+    merged.status = Status(
+        StatusCode::kExecutionError,
+        std::to_string(failed) + " of " + std::to_string(runs.size()) +
+            " grid points failed (see status column)");
+  }
+  // Deltas, not lifetime counters: a bench may run several sweeps on
+  // one engine and each note must describe its own sweep.
+  merged.notes.push_back(
+      Table::num(static_cast<long long>(runs.size())) + " grid points; " +
+      "phy curve cache: " +
+      Table::num(static_cast<long long>(phy_cache_.hits() - hits_before)) +
+      " hits / " +
+      Table::num(
+          static_cast<long long>(phy_cache_.misses() - misses_before)) +
+      " misses");
+  return merged;
+}
+
+void print_result(std::ostream& os, const RunResult& result) {
+  os << "# scenario: " << result.scenario << "\n";
+  if (!result.ok()) os << "# status: " << result.status.to_string() << "\n";
+  for (const auto& note : result.notes) os << "# " << note << "\n";
+  result.table.print(os);
+}
+
+}  // namespace wi::sim

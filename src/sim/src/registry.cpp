@@ -1,0 +1,211 @@
+#include "wi/sim/registry.hpp"
+
+#include "wi/common/math.hpp"
+
+namespace wi::sim {
+
+void ScenarioRegistry::add(ScenarioSpec spec) {
+  const Status status = spec.validate();
+  if (!status.is_ok()) throw StatusError(status);
+  if (contains(spec.name)) {
+    throw StatusError(Status(StatusCode::kInvalidSpec,
+                             "duplicate scenario name '" + spec.name + "'"));
+  }
+  specs_.push_back(std::move(spec));
+}
+
+bool ScenarioRegistry::contains(const std::string& name) const {
+  for (const auto& spec : specs_) {
+    if (spec.name == name) return true;
+  }
+  return false;
+}
+
+const ScenarioSpec& ScenarioRegistry::get(const std::string& name) const {
+  for (const auto& spec : specs_) {
+    if (spec.name == name) return spec;
+  }
+  std::string known;
+  for (const auto& spec : specs_) {
+    if (!known.empty()) known += ", ";
+    known += spec.name;
+  }
+  throw StatusError(Status(StatusCode::kInvalidSpec,
+                           "unknown scenario '" + name + "' (available: " +
+                               known + ")"));
+}
+
+std::vector<std::string> ScenarioRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(specs_.size());
+  for (const auto& spec : specs_) out.push_back(spec.name);
+  return out;
+}
+
+namespace {
+
+[[nodiscard]] ScenarioSpec noc_scenario(std::string name,
+                                        std::string description,
+                                        TopologySpec topology) {
+  ScenarioSpec spec;
+  spec.name = std::move(name);
+  spec.description = std::move(description);
+  spec.workload = Workload::kNocLatency;
+  spec.noc.topology = topology;
+  return spec;
+}
+
+[[nodiscard]] ScenarioRegistry build_paper_registry() {
+  ScenarioRegistry registry;
+
+  {
+    ScenarioSpec spec;
+    spec.name = "table1_link_budget";
+    spec.description = "Table I link budget parameters + derived anchors";
+    spec.workload = Workload::kLinkBudgetTable;
+    registry.add(spec);
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "fig01_pathloss";
+    spec.description =
+        "Fig. 1: pathloss vs distance, free space and copper boards";
+    spec.workload = Workload::kPathlossCampaign;
+    registry.add(spec);
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "fig04_tx_power";
+    spec.description = "Fig. 4: required PTX vs target SNR, extreme links";
+    spec.workload = Workload::kTxPowerSweep;
+    registry.add(spec);
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "quickstart_link_rate";
+    spec.description =
+        "Size the extreme board-to-board links and their PHY data rate";
+    spec.workload = Workload::kLinkRate;
+    // Default receiver: the paper's 1-bit sequence detector (the
+    // Monte-Carlo curve the PhyCurveCache exists for).
+    registry.add(spec);
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "board_links_plan";
+    spec.description =
+        "Plan every adjacent-board link of a two-board 2x2-node system";
+    spec.workload = Workload::kLinkPlan;
+    spec.geometry.nodes_per_edge = 2;
+    spec.phy.receiver = core::PhyReceiver::kOneBitSymbolwise;
+    registry.add(spec);
+  }
+
+  // Fig. 8(a): 64 modules, three topologies.
+  {
+    TopologySpec mesh2d;
+    mesh2d.kind = TopologySpec::Kind::kMesh2d;
+    mesh2d.kx = 8;
+    mesh2d.ky = 8;
+    ScenarioSpec spec = noc_scenario(
+        "fig08a_mesh2d_8x8", "Fig. 8(a): 8x8 2D mesh, uniform traffic",
+        mesh2d);
+    spec.noc.des_check_rate = 0.0;
+    registry.add(spec);
+  }
+  {
+    TopologySpec star;
+    star.kind = TopologySpec::Kind::kStarMesh;
+    star.kx = 4;
+    star.ky = 4;
+    star.concentration = 4;
+    registry.add(noc_scenario("fig08a_star_mesh_4x4c4",
+                              "Fig. 8(a): 4x4 star-mesh, concentration 4",
+                              star));
+  }
+  {
+    TopologySpec mesh3d;
+    mesh3d.kind = TopologySpec::Kind::kMesh3d;
+    mesh3d.kx = 4;
+    mesh3d.ky = 4;
+    mesh3d.kz = 4;
+    ScenarioSpec spec = noc_scenario(
+        "fig08a_mesh3d_4x4x4", "Fig. 8(a): 4x4x4 3D mesh, uniform traffic",
+        mesh3d);
+    spec.noc.des_check_rate = 0.3;  // flit-level cross-check as in bench
+    registry.add(spec);
+  }
+
+  // Fig. 8(b): 512 modules.
+  {
+    TopologySpec mesh2d;
+    mesh2d.kind = TopologySpec::Kind::kMesh2d;
+    mesh2d.kx = 32;
+    mesh2d.ky = 16;
+    ScenarioSpec spec = noc_scenario("fig08b_mesh2d_32x16",
+                                     "Fig. 8(b): 32x16 2D mesh (512 modules)",
+                                     mesh2d);
+    spec.noc.injection_rates = linspace(0.01, 0.7, 18);
+    registry.add(spec);
+  }
+  {
+    TopologySpec mesh3d;
+    mesh3d.kind = TopologySpec::Kind::kMesh3d;
+    mesh3d.kx = 8;
+    mesh3d.ky = 8;
+    mesh3d.kz = 8;
+    ScenarioSpec spec = noc_scenario("fig08b_mesh3d_8x8x8",
+                                     "Fig. 8(b): 8x8x8 3D mesh (512 modules)",
+                                     mesh3d);
+    spec.noc.injection_rates = linspace(0.01, 0.7, 18);
+    registry.add(spec);
+  }
+  {
+    TopologySpec star_irl;
+    star_irl.kind = TopologySpec::Kind::kStarMeshIrl;
+    star_irl.kx = 4;
+    star_irl.ky = 4;
+    star_irl.concentration = 4;
+    star_irl.irl = 2;
+    registry.add(noc_scenario(
+        "ablation_star_mesh_irl",
+        "Sec. IV: star-mesh with parallel inter-router links (sweep irl)",
+        star_irl));
+  }
+
+  {
+    ScenarioSpec spec;
+    spec.name = "ablation_vertical_links";
+    spec.description =
+        "Sec. IV: 4-layer NiCS vertical-link density/technology base";
+    spec.workload = Workload::kNicsStack;
+    registry.add(spec);
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "ablation_hybrid_system";
+    spec.description =
+        "Sec. VI: backplane bus vs direct wireless board-to-board links";
+    spec.workload = Workload::kHybridSystem;
+    registry.add(spec);
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "fig10_coding_plan";
+    spec.description =
+        "Fig. 10: LDPC-CC operating points under a latency budget";
+    spec.workload = Workload::kCodingPlan;
+    registry.add(spec);
+  }
+
+  return registry;
+}
+
+}  // namespace
+
+const ScenarioRegistry& ScenarioRegistry::paper() {
+  static const ScenarioRegistry registry = build_paper_registry();
+  return registry;
+}
+
+}  // namespace wi::sim

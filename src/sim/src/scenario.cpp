@@ -1,0 +1,227 @@
+#include "wi/sim/scenario.hpp"
+
+#include <charconv>
+#include <cmath>
+
+namespace wi::sim {
+
+namespace {
+
+[[nodiscard]] std::string format_value(double value) {
+  // Shortest round-trip representation: distinct axis values always get
+  // distinct grid-point names.
+  char buffer[32];
+  const auto [end, ec] =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  if (ec != std::errc()) return "nan";
+  return {buffer, end};
+}
+
+[[nodiscard]] Status invalid(const std::string& message) {
+  return {StatusCode::kInvalidSpec, message};
+}
+
+}  // namespace
+
+const char* workload_name(Workload workload) {
+  switch (workload) {
+    case Workload::kLinkBudgetTable: return "link_budget_table";
+    case Workload::kPathlossCampaign: return "pathloss_campaign";
+    case Workload::kTxPowerSweep: return "tx_power_sweep";
+    case Workload::kLinkRate: return "link_rate";
+    case Workload::kLinkPlan: return "link_plan";
+    case Workload::kNocLatency: return "noc_latency";
+    case Workload::kNicsStack: return "nics_stack";
+    case Workload::kHybridSystem: return "hybrid_system";
+    case Workload::kCodingPlan: return "coding_plan";
+  }
+  return "unknown";
+}
+
+noc::Topology TopologySpec::build() const {
+  try {
+    switch (kind) {
+      case Kind::kMesh2d:
+        return noc::Topology::mesh_2d(kx, ky);
+      case Kind::kStarMesh:
+        return noc::Topology::star_mesh(kx, ky, concentration);
+      case Kind::kStarMeshIrl:
+        return noc::Topology::star_mesh_irl(kx, ky, concentration, irl);
+      case Kind::kMesh3d:
+        return noc::Topology::mesh_3d(kx, ky, kz);
+      case Kind::kCiliatedMesh3d:
+        return noc::Topology::ciliated_mesh_3d(kx, ky, kz, concentration);
+      case Kind::kPartialVertical3d:
+        return noc::Topology::partial_vertical_mesh_3d(kx, ky, kz, tsv_period,
+                                                       vertical_bandwidth);
+    }
+  } catch (const std::invalid_argument& e) {
+    throw StatusError(invalid(std::string("TopologySpec: ") + e.what()));
+  }
+  throw StatusError(invalid("TopologySpec: unknown topology kind"));
+}
+
+std::size_t TopologySpec::module_count() const {
+  switch (kind) {
+    case Kind::kMesh2d:
+      return kx * ky;
+    case Kind::kStarMesh:
+    case Kind::kStarMeshIrl:
+      return kx * ky * concentration;
+    case Kind::kMesh3d:
+    case Kind::kPartialVertical3d:
+      return kx * ky * kz;
+    case Kind::kCiliatedMesh3d:
+      return kx * ky * kz * concentration;
+  }
+  return 0;
+}
+
+Status ScenarioSpec::validate() const {
+  if (name.empty()) return invalid("scenario name must not be empty");
+  if (geometry.boards < 1) return invalid(name + ": boards must be >= 1");
+  if (geometry.board_size_mm <= 0.0) {
+    return invalid(name + ": board_size_mm must be > 0");
+  }
+  if (geometry.separation_mm <= 0.0) {
+    return invalid(name + ": separation_mm must be > 0");
+  }
+  if (geometry.nodes_per_edge < 1) {
+    return invalid(name + ": nodes_per_edge must be >= 1");
+  }
+  if ((workload == Workload::kLinkRate || workload == Workload::kLinkPlan) &&
+      geometry.boards < 2) {
+    // Board-to-board links need at least two boards.
+    return invalid(name + ": link workloads need >= 2 boards");
+  }
+  if (link.budget.bandwidth_hz <= 0.0) {
+    return invalid(name + ": link bandwidth must be > 0");
+  }
+  if (phy.bandwidth_hz <= 0.0) {
+    return invalid(name + ": phy bandwidth must be > 0");
+  }
+  if (phy.polarizations < 1) {
+    return invalid(name + ": polarizations must be >= 1");
+  }
+  if (workload == Workload::kPathlossCampaign &&
+      link.budget.carrier_freq_hz != rf::LinkBudgetParams{}.carrier_freq_hz) {
+    // The synthetic VNA campaign measures at the paper's fixed carrier;
+    // a model at a different carrier would silently stop tracking the
+    // measurement columns.
+    return invalid(name +
+                   ": the pathloss campaign runs at the fixed 232.5 GHz "
+                   "carrier; carrier_freq_hz cannot be overridden");
+  }
+  if (workload == Workload::kTxPowerSweep) {
+    if (tx_power.snr_step_db <= 0.0) {
+      return invalid(name + ": snr_step_db must be > 0");
+    }
+    if (tx_power.snr_hi_db < tx_power.snr_lo_db) {
+      return invalid(name + ": snr_hi_db must be >= snr_lo_db");
+    }
+    if (tx_power.shortest_m <= 0.0 || tx_power.longest_m <= 0.0) {
+      return invalid(name + ": link distances must be > 0");
+    }
+  }
+  if (workload == Workload::kNocLatency) {
+    const auto& t = noc.topology;
+    if (t.kx < 1 || t.ky < 1 || t.kz < 1) {
+      return invalid(name + ": topology dimensions must be >= 1");
+    }
+    if (t.concentration < 1) {
+      return invalid(name + ": concentration must be >= 1");
+    }
+    if (t.irl < 1) return invalid(name + ": irl must be >= 1");
+    if (t.tsv_period < 1) return invalid(name + ": tsv_period must be >= 1");
+    for (const double rate : noc.injection_rates) {
+      if (rate < 0.0) {
+        return invalid(name + ": injection rates must be >= 0");
+      }
+    }
+    if (noc.traffic == TrafficKind::kHotspot) {
+      if (noc.hotspot_fraction < 0.0 || noc.hotspot_fraction > 1.0) {
+        return invalid(name + ": hotspot_fraction must be in [0, 1]");
+      }
+      if (noc.hotspot_module >= t.module_count()) {
+        return invalid(name + ": hotspot_module out of range for " +
+                       std::to_string(t.module_count()) + " modules");
+      }
+    }
+  }
+  if (workload == Workload::kNicsStack) {
+    const auto& c = nics.config;
+    if (c.layers < 1 || c.mesh_k < 1) {
+      return invalid(name + ": stack layers and mesh_k must be >= 1");
+    }
+    if (c.vertical_period < 1) {
+      return invalid(name + ": vertical_period must be >= 1");
+    }
+    if (c.vertical_traffic_fraction < 0.0 ||
+        c.vertical_traffic_fraction > 1.0) {
+      return invalid(name + ": vertical_traffic_fraction must be in [0, 1]");
+    }
+  }
+  if (workload == Workload::kHybridSystem) {
+    const auto& c = hybrid.config;
+    if (c.boards < 2) return invalid(name + ": hybrid system needs >= 2 boards");
+    if (c.mesh_k < 1) return invalid(name + ": mesh_k must be >= 1");
+    if (c.inter_board_fraction < 0.0 || c.inter_board_fraction > 1.0) {
+      return invalid(name + ": inter_board_fraction must be in [0, 1]");
+    }
+    if (c.wireless_node_fraction < 0.0 || c.wireless_node_fraction > 1.0) {
+      return invalid(name + ": wireless_node_fraction must be in [0, 1]");
+    }
+    if (c.wireless_bandwidth <= 0.0 || c.backplane_bandwidth <= 0.0) {
+      return invalid(name + ": link bandwidths must be > 0");
+    }
+  }
+  if (workload == Workload::kCodingPlan) {
+    if (coding.latency_budgets_bits.empty()) {
+      return invalid(name + ": latency_budgets_bits must not be empty");
+    }
+    for (const double budget : coding.latency_budgets_bits) {
+      if (!(budget > 0.0)) {
+        return invalid(name + ": latency budgets must be > 0");
+      }
+    }
+  }
+  return Status::ok();
+}
+
+std::vector<ScenarioSpec> expand_grid(const ScenarioSpec& base,
+                                      const std::vector<SweepAxis>& axes) {
+  for (const auto& axis : axes) {
+    if (axis.values.empty()) {
+      throw StatusError(invalid("sweep axis '" + axis.name + "' is empty"));
+    }
+    if (!axis.apply) {
+      throw StatusError(
+          invalid("sweep axis '" + axis.name + "' has no apply function"));
+    }
+  }
+  std::vector<ScenarioSpec> out;
+  std::size_t total = 1;
+  for (const auto& axis : axes) total *= axis.values.size();
+  out.reserve(total);
+  // Mixed-radix counter over the axes; first axis varies slowest.
+  std::vector<std::size_t> index(axes.size(), 0);
+  for (std::size_t point = 0; point < total; ++point) {
+    ScenarioSpec spec = base;
+    std::string suffix;
+    for (std::size_t a = 0; a < axes.size(); ++a) {
+      const double value = axes[a].values[index[a]];
+      axes[a].apply(spec, value);
+      suffix += (a == 0 ? "/" : ";") + axes[a].name + "=" +
+                format_value(value);
+    }
+    spec.name += suffix;
+    out.push_back(std::move(spec));
+    for (std::size_t a = axes.size(); a-- > 0;) {
+      if (++index[a] < axes[a].values.size()) break;
+      index[a] = 0;
+    }
+  }
+  return out;
+}
+
+}  // namespace wi::sim

@@ -88,7 +88,7 @@ TEST(AdcModel, WaldenScaling) {
 TEST(AdcModel, EnergyPerSample) {
   const AdcModel adc{50e-15};
   EXPECT_NEAR(adc.energy_per_sample_j(1, 125e9), 100e-15, 1e-20);
-  EXPECT_THROW(adc.energy_per_sample_j(1, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)adc.energy_per_sample_j(1, 0.0), std::invalid_argument);
 }
 
 TEST(AdcEnergyPerBit, OneBitOversamplingWins) {
@@ -106,7 +106,7 @@ TEST(AdcEnergyPerBit, OneBitOversamplingWins) {
 TEST(AdcEnergyPerBit, RejectsZeroRate) {
   const AdcModel adc;
   const ReceiverOption bad{"x", 1, 1, 0.0};
-  EXPECT_THROW(adc_energy_per_bit_j(adc, bad, 1e9), std::invalid_argument);
+  EXPECT_THROW((void)adc_energy_per_bit_j(adc, bad, 1e9), std::invalid_argument);
 }
 
 }  // namespace

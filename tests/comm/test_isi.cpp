@@ -41,7 +41,7 @@ TEST(IsiFilter, NoiselessSampleSuperposition) {
 
 TEST(IsiFilter, NoiselessSampleRejectsWrongWindow) {
   const IsiFilter f = IsiFilter::rectangular(5);
-  EXPECT_THROW(f.noiseless_sample({1.0, 2.0}, 0), std::invalid_argument);
+  EXPECT_THROW((void)f.noiseless_sample({1.0, 2.0}, 0), std::invalid_argument);
 }
 
 TEST(IsiFilter, RejectsBadConstruction) {

@@ -30,9 +30,9 @@ TEST(Qfunc, InverseRoundTrip) {
 }
 
 TEST(Qfunc, InverseRejectsOutOfRange) {
-  EXPECT_THROW(qfunc_inv(0.0), std::domain_error);
-  EXPECT_THROW(qfunc_inv(1.0), std::domain_error);
-  EXPECT_THROW(qfunc_inv(-0.1), std::domain_error);
+  EXPECT_THROW((void)qfunc_inv(0.0), std::domain_error);
+  EXPECT_THROW((void)qfunc_inv(1.0), std::domain_error);
+  EXPECT_THROW((void)qfunc_inv(-0.1), std::domain_error);
 }
 
 TEST(NormalCdf, ComplementsQ) {
@@ -88,8 +88,8 @@ TEST(InterpLinear, InteriorAndClamping) {
 }
 
 TEST(InterpLinear, RejectsBadInput) {
-  EXPECT_THROW(interp_linear({}, {}, 0.0), std::invalid_argument);
-  EXPECT_THROW(interp_linear({1.0}, {1.0, 2.0}, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)interp_linear({}, {}, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)interp_linear({1.0}, {1.0, 2.0}, 0.0), std::invalid_argument);
 }
 
 TEST(Gcd, Values) {

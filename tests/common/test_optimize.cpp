@@ -21,7 +21,7 @@ TEST(Bisect, FindsRootOfTranscendental) {
 }
 
 TEST(Bisect, RejectsNonBracketing) {
-  EXPECT_THROW(bisect([](double x) { return x * x + 1.0; }, -1.0, 1.0),
+  EXPECT_THROW((void)bisect([](double x) { return x * x + 1.0; }, -1.0, 1.0),
                std::invalid_argument);
 }
 

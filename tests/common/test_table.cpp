@@ -8,10 +8,20 @@ namespace wi {
 namespace {
 
 TEST(Table, RejectsEmptyHeadersAndArityMismatch) {
-  EXPECT_THROW(Table({}), std::invalid_argument);
+  // Explicit vector: bare {} would now select the headerless ctor.
+  EXPECT_THROW(Table(std::vector<std::string>{}), std::invalid_argument);
   Table table({"a", "b"});
   EXPECT_THROW(table.add_row({"1"}), std::invalid_argument);
   EXPECT_THROW(table.add_row({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(Table, HeaderlessPlaceholderRejectsRows) {
+  const Table empty;
+  EXPECT_EQ(empty.columns(), 0u);
+  Table placeholder;
+  EXPECT_THROW(placeholder.add_row({"1"}), std::invalid_argument);
+  // Even a zero-cell row: the placeholder accepts no data at all.
+  EXPECT_THROW(placeholder.add_row({}), std::invalid_argument);
 }
 
 TEST(Table, RowCount) {

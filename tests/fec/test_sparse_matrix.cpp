@@ -51,7 +51,7 @@ TEST(SparseMatrix, SyndromeComputation) {
 TEST(SparseMatrix, SyndromeRejectsWrongLength) {
   SparseBinaryMatrix h(1, 3);
   EXPECT_THROW(h.syndrome({1, 0}), std::invalid_argument);
-  EXPECT_THROW(h.in_null_space({1, 0, 0, 1}), std::invalid_argument);
+  EXPECT_THROW((void)h.in_null_space({1, 0, 0, 1}), std::invalid_argument);
 }
 
 TEST(SparseMatrix, GirthOfFourCycle) {

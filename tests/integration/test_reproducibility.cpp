@@ -6,9 +6,11 @@
 
 #include "wi/comm/filter_design.hpp"
 #include "wi/comm/info_rate.hpp"
+#include "wi/common/math.hpp"
 #include "wi/fec/ber.hpp"
 #include "wi/noc/flit_sim.hpp"
 #include "wi/rf/campaign.hpp"
+#include "wi/sim/sim.hpp"
 
 namespace wi {
 namespace {
@@ -78,6 +80,65 @@ TEST(Reproducibility, FlitSimBitIdentical) {
   EXPECT_EQ(a.delivered, b.delivered);
   EXPECT_EQ(a.injected, b.injected);
   EXPECT_EQ(a.mean_latency_cycles, b.mean_latency_cycles);
+}
+
+TEST(Reproducibility, ParallelSweepMatchesSingleThreaded) {
+  // The sim acceptance contract: a registry-driven sweep of >= 100 grid
+  // points run through the work-stealing parallel runner reproduces the
+  // single-threaded ResultTable cell-for-cell, and repeated receiver
+  // configurations are served from the PhyCurveCache.
+  const sim::ScenarioSpec base =
+      sim::ScenarioRegistry::paper().get("quickstart_link_rate");
+  const std::vector<sim::SweepAxis> axes = {
+      {"ptx",
+       linspace(0.0, 18.0, 10),
+       [](sim::ScenarioSpec& spec, double value) {
+         spec.link.ptx_dbm = value;
+       }},
+      {"sep",
+       linspace(60.0, 150.0, 10),
+       [](sim::ScenarioSpec& spec, double value) {
+         spec.geometry.separation_mm = value;
+       }},
+  };
+
+  sim::SimEngine serial_engine;
+  const sim::RunResult serial = serial_engine.run_sweep(base, axes, 1);
+  sim::SimEngine parallel_engine;
+  const sim::RunResult parallel = parallel_engine.run_sweep(base, axes, 4);
+
+  ASSERT_GE(serial.table.rows(), 100u);
+  EXPECT_TRUE(serial.table == parallel.table);
+
+  // 100 grid points share one receiver configuration: one build, the
+  // rest are cache hits — at both thread counts.
+  EXPECT_EQ(serial_engine.phy_cache().misses(), 1u);
+  EXPECT_GE(serial_engine.phy_cache().hits(), 99u);
+  EXPECT_EQ(parallel_engine.phy_cache().misses(), 1u);
+  EXPECT_GE(parallel_engine.phy_cache().hits(), 99u);
+}
+
+TEST(Reproducibility, ParallelRunAllBitIdentical) {
+  // Scenario campaigns seed their own RNGs, so whole-scenario results
+  // are thread-count invariant too (incl. the stochastic Fig. 1 run).
+  const auto& registry = sim::ScenarioRegistry::paper();
+  const std::vector<sim::ScenarioSpec> specs = {
+      registry.get("fig01_pathloss"),
+      registry.get("fig04_tx_power"),
+      registry.get("fig08a_star_mesh_4x4c4"),
+      registry.get("ablation_hybrid_system"),
+  };
+  sim::SimEngine engine_a;
+  sim::SimEngine engine_b;
+  const auto serial = engine_a.run_all(specs, 1);
+  const auto parallel = engine_b.run_all(specs, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].scenario, parallel[i].scenario);
+    EXPECT_TRUE(serial[i].status == parallel[i].status);
+    EXPECT_TRUE(serial[i].table == parallel[i].table);
+    EXPECT_EQ(serial[i].notes, parallel[i].notes);
+  }
 }
 
 TEST(Reproducibility, FilterOptimizerBitIdentical) {

@@ -97,7 +97,7 @@ TEST(FlitSim, PermutationTrafficWorks) {
 TEST(FlitSim, RejectsTrafficMismatch) {
   const Topology t = Topology::mesh_2d(4, 4);
   const DimensionOrderRouting routing;
-  EXPECT_THROW(simulate_network(t, routing, TrafficPattern::uniform(8),
+  EXPECT_THROW((void)simulate_network(t, routing, TrafficPattern::uniform(8),
                                 0.1, quick_config()),
                std::invalid_argument);
 }

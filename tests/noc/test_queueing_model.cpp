@@ -124,7 +124,7 @@ TEST(QueueingModel, RejectsBadInput) {
   EXPECT_THROW(QueueingModel(t, routing, TrafficPattern::uniform(8)),
                std::invalid_argument);
   const QueueingModel model = make_model(t);
-  EXPECT_THROW(model.evaluate(-0.1), std::invalid_argument);
+  EXPECT_THROW((void)model.evaluate(-0.1), std::invalid_argument);
 }
 
 TEST(QueueingModel, Fig8bGapWidensWithScale) {

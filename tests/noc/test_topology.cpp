@@ -49,8 +49,8 @@ TEST(Topology, RouterAtRoundTrips) {
       }
     }
   }
-  EXPECT_THROW(t.router_at(4, 0, 0), std::out_of_range);
-  EXPECT_THROW(t.router_at(0, 0, 2), std::out_of_range);
+  EXPECT_THROW((void)t.router_at(4, 0, 0), std::out_of_range);
+  EXPECT_THROW((void)t.router_at(0, 0, 2), std::out_of_range);
 }
 
 TEST(Topology, LinksAreBidirectionalPairs) {

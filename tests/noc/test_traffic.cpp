@@ -19,7 +19,7 @@ TEST(Traffic, UniformEquiprobable) {
   const TrafficPattern t = TrafficPattern::uniform(5);
   for (std::size_t s = 0; s < 5; ++s) {
     for (std::size_t d = 0; d < 5; ++d) {
-      if (s != d) EXPECT_NEAR(t.probability(s, d), 0.25, 1e-12);
+      if (s != d) { EXPECT_NEAR(t.probability(s, d), 0.25, 1e-12); }
     }
   }
 }

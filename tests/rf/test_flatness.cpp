@@ -52,7 +52,7 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(false, true)));
 
 TEST(Flatness, RejectsEmptySweep) {
-  EXPECT_THROW(magnitude_ripple_db(FrequencySweep{}), std::invalid_argument);
+  EXPECT_THROW((void)magnitude_ripple_db(FrequencySweep{}), std::invalid_argument);
 }
 
 }  // namespace

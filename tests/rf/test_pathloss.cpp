@@ -30,8 +30,8 @@ TEST(Friis, FrequencyScaling) {
 }
 
 TEST(Friis, RejectsNonPositive) {
-  EXPECT_THROW(friis_loss_db(0.0, kCarrier), std::invalid_argument);
-  EXPECT_THROW(friis_loss_db(0.1, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)friis_loss_db(0.0, kCarrier), std::invalid_argument);
+  EXPECT_THROW((void)friis_loss_db(0.1, 0.0), std::invalid_argument);
 }
 
 TEST(PathLossModel, Eq1Evaluation) {
@@ -52,8 +52,8 @@ TEST(PathLossModel, FreeSpaceMatchesFriis) {
 TEST(PathLossModel, RejectsBadInput) {
   EXPECT_THROW(PathLossModel(60.0, 2.0, 0.0), std::invalid_argument);
   const PathLossModel model(60.0, 2.0, 0.1);
-  EXPECT_THROW(model.loss_db(0.0), std::invalid_argument);
-  EXPECT_THROW(model.loss_db(-1.0), std::invalid_argument);
+  EXPECT_THROW((void)model.loss_db(0.0), std::invalid_argument);
+  EXPECT_THROW((void)model.loss_db(-1.0), std::invalid_argument);
 }
 
 TEST(FitPathLoss, RecoversExactModel) {
@@ -82,10 +82,10 @@ TEST(FitPathLoss, RobustToNoise) {
 }
 
 TEST(FitPathLoss, RejectsDegenerateInput) {
-  EXPECT_THROW(fit_path_loss({}, 0.05), std::invalid_argument);
-  EXPECT_THROW(fit_path_loss({{0.1, 60.0}}, 0.05), std::invalid_argument);
+  EXPECT_THROW((void)fit_path_loss({}, 0.05), std::invalid_argument);
+  EXPECT_THROW((void)fit_path_loss({{0.1, 60.0}}, 0.05), std::invalid_argument);
   // Two identical distances cannot determine a slope.
-  EXPECT_THROW(fit_path_loss({{0.1, 60.0}, {0.1, 61.0}}, 0.05),
+  EXPECT_THROW((void)fit_path_loss({{0.1, 60.0}, {0.1, 61.0}}, 0.05),
                std::invalid_argument);
 }
 

@@ -118,7 +118,7 @@ TEST(ExtractPathloss, RecoverssTapLoss) {
 }
 
 TEST(ExtractPathloss, RejectsEmpty) {
-  EXPECT_THROW(extract_pathloss_db(FrequencySweep{}, 0.0),
+  EXPECT_THROW((void)extract_pathloss_db(FrequencySweep{}, 0.0),
                std::invalid_argument);
 }
 

@@ -1,74 +1,45 @@
+/// \file smoke.cpp
+/// \brief Fast end-to-end smoke run: execute the cheap registry
+///        scenarios through one SimEngine and print every result.
+///        Covers the RF campaign + link budget, the 1-bit PHY curves
+///        (sequence and symbolwise Monte-Carlo builds through the
+///        cache), the NoC queueing model + flit-level DES cross-check,
+///        the hybrid system and the coding planner, in about a second.
+///        Not covered here (see tests/benches): LDPC BER simulation,
+///        VNA impulse-response extraction, ISI filter optimisation.
+///        Non-zero exit on any failed scenario.
+
 #include <cstdio>
-#include "wi/rf/link_budget.hpp"
-#include "wi/rf/campaign.hpp"
-#include "wi/rf/vna.hpp"
-#include "wi/noc/queueing_model.hpp"
-#include "wi/comm/info_rate.hpp"
-#include "wi/comm/filter_design.hpp"
-#include "wi/fec/ber.hpp"
-using namespace wi;
+#include <iostream>
+
+#include "wi/sim/sim.hpp"
 
 int main() {
-  // --- Table I anchors ---
-  rf::LinkBudget lb;
-  std::printf("PL(0.1m)=%.2f dB (paper 59.8)\n", lb.path_loss_db(0.1));
-  std::printf("PL(0.3m)=%.2f dB (paper 69.3)\n", lb.path_loss_db(0.3));
-  std::printf("noise=%.2f dBm\n", lb.noise_power_dbm());
-  std::printf("PTX(snr=0,0.1m)=%.2f dBm  PTX(35,0.3m,butler)=%.2f dBm\n",
-    lb.required_tx_power_dbm(0,0.1,false), lb.required_tx_power_dbm(35,0.3,true));
-
-  // --- campaign fits ---
-  rf::CampaignConfig cc; cc.distances_m = rf::default_distance_grid_m();
-  cc.copper_boards=false;
-  auto fit_free = rf::run_and_fit(cc);
-  cc.copper_boards=true;
-  auto fit_cu = rf::run_and_fit(cc);
-  std::printf("fit free n=%.4f (2.000), copper n=%.4f (2.0454)\n", fit_free.exponent, fit_cu.exponent);
-
-  // --- impulse response reflections ---
-  rf::BoardToBoardScenario sc; sc.distance_m=0.05; sc.copper_boards=true;
-  auto ch = rf::board_to_board_channel(sc);
-  rf::SyntheticVna vna;
-  auto ir = rf::to_impulse_response(vna.measure(ch));
-  std::printf("worst reflection (taps)=%.1f dB, (ir)=%.1f dB (paper <= -15)\n",
-    ch.worst_reflection_rel_db(), rf::worst_reflection_rel_db(ir, 12));
-
-  // --- NoC anchors ---
-  using namespace noc;
-  DimensionOrderRouting dor;
-  auto eval_t = [&](const Topology& t){
-    QueueingModel m(t, dor, TrafficPattern::uniform(t.module_count()));
-    std::printf("%-22s zero-load=%.2f sat=%.3f\n", t.name().c_str(),
-      m.zero_load_latency_cycles(), m.saturation_rate());
+  using namespace wi::sim;
+  const auto& registry = ScenarioRegistry::paper();
+  SimEngine engine;
+  const std::vector<ScenarioSpec> specs = {
+      registry.get("table1_link_budget"),
+      registry.get("fig01_pathloss"),
+      registry.get("fig04_tx_power"),
+      registry.get("quickstart_link_rate"),
+      registry.get("board_links_plan"),
+      registry.get("fig08a_mesh2d_8x8"),
+      registry.get("fig08a_star_mesh_4x4c4"),
+      registry.get("fig08a_mesh3d_4x4x4"),
+      registry.get("ablation_vertical_links"),
+      registry.get("ablation_hybrid_system"),
+      registry.get("fig10_coding_plan"),
   };
-  eval_t(Topology::mesh_2d(8,8));
-  eval_t(Topology::star_mesh(4,4,4));
-  eval_t(Topology::mesh_3d(4,4,4));
-  eval_t(Topology::mesh_2d(32,16));
-  eval_t(Topology::mesh_3d(8,8,8));
-
-  // --- info rates at 25 dB ---
-  auto c4 = comm::Constellation::ask(4);
-  std::printf("MI unq(25dB)=%.3f  no-OS=%.3f\n",
-    comm::mi_unquantized_awgn(c4,25), comm::mi_one_bit_no_oversampling(c4,25));
-  comm::OneBitOsChannel rect(comm::IsiFilter::rectangular(5), c4, 25);
-  std::printf("rect sym=%.3f seq=%.3f\n", comm::mi_one_bit_symbolwise(rect),
-    comm::info_rate_one_bit_sequence(rect,{20000,3}));
-  comm::OneBitOsChannel fsym(comm::paper_filter_symbolwise(), c4, 25);
-  comm::OneBitOsChannel fseq(comm::paper_filter_sequence(), c4, 25);
-  std::printf("preset sym-filter symMI=%.3f | seq-filter seqIR=%.3f\n",
-    comm::mi_one_bit_symbolwise(fsym), comm::info_rate_one_bit_sequence(fseq,{20000,3}));
-
-  // --- LDPC ---
-  using namespace fec;
-  LdpcConvolutionalCode cc_code(EdgeSpreading::paper_example(), 40, 30, 5);
-  std::printf("CC: rate_as=%.3f rate_term=%.3f girth(H)=%zu\n",
-    cc_code.rate_asymptotic(), cc_code.rate_terminated(), cc_code.parity_check().girth());
-  BerConfig bc; bc.ebn0_db=3.0; bc.min_errors=50; bc.max_codewords=60;
-  auto r = simulate_ber_window(cc_code, 5, bc);
-  std::printf("CC W=5 BER@3dB=%.2e (%zu cw)\n", r.ber, r.codewords);
-  QcLdpcBlockCode bc_code(BaseMatrix({{4,4}}), 200, 7);
-  auto rb = simulate_ber_block(bc_code, bc);
-  std::printf("BC N=200 BER@3dB=%.2e girth=%zu\n", rb.ber, bc_code.parity_check().girth());
-  return 0;
+  const auto results = engine.run_all(specs);
+  int failures = 0;
+  for (const auto& result : results) {
+    print_result(std::cout, result);
+    std::cout << "\n";
+    if (!result.ok()) ++failures;
+  }
+  std::printf("phy curve cache: %zu hits / %zu misses\n",
+              engine.phy_cache().hits(), engine.phy_cache().misses());
+  std::printf("%zu scenarios, %d failed\n", results.size(), failures);
+  return failures == 0 ? 0 : 1;
 }
