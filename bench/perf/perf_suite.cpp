@@ -1,0 +1,188 @@
+/// \file perf_suite.cpp
+/// \brief Perf-regression suite for the two hot simulation kernels.
+///
+/// Every optimized kernel is benchmarked against its frozen
+/// pre-optimization twin from wi_perf_baseline in the same process, so
+/// the reported ratio is meaningful regardless of machine drift. Paper
+/// settings throughout: 4-ASK, M = 5, 20000-symbol Monte-Carlo runs for
+/// the sequence rate; the Fig. 8(a) 64-module mesh configurations for
+/// the flit simulator. bench_perf_suite --benchmark_min_time=0.01s is
+/// the CI smoke invocation; tools/perf_report turns the same kernels
+/// into BENCH_perf.json.
+
+#include <benchmark/benchmark.h>
+
+#include "baseline_kernels.hpp"
+#include "wi/comm/filter_design.hpp"
+#include "wi/comm/info_rate.hpp"
+#include "wi/core/phy_abstraction.hpp"
+#include "wi/noc/flit_sim.hpp"
+#include "wi/sim/sim.hpp"
+
+namespace {
+
+const wi::comm::Constellation& ask4() {
+  static const wi::comm::Constellation c = wi::comm::Constellation::ask(4);
+  return c;
+}
+
+wi::comm::SequenceRateOptions paper_options() {
+  wi::comm::SequenceRateOptions options;
+  options.symbols = 20000;  // PhyAbstraction's per-grid-point setting
+  options.seed = 7;
+  return options;
+}
+
+// --- info_rate_one_bit_sequence: 4-ASK, paper sequence filter, 25 dB ---
+
+void BM_SequenceInfoRate_Baseline(benchmark::State& state) {
+  const wi::comm::OneBitOsChannel channel(wi::comm::paper_filter_sequence(),
+                                          ask4(), 25.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        wi::perf_baseline::info_rate_one_bit_sequence(channel,
+                                                      paper_options()));
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_SequenceInfoRate_Baseline);
+
+void BM_SequenceInfoRate_Optimized(benchmark::State& state) {
+  const wi::comm::OneBitOsChannel channel(wi::comm::paper_filter_sequence(),
+                                          ask4(), 25.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        wi::comm::info_rate_one_bit_sequence(channel, paper_options()));
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_SequenceInfoRate_Optimized);
+
+void BM_SequenceInfoRate_ColdTape(benchmark::State& state) {
+  // A fresh seed per iteration defeats the memoized noise tape: this is
+  // the cost of the first call for a given (seed, symbols) pair.
+  const wi::comm::OneBitOsChannel channel(wi::comm::paper_filter_sequence(),
+                                          ask4(), 25.0);
+  std::uint64_t seed = 1000;
+  for (auto _ : state) {
+    wi::comm::SequenceRateOptions options = paper_options();
+    options.seed = ++seed;
+    benchmark::DoNotOptimize(
+        wi::comm::info_rate_one_bit_sequence(channel, options));
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_SequenceInfoRate_ColdTape);
+
+// --- mi_one_bit_symbolwise: 4-ASK, paper symbolwise filter, 25 dB ---
+
+void BM_SymbolwiseMi_Baseline(benchmark::State& state) {
+  const wi::comm::OneBitOsChannel channel(wi::comm::paper_filter_symbolwise(),
+                                          ask4(), 25.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        wi::perf_baseline::mi_one_bit_symbolwise(channel));
+  }
+}
+BENCHMARK(BM_SymbolwiseMi_Baseline);
+
+void BM_SymbolwiseMi_Optimized(benchmark::State& state) {
+  const wi::comm::OneBitOsChannel channel(wi::comm::paper_filter_symbolwise(),
+                                          ask4(), 25.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wi::comm::mi_one_bit_symbolwise(channel));
+  }
+}
+BENCHMARK(BM_SymbolwiseMi_Optimized);
+
+// --- simulate_network: Fig. 8(a) 64-module configurations ---
+
+wi::noc::FlitSimConfig fig08a_config() {
+  // The SimEngine DES cross-check settings for fig08a_mesh3d_4x4x4.
+  wi::noc::FlitSimConfig config;
+  config.warmup_cycles = 2000;
+  config.measure_cycles = 8000;
+  config.seed = 1;
+  return config;
+}
+
+void BM_FlitSimMesh3d64_Baseline(benchmark::State& state) {
+  const wi::noc::Topology topo = wi::noc::Topology::mesh_3d(4, 4, 4);
+  const wi::noc::DimensionOrderRouting routing;
+  const wi::noc::TrafficPattern traffic = wi::noc::TrafficPattern::uniform(64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wi::perf_baseline::simulate_network(
+        topo, routing, traffic, 0.3, fig08a_config()));
+  }
+}
+BENCHMARK(BM_FlitSimMesh3d64_Baseline);
+
+void BM_FlitSimMesh3d64_Optimized(benchmark::State& state) {
+  const wi::noc::Topology topo = wi::noc::Topology::mesh_3d(4, 4, 4);
+  const wi::noc::DimensionOrderRouting routing;
+  const wi::noc::TrafficPattern traffic = wi::noc::TrafficPattern::uniform(64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wi::noc::simulate_network(
+        topo, routing, traffic, 0.3, fig08a_config()));
+  }
+}
+BENCHMARK(BM_FlitSimMesh3d64_Optimized);
+
+void BM_FlitSimMesh2d64_Baseline(benchmark::State& state) {
+  const wi::noc::Topology topo = wi::noc::Topology::mesh_2d(8, 8);
+  const wi::noc::DimensionOrderRouting routing;
+  const wi::noc::TrafficPattern traffic = wi::noc::TrafficPattern::uniform(64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wi::perf_baseline::simulate_network(
+        topo, routing, traffic, 0.2, fig08a_config()));
+  }
+}
+BENCHMARK(BM_FlitSimMesh2d64_Baseline);
+
+void BM_FlitSimMesh2d64_Optimized(benchmark::State& state) {
+  const wi::noc::Topology topo = wi::noc::Topology::mesh_2d(8, 8);
+  const wi::noc::DimensionOrderRouting routing;
+  const wi::noc::TrafficPattern traffic = wi::noc::TrafficPattern::uniform(64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wi::noc::simulate_network(
+        topo, routing, traffic, 0.2, fig08a_config()));
+  }
+}
+BENCHMARK(BM_FlitSimMesh2d64_Optimized);
+
+// --- end-to-end: PhyAbstraction SNR-curve build and a SimEngine sweep ---
+
+void BM_PhyAbstractionBuild_Serial(benchmark::State& state) {
+  for (auto _ : state) {
+    wi::core::PhyAbstraction phy(wi::core::PhyReceiver::kOneBitSequence,
+                                 25e9, 2, 1);
+    benchmark::DoNotOptimize(phy.info_rate_bpcu(25.0));
+  }
+}
+BENCHMARK(BM_PhyAbstractionBuild_Serial);
+
+void BM_PhyAbstractionBuild_Parallel(benchmark::State& state) {
+  for (auto _ : state) {
+    wi::core::PhyAbstraction phy(wi::core::PhyReceiver::kOneBitSequence,
+                                 25e9, 2, 0);
+    benchmark::DoNotOptimize(phy.info_rate_bpcu(25.0));
+  }
+}
+BENCHMARK(BM_PhyAbstractionBuild_Parallel);
+
+void BM_EngineNocSweep(benchmark::State& state) {
+  // End-to-end declarative path: Fig. 8(a) queueing-model latency table
+  // for the 8x8 mesh (analytic model; no DES) through SimEngine.
+  const wi::sim::ScenarioRegistry registry = wi::sim::ScenarioRegistry::paper();
+  const wi::sim::ScenarioSpec spec = registry.get("fig08a_mesh2d_8x8");
+  for (auto _ : state) {
+    wi::sim::SimEngine engine;
+    const wi::sim::RunResult result = engine.run(spec);
+    benchmark::DoNotOptimize(result.table.rows());
+  }
+}
+BENCHMARK(BM_EngineNocSweep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

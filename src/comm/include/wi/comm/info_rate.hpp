@@ -54,6 +54,13 @@ struct SequenceRateOptions {
 /// Simulation-based information rate lim (1/n) I(X; Y) for i.u.d.
 /// inputs (sequence estimation bound): H(Y) by the normalised forward
 /// recursion over the ISI state trellis, H(Y|X) in closed form.
+///
+/// The Monte-Carlo randomness (symbol stream + raw noise draws) depends
+/// only on (seed, symbols, constellation order, M) and is memoized
+/// process-wide, so sweeping SNR or the ISI filter at a fixed seed —
+/// e.g. a PhyAbstraction curve build — pays the simulation cost once.
+/// Results are bit-identical to an unmemoized run and the function is
+/// safe to call concurrently.
 [[nodiscard]] double info_rate_one_bit_sequence(
     const OneBitOsChannel& channel, const SequenceRateOptions& options = {});
 

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
 #include <vector>
 
 #include "wi/common/math.hpp"
@@ -9,11 +13,173 @@
 
 namespace wi::comm {
 
+namespace {
+
+/// Flat per-branch tables shared by the one-bit information-rate
+/// kernels. A branch b = state * order + input is also the index of the
+/// symbol window [input, state digits...] (current symbol in the lowest
+/// base-`order` digit), so the trellis branches and the exhaustive
+/// window enumerations of the exact computations coincide.
+struct KernelTables {
+  std::size_t m = 0;         ///< samples per symbol
+  std::size_t order = 0;     ///< constellation order
+  std::size_t span = 0;      ///< filter span [symbols]
+  std::size_t states = 0;    ///< order^(span-1)
+  std::size_t branches = 0;  ///< states * order = order^span
+  std::vector<double> z;     ///< [b*m + s] noiseless samples
+  std::vector<double> p1;    ///< [b*m + s] P(y_s = 1 | branch)
+  std::vector<std::uint32_t> next;  ///< [b] successor state
+};
+
+KernelTables build_kernel_tables(const OneBitOsChannel& channel) {
+  KernelTables t;
+  t.m = channel.samples_per_symbol();
+  t.order = channel.constellation().order();
+  t.span = channel.filter().span_symbols();
+  t.states = channel.state_count();
+  t.branches = t.states * t.order;
+  t.z.resize(t.branches * t.m);
+  t.p1.resize(t.branches * t.m);
+  t.next.resize(t.branches);
+  std::vector<std::size_t> window(t.span);
+  for (std::size_t state = 0; state < t.states; ++state) {
+    for (std::size_t input = 0; input < t.order; ++input) {
+      window[0] = input;
+      std::size_t rem = state;
+      for (std::size_t k = 1; k < t.span; ++k) {
+        window[k] = rem % t.order;
+        rem /= t.order;
+      }
+      const std::vector<double> z = channel.noiseless_block(window);
+      const std::size_t b = state * t.order + input;
+      for (std::size_t s = 0; s < t.m; ++s) {
+        t.z[b * t.m + s] = z[s];
+        t.p1[b * t.m + s] = channel.sample_one_prob(z[s]);
+      }
+      // Next state: shift input into the most-recent digit.
+      std::size_t next = input;
+      std::size_t mult = t.order;
+      rem = state;
+      for (std::size_t k = 1; k + 1 < t.span; ++k) {
+        next += (rem % t.order) * mult;
+        mult *= t.order;
+        rem /= t.order;
+      }
+      t.next[b] = static_cast<std::uint32_t>(t.span > 1 ? next : 0);
+    }
+  }
+  return t;
+}
+
+/// Expands the m per-sample probabilities of one branch into the 2^m
+/// output-pattern probabilities. The doubling order multiplies factors
+/// for samples s = 0..m-1 starting from 1.0, which is exactly the
+/// multiplication sequence of the per-pattern product loop it replaces,
+/// so every table entry is bit-identical to the naive computation.
+void expand_emissions(const double* p1_row, std::size_t m, double* out) {
+  out[0] = 1.0;
+  std::size_t width = 1;
+  for (std::size_t s = 0; s < m; ++s) {
+    const double p = p1_row[s];
+    const double q = 1.0 - p;
+    for (std::size_t pat = 0; pat < width; ++pat) {
+      out[pat | width] = out[pat] * p;
+      out[pat] *= q;
+    }
+    width <<= 1;
+  }
+}
+
+/// H(Y|X) from the precomputed per-branch sample probabilities; the
+/// accumulation order (windows ascending, samples ascending) matches the
+/// direct window enumeration bit for bit.
+double conditional_entropy_from_tables(const KernelTables& t) {
+  double h = 0.0;
+  for (std::size_t b = 0; b < t.branches; ++b) {
+    for (std::size_t s = 0; s < t.m; ++s) {
+      h += binary_entropy(t.p1[b * t.m + s]);
+    }
+  }
+  return h / static_cast<double>(t.branches);
+}
+
+/// Recorded Monte-Carlo randomness of one simulated sequence: the i.u.d.
+/// symbol stream and the raw N(0,1) noise draws, in exactly the order
+/// OneBitOsChannel::simulate consumes them (one uniform_int per symbol,
+/// then m gaussians). The tape depends only on (seed, symbols, order, m)
+/// — not on the filter or the SNR — so one recording serves every grid
+/// point of a PhyAbstraction SNR curve and every Fig. 6 filter variant,
+/// removing the dominant transcendental cost (Box–Muller) from all but
+/// the first call while keeping each call's output bit-identical.
+struct NoiseTape {
+  std::vector<std::size_t> symbols;
+  std::vector<double> noise;  ///< [t*m + s] raw standard-normal draws
+};
+
+struct NoiseTapeKey {
+  std::uint64_t seed = 0;
+  std::size_t symbols = 0;
+  std::size_t order = 0;
+  std::size_t m = 0;
+  [[nodiscard]] bool operator==(const NoiseTapeKey&) const = default;
+};
+
+std::shared_ptr<const NoiseTape> record_noise_tape(const NoiseTapeKey& key) {
+  auto tape = std::make_shared<NoiseTape>();
+  tape->symbols.resize(key.symbols);
+  tape->noise.resize(key.symbols * key.m);
+  Rng rng(key.seed);
+  for (std::size_t t = 0; t < key.symbols; ++t) {
+    tape->symbols[t] = rng.uniform_int(key.order);
+    for (std::size_t s = 0; s < key.m; ++s) {
+      tape->noise[t * key.m + s] = rng.gaussian();
+    }
+  }
+  return tape;
+}
+
+std::shared_ptr<const NoiseTape> noise_tape(const NoiseTapeKey& key) {
+  // Total retained-draw budget across all cached tapes (~64 MB of
+  // noise). Oversized requests bypass the cache entirely; smaller ones
+  // evict oldest-first until the budget holds, so process-lifetime
+  // memory stays bounded by this single number.
+  constexpr std::size_t kMaxCachedDraws = std::size_t{8} << 20;
+  const std::size_t draws = key.symbols * key.m;
+  if (draws > kMaxCachedDraws) return record_noise_tape(key);
+
+  static std::mutex mutex;
+  static std::vector<std::pair<NoiseTapeKey, std::shared_ptr<const NoiseTape>>>
+      cache;
+  static std::size_t cached_draws = 0;
+  const std::lock_guard<std::mutex> lock(mutex);
+  for (const auto& entry : cache) {
+    if (entry.first == key) return entry.second;
+  }
+  // Building under the lock is deliberate: concurrent callers (the
+  // parallel PhyAbstraction grid build) almost always want the same key
+  // and would have to wait for the recording anyway.
+  auto tape = record_noise_tape(key);
+  while (!cache.empty() && cached_draws + draws > kMaxCachedDraws) {
+    cached_draws -= cache.front().second->noise.size();
+    cache.erase(cache.begin());
+  }
+  cached_draws += draws;
+  cache.emplace_back(key, tape);
+  return tape;
+}
+
+/// Emission tables larger than this many doubles (16 MB) fall back to
+/// the on-the-fly per-branch product; only huge oversampling factors
+/// (2^m patterns) are affected.
+constexpr std::size_t kMaxEmissionTableDoubles = std::size_t{1} << 21;
+
+}  // namespace
+
 double mi_unquantized_awgn(const Constellation& constellation, double snr_db,
                            std::size_t nodes) {
   const double sigma = noise_std_for_snr_db(snr_db);
   const std::size_t order = constellation.order();
-  const GaussHermiteRule rule = gauss_hermite(nodes);
+  const GaussHermiteRule& rule = gauss_hermite_cached(nodes);
   const double inv_sqrt_pi = 1.0 / std::sqrt(M_PI);
 
   // I = log2(M) - (1/M) sum_i E_n[ log2 sum_j exp(-((x_i-x_j)^2
@@ -65,42 +231,36 @@ double mi_one_bit_no_oversampling(const Constellation& constellation,
 }
 
 double mi_one_bit_symbolwise(const OneBitOsChannel& channel) {
-  const std::size_t m = channel.samples_per_symbol();
-  const std::size_t order = channel.constellation().order();
-  const std::size_t patterns = std::size_t{1} << m;
-  const auto windows = channel.all_windows();
-  const double window_weight = 1.0 / static_cast<double>(windows.size());
+  const KernelTables t = build_kernel_tables(channel);
+  const std::size_t patterns = std::size_t{1} << t.m;
+  const double order_d = static_cast<double>(t.order);
+  const double window_weight = 1.0 / static_cast<double>(t.branches);
 
-  // P(y | x_t = a): marginalise the span-1 interfering symbols.
-  std::vector<std::vector<double>> p_y_given_a(
-      order, std::vector<double>(patterns, 0.0));
-  for (const auto& window : windows) {
-    const std::vector<double> z = channel.noiseless_block(window);
-    std::vector<double> p1(m);
-    for (std::size_t s = 0; s < m; ++s) p1[s] = channel.sample_one_prob(z[s]);
+  // P(y | x_t = a): marginalise the span-1 interfering symbols. One
+  // doubling expansion per window replaces the 2^m * m product loop.
+  std::vector<double> emit(patterns);
+  std::vector<double> p_y_given_a(t.order * patterns, 0.0);
+  for (std::size_t b = 0; b < t.branches; ++b) {
+    expand_emissions(&t.p1[b * t.m], t.m, emit.data());
+    // Weight by the probability of the interfering symbols
+    // (window_weight * order accounts for conditioning on x_t).
+    double* dst = &p_y_given_a[(b % t.order) * patterns];
     for (std::size_t pat = 0; pat < patterns; ++pat) {
-      double prob = 1.0;
-      for (std::size_t s = 0; s < m; ++s) {
-        prob *= ((pat >> s) & 1u) ? p1[s] : (1.0 - p1[s]);
-      }
-      // Weight by the probability of the interfering symbols
-      // (window_weight * order accounts for conditioning on x_t).
-      p_y_given_a[window[0]][pat] +=
-          prob * window_weight * static_cast<double>(order);
+      dst[pat] += emit[pat] * window_weight * order_d;
     }
   }
   std::vector<double> p_y(patterns, 0.0);
-  for (std::size_t a = 0; a < order; ++a) {
+  for (std::size_t a = 0; a < t.order; ++a) {
     for (std::size_t pat = 0; pat < patterns; ++pat) {
-      p_y[pat] += p_y_given_a[a][pat] / static_cast<double>(order);
+      p_y[pat] += p_y_given_a[a * patterns + pat] / order_d;
     }
   }
   double mi = 0.0;
-  for (std::size_t a = 0; a < order; ++a) {
+  for (std::size_t a = 0; a < t.order; ++a) {
     for (std::size_t pat = 0; pat < patterns; ++pat) {
-      const double p = p_y_given_a[a][pat];
+      const double p = p_y_given_a[a * patterns + pat];
       if (p > 0.0 && p_y[pat] > 0.0) {
-        mi += (p / static_cast<double>(order)) * std::log2(p / p_y[pat]);
+        mi += (p / order_d) * std::log2(p / p_y[pat]);
       }
     }
   }
@@ -108,86 +268,120 @@ double mi_one_bit_symbolwise(const OneBitOsChannel& channel) {
 }
 
 double conditional_entropy_rate(const OneBitOsChannel& channel) {
-  const auto windows = channel.all_windows();
-  const std::size_t m = channel.samples_per_symbol();
-  double h = 0.0;
-  for (const auto& window : windows) {
-    const std::vector<double> z = channel.noiseless_block(window);
-    for (std::size_t s = 0; s < m; ++s) {
-      h += binary_entropy(channel.sample_one_prob(z[s]));
-    }
-  }
-  return h / static_cast<double>(windows.size());
+  return conditional_entropy_from_tables(build_kernel_tables(channel));
 }
 
 double info_rate_one_bit_sequence(const OneBitOsChannel& channel,
                                   const SequenceRateOptions& options) {
-  const std::size_t order = channel.constellation().order();
-  const std::size_t span = channel.filter().span_symbols();
-  const std::size_t states = channel.state_count();
-  const std::size_t m = channel.samples_per_symbol();
+  const KernelTables t = build_kernel_tables(channel);
+  const std::size_t m = t.m;
+  const std::size_t order = t.order;
+  const std::size_t states = t.states;
+  const std::size_t branches = t.branches;
+  const std::size_t patterns = std::size_t{1} << m;
+  const double input_prob = 1.0 / static_cast<double>(order);
 
-  // Pre-compute per-branch sample probabilities: branch = (state, input)
-  // with state encoding the span-1 previous symbols (most recent in the
-  // lowest digit). The emitted window is [input, state digits...].
-  const std::size_t branches = states * order;
-  std::vector<std::vector<double>> branch_p1(branches, std::vector<double>(m));
-  std::vector<std::size_t> branch_next(branches);
-  {
-    std::vector<std::size_t> window(span);
-    for (std::size_t state = 0; state < states; ++state) {
-      for (std::size_t input = 0; input < order; ++input) {
-        window[0] = input;
-        std::size_t rem = state;
-        for (std::size_t k = 1; k < span; ++k) {
-          window[k] = rem % order;
-          rem /= order;
-        }
-        const std::vector<double> z = channel.noiseless_block(window);
-        const std::size_t b = state * order + input;
-        for (std::size_t s = 0; s < m; ++s) {
-          branch_p1[b][s] = channel.sample_one_prob(z[s]);
-        }
-        // Next state: shift input into the most-recent digit.
-        std::size_t next = input;
-        std::size_t mult = order;
-        rem = state;
-        for (std::size_t k = 1; k + 1 < span; ++k) {
-          next += (rem % order) * mult;
-          mult *= order;
-          rem /= order;
-        }
-        branch_next[b] = (span > 1) ? next : 0;
+  // Replay (or record) the Monte-Carlo randomness; the received pattern
+  // for each symbol is rebuilt on the fly for this channel's noise
+  // level, y = z + sigma * n, with the same arithmetic
+  // OneBitOsChannel::simulate uses, so the pattern stream is
+  // bit-identical to a fresh simulation.
+  const std::shared_ptr<const NoiseTape> tape =
+      noise_tape({options.seed, options.symbols, order, m});
+  const double noise_std = channel.noise_std();
+
+  // Group the branches by successor state (ascending branch order, which
+  // is exactly the accumulation order of the state-major loop this
+  // replaces) and expand the per-branch emission probabilities over all
+  // 2^m patterns, so the forward-recursion inner loop is a contiguous
+  // fan-in reduction of table lookups.
+  const bool use_table = patterns <= kMaxEmissionTableDoubles / branches;
+  const std::size_t fan_in = order;  // branches / states
+  std::vector<std::uint32_t> contrib_state(branches);
+  std::vector<double> emit_table;
+  std::vector<double> emit_scratch(use_table ? patterns : 0);
+  if (use_table) {
+    emit_table.resize(patterns * branches);
+    std::vector<std::size_t> fill(states, 0);
+    for (std::size_t b = 0; b < branches; ++b) {
+      const std::size_t slot = t.next[b] * fan_in + fill[t.next[b]]++;
+      contrib_state[slot] = static_cast<std::uint32_t>(b / order);
+      expand_emissions(&t.p1[b * m], m, emit_scratch.data());
+      for (std::size_t pat = 0; pat < patterns; ++pat) {
+        emit_table[pat * branches + slot] = emit_scratch[pat];
       }
     }
   }
 
-  Rng rng(options.seed);
-  const auto sim = channel.simulate(options.symbols, rng);
-
-  // Normalised forward recursion over the hidden state for H(Y).
-  std::vector<double> alpha(states, 1.0 / static_cast<double>(states));
+  // Normalised forward recursion over the hidden state for H(Y). Only
+  // alpha * input_prob is ever consumed, so the scaled vector is carried
+  // directly; the division by the per-step norm and the scaling stay
+  // separate operations in the original order, keeping every
+  // intermediate bit-identical to the unfused recursion.
+  const IsiFilter& filter = channel.filter();
+  const Constellation& constellation = channel.constellation();
+  std::vector<double> startup_window(t.span, 0.0);
+  std::vector<double> a_ip(states, (1.0 / static_cast<double>(states)) *
+                                       input_prob);
   std::vector<double> next_alpha(states);
   double log2_py = 0.0;
-  const double input_prob = 1.0 / static_cast<double>(order);
-  for (std::size_t t = 0; t < options.symbols; ++t) {
-    const std::uint32_t pattern = sim.patterns[t];
-    std::fill(next_alpha.begin(), next_alpha.end(), 0.0);
-    for (std::size_t state = 0; state < states; ++state) {
-      const double a = alpha[state];
-      if (a <= 0.0) continue;
-      for (std::size_t input = 0; input < order; ++input) {
-        const std::size_t b = state * order + input;
-        double prob = 1.0;
-        const auto& p1 = branch_p1[b];
-        for (std::size_t s = 0; s < m; ++s) {
-          prob *= ((pattern >> s) & 1u) ? p1[s] : (1.0 - p1[s]);
-        }
-        next_alpha[branch_next[b]] += a * input_prob * prob;
+  std::size_t idx = 0;
+  for (std::size_t tt = 0; tt < options.symbols; ++tt) {
+    // Rebuild this symbol's received 1-bit pattern from the tape.
+    const std::size_t sym = tape->symbols[tt];
+    idx = sym + order * (idx % states);
+    const double* noise = &tape->noise[tt * m];
+    std::uint32_t pattern = 0;
+    if (tt + 1 < t.span) {
+      // Zero-padded start-up (pre-start symbols have amplitude 0, which
+      // is not a constellation level): compute directly.
+      for (std::size_t k = t.span - 1; k > 0; --k) {
+        startup_window[k] = startup_window[k - 1];
+      }
+      startup_window[0] = constellation.level(sym);
+      for (std::size_t s = 0; s < m; ++s) {
+        const double y = filter.noiseless_sample(startup_window, s) +
+                         noise_std * noise[s];
+        if (y > 0.0) pattern |= (1u << s);
+      }
+    } else {
+      const double* zrow = &t.z[idx * m];
+      for (std::size_t s = 0; s < m; ++s) {
+        const double y = zrow[s] + noise_std * noise[s];
+        if (y > 0.0) pattern |= (1u << s);
       }
     }
+
     double norm = 0.0;
-    for (const double v : next_alpha) norm += v;
+    if (use_table) {
+      const double* row = &emit_table[pattern * branches];
+      for (std::size_t j = 0; j < states; ++j) {
+        const std::size_t base = j * fan_in;
+        double acc = 0.0;
+        for (std::size_t h = 0; h < fan_in; ++h) {
+          acc += a_ip[contrib_state[base + h]] * row[base + h];
+        }
+        next_alpha[j] = acc;
+        norm += acc;
+      }
+    } else {
+      // Large-m fallback: per-branch product, as before the table-ization.
+      std::fill(next_alpha.begin(), next_alpha.end(), 0.0);
+      for (std::size_t state = 0; state < states; ++state) {
+        const double a = a_ip[state];
+        if (a <= 0.0) continue;
+        for (std::size_t input = 0; input < order; ++input) {
+          const std::size_t b = state * order + input;
+          double prob = 1.0;
+          const double* p1 = &t.p1[b * m];
+          for (std::size_t s = 0; s < m; ++s) {
+            prob *= ((pattern >> s) & 1u) ? p1[s] : (1.0 - p1[s]);
+          }
+          next_alpha[t.next[b]] += a * prob;
+        }
+      }
+      for (const double v : next_alpha) norm += v;
+    }
     if (norm <= 0.0) {
       // Numerically impossible pattern (can only happen at extreme SNR);
       // restart the recursion from the uniform state distribution.
@@ -197,11 +391,11 @@ double info_rate_one_bit_sequence(const OneBitOsChannel& channel,
     }
     log2_py += std::log2(norm);
     for (std::size_t state = 0; state < states; ++state) {
-      alpha[state] = next_alpha[state] / norm;
+      a_ip[state] = (next_alpha[state] / norm) * input_prob;
     }
   }
   const double h_y = -log2_py / static_cast<double>(options.symbols);
-  const double h_y_given_x = conditional_entropy_rate(channel);
+  const double h_y_given_x = conditional_entropy_from_tables(t);
   const double rate = h_y - h_y_given_x;
   return std::clamp(rate, 0.0,
                     std::log2(static_cast<double>(order)));

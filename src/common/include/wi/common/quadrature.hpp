@@ -23,6 +23,12 @@ struct GaussHermiteRule {
 /// polynomials (Golub–Welsch-equivalent accuracy for n <= 128).
 [[nodiscard]] GaussHermiteRule gauss_hermite(std::size_t n);
 
+/// Thread-safe memoized rule keyed by node count: the Newton solve is
+/// O(n^2 * iterations) and the hot callers (mi_unquantized_awgn on every
+/// SNR-grid point) always reuse the same handful of n values. The
+/// returned reference stays valid for the lifetime of the process.
+[[nodiscard]] const GaussHermiteRule& gauss_hermite_cached(std::size_t n);
+
 /// E[g(Z)] for Z ~ N(mean, stddev^2) using an n-point rule.
 [[nodiscard]] double gaussian_expectation(
     const std::function<double(double)>& g, double mean, double stddev,

@@ -1,6 +1,8 @@
 #include "wi/common/quadrature.hpp"
 
 #include <cmath>
+#include <map>
+#include <mutex>
 #include <stdexcept>
 
 #include "wi/common/constants.hpp"
@@ -65,9 +67,23 @@ GaussHermiteRule gauss_hermite(std::size_t n) {
   return rule;
 }
 
+const GaussHermiteRule& gauss_hermite_cached(std::size_t n) {
+  // std::map node handles are address-stable, so returned references
+  // outlive later insertions. The (sub-millisecond, once-per-n) Newton
+  // solve deliberately runs under the lock: concurrent first callers
+  // almost always want the same n and must wait for it anyway, and the
+  // simple critical section guarantees each rule is built exactly once.
+  static std::mutex mutex;
+  static std::map<std::size_t, GaussHermiteRule> cache;
+  const std::lock_guard<std::mutex> lock(mutex);
+  const auto it = cache.find(n);
+  if (it != cache.end()) return it->second;
+  return cache.emplace(n, gauss_hermite(n)).first->second;
+}
+
 double gaussian_expectation(const std::function<double(double)>& g,
                             double mean, double stddev, std::size_t n) {
-  const GaussHermiteRule rule = gauss_hermite(n);
+  const GaussHermiteRule& rule = gauss_hermite_cached(n);
   const double inv_sqrt_pi = 1.0 / std::sqrt(kPi);
   double sum = 0.0;
   for (std::size_t i = 0; i < n; ++i) {

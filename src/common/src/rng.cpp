@@ -2,8 +2,6 @@
 
 #include <cmath>
 
-#include "wi/common/constants.hpp"
-
 namespace wi {
 namespace {
 
@@ -15,10 +13,6 @@ std::uint64_t splitmix64(std::uint64_t& x) {
   return z ^ (z >> 31);
 }
 
-std::uint64_t rotl(std::uint64_t x, int k) {
-  return (x << k) | (x >> (64 - k));
-}
-
 }  // namespace
 
 void Rng::reseed(std::uint64_t seed) {
@@ -26,62 +20,6 @@ void Rng::reseed(std::uint64_t seed) {
   for (auto& s : s_) s = splitmix64(sm);
   has_cached_gaussian_ = false;
 }
-
-std::uint64_t Rng::next() {
-  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = rotl(s_[3], 45);
-  return result;
-}
-
-double Rng::uniform() {
-  // 53 random mantissa bits -> double in [0,1).
-  return static_cast<double>(next() >> 11) * 0x1.0p-53;
-}
-
-double Rng::uniform(double lo, double hi) {
-  return lo + (hi - lo) * uniform();
-}
-
-std::uint64_t Rng::uniform_int(std::uint64_t n) {
-  // Lemire's unbiased bounded generation (rejection on the tail).
-  const std::uint64_t threshold = (0 - n) % n;
-  for (;;) {
-    const std::uint64_t r = next();
-    const __uint128_t m = static_cast<__uint128_t>(r) * n;
-    if (static_cast<std::uint64_t>(m) >= threshold) {
-      return static_cast<std::uint64_t>(m >> 64);
-    }
-  }
-}
-
-double Rng::gaussian() {
-  if (has_cached_gaussian_) {
-    has_cached_gaussian_ = false;
-    return cached_gaussian_;
-  }
-  // Box–Muller; u1 is kept away from 0 to avoid log(0).
-  double u1 = 0.0;
-  do {
-    u1 = uniform();
-  } while (u1 <= 1e-300);
-  const double u2 = uniform();
-  const double radius = std::sqrt(-2.0 * std::log(u1));
-  cached_gaussian_ = radius * std::sin(kTwoPi * u2);
-  has_cached_gaussian_ = true;
-  return radius * std::cos(kTwoPi * u2);
-}
-
-double Rng::gaussian(double mean, double stddev) {
-  return mean + stddev * gaussian();
-}
-
-bool Rng::bernoulli(double p) { return uniform() < p; }
 
 std::uint64_t Rng::poisson(double mean) {
   if (mean <= 0.0) return 0;

@@ -30,9 +30,15 @@ class PhyAbstraction {
  public:
   /// Builds (or interpolates) the rate curve for the chosen receiver.
   /// The curve is computed once at construction over snr_grid_db.
+  ///
+  /// Each grid point is an independent, deterministically seeded
+  /// computation, so the build parallelizes across `threads` workers
+  /// with bit-identical results at any thread count (0 = one worker per
+  /// hardware thread, capped at the grid size; 1 = serial).
   explicit PhyAbstraction(PhyReceiver receiver,
                           double bandwidth_hz = 25e9,
-                          std::size_t polarizations = 2);
+                          std::size_t polarizations = 2,
+                          std::size_t threads = 0);
 
   /// Information rate [bit/channel use] at an SNR (linear interpolation
   /// on the precomputed grid, clamped at the ends).
@@ -47,6 +53,15 @@ class PhyAbstraction {
   [[nodiscard]] PhyReceiver receiver() const { return receiver_; }
   [[nodiscard]] double bandwidth_hz() const { return bandwidth_hz_; }
   [[nodiscard]] std::size_t polarizations() const { return polarizations_; }
+
+  /// The precomputed curve (for tests and serialization): SNR grid [dB]
+  /// and the monotonized information rate [bpcu] at each grid point.
+  [[nodiscard]] const std::vector<double>& snr_grid_db() const {
+    return snr_grid_db_;
+  }
+  [[nodiscard]] const std::vector<double>& rate_curve_bpcu() const {
+    return rate_bpcu_;
+  }
 
  private:
   PhyReceiver receiver_;

@@ -1,7 +1,12 @@
 #include "wi/core/phy_abstraction.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <exception>
 #include <limits>
+#include <mutex>
+#include <thread>
 
 #include "wi/common/math.hpp"
 #include "wi/comm/info_rate.hpp"
@@ -24,13 +29,19 @@ comm::IsiFilter filter_for(PhyReceiver receiver) {
 }  // namespace
 
 PhyAbstraction::PhyAbstraction(PhyReceiver receiver, double bandwidth_hz,
-                               std::size_t polarizations)
+                               std::size_t polarizations,
+                               std::size_t threads)
     : receiver_(receiver), bandwidth_hz_(bandwidth_hz),
       polarizations_(polarizations) {
   snr_grid_db_ = linspace(-5.0, 35.0, 17);
-  rate_bpcu_.reserve(snr_grid_db_.size());
+  rate_bpcu_.assign(snr_grid_db_.size(), 0.0);
   const comm::Constellation constellation = comm::Constellation::ask(4);
-  for (const double snr : snr_grid_db_) {
+  // One grid point: a self-contained, deterministically seeded
+  // computation (the sequence receivers run their Monte-Carlo with the
+  // options' fixed seed), so points can execute in any order and on any
+  // thread with bit-identical results.
+  auto compute_point = [&](std::size_t i) {
+    const double snr = snr_grid_db_[i];
     double rate = 0.0;
     switch (receiver_) {
       case PhyReceiver::kUnquantized:
@@ -52,7 +63,40 @@ PhyAbstraction::PhyAbstraction(PhyReceiver receiver, double bandwidth_hz,
         break;
       }
     }
-    rate_bpcu_.push_back(rate);
+    rate_bpcu_[i] = rate;
+  };
+
+  std::size_t workers = threads;
+  if (workers == 0) {
+    workers = std::thread::hardware_concurrency();
+    if (workers == 0) workers = 1;
+  }
+  workers = std::min(workers, snr_grid_db_.size());
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < snr_grid_db_.size(); ++i) compute_point(i);
+  } else {
+    // Work stealing over the grid; each point writes only its own slot.
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+    auto worker = [&]() {
+      while (true) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= snr_grid_db_.size()) break;
+        try {
+          compute_point(i);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!error) error = std::current_exception();
+        }
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (std::size_t t = 0; t + 1 < workers; ++t) pool.emplace_back(worker);
+    worker();
+    for (auto& thread : pool) thread.join();
+    if (error) std::rethrow_exception(error);
   }
   // Enforce monotonicity (Monte-Carlo jitter) so required_snr_db is
   // well defined.

@@ -7,6 +7,15 @@
 /// Poisson packet injection per module. One flit moves per output
 /// channel per cycle (per-channel bandwidth b moves up to b flits);
 /// router traversal adds a fixed pipeline delay.
+///
+/// Engineered for throughput: preallocated ring-buffer FIFOs, hoisted
+/// per-output bandwidth budgets, and an up-front
+/// (router, dst_router) -> (link, output port) table replacing lazy
+/// routing calls. Results are deterministic per seed and bit-identical
+/// to the original deque-based implementation. Routing failures
+/// (unreachable pairs, inconsistent next hops) are recorded during
+/// table construction and thrown once as wi::StatusError the first time
+/// a flit actually needs the failed route.
 
 #include <cstdint>
 #include <vector>

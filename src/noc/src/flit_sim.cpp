@@ -1,26 +1,170 @@
 #include "wi/noc/flit_sim.hpp"
 
-#include <deque>
+#include <algorithm>
+#include <cstring>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "wi/common/rng.hpp"
+#include "wi/common/status.hpp"
 
 namespace wi::noc {
 
 namespace {
 
+/// 32 bytes (half a cache line): the simulator copies flits on every
+/// hop, so keeping them small is worth the narrower router index.
 struct Flit {
-  std::size_t dst_router = 0;
-  std::size_t dst_module = 0;
+  std::uint32_t dst_router = 0;
+  std::uint32_t dst_module = 0;
   std::uint64_t inject_cycle = 0;
-  bool measured = false;
   std::uint64_t ready_cycle = 0;  ///< earliest cycle it can move again
+  bool measured = false;
 };
 
-/// One FIFO per channel (plus per-router injection FIFOs).
-struct Queue {
-  std::deque<Flit> flits;
+/// Preallocated power-of-two ring buffer FIFO. Channel queues never
+/// outgrow the configured buffer depth; injection queues double on
+/// demand (amortised O(1), no per-flit allocation in steady state).
+///
+/// The head flit's ready cycle is mirrored into the ring header (with
+/// "never" for an empty ring), so the switch-allocation scan decides
+/// "can anything move here?" from one contiguous load instead of
+/// chasing into the slot storage every cycle.
+class FlitRing {
+ public:
+  static constexpr std::uint64_t kNeverReady =
+      ~static_cast<std::uint64_t>(0);
+
+  void reserve_pow2(std::size_t min_capacity) {
+    std::size_t cap = 1;
+    while (cap < min_capacity) cap <<= 1;
+    slots_.resize(cap);
+  }
+
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// Ready cycle of the head flit; kNeverReady when empty.
+  [[nodiscard]] std::uint64_t head_ready() const { return head_ready_; }
+
+  [[nodiscard]] Flit& front() { return slots_[head_]; }
+
+  void pop_front() {
+    head_ = (head_ + 1) & (slots_.size() - 1);
+    --size_;
+    head_ready_ = size_ == 0 ? kNeverReady : slots_[head_].ready_cycle;
+  }
+
+  void push_back(const Flit& flit) {
+    if (size_ == slots_.size()) grow();
+    slots_[(head_ + size_) & (slots_.size() - 1)] = flit;
+    if (size_ == 0) head_ready_ = flit.ready_cycle;
+    ++size_;
+  }
+
+  /// Appends a copy of `flit` with a different ready cycle, writing the
+  /// tail slot directly (the forwarding hot path).
+  void push_back_rescheduled(const Flit& flit, std::uint64_t ready_cycle) {
+    if (size_ == slots_.size()) {
+      // `flit` may alias this ring's storage (self-loop link): copy
+      // before grow() reallocates the slots.
+      const Flit copy = flit;
+      grow();
+      push_back_rescheduled(copy, ready_cycle);
+      return;
+    }
+    Flit& slot = slots_[(head_ + size_) & (slots_.size() - 1)];
+    slot = flit;
+    slot.ready_cycle = ready_cycle;
+    if (size_ == 0) head_ready_ = ready_cycle;
+    ++size_;
+  }
+
+ private:
+  void grow() {
+    std::vector<Flit> bigger(slots_.empty() ? 16 : slots_.size() * 2);
+    for (std::size_t i = 0; i < size_; ++i) {
+      bigger[i] = slots_[(head_ + i) & (slots_.size() - 1)];
+    }
+    head_ = 0;
+    slots_.swap(bigger);
+  }
+
+  std::vector<Flit> slots_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::uint64_t head_ready_ = kNeverReady;
 };
+
+constexpr std::uint32_t kNoHop = 0xFFFFFFFFu;
+constexpr std::uint32_t kFailedHop = 0xFFFFFFFEu;
+
+/// Precomputed (router, dst_router) -> first-hop table. Routing
+/// failures are recorded once here and surfaced as a structured
+/// wi::Status the first time a flit actually needs the failed entry —
+/// matching the lazy cache's behaviour without re-invoking the routing
+/// function per flit.
+struct NextHop {
+  std::uint32_t link = kNoHop;       ///< link index
+  std::uint32_t out_index = kNoHop;  ///< local output port on the router
+};
+
+struct NextHopTable {
+  std::size_t routers = 0;
+  std::vector<NextHop> hops;  ///< [at*routers + dst], one 8-byte load
+  std::unordered_map<std::size_t, Status> failures;
+};
+
+NextHopTable build_next_hop_table(const Topology& topology,
+                                  const Routing& routing,
+                                  const std::vector<bool>& dst_used) {
+  const std::size_t routers = topology.router_count();
+  NextHopTable table;
+  table.routers = routers;
+  table.hops.assign(routers * routers, NextHop{});
+  for (std::size_t at = 0; at < routers; ++at) {
+    const auto& outs = topology.out_links(at);
+    for (std::size_t dst = 0; dst < routers; ++dst) {
+      if (at == dst || !dst_used[dst]) continue;
+      const std::size_t key = at * routers + dst;
+      Route route;
+      try {
+        route = routing.route(topology, at, dst);
+      } catch (const StatusError& e) {
+        table.hops[key].link = kFailedHop;
+        table.failures.emplace(key, e.status());
+        continue;
+      }
+      if (route.empty()) {
+        table.hops[key].link = kFailedHop;
+        table.failures.emplace(
+            key, Status(StatusCode::kExecutionError,
+                        "simulate_network: empty route for transit from "
+                        "router " + std::to_string(at) + " to " +
+                        std::to_string(dst)));
+        continue;
+      }
+      const std::size_t l = route.front();
+      // Bounded scan for the local output port; a next-hop link that is
+      // not an out-link of this router is a routing-function bug and is
+      // reported instead of running off the end of the port list.
+      std::size_t oi = 0;
+      while (oi < outs.size() && outs[oi] != l) ++oi;
+      if (oi == outs.size()) {
+        table.hops[key].link = kFailedHop;
+        table.failures.emplace(
+            key, Status(StatusCode::kExecutionError,
+                        "simulate_network: next-hop link " +
+                            std::to_string(l) + " is not an out-link of "
+                            "router " + std::to_string(at)));
+        continue;
+      }
+      table.hops[key].link = static_cast<std::uint32_t>(l);
+      table.hops[key].out_index = static_cast<std::uint32_t>(oi);
+    }
+  }
+  return table;
+}
 
 }  // namespace
 
@@ -36,40 +180,89 @@ FlitSimResult simulate_network(const Topology& topology,
     throw std::invalid_argument("simulate_network: traffic mismatch");
   }
 
-  // Per-destination cumulative distribution per source for fast sampling.
-  std::vector<std::vector<double>> cdf(modules, std::vector<double>(modules));
+  // Per-destination cumulative distribution per source (flat row-major)
+  // for fast sampling, plus the set of destination routers any flit can
+  // ever target (only those routes are precomputed).
+  std::vector<double> cdf(modules * modules);
+  std::vector<bool> dst_used(routers, false);
   for (std::size_t s = 0; s < modules; ++s) {
     double acc = 0.0;
     for (std::size_t d = 0; d < modules; ++d) {
-      acc += traffic.probability(s, d);
-      cdf[s][d] = acc;
+      const double p = traffic.probability(s, d);
+      acc += p;
+      cdf[s * modules + d] = acc;
+      if (p > 0.0) dst_used[topology.module_router(d)] = true;
     }
   }
+  // The sampler clamps to the last module when u exceeds the row total
+  // (floating-point shortfall), so its router must be routable too.
+  if (modules > 0) dst_used[topology.module_router(modules - 1)] = true;
 
-  // Next-hop lookup: for (router, dst_router) we ask the routing function
-  // on demand and cache the first link of the path.
-  std::vector<std::size_t> next_link_cache(routers * routers, Topology::npos);
-  auto next_link = [&](std::size_t at, std::size_t dst) {
-    std::size_t& cached = next_link_cache[at * routers + dst];
-    if (cached == Topology::npos) {
-      const Route r = routing.route(topology, at, dst);
-      cached = r.empty() ? Topology::npos : r.front();
-      if (r.empty()) {
-        throw std::logic_error("simulate_network: empty route for transit");
-      }
-    }
-    return cached;
-  };
+  std::vector<std::size_t> module_router(modules);
+  for (std::size_t d = 0; d < modules; ++d) {
+    module_router[d] = topology.module_router(d);
+  }
 
-  std::vector<Queue> channel_queue(channels);
-  std::vector<Queue> inject_queue(routers);
+  const NextHopTable next_hop =
+      build_next_hop_table(topology, routing, dst_used);
+
+  // Flat link -> destination-router lookup for the forwarding hot path.
+  std::vector<std::uint32_t> link_dst(channels);
+  for (std::size_t l = 0; l < channels; ++l) {
+    link_dst[l] = static_cast<std::uint32_t>(topology.link(l).dst);
+  }
+
+  // Preallocated FIFOs in one flat array — rings[0..channels) are the
+  // channel queues (bounded by the buffer depth), rings[channels + r] is
+  // router r's injection queue (starts small, doubles as needed).
+  std::vector<FlitRing> rings(channels + routers);
+  for (std::size_t l = 0; l < channels; ++l) {
+    rings[l].reserve_pow2(std::min<std::size_t>(config.buffer_depth, 1024));
+  }
+  for (std::size_t r = 0; r < routers; ++r) {
+    rings[channels + r].reserve_pow2(16);
+  }
   std::vector<std::size_t> rr_state(routers, 0);  // round-robin pointer
+  // Queued-flit count per router (injection + incoming channels): lets
+  // the switch-allocation loop skip idle routers in O(1).
+  std::vector<std::uint32_t> occupancy(routers, 0);
 
-  // Incoming channel list per router.
+  // Flat per-router input-ring list: slot 0 is the injection queue,
+  // then the incoming channels in link order (the same round-robin
+  // order as scanning a per-router channel list).
   std::vector<std::vector<std::size_t>> in_channels(routers);
   for (std::size_t l = 0; l < channels; ++l) {
     in_channels[topology.link(l).dst].push_back(l);
   }
+  std::vector<std::uint32_t> input_ids;
+  input_ids.reserve(routers + channels);
+  std::vector<std::size_t> input_offset(routers + 1, 0);
+  for (std::size_t r = 0; r < routers; ++r) {
+    input_offset[r] = input_ids.size();
+    input_ids.push_back(static_cast<std::uint32_t>(channels + r));
+    for (const std::size_t l : in_channels[r]) {
+      input_ids.push_back(static_cast<std::uint32_t>(l));
+    }
+  }
+  input_offset[routers] = input_ids.size();
+
+  // Per-output-channel bandwidth budgets, hoisted out of the cycle loop:
+  // one flat template refreshed into a scratch buffer per busy router.
+  std::vector<std::size_t> budget_offset(routers + 1, 0);
+  for (std::size_t r = 0; r < routers; ++r) {
+    budget_offset[r + 1] = budget_offset[r] + topology.out_links(r).size();
+  }
+  std::vector<int> budget_template(budget_offset[routers]);
+  std::size_t max_outs = 0;
+  for (std::size_t r = 0; r < routers; ++r) {
+    const auto& outs = topology.out_links(r);
+    max_outs = std::max(max_outs, outs.size());
+    for (std::size_t i = 0; i < outs.size(); ++i) {
+      const int b = static_cast<int>(topology.link(outs[i]).bandwidth);
+      budget_template[budget_offset[r] + i] = b < 1 ? 1 : b;
+    }
+  }
+  std::vector<int> budget(max_outs);
 
   Rng rng(config.seed);
   FlitSimResult result;
@@ -90,16 +283,20 @@ FlitSimResult simulate_network(const Topology& topology,
       for (std::size_t m = 0; m < modules; ++m) {
         if (!rng.bernoulli(injection_rate)) continue;
         const double u = rng.uniform();
-        std::size_t d = 0;
-        while (d + 1 < modules && cdf[m][d] < u) ++d;
+        const double* row = &cdf[m * modules];
+        std::size_t d = static_cast<std::size_t>(
+            std::lower_bound(row, row + modules, u) - row);
+        if (d >= modules) d = modules - 1;
         Flit flit;
-        flit.dst_module = d;
-        flit.dst_router = topology.module_router(d);
+        flit.dst_module = static_cast<std::uint32_t>(d);
+        flit.dst_router = static_cast<std::uint32_t>(module_router[d]);
         flit.inject_cycle = cycle;
         flit.measured = in_window;
         flit.ready_cycle = cycle;
         if (flit.measured) ++result.injected;
-        inject_queue[topology.module_router(m)].flits.push_back(flit);
+        const std::size_t r = module_router[m];
+        rings[channels + r].push_back(flit);
+        ++occupancy[r];
       }
     }
 
@@ -108,26 +305,36 @@ FlitSimResult simulate_network(const Topology& topology,
     //    round-robin over the input queues (injection + incoming
     //    channels).
     for (std::size_t r = 0; r < routers; ++r) {
+      // rr_state is kept reduced mod n_inputs, so the wrap-arounds below
+      // are conditional subtractions instead of hardware divisions.
+      const std::size_t input_base = input_offset[r];
+      const std::size_t n_inputs = input_offset[r + 1] - input_base;
+      if (occupancy[r] == 0) {
+        // Idle router: nothing can move, only the round-robin pointer
+        // advances (exactly as it would after scanning empty queues).
+        const std::size_t bumped = rr_state[r] + 1;
+        rr_state[r] = bumped == n_inputs ? 0 : bumped;
+        continue;
+      }
       // Budget per output channel this cycle.
-      const auto& outs = topology.out_links(r);
-      std::vector<int> budget(outs.size());
-      for (std::size_t i = 0; i < outs.size(); ++i) {
-        budget[i] = static_cast<int>(topology.link(outs[i]).bandwidth);
-        if (budget[i] < 1) budget[i] = 1;
+      const std::size_t n_outs = budget_offset[r + 1] - budget_offset[r];
+      if (n_outs > 0) {
+        std::memcpy(budget.data(), &budget_template[budget_offset[r]],
+                    n_outs * sizeof(int));
       }
       int eject_budget = 1;
 
       // Input queue list: index 0 = injection, then incoming channels.
-      const std::size_t n_inputs = 1 + in_channels[r].size();
-      const std::size_t start = rr_state[r] % n_inputs;
+      const std::size_t start = rr_state[r];
       for (std::size_t k = 0; k < n_inputs; ++k) {
-        const std::size_t qi = (start + k) % n_inputs;
-        Queue& q = (qi == 0) ? inject_queue[r]
-                             : channel_queue[in_channels[r][qi - 1]];
+        std::size_t qi = start + k;
+        if (qi >= n_inputs) qi -= n_inputs;
+        FlitRing& q = rings[input_ids[input_base + qi]];
         // Move as many head flits as outputs allow (one per output).
-        while (!q.flits.empty()) {
-          Flit& flit = q.flits.front();
-          if (flit.ready_cycle > cycle) break;
+        // head_ready() folds "empty" and "head still in the pipeline"
+        // into one cheap test.
+        while (q.head_ready() <= cycle) {
+          Flit& flit = q.front();
           if (flit.dst_router == r) {
             if (eject_budget <= 0) break;
             --eject_budget;
@@ -139,27 +346,40 @@ FlitSimResult simulate_network(const Topology& topology,
                               config.router_delay_cycles) -
                   flit.inject_cycle);
             }
-            q.flits.pop_front();
+            q.pop_front();
+            --occupancy[r];
             continue;
           }
-          const std::size_t l = next_link(r, flit.dst_router);
-          // Find the local output index.
-          std::size_t oi = 0;
-          while (outs[oi] != l) ++oi;
-          if (budget[oi] <= 0) break;
-          Queue& dst_queue = channel_queue[l];
-          if (dst_queue.flits.size() >= config.buffer_depth) break;
-          --budget[oi];
-          Flit moved = flit;
+          const std::size_t key = r * routers + flit.dst_router;
+          const NextHop hop = next_hop.hops[key];
+          if (hop.link >= kFailedHop) {
+            // Surfaced once per simulation; kNoHop means the routing
+            // table missed a reachable pair, which is a bug here.
+            if (hop.link == kFailedHop) {
+              throw StatusError(next_hop.failures.at(key));
+            }
+            throw StatusError(Status(
+                StatusCode::kExecutionError,
+                "simulate_network: no precomputed next hop for router " +
+                    std::to_string(r) + " -> " +
+                    std::to_string(flit.dst_router)));
+          }
+          if (budget[hop.out_index] <= 0) break;
+          FlitRing& dst_queue = rings[hop.link];
+          if (dst_queue.size() >= config.buffer_depth) break;
+          --budget[hop.out_index];
           // A hop costs router_delay cycles total (pipeline + transfer),
           // matching the analytic model's per-hop latency.
-          moved.ready_cycle =
-              cycle + static_cast<std::uint64_t>(config.router_delay_cycles);
-          dst_queue.flits.push_back(moved);
-          q.flits.pop_front();
+          dst_queue.push_back_rescheduled(
+              flit,
+              cycle + static_cast<std::uint64_t>(config.router_delay_cycles));
+          ++occupancy[link_dst[hop.link]];
+          q.pop_front();
+          --occupancy[r];
         }
       }
-      rr_state[r] = (rr_state[r] + 1) % n_inputs;
+      const std::size_t bumped = rr_state[r] + 1;
+      rr_state[r] = bumped == n_inputs ? 0 : bumped;
     }
   }
 

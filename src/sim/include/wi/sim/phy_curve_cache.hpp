@@ -48,6 +48,12 @@ class PhyCurveCache {
   [[nodiscard]] std::size_t misses() const;
   [[nodiscard]] std::size_t size() const;
 
+  /// Worker threads each curve build may spawn (PhyAbstraction's SNR
+  /// grid; bit-identical at any value). Defaults to 0 = one per
+  /// hardware thread; the engine sets 1 while it is already running
+  /// scenarios in parallel, so curve builds do not oversubscribe.
+  void set_build_threads(std::size_t threads);
+
  private:
   struct Entry {
     PhyCurveKey key;
@@ -58,6 +64,7 @@ class PhyCurveCache {
   std::vector<Entry> entries_;  // few receiver configs: linear scan
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
+  std::size_t build_threads_ = 0;
 };
 
 }  // namespace wi::sim

@@ -433,6 +433,10 @@ std::vector<RunResult> SimEngine::run_all(
     }
     return results;
   }
+  // Scenario-level parallelism is already saturating the machine:
+  // curve builds triggered inside workers must stay serial or each
+  // cache miss would spawn a nested PhyAbstraction thread pool.
+  phy_cache_.set_build_threads(1);
   // Work stealing via a shared atomic cursor: idle workers pull the
   // next pending scenario, so long scenarios never leave threads idle.
   std::atomic<std::size_t> next{0};
@@ -448,6 +452,8 @@ std::vector<RunResult> SimEngine::run_all(
   for (std::size_t t = 0; t + 1 < workers; ++t) pool.emplace_back(worker);
   worker();
   for (auto& thread : pool) thread.join();
+  // Later single-scenario runs may parallelize curve builds again.
+  phy_cache_.set_build_threads(0);
   return results;
 }
 

@@ -6,6 +6,7 @@ PhyCurveCache::CurvePtr PhyCurveCache::get(const PhyCurveKey& key) {
   std::promise<CurvePtr> promise;
   std::shared_future<CurvePtr> future;
   bool builder = false;
+  std::size_t build_threads = 0;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     for (const Entry& entry : entries_) {
@@ -20,6 +21,7 @@ PhyCurveCache::CurvePtr PhyCurveCache::get(const PhyCurveKey& key) {
       future = promise.get_future().share();
       entries_.push_back({key, future});
       builder = true;
+      build_threads = build_threads_;
     }
   }
   if (builder) {
@@ -27,7 +29,8 @@ PhyCurveCache::CurvePtr PhyCurveCache::get(const PhyCurveKey& key) {
     // must not serialise builds of other keys.
     try {
       promise.set_value(std::make_shared<const core::PhyAbstraction>(
-          key.receiver, key.bandwidth_hz, key.polarizations));
+          key.receiver, key.bandwidth_hz, key.polarizations,
+          build_threads));
     } catch (...) {
       // Evict before publishing the failure: current waiters see the
       // exception, but later requests rebuild instead of rethrowing a
@@ -61,6 +64,11 @@ std::size_t PhyCurveCache::misses() const {
 std::size_t PhyCurveCache::size() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return entries_.size();
+}
+
+void PhyCurveCache::set_build_threads(std::size_t threads) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  build_threads_ = threads;
 }
 
 }  // namespace wi::sim

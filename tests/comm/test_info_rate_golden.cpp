@@ -1,0 +1,75 @@
+/// \file test_info_rate_golden.cpp
+/// \brief Golden-value regression tests for the one-bit information-rate
+///        kernels.
+///
+/// The pinned values were captured from the pre-optimization
+/// implementations at fixed seeds; the table-ized/noise-tape rewrite is
+/// required to reproduce them. Tolerances are a few orders of magnitude
+/// above cross-libm ulp noise but far below any algorithmic change, so
+/// a failure here means the kernel's numerics drifted.
+
+#include "wi/comm/info_rate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wi/comm/filter_design.hpp"
+
+namespace wi::comm {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+const Constellation& ask4() {
+  static const Constellation c = Constellation::ask(4);
+  return c;
+}
+
+TEST(InfoRateGolden, SequenceRatePaperFilter) {
+  // PhyAbstraction's per-grid-point configuration: 20000 symbols, seed 7.
+  const SequenceRateOptions options{20000, 7};
+  struct Golden {
+    double snr_db;
+    double rate;
+  };
+  const Golden goldens[] = {
+      {5.0, 1.2652420307285248},
+      {15.0, 1.7936320555226679},
+      {25.0, 1.9583489344780356},
+  };
+  for (const Golden& g : goldens) {
+    const OneBitOsChannel channel(paper_filter_sequence(), ask4(), g.snr_db);
+    EXPECT_NEAR(info_rate_one_bit_sequence(channel, options), g.rate, kTol)
+        << "snr " << g.snr_db;
+  }
+}
+
+TEST(InfoRateGolden, SequenceRateRectangularFilter) {
+  // Span-1 filter exercises the trivial-trellis path of the recursion.
+  const OneBitOsChannel channel(IsiFilter::rectangular(5), ask4(), 10.0);
+  EXPECT_NEAR(info_rate_one_bit_sequence(channel, {20000, 42}),
+              1.1968908090260628, kTol);
+}
+
+TEST(InfoRateGolden, SequenceRateRepeatedCallsIdentical) {
+  // The memoized noise tape must not change a repeat call's result.
+  const OneBitOsChannel channel(paper_filter_sequence(), ask4(), 25.0);
+  const double first = info_rate_one_bit_sequence(channel, {20000, 7});
+  const double second = info_rate_one_bit_sequence(channel, {20000, 7});
+  EXPECT_DOUBLE_EQ(first, second);
+  EXPECT_NEAR(first, 1.9583489344780356, kTol);
+}
+
+TEST(InfoRateGolden, Symbolwise) {
+  const OneBitOsChannel at5(paper_filter_symbolwise(), ask4(), 5.0);
+  EXPECT_NEAR(mi_one_bit_symbolwise(at5), 1.0351628008476974, kTol);
+  const OneBitOsChannel at25(paper_filter_symbolwise(), ask4(), 25.0);
+  EXPECT_NEAR(mi_one_bit_symbolwise(at25), 1.6422933197286134, kTol);
+}
+
+TEST(InfoRateGolden, ConditionalEntropyRate) {
+  const OneBitOsChannel channel(paper_filter_sequence(), ask4(), 25.0);
+  EXPECT_NEAR(conditional_entropy_rate(channel), 0.14332043034246245, kTol);
+}
+
+}  // namespace
+}  // namespace wi::comm

@@ -56,5 +56,34 @@ TEST(PhyAbstraction, ClampsOutsideGrid) {
   EXPECT_DOUBLE_EQ(phy.info_rate_bpcu(90.0), phy.info_rate_bpcu(35.0));
 }
 
+TEST(PhyAbstraction, ParallelBuildBitIdenticalToSerial) {
+  // Every SNR grid point is an independent deterministically seeded
+  // computation, so the thread count must not change a single bit of
+  // the curve (the sweep engine relies on this for reproducibility).
+  for (const PhyReceiver receiver :
+       {PhyReceiver::kOneBitSequence, PhyReceiver::kOneBitSymbolwise,
+        PhyReceiver::kUnquantized}) {
+    const PhyAbstraction serial(receiver, 25e9, 2, 1);
+    const PhyAbstraction parallel(receiver, 25e9, 2, 4);
+    ASSERT_EQ(serial.rate_curve_bpcu().size(),
+              parallel.rate_curve_bpcu().size());
+    for (std::size_t i = 0; i < serial.rate_curve_bpcu().size(); ++i) {
+      EXPECT_DOUBLE_EQ(serial.rate_curve_bpcu()[i],
+                       parallel.rate_curve_bpcu()[i])
+          << "receiver " << static_cast<int>(receiver) << " grid point "
+          << i;
+    }
+  }
+}
+
+TEST(PhyAbstraction, SequenceCurveGolden) {
+  // Pinned from the pre-optimization build: interpolated rates and the
+  // 100 Gbit/s requirement for the paper's sequence receiver.
+  const PhyAbstraction phy(PhyReceiver::kOneBitSequence);
+  EXPECT_NEAR(phy.info_rate_bpcu(10.0), 1.5587453180489799, 1e-9);
+  EXPECT_NEAR(phy.info_rate_bpcu(25.0), 1.9583489344780356, 1e-9);
+  EXPECT_TRUE(std::isinf(phy.required_snr_db(100.0)));
+}
+
 }  // namespace
 }  // namespace wi::core

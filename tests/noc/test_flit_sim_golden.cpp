@@ -1,0 +1,76 @@
+/// \file test_flit_sim_golden.cpp
+/// \brief Golden-value regression tests for the flit-level simulator.
+///
+/// Captured from the pre-optimization (deque-based) simulator at fixed
+/// seeds; the ring-buffer/precomputed-route rewrite must reproduce them
+/// exactly. The simulator is pure integer/IEEE arithmetic (no libm on
+/// the cycle path), so the counters are pinned with exact equality.
+
+#include "wi/noc/flit_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "wi/common/status.hpp"
+#include "wi/noc/routing.hpp"
+#include "wi/noc/topology.hpp"
+#include "wi/noc/traffic.hpp"
+
+namespace wi::noc {
+namespace {
+
+TEST(FlitSimGolden, Mesh2d8x8UniformDefaultConfig) {
+  const Topology topo = Topology::mesh_2d(8, 8);
+  const DimensionOrderRouting routing;
+  const FlitSimConfig config;  // 3000/20000/20000, depth 8, seed 1
+  const FlitSimResult result = simulate_network(
+      topo, routing, TrafficPattern::uniform(64), 0.2, config);
+  EXPECT_EQ(result.delivered, 256021u);
+  EXPECT_EQ(result.injected, 256021u);
+  EXPECT_TRUE(result.stable);
+  EXPECT_DOUBLE_EQ(result.mean_latency_cycles, 13.345838817909469);
+  EXPECT_DOUBLE_EQ(result.delivered_per_cycle, 0.20001640625);
+}
+
+TEST(FlitSimGolden, Mesh3dShortestPathTranspose) {
+  // Exercises the BFS routing path of the precomputed next-hop table.
+  const Topology topo = Topology::mesh_3d(4, 4, 4);
+  const ShortestPathRouting routing;
+  FlitSimConfig config;
+  config.warmup_cycles = 1000;
+  config.measure_cycles = 6000;
+  config.drain_cycles = 6000;
+  config.seed = 9;
+  const FlitSimResult result = simulate_network(
+      topo, routing, TrafficPattern::transpose(64), 0.15, config);
+  EXPECT_EQ(result.delivered, 57477u);
+  EXPECT_EQ(result.injected, 57477u);
+  EXPECT_TRUE(result.stable);
+  EXPECT_DOUBLE_EQ(result.mean_latency_cycles, 6.1082867929780607);
+  EXPECT_DOUBLE_EQ(result.delivered_per_cycle, 0.14967968749999999);
+}
+
+TEST(FlitSimGolden, UnreachableRouteSurfacesStatus) {
+  // Two disconnected routers with modules on both: the next-hop table
+  // records the routing failure and the simulation surfaces it as a
+  // structured StatusError the first time a flit needs the route.
+  Topology topo("disconnected", 2, 1, 1);
+  const std::size_t a = topo.add_router({0, 0, 0});
+  const std::size_t b = topo.add_router({1, 0, 0});
+  topo.attach_module(a);
+  topo.attach_module(b);
+  const ShortestPathRouting routing;
+  FlitSimConfig config;
+  config.warmup_cycles = 0;
+  config.measure_cycles = 200;
+  config.drain_cycles = 0;
+  try {
+    (void)simulate_network(topo, routing, TrafficPattern::uniform(2), 0.5,
+                           config);
+    FAIL() << "expected StatusError";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status().code(), StatusCode::kUnreachableRoute);
+  }
+}
+
+}  // namespace
+}  // namespace wi::noc

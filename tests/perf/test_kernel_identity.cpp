@@ -1,0 +1,115 @@
+/// \file test_kernel_identity.cpp
+/// \brief The optimized hot kernels must be output-identical — same
+///        seeds, bitwise-equal results — to the frozen pre-optimization
+///        implementations in wi_perf_baseline.
+///
+/// This is the contract the perf PR was built on: every sweep
+/// ResultTable cell stays byte-identical because the kernels underneath
+/// reproduce the baseline bit for bit (same RNG draw order, same
+/// floating-point operation order). Both sides are compiled in this
+/// binary, so EXPECT_DOUBLE_EQ is exact and portable.
+
+#include <gtest/gtest.h>
+
+#include "baseline_kernels.hpp"
+#include "wi/comm/filter_design.hpp"
+#include "wi/comm/info_rate.hpp"
+#include "wi/noc/flit_sim.hpp"
+
+namespace {
+
+const wi::comm::Constellation& ask4() {
+  static const wi::comm::Constellation c = wi::comm::Constellation::ask(4);
+  return c;
+}
+
+TEST(KernelIdentity, SequenceInfoRate) {
+  struct Case {
+    const char* name;
+    wi::comm::IsiFilter filter;
+    double snr_db;
+    wi::comm::SequenceRateOptions options;
+  };
+  const Case cases[] = {
+      {"paper_25db", wi::comm::paper_filter_sequence(), 25.0, {20000, 7}},
+      {"paper_5db", wi::comm::paper_filter_sequence(), 5.0, {20000, 7}},
+      {"paper_seed11", wi::comm::paper_filter_sequence(), 15.0, {12000, 11}},
+      {"suboptimal", wi::comm::paper_filter_suboptimal(), 18.0, {8000, 3}},
+      {"rect_span1", wi::comm::IsiFilter::rectangular(5), 10.0, {9000, 42}},
+      {"extreme_low_snr", wi::comm::paper_filter_sequence(), -35.0,
+       {5000, 2}},
+  };
+  for (const Case& c : cases) {
+    const wi::comm::OneBitOsChannel channel(c.filter, ask4(), c.snr_db);
+    EXPECT_DOUBLE_EQ(
+        wi::comm::info_rate_one_bit_sequence(channel, c.options),
+        wi::perf_baseline::info_rate_one_bit_sequence(channel, c.options))
+        << c.name;
+  }
+}
+
+TEST(KernelIdentity, SymbolwiseMiAndConditionalEntropy) {
+  for (const double snr : {-5.0, 5.0, 15.0, 25.0, 35.0}) {
+    const wi::comm::OneBitOsChannel sym(wi::comm::paper_filter_symbolwise(),
+                                        ask4(), snr);
+    EXPECT_DOUBLE_EQ(wi::comm::mi_one_bit_symbolwise(sym),
+                     wi::perf_baseline::mi_one_bit_symbolwise(sym))
+        << "snr " << snr;
+    const wi::comm::OneBitOsChannel seq(wi::comm::paper_filter_sequence(),
+                                        ask4(), snr);
+    EXPECT_DOUBLE_EQ(wi::comm::conditional_entropy_rate(seq),
+                     wi::perf_baseline::conditional_entropy_rate(seq))
+        << "snr " << snr;
+  }
+}
+
+void expect_same_result(const wi::noc::FlitSimResult& a,
+                        const wi::noc::FlitSimResult& b,
+                        const char* label) {
+  EXPECT_EQ(a.delivered, b.delivered) << label;
+  EXPECT_EQ(a.injected, b.injected) << label;
+  EXPECT_EQ(a.stable, b.stable) << label;
+  EXPECT_DOUBLE_EQ(a.mean_latency_cycles, b.mean_latency_cycles) << label;
+  EXPECT_DOUBLE_EQ(a.delivered_per_cycle, b.delivered_per_cycle) << label;
+}
+
+TEST(KernelIdentity, FlitSimulator) {
+  wi::noc::FlitSimConfig config;
+  config.warmup_cycles = 500;
+  config.measure_cycles = 3000;
+  config.drain_cycles = 3000;
+  struct Case {
+    const char* name;
+    wi::noc::Topology topo;
+    wi::noc::TrafficPattern traffic;
+    double rate;
+    std::uint64_t seed;
+  };
+  const Case cases[] = {
+      {"mesh2d_uniform", wi::noc::Topology::mesh_2d(8, 8),
+       wi::noc::TrafficPattern::uniform(64), 0.25, 1},
+      {"mesh3d_transpose", wi::noc::Topology::mesh_3d(4, 4, 4),
+       wi::noc::TrafficPattern::transpose(64), 0.15, 5},
+      {"star_mesh_hotspot", wi::noc::Topology::star_mesh(4, 4, 4),
+       wi::noc::TrafficPattern::hotspot(64, 0, 0.3), 0.1, 9},
+      {"saturated", wi::noc::Topology::mesh_2d(4, 4),
+       wi::noc::TrafficPattern::uniform(16), 0.9, 3},
+  };
+  const wi::noc::DimensionOrderRouting dor;
+  const wi::noc::ShortestPathRouting sp;
+  for (const Case& c : cases) {
+    config.seed = c.seed;
+    expect_same_result(
+        wi::noc::simulate_network(c.topo, dor, c.traffic, c.rate, config),
+        wi::perf_baseline::simulate_network(c.topo, dor, c.traffic, c.rate,
+                                            config),
+        c.name);
+    expect_same_result(
+        wi::noc::simulate_network(c.topo, sp, c.traffic, c.rate, config),
+        wi::perf_baseline::simulate_network(c.topo, sp, c.traffic, c.rate,
+                                            config),
+        c.name);
+  }
+}
+
+}  // namespace

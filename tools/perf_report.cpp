@@ -1,0 +1,266 @@
+/// \file perf_report.cpp
+/// \brief Measures the hot simulation kernels against their frozen
+///        pre-optimization baselines and emits BENCH_perf.json.
+///
+/// Usage:
+///   tool_perf_report [--smoke] [output.json]
+///
+/// Each kernel is timed best-of-N in this process, baseline and
+/// optimized back to back, so the reported speedups are insensitive to
+/// machine drift. --smoke runs one repetition of everything (the CI
+/// sanity gate); the default repetition counts are sized for a stable
+/// committed baseline. The JSON schema ("wi-bench-perf-v1") is described
+/// in the README's Performance section.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "baseline_kernels.hpp"
+#include "wi/comm/filter_design.hpp"
+#include "wi/comm/info_rate.hpp"
+#include "wi/core/phy_abstraction.hpp"
+#include "wi/noc/flit_sim.hpp"
+#include "wi/sim/sim.hpp"
+
+namespace {
+
+double now_ns() {
+  return std::chrono::duration<double, std::nano>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Best-of-reps wall time of one call, in nanoseconds.
+double time_ns(const std::function<void()>& fn, int reps) {
+  double best = 0.0;
+  for (int i = 0; i < reps; ++i) {
+    const double t0 = now_ns();
+    fn();
+    const double dt = now_ns() - t0;
+    if (i == 0 || dt < best) best = dt;
+  }
+  return best;
+}
+
+struct Entry {
+  std::string name;
+  double ns_per_op = 0.0;
+  double baseline_ns_per_op = 0.0;  ///< 0 = no baseline twin
+  double throughput = 0.0;          ///< 0 = not meaningful
+  std::string throughput_unit;
+};
+
+std::string json_escape_number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f", v);
+  return buf;
+}
+
+void write_json(const std::vector<Entry>& entries, const std::string& path) {
+  std::ofstream out(path);
+  out << "{\n"
+      << "  \"schema\": \"wi-bench-perf-v1\",\n"
+      << "  \"note\": \"best-of-N wall times; baseline = frozen "
+         "pre-optimization kernel measured in the same process\",\n"
+      << "  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    out << "    {\n"
+        << "      \"name\": \"" << e.name << "\",\n"
+        << "      \"ns_per_op\": " << json_escape_number(e.ns_per_op);
+    if (e.baseline_ns_per_op > 0.0) {
+      char speedup[32];
+      std::snprintf(speedup, sizeof(speedup), "%.2f",
+                    e.baseline_ns_per_op / e.ns_per_op);
+      out << ",\n      \"baseline_ns_per_op\": "
+          << json_escape_number(e.baseline_ns_per_op)
+          << ",\n      \"speedup\": " << speedup;
+    }
+    if (e.throughput > 0.0) {
+      char thr[32];
+      std::snprintf(thr, sizeof(thr), "%.2f", e.throughput);
+      out << ",\n      \"throughput\": " << thr
+          << ",\n      \"throughput_unit\": \"" << e.throughput_unit << "\"";
+    }
+    out << "\n    }" << (i + 1 < entries.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_perf.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+  const int reps_fast = smoke ? 1 : 7;    // sub-ms kernels
+  const int reps_slow = smoke ? 1 : 5;    // >100 ms kernels
+  std::vector<Entry> entries;
+
+  const wi::comm::Constellation ask4 = wi::comm::Constellation::ask(4);
+
+  // --- info_rate_one_bit_sequence (paper settings: 4-ASK, M=5, 20000) ---
+  {
+    const wi::comm::OneBitOsChannel channel(wi::comm::paper_filter_sequence(),
+                                            ask4, 25.0);
+    wi::comm::SequenceRateOptions options;
+    options.symbols = 20000;
+    options.seed = 7;
+    volatile double sink = 0.0;
+    const double base = time_ns(
+        [&] {
+          sink = wi::perf_baseline::info_rate_one_bit_sequence(channel,
+                                                               options);
+        },
+        reps_fast);
+    // Warm the noise tape before timing the steady-state path (the cold
+    // first call is reported separately below).
+    sink = wi::comm::info_rate_one_bit_sequence(channel, options);
+    const double opt = time_ns(
+        [&] { sink = wi::comm::info_rate_one_bit_sequence(channel, options); },
+        reps_fast);
+    entries.push_back({"info_rate_one_bit_sequence/4ask_m5_20000sym", opt,
+                       base, 20000.0 / opt * 1e3, "Msymbols/s"});
+    // Cold-tape cost: fresh seed defeats the memoization.
+    std::uint64_t seed = 90000;
+    const double cold = time_ns(
+        [&] {
+          wi::comm::SequenceRateOptions cold_options = options;
+          cold_options.seed = ++seed;
+          sink = wi::comm::info_rate_one_bit_sequence(channel, cold_options);
+        },
+        reps_fast);
+    entries.push_back({"info_rate_one_bit_sequence/cold_noise_tape", cold,
+                       base, 20000.0 / cold * 1e3, "Msymbols/s"});
+    (void)sink;
+  }
+
+  // --- mi_one_bit_symbolwise ---
+  {
+    const wi::comm::OneBitOsChannel channel(
+        wi::comm::paper_filter_symbolwise(), ask4, 25.0);
+    volatile double sink = 0.0;
+    const double base = time_ns(
+        [&] { sink = wi::perf_baseline::mi_one_bit_symbolwise(channel); },
+        smoke ? 1 : 50);
+    const double opt = time_ns(
+        [&] { sink = wi::comm::mi_one_bit_symbolwise(channel); },
+        smoke ? 1 : 50);
+    entries.push_back(
+        {"mi_one_bit_symbolwise/4ask_m5", opt, base, 0.0, ""});
+    (void)sink;
+  }
+
+  // --- simulate_network (Fig. 8a: 64-module meshes) ---
+  {
+    wi::noc::FlitSimConfig config;  // fig08a DES cross-check settings
+    config.warmup_cycles = 2000;
+    config.measure_cycles = 8000;
+    config.seed = 1;
+    const wi::noc::DimensionOrderRouting routing;
+    struct Case {
+      const char* name;
+      wi::noc::Topology topo;
+      double rate;
+    };
+    Case cases[] = {
+        {"simulate_network/fig08a_mesh3d_4x4x4_rate0.3",
+         wi::noc::Topology::mesh_3d(4, 4, 4), 0.3},
+        {"simulate_network/fig08a_mesh2d_8x8_rate0.2",
+         wi::noc::Topology::mesh_2d(8, 8), 0.2},
+    };
+    for (const Case& c : cases) {
+      const wi::noc::TrafficPattern traffic =
+          wi::noc::TrafficPattern::uniform(64);
+      volatile std::size_t sink = 0;
+      const double base = time_ns(
+          [&] {
+            sink = wi::perf_baseline::simulate_network(c.topo, routing,
+                                                       traffic, c.rate,
+                                                       config)
+                       .delivered;
+          },
+          reps_slow);
+      const double opt = time_ns(
+          [&] {
+            sink = wi::noc::simulate_network(c.topo, routing, traffic,
+                                             c.rate, config)
+                       .delivered;
+          },
+          reps_slow);
+      const double cycles = static_cast<double>(config.warmup_cycles +
+                                                config.measure_cycles +
+                                                config.drain_cycles);
+      entries.push_back(
+          {c.name, opt, base, cycles / opt * 1e3, "Mcycles/s"});
+      (void)sink;
+    }
+  }
+
+  // --- PhyAbstraction SNR-curve build (17 sequence-rate grid points) ---
+  {
+    volatile double sink = 0.0;
+    const double serial = time_ns(
+        [&] {
+          const wi::core::PhyAbstraction phy(
+              wi::core::PhyReceiver::kOneBitSequence, 25e9, 2, 1);
+          sink = phy.info_rate_bpcu(25.0);
+        },
+        smoke ? 1 : 3);
+    const double parallel = time_ns(
+        [&] {
+          const wi::core::PhyAbstraction phy(
+              wi::core::PhyReceiver::kOneBitSequence, 25e9, 2, 0);
+          sink = phy.info_rate_bpcu(25.0);
+        },
+        smoke ? 1 : 3);
+    entries.push_back(
+        {"phy_abstraction_build/one_bit_sequence/serial", serial, 0.0, 0.0,
+         ""});
+    entries.push_back(
+        {"phy_abstraction_build/one_bit_sequence/parallel", parallel, 0.0,
+         0.0, ""});
+    (void)sink;
+  }
+
+  // --- end-to-end SimEngine scenario (Fig. 8a queueing-model table) ---
+  {
+    const wi::sim::ScenarioRegistry registry =
+        wi::sim::ScenarioRegistry::paper();
+    const wi::sim::ScenarioSpec spec = registry.get("fig08a_mesh2d_8x8");
+    volatile std::size_t sink = 0;
+    const double t = time_ns(
+        [&] {
+          wi::sim::SimEngine engine;
+          sink = engine.run(spec).table.rows();
+        },
+        reps_fast);
+    entries.push_back({"sim_engine/fig08a_mesh2d_8x8_noc_latency", t, 0.0,
+                       0.0, ""});
+    (void)sink;
+  }
+
+  write_json(entries, out_path);
+  std::cout << "wrote " << out_path << "\n";
+  for (const Entry& e : entries) {
+    std::printf("  %-50s %12.0f ns/op", e.name.c_str(), e.ns_per_op);
+    if (e.baseline_ns_per_op > 0.0) {
+      std::printf("  (baseline %12.0f, speedup %.2fx)", e.baseline_ns_per_op,
+                  e.baseline_ns_per_op / e.ns_per_op);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
