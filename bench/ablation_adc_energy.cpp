@@ -2,7 +2,8 @@
 /// \brief Quantifies the Sec. III energy argument: "the analog-to-
 ///        digital conversion requires the main part of the total energy
 ///        consumption ... the conversion resolution has to be chosen as
-///        low as possible".
+///        low as possible" — via the registered "ablation_adc_energy"
+///        scenario.
 ///
 /// Compares receiver front-ends for a 25 GBd 4-ASK link at a Walden
 /// figure of merit of 50 fJ/conversion-step: ADC power, achievable
@@ -11,54 +12,16 @@
 
 #include <iostream>
 
-#include "wi/common/table.hpp"
-#include "wi/comm/adc.hpp"
-#include "wi/comm/filter_design.hpp"
-#include "wi/comm/info_rate.hpp"
+#include "wi/sim/sim.hpp"
 
 int main() {
-  using namespace wi;
-  using namespace wi::comm;
-
-  const double symbol_rate = 25e9;
-  const double snr_db = 25.0;
-  const Constellation c4 = Constellation::ask(4);
-  const AdcModel adc{50e-15};
-
-  // Achievable rates of the candidate front-ends at the operating SNR.
-  const OneBitOsChannel seq(paper_filter_sequence(), c4, snr_db);
-  const double rate_1bit_os = info_rate_one_bit_sequence(seq, {60000, 29});
-  const double rate_1bit = mi_one_bit_no_oversampling(c4, snr_db);
-
-  std::vector<ReceiverOption> options = {
-      {"1-bit, 5x OS, seq. detection", 1, 5, rate_1bit_os},
-      {"1-bit, Nyquist", 1, 1, rate_1bit},
-      {"2-bit, Nyquist", 2, 1,
-       mi_quantized_awgn(c4, UniformQuantizer(2), snr_db)},
-      {"3-bit, Nyquist", 3, 1,
-       mi_quantized_awgn(c4, UniformQuantizer(3), snr_db)},
-      {"4-bit, Nyquist", 4, 1,
-       mi_quantized_awgn(c4, UniformQuantizer(4), snr_db)},
-      {"8-bit, Nyquist", 8, 1, mi_unquantized_awgn(c4, snr_db)},
-  };
-
+  using namespace wi::sim;
+  SimEngine engine;
+  const RunResult result =
+      engine.run(ScenarioRegistry::paper().get("ablation_adc_energy"));
   std::cout << "# Ablation — ADC energy per information bit "
-               "(25 GBd 4-ASK @ " << snr_db << " dB, Walden FOM 50 fJ)\n\n";
-  Table table({"receiver", "sample_rate_GSs", "rate_bpcu",
-               "throughput_Gbps", "ADC_power_mW", "pJ_per_bit"});
-  for (const auto& option : options) {
-    const double sample_rate =
-        symbol_rate * static_cast<double>(option.oversampling);
-    const double throughput = option.info_rate_bpcu * symbol_rate / 1e9;
-    table.add_row(
-        {option.name, Table::num(sample_rate / 1e9, 0),
-         Table::num(option.info_rate_bpcu, 3), Table::num(throughput, 1),
-         Table::num(adc.power_w(option.adc_bits, sample_rate) * 1e3, 3),
-         Table::num(adc_energy_per_bit_j(adc, option, symbol_rate) * 1e12,
-                    4)});
-  }
-  table.print(std::cout);
-
+               "(25 GBd 4-ASK @ 25 dB, Walden FOM 50 fJ)\n\n";
+  print_result(std::cout, result);
   std::cout
       << "\n# checks: the 1-bit 5x-OS receiver delivers ~98% of the "
          "ideal-ADC throughput at ~25x less ADC energy per bit than the "
@@ -68,5 +31,5 @@ int main() {
          "linear front-ends, all of which the 1-bit comparator avoids; "
          "oversampling additionally provides the timing information "
          "(Sec. III's architectural argument).\n";
-  return 0;
+  return result.ok() ? 0 : 1;
 }

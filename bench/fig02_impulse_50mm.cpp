@@ -1,62 +1,23 @@
 /// \file fig02_impulse_50mm.cpp
 /// \brief Reproduces Fig. 2: impulse response at 50 mm antenna distance,
-///        free space vs parallel copper boards (shortest link).
-///
-/// The synthetic VNA sweeps 220-245 GHz with 4096 points; the windowed
-/// IDFT yields the band-limited impulse response. Reflection clusters
-/// (antenna ports, horn/port, horn-horn, copper boards) are identified
-/// by peak search and each must stay >= 15 dB below the line of sight,
-/// the paper's central observation.
+///        free space vs parallel copper boards (shortest link) — via the
+///        registered "fig02_impulse_50mm" scenario. Reflection clusters
+///        (antenna ports, horn/port, horn-horn, copper boards) arrive as
+///        notes and each must stay >= 15 dB below the line of sight, the
+///        paper's central observation.
 
 #include <iostream>
 
-#include "wi/common/table.hpp"
-#include "wi/dsp/peaks.hpp"
-#include "wi/rf/channel.hpp"
-#include "wi/rf/vna.hpp"
-
-namespace {
-
-void print_scenario(const char* label, bool copper_boards, double dist_m) {
-  using namespace wi;
-  rf::BoardToBoardScenario scenario;
-  scenario.distance_m = dist_m;
-  scenario.copper_boards = copper_boards;
-  const rf::MultipathChannel channel = rf::board_to_board_channel(scenario);
-
-  rf::VnaConfig vna_config;
-  vna_config.seed = 22;
-  rf::SyntheticVna vna(vna_config);
-  const rf::FrequencySweep sweep = vna.measure(channel);
-  const rf::ImpulseResponse ir = rf::to_impulse_response(sweep);
-
-  std::cout << "\n## " << label << "\n";
-  std::cout << "model taps (ground truth of the synthetic channel):\n";
-  for (const auto& tap : channel.taps()) {
-    std::cout << "  " << tap.label << ": delay " << tap.delay_s * 1e9
-              << " ns, gain " << tap.gain_db << " dB (rel LoS "
-              << tap.gain_db - channel.strongest_tap_db() << " dB)\n";
-  }
-  std::cout << "worst reflection (impulse response): "
-            << rf::worst_reflection_rel_db(ir, 6)
-            << " dB rel LoS (paper: <= -15 dB)\n";
-
-  // Print the impulse response up to 1.5 ns (the figure's x range),
-  // decimated for readability.
-  wi::Table table({"tau_ns", "h_dB"});
-  for (std::size_t i = 0; i < ir.delay_s.size(); i += 2) {
-    if (ir.delay_s[i] > 1.5e-9) break;
-    table.add_row({wi::Table::num(ir.delay_s[i] * 1e9, 3),
-                   wi::Table::num(ir.magnitude_db[i], 1)});
-  }
-  table.print(std::cout);
-}
-
-}  // namespace
+#include "wi/sim/sim.hpp"
 
 int main() {
-  std::cout << "# Fig. 2 — impulse response, 50 mm antenna distance\n";
-  print_scenario("freespace", false, 0.05);
-  print_scenario("parallel copper boards, 50 mm, shortest link", true, 0.05);
-  return 0;
+  using namespace wi::sim;
+  SimEngine engine;
+  const RunResult result =
+      engine.run(ScenarioRegistry::paper().get("fig02_impulse_50mm"));
+  std::cout << "# Fig. 2 — impulse response, 50 mm antenna distance\n\n";
+  print_result(std::cout, result);
+  std::cout << "\n# check: every reflection cluster stays >= 15 dB below "
+               "the line of sight\n";
+  return result.ok() ? 0 : 1;
 }

@@ -1,55 +1,21 @@
 /// \file fig03_impulse_150mm.cpp
 /// \brief Reproduces Fig. 3: impulse response for a 150 mm antenna
 ///        distance — the diagonal link between parallel copper boards
-///        (realised in the testbed by rotating the boards).
+///        (realised in the testbed by rotating the boards) — via the
+///        registered "fig03_impulse_150mm" scenario.
 
 #include <iostream>
 
-#include "wi/common/table.hpp"
-#include "wi/rf/channel.hpp"
-#include "wi/rf/vna.hpp"
-
-namespace {
-
-void print_scenario(const char* label, bool copper_boards, double dist_m) {
-  using namespace wi;
-  rf::BoardToBoardScenario scenario;
-  scenario.distance_m = dist_m;
-  scenario.copper_boards = copper_boards;
-  const rf::MultipathChannel channel = rf::board_to_board_channel(scenario);
-
-  rf::VnaConfig vna_config;
-  vna_config.seed = 23;
-  rf::SyntheticVna vna(vna_config);
-  const rf::ImpulseResponse ir =
-      rf::to_impulse_response(vna.measure(channel));
-
-  std::cout << "\n## " << label << "\n";
-  for (const auto& tap : channel.taps()) {
-    std::cout << "  " << tap.label << ": delay " << tap.delay_s * 1e9
-              << " ns, rel LoS "
-              << tap.gain_db - channel.strongest_tap_db() << " dB\n";
-  }
-  std::cout << "worst reflection (impulse response): "
-            << rf::worst_reflection_rel_db(ir, 6)
-            << " dB rel LoS (paper: <= -15 dB)\n";
-
-  wi::Table table({"tau_ns", "h_dB"});
-  for (std::size_t i = 0; i < ir.delay_s.size(); i += 2) {
-    if (ir.delay_s[i] > 2.0e-9) break;  // Fig. 3 x range
-    table.add_row({wi::Table::num(ir.delay_s[i] * 1e9, 3),
-                   wi::Table::num(ir.magnitude_db[i], 1)});
-  }
-  table.print(std::cout);
-}
-
-}  // namespace
+#include "wi/sim/sim.hpp"
 
 int main() {
-  std::cout << "# Fig. 3 — impulse response, 150 mm antenna distance "
-               "(diagonal link)\n";
-  print_scenario("freespace", false, 0.15);
-  print_scenario("parallel copper boards, 50 mm separation, diagonal link",
-                 true, 0.15);
-  return 0;
+  using namespace wi::sim;
+  SimEngine engine;
+  const RunResult result =
+      engine.run(ScenarioRegistry::paper().get("fig03_impulse_150mm"));
+  std::cout << "# Fig. 3 — impulse response, 150 mm antenna distance\n\n";
+  print_result(std::cout, result);
+  std::cout << "\n# check: the longer link keeps all reflection clusters "
+               ">= 15 dB below the line of sight\n";
+  return result.ok() ? 0 : 1;
 }

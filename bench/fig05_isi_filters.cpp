@@ -1,7 +1,7 @@
 /// \file fig05_isi_filters.cpp
 /// \brief Reproduces Fig. 5: impulse responses of the four ISI filter
 ///        designs for the 1-bit 5x-oversampling receiver (4-ASK, design
-///        SNR 25 dB):
+///        SNR 25 dB) — via the registered "fig05_isi_filters" scenario:
 ///        (a) rectangular pulse (no ISI),
 ///        (b) optimal ISI for symbol-by-symbol detection,
 ///        (c) optimal ISI for sequence detection,
@@ -14,61 +14,17 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "wi/common/table.hpp"
-#include "wi/comm/filter_design.hpp"
-#include "wi/comm/info_rate.hpp"
-
-namespace {
-
-void print_filter(const char* label, const wi::comm::IsiFilter& filter,
-                  const wi::comm::Constellation& constellation) {
-  using namespace wi;
-  std::cout << "\n## " << label << "\n";
-  Table table({"tau_over_T", "h"});
-  const auto& taps = filter.taps();
-  const double m = static_cast<double>(filter.samples_per_symbol());
-  for (std::size_t i = 0; i < taps.size(); ++i) {
-    table.add_row({Table::num(static_cast<double>(i) / m, 2),
-                   Table::num(taps[i], 4)});
-  }
-  table.print(std::cout);
-  const comm::OneBitOsChannel channel(filter, constellation, 25.0);
-  std::cout << "symbolwise MI @25 dB: "
-            << comm::mi_one_bit_symbolwise(channel) << " bpcu; "
-            << "sequence IR @25 dB: "
-            << comm::info_rate_one_bit_sequence(channel, {40000, 9})
-            << " bpcu; unique detection (noise-free): "
-            << (comm::is_uniquely_detectable(filter, constellation) ? "yes"
-                                                                     : "no")
-            << "\n";
-}
-
-}  // namespace
+#include "wi/sim/sim.hpp"
 
 int main() {
-  using namespace wi::comm;
-  const Constellation c4 = Constellation::ask(4);
-  const bool reoptimize = std::getenv("WI_FIG05_OPTIMIZE") != nullptr;
-
+  using namespace wi::sim;
+  SimEngine engine;
+  ScenarioSpec spec = ScenarioRegistry::paper().get("fig05_isi_filters");
+  spec.isi.reoptimize = std::getenv("WI_FIG05_OPTIMIZE") != nullptr;
+  const RunResult result = engine.run(spec);
   std::cout << "# Fig. 5 — ISI filter impulse responses (4-ASK, 5x OS, "
-               "1-bit RX)\n";
-  print_filter("(a) rectangular pulse — no ISI", IsiFilter::rectangular(5),
-               c4);
-  if (reoptimize) {
-    FilterDesignOptions options;
-    print_filter("(b) optimal ISI for symbol-by-symbol detection @25 dB",
-                 optimize_filter_symbolwise(c4, options), c4);
-    print_filter("(c) optimal ISI for sequence detection @25 dB",
-                 optimize_filter_sequence(c4, options), c4);
-    print_filter("(d) suboptimal ISI design (noise-free uniqueness)",
-                 design_filter_suboptimal(c4, options), c4);
-  } else {
-    print_filter("(b) optimal ISI for symbol-by-symbol detection @25 dB",
-                 paper_filter_symbolwise(), c4);
-    print_filter("(c) optimal ISI for sequence detection @25 dB",
-                 paper_filter_sequence(), c4);
-    print_filter("(d) suboptimal ISI design (noise-free uniqueness)",
-                 paper_filter_suboptimal(), c4);
-  }
-  return 0;
+               "1-bit RX)"
+            << (spec.isi.reoptimize ? " [re-optimised live]" : "") << "\n\n";
+  print_result(std::cout, result);
+  return result.ok() ? 0 : 1;
 }

@@ -1,16 +1,11 @@
 /// \file fig06_information_rates.cpp
 /// \brief Reproduces Fig. 6: information rates of 4-ASK with 5-fold
 ///        oversampling and one-bit quantization at the receiver, over
-///        SNR from -5 to 35 dB. Six curves:
-///        - Max Information Rate 1Bit-OS          (sequence detection,
-///          filter of Fig. 5(c))
-///        - Max Information Rate 1Bit-OS symbolwise (filter of Fig. 5(b))
-///        - Rect 1Bit-OS                           (rectangular pulse)
-///        - 1Bit No-OS                             (symbol-rate sampling)
-///        - No Quantization                        (ideal ADC, matched
-///          filter over the block — the valid upper reference at the
-///          per-sample SNR convention)
-///        - Proposed Suboptimal Design 1Bit OS     (filter of Fig. 5(d))
+///        SNR from -5 to 35 dB — via the registered "fig06_info_rates"
+///        scenario. Six curves: sequence detection with the Fig. 5(c)
+///        filter, symbolwise with 5(b), rectangular pulse, symbol-rate
+///        1-bit sampling, the unquantized matched-filter reference and
+///        the suboptimal design 5(d).
 ///
 /// Expected shape (the paper's finding): with optimised ISI and sequence
 /// estimation the 1-bit receiver approaches 2 bpcu at high SNR, far
@@ -18,43 +13,15 @@
 
 #include <iostream>
 
-#include "wi/common/table.hpp"
-#include "wi/comm/filter_design.hpp"
-#include "wi/comm/info_rate.hpp"
+#include "wi/sim/sim.hpp"
 
 int main() {
-  using namespace wi;
-  using namespace wi::comm;
-  const Constellation c4 = Constellation::ask(4);
-  const IsiFilter rect = IsiFilter::rectangular(5);
-  const IsiFilter f_seq = paper_filter_sequence();
-  const IsiFilter f_sym = paper_filter_symbolwise();
-  const IsiFilter f_sub = paper_filter_suboptimal();
-
+  using namespace wi::sim;
+  SimEngine engine;
+  const RunResult result =
+      engine.run(ScenarioRegistry::paper().get("fig06_info_rates"));
   std::cout << "# Fig. 6 — information rates, 4-ASK, 5x oversampling, "
                "1-bit RX [bpcu]\n\n";
-  Table table({"SNR_dB", "MaxIR_seq", "MaxIR_symbolwise", "Rect_1bit_OS",
-               "1bit_no_OS", "no_quantization", "suboptimal_seq"});
-  for (int snr = -5; snr <= 35; snr += 5) {
-    const double s = snr;
-    const OneBitOsChannel ch_seq(f_seq, c4, s);
-    const OneBitOsChannel ch_sym(f_sym, c4, s);
-    const OneBitOsChannel ch_rect(rect, c4, s);
-    const OneBitOsChannel ch_sub(f_sub, c4, s);
-    const SequenceRateOptions mc{120000, 17};
-    table.add_row(
-        {Table::num(static_cast<long long>(snr)),
-         Table::num(info_rate_one_bit_sequence(ch_seq, mc), 3),
-         Table::num(mi_one_bit_symbolwise(ch_sym), 3),
-         Table::num(info_rate_one_bit_sequence(ch_rect, mc), 3),
-         Table::num(mi_one_bit_no_oversampling(c4, s), 3),
-         Table::num(mi_unquantized_matched_filter(c4, s, 5), 3),
-         Table::num(info_rate_one_bit_sequence(ch_sub, mc), 3)});
-  }
-  table.print(std::cout);
-
-  std::cout << "\n# checks: no-quantization -> 2 bpcu; 1bit no-OS -> 1 "
-               "bpcu; optimised ISI + sequence detection recovers most of "
-               "the gap (paper's key result)\n";
-  return 0;
+  print_result(std::cout, result);
+  return result.ok() ? 0 : 1;
 }

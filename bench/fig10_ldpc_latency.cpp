@@ -2,104 +2,49 @@
 /// \brief Reproduces Fig. 10: required Eb/N0 for (4,8)-regular LDPC-CCs
 ///        (B0 = [2,2], B1 = B2 = [1,1]) to reach a target BER as a
 ///        function of the decoding latency (Eq. 4: T_WD = W N nv R),
-///        compared with the LDPC-BC (B = [4,4], Eq. 5: T_B = N nv R).
+///        compared with the LDPC-BC (B = [4,4], Eq. 5: T_B = N nv R) —
+///        via the registered "fig10_ldpc_latency" scenario.
 ///
 /// Curves: N = 25 (W = 3..8), N = 40 (W = 3..8), N = 60 (W = 4..6),
 /// LDPC-BC at matching latencies.
 ///
 /// Runtime/accuracy trade-off: the paper targets BER 1e-5, which needs
-/// hours of Monte Carlo. The default run targets BER 1e-4 with capped
-/// codeword counts (a few minutes) — the W/N trends and the CC-vs-BC
-/// ordering are preserved — though compressed: at 1e-4 the codes sit
-/// near the top of their waterfalls where W/N differences are small.
-/// Set WI_FIG10_FULL=1 for BER 1e-5 with large caps (the paper's
+/// hours of Monte Carlo. The default scenario targets BER 1e-4 with
+/// capped codeword counts (a few minutes) — the W/N trends and the
+/// CC-vs-BC ordering are preserved — though compressed: at 1e-4 the
+/// codes sit near the top of their waterfalls where W/N differences are
+/// small. Set WI_FIG10_FULL=1 for BER 1e-5 with large caps (the paper's
 /// operating point, where the separation fully emerges; see
-/// tools/fig10_keypoint for a targeted 1e-5 verification of the
-/// paper's worked example). Seeds are fixed per curve and shared
-/// across the Eb/N0 scan (common random numbers).
+/// tools/fig10_keypoint for a targeted 1e-5 verification of the paper's
+/// worked example). Seeds are fixed per curve and shared across the
+/// Eb/N0 scan (common random numbers).
 
 #include <cstdlib>
 #include <iostream>
 
-#include "wi/common/table.hpp"
-#include "wi/fec/ber.hpp"
+#include "wi/sim/sim.hpp"
 
 int main() {
-  using namespace wi;
-  using namespace wi::fec;
-
-  const bool full = std::getenv("WI_FIG10_FULL") != nullptr;
-  const double target_ber = full ? 1e-5 : 1e-4;
-  const std::size_t min_errors = full ? 200 : 80;
-  const std::size_t max_codewords = full ? 40000 : 800;
-  const std::size_t termination = 24;  // L (latency is L-independent)
-
-  std::cout << "# Fig. 10 — required Eb/N0 @ BER " << target_ber
+  using namespace wi::sim;
+  SimEngine engine;
+  ScenarioSpec spec = ScenarioRegistry::paper().get("fig10_ldpc_latency");
+  if (std::getenv("WI_FIG10_FULL") != nullptr) {
+    spec.ldpc.target_ber = 1e-5;
+    spec.ldpc.min_errors = 200;
+    spec.ldpc.max_codewords = 40000;
+    spec.ldpc.max_bp_iterations = 100;
+  }
+  std::cout << "# Fig. 10 — required Eb/N0 @ BER " << spec.ldpc.target_ber
             << " vs decoding latency [information bits]\n"
             << "# (4,8)-regular; LDPC-CC: B0=[2,2], B1=B2=[1,1]; "
                "LDPC-BC: B=[4,4]\n\n";
-
-  BpOptions bp;
-  bp.max_iterations = full ? 100 : 50;
-
-  Table table({"family", "N", "W", "latency_bits", "reqd_EbN0_dB"});
-
-  auto run_cc = [&](std::size_t n, std::size_t w_lo, std::size_t w_hi) {
-    const LdpcConvolutionalCode code(EdgeSpreading::paper_example(), n,
-                                     termination, /*seed=*/n);
-    for (std::size_t w = w_lo; w <= w_hi; ++w) {
-      const auto simulate = [&](double ebn0) {
-        BerConfig config;
-        config.ebn0_db = ebn0;
-        config.min_errors = min_errors;
-        config.max_codewords = max_codewords;
-        config.seed = 1000 + n + w;
-        config.bp = bp;
-        return simulate_ber_window(code, w, config);
-      };
-      const double ebn0 =
-          required_ebn0_db(simulate, target_ber, 1.5, 6.0, 0.25);
-      table.add_row({"LDPC-CC", Table::num(static_cast<long long>(n)),
-                     Table::num(static_cast<long long>(w)),
-                     Table::num(window_decoder_latency_bits(
-                                    w, n, code.nv(), code.rate_asymptotic()),
-                                0),
-                     Table::num(ebn0, 2)});
-      std::cout << "." << std::flush;
-    }
-  };
-
-  auto run_bc = [&](std::size_t n) {
-    const QcLdpcBlockCode code(BaseMatrix({{4, 4}}), n, /*seed=*/n);
-    const auto simulate = [&](double ebn0) {
-      BerConfig config;
-      config.ebn0_db = ebn0;
-      config.min_errors = min_errors;
-      config.max_codewords = max_codewords;
-      config.seed = 2000 + n;
-      config.bp = bp;
-      return simulate_ber_block(code, config);
-    };
-    const double ebn0 =
-        required_ebn0_db(simulate, target_ber, 1.5, 6.0, 0.25);
-    table.add_row({"LDPC-BC", Table::num(static_cast<long long>(n)), "-",
-                   Table::num(block_code_latency_bits(n, 2, 0.5), 0),
-                   Table::num(ebn0, 2)});
-    std::cout << "." << std::flush;
-  };
-
-  run_cc(25, 3, 8);
-  run_cc(40, 3, 8);
-  run_cc(60, 4, 6);
-  for (const std::size_t n : {100, 150, 200, 300, 400}) run_bc(n);
-  std::cout << "\n\n";
-  table.print(std::cout);
-
+  const RunResult result = engine.run(spec);
+  print_result(std::cout, result);
   std::cout << "\n# checks: required Eb/N0 falls with W (decoder-side "
                "knob) and with N (code strength);\n"
             << "# at equal latency the LDPC-CC needs less Eb/N0 than the "
                "LDPC-BC it is derived from\n"
             << "# (paper example at BER 1e-5: ~3 dB at T_WD = 200 for CC "
                "vs T_B = 400 for BC — a 200-bit latency gain)\n";
-  return 0;
+  return result.ok() ? 0 : 1;
 }

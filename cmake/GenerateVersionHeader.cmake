@@ -1,0 +1,74 @@
+# Script-mode generator for wi_version.h, run at *build* time (not
+# configure time) so a new commit or a changed dirty tree refreshes the
+# version string without a reconfigure — the ResultStore content-keys
+# cached results by it. Dirty trees get a content hash suffix so two
+# different sets of uncommitted edits never share a cache key.
+#
+# Inputs: SOURCE_DIR, OUTPUT_FILE. Writes only on change (restat-friendly).
+
+set(version "unversioned")
+find_package(Git QUIET)
+if(Git_FOUND)
+  execute_process(
+    COMMAND ${GIT_EXECUTABLE} describe --always --tags
+    WORKING_DIRECTORY ${SOURCE_DIR}
+    OUTPUT_VARIABLE describe_out
+    OUTPUT_STRIP_TRAILING_WHITESPACE
+    ERROR_QUIET
+    RESULT_VARIABLE describe_result)
+  if(describe_result EQUAL 0 AND NOT describe_out STREQUAL "")
+    set(version ${describe_out})
+    # Uncommitted changes (including untracked files): append the hash
+    # of a synthetic tree of the full worktree. `git add -A` against a
+    # throwaway index captures untracked *content*, which a plain
+    # `git diff HEAD` hash would miss.
+    execute_process(
+      COMMAND ${GIT_EXECUTABLE} status --porcelain -uall
+      WORKING_DIRECTORY ${SOURCE_DIR}
+      OUTPUT_VARIABLE status_out
+      ERROR_QUIET)
+    if(NOT status_out STREQUAL "")
+      set(tmp_index ${OUTPUT_FILE}.gitindex)
+      set(ENV{GIT_INDEX_FILE} ${tmp_index})
+      execute_process(
+        COMMAND ${GIT_EXECUTABLE} add -A
+        WORKING_DIRECTORY ${SOURCE_DIR}
+        ERROR_QUIET)
+      execute_process(
+        COMMAND ${GIT_EXECUTABLE} write-tree
+        WORKING_DIRECTORY ${SOURCE_DIR}
+        OUTPUT_VARIABLE tree_out
+        OUTPUT_STRIP_TRAILING_WHITESPACE
+        ERROR_QUIET
+        RESULT_VARIABLE tree_result)
+      unset(ENV{GIT_INDEX_FILE})
+      file(REMOVE ${tmp_index})
+      if(tree_result EQUAL 0 AND NOT tree_out STREQUAL "")
+        string(SUBSTRING ${tree_out} 0 12 dirty_hash)
+      else()
+        # Fallback: weaker but still change-sensitive for tracked files.
+        execute_process(
+          COMMAND ${GIT_EXECUTABLE} diff HEAD
+          WORKING_DIRECTORY ${SOURCE_DIR}
+          OUTPUT_VARIABLE diff_out
+          ERROR_QUIET)
+        string(SHA1 dirty_hash "${status_out}${diff_out}")
+        string(SUBSTRING ${dirty_hash} 0 12 dirty_hash)
+      endif()
+      string(APPEND version "-dirty.${dirty_hash}")
+    endif()
+  endif()
+endif()
+
+set(content "// Generated at build time by GenerateVersionHeader.cmake.
+#pragma once
+#define WI_GIT_DESCRIBE \"${version}\"
+")
+if(EXISTS ${OUTPUT_FILE})
+  file(READ ${OUTPUT_FILE} existing)
+else()
+  set(existing "")
+endif()
+if(NOT content STREQUAL existing)
+  file(WRITE ${OUTPUT_FILE} "${content}")
+endif()

@@ -1,0 +1,92 @@
+#pragma once
+/// \file json.hpp
+/// \brief Minimal JSON value with a deterministic writer — the
+///        serialization substrate for result tables, scenario specs and
+///        the on-disk result store.
+///
+/// Design constraints (why not a third-party library): the container
+/// ships no JSON dependency, and the result store content-keys cached
+/// results by hashing the serialized spec — so `dump()` must be
+/// deterministic. Objects therefore preserve insertion order and
+/// numbers use the shortest round-trip (`std::to_chars`) form.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace wi {
+
+/// One JSON value: null, bool, finite number, string, array or object.
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<Json>;
+  /// Insertion-ordered key/value list (deterministic dump; duplicate
+  /// keys are rejected by set/parse).
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() = default;  ///< null
+  Json(bool value) : kind_(Kind::kBool), bool_(value) {}
+  Json(double value);  ///< throws StatusError(kParseError) if non-finite
+  Json(int value) : Json(static_cast<double>(value)) {}
+  Json(long long value) : Json(static_cast<double>(value)) {}
+  Json(unsigned long long value) : Json(static_cast<double>(value)) {}
+  Json(const char* value) : kind_(Kind::kString), string_(value) {}
+  Json(std::string value)
+      : kind_(Kind::kString), string_(std::move(value)) {}
+  Json(Array value) : kind_(Kind::kArray), array_(std::move(value)) {}
+  Json(Object value) : kind_(Kind::kObject), object_(std::move(value)) {}
+
+  [[nodiscard]] static Json array() { return Json(Array{}); }
+  [[nodiscard]] static Json object() { return Json(Object{}); }
+
+  /// Parse a complete JSON document (trailing garbage is an error).
+  /// Throws StatusError(kParseError) with position context on failure.
+  [[nodiscard]] static Json parse(std::string_view text);
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; throw StatusError(kParseError) on kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  [[nodiscard]] const Json* find(std::string_view key) const;
+
+  /// Object member by key; throws StatusError(kParseError) when absent.
+  [[nodiscard]] const Json& at(std::string_view key) const;
+
+  /// Append an object member; throws on non-objects / duplicate keys.
+  void set(std::string key, Json value);
+
+  /// Append an array element; throws on non-arrays.
+  void push_back(Json value);
+
+  /// Serialize. indent < 0: compact one-line form (the canonical /
+  /// hashable form); indent >= 0: pretty-printed with that step.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+  [[nodiscard]] bool operator==(const Json&) const = default;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace wi

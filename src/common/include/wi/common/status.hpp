@@ -22,6 +22,8 @@ enum class StatusCode {
   kUnreachableRoute,   ///< routing found no path between two routers
   kUnsupported,        ///< a requested combination is not implemented
   kExecutionError,     ///< unexpected failure while running a scenario
+  kParseError,         ///< malformed serialized input (JSON/CSV)
+  kNotFound,           ///< a lookup (file, cache entry, scenario) missed
 };
 
 /// Short stable identifier of a code ("ok", "invalid_spec", ...).
@@ -32,6 +34,8 @@ enum class StatusCode {
     case StatusCode::kUnreachableRoute: return "unreachable_route";
     case StatusCode::kUnsupported: return "unsupported";
     case StatusCode::kExecutionError: return "execution_error";
+    case StatusCode::kParseError: return "parse_error";
+    case StatusCode::kNotFound: return "not_found";
   }
   return "unknown";
 }

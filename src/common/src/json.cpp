@@ -1,0 +1,388 @@
+#include "wi/common/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "wi/common/status.hpp"
+
+namespace wi {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& message) {
+  throw StatusError(Status(StatusCode::kParseError, message));
+}
+
+[[nodiscard]] const char* kind_name(Json::Kind kind) {
+  switch (kind) {
+    case Json::Kind::kNull: return "null";
+    case Json::Kind::kBool: return "bool";
+    case Json::Kind::kNumber: return "number";
+    case Json::Kind::kString: return "string";
+    case Json::Kind::kArray: return "array";
+    case Json::Kind::kObject: return "object";
+  }
+  return "unknown";
+}
+
+void expect_kind(const Json& value, Json::Kind kind) {
+  if (value.kind() != kind) {
+    fail(std::string("expected ") + kind_name(kind) + ", got " +
+         kind_name(value.kind()));
+  }
+}
+
+/// Recursive-descent parser over a string_view with a position cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  [[nodiscard]] Json parse_document() {
+    Json value = parse_value();
+    skip_whitespace();
+    if (pos_ != text_.size()) error("trailing characters after document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void error(const std::string& message) const {
+    fail("json: " + message + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char peek() {
+    if (pos_ >= text_.size()) error("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      error(std::string("expected '") + c + "', got '" + peek() + "'");
+    }
+    ++pos_;
+  }
+
+  [[nodiscard]] bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  // Containers nest via recursion; a malicious/garbage document of
+  // repeated '[' must produce a kParseError, not a stack overflow.
+  static constexpr int kMaxDepth = 256;
+
+  [[nodiscard]] Json parse_value() {
+    skip_whitespace();
+    if (depth_ >= kMaxDepth) error("nesting deeper than 256 levels");
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json(parse_string());
+      case 't':
+        if (consume_literal("true")) return Json(true);
+        error("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return Json(false);
+        error("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return Json();
+        error("invalid literal");
+      default: return parse_number();
+    }
+  }
+
+  [[nodiscard]] Json parse_object() {
+    expect('{');
+    ++depth_;
+    Json object = Json::object();
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      --depth_;
+      return object;
+    }
+    while (true) {
+      skip_whitespace();
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      object.set(std::move(key), parse_value());
+      skip_whitespace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      --depth_;
+      return object;
+    }
+  }
+
+  [[nodiscard]] Json parse_array() {
+    expect('[');
+    ++depth_;
+    Json array = Json::array();
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      --depth_;
+      return array;
+    }
+    while (true) {
+      array.push_back(parse_value());
+      skip_whitespace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      --depth_;
+      return array;
+    }
+  }
+
+  [[nodiscard]] std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) error("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) error("unterminated escape");
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) error("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else error("invalid \\u escape digit");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are not
+          // needed for this library's ASCII-oriented payloads).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: error("invalid escape character");
+      }
+    }
+  }
+
+  [[nodiscard]] Json parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    double value = 0.0;
+    const auto [end, ec] =
+        std::from_chars(text_.data() + start, text_.data() + pos_, value);
+    if (ec != std::errc() || end != text_.data() + pos_ || pos_ == start) {
+      pos_ = start;
+      error("invalid number");
+    }
+    return Json(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+void dump_string(const std::string& s, std::string& out) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void dump_number(double value, std::string& out) {
+  char buffer[32];
+  const auto [end, ec] =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  if (ec != std::errc()) fail("json: number formatting failed");
+  out.append(buffer, end);
+}
+
+void dump_value(const Json& value, int indent, int depth, std::string& out) {
+  const bool pretty = indent >= 0;
+  const auto newline_indent = [&](int d) {
+    if (!pretty) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  switch (value.kind()) {
+    case Json::Kind::kNull: out += "null"; return;
+    case Json::Kind::kBool: out += value.as_bool() ? "true" : "false"; return;
+    case Json::Kind::kNumber: dump_number(value.as_number(), out); return;
+    case Json::Kind::kString: dump_string(value.as_string(), out); return;
+    case Json::Kind::kArray: {
+      const auto& array = value.as_array();
+      if (array.empty()) {
+        out += "[]";
+        return;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < array.size(); ++i) {
+        if (i != 0) out += ',';
+        newline_indent(depth + 1);
+        dump_value(array[i], indent, depth + 1, out);
+      }
+      newline_indent(depth);
+      out += ']';
+      return;
+    }
+    case Json::Kind::kObject: {
+      const auto& object = value.as_object();
+      if (object.empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < object.size(); ++i) {
+        if (i != 0) out += ',';
+        newline_indent(depth + 1);
+        dump_string(object[i].first, out);
+        out += ':';
+        if (pretty) out += ' ';
+        dump_value(object[i].second, indent, depth + 1, out);
+      }
+      newline_indent(depth);
+      out += '}';
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+Json::Json(double value) : kind_(Kind::kNumber), number_(value) {
+  if (!std::isfinite(value)) {
+    fail("json: numbers must be finite (serialize non-finite values as "
+         "strings)");
+  }
+}
+
+Json Json::parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+bool Json::as_bool() const {
+  expect_kind(*this, Kind::kBool);
+  return bool_;
+}
+
+double Json::as_number() const {
+  expect_kind(*this, Kind::kNumber);
+  return number_;
+}
+
+const std::string& Json::as_string() const {
+  expect_kind(*this, Kind::kString);
+  return string_;
+}
+
+const Json::Array& Json::as_array() const {
+  expect_kind(*this, Kind::kArray);
+  return array_;
+}
+
+const Json::Object& Json::as_object() const {
+  expect_kind(*this, Kind::kObject);
+  return object_;
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Json& Json::at(std::string_view key) const {
+  expect_kind(*this, Kind::kObject);
+  const Json* value = find(key);
+  if (value == nullptr) fail("json: missing key '" + std::string(key) + "'");
+  return *value;
+}
+
+void Json::set(std::string key, Json value) {
+  expect_kind(*this, Kind::kObject);
+  if (find(key) != nullptr) fail("json: duplicate key '" + key + "'");
+  object_.emplace_back(std::move(key), std::move(value));
+}
+
+void Json::push_back(Json value) {
+  expect_kind(*this, Kind::kArray);
+  array_.push_back(std::move(value));
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_value(*this, indent, 0, out);
+  return out;
+}
+
+}  // namespace wi

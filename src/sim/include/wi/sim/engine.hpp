@@ -13,6 +13,7 @@
 /// cell-identical tables at any thread count.
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -54,11 +55,20 @@ class SimEngine {
   /// returned status records them and the table stays empty.
   [[nodiscard]] RunResult run(const ScenarioSpec& spec);
 
+  /// Completion hook for run_all: called once per scenario with its
+  /// input index, as soon as that result exists. With multiple worker
+  /// threads the callback runs concurrently from the workers — it must
+  /// be thread-safe (the ResultStore uses it to persist each grid point
+  /// immediately, which is what makes interrupted sweeps resumable).
+  using ResultCallback =
+      std::function<void(std::size_t index, const RunResult& result)>;
+
   /// Run many scenarios on a work-stealing thread pool. Results are in
   /// input order and cell-identical for every thread count.
   /// \param threads  0 = engine option (0 there = hardware concurrency)
   [[nodiscard]] std::vector<RunResult> run_all(
-      const std::vector<ScenarioSpec>& specs, std::size_t threads = 0);
+      const std::vector<ScenarioSpec>& specs, std::size_t threads = 0,
+      const ResultCallback& on_result = {});
 
   /// Expand a sweep grid, run it in parallel, and merge everything into
   /// one long-format table: scenario + status columns, then the
@@ -81,6 +91,14 @@ class SimEngine {
   EngineOptions options_;
   PhyCurveCache phy_cache_;
 };
+
+/// Merge per-point sweep results into one long-format table (scenario +
+/// status columns before the workload's row schema). Failed points
+/// contribute one '-' row and mark the merged status failed. Shared by
+/// SimEngine::run_sweep and the ResultStore's resumable sweep.
+[[nodiscard]] RunResult merge_sweep_results(const std::string& sweep_name,
+                                            Workload workload,
+                                            const std::vector<RunResult>& runs);
 
 /// Print a run result (notes, then the table) — the shared output path
 /// of the ported benches.

@@ -34,9 +34,10 @@ class ScenarioRegistry {
 
   [[nodiscard]] std::size_t size() const { return specs_.size(); }
 
-  /// The preloaded paper registry: Table I, Figs. 1/4/8(a)/8(b), the
-  /// quickstart link, the link plan, the Sec. IV stack and star-mesh
-  /// ablations, the Sec. VI hybrid system and the Fig. 10 coding plan.
+  /// The preloaded paper registry — every paper artifact: Table I,
+  /// Figs. 1-6, 8(a)/8(b) and 10 (BER scan + coding plan), the
+  /// quickstart link, the link plan, and the star-mesh / vertical-link
+  /// / hybrid-system / ADC-energy / threshold-saturation ablations.
   [[nodiscard]] static const ScenarioRegistry& paper();
 
  private:

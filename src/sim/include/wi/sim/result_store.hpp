@@ -1,0 +1,95 @@
+#pragma once
+/// \file result_store.hpp
+/// \brief Persistent, content-keyed cache of scenario results.
+///
+/// Every cache entry is one JSON file keyed by FNV-1a over the
+/// scenario's canonical serialized spec, an explicit seed salt and a
+/// version string (pass `git describe` so a code change invalidates
+/// everything it could have affected). Entries are written atomically
+/// (tmp file + rename) as soon as each scenario finishes, so an
+/// interrupted sweep resumes per grid point: re-running an unchanged
+/// sweep replays stored rows and only executes the points that are
+/// missing. Only successful results are cached — failed points are
+/// retried on the next run.
+
+#include <cstdint>
+#include <filesystem>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "wi/common/json.hpp"
+#include "wi/sim/engine.hpp"
+#include "wi/sim/scenario.hpp"
+
+namespace wi::sim {
+
+/// RunResult <-> JSON ({"scenario", "status": {code, message}, "notes",
+/// "table"}); the on-disk payload of the store and of `wi_run --out`.
+[[nodiscard]] Json run_result_to_json(const RunResult& result);
+[[nodiscard]] RunResult run_result_from_json(const Json& json);
+
+struct ResultStoreOptions {
+  std::filesystem::path directory = "results/store";
+  /// Code-version component of every key; wire `git describe` through
+  /// here (wi_run does) so stale caches cannot survive a code change.
+  std::string version = "unversioned";
+};
+
+class ResultStore {
+ public:
+  /// Creates the directory if needed; throws StatusError
+  /// (kExecutionError) when it cannot be created.
+  explicit ResultStore(ResultStoreOptions options);
+
+  /// Content key of a (spec, seed) pair under this store's version:
+  /// 16 hex digits of FNV-1a64 over the canonical spec JSON.
+  [[nodiscard]] std::string key(const ScenarioSpec& spec,
+                                std::uint64_t seed = 0) const;
+
+  /// Cached result, or nullopt on miss. Corrupt/mismatching entries
+  /// (hash collision, truncated write survivor) count as misses.
+  [[nodiscard]] std::optional<RunResult> load(const ScenarioSpec& spec,
+                                              std::uint64_t seed = 0) const;
+
+  /// Persist a successful result (atomically); failed results are
+  /// ignored so they re-run next time.
+  void save(const ScenarioSpec& spec, const RunResult& result,
+            std::uint64_t seed = 0);
+
+  /// run_all through the cache: stored results are returned without
+  /// execution, misses run on the engine's pool and are persisted the
+  /// moment each finishes (interruption-safe).
+  [[nodiscard]] std::vector<RunResult> run_all(
+      SimEngine& engine, const std::vector<ScenarioSpec>& specs,
+      std::size_t threads = 0);
+
+  /// Resumable declarative sweep: expand_grid + cached run_all + merge.
+  /// Appends a "store: X hits / Y misses" note recording the split.
+  [[nodiscard]] RunResult run_sweep(SimEngine& engine,
+                                    const ScenarioSpec& base,
+                                    const std::vector<SweepAxis>& axes,
+                                    std::size_t threads = 0);
+
+  /// Lifetime cache counters of this store instance.
+  [[nodiscard]] std::size_t hits() const { return hits_; }
+  [[nodiscard]] std::size_t misses() const { return misses_; }
+
+  [[nodiscard]] const ResultStoreOptions& options() const {
+    return options_;
+  }
+
+  /// Entry path for a key (exists only after a save).
+  [[nodiscard]] std::filesystem::path entry_path(
+      const std::string& key) const;
+
+ private:
+  ResultStoreOptions options_;
+  std::mutex io_mutex_;    ///< serializes writes from run_all workers
+  std::mutex warn_mutex_;  ///< keeps dropped-entry warnings unsheared
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace wi::sim

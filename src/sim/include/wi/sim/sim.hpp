@@ -6,5 +6,7 @@
 #include "wi/sim/engine.hpp"
 #include "wi/sim/phy_curve_cache.hpp"
 #include "wi/sim/registry.hpp"
+#include "wi/sim/result_store.hpp"
 #include "wi/sim/scenario.hpp"
+#include "wi/sim/scenario_json.hpp"
 #include "wi/sim/status.hpp"

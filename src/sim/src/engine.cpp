@@ -9,8 +9,13 @@
 #include <thread>
 #include <utility>
 
+#include "wi/comm/adc.hpp"
+#include "wi/comm/filter_design.hpp"
+#include "wi/comm/info_rate.hpp"
 #include "wi/common/math.hpp"
 #include "wi/core/coding_planner.hpp"
+#include "wi/fec/ber.hpp"
+#include "wi/fec/density_evolution.hpp"
 #include "wi/core/geometry.hpp"
 #include "wi/core/hybrid_system.hpp"
 #include "wi/core/link_planner.hpp"
@@ -20,7 +25,9 @@
 #include "wi/noc/queueing_model.hpp"
 #include "wi/rf/antenna.hpp"
 #include "wi/rf/campaign.hpp"
+#include "wi/rf/channel.hpp"
 #include "wi/rf/pathloss.hpp"
+#include "wi/rf/vna.hpp"
 
 namespace wi::sim {
 
@@ -328,6 +335,236 @@ void run_coding_plan(const ScenarioSpec& spec, RunResult& result) {
   }
 }
 
+void run_impulse_response(const ScenarioSpec& spec, RunResult& result) {
+  const ImpulseSpec& imp = spec.impulse;
+  rf::VnaConfig vna_config;
+  vna_config.seed = imp.seed;
+  const auto measure = [&](bool copper_boards) {
+    rf::BoardToBoardScenario scenario;
+    scenario.distance_m = imp.distance_m;
+    scenario.copper_boards = copper_boards;
+    const rf::MultipathChannel channel =
+        rf::board_to_board_channel(scenario);
+    // A fresh instrument per environment: both measurements see the
+    // same noise realisation, like re-seeding the testbed campaign.
+    rf::SyntheticVna vna(vna_config);
+    const rf::ImpulseResponse ir = rf::to_impulse_response(vna.measure(channel));
+    const char* label = copper_boards ? "copper" : "freespace";
+    for (const auto& tap : channel.taps()) {
+      result.notes.push_back(
+          std::string(label) + " tap '" + tap.label + "': delay " +
+          Table::num(tap.delay_s * 1e9, 3) + " ns, rel LoS " +
+          Table::num(tap.gain_db - channel.strongest_tap_db(), 1) + " dB");
+    }
+    result.notes.push_back(
+        std::string(label) + " worst reflection: " +
+        Table::num(rf::worst_reflection_rel_db(ir, 6), 1) +
+        " dB rel LoS (paper: <= -15 dB)");
+    return ir;
+  };
+  const rf::ImpulseResponse free_space = measure(false);
+  const rf::ImpulseResponse copper = measure(true);
+  for (std::size_t i = 0; i < free_space.delay_s.size();
+       i += imp.decimation) {
+    if (free_space.delay_s[i] > imp.max_delay_ns * 1e-9) break;
+    result.table.add_row({Table::num(free_space.delay_s[i] * 1e9, 3),
+                          Table::num(free_space.magnitude_db[i], 1),
+                          Table::num(copper.magnitude_db[i], 1)});
+  }
+}
+
+void run_isi_filters(const ScenarioSpec& spec, RunResult& result) {
+  using comm::IsiFilter;
+  const IsiSpec& isi = spec.isi;
+  const comm::Constellation c4 = comm::Constellation::ask(4);
+  comm::FilterDesignOptions options;
+  options.design_snr_db = isi.design_snr_db;
+  struct Design {
+    const char* name;
+    IsiFilter filter;
+  };
+  const std::vector<Design> designs = {
+      {"rectangular", IsiFilter::rectangular(5)},
+      {"optimal_symbolwise",
+       isi.reoptimize ? comm::optimize_filter_symbolwise(c4, options)
+                      : comm::paper_filter_symbolwise()},
+      {"optimal_sequence",
+       isi.reoptimize ? comm::optimize_filter_sequence(c4, options)
+                      : comm::paper_filter_sequence()},
+      {"suboptimal",
+       isi.reoptimize ? comm::design_filter_suboptimal(c4, options)
+                      : comm::paper_filter_suboptimal()},
+  };
+  for (const Design& design : designs) {
+    const auto& taps = design.filter.taps();
+    const double m =
+        static_cast<double>(design.filter.samples_per_symbol());
+    for (std::size_t i = 0; i < taps.size(); ++i) {
+      result.table.add_row({design.name,
+                            Table::num(static_cast<double>(i) / m, 2),
+                            Table::num(taps[i], 4)});
+    }
+    const comm::OneBitOsChannel channel(design.filter, c4,
+                                        isi.design_snr_db);
+    result.notes.push_back(
+        std::string(design.name) + ": symbolwise MI @" +
+        Table::num(isi.design_snr_db, 0) + " dB " +
+        Table::num(comm::mi_one_bit_symbolwise(channel), 3) +
+        " bpcu; sequence IR " +
+        Table::num(comm::info_rate_one_bit_sequence(
+                       channel, {isi.mc_symbols, isi.mc_seed}),
+                   3) +
+        " bpcu; unique detection: " +
+        (comm::is_uniquely_detectable(design.filter, c4) ? "yes" : "no"));
+  }
+}
+
+void run_info_rates(const ScenarioSpec& spec, RunResult& result) {
+  using namespace wi::comm;
+  const InfoRateSpec& ir = spec.info_rate;
+  const Constellation c4 = Constellation::ask(4);
+  const IsiFilter rect = IsiFilter::rectangular(5);
+  const IsiFilter f_seq = paper_filter_sequence();
+  const IsiFilter f_sym = paper_filter_symbolwise();
+  const IsiFilter f_sub = paper_filter_suboptimal();
+  const SequenceRateOptions mc{ir.mc_symbols, ir.mc_seed};
+  for (double snr = ir.snr_lo_db; snr <= ir.snr_hi_db + 1e-9;
+       snr += ir.snr_step_db) {
+    const OneBitOsChannel ch_seq(f_seq, c4, snr);
+    const OneBitOsChannel ch_sym(f_sym, c4, snr);
+    const OneBitOsChannel ch_rect(rect, c4, snr);
+    const OneBitOsChannel ch_sub(f_sub, c4, snr);
+    result.table.add_row(
+        {Table::num(snr, 1),
+         Table::num(info_rate_one_bit_sequence(ch_seq, mc), 3),
+         Table::num(mi_one_bit_symbolwise(ch_sym), 3),
+         Table::num(info_rate_one_bit_sequence(ch_rect, mc), 3),
+         Table::num(mi_one_bit_no_oversampling(c4, snr), 3),
+         Table::num(mi_unquantized_matched_filter(c4, snr, 5), 3),
+         Table::num(info_rate_one_bit_sequence(ch_sub, mc), 3)});
+  }
+  result.notes.push_back(
+      "expected: no-quantization -> 2 bpcu; 1bit no-OS -> 1 bpcu; "
+      "optimised ISI + sequence detection recovers most of the gap");
+}
+
+void run_adc_energy(const ScenarioSpec& spec, RunResult& result) {
+  using namespace wi::comm;
+  const AdcSpec& a = spec.adc;
+  const Constellation c4 = Constellation::ask(4);
+  const AdcModel adc{a.walden_fom_fj * 1e-15};
+  const OneBitOsChannel seq(paper_filter_sequence(), c4, a.snr_db);
+  const double rate_1bit_os =
+      info_rate_one_bit_sequence(seq, {a.mc_symbols, a.mc_seed});
+  const std::vector<ReceiverOption> options = {
+      {"1-bit, 5x OS, seq. detection", 1, 5, rate_1bit_os},
+      {"1-bit, Nyquist", 1, 1, mi_one_bit_no_oversampling(c4, a.snr_db)},
+      {"2-bit, Nyquist", 2, 1,
+       mi_quantized_awgn(c4, UniformQuantizer(2), a.snr_db)},
+      {"3-bit, Nyquist", 3, 1,
+       mi_quantized_awgn(c4, UniformQuantizer(3), a.snr_db)},
+      {"4-bit, Nyquist", 4, 1,
+       mi_quantized_awgn(c4, UniformQuantizer(4), a.snr_db)},
+      {"8-bit, Nyquist", 8, 1, mi_unquantized_awgn(c4, a.snr_db)},
+  };
+  for (const auto& option : options) {
+    const double sample_rate =
+        a.symbol_rate_hz * static_cast<double>(option.oversampling);
+    const double throughput =
+        option.info_rate_bpcu * a.symbol_rate_hz / 1e9;
+    result.table.add_row(
+        {option.name, Table::num(sample_rate / 1e9, 0),
+         Table::num(option.info_rate_bpcu, 3), Table::num(throughput, 1),
+         Table::num(adc.power_w(option.adc_bits, sample_rate) * 1e3, 3),
+         Table::num(
+             adc_energy_per_bit_j(adc, option, a.symbol_rate_hz) * 1e12,
+             4)});
+  }
+  result.notes.push_back(
+      "the 1-bit 5x-OS receiver delivers near-ideal throughput at a "
+      "fraction of the 8-bit converter's ADC energy per bit (Sec. III)");
+}
+
+void run_threshold_saturation(const ScenarioSpec& spec, RunResult& result) {
+  using namespace wi::fec;
+  const SaturationSpec& sat = spec.saturation;
+  const BaseMatrix block({{4, 4}});
+  const EdgeSpreading spreading = EdgeSpreading::paper_example();
+  const double block_threshold =
+      bec_threshold(block, sat.threshold_tolerance);
+  for (const std::size_t termination : sat.terminations) {
+    const double threshold =
+        coupled_bec_threshold(spreading, termination, sat.threshold_tolerance);
+    const double rate = 1.0 - static_cast<double>(termination + 2) /
+                                  (2.0 * static_cast<double>(termination));
+    result.table.add_row({Table::num(static_cast<long long>(termination)),
+                          Table::num(threshold, 4),
+                          Table::num(threshold - block_threshold, 4),
+                          Table::num(rate, 4), Table::num(0.5 - rate, 4)});
+  }
+  result.notes.push_back("block ensemble B=[4,4] BP threshold: " +
+                         Table::num(block_threshold, 4) +
+                         " (literature: 0.3834; MAP: ~0.4977)");
+}
+
+void run_ldpc_latency(const ScenarioSpec& spec, RunResult& result) {
+  using namespace wi::fec;
+  const LdpcLatencySpec& l = spec.ldpc;
+  BpOptions bp;
+  bp.max_iterations = l.max_bp_iterations;
+  for (const LdpcCurveSpec& curve : l.cc_curves) {
+    const std::size_t n = curve.lifting;
+    const LdpcConvolutionalCode code(EdgeSpreading::paper_example(), n,
+                                     l.termination, /*seed=*/n);
+    for (std::size_t w = curve.window_lo; w <= curve.window_hi; ++w) {
+      const auto simulate = [&](double ebn0) {
+        BerConfig config;
+        config.ebn0_db = ebn0;
+        config.min_errors = l.min_errors;
+        config.max_codewords = l.max_codewords;
+        config.seed = 1000 + n + w;
+        config.bp = bp;
+        return simulate_ber_window(code, w, config);
+      };
+      const double ebn0 =
+          required_ebn0_db(simulate, l.target_ber, l.search_lo_db,
+                           l.search_hi_db, l.search_step_db);
+      result.table.add_row(
+          {"LDPC-CC", Table::num(static_cast<long long>(n)),
+           Table::num(static_cast<long long>(w)),
+           Table::num(window_decoder_latency_bits(w, n, code.nv(),
+                                                  code.rate_asymptotic()),
+                      0),
+           Table::num(ebn0, 2)});
+    }
+  }
+  for (const std::size_t n : l.bc_liftings) {
+    const QcLdpcBlockCode code(BaseMatrix({{4, 4}}), n, /*seed=*/n);
+    const auto simulate = [&](double ebn0) {
+      BerConfig config;
+      config.ebn0_db = ebn0;
+      config.min_errors = l.min_errors;
+      config.max_codewords = l.max_codewords;
+      config.seed = 2000 + n;
+      config.bp = bp;
+      return simulate_ber_block(code, config);
+    };
+    const double ebn0 =
+        required_ebn0_db(simulate, l.target_ber, l.search_lo_db,
+                         l.search_hi_db, l.search_step_db);
+    result.table.add_row({"LDPC-BC", Table::num(static_cast<long long>(n)),
+                          "-", Table::num(block_code_latency_bits(n, 2, 0.5), 0),
+                          Table::num(ebn0, 2)});
+  }
+  result.notes.push_back(
+      "target BER " + Table::num(l.target_ber, 6) + ", min_errors " +
+      Table::num(static_cast<long long>(l.min_errors)) +
+      ", max_codewords " +
+      Table::num(static_cast<long long>(l.max_codewords)) +
+      "; required Eb/N0 falls with W and N, and at equal latency the "
+      "LDPC-CC needs less Eb/N0 than the LDPC-BC it is derived from");
+}
+
 void execute(const ScenarioSpec& spec, PhyCurveCache& cache,
              RunResult& result) {
   switch (spec.workload) {
@@ -349,6 +586,18 @@ void execute(const ScenarioSpec& spec, PhyCurveCache& cache,
       return run_hybrid_system(spec, result);
     case Workload::kCodingPlan:
       return run_coding_plan(spec, result);
+    case Workload::kImpulseResponse:
+      return run_impulse_response(spec, result);
+    case Workload::kIsiFilters:
+      return run_isi_filters(spec, result);
+    case Workload::kInfoRates:
+      return run_info_rates(spec, result);
+    case Workload::kAdcEnergy:
+      return run_adc_energy(spec, result);
+    case Workload::kThresholdSaturation:
+      return run_threshold_saturation(spec, result);
+    case Workload::kLdpcLatency:
+      return run_ldpc_latency(spec, result);
   }
   throw StatusError(Status(StatusCode::kUnsupported, "unknown workload"));
 }
@@ -382,6 +631,21 @@ std::vector<std::string> workload_headers(Workload workload) {
     case Workload::kCodingPlan:
       return {"latency_budget_bits", "family", "N", "W", "latency_bits",
               "reqd_EbN0_dB"};
+    case Workload::kImpulseResponse:
+      return {"tau_ns", "free_h_dB", "copper_h_dB"};
+    case Workload::kIsiFilters:
+      return {"design", "tau_over_T", "h"};
+    case Workload::kInfoRates:
+      return {"SNR_dB", "MaxIR_seq", "MaxIR_symbolwise", "Rect_1bit_OS",
+              "1bit_no_OS", "no_quantization", "suboptimal_seq"};
+    case Workload::kAdcEnergy:
+      return {"receiver", "sample_rate_GSs", "rate_bpcu", "throughput_Gbps",
+              "ADC_power_mW", "pJ_per_bit"};
+    case Workload::kThresholdSaturation:
+      return {"L", "coupled_threshold", "gain_vs_block", "rate_terminated",
+              "rate_loss"};
+    case Workload::kLdpcLatency:
+      return {"family", "N", "W", "latency_bits", "reqd_EbN0_dB"};
   }
   return {"-"};
 }
@@ -422,7 +686,8 @@ RunResult SimEngine::run(const ScenarioSpec& spec) {
 }
 
 std::vector<RunResult> SimEngine::run_all(
-    const std::vector<ScenarioSpec>& specs, std::size_t threads) {
+    const std::vector<ScenarioSpec>& specs, std::size_t threads,
+    const ResultCallback& on_result) {
   std::vector<RunResult> results(specs.size());
   if (specs.empty()) return results;
   const std::size_t workers =
@@ -430,6 +695,7 @@ std::vector<RunResult> SimEngine::run_all(
   if (workers <= 1) {
     for (std::size_t i = 0; i < specs.size(); ++i) {
       results[i] = run(specs[i]);
+      if (on_result) on_result(i, results[i]);
     }
     return results;
   }
@@ -445,6 +711,7 @@ std::vector<RunResult> SimEngine::run_all(
       const std::size_t i = next.fetch_add(1);
       if (i >= specs.size()) break;
       results[i] = run(specs[i]);
+      if (on_result) on_result(i, results[i]);
     }
   };
   std::vector<std::thread> pool;
@@ -465,11 +732,28 @@ RunResult SimEngine::run_sweep(const ScenarioSpec& base,
   const std::size_t misses_before = phy_cache_.misses();
   const std::vector<RunResult> runs = run_all(specs, threads);
 
+  RunResult merged = merge_sweep_results(base.name, base.workload, runs);
+  // Deltas, not lifetime counters: a bench may run several sweeps on
+  // one engine and each note must describe its own sweep.
+  merged.notes.push_back(
+      Table::num(static_cast<long long>(runs.size())) + " grid points; " +
+      "phy curve cache: " +
+      Table::num(static_cast<long long>(phy_cache_.hits() - hits_before)) +
+      " hits / " +
+      Table::num(
+          static_cast<long long>(phy_cache_.misses() - misses_before)) +
+      " misses");
+  return merged;
+}
+
+RunResult merge_sweep_results(const std::string& sweep_name,
+                              Workload workload,
+                              const std::vector<RunResult>& runs) {
   RunResult merged;
-  merged.scenario = base.name;
+  merged.scenario = sweep_name;
   std::size_t failed = 0;
   std::vector<std::string> headers = {"scenario", "status"};
-  const std::vector<std::string> schema = workload_headers(base.workload);
+  const std::vector<std::string> schema = workload_headers(workload);
   headers.insert(headers.end(), schema.begin(), schema.end());
   merged.table = Table(headers);
   for (const RunResult& r : runs) {
@@ -499,16 +783,6 @@ RunResult SimEngine::run_sweep(const ScenarioSpec& base,
         std::to_string(failed) + " of " + std::to_string(runs.size()) +
             " grid points failed (see status column)");
   }
-  // Deltas, not lifetime counters: a bench may run several sweeps on
-  // one engine and each note must describe its own sweep.
-  merged.notes.push_back(
-      Table::num(static_cast<long long>(runs.size())) + " grid points; " +
-      "phy curve cache: " +
-      Table::num(static_cast<long long>(phy_cache_.hits() - hits_before)) +
-      " hits / " +
-      Table::num(
-          static_cast<long long>(phy_cache_.misses() - misses_before)) +
-      " misses");
   return merged;
 }
 

@@ -197,6 +197,65 @@ namespace {
     spec.workload = Workload::kCodingPlan;
     registry.add(spec);
   }
+  {
+    ScenarioSpec spec;
+    spec.name = "fig02_impulse_50mm";
+    spec.description =
+        "Fig. 2: impulse response at 50 mm, free space vs copper boards";
+    spec.workload = Workload::kImpulseResponse;
+    registry.add(spec);
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "fig03_impulse_150mm";
+    spec.description =
+        "Fig. 3: impulse response at 150 mm (diagonal link, rotated boards)";
+    spec.workload = Workload::kImpulseResponse;
+    spec.impulse.distance_m = 0.15;
+    spec.impulse.max_delay_ns = 2.0;
+    spec.impulse.seed = 23;
+    registry.add(spec);
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "fig05_isi_filters";
+    spec.description =
+        "Fig. 5: the four ISI filter designs for the 1-bit 5x-OS receiver";
+    spec.workload = Workload::kIsiFilters;
+    registry.add(spec);
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "fig06_info_rates";
+    spec.description =
+        "Fig. 6: information rates of 4-ASK with 1-bit quantization";
+    spec.workload = Workload::kInfoRates;
+    registry.add(spec);
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "ablation_adc_energy";
+    spec.description =
+        "Sec. III: ADC energy per information bit across front-ends";
+    spec.workload = Workload::kAdcEnergy;
+    registry.add(spec);
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "ablation_threshold_saturation";
+    spec.description =
+        "BEC threshold saturation of the (4,8) ensemble behind Fig. 10";
+    spec.workload = Workload::kThresholdSaturation;
+    registry.add(spec);
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "fig10_ldpc_latency";
+    spec.description =
+        "Fig. 10: required Eb/N0 vs decoding latency (Monte-Carlo BER)";
+    spec.workload = Workload::kLdpcLatency;
+    registry.add(spec);
+  }
 
   return registry;
 }

@@ -1,0 +1,223 @@
+#include "wi/sim/result_store.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <system_error>
+#include <utility>
+
+#include "wi/common/table_io.hpp"
+#include "wi/sim/scenario_json.hpp"
+
+namespace wi::sim {
+
+namespace {
+
+constexpr const char* kFormat = "wi-result-v1";
+
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view data,
+                                    std::uint64_t hash = 0xcbf29ce484222325ULL) {
+  for (const char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+[[nodiscard]] std::string to_hex16(std::uint64_t value) {
+  char buffer[17] = {};
+  for (int i = 15; i >= 0; --i) {
+    buffer[i] = "0123456789abcdef"[value & 0xF];
+    value >>= 4;
+  }
+  return buffer;
+}
+
+[[nodiscard]] StatusCode status_code_from_name(const std::string& name) {
+  for (const StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidSpec,
+        StatusCode::kUnreachableRoute, StatusCode::kUnsupported,
+        StatusCode::kExecutionError, StatusCode::kParseError,
+        StatusCode::kNotFound}) {
+    if (name == status_code_name(code)) return code;
+  }
+  throw StatusError(Status(StatusCode::kParseError,
+                           "unknown status code '" + name + "'"));
+}
+
+}  // namespace
+
+Json run_result_to_json(const RunResult& result) {
+  Json json = Json::object();
+  json.set("scenario", Json(result.scenario));
+  Json status = Json::object();
+  status.set("code", Json(status_code_name(result.status.code())));
+  status.set("message", Json(result.status.message()));
+  json.set("status", std::move(status));
+  Json notes = Json::array();
+  for (const auto& note : result.notes) notes.push_back(Json(note));
+  json.set("notes", std::move(notes));
+  json.set("table", table_to_json(result.table));
+  return json;
+}
+
+RunResult run_result_from_json(const Json& json) {
+  RunResult result;
+  result.scenario = json.at("scenario").as_string();
+  const Json& status = json.at("status");
+  result.status = Status(status_code_from_name(status.at("code").as_string()),
+                         status.at("message").as_string());
+  for (const auto& note : json.at("notes").as_array()) {
+    result.notes.push_back(note.as_string());
+  }
+  result.table = table_from_json(json.at("table"));
+  return result;
+}
+
+ResultStore::ResultStore(ResultStoreOptions options)
+    : options_(std::move(options)) {
+  std::error_code ec;
+  std::filesystem::create_directories(options_.directory, ec);
+  if (ec) {
+    throw StatusError(Status(
+        StatusCode::kExecutionError,
+        "result store: cannot create '" + options_.directory.string() +
+            "': " + ec.message()));
+  }
+}
+
+std::string ResultStore::key(const ScenarioSpec& spec,
+                             std::uint64_t seed) const {
+  // Chain spec, version and seed through one FNV stream; '\x1f'
+  // separators keep field boundaries unambiguous.
+  std::uint64_t hash = fnv1a64(scenario_to_string(spec));
+  hash = fnv1a64("\x1f", hash);
+  hash = fnv1a64(options_.version, hash);
+  hash = fnv1a64("\x1f", hash);
+  hash = fnv1a64(std::to_string(seed), hash);
+  return to_hex16(hash);
+}
+
+std::filesystem::path ResultStore::entry_path(const std::string& key) const {
+  return options_.directory / (key + ".json");
+}
+
+std::optional<RunResult> ResultStore::load(const ScenarioSpec& spec,
+                                           std::uint64_t seed) const {
+  const std::filesystem::path path = entry_path(key(spec, seed));
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    const Json json = Json::parse(buffer.str());
+    if (json.at("format").as_string() != kFormat) return std::nullopt;
+    if (json.at("version").as_string() != options_.version) {
+      return std::nullopt;
+    }
+    // Collision/corruption guard: the stored spec must be *identical*,
+    // not merely hash-equal.
+    if (json.at("spec").dump() != scenario_to_json(spec).dump()) {
+      return std::nullopt;
+    }
+    return run_result_from_json(json.at("result"));
+  } catch (const StatusError&) {
+    // A truncated or hand-edited entry is a miss, not a fatal error.
+    return std::nullopt;
+  }
+}
+
+void ResultStore::save(const ScenarioSpec& spec, const RunResult& result,
+                       std::uint64_t seed) {
+  if (!result.ok()) return;  // failures re-run next time
+  const std::string entry_key = key(spec, seed);
+  Json json = Json::object();
+  json.set("format", Json(kFormat));
+  json.set("key", Json(entry_key));
+  json.set("version", Json(options_.version));
+  json.set("seed", Json(static_cast<double>(seed)));
+  json.set("spec", scenario_to_json(spec));
+  json.set("result", run_result_to_json(result));
+  const std::string payload = json.dump(2) + "\n";
+
+  const std::filesystem::path path = entry_path(entry_key);
+  const std::filesystem::path tmp =
+      path.string() + ".tmp";  // same directory => rename is atomic
+  std::lock_guard<std::mutex> lock(io_mutex_);
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    out << payload;
+    if (!out) {
+      throw StatusError(Status(StatusCode::kExecutionError,
+                               "result store: write failed for '" +
+                                   tmp.string() + "'"));
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    throw StatusError(Status(StatusCode::kExecutionError,
+                             "result store: rename failed for '" +
+                                 path.string() + "': " + ec.message()));
+  }
+}
+
+std::vector<RunResult> ResultStore::run_all(
+    SimEngine& engine, const std::vector<ScenarioSpec>& specs,
+    std::size_t threads) {
+  std::vector<RunResult> results(specs.size());
+  std::vector<std::size_t> miss_indices;
+  std::vector<ScenarioSpec> miss_specs;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (auto cached = load(specs[i])) {
+      results[i] = std::move(*cached);
+      ++hits_;
+    } else {
+      miss_indices.push_back(i);
+      miss_specs.push_back(specs[i]);
+      ++misses_;
+    }
+  }
+  if (miss_specs.empty()) return results;
+  // Persist every miss the moment it completes (the callback runs on
+  // the worker threads; save() serializes the file I/O), so an
+  // interrupted run leaves all finished points behind. A failing save
+  // (disk full, directory removed) must not take down the run — the
+  // result still exists in memory; it just won't be cached. An
+  // exception escaping a worker thread would call std::terminate.
+  const std::vector<RunResult> fresh = engine.run_all(
+      miss_specs, threads,
+      [&](std::size_t miss_index, const RunResult& result) {
+        try {
+          save(miss_specs[miss_index], result);
+        } catch (const std::exception& e) {
+          std::lock_guard<std::mutex> lock(warn_mutex_);
+          std::cerr << "result store: dropping cache entry for '"
+                    << result.scenario << "': " << e.what() << "\n";
+        }
+      });
+  for (std::size_t m = 0; m < miss_indices.size(); ++m) {
+    results[miss_indices[m]] = fresh[m];
+  }
+  return results;
+}
+
+RunResult ResultStore::run_sweep(SimEngine& engine, const ScenarioSpec& base,
+                                 const std::vector<SweepAxis>& axes,
+                                 std::size_t threads) {
+  const std::vector<ScenarioSpec> specs = expand_grid(base, axes);
+  const std::size_t hits_before = hits_;
+  const std::size_t misses_before = misses_;
+  const std::vector<RunResult> runs = run_all(engine, specs, threads);
+  RunResult merged = merge_sweep_results(base.name, base.workload, runs);
+  merged.notes.push_back(
+      Table::num(static_cast<long long>(runs.size())) +
+      " grid points; store: " +
+      Table::num(static_cast<long long>(hits_ - hits_before)) + " hits / " +
+      Table::num(static_cast<long long>(misses_ - misses_before)) +
+      " misses");
+  return merged;
+}
+
+}  // namespace wi::sim

@@ -34,6 +34,12 @@ const char* workload_name(Workload workload) {
     case Workload::kNicsStack: return "nics_stack";
     case Workload::kHybridSystem: return "hybrid_system";
     case Workload::kCodingPlan: return "coding_plan";
+    case Workload::kImpulseResponse: return "impulse_response";
+    case Workload::kIsiFilters: return "isi_filters";
+    case Workload::kInfoRates: return "info_rates";
+    case Workload::kAdcEnergy: return "adc_energy";
+    case Workload::kThresholdSaturation: return "threshold_saturation";
+    case Workload::kLdpcLatency: return "ldpc_latency";
   }
   return "unknown";
 }
@@ -183,6 +189,81 @@ Status ScenarioSpec::validate() const {
       if (!(budget > 0.0)) {
         return invalid(name + ": latency budgets must be > 0");
       }
+    }
+  }
+  if (workload == Workload::kImpulseResponse) {
+    if (impulse.distance_m <= 0.0) {
+      return invalid(name + ": impulse distance_m must be > 0");
+    }
+    if (impulse.max_delay_ns <= 0.0) {
+      return invalid(name + ": max_delay_ns must be > 0");
+    }
+    if (impulse.decimation < 1) {
+      return invalid(name + ": decimation must be >= 1");
+    }
+  }
+  if (workload == Workload::kIsiFilters && isi.mc_symbols < 1) {
+    return invalid(name + ": isi mc_symbols must be >= 1");
+  }
+  if (workload == Workload::kInfoRates) {
+    if (info_rate.snr_step_db <= 0.0) {
+      return invalid(name + ": info_rate snr_step_db must be > 0");
+    }
+    if (info_rate.snr_hi_db < info_rate.snr_lo_db) {
+      return invalid(name + ": info_rate snr_hi_db must be >= snr_lo_db");
+    }
+    if (info_rate.mc_symbols < 1) {
+      return invalid(name + ": info_rate mc_symbols must be >= 1");
+    }
+  }
+  if (workload == Workload::kAdcEnergy) {
+    if (adc.walden_fom_fj <= 0.0) {
+      return invalid(name + ": walden_fom_fj must be > 0");
+    }
+    if (adc.symbol_rate_hz <= 0.0) {
+      return invalid(name + ": adc symbol_rate_hz must be > 0");
+    }
+    if (adc.mc_symbols < 1) {
+      return invalid(name + ": adc mc_symbols must be >= 1");
+    }
+  }
+  if (workload == Workload::kThresholdSaturation) {
+    if (saturation.terminations.empty()) {
+      return invalid(name + ": saturation terminations must not be empty");
+    }
+    for (const std::size_t termination : saturation.terminations) {
+      if (termination < 1) {
+        return invalid(name + ": saturation terminations must be >= 1");
+      }
+    }
+    if (saturation.threshold_tolerance <= 0.0) {
+      return invalid(name + ": threshold_tolerance must be > 0");
+    }
+  }
+  if (workload == Workload::kLdpcLatency) {
+    const auto& l = ldpc;
+    if (!(l.target_ber > 0.0 && l.target_ber < 1.0)) {
+      return invalid(name + ": target_ber must be in (0, 1)");
+    }
+    if (l.min_errors < 1 || l.max_codewords < 1 ||
+        l.max_bp_iterations < 1 || l.termination < 1) {
+      return invalid(name + ": ldpc Monte-Carlo settings must be >= 1");
+    }
+    if (l.cc_curves.empty() && l.bc_liftings.empty()) {
+      return invalid(name + ": ldpc needs at least one CC curve or BC point");
+    }
+    for (const auto& curve : l.cc_curves) {
+      if (curve.lifting < 1 || curve.window_lo < 1 ||
+          curve.window_hi < curve.window_lo) {
+        return invalid(name + ": ldpc cc_curves need lifting/window_lo >= 1 "
+                              "and window_hi >= window_lo");
+      }
+    }
+    for (const std::size_t lifting : l.bc_liftings) {
+      if (lifting < 1) return invalid(name + ": bc_liftings must be >= 1");
+    }
+    if (l.search_step_db <= 0.0 || l.search_hi_db < l.search_lo_db) {
+      return invalid(name + ": ldpc Eb/N0 search bracket is inverted");
     }
   }
   return Status::ok();

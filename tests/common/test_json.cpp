@@ -1,0 +1,97 @@
+#include "wi/common/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "wi/common/status.hpp"
+
+namespace wi {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_EQ(Json::parse("true").as_bool(), true);
+  EXPECT_EQ(Json::parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(Json::parse("3.25").as_number(), 3.25);
+  EXPECT_DOUBLE_EQ(Json::parse("-1e-3").as_number(), -1e-3);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesNested) {
+  const Json json = Json::parse(
+      R"({"a": [1, 2, {"b": "x"}], "c": {"d": null}, "e": -4})");
+  EXPECT_EQ(json.as_object().size(), 3u);
+  EXPECT_DOUBLE_EQ(json.at("a").as_array()[1].as_number(), 2.0);
+  EXPECT_EQ(json.at("a").as_array()[2].at("b").as_string(), "x");
+  EXPECT_TRUE(json.at("c").at("d").is_null());
+  EXPECT_EQ(json.find("missing"), nullptr);
+}
+
+TEST(Json, StringEscapes) {
+  const Json json = Json::parse(R"("line\nbreak \"quoted\" A\t\\")");
+  EXPECT_EQ(json.as_string(), "line\nbreak \"quoted\" A\t\\");
+}
+
+TEST(Json, DumpParseRoundTrip) {
+  Json object = Json::object();
+  object.set("name", Json("sweep/axis=1;x=2"));
+  object.set("values", Json(Json::Array{Json(1.5), Json(-2.0), Json(1e20)}));
+  object.set("flag", Json(true));
+  object.set("none", Json());
+  object.set("weird", Json("comma, \"quote\"\nnewline"));
+  const std::string compact = object.dump();
+  EXPECT_EQ(Json::parse(compact).dump(), compact);
+  // Pretty form parses back to the same value too.
+  EXPECT_EQ(Json::parse(object.dump(2)).dump(), compact);
+}
+
+TEST(Json, DumpIsDeterministicInsertionOrder) {
+  Json a = Json::object();
+  a.set("z", Json(1.0));
+  a.set("a", Json(2.0));
+  EXPECT_EQ(a.dump(), R"({"z":1,"a":2})");
+}
+
+TEST(Json, IntegersDumpWithoutExponent) {
+  EXPECT_EQ(Json(2013.0).dump(), "2013");
+  EXPECT_EQ(Json(0.0).dump(), "0");
+}
+
+TEST(Json, RejectsMalformed) {
+  EXPECT_THROW((void)Json::parse(""), StatusError);
+  EXPECT_THROW((void)Json::parse("{"), StatusError);
+  EXPECT_THROW((void)Json::parse("[1,]"), StatusError);
+  EXPECT_THROW((void)Json::parse("tru"), StatusError);
+  EXPECT_THROW((void)Json::parse("1 2"), StatusError);
+  EXPECT_THROW((void)Json::parse("\"unterminated"), StatusError);
+  EXPECT_THROW((void)Json::parse(R"({"a":1,"a":2})"), StatusError);
+}
+
+TEST(Json, DeepNestingIsAnErrorNotAStackOverflow) {
+  std::string deep;
+  deep.append(100000, '[');
+  deep.append(100000, ']');
+  EXPECT_THROW((void)Json::parse(deep), StatusError);
+  // A legal document at moderate depth still parses.
+  std::string moderate;
+  moderate.append(100, '[');
+  moderate += '1';
+  moderate.append(100, ']');
+  EXPECT_EQ(Json::parse(moderate).as_array().size(), 1u);
+}
+
+TEST(Json, RejectsNonFiniteNumbers) {
+  EXPECT_THROW(Json(std::numeric_limits<double>::infinity()), StatusError);
+  EXPECT_THROW(Json(std::numeric_limits<double>::quiet_NaN()), StatusError);
+}
+
+TEST(Json, AccessorKindMismatchThrows) {
+  const Json json = Json::parse("[1]");
+  EXPECT_THROW((void)json.as_object(), StatusError);
+  EXPECT_THROW((void)json.at("x"), StatusError);
+  EXPECT_THROW((void)json.as_array()[0].as_string(), StatusError);
+}
+
+}  // namespace
+}  // namespace wi

@@ -1,13 +1,15 @@
 /// \file smoke.cpp
 /// \brief Fast end-to-end smoke run: execute the cheap registry
 ///        scenarios through one SimEngine and print every result.
-///        Covers the RF campaign + link budget, the 1-bit PHY curves
-///        (sequence and symbolwise Monte-Carlo builds through the
-///        cache), the NoC queueing model + flit-level DES cross-check,
-///        the hybrid system and the coding planner, in about a second.
-///        Not covered here (see tests/benches): LDPC BER simulation,
-///        VNA impulse-response extraction, ISI filter optimisation.
-///        Non-zero exit on any failed scenario.
+///        Covers the RF campaign + link budget, the VNA impulse
+///        responses, the 1-bit PHY curves (sequence and symbolwise
+///        Monte-Carlo builds through the cache), the ISI filter
+///        designs, the ADC energy model, the NoC queueing model +
+///        flit-level DES cross-check, the hybrid system, BEC density
+///        evolution and the coding planner, in a couple of seconds.
+///        Not covered here (see tests/benches): LDPC BER simulation
+///        (fig10_ldpc_latency, minutes) and live ISI filter
+///        optimisation. Non-zero exit on any failed scenario.
 
 #include <cstdio>
 #include <iostream>
@@ -30,6 +32,12 @@ int main() {
       registry.get("ablation_vertical_links"),
       registry.get("ablation_hybrid_system"),
       registry.get("fig10_coding_plan"),
+      registry.get("fig02_impulse_50mm"),
+      registry.get("fig03_impulse_150mm"),
+      registry.get("fig05_isi_filters"),
+      registry.get("fig06_info_rates"),
+      registry.get("ablation_adc_energy"),
+      registry.get("ablation_threshold_saturation"),
   };
   const auto results = engine.run_all(specs);
   int failures = 0;

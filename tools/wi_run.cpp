@@ -1,0 +1,335 @@
+/// \file wi_run.cpp
+/// \brief Data-driven scenario runner: run any registered paper
+///        scenario by name, serialize the results, cache them in the
+///        persistent ResultStore and diff them against golden
+///        references — the one driver behind `results/golden/` and the
+///        reproduce-paper CI gate.
+///
+///   wi_run --list                         # registry with descriptions
+///   wi_run fig08a_mesh2d_8x8              # run one scenario, print it
+///   wi_run --all --out results/current    # regenerate every artifact
+///   wi_run fig01_pathloss --check results/golden   # tolerance diff
+///   wi_run --spec my_scenario.json        # run a JSON spec file
+///
+/// Exit codes: 0 ok, 1 scenario failure or golden mismatch, 2 usage.
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "wi/common/table_io.hpp"
+#include "wi/sim/sim.hpp"
+
+// Build-time generated (cmake/GenerateVersionHeader.cmake): refreshed
+// on every build so result-store keys track the exact code state.
+#if __has_include("wi_version.h")
+#include "wi_version.h"
+#else
+#define WI_GIT_DESCRIBE "unversioned"
+#endif
+
+namespace {
+
+using namespace wi;
+using namespace wi::sim;
+
+struct CliOptions {
+  std::vector<std::string> scenarios;
+  std::vector<std::filesystem::path> spec_files;
+  bool list = false;
+  bool all = false;
+  bool dump_spec = false;
+  bool quiet = false;
+  std::size_t threads = 0;
+  std::optional<std::filesystem::path> out_dir;
+  std::optional<std::filesystem::path> store_dir;
+  std::optional<std::filesystem::path> check_path;
+  CompareOptions compare;
+};
+
+void print_usage(std::ostream& os) {
+  os << "usage: wi_run [<scenario>...] [options]\n"
+        "\n"
+        "options:\n"
+        "  --list             list registered scenarios and exit\n"
+        "  --all              run every registered scenario\n"
+        "  --spec FILE        run a ScenarioSpec JSON file (repeatable)\n"
+        "  --dump-spec        print scenario JSON specs instead of running\n"
+        "  --threads N        worker threads (0 = hardware concurrency)\n"
+        "  --out DIR          write <scenario>.csv + <scenario>.json there\n"
+        "  --store DIR        persistent result cache (content-keyed by\n"
+        "                     spec hash + version '" WI_GIT_DESCRIBE "')\n"
+        "  --check PATH       diff each result against golden CSV: PATH\n"
+        "                     is a directory with <scenario>.csv files,\n"
+        "                     or one CSV file for a single scenario\n"
+        "  --rel-tol X        cell tolerance, relative (default 1e-9)\n"
+        "  --abs-tol X        cell tolerance, absolute (default 1e-12)\n"
+        "  --quiet            suppress result tables (status lines only)\n";
+}
+
+[[nodiscard]] bool parse_count(const std::string& text,
+                               const std::string& flag, std::size_t& out) {
+  try {
+    std::size_t consumed = 0;
+    const unsigned long parsed = std::stoul(text, &consumed);
+    if (consumed != text.size()) throw std::invalid_argument(text);
+    out = static_cast<std::size_t>(parsed);
+    return true;
+  } catch (const std::exception&) {
+    std::cerr << "wi_run: " << flag << " expects a non-negative integer, "
+              << "got '" << text << "'\n";
+    return false;
+  }
+}
+
+[[nodiscard]] bool parse_tolerance(const std::string& text,
+                                   const std::string& flag, double& out) {
+  try {
+    std::size_t consumed = 0;
+    const double parsed = std::stod(text, &consumed);
+    if (consumed != text.size()) throw std::invalid_argument(text);
+    out = parsed;
+    return true;
+  } catch (const std::exception&) {
+    std::cerr << "wi_run: " << flag << " expects a number, got '" << text
+              << "'\n";
+    return false;
+  }
+}
+
+[[nodiscard]] std::optional<CliOptions> parse_cli(int argc, char** argv) {
+  CliOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::optional<std::string> {
+      if (i + 1 >= argc) {
+        std::cerr << "wi_run: " << arg << " needs a value\n";
+        return std::nullopt;
+      }
+      return std::string(argv[++i]);
+    };
+    if (arg == "--list") {
+      options.list = true;
+    } else if (arg == "--all") {
+      options.all = true;
+    } else if (arg == "--dump-spec") {
+      options.dump_spec = true;
+    } else if (arg == "--quiet") {
+      options.quiet = true;
+    } else if (arg == "--spec") {
+      const auto v = value();
+      if (!v) return std::nullopt;
+      options.spec_files.emplace_back(*v);
+    } else if (arg == "--threads") {
+      const auto v = value();
+      if (!v) return std::nullopt;
+      if (!parse_count(*v, arg, options.threads)) return std::nullopt;
+    } else if (arg == "--out") {
+      const auto v = value();
+      if (!v) return std::nullopt;
+      options.out_dir = *v;
+    } else if (arg == "--store") {
+      const auto v = value();
+      if (!v) return std::nullopt;
+      options.store_dir = *v;
+    } else if (arg == "--check") {
+      const auto v = value();
+      if (!v) return std::nullopt;
+      options.check_path = *v;
+    } else if (arg == "--rel-tol") {
+      const auto v = value();
+      if (!v) return std::nullopt;
+      if (!parse_tolerance(*v, arg, options.compare.rel_tol)) {
+        return std::nullopt;
+      }
+    } else if (arg == "--abs-tol") {
+      const auto v = value();
+      if (!v) return std::nullopt;
+      if (!parse_tolerance(*v, arg, options.compare.abs_tol)) {
+        return std::nullopt;
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout);
+      std::exit(0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "wi_run: unknown option '" << arg << "'\n";
+      return std::nullopt;
+    } else {
+      options.scenarios.push_back(arg);
+    }
+  }
+  return options;
+}
+
+/// Scenario names are filesystem-safe except for sweep-expanded grid
+/// points ("base/axis=value"); flatten separators for artifact names.
+[[nodiscard]] std::string artifact_stem(const std::string& scenario) {
+  std::string stem = scenario;
+  for (char& c : stem) {
+    if (c == '/' || c == ';' || c == '=' || c == ' ') c = '_';
+  }
+  return stem;
+}
+
+void write_artifacts(const std::filesystem::path& dir,
+                     const RunResult& result) {
+  std::filesystem::create_directories(dir);
+  const std::string stem = artifact_stem(result.scenario);
+  {
+    std::ofstream csv(dir / (stem + ".csv"), std::ios::trunc);
+    write_csv(csv, result.table);
+  }
+  {
+    std::ofstream json(dir / (stem + ".json"), std::ios::trunc);
+    json << run_result_to_json(result).dump(2) << "\n";
+  }
+}
+
+/// Returns true when the result matches its golden reference.
+[[nodiscard]] bool check_result(const std::filesystem::path& check_path,
+                                const RunResult& result,
+                                const CompareOptions& compare) {
+  std::filesystem::path golden_file = check_path;
+  if (std::filesystem::is_directory(check_path)) {
+    golden_file = check_path / (artifact_stem(result.scenario) + ".csv");
+  }
+  std::ifstream in(golden_file);
+  if (!in) {
+    std::cerr << "wi_run: no golden file '" << golden_file.string()
+              << "' for scenario '" << result.scenario << "'\n";
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const Table golden = table_from_csv(buffer.str());
+  const TableDiff diff = compare_tables(result.table, golden, compare);
+  if (diff.match) {
+    std::cout << "check " << result.scenario << ": OK ("
+              << golden.rows() << " rows vs '" << golden_file.string()
+              << "')\n";
+    return true;
+  }
+  std::cerr << "check " << result.scenario << ": MISMATCH vs '"
+            << golden_file.string() << "'\n"
+            << format_diff(diff, golden) << "\n";
+  return false;
+}
+
+[[nodiscard]] ScenarioSpec load_spec_file(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw StatusError(Status(StatusCode::kNotFound,
+                             "cannot open spec file '" + path.string() +
+                                 "'"));
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return scenario_from_string(buffer.str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto parsed = parse_cli(argc, argv);
+  if (!parsed) {
+    print_usage(std::cerr);
+    return 2;
+  }
+  const CliOptions& options = *parsed;
+  const ScenarioRegistry& registry = ScenarioRegistry::paper();
+
+  if (options.list) {
+    std::cout << "registered scenarios (" << registry.size() << "):\n";
+    for (const auto& name : registry.names()) {
+      std::cout << "  " << name << "\n      "
+                << registry.get(name).description << "\n";
+    }
+    return 0;
+  }
+
+  std::vector<ScenarioSpec> specs;
+  try {
+    if (options.all) {
+      for (const auto& name : registry.names()) {
+        specs.push_back(registry.get(name));
+      }
+    }
+    for (const auto& name : options.scenarios) {
+      specs.push_back(registry.get(name));
+    }
+    for (const auto& path : options.spec_files) {
+      specs.push_back(load_spec_file(path));
+    }
+  } catch (const StatusError& e) {
+    std::cerr << "wi_run: " << e.status().to_string() << "\n";
+    return 2;
+  }
+  if (specs.empty()) {
+    std::cerr << "wi_run: nothing to run (name scenarios, --all or "
+                 "--spec; --list shows the registry)\n";
+    print_usage(std::cerr);
+    return 2;
+  }
+
+  if (options.dump_spec) {
+    for (const auto& spec : specs) {
+      std::cout << scenario_to_json(spec).dump(2) << "\n";
+    }
+    return 0;
+  }
+
+  // Per-scenario failures are reported as statuses; this guard is for
+  // environment failures (unwritable --out/--store, disk full, ...).
+  try {
+    SimEngine engine({options.threads});
+    std::optional<ResultStore> store;
+    if (options.store_dir) {
+      store.emplace(ResultStoreOptions{*options.store_dir, WI_GIT_DESCRIBE});
+    }
+
+    const std::vector<RunResult> results =
+        store ? store->run_all(engine, specs, options.threads)
+              : engine.run_all(specs, options.threads);
+
+    int failures = 0;
+    for (const RunResult& result : results) {
+      if (options.quiet) {
+        std::cout << result.scenario << ": " << result.status.to_string()
+                  << " (" << result.table.rows() << " rows)\n";
+      } else {
+        print_result(std::cout, result);
+        std::cout << "\n";
+      }
+      if (!result.ok()) {
+        ++failures;
+        continue;  // no artifacts/checks for failed runs
+      }
+      if (options.out_dir) write_artifacts(*options.out_dir, result);
+      if (options.check_path &&
+          !check_result(*options.check_path, result, options.compare)) {
+        ++failures;
+      }
+    }
+    if (store) {
+      std::cout << "result store: " << store->hits() << " hits / "
+                << store->misses() << " misses (version " << WI_GIT_DESCRIBE
+                << ")\n";
+    }
+    if (failures > 0) {
+      std::cerr << "wi_run: " << failures << " of " << results.size()
+                << " scenarios failed\n";
+      return 1;
+    }
+    return 0;
+  } catch (const StatusError& e) {
+    std::cerr << "wi_run: " << e.status().to_string() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "wi_run: " << e.what() << "\n";
+    return 1;
+  }
+}
