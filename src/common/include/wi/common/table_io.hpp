@@ -35,6 +35,11 @@ void write_csv(std::ostream& os, const Table& table);
 [[nodiscard]] Json table_to_json(const Table& table);
 [[nodiscard]] Table table_from_json(const Json& json);
 
+/// Full-string numeric parse of a table cell; false for cells like
+/// "12 cycles" or "-". Shared by compare_tables and the campaign
+/// aggregator, so both agree on what counts as a numeric cell.
+[[nodiscard]] bool parse_cell_number(const std::string& cell, double& value);
+
 /// One cell-level disagreement found by compare_tables.
 struct CellMismatch {
   std::size_t row = 0;     ///< data-row index (headers are row-less)

@@ -115,22 +115,15 @@ void write_row(std::ostream& os, const std::vector<std::string>& row) {
   return records;
 }
 
-/// Full-string numeric parse; false for cells like "12 cycles" or "-".
-[[nodiscard]] bool parse_number(const std::string& cell, double& value) {
-  if (cell.empty()) return false;
-  const char* begin = cell.c_str();
-  char* end = nullptr;
-  value = std::strtod(begin, &end);
-  return end == begin + cell.size();
-}
-
 [[nodiscard]] bool cells_match(const std::string& actual,
                                const std::string& expected,
                                const CompareOptions& options) {
   if (actual == expected) return true;
   double a = 0.0;
   double e = 0.0;
-  if (!parse_number(actual, a) || !parse_number(expected, e)) return false;
+  if (!parse_cell_number(actual, a) || !parse_cell_number(expected, e)) {
+    return false;
+  }
   if (std::isnan(a) || std::isnan(e)) return std::isnan(a) && std::isnan(e);
   if (std::isinf(a) || std::isinf(e)) return a == e;
   const double scale = std::max(std::fabs(a), std::fabs(e));
@@ -139,6 +132,14 @@ void write_row(std::ostream& os, const std::vector<std::string>& row) {
 }
 
 }  // namespace
+
+bool parse_cell_number(const std::string& cell, double& value) {
+  if (cell.empty()) return false;
+  const char* begin = cell.c_str();
+  char* end = nullptr;
+  value = std::strtod(begin, &end);
+  return end == begin + cell.size();
+}
 
 void write_csv(std::ostream& os, const Table& table) {
   if (table.columns() == 0) return;  // headerless placeholder

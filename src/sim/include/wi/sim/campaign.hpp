@@ -1,0 +1,158 @@
+#pragma once
+/// \file campaign.hpp
+/// \brief Multi-seed Monte-Carlo campaign layer on top of SimEngine.
+///
+/// A Campaign runs one ScenarioSpec across N deterministically derived
+/// seeds and reduces the per-seed result tables into one statistical
+/// aggregate table (count / mean / stddev / min / max / 95% CI per
+/// numeric cell). Seeds are derived SplitMix64-style from a base seed,
+/// so seed k is the same value at any thread count and campaigns can be
+/// extended (seeds 0..N-1 are a prefix of seeds 0..M-1 for M > N).
+/// Every seed replica is one task on the engine's work-stealing pool,
+/// and when a ResultStore is supplied each replica is persisted the
+/// moment it finishes — an interrupted or extended campaign resumes
+/// per (seed, grid point) and a repeated campaign is a full cache hit.
+///
+/// The aggregate table is the unit of *statistical* golden checking:
+/// check_campaign_ci() passes while the golden mean stays inside the
+/// regenerated confidence interval, so refactors that legitimately
+/// reshuffle RNG streams do not invalidate the reference dataset the
+/// way bit-exact cell diffs would.
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "wi/common/json.hpp"
+#include "wi/common/table.hpp"
+#include "wi/sim/engine.hpp"
+#include "wi/sim/scenario.hpp"
+#include "wi/sim/status.hpp"
+
+namespace wi::sim {
+
+class ResultStore;
+
+/// Declarative campaign: a base scenario plus the seed schedule.
+struct CampaignSpec {
+  std::string name;  ///< empty = use scenario.name
+  std::string description;
+  std::size_t seeds = 8;       ///< number of independent replicas
+  std::uint64_t base_seed = 1; ///< root of the SplitMix64 derivation
+  ScenarioSpec scenario;
+
+  /// kInvalidSpec on zero seeds or an invalid base scenario.
+  [[nodiscard]] Status validate() const;
+
+  /// name, falling back to the scenario's name.
+  [[nodiscard]] const std::string& display_name() const {
+    return name.empty() ? scenario.name : name;
+  }
+};
+
+/// Seed of replica `index`: SplitMix64 finalizer over
+/// base_seed + index * golden-gamma, masked to 53 bits (JSON numbers
+/// must round-trip the seed exactly). Pure function of (base_seed,
+/// index) — independent of thread count and of how many replicas the
+/// campaign runs, which is what makes campaigns resumable/extensible.
+[[nodiscard]] std::uint64_t campaign_seed(std::uint64_t base_seed,
+                                          std::size_t index);
+
+/// The per-replica scenario: every stochastic seed field (pathloss,
+/// impulse, isi, info_rate, adc, flit, noc DES cross-check) set to
+/// `seed`, and the name suffixed "@seed=<seed>" so replicas get
+/// distinct ResultStore keys and sweep rows.
+[[nodiscard]] ScenarioSpec scenario_for_seed(const ScenarioSpec& scenario,
+                                             std::uint64_t seed);
+
+/// Column schema of the aggregate table. One row per (table row,
+/// numeric column) of the replica tables:
+///   row, key, column, seeds, mean, stddev, min, max, ci95_half
+/// `key` is the first cell of the source row when it is identical
+/// across replicas (the natural row label: SNR, injection rate, ...).
+[[nodiscard]] std::vector<std::string> campaign_headers();
+
+/// Reduce replica tables (identical shape required) into the aggregate
+/// schema above. Cells that parse as finite numbers in *every* replica
+/// are aggregated; all other cells are skipped. Throws
+/// StatusError(kExecutionError) on shape mismatches.
+[[nodiscard]] Table aggregate_tables(const std::vector<Table>& tables);
+
+/// Result of one campaign run.
+struct CampaignResult {
+  std::string campaign;
+  Status status;
+  std::size_t seeds = 0;
+  std::uint64_t base_seed = 0;
+  Table aggregate;                 ///< campaign_headers() schema
+  std::vector<RunResult> per_seed; ///< replica results, in seed order
+  std::vector<std::string> notes;
+
+  [[nodiscard]] bool ok() const { return status.is_ok(); }
+};
+
+/// Runs a CampaignSpec through a SimEngine (optionally via a
+/// ResultStore for per-seed persistence).
+class Campaign {
+ public:
+  /// Throws StatusError on an invalid spec.
+  explicit Campaign(CampaignSpec spec);
+
+  [[nodiscard]] const CampaignSpec& spec() const { return spec_; }
+
+  /// Expand the seed schedule, run all replicas on the engine's
+  /// work-stealing pool (through `store` when given, persisting each
+  /// replica as it finishes) and aggregate. Failed replicas or
+  /// shape-mismatched tables mark the campaign status failed; the
+  /// replica results always survive for diagnosis. The aggregate is
+  /// bit-identical at every thread count.
+  [[nodiscard]] CampaignResult run(SimEngine& engine,
+                                   ResultStore* store = nullptr,
+                                   std::size_t threads = 0) const;
+
+ private:
+  CampaignSpec spec_;
+};
+
+/// Statistical golden check: `golden` and `actual` must be aggregate
+/// tables over the same (row, key, column) grid. A cell passes when
+/// |golden mean - actual mean| <=
+///   max(slack * hypot(actual ci95_half, golden ci95_half), abs_tol).
+/// Both means are sample estimates, so the band is the CI of their
+/// difference (quadrature sum); the abs_tol floor covers deterministic
+/// cells whose CI half-width is exactly zero. The default slack of 2
+/// buys family-wise headroom: goldens hold on the order of 100 cells,
+/// and a per-cell 95% band would flag a few cells on every legitimate
+/// RNG-stream reshuffle.
+struct CiCheckOptions {
+  double slack = 2.0;     ///< difference-CI multiplier
+  double abs_tol = 1e-9;  ///< floor for zero-variance cells
+  std::size_t max_failures = 20;  ///< reporting cap in the message
+};
+
+/// Ok when every golden mean lies inside the regenerated CI;
+/// kExecutionError with per-cell diagnostics otherwise (grid
+/// mismatches — missing/extra/reordered aggregate rows — also fail).
+[[nodiscard]] Status check_campaign_ci(const Table& actual,
+                                       const Table& golden,
+                                       const CiCheckOptions& options = {});
+
+/// CampaignSpec <-> JSON, mirroring the scenario codec: absent keys
+/// keep their defaults, unknown keys are errors. The embedded scenario
+/// uses the scenario codec unchanged.
+[[nodiscard]] Json campaign_to_json(const CampaignSpec& spec);
+[[nodiscard]] CampaignSpec campaign_from_json(const Json& json);
+[[nodiscard]] std::string campaign_to_string(const CampaignSpec& spec);
+[[nodiscard]] CampaignSpec campaign_from_string(const std::string& text);
+
+/// CampaignResult -> JSON ({"campaign", "status", "seeds", "base_seed",
+/// "notes", "aggregate", "per_seed": [RunResult...]}) — the payload of
+/// `wi_run --campaign-out`.
+[[nodiscard]] Json campaign_result_to_json(const CampaignResult& result);
+
+/// Print a campaign result (header line, notes, aggregate table).
+void print_campaign(std::ostream& os, const CampaignResult& result);
+
+}  // namespace wi::sim

@@ -46,6 +46,7 @@ enum class Workload {
   kAdcEnergy,         ///< Sec. III: ADC energy per information bit
   kThresholdSaturation,  ///< BEC threshold saturation behind Fig. 10
   kLdpcLatency,       ///< Fig. 10: required Eb/N0 vs decoding latency
+  kFlitSim,           ///< flit-level DES latency/throughput curve
 };
 
 [[nodiscard]] const char* workload_name(Workload workload);
@@ -74,7 +75,7 @@ struct PhySpec {
 };
 
 /// Fig. 1 measurement-campaign settings (distances: Fig. 1 grid).
-struct CampaignSpec {
+struct PathlossSpec {
   std::uint64_t seed = 2013;  ///< synthetic VNA noise seed
 };
 
@@ -128,6 +129,20 @@ struct NocSpec {
   /// When > 0: flit-level DES cross-check at this injection rate.
   double des_check_rate = 0.0;
   std::uint64_t des_seed = 1;
+};
+
+/// Flit-level DES settings (Workload::kFlitSim): the stochastic
+/// counterpart of the analytic kNocLatency curve. Topology, traffic and
+/// routing come from the scenario's NocSpec; each injection rate is one
+/// independent simulation (one table row), so the row grid is fixed
+/// across seeds — the shape contract the campaign aggregator relies on.
+struct FlitSimSpec {
+  std::vector<double> injection_rates;  ///< empty = {0.05, 0.1, 0.15, 0.2}
+  std::size_t warmup_cycles = 2000;     ///< excluded from statistics
+  std::size_t measure_cycles = 8000;    ///< measurement window
+  std::size_t drain_cycles = 20000;     ///< post-window drain limit
+  std::size_t buffer_depth = 8;         ///< input queue capacity [flits]
+  std::uint64_t seed = 1;               ///< packet injection seed
 };
 
 /// Sec. IV chip-stack settings (wraps the core config).
@@ -224,9 +239,10 @@ struct ScenarioSpec {
   GeometrySpec geometry;
   LinkSpec link;
   PhySpec phy;
-  CampaignSpec campaign;
+  PathlossSpec pathloss;
   TxPowerSpec tx_power;
   NocSpec noc;
+  FlitSimSpec flit;
   NicsSpec nics;
   HybridSpec hybrid;
   CodingSpec coding;

@@ -3,6 +3,7 @@
 /// \brief Umbrella header of the declarative scenario API: include this
 ///        and use ScenarioRegistry::paper() + SimEngine.
 
+#include "wi/sim/campaign.hpp"
 #include "wi/sim/engine.hpp"
 #include "wi/sim/phy_curve_cache.hpp"
 #include "wi/sim/registry.hpp"

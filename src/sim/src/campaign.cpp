@@ -1,0 +1,358 @@
+#include "wi/sim/campaign.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <ostream>
+#include <utility>
+
+#include "wi/common/stats.hpp"
+#include "wi/common/table_io.hpp"
+#include "wi/sim/result_store.hpp"
+#include "wi/sim/scenario_json.hpp"
+
+namespace wi::sim {
+
+namespace {
+
+[[noreturn]] void fail(StatusCode code, const std::string& message) {
+  throw StatusError(Status(code, "campaign: " + message));
+}
+
+/// Shortest round-trip formatting: aggregates must be bit-identical
+/// across runs and parse back to the exact double, so fixed-decimal
+/// rendering (which rounds) is not an option here.
+[[nodiscard]] std::string format_stat(double value) {
+  char buffer[32];
+  const auto [end, ec] =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  if (ec != std::errc()) return "nan";
+  return {buffer, end};
+}
+
+/// SplitMix64 output function (Steele/Lea/Flood): one multiply-xorshift
+/// avalanche, so consecutive indices yield statistically independent
+/// xoshiro seed material.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t z) {
+  z ^= z >> 30;
+  z *= 0xBF58476D1CE4E5B9ULL;
+  z ^= z >> 27;
+  z *= 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  return z;
+}
+
+constexpr double kMaxExactInteger = 9007199254740992.0;  // 2^53
+
+[[nodiscard]] bool is_exact_integer(double n) {
+  return n >= 0.0 && n <= kMaxExactInteger && n == std::floor(n);
+}
+
+}  // namespace
+
+std::uint64_t campaign_seed(std::uint64_t base_seed, std::size_t index) {
+  // The SplitMix64 stream seeded at base_seed, read at position index.
+  // Masked to 53 bits so a derived seed survives the JSON codec's
+  // exact-integer constraint (replica specs are serialized into the
+  // result store's content keys).
+  return splitmix64(base_seed +
+                    static_cast<std::uint64_t>(index + 1) *
+                        0x9E3779B97F4A7C15ULL) &
+         ((1ULL << 53) - 1);
+}
+
+ScenarioSpec scenario_for_seed(const ScenarioSpec& scenario,
+                               std::uint64_t seed) {
+  ScenarioSpec spec = scenario;
+  spec.pathloss.seed = seed;
+  spec.impulse.seed = seed;
+  spec.isi.mc_seed = seed;
+  spec.info_rate.mc_seed = seed;
+  spec.adc.mc_seed = seed;
+  spec.flit.seed = seed;
+  spec.noc.des_seed = seed;
+  spec.name += "@seed=" + std::to_string(seed);
+  return spec;
+}
+
+Status CampaignSpec::validate() const {
+  if (seeds < 1) {
+    return {StatusCode::kInvalidSpec,
+            display_name() + ": a campaign needs seeds >= 1"};
+  }
+  return scenario.validate();
+}
+
+std::vector<std::string> campaign_headers() {
+  return {"row",  "key", "column", "seeds", "mean",
+          "stddev", "min", "max",    "ci95_half"};
+}
+
+Table aggregate_tables(const std::vector<Table>& tables) {
+  Table aggregate(campaign_headers());
+  if (tables.empty()) return aggregate;
+  const Table& first = tables[0];
+  for (std::size_t t = 1; t < tables.size(); ++t) {
+    if (tables[t].headers() != first.headers()) {
+      fail(StatusCode::kExecutionError,
+           "replica table headers differ between seeds");
+    }
+    if (tables[t].rows() != first.rows()) {
+      fail(StatusCode::kExecutionError,
+           "replica table row counts differ between seeds (" +
+               std::to_string(tables[t].rows()) + " vs " +
+               std::to_string(first.rows()) + ")");
+    }
+  }
+  for (std::size_t r = 0; r < first.rows(); ++r) {
+    // The row label: first column when it agrees across all replicas.
+    bool shared_label = true;
+    for (const Table& table : tables) {
+      if (table.cell(r, 0) != first.cell(r, 0)) {
+        shared_label = false;
+        break;
+      }
+    }
+    const std::string key = shared_label ? first.cell(r, 0) : "-";
+    for (std::size_t c = 0; c < first.columns(); ++c) {
+      RunningStats stats;
+      bool numeric = true;
+      for (const Table& table : tables) {
+        double value = 0.0;
+        if (!parse_cell_number(table.cell(r, c), value) ||
+            !std::isfinite(value)) {
+          numeric = false;
+          break;
+        }
+        stats.add(value);  // seed order: deterministic accumulation
+      }
+      if (!numeric) continue;
+      aggregate.add_row({Table::num(static_cast<long long>(r)), key,
+                         first.headers()[c],
+                         Table::num(static_cast<long long>(stats.count())),
+                         format_stat(stats.mean()),
+                         format_stat(stats.stddev()),
+                         format_stat(stats.min()), format_stat(stats.max()),
+                         format_stat(stats.ci95_halfwidth())});
+    }
+  }
+  return aggregate;
+}
+
+Campaign::Campaign(CampaignSpec spec) : spec_(std::move(spec)) {
+  const Status status = spec_.validate();
+  if (!status.is_ok()) throw StatusError(status);
+}
+
+CampaignResult Campaign::run(SimEngine& engine, ResultStore* store,
+                             std::size_t threads) const {
+  CampaignResult result;
+  result.campaign = spec_.display_name();
+  result.seeds = spec_.seeds;
+  result.base_seed = spec_.base_seed;
+  result.aggregate = Table(campaign_headers());
+
+  std::vector<ScenarioSpec> replicas;
+  replicas.reserve(spec_.seeds);
+  for (std::size_t k = 0; k < spec_.seeds; ++k) {
+    replicas.push_back(scenario_for_seed(
+        spec_.scenario, campaign_seed(spec_.base_seed, k)));
+  }
+  const std::size_t hits_before = store != nullptr ? store->hits() : 0;
+  const std::size_t misses_before = store != nullptr ? store->misses() : 0;
+  result.per_seed = store != nullptr
+                        ? store->run_all(engine, replicas, threads)
+                        : engine.run_all(replicas, threads);
+
+  std::size_t failed = 0;
+  std::string first_failure;
+  std::vector<Table> tables;
+  tables.reserve(result.per_seed.size());
+  for (const RunResult& replica : result.per_seed) {
+    if (replica.ok()) {
+      tables.push_back(replica.table);
+    } else {
+      ++failed;
+      if (first_failure.empty()) {
+        first_failure =
+            replica.scenario + ": " + replica.status.to_string();
+      }
+    }
+  }
+  if (failed > 0) {
+    result.status = Status(
+        StatusCode::kExecutionError,
+        std::to_string(failed) + " of " +
+            std::to_string(result.per_seed.size()) +
+            " seed replicas failed (first: " + first_failure + ")");
+    return result;
+  }
+  try {
+    result.aggregate = aggregate_tables(tables);
+  } catch (const StatusError& e) {
+    result.status = e.status();
+    return result;
+  }
+  result.notes.push_back(
+      Table::num(static_cast<long long>(spec_.seeds)) +
+      " seeds derived from base_seed " +
+      std::to_string(spec_.base_seed) + " (splitmix64)");
+  if (store != nullptr) {
+    result.notes.push_back(
+        "store: " +
+        Table::num(static_cast<long long>(store->hits() - hits_before)) +
+        " hits / " +
+        Table::num(
+            static_cast<long long>(store->misses() - misses_before)) +
+        " misses");
+  }
+  return result;
+}
+
+Status check_campaign_ci(const Table& actual, const Table& golden,
+                         const CiCheckOptions& options) {
+  const auto schema = campaign_headers();
+  if (actual.headers() != schema || golden.headers() != schema) {
+    return {StatusCode::kExecutionError,
+            "check_campaign_ci: both tables must use the campaign "
+            "aggregate schema"};
+  }
+  if (actual.rows() != golden.rows()) {
+    return {StatusCode::kExecutionError,
+            "check_campaign_ci: aggregate grids differ: " +
+                std::to_string(actual.rows()) + " rows vs golden " +
+                std::to_string(golden.rows())};
+  }
+  // Column indices in campaign_headers() order.
+  constexpr std::size_t kRow = 0, kKey = 1, kColumn = 2, kMean = 4,
+                        kCi = 8;
+  std::size_t failures = 0;
+  std::string detail;
+  auto report = [&](const std::string& line) {
+    ++failures;
+    if (failures <= options.max_failures) detail += "\n  " + line;
+  };
+  for (std::size_t r = 0; r < actual.rows(); ++r) {
+    const std::string cell_id = "row " + golden.cell(r, kRow) + " (" +
+                                golden.cell(r, kKey) + ") column '" +
+                                golden.cell(r, kColumn) + "'";
+    if (actual.cell(r, kRow) != golden.cell(r, kRow) ||
+        actual.cell(r, kKey) != golden.cell(r, kKey) ||
+        actual.cell(r, kColumn) != golden.cell(r, kColumn)) {
+      report(cell_id + ": grid mismatch (regenerated has row " +
+             actual.cell(r, kRow) + " (" + actual.cell(r, kKey) +
+             ") column '" + actual.cell(r, kColumn) + "')");
+      continue;
+    }
+    double golden_mean = 0.0;
+    double mean = 0.0;
+    double ci = 0.0;
+    double golden_ci = 0.0;
+    if (!parse_cell_number(golden.cell(r, kMean), golden_mean) ||
+        !parse_cell_number(actual.cell(r, kMean), mean) ||
+        !parse_cell_number(actual.cell(r, kCi), ci) ||
+        !parse_cell_number(golden.cell(r, kCi), golden_ci)) {
+      report(cell_id + ": non-numeric mean/ci95_half cell");
+      continue;
+    }
+    // Both means are sample estimates, so the acceptance band is the
+    // CI of their *difference* — the quadrature sum of both CI
+    // half-widths. Using only the regenerated CI would under-cover by
+    // sqrt(2) and fail ~17% of cells on a legitimate RNG-stream
+    // reshuffle, defeating the gate's purpose.
+    const double band = std::max(
+        options.slack * std::hypot(ci, golden_ci), options.abs_tol);
+    if (!(std::fabs(golden_mean - mean) <= band)) {
+      report(cell_id + ": golden mean " + golden.cell(r, kMean) +
+             " outside CI " + actual.cell(r, kMean) + " +/- " +
+             format_stat(band));
+    }
+  }
+  if (failures == 0) return Status::ok();
+  if (failures > options.max_failures) {
+    detail += "\n  ... and " +
+              std::to_string(failures - options.max_failures) + " more";
+  }
+  return {StatusCode::kExecutionError,
+          "check_campaign_ci: " + std::to_string(failures) + " of " +
+              std::to_string(actual.rows()) +
+              " aggregate cells failed:" + detail};
+}
+
+Json campaign_to_json(const CampaignSpec& spec) {
+  Json json = Json::object();
+  json.set("name", Json(spec.name));
+  json.set("description", Json(spec.description));
+  json.set("seeds", Json(static_cast<double>(spec.seeds)));
+  json.set("base_seed", Json(static_cast<double>(spec.base_seed)));
+  json.set("scenario", scenario_to_json(spec.scenario));
+  return json;
+}
+
+CampaignSpec campaign_from_json(const Json& json) {
+  if (!json.is_object()) {
+    fail(StatusCode::kParseError, "expected an object");
+  }
+  CampaignSpec spec;
+  for (const auto& [key, value] : json.as_object()) {
+    if (key == "name") {
+      spec.name = value.as_string();
+    } else if (key == "description") {
+      spec.description = value.as_string();
+    } else if (key == "seeds" || key == "base_seed") {
+      const double n = value.as_number();
+      if (!is_exact_integer(n)) {
+        fail(StatusCode::kParseError,
+             key + ": expected a non-negative integer (<= 2^53)");
+      }
+      if (key == "seeds") {
+        spec.seeds = static_cast<std::size_t>(n);
+      } else {
+        spec.base_seed = static_cast<std::uint64_t>(n);
+      }
+    } else if (key == "scenario") {
+      spec.scenario = scenario_from_json(value);
+    } else {
+      fail(StatusCode::kParseError, "unknown key '" + key + "'");
+    }
+  }
+  return spec;
+}
+
+std::string campaign_to_string(const CampaignSpec& spec) {
+  return campaign_to_json(spec).dump();
+}
+
+CampaignSpec campaign_from_string(const std::string& text) {
+  return campaign_from_json(Json::parse(text));
+}
+
+Json campaign_result_to_json(const CampaignResult& result) {
+  Json json = Json::object();
+  json.set("campaign", Json(result.campaign));
+  Json status = Json::object();
+  status.set("code", Json(status_code_name(result.status.code())));
+  status.set("message", Json(result.status.message()));
+  json.set("status", std::move(status));
+  json.set("seeds", Json(static_cast<double>(result.seeds)));
+  json.set("base_seed", Json(static_cast<double>(result.base_seed)));
+  Json notes = Json::array();
+  for (const auto& note : result.notes) notes.push_back(Json(note));
+  json.set("notes", std::move(notes));
+  json.set("aggregate", table_to_json(result.aggregate));
+  Json per_seed = Json::array();
+  for (const RunResult& replica : result.per_seed) {
+    per_seed.push_back(run_result_to_json(replica));
+  }
+  json.set("per_seed", std::move(per_seed));
+  return json;
+}
+
+void print_campaign(std::ostream& os, const CampaignResult& result) {
+  os << "# campaign: " << result.campaign << " ("
+     << result.seeds << " seeds, base_seed " << result.base_seed << ")\n";
+  if (!result.ok()) os << "# status: " << result.status.to_string() << "\n";
+  for (const auto& note : result.notes) os << "# " << note << "\n";
+  result.aggregate.print(os);
+}
+
+}  // namespace wi::sim

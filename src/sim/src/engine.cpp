@@ -94,7 +94,7 @@ void run_pathloss_campaign(const ScenarioSpec& spec, RunResult& result) {
   rf::CampaignConfig freespace;
   freespace.distances_m = rf::default_distance_grid_m();
   freespace.copper_boards = false;
-  freespace.vna.seed = spec.campaign.seed;
+  freespace.vna.seed = spec.pathloss.seed;
   const auto points_free = rf::run_campaign(freespace);
   const auto fit_free = rf::fit_path_loss(points_free, 0.05);
 
@@ -270,6 +270,38 @@ void run_noc_latency(const ScenarioSpec& spec, RunResult& result) {
                        .mean_latency_cycles,
                    2));
   }
+}
+
+void run_flit_sim(const ScenarioSpec& spec, RunResult& result) {
+  const noc::Topology topology = spec.noc.topology.build();
+  const auto routing = build_routing(spec.noc.routing);
+  const noc::TrafficPattern traffic =
+      build_traffic(spec.noc, topology.module_count());
+  noc::FlitSimConfig config;
+  config.warmup_cycles = spec.flit.warmup_cycles;
+  config.measure_cycles = spec.flit.measure_cycles;
+  config.drain_cycles = spec.flit.drain_cycles;
+  config.buffer_depth = spec.flit.buffer_depth;
+  config.seed = spec.flit.seed;
+  std::vector<double> rates = spec.flit.injection_rates;
+  if (rates.empty()) rates = {0.05, 0.1, 0.15, 0.2};
+  for (const double rate : rates) {
+    const auto des =
+        simulate_network(topology, *routing, traffic, rate, config);
+    result.table.add_row(
+        {Table::num(rate, 3), Table::num(des.mean_latency_cycles, 4),
+         Table::num(des.delivered_per_cycle, 5),
+         Table::num(static_cast<long long>(des.delivered)),
+         Table::num(static_cast<long long>(des.injected)),
+         des.stable ? "yes" : "no"});
+  }
+  result.notes.push_back("topology: " + topology.name());
+  result.notes.push_back(
+      "DES window: " + Table::num(static_cast<long long>(
+                           spec.flit.measure_cycles)) +
+      " cycles after " +
+      Table::num(static_cast<long long>(spec.flit.warmup_cycles)) +
+      " warmup, seed " + Table::num(static_cast<long long>(spec.flit.seed)));
 }
 
 void run_nics_stack(const ScenarioSpec& spec, RunResult& result) {
@@ -598,6 +630,8 @@ void execute(const ScenarioSpec& spec, PhyCurveCache& cache,
       return run_threshold_saturation(spec, result);
     case Workload::kLdpcLatency:
       return run_ldpc_latency(spec, result);
+    case Workload::kFlitSim:
+      return run_flit_sim(spec, result);
   }
   throw StatusError(Status(StatusCode::kUnsupported, "unknown workload"));
 }
@@ -646,6 +680,9 @@ std::vector<std::string> workload_headers(Workload workload) {
               "rate_loss"};
     case Workload::kLdpcLatency:
       return {"family", "N", "W", "latency_bits", "reqd_EbN0_dB"};
+    case Workload::kFlitSim:
+      return {"inj_rate", "latency_cycles", "throughput", "delivered",
+              "injected", "stable"};
   }
   return {"-"};
 }

@@ -257,6 +257,68 @@ namespace {
     registry.add(spec);
   }
 
+  // Campaign-sized stochastic scenarios: deliberately small Monte-Carlo
+  // budgets so an 8-seed campaign stays in CI-friendly time. Their
+  // statistical goldens live in results/golden/campaign/ and are
+  // checked with `wi_run --seeds 8 --check-ci` (the campaign-check CI
+  // job); the two families are the paper's stochastic quantities —
+  // information rates from simulated bit sequences and flit-level DES
+  // latency under random traffic.
+  {
+    ScenarioSpec spec;
+    spec.name = "campaign_info_rates";
+    spec.description =
+        "Campaign family: Fig. 6 information rates, reduced Monte-Carlo "
+        "budget for multi-seed statistics";
+    spec.workload = Workload::kInfoRates;
+    spec.info_rate.snr_lo_db = 0.0;
+    spec.info_rate.snr_hi_db = 30.0;
+    spec.info_rate.snr_step_db = 10.0;
+    spec.info_rate.mc_symbols = 6000;
+    registry.add(spec);
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "campaign_adc_energy";
+    spec.description =
+        "Campaign family: Sec. III ADC energy per bit, reduced "
+        "Monte-Carlo budget for multi-seed statistics";
+    spec.workload = Workload::kAdcEnergy;
+    spec.adc.mc_symbols = 6000;
+    registry.add(spec);
+  }
+  {
+    TopologySpec mesh2d;
+    mesh2d.kind = TopologySpec::Kind::kMesh2d;
+    mesh2d.kx = 8;
+    mesh2d.ky = 8;
+    ScenarioSpec spec = noc_scenario(
+        "campaign_flit_mesh2d_8x8",
+        "Campaign family: flit-level DES on the 8x8 2D mesh, uniform "
+        "traffic (stochastic Fig. 8(a) counterpart)",
+        mesh2d);
+    spec.workload = Workload::kFlitSim;
+    spec.flit.warmup_cycles = 1000;
+    spec.flit.measure_cycles = 4000;
+    registry.add(spec);
+  }
+  {
+    TopologySpec star;
+    star.kind = TopologySpec::Kind::kStarMesh;
+    star.kx = 4;
+    star.ky = 4;
+    star.concentration = 4;
+    ScenarioSpec spec = noc_scenario(
+        "campaign_flit_star_mesh_4x4c4",
+        "Campaign family: flit-level DES on the 4x4 star-mesh, "
+        "concentration 4 (stochastic Fig. 8(a) counterpart)",
+        star);
+    spec.workload = Workload::kFlitSim;
+    spec.flit.warmup_cycles = 1000;
+    spec.flit.measure_cycles = 4000;
+    registry.add(spec);
+  }
+
   return registry;
 }
 

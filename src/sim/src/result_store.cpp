@@ -122,8 +122,11 @@ std::optional<RunResult> ResultStore::load(const ScenarioSpec& spec,
       return std::nullopt;
     }
     return run_result_from_json(json.at("result"));
-  } catch (const StatusError&) {
+  } catch (const std::exception&) {
     // A truncated or hand-edited entry is a miss, not a fatal error.
+    // Catching std::exception (not just StatusError) matters: a corrupt
+    // entry whose table rows are ragged surfaces from Table::add_row as
+    // std::invalid_argument, and that must recompute, not crash.
     return std::nullopt;
   }
 }

@@ -40,6 +40,7 @@ const char* workload_name(Workload workload) {
     case Workload::kAdcEnergy: return "adc_energy";
     case Workload::kThresholdSaturation: return "threshold_saturation";
     case Workload::kLdpcLatency: return "ldpc_latency";
+    case Workload::kFlitSim: return "flit_sim";
   }
   return "unknown";
 }
@@ -129,7 +130,7 @@ Status ScenarioSpec::validate() const {
       return invalid(name + ": link distances must be > 0");
     }
   }
-  if (workload == Workload::kNocLatency) {
+  if (workload == Workload::kNocLatency || workload == Workload::kFlitSim) {
     const auto& t = noc.topology;
     if (t.kx < 1 || t.ky < 1 || t.kz < 1) {
       return invalid(name + ": topology dimensions must be >= 1");
@@ -151,6 +152,19 @@ Status ScenarioSpec::validate() const {
       if (noc.hotspot_module >= t.module_count()) {
         return invalid(name + ": hotspot_module out of range for " +
                        std::to_string(t.module_count()) + " modules");
+      }
+    }
+  }
+  if (workload == Workload::kFlitSim) {
+    if (flit.measure_cycles < 1) {
+      return invalid(name + ": flit measure_cycles must be >= 1");
+    }
+    if (flit.buffer_depth < 1) {
+      return invalid(name + ": flit buffer_depth must be >= 1");
+    }
+    for (const double rate : flit.injection_rates) {
+      if (rate < 0.0) {
+        return invalid(name + ": flit injection rates must be >= 0");
       }
     }
   }

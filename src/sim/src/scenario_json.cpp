@@ -61,6 +61,7 @@ constexpr EnumEntry<Workload> kWorkloads[] = {
     {Workload::kAdcEnergy, "adc_energy"},
     {Workload::kThresholdSaturation, "threshold_saturation"},
     {Workload::kLdpcLatency, "ldpc_latency"},
+    {Workload::kFlitSim, "flit_sim"},
 };
 
 constexpr EnumEntry<core::Beamforming> kBeamformings[] = {
@@ -319,9 +320,9 @@ Json scenario_to_json(const ScenarioSpec& spec) {
     json.set("phy", std::move(phy));
   }
   {
-    Json campaign = Json::object();
-    campaign.set("seed", Json(static_cast<double>(spec.campaign.seed)));
-    json.set("campaign", std::move(campaign));
+    Json pathloss = Json::object();
+    pathloss.set("seed", Json(static_cast<double>(spec.pathloss.seed)));
+    json.set("pathloss", std::move(pathloss));
   }
   {
     Json tx = Json::object();
@@ -355,6 +356,17 @@ Json scenario_to_json(const ScenarioSpec& spec) {
     noc.set("des_check_rate", Json(spec.noc.des_check_rate));
     noc.set("des_seed", Json(static_cast<double>(spec.noc.des_seed)));
     json.set("noc", std::move(noc));
+  }
+  {
+    const auto& f = spec.flit;
+    Json flit = Json::object();
+    flit.set("injection_rates", number_list_json(f.injection_rates));
+    flit.set("warmup_cycles", Json(static_cast<double>(f.warmup_cycles)));
+    flit.set("measure_cycles", Json(static_cast<double>(f.measure_cycles)));
+    flit.set("drain_cycles", Json(static_cast<double>(f.drain_cycles)));
+    flit.set("buffer_depth", Json(static_cast<double>(f.buffer_depth)));
+    flit.set("seed", Json(static_cast<double>(f.seed)));
+    json.set("flit", std::move(flit));
   }
   {
     const auto& c = spec.nics.config;
@@ -503,9 +515,9 @@ ScenarioSpec scenario_from_json(const Json& json) {
     r.size("polarizations", spec.phy.polarizations);
     r.finish();
   });
-  reader.field("campaign", [&](const Json& v) {
-    ObjectReader r(v, "campaign");
-    r.u64("seed", spec.campaign.seed);
+  reader.field("pathloss", [&](const Json& v) {
+    ObjectReader r(v, "pathloss");
+    r.u64("seed", spec.pathloss.seed);
     r.finish();
   });
   reader.field("tx_power", [&](const Json& v) {
@@ -542,6 +554,17 @@ ScenarioSpec scenario_from_json(const Json& json) {
     r.number_list("injection_rates", spec.noc.injection_rates);
     r.number("des_check_rate", spec.noc.des_check_rate);
     r.u64("des_seed", spec.noc.des_seed);
+    r.finish();
+  });
+  reader.field("flit", [&](const Json& v) {
+    ObjectReader r(v, "flit");
+    auto& f = spec.flit;
+    r.number_list("injection_rates", f.injection_rates);
+    r.size("warmup_cycles", f.warmup_cycles);
+    r.size("measure_cycles", f.measure_cycles);
+    r.size("drain_cycles", f.drain_cycles);
+    r.size("buffer_depth", f.buffer_depth);
+    r.u64("seed", f.seed);
     r.finish();
   });
   reader.field("nics", [&](const Json& v) {

@@ -1,11 +1,17 @@
 /// Cross-validation of the analytic queueing model against the
 /// independent flit-level simulator — the evidence that Fig. 8's curves
-/// are trustworthy.
+/// are trustworthy. The campaign-level test at the bottom promotes the
+/// single-seed spot check to multi-seed aggregates: the *mean over
+/// seeds* of the DES latency must agree with the analytic prediction.
 
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "wi/common/table_io.hpp"
 #include "wi/noc/flit_sim.hpp"
 #include "wi/noc/queueing_model.hpp"
+#include "wi/sim/campaign.hpp"
 
 namespace wi::noc {
 namespace {
@@ -100,6 +106,51 @@ TEST(ModelVsDes, OrderingPreservedAcrossTopologies) {
   EXPECT_LT(a3d, a2d);
   EXPECT_LT(dstar, d3d);
   EXPECT_LT(d3d, d2d);
+}
+
+/// Satellite: the model-vs-DES check promoted to campaign aggregates.
+/// At low injection rates the seed-averaged flit-sim latency of the
+/// 8x8 mesh must agree with the queueing-model prediction — per rate,
+/// using the campaign's own confidence interval plus a modelling band.
+TEST(ModelVsDes, CampaignMeanLatencyTracksQueueingModel) {
+  const std::vector<double> rates = {0.05, 0.1};
+  sim::CampaignSpec spec;
+  spec.seeds = 5;
+  spec.base_seed = 7;
+  spec.scenario.name = "flit_mesh2d_8x8_lowrate";
+  spec.scenario.workload = sim::Workload::kFlitSim;
+  spec.scenario.noc.topology.kind = sim::TopologySpec::Kind::kMesh2d;
+  spec.scenario.noc.topology.kx = 8;
+  spec.scenario.noc.topology.ky = 8;
+  spec.scenario.flit.warmup_cycles = 1000;
+  spec.scenario.flit.measure_cycles = 5000;
+  spec.scenario.flit.injection_rates = rates;
+
+  sim::SimEngine engine({2});
+  const sim::Campaign campaign(spec);
+  const sim::CampaignResult result = campaign.run(engine);
+  ASSERT_TRUE(result.ok()) << result.status.to_string();
+
+  const Topology topology = Topology::mesh_2d(8, 8);
+  const DimensionOrderRouting routing;
+  const TrafficPattern traffic = TrafficPattern::uniform(64);
+  const QueueingModel model(topology, routing, traffic);
+
+  // Pull the latency_cycles aggregate rows out of the long-format table.
+  std::size_t checked = 0;
+  for (std::size_t r = 0; r < result.aggregate.rows(); ++r) {
+    if (result.aggregate.cell(r, 2) != "latency_cycles") continue;
+    const double rate = std::stod(result.aggregate.cell(r, 1));
+    const double mean = std::stod(result.aggregate.cell(r, 4));
+    const double ci = std::stod(result.aggregate.cell(r, 8));
+    const double analytic = model.evaluate(rate).mean_latency_cycles;
+    // 20% modelling band (finite buffers, round-robin arbitration)
+    // widened by the campaign's own statistical uncertainty.
+    EXPECT_NEAR(mean, analytic, 0.20 * analytic + ci)
+        << "injection rate " << rate;
+    ++checked;
+  }
+  EXPECT_EQ(checked, rates.size());
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "wi/sim/registry.hpp"
+#include "wi/sim/scenario_json.hpp"
 
 namespace wi::sim {
 namespace {
@@ -101,6 +102,76 @@ TEST_F(ResultStoreTest, FailedResultsAreNotCached) {
   const auto results = store.run_all(engine, {broken});
   EXPECT_FALSE(results[0].ok());
   EXPECT_FALSE(store.load(broken).has_value());
+}
+
+TEST_F(ResultStoreTest, GarbageEntriesAreMissesNotCrashes) {
+  ResultStore store = make_store();
+  SimEngine engine;
+  const ScenarioSpec spec = cheap_spec();
+  const auto path = store.entry_path(store.key(spec));
+
+  const auto write_entry = [&](const std::string& payload) {
+    std::ofstream out(path, std::ios::trunc);
+    out << payload;
+  };
+
+  // Binary junk, empty file, wrong JSON shape: all must be misses.
+  write_entry(std::string("\x00\xff\x7f garbage \x01", 12));
+  EXPECT_NO_THROW(EXPECT_FALSE(store.load(spec).has_value()));
+  write_entry("");
+  EXPECT_NO_THROW(EXPECT_FALSE(store.load(spec).has_value()));
+  write_entry("[1, 2, 3]");
+  EXPECT_NO_THROW(EXPECT_FALSE(store.load(spec).has_value()));
+  write_entry(R"({"format": 42})");
+  EXPECT_NO_THROW(EXPECT_FALSE(store.load(spec).has_value()));
+
+  // Structurally valid entry whose result table is corrupt. An empty
+  // headers array makes the Table constructor throw std::invalid_argument
+  // (not StatusError) — the regression this test pins down: load() must
+  // treat it as a miss and recompute, not propagate the exception.
+  const auto corrupt_entry = [&](Json table) {
+    Json result = Json::object();
+    result.set("scenario", Json(spec.name));
+    Json status = Json::object();
+    status.set("code", Json("ok"));
+    status.set("message", Json(""));
+    result.set("status", std::move(status));
+    result.set("notes", Json::array());
+    result.set("table", std::move(table));
+    Json entry = Json::object();
+    entry.set("format", Json("wi-result-v1"));
+    entry.set("key", Json(store.key(spec)));
+    entry.set("version", Json("v1"));
+    entry.set("seed", Json(0.0));
+    entry.set("spec", scenario_to_json(spec));
+    entry.set("result", std::move(result));
+    write_entry(entry.dump(2));
+  };
+  Json empty_headers = Json::object();
+  empty_headers.set("headers", Json::array());
+  empty_headers.set("rows", Json::array());
+  corrupt_entry(std::move(empty_headers));
+  EXPECT_NO_THROW(EXPECT_FALSE(store.load(spec).has_value()));
+
+  Json ragged = Json::object();
+  {
+    Json headers = Json::array();
+    headers.push_back(Json("a"));
+    headers.push_back(Json("b"));
+    ragged.set("headers", std::move(headers));
+    Json rows = Json::array();
+    Json short_row = Json::array();
+    short_row.push_back(Json("only one cell"));
+    rows.push_back(std::move(short_row));
+    ragged.set("rows", std::move(rows));
+  }
+  corrupt_entry(std::move(ragged));
+  EXPECT_NO_THROW(EXPECT_FALSE(store.load(spec).has_value()));
+
+  // And a full run through the store recomputes and repairs the entry.
+  const auto results = store.run_all(engine, {spec});
+  ASSERT_TRUE(results[0].ok());
+  EXPECT_TRUE(store.load(spec).has_value());
 }
 
 TEST_F(ResultStoreTest, CorruptEntryIsAMiss) {

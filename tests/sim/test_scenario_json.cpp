@@ -60,7 +60,7 @@ TEST(ScenarioJson, NonIntegerCountsAreErrors) {
                    R"({"name": "x", "geometry": {"boards": 2.5}})"),
                StatusError);
   EXPECT_THROW((void)scenario_from_string(
-                   R"({"name": "x", "campaign": {"seed": -1}})"),
+                   R"({"name": "x", "pathloss": {"seed": -1}})"),
                StatusError);
 }
 

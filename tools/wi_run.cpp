@@ -11,6 +11,18 @@
 ///   wi_run fig01_pathloss --check results/golden   # tolerance diff
 ///   wi_run --spec my_scenario.json        # run a JSON spec file
 ///
+/// Campaign mode (--seeds N): each selected scenario becomes a
+/// multi-seed Monte-Carlo campaign — N seed replicas derived
+/// SplitMix64-style from --base-seed, cached per seed in the result
+/// store (default results/store, so re-running is a full cache hit and
+/// interrupted campaigns resume per seed), reduced to a statistical
+/// aggregate table:
+///
+///   wi_run campaign_info_rates --seeds 8              # run + print
+///   wi_run campaign_info_rates --seeds 8 --campaign-out DIR   # goldens
+///   wi_run campaign_info_rates --seeds 8 --check-ci DIR  # golden gate
+///   wi_run --campaign my_campaign.json    # run a CampaignSpec file
+///
 /// Exit codes: 0 ok, 1 scenario failure or golden mismatch, 2 usage.
 
 #include <filesystem>
@@ -40,15 +52,22 @@ using namespace wi::sim;
 struct CliOptions {
   std::vector<std::string> scenarios;
   std::vector<std::filesystem::path> spec_files;
+  std::vector<std::filesystem::path> campaign_files;
   bool list = false;
   bool all = false;
   bool dump_spec = false;
   bool quiet = false;
+  bool no_store = false;
   std::size_t threads = 0;
+  std::size_t seeds = 0;  ///< > 0 switches to campaign mode
+  std::uint64_t base_seed = 1;
   std::optional<std::filesystem::path> out_dir;
   std::optional<std::filesystem::path> store_dir;
   std::optional<std::filesystem::path> check_path;
+  std::optional<std::filesystem::path> campaign_out_dir;
+  std::optional<std::filesystem::path> check_ci_path;
   CompareOptions compare;
+  CiCheckOptions ci;
 };
 
 void print_usage(std::ostream& os) {
@@ -68,7 +87,23 @@ void print_usage(std::ostream& os) {
         "                     or one CSV file for a single scenario\n"
         "  --rel-tol X        cell tolerance, relative (default 1e-9)\n"
         "  --abs-tol X        cell tolerance, absolute (default 1e-12)\n"
-        "  --quiet            suppress result tables (status lines only)\n";
+        "  --quiet            suppress result tables (status lines only)\n"
+        "\n"
+        "campaign mode:\n"
+        "  --seeds N          run each scenario as an N-seed campaign\n"
+        "  --base-seed S      root of the SplitMix64 seed derivation\n"
+        "                     (default 1; replica k gets a seed that\n"
+        "                     depends only on S and k)\n"
+        "  --campaign FILE    run a CampaignSpec JSON file (repeatable)\n"
+        "  --campaign-out DIR write <name>.csv (aggregate) + <name>.json\n"
+        "  --check-ci PATH    statistical golden check: PATH is a\n"
+        "                     directory with <name>.csv aggregates, or\n"
+        "                     one CSV file; fails when a golden mean\n"
+        "                     falls outside the regenerated 95% CI\n"
+        "  --ci-slack X       CI half-width multiplier (default 1)\n"
+        "  --no-store         disable the default campaign result store\n"
+        "                     (campaigns otherwise cache per-seed\n"
+        "                     results in results/store)\n";
 }
 
 [[nodiscard]] bool parse_count(const std::string& text,
@@ -128,6 +163,34 @@ void print_usage(std::ostream& os) {
       const auto v = value();
       if (!v) return std::nullopt;
       if (!parse_count(*v, arg, options.threads)) return std::nullopt;
+    } else if (arg == "--seeds") {
+      const auto v = value();
+      if (!v) return std::nullopt;
+      if (!parse_count(*v, arg, options.seeds)) return std::nullopt;
+    } else if (arg == "--base-seed") {
+      const auto v = value();
+      if (!v) return std::nullopt;
+      std::size_t parsed = 0;
+      if (!parse_count(*v, arg, parsed)) return std::nullopt;
+      options.base_seed = parsed;
+    } else if (arg == "--campaign") {
+      const auto v = value();
+      if (!v) return std::nullopt;
+      options.campaign_files.emplace_back(*v);
+    } else if (arg == "--campaign-out") {
+      const auto v = value();
+      if (!v) return std::nullopt;
+      options.campaign_out_dir = *v;
+    } else if (arg == "--check-ci") {
+      const auto v = value();
+      if (!v) return std::nullopt;
+      options.check_ci_path = *v;
+    } else if (arg == "--ci-slack") {
+      const auto v = value();
+      if (!v) return std::nullopt;
+      if (!parse_tolerance(*v, arg, options.ci.slack)) return std::nullopt;
+    } else if (arg == "--no-store") {
+      options.no_store = true;
     } else if (arg == "--out") {
       const auto v = value();
       if (!v) return std::nullopt;
@@ -219,16 +282,67 @@ void write_artifacts(const std::filesystem::path& dir,
   return false;
 }
 
-[[nodiscard]] ScenarioSpec load_spec_file(const std::filesystem::path& path) {
+[[nodiscard]] std::string slurp(const std::filesystem::path& path,
+                                const char* what) {
   std::ifstream in(path);
   if (!in) {
     throw StatusError(Status(StatusCode::kNotFound,
-                             "cannot open spec file '" + path.string() +
-                                 "'"));
+                             std::string("cannot open ") + what + " '" +
+                                 path.string() + "'"));
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return scenario_from_string(buffer.str());
+  return buffer.str();
+}
+
+[[nodiscard]] ScenarioSpec load_spec_file(const std::filesystem::path& path) {
+  return scenario_from_string(slurp(path, "spec file"));
+}
+
+void write_campaign_artifacts(const std::filesystem::path& dir,
+                              const CampaignResult& result) {
+  std::filesystem::create_directories(dir);
+  const std::string stem = artifact_stem(result.campaign);
+  {
+    std::ofstream csv(dir / (stem + ".csv"), std::ios::trunc);
+    write_csv(csv, result.aggregate);
+  }
+  {
+    std::ofstream json(dir / (stem + ".json"), std::ios::trunc);
+    json << campaign_result_to_json(result).dump(2) << "\n";
+  }
+}
+
+/// Returns true when the regenerated aggregate statistically matches
+/// its golden reference (every golden mean inside the regenerated CI).
+[[nodiscard]] bool check_campaign(const std::filesystem::path& check_path,
+                                  const CampaignResult& result,
+                                  const CiCheckOptions& options) {
+  std::filesystem::path golden_file = check_path;
+  if (std::filesystem::is_directory(check_path)) {
+    golden_file = check_path / (artifact_stem(result.campaign) + ".csv");
+  }
+  std::ifstream in(golden_file);
+  if (!in) {
+    std::cerr << "wi_run: no campaign golden '" << golden_file.string()
+              << "' for campaign '" << result.campaign << "'\n";
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const Table golden = table_from_csv(buffer.str());
+  const Status status =
+      check_campaign_ci(result.aggregate, golden, options);
+  if (status.is_ok()) {
+    std::cout << "check-ci " << result.campaign << ": OK ("
+              << golden.rows() << " aggregate cells vs '"
+              << golden_file.string() << "')\n";
+    return true;
+  }
+  std::cerr << "check-ci " << result.campaign << ": MISMATCH vs '"
+            << golden_file.string() << "'\n"
+            << status.to_string() << "\n";
+  return false;
 }
 
 }  // namespace
@@ -252,6 +366,7 @@ int main(int argc, char** argv) {
   }
 
   std::vector<ScenarioSpec> specs;
+  std::vector<CampaignSpec> campaigns;
   try {
     if (options.all) {
       for (const auto& name : registry.names()) {
@@ -264,13 +379,35 @@ int main(int argc, char** argv) {
     for (const auto& path : options.spec_files) {
       specs.push_back(load_spec_file(path));
     }
+    for (const auto& path : options.campaign_files) {
+      campaigns.push_back(
+          campaign_from_string(slurp(path, "campaign file")));
+    }
+    if (options.seeds > 0) {
+      // Campaign mode: every selected scenario becomes one campaign, so
+      // the single-run golden flags would be silently dead — reject
+      // them instead of letting a --check gate pass vacuously.
+      if (options.out_dir || options.check_path) {
+        std::cerr << "wi_run: --seeds runs campaigns; use --campaign-out"
+                     " / --check-ci instead of --out / --check\n";
+        return 2;
+      }
+      for (auto& spec : specs) {
+        CampaignSpec campaign;
+        campaign.seeds = options.seeds;
+        campaign.base_seed = options.base_seed;
+        campaign.scenario = std::move(spec);
+        campaigns.push_back(std::move(campaign));
+      }
+      specs.clear();
+    }
   } catch (const StatusError& e) {
     std::cerr << "wi_run: " << e.status().to_string() << "\n";
     return 2;
   }
-  if (specs.empty()) {
-    std::cerr << "wi_run: nothing to run (name scenarios, --all or "
-                 "--spec; --list shows the registry)\n";
+  if (specs.empty() && campaigns.empty()) {
+    std::cerr << "wi_run: nothing to run (name scenarios, --all, --spec "
+                 "or --campaign; --list shows the registry)\n";
     print_usage(std::cerr);
     return 2;
   }
@@ -278,6 +415,9 @@ int main(int argc, char** argv) {
   if (options.dump_spec) {
     for (const auto& spec : specs) {
       std::cout << scenario_to_json(spec).dump(2) << "\n";
+    }
+    for (const auto& campaign : campaigns) {
+      std::cout << campaign_to_json(campaign).dump(2) << "\n";
     }
     return 0;
   }
@@ -289,6 +429,12 @@ int main(int argc, char** argv) {
     std::optional<ResultStore> store;
     if (options.store_dir) {
       store.emplace(ResultStoreOptions{*options.store_dir, WI_GIT_DESCRIBE});
+    } else if (!campaigns.empty() && !options.no_store) {
+      // Per-seed persistence is the campaign layer's core contract:
+      // interrupted campaigns resume per seed and a repeated campaign
+      // is a full cache hit. --no-store opts out.
+      store.emplace(
+          ResultStoreOptions{"results/store", WI_GIT_DESCRIBE});
     }
 
     const std::vector<RunResult> results =
@@ -314,14 +460,42 @@ int main(int argc, char** argv) {
         ++failures;
       }
     }
+
+    std::size_t total = results.size();
+    for (const CampaignSpec& spec : campaigns) {
+      const Campaign campaign(spec);
+      const CampaignResult result =
+          campaign.run(engine, store ? &*store : nullptr, options.threads);
+      ++total;
+      if (options.quiet) {
+        std::cout << result.campaign << ": " << result.status.to_string()
+                  << " (" << result.seeds << " seeds, "
+                  << result.aggregate.rows() << " aggregate cells)\n";
+      } else {
+        print_campaign(std::cout, result);
+        std::cout << "\n";
+      }
+      if (!result.ok()) {
+        ++failures;
+        continue;  // no artifacts/checks for failed campaigns
+      }
+      if (options.campaign_out_dir) {
+        write_campaign_artifacts(*options.campaign_out_dir, result);
+      }
+      if (options.check_ci_path &&
+          !check_campaign(*options.check_ci_path, result, options.ci)) {
+        ++failures;
+      }
+    }
+
     if (store) {
       std::cout << "result store: " << store->hits() << " hits / "
                 << store->misses() << " misses (version " << WI_GIT_DESCRIBE
                 << ")\n";
     }
     if (failures > 0) {
-      std::cerr << "wi_run: " << failures << " of " << results.size()
-                << " scenarios failed\n";
+      std::cerr << "wi_run: " << failures << " of " << total
+                << " runs failed\n";
       return 1;
     }
     return 0;
