@@ -27,7 +27,7 @@ int main() {
       "inter_frac",
       {0.1, 0.2, 0.3, 0.5, 0.7},
       [](ScenarioSpec& spec, double value) {
-        spec.hybrid.config.inter_board_fraction = value;
+        spec.payload<HybridSpec>().config.inter_board_fraction = value;
       }};
   const RunResult inter = engine.run_sweep(base, {inter_axis});
   print_result(std::cout, inter);
@@ -38,7 +38,7 @@ int main() {
       "equipped_frac",
       {0.25, 0.5, 0.75, 1.0},
       [](ScenarioSpec& spec, double value) {
-        spec.hybrid.config.wireless_node_fraction = value;
+        spec.payload<HybridSpec>().config.wireless_node_fraction = value;
       }};
   const RunResult equipped = engine.run_sweep(base, {equip_axis});
   print_result(std::cout, equipped);

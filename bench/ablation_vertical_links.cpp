@@ -25,7 +25,8 @@ int main() {
       "period",
       {1, 2, 3, 4},
       [](ScenarioSpec& spec, double value) {
-        spec.nics.config.vertical_period = static_cast<std::size_t>(value);
+        spec.payload<NicsSpec>().config.vertical_period =
+            static_cast<std::size_t>(value);
       }};
   const RunResult density = engine.run_sweep(base, {period_axis});
   print_result(std::cout, density);
@@ -38,8 +39,9 @@ int main() {
         core::VerticalLinkTech::kCapacitive}) {
     ScenarioSpec spec = base;
     spec.name += "/tech=" + core::vertical_link_params(tech).name;
-    spec.nics.config.tech = tech;
-    spec.nics.config.vertical_traffic_fraction = 0.6;
+    auto& config = spec.payload<NicsSpec>().config;
+    config.tech = tech;
+    config.vertical_traffic_fraction = 0.6;
     tech_specs.push_back(std::move(spec));
   }
   bool tech_ok = true;

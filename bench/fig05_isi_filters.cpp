@@ -20,11 +20,12 @@ int main() {
   using namespace wi::sim;
   SimEngine engine;
   ScenarioSpec spec = ScenarioRegistry::paper().get("fig05_isi_filters");
-  spec.isi.reoptimize = std::getenv("WI_FIG05_OPTIMIZE") != nullptr;
+  const bool reoptimize = std::getenv("WI_FIG05_OPTIMIZE") != nullptr;
+  spec.payload<IsiSpec>().reoptimize = reoptimize;
   const RunResult result = engine.run(spec);
   std::cout << "# Fig. 5 — ISI filter impulse responses (4-ASK, 5x OS, "
                "1-bit RX)"
-            << (spec.isi.reoptimize ? " [re-optimised live]" : "") << "\n\n";
+            << (reoptimize ? " [re-optimised live]" : "") << "\n\n";
   print_result(std::cout, result);
   return result.ok() ? 0 : 1;
 }

@@ -28,13 +28,14 @@ int main() {
   using namespace wi::sim;
   SimEngine engine;
   ScenarioSpec spec = ScenarioRegistry::paper().get("fig10_ldpc_latency");
+  auto& ldpc = spec.payload<LdpcLatencySpec>();
   if (std::getenv("WI_FIG10_FULL") != nullptr) {
-    spec.ldpc.target_ber = 1e-5;
-    spec.ldpc.min_errors = 200;
-    spec.ldpc.max_codewords = 40000;
-    spec.ldpc.max_bp_iterations = 100;
+    ldpc.target_ber = 1e-5;
+    ldpc.min_errors = 200;
+    ldpc.max_codewords = 40000;
+    ldpc.max_bp_iterations = 100;
   }
-  std::cout << "# Fig. 10 — required Eb/N0 @ BER " << spec.ldpc.target_ber
+  std::cout << "# Fig. 10 — required Eb/N0 @ BER " << ldpc.target_ber
             << " vs decoding latency [information bits]\n"
             << "# (4,8)-regular; LDPC-CC: B0=[2,2], B1=B2=[1,1]; "
                "LDPC-BC: B=[4,4]\n\n";

@@ -4,12 +4,13 @@
 ///        to NoC evaluation.
 ///
 /// SimEngine turns a declarative ScenarioSpec into a structured
-/// ResultTable. It owns the shared PhyCurveCache (receiver curves are
-/// built once per configuration, not once per bench) and a
-/// work-stealing parallel runner for scenario grids. Per-scenario
-/// failures (invalid specs, unreachable routes, ...) are captured as a
-/// Status in the result — one bad grid point never aborts a sweep —
-/// and results are deterministic: the same spec list produces
+/// ResultTable by dispatching to the workload's registered runner (see
+/// wi/sim/workload.hpp) — the engine itself is pure orchestration:
+/// grid expansion, the work-stealing pool, the shared PhyCurveCache
+/// and result plumbing, with no knowledge of any concrete workload.
+/// Per-scenario failures (invalid specs, unreachable routes, ...) are
+/// captured as a Status in the result — one bad grid point never aborts
+/// a sweep — and results are deterministic: the same spec list produces
 /// cell-identical tables at any thread count.
 
 #include <cstddef>
@@ -21,6 +22,7 @@
 #include "wi/sim/phy_curve_cache.hpp"
 #include "wi/sim/scenario.hpp"
 #include "wi/sim/status.hpp"
+#include "wi/sim/workload.hpp"
 
 namespace wi::sim {
 
@@ -35,10 +37,6 @@ struct RunResult {
 
   [[nodiscard]] bool ok() const { return status.is_ok(); }
 };
-
-/// ResultTable column schema of a workload (stable independent of
-/// success/failure, so merged sweep tables always line up).
-[[nodiscard]] std::vector<std::string> workload_headers(Workload workload);
 
 /// Engine options.
 struct EngineOptions {
@@ -97,7 +95,7 @@ class SimEngine {
 /// contribute one '-' row and mark the merged status failed. Shared by
 /// SimEngine::run_sweep and the ResultStore's resumable sweep.
 [[nodiscard]] RunResult merge_sweep_results(const std::string& sweep_name,
-                                            Workload workload,
+                                            const std::string& workload,
                                             const std::vector<RunResult>& runs);
 
 /// Print a run result (notes, then the table) — the shared output path

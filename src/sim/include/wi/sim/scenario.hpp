@@ -1,27 +1,32 @@
 #pragma once
 /// \file scenario.hpp
 /// \brief Declarative scenario description spanning every layer of the
-///        library: geometry, link budget, beamforming, PHY receiver,
-///        LDPC coding and NoC topology/traffic.
+///        library: geometry, link budget, beamforming, PHY receiver and
+///        NoC topology/traffic — plus a per-workload payload.
 ///
 /// A ScenarioSpec is a plain value: construct one (defaults reproduce
 /// the paper's Table I system), override fields, and hand it to
-/// SimEngine. Sweeps are expressed as a base spec plus SweepAxis
-/// overrides expanded into a scenario grid — no per-experiment glue
-/// code. Named paper figures/ablations are preloaded in
-/// ScenarioRegistry.
+/// SimEngine. The *workload* — what the scenario computes — is an open
+/// string key into the process-wide WorkloadRegistry (see
+/// wi/sim/workload.hpp): shared system sections (geometry, link, phy,
+/// noc) live here, while workload-specific settings live in a
+/// dispatched WorkloadPayload owned by the spec and defined next to the
+/// workload's runner under src/sim/workloads/. Sweeps are expressed as
+/// a base spec plus SweepAxis overrides expanded into a scenario grid —
+/// no per-experiment glue code. Named paper figures/ablations are
+/// preloaded in ScenarioRegistry.
 
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "wi/core/hybrid_system.hpp"
 #include "wi/core/link_planner.hpp"
-#include "wi/core/nics_stack.hpp"
 #include "wi/core/phy_abstraction.hpp"
 #include "wi/noc/queueing_model.hpp"
+#include "wi/noc/routing.hpp"
 #include "wi/noc/topology.hpp"
 #include "wi/noc/traffic.hpp"
 #include "wi/rf/link_budget.hpp"
@@ -29,27 +34,23 @@
 
 namespace wi::sim {
 
-/// What a scenario computes (each maps to one ResultTable schema).
-enum class Workload {
-  kLinkBudgetTable,   ///< Table I parameters + derived anchors
-  kPathlossCampaign,  ///< Fig. 1: synthetic campaigns + model fits
-  kTxPowerSweep,      ///< Fig. 4: required PTX vs target SNR
-  kLinkRate,          ///< link SNR -> PHY data rate (quickstart)
-  kLinkPlan,          ///< plan all board-to-board links of a geometry
-  kNocLatency,        ///< Fig. 8: latency vs injection for one topology
-  kNicsStack,         ///< Sec. IV: one 3D chip-stack configuration
-  kHybridSystem,      ///< Sec. VI: backplane vs wireless comparison
-  kCodingPlan,        ///< Fig. 10: LDPC-CC choice under latency budget
-  kImpulseResponse,   ///< Figs. 2/3: impulse response, free space vs copper
-  kIsiFilters,        ///< Fig. 5: the four ISI filter designs
-  kInfoRates,         ///< Fig. 6: information rates of the 1-bit receiver
-  kAdcEnergy,         ///< Sec. III: ADC energy per information bit
-  kThresholdSaturation,  ///< BEC threshold saturation behind Fig. 10
-  kLdpcLatency,       ///< Fig. 10: required Eb/N0 vs decoding latency
-  kFlitSim,           ///< flit-level DES latency/throughput curve
+/// Base of every per-workload spec payload. Concrete payloads are plain
+/// structs declared in wi/sim/workloads/<name>.hpp; derive them from
+/// PayloadBase<T> below to inherit the clone boilerplate.
+class WorkloadPayload {
+ public:
+  virtual ~WorkloadPayload() = default;
+  [[nodiscard]] virtual std::unique_ptr<WorkloadPayload> clone() const = 0;
 };
 
-[[nodiscard]] const char* workload_name(Workload workload);
+/// CRTP clone helper: `struct FooSpec : PayloadBase<FooSpec> { ... };`.
+template <typename Derived>
+class PayloadBase : public WorkloadPayload {
+ public:
+  [[nodiscard]] std::unique_ptr<WorkloadPayload> clone() const override {
+    return std::make_unique<Derived>(static_cast<const Derived&>(*this));
+  }
+};
 
 /// Multi-board physical geometry (paper: 10 cm boards, 100 mm apart).
 struct GeometrySpec {
@@ -74,21 +75,7 @@ struct PhySpec {
   std::size_t polarizations = 2;
 };
 
-/// Fig. 1 measurement-campaign settings (distances: Fig. 1 grid).
-struct PathlossSpec {
-  std::uint64_t seed = 2013;  ///< synthetic VNA noise seed
-};
-
-/// Fig. 4 sweep settings.
-struct TxPowerSpec {
-  double snr_lo_db = 0.0;
-  double snr_hi_db = 35.0;
-  double snr_step_db = 5.0;
-  double shortest_m = rf::kShortestLink_m;
-  double longest_m = rf::kLongestLink_m;
-};
-
-/// Declarative NoC topology (built on demand by the engine).
+/// Declarative NoC topology (built on demand by workload runners).
 struct TopologySpec {
   enum class Kind {
     kMesh2d,
@@ -117,7 +104,9 @@ struct TopologySpec {
 enum class TrafficKind { kUniform, kTranspose, kBitComplement, kHotspot };
 enum class RoutingKind { kDimensionOrder, kShortestPath };
 
-/// NoC evaluation settings (Fig. 8 style latency/throughput curves).
+/// NoC system description shared by the NoC-evaluating workloads
+/// (noc_latency, flit_sim, noc_saturation): topology, traffic pattern,
+/// routing and the analytic queueing-model parameters.
 struct NocSpec {
   TopologySpec topology;
   TrafficKind traffic = TrafficKind::kUniform;
@@ -129,133 +118,84 @@ struct NocSpec {
   /// When > 0: flit-level DES cross-check at this injection rate.
   double des_check_rate = 0.0;
   std::uint64_t des_seed = 1;
+
+  /// Shared sanity checks of the section (topology dimensions, rates,
+  /// hotspot settings); messages are prefixed with `scenario_name`.
+  [[nodiscard]] Status validate(const std::string& scenario_name) const;
+
+  /// Materialise the traffic pattern for `modules` modules.
+  [[nodiscard]] noc::TrafficPattern build_traffic(std::size_t modules) const;
+
+  /// Materialise the routing algorithm.
+  [[nodiscard]] std::unique_ptr<noc::Routing> build_routing() const;
 };
 
-/// Flit-level DES settings (Workload::kFlitSim): the stochastic
-/// counterpart of the analytic kNocLatency curve. Topology, traffic and
-/// routing come from the scenario's NocSpec; each injection rate is one
-/// independent simulation (one table row), so the row grid is fixed
-/// across seeds — the shape contract the campaign aggregator relies on.
-struct FlitSimSpec {
-  std::vector<double> injection_rates;  ///< empty = {0.05, 0.1, 0.15, 0.2}
-  std::size_t warmup_cycles = 2000;     ///< excluded from statistics
-  std::size_t measure_cycles = 8000;    ///< measurement window
-  std::size_t drain_cycles = 20000;     ///< post-window drain limit
-  std::size_t buffer_depth = 8;         ///< input queue capacity [flits]
-  std::uint64_t seed = 1;               ///< packet injection seed
-};
-
-/// Sec. IV chip-stack settings (wraps the core config).
-struct NicsSpec {
-  core::NicsStackConfig config;
-};
-
-/// Sec. VI backplane-vs-wireless settings (wraps the core config).
-struct HybridSpec {
-  core::HybridSystemConfig config;
-};
-
-/// Fig. 10 coding-plan settings.
-struct CodingSpec {
-  std::vector<double> latency_budgets_bits = {100, 150, 200, 250, 300, 400};
-  std::size_t deployed_lifting = 40;  ///< fixed-N replanning example
-  double ebn0_db = 3.0;               ///< for the latency-gain headline
-};
-
-/// Figs. 2/3 impulse-response settings. One scenario measures the same
-/// link in free space and between parallel copper boards with the same
-/// synthetic-VNA noise seed, like the testbed campaign.
-struct ImpulseSpec {
-  double distance_m = 0.05;    ///< antenna distance (Fig. 2: 50 mm)
-  double max_delay_ns = 1.5;   ///< figure x-axis range
-  std::size_t decimation = 2;  ///< keep every n-th delay sample
-  std::uint64_t seed = 22;     ///< VNA noise seed
-};
-
-/// Fig. 5 ISI filter-design settings.
-struct IsiSpec {
-  double design_snr_db = 25.0;      ///< paper optimises/evaluates at 25 dB
-  std::size_t mc_symbols = 40000;   ///< sequence-rate Monte-Carlo length
-  std::uint64_t mc_seed = 9;
-  /// Re-run the Nelder-Mead optimisation instead of using the
-  /// pre-optimised paper filters (minutes instead of milliseconds).
-  bool reoptimize = false;
-};
-
-/// Fig. 6 information-rate sweep settings.
-struct InfoRateSpec {
-  double snr_lo_db = -5.0;
-  double snr_hi_db = 35.0;
-  double snr_step_db = 5.0;
-  std::size_t mc_symbols = 120000;  ///< sequence-rate Monte-Carlo length
-  std::uint64_t mc_seed = 17;
-};
-
-/// Sec. III ADC energy-per-bit settings.
-struct AdcSpec {
-  double walden_fom_fj = 50.0;   ///< fJ per conversion step
-  double snr_db = 25.0;          ///< operating SNR
-  double symbol_rate_hz = 25e9;  ///< 25 GBd 4-ASK link
-  std::size_t mc_symbols = 60000;
-  std::uint64_t mc_seed = 29;
-};
-
-/// BEC threshold-saturation ablation settings.
-struct SaturationSpec {
-  std::vector<std::size_t> terminations = {4, 8, 16, 32, 64};
-  double threshold_tolerance = 1e-4;  ///< bisection accuracy
-};
-
-/// One LDPC-CC curve of Fig. 10: a lifting factor N scanned over
-/// decoding-window sizes W.
-struct LdpcCurveSpec {
-  std::size_t lifting = 25;
-  std::size_t window_lo = 3;
-  std::size_t window_hi = 8;
-};
-
-/// Fig. 10 Monte-Carlo settings. The defaults target BER 1e-4 with
-/// capped codeword counts (minutes, trends preserved); the paper's
-/// 1e-5 operating point needs min_errors/max_codewords raised.
-struct LdpcLatencySpec {
-  double target_ber = 1e-4;
-  std::size_t min_errors = 80;
-  std::size_t max_codewords = 800;
-  std::size_t max_bp_iterations = 50;
-  std::size_t termination = 24;  ///< L (latency is L-independent)
-  std::vector<LdpcCurveSpec> cc_curves = {{25, 3, 8}, {40, 3, 8}, {60, 4, 6}};
-  std::vector<std::size_t> bc_liftings = {100, 150, 200, 300, 400};
-  double search_lo_db = 1.5;    ///< Eb/N0 bisection bracket
-  double search_hi_db = 6.0;
-  double search_step_db = 0.25;
-};
-
-/// The declarative scenario: one value spanning all layers.
+/// The declarative scenario: shared system sections plus the selected
+/// workload's payload.
 struct ScenarioSpec {
   std::string name;
   std::string description;
-  Workload workload = Workload::kLinkRate;
+  /// Workload key into WorkloadRegistry::global() ("link_rate",
+  /// "info_rates", ...). Open set: plugins register new ones.
+  std::string workload = "link_rate";
 
   GeometrySpec geometry;
   LinkSpec link;
   PhySpec phy;
-  PathlossSpec pathloss;
-  TxPowerSpec tx_power;
   NocSpec noc;
-  FlitSimSpec flit;
-  NicsSpec nics;
-  HybridSpec hybrid;
-  CodingSpec coding;
-  ImpulseSpec impulse;
-  IsiSpec isi;
-  InfoRateSpec info_rate;
-  AdcSpec adc;
-  SaturationSpec saturation;
-  LdpcLatencySpec ldpc;
+
+  ScenarioSpec() = default;
+  ScenarioSpec(const ScenarioSpec& other);
+  ScenarioSpec& operator=(const ScenarioSpec& other);
+  ScenarioSpec(ScenarioSpec&&) noexcept = default;
+  ScenarioSpec& operator=(ScenarioSpec&&) noexcept = default;
+
+  /// Mutable payload access; creates a default-constructed T when the
+  /// spec has no payload yet, and *replaces* a payload of a different
+  /// type (the caller is re-targeting the spec to another workload).
+  template <typename T>
+  [[nodiscard]] T& payload() {
+    T* typed = payload_ ? dynamic_cast<T*>(payload_.get()) : nullptr;
+    if (typed == nullptr) {
+      auto fresh = std::make_unique<T>();
+      typed = fresh.get();
+      payload_ = std::move(fresh);
+    }
+    return *typed;
+  }
+
+  /// Read access; a spec without a payload sees T's defaults. A payload
+  /// of a different type is an error (the workload string and the
+  /// stored payload disagree) and throws StatusError(kInvalidSpec).
+  template <typename T>
+  [[nodiscard]] const T& payload() const {
+    if (payload_ != nullptr) {
+      if (const T* typed = dynamic_cast<const T*>(payload_.get())) {
+        return *typed;
+      }
+      throw StatusError(Status(
+          StatusCode::kInvalidSpec,
+          name + ": stored payload does not match workload '" + workload +
+              "'"));
+    }
+    static const T kDefaults{};
+    return kDefaults;
+  }
+
+  [[nodiscard]] bool has_payload() const { return payload_ != nullptr; }
+  void set_payload(std::unique_ptr<WorkloadPayload> payload) {
+    payload_ = std::move(payload);
+  }
+  void reset_payload() { payload_.reset(); }
 
   /// Field-by-field sanity check; kInvalidSpec with a precise message
-  /// on the first violated constraint.
+  /// on the first violated constraint. Shared sections are checked
+  /// here, then the workload's registered runner validates its payload
+  /// (an unregistered workload name is itself kInvalidSpec).
   [[nodiscard]] Status validate() const;
+
+ private:
+  std::unique_ptr<WorkloadPayload> payload_;
 };
 
 /// One sweep dimension: a named list of values and how to apply a value

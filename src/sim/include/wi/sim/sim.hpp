@@ -1,7 +1,8 @@
 #pragma once
 /// \file sim.hpp
 /// \brief Umbrella header of the declarative scenario API: include this
-///        and use ScenarioRegistry::paper() + SimEngine.
+///        and use ScenarioRegistry::paper() + SimEngine. Pulls in every
+///        workload payload header so spec payloads are directly usable.
 
 #include "wi/sim/campaign.hpp"
 #include "wi/sim/engine.hpp"
@@ -11,3 +12,18 @@
 #include "wi/sim/scenario.hpp"
 #include "wi/sim/scenario_json.hpp"
 #include "wi/sim/status.hpp"
+#include "wi/sim/workload.hpp"
+#include "wi/sim/workloads/adc_energy.hpp"
+#include "wi/sim/workloads/coding_plan.hpp"
+#include "wi/sim/workloads/flit_sim.hpp"
+#include "wi/sim/workloads/hybrid_system.hpp"
+#include "wi/sim/workloads/impulse_response.hpp"
+#include "wi/sim/workloads/info_rates.hpp"
+#include "wi/sim/workloads/isi_filters.hpp"
+#include "wi/sim/workloads/ldpc_latency.hpp"
+#include "wi/sim/workloads/link_margin_map.hpp"
+#include "wi/sim/workloads/nics_stack.hpp"
+#include "wi/sim/workloads/noc_saturation.hpp"
+#include "wi/sim/workloads/pathloss_campaign.hpp"
+#include "wi/sim/workloads/threshold_saturation.hpp"
+#include "wi/sim/workloads/tx_power_sweep.hpp"

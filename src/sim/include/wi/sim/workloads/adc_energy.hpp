@@ -1,0 +1,21 @@
+#pragma once
+/// \file adc_energy.hpp
+/// \brief Payload of the "adc_energy" workload (Sec. III).
+
+#include <cstddef>
+#include <cstdint>
+
+#include "wi/sim/scenario.hpp"
+
+namespace wi::sim {
+
+/// Sec. III ADC energy-per-bit settings.
+struct AdcSpec : PayloadBase<AdcSpec> {
+  double walden_fom_fj = 50.0;   ///< fJ per conversion step
+  double snr_db = 25.0;          ///< operating SNR
+  double symbol_rate_hz = 25e9;  ///< 25 GBd 4-ASK link
+  std::size_t mc_symbols = 60000;
+  std::uint64_t mc_seed = 29;
+};
+
+}  // namespace wi::sim

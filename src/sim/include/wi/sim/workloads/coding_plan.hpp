@@ -1,0 +1,19 @@
+#pragma once
+/// \file coding_plan.hpp
+/// \brief Payload of the "coding_plan" workload (Fig. 10 planning).
+
+#include <cstddef>
+#include <vector>
+
+#include "wi/sim/scenario.hpp"
+
+namespace wi::sim {
+
+/// Fig. 10 coding-plan settings.
+struct CodingSpec : PayloadBase<CodingSpec> {
+  std::vector<double> latency_budgets_bits = {100, 150, 200, 250, 300, 400};
+  std::size_t deployed_lifting = 40;  ///< fixed-N replanning example
+  double ebn0_db = 3.0;               ///< for the latency-gain headline
+};
+
+}  // namespace wi::sim

@@ -1,0 +1,27 @@
+#pragma once
+/// \file flit_sim.hpp
+/// \brief Payload of the "flit_sim" workload (flit-level DES curve).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "wi/sim/scenario.hpp"
+
+namespace wi::sim {
+
+/// Flit-level DES settings: the stochastic counterpart of the analytic
+/// noc_latency curve. Topology, traffic and routing come from the
+/// scenario's NocSpec; each injection rate is one independent
+/// simulation (one table row), so the row grid is fixed across seeds —
+/// the shape contract the campaign aggregator relies on.
+struct FlitSimSpec : PayloadBase<FlitSimSpec> {
+  std::vector<double> injection_rates;  ///< empty = {0.05, 0.1, 0.15, 0.2}
+  std::size_t warmup_cycles = 2000;     ///< excluded from statistics
+  std::size_t measure_cycles = 8000;    ///< measurement window
+  std::size_t drain_cycles = 20000;     ///< post-window drain limit
+  std::size_t buffer_depth = 8;         ///< input queue capacity [flits]
+  std::uint64_t seed = 1;               ///< packet injection seed
+};
+
+}  // namespace wi::sim

@@ -1,0 +1,15 @@
+#pragma once
+/// \file hybrid_system.hpp
+/// \brief Payload of the "hybrid_system" workload (Sec. VI).
+
+#include "wi/core/hybrid_system.hpp"
+#include "wi/sim/scenario.hpp"
+
+namespace wi::sim {
+
+/// Sec. VI backplane-vs-wireless settings (wraps the core config).
+struct HybridSpec : PayloadBase<HybridSpec> {
+  core::HybridSystemConfig config;
+};
+
+}  // namespace wi::sim

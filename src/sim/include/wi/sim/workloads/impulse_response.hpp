@@ -1,0 +1,22 @@
+#pragma once
+/// \file impulse_response.hpp
+/// \brief Payload of the "impulse_response" workload (Figs. 2/3).
+
+#include <cstddef>
+#include <cstdint>
+
+#include "wi/sim/scenario.hpp"
+
+namespace wi::sim {
+
+/// Figs. 2/3 impulse-response settings. One scenario measures the same
+/// link in free space and between parallel copper boards with the same
+/// synthetic-VNA noise seed, like the testbed campaign.
+struct ImpulseSpec : PayloadBase<ImpulseSpec> {
+  double distance_m = 0.05;    ///< antenna distance (Fig. 2: 50 mm)
+  double max_delay_ns = 1.5;   ///< figure x-axis range
+  std::size_t decimation = 2;  ///< keep every n-th delay sample
+  std::uint64_t seed = 22;     ///< VNA noise seed
+};
+
+}  // namespace wi::sim

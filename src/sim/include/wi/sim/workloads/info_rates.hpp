@@ -1,0 +1,21 @@
+#pragma once
+/// \file info_rates.hpp
+/// \brief Payload of the "info_rates" workload (Fig. 6).
+
+#include <cstddef>
+#include <cstdint>
+
+#include "wi/sim/scenario.hpp"
+
+namespace wi::sim {
+
+/// Fig. 6 information-rate sweep settings.
+struct InfoRateSpec : PayloadBase<InfoRateSpec> {
+  double snr_lo_db = -5.0;
+  double snr_hi_db = 35.0;
+  double snr_step_db = 5.0;
+  std::size_t mc_symbols = 120000;  ///< sequence-rate Monte-Carlo length
+  std::uint64_t mc_seed = 17;
+};
+
+}  // namespace wi::sim

@@ -1,0 +1,18 @@
+#pragma once
+/// \file link_margin_map.hpp
+/// \brief Payload of the "link_margin_map" workload: per-link SNR
+///        margin over the chip geometry.
+
+#include "wi/sim/scenario.hpp"
+
+namespace wi::sim {
+
+/// Margin-map settings: every adjacent-board link of the scenario
+/// geometry is planned at the spec's transmit power and reported with
+/// its SNR margin against the planning target (link.target_snr_db) and
+/// against the SNR the PHY receiver needs for min_rate_gbps.
+struct LinkMarginSpec : PayloadBase<LinkMarginSpec> {
+  double min_rate_gbps = 100.0;  ///< rate the margin is computed for
+};
+
+}  // namespace wi::sim

@@ -1,0 +1,18 @@
+#pragma once
+/// \file nics_stack.hpp
+/// \brief Payload of the "nics_stack" workload (Sec. IV chip stack).
+
+#include "wi/core/nics_stack.hpp"
+#include "wi/sim/scenario.hpp"
+
+namespace wi::sim {
+
+/// Sec. IV chip-stack settings (wraps the core config).
+struct NicsSpec : PayloadBase<NicsSpec> {
+  core::NicsStackConfig config;
+};
+
+/// Stable codec name of a vertical-link technology ("tsv", ...).
+[[nodiscard]] const char* vertical_tech_name(core::VerticalLinkTech value);
+
+}  // namespace wi::sim

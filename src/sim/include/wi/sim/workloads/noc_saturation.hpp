@@ -1,0 +1,24 @@
+#pragma once
+/// \file noc_saturation.hpp
+/// \brief Payload of the "noc_saturation" workload: injection-rate
+///        sweep to saturation (latency-vs-load knee).
+
+#include <cstddef>
+
+#include "wi/sim/scenario.hpp"
+
+namespace wi::sim {
+
+/// Sweep settings: the scenario's NocSpec supplies topology, traffic,
+/// routing and the queueing model; the sweep walks injection rates from
+/// rate_lo towards the analytic saturation point and reports the
+/// latency-vs-load curve plus the knee (first rate whose latency
+/// exceeds knee_factor x zero-load latency).
+struct NocSaturationSpec : PayloadBase<NocSaturationSpec> {
+  double rate_lo = 0.01;       ///< first injection rate [flits/cycle/module]
+  std::size_t steps = 24;      ///< sweep resolution up to saturation
+  double knee_factor = 2.0;    ///< knee = latency > factor * zero-load
+  double margin = 0.999;       ///< stop at margin * saturation_rate
+};
+
+}  // namespace wi::sim

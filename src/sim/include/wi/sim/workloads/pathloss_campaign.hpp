@@ -1,0 +1,16 @@
+#pragma once
+/// \file pathloss_campaign.hpp
+/// \brief Payload of the "pathloss_campaign" workload (Fig. 1).
+
+#include <cstdint>
+
+#include "wi/sim/scenario.hpp"
+
+namespace wi::sim {
+
+/// Fig. 1 measurement-campaign settings (distances: Fig. 1 grid).
+struct PathlossSpec : PayloadBase<PathlossSpec> {
+  std::uint64_t seed = 2013;  ///< synthetic VNA noise seed
+};
+
+}  // namespace wi::sim

@@ -1,0 +1,18 @@
+#pragma once
+/// \file threshold_saturation.hpp
+/// \brief Payload of the "threshold_saturation" workload.
+
+#include <cstddef>
+#include <vector>
+
+#include "wi/sim/scenario.hpp"
+
+namespace wi::sim {
+
+/// BEC threshold-saturation ablation settings.
+struct SaturationSpec : PayloadBase<SaturationSpec> {
+  std::vector<std::size_t> terminations = {4, 8, 16, 32, 64};
+  double threshold_tolerance = 1e-4;  ///< bisection accuracy
+};
+
+}  // namespace wi::sim

@@ -1,0 +1,19 @@
+#pragma once
+/// \file tx_power_sweep.hpp
+/// \brief Payload of the "tx_power_sweep" workload (Fig. 4).
+
+#include "wi/rf/link_budget.hpp"
+#include "wi/sim/scenario.hpp"
+
+namespace wi::sim {
+
+/// Fig. 4 sweep settings.
+struct TxPowerSpec : PayloadBase<TxPowerSpec> {
+  double snr_lo_db = 0.0;
+  double snr_hi_db = 35.0;
+  double snr_step_db = 5.0;
+  double shortest_m = rf::kShortestLink_m;
+  double longest_m = rf::kLongestLink_m;
+};
+
+}  // namespace wi::sim

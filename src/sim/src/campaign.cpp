@@ -9,6 +9,7 @@
 #include "wi/common/table_io.hpp"
 #include "wi/sim/result_store.hpp"
 #include "wi/sim/scenario_json.hpp"
+#include "wi/sim/workload.hpp"
 
 namespace wi::sim {
 
@@ -63,13 +64,13 @@ std::uint64_t campaign_seed(std::uint64_t base_seed, std::size_t index) {
 ScenarioSpec scenario_for_seed(const ScenarioSpec& scenario,
                                std::uint64_t seed) {
   ScenarioSpec spec = scenario;
-  spec.pathloss.seed = seed;
-  spec.impulse.seed = seed;
-  spec.isi.mc_seed = seed;
-  spec.info_rate.mc_seed = seed;
-  spec.adc.mc_seed = seed;
-  spec.flit.seed = seed;
-  spec.noc.des_seed = seed;
+  // The workload's runner knows which fields are stochastic; an
+  // unregistered workload gets only the name suffix (it will fail
+  // validation anyway when run).
+  if (const WorkloadRunner* runner =
+          WorkloadRegistry::global().find(spec.workload)) {
+    runner->apply_seed(spec, seed);
+  }
   spec.name += "@seed=" + std::to_string(seed);
   return spec;
 }

@@ -2,690 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cmath>
-#include <limits>
-#include <memory>
 #include <ostream>
 #include <thread>
 #include <utility>
 
-#include "wi/comm/adc.hpp"
-#include "wi/comm/filter_design.hpp"
-#include "wi/comm/info_rate.hpp"
-#include "wi/common/math.hpp"
-#include "wi/core/coding_planner.hpp"
-#include "wi/fec/ber.hpp"
-#include "wi/fec/density_evolution.hpp"
-#include "wi/core/geometry.hpp"
-#include "wi/core/hybrid_system.hpp"
-#include "wi/core/link_planner.hpp"
-#include "wi/core/nics_stack.hpp"
-#include "wi/noc/flit_sim.hpp"
-#include "wi/noc/metrics.hpp"
-#include "wi/noc/queueing_model.hpp"
-#include "wi/rf/antenna.hpp"
-#include "wi/rf/campaign.hpp"
-#include "wi/rf/channel.hpp"
-#include "wi/rf/pathloss.hpp"
-#include "wi/rf/vna.hpp"
+#include "wi/sim/workload.hpp"
 
 namespace wi::sim {
-
-namespace {
-
-using core::BoardGeometry;
-
-[[nodiscard]] noc::TrafficPattern build_traffic(const NocSpec& spec,
-                                                std::size_t modules) {
-  switch (spec.traffic) {
-    case TrafficKind::kUniform:
-      return noc::TrafficPattern::uniform(modules);
-    case TrafficKind::kTranspose:
-      return noc::TrafficPattern::transpose(modules);
-    case TrafficKind::kBitComplement:
-      return noc::TrafficPattern::bit_complement(modules);
-    case TrafficKind::kHotspot:
-      return noc::TrafficPattern::hotspot(modules, spec.hotspot_module,
-                                          spec.hotspot_fraction);
-  }
-  throw StatusError(
-      Status(StatusCode::kUnsupported, "unknown traffic kind"));
-}
-
-[[nodiscard]] std::unique_ptr<noc::Routing> build_routing(RoutingKind kind) {
-  if (kind == RoutingKind::kShortestPath) {
-    return std::make_unique<noc::ShortestPathRouting>();
-  }
-  return std::make_unique<noc::DimensionOrderRouting>();
-}
-
-void run_link_budget_table(const ScenarioSpec& spec, RunResult& result) {
-  const rf::LinkBudget budget(spec.link.budget);
-  const auto& p = budget.params();
-  auto row = [&](const char* name, const char* unit, double value,
-                 int decimals, const char* paper) {
-    result.table.add_row({name, unit, Table::num(value, decimals), paper});
-  };
-  row("RX noise figure", "dB", p.rx_noise_figure_db, 1, "10");
-  row("Path loss exponent", "-", p.path_loss_exponent, 1, "2");
-  row("Path loss shortest link 0.1m", "dB",
-      budget.path_loss_db(rf::kShortestLink_m), 1, "59.8");
-  row("Path loss largest link 0.3m", "dB",
-      budget.path_loss_db(rf::kLongestLink_m), 1, "69.3");
-  row("Array gain", "dB", p.array_gain_db, 1, "12");
-  row("Butler matrix inaccuracy", "dB", p.butler_inaccuracy_db, 1, "5");
-  row("Polarization mismatch", "dB", p.polarization_mismatch_db, 1, "3");
-  row("Implementation loss", "dB", p.implementation_loss_db, 1, "5");
-  row("RX temperature", "K", p.rx_temperature_k, 0, "323");
-  result.notes.push_back("noise power over " +
-                         Table::num(p.bandwidth_hz / 1e9, 1) + " GHz: " +
-                         Table::num(budget.noise_power_dbm(), 2) + " dBm");
-  const rf::PlanarArray array(4, 4);
-  result.notes.push_back("4x4 array broadside gain: " +
-                         Table::num(array.broadside_gain_dbi(), 2) +
-                         " dBi (paper: 12)");
-  const rf::ButlerMatrixBeamformer butler(array, 4);
-  result.notes.push_back("Butler worst-case mismatch: " +
-                         Table::num(butler.worst_case_mismatch_db(), 2) +
-                         " dB (paper budget: 5)");
-}
-
-void run_pathloss_campaign(const ScenarioSpec& spec, RunResult& result) {
-  rf::CampaignConfig freespace;
-  freespace.distances_m = rf::default_distance_grid_m();
-  freespace.copper_boards = false;
-  freespace.vna.seed = spec.pathloss.seed;
-  const auto points_free = rf::run_campaign(freespace);
-  const auto fit_free = rf::fit_path_loss(points_free, 0.05);
-
-  rf::CampaignConfig copper = freespace;
-  copper.copper_boards = true;
-  const auto points_copper = rf::run_campaign(copper);
-  const auto fit_copper = rf::fit_path_loss(points_copper, 0.05);
-
-  const rf::PathLossModel model_free =
-      rf::PathLossModel::free_space(spec.link.budget.carrier_freq_hz);
-  const rf::PathLossModel model_copper(fit_copper.reference_loss_db,
-                                       fit_copper.exponent, 0.05);
-  for (std::size_t i = 0; i < points_free.size(); ++i) {
-    const double d = points_free[i].distance_m;
-    const double pl_free = model_free.loss_db(d);
-    result.table.add_row({Table::num(d * 1e3, 0), Table::num(pl_free, 2),
-                          Table::num(points_free[i].pathloss_db, 2),
-                          Table::num(model_copper.loss_db(d), 2),
-                          Table::num(points_copper[i].pathloss_db, 2),
-                          // Fig. 1 reference lines: free-space PL minus
-                          // 2x9.5 dB horn gain / 2x12 dB array gain.
-                          Table::num(pl_free - 19.0, 2),
-                          Table::num(pl_free - 24.0, 2)});
-  }
-  result.notes.push_back("fitted exponent free space: n = " +
-                         Table::num(fit_free.exponent, 4) +
-                         " (paper: 2.000)");
-  result.notes.push_back("fitted exponent copper boards: n = " +
-                         Table::num(fit_copper.exponent, 4) +
-                         " (paper: 2.0454)");
-}
-
-void run_tx_power_sweep(const ScenarioSpec& spec, RunResult& result) {
-  const rf::LinkBudget budget(spec.link.budget);
-  const TxPowerSpec& tx = spec.tx_power;
-  for (double snr = tx.snr_lo_db; snr <= tx.snr_hi_db + 1e-9;
-       snr += tx.snr_step_db) {
-    result.table.add_row(
-        {Table::num(snr, 1),
-         Table::num(budget.required_tx_power_dbm(snr, tx.shortest_m, false),
-                    2),
-         Table::num(budget.required_tx_power_dbm(snr, tx.longest_m, false),
-                    2),
-         Table::num(budget.required_tx_power_dbm(snr, tx.longest_m, true),
-                    2)});
-  }
-  result.notes.push_back(
-      "100 Gbit/s at ~2 bit/s/Hz needs SNR ~4.77 dB -> PTX " +
-      Table::num(budget.required_tx_power_dbm(4.77, tx.longest_m, true), 2) +
-      " dBm on the worst link");
-}
-
-void run_link_rate(const ScenarioSpec& spec, PhyCurveCache& cache,
-                   RunResult& result) {
-  const rf::LinkBudget budget(spec.link.budget);
-  const auto curve = cache.get(spec.phy.receiver, spec.phy.bandwidth_hz,
-                               spec.phy.polarizations);
-  const BoardGeometry geometry(spec.geometry.boards,
-                               spec.geometry.board_size_mm,
-                               spec.geometry.separation_mm,
-                               spec.geometry.nodes_per_edge);
-  const bool butler =
-      spec.link.beamforming == core::Beamforming::kButlerMatrix;
-  const bool dual_pol = spec.phy.polarizations >= 2;
-  struct Case {
-    const char* name;
-    double distance_m;
-    bool mismatch;
-  };
-  const Case cases[] = {
-      {"ahead", geometry.shortest_link_mm() / 1e3, false},
-      {"diagonal", geometry.longest_link_mm() / 1e3, butler},
-      // Table I's 300 mm worst-case link (larger rack scenario).
-      {"table1_worst", rf::kLongestLink_m, butler},
-  };
-  for (const Case& c : cases) {
-    const double snr = budget.snr_db(spec.link.ptx_dbm, c.distance_m,
-                                     c.mismatch);
-    result.table.add_row(
-        {c.name, Table::num(c.distance_m, 3),
-         Table::num(spec.link.ptx_dbm, 1), Table::num(snr, 2),
-         Table::num(curve->link_rate_gbps(snr), 2),
-         Table::num(budget.shannon_rate_bps(snr, dual_pol) / 1e9, 2)});
-  }
-  result.notes.push_back(
-      "PTX for " + Table::num(spec.link.target_snr_db, 1) +
-      " dB SNR on the 300 mm worst-case link: " +
-      Table::num(budget.required_tx_power_dbm(spec.link.target_snr_db,
-                                              rf::kLongestLink_m, butler),
-                 2) +
-      " dBm");
-  const double snr_100g = curve->required_snr_db(100.0);
-  result.notes.push_back(
-      std::isinf(snr_100g)
-          ? std::string("100 Gbit/s unreachable with this receiver")
-          : "SNR for 100 Gbit/s: " + Table::num(snr_100g, 2) + " dB");
-}
-
-void run_link_plan(const ScenarioSpec& spec, PhyCurveCache& cache,
-                   RunResult& result) {
-  const core::WirelessLinkPlanner planner(spec.link.budget,
-                                          spec.link.beamforming);
-  const auto curve = cache.get(spec.phy.receiver, spec.phy.bandwidth_hz,
-                               spec.phy.polarizations);
-  const BoardGeometry geometry(spec.geometry.boards,
-                               spec.geometry.board_size_mm,
-                               spec.geometry.separation_mm,
-                               spec.geometry.nodes_per_edge);
-  const auto links = planner.plan(geometry, spec.link.ptx_dbm,
-                                  spec.link.target_snr_db);
-  double min_rate = std::numeric_limits<double>::infinity();
-  double max_rate = 0.0;
-  for (const auto& link : links) {
-    const double phy_rate = curve->link_rate_gbps(link.snr_db);
-    min_rate = std::min(min_rate, phy_rate);
-    max_rate = std::max(max_rate, phy_rate);
-    result.table.add_row(
-        {Table::num(static_cast<long long>(link.src_node)),
-         Table::num(static_cast<long long>(link.dst_node)),
-         Table::num(link.distance_mm, 1),
-         Table::num(link.steering_angle_deg, 1),
-         Table::num(link.required_ptx_dbm, 2), Table::num(link.snr_db, 2),
-         Table::num(phy_rate, 2)});
-  }
-  result.notes.push_back(
-      links.empty()
-          ? std::string("no adjacent-board links in this geometry")
-          : Table::num(static_cast<long long>(links.size())) +
-                " adjacent-board links planned; PHY rate " +
-                Table::num(min_rate, 1) + " - " + Table::num(max_rate, 1) +
-                " Gbit/s");
-}
-
-void run_noc_latency(const ScenarioSpec& spec, RunResult& result) {
-  const noc::Topology topology = spec.noc.topology.build();
-  const auto routing = build_routing(spec.noc.routing);
-  const noc::TrafficPattern traffic =
-      build_traffic(spec.noc, topology.module_count());
-  const noc::QueueingModel model(topology, *routing, traffic,
-                                 spec.noc.model);
-  std::vector<double> rates = spec.noc.injection_rates;
-  if (rates.empty()) rates = linspace(0.01, 0.8, 21);
-  for (const double rate : rates) {
-    const auto perf = model.evaluate(rate);
-    result.table.add_row(
-        {Table::num(rate, 3),
-         perf.saturated ? std::string("sat")
-                        : Table::num(perf.mean_latency_cycles, 2),
-         Table::num(perf.max_channel_load, 3),
-         perf.saturated ? "yes" : "no"});
-  }
-  result.notes.push_back("topology: " + topology.name());
-  result.notes.push_back(
-      "zero-load latency: " + Table::num(model.zero_load_latency_cycles(), 2) +
-      " cycles; saturation: " + Table::num(model.saturation_rate(), 3) +
-      " flits/cycle/module");
-  const double area = noc::total_router_crossbar_area(topology);
-  result.notes.push_back(
-      "crossbar area proxy: " + Table::num(area, 0) + " (" +
-      Table::num(area / static_cast<double>(topology.router_count()), 1) +
-      " per router)");
-  if (spec.noc.des_check_rate > 0.0) {
-    noc::FlitSimConfig sim;
-    sim.warmup_cycles = 2000;
-    sim.measure_cycles = 8000;
-    sim.seed = spec.noc.des_seed;
-    const auto des = simulate_network(topology, *routing, traffic,
-                                      spec.noc.des_check_rate, sim);
-    result.notes.push_back(
-        "DES cross-check @ " + Table::num(spec.noc.des_check_rate, 2) + ": " +
-        Table::num(des.mean_latency_cycles, 2) + " cycles vs analytic " +
-        Table::num(model.evaluate(spec.noc.des_check_rate)
-                       .mean_latency_cycles,
-                   2));
-  }
-}
-
-void run_flit_sim(const ScenarioSpec& spec, RunResult& result) {
-  const noc::Topology topology = spec.noc.topology.build();
-  const auto routing = build_routing(spec.noc.routing);
-  const noc::TrafficPattern traffic =
-      build_traffic(spec.noc, topology.module_count());
-  noc::FlitSimConfig config;
-  config.warmup_cycles = spec.flit.warmup_cycles;
-  config.measure_cycles = spec.flit.measure_cycles;
-  config.drain_cycles = spec.flit.drain_cycles;
-  config.buffer_depth = spec.flit.buffer_depth;
-  config.seed = spec.flit.seed;
-  std::vector<double> rates = spec.flit.injection_rates;
-  if (rates.empty()) rates = {0.05, 0.1, 0.15, 0.2};
-  for (const double rate : rates) {
-    const auto des =
-        simulate_network(topology, *routing, traffic, rate, config);
-    result.table.add_row(
-        {Table::num(rate, 3), Table::num(des.mean_latency_cycles, 4),
-         Table::num(des.delivered_per_cycle, 5),
-         Table::num(static_cast<long long>(des.delivered)),
-         Table::num(static_cast<long long>(des.injected)),
-         des.stable ? "yes" : "no"});
-  }
-  result.notes.push_back("topology: " + topology.name());
-  result.notes.push_back(
-      "DES window: " + Table::num(static_cast<long long>(
-                           spec.flit.measure_cycles)) +
-      " cycles after " +
-      Table::num(static_cast<long long>(spec.flit.warmup_cycles)) +
-      " warmup, seed " + Table::num(static_cast<long long>(spec.flit.seed)));
-}
-
-void run_nics_stack(const ScenarioSpec& spec, RunResult& result) {
-  const core::NicsStackModel model(spec.nics.config);
-  const auto eval = model.evaluate();
-  const auto params = core::vertical_link_params(spec.nics.config.tech);
-  result.table.add_row(
-      {params.name,
-       Table::num(static_cast<long long>(spec.nics.config.vertical_period)),
-       Table::num(eval.vertical_link_count, 0),
-       Table::num(eval.area_cost, 0),
-       Table::num(eval.zero_load_latency_cycles, 2),
-       Table::num(eval.saturation_rate, 3)});
-}
-
-void run_hybrid_system(const ScenarioSpec& spec, RunResult& result) {
-  const core::HybridSystemModel model(spec.hybrid.config);
-  const auto cmp = model.compare();
-  const auto& c = spec.hybrid.config;
-  result.table.add_row({Table::num(c.inter_board_fraction, 2),
-                        Table::num(c.wireless_node_fraction, 2),
-                        Table::num(cmp.backplane.saturation_rate, 3),
-                        Table::num(cmp.wireless.saturation_rate, 3),
-                        Table::num(cmp.capacity_gain, 2),
-                        Table::num(cmp.backplane.zero_load_latency_cycles, 2),
-                        Table::num(cmp.wireless.zero_load_latency_cycles, 2),
-                        Table::num(cmp.latency_gain, 2)});
-}
-
-void run_coding_plan(const ScenarioSpec& spec, RunResult& result) {
-  const core::CodingPlanner planner = core::CodingPlanner::paper_table();
-  for (const double budget : spec.coding.latency_budgets_bits) {
-    const core::CodingPoint* best = planner.best_within_latency(budget);
-    if (best == nullptr) {
-      result.table.add_row(
-          {Table::num(budget, 0), "none", "-", "-", "-", "-"});
-      continue;
-    }
-    result.table.add_row(
-        {Table::num(budget, 0), best->block_code ? "LDPC-BC" : "LDPC-CC",
-         Table::num(static_cast<long long>(best->lifting)),
-         best->block_code
-             ? std::string("-")
-             : Table::num(static_cast<long long>(best->window)),
-         Table::num(best->latency_info_bits, 0),
-         Table::num(best->required_ebn0_db, 2)});
-  }
-  result.notes.push_back(
-      "latency gain vs best block code at " +
-      Table::num(spec.coding.ebn0_db, 1) + " dB: " +
-      Table::num(planner.latency_gain_vs_block_bits(spec.coding.ebn0_db), 0) +
-      " info bits");
-  const double replan_budget = spec.coding.latency_budgets_bits.back();
-  const core::CodingPoint* replanned = planner.best_window_for_lifting(
-      spec.coding.deployed_lifting, replan_budget);
-  if (replanned != nullptr) {
-    result.notes.push_back(
-        "deployed N=" +
-        Table::num(static_cast<long long>(spec.coding.deployed_lifting)) +
-        " replanned within " + Table::num(replan_budget, 0) + " bits: W=" +
-        Table::num(static_cast<long long>(replanned->window)) + " at " +
-        Table::num(replanned->required_ebn0_db, 2) + " dB");
-  }
-}
-
-void run_impulse_response(const ScenarioSpec& spec, RunResult& result) {
-  const ImpulseSpec& imp = spec.impulse;
-  rf::VnaConfig vna_config;
-  vna_config.seed = imp.seed;
-  const auto measure = [&](bool copper_boards) {
-    rf::BoardToBoardScenario scenario;
-    scenario.distance_m = imp.distance_m;
-    scenario.copper_boards = copper_boards;
-    const rf::MultipathChannel channel =
-        rf::board_to_board_channel(scenario);
-    // A fresh instrument per environment: both measurements see the
-    // same noise realisation, like re-seeding the testbed campaign.
-    rf::SyntheticVna vna(vna_config);
-    const rf::ImpulseResponse ir = rf::to_impulse_response(vna.measure(channel));
-    const char* label = copper_boards ? "copper" : "freespace";
-    for (const auto& tap : channel.taps()) {
-      result.notes.push_back(
-          std::string(label) + " tap '" + tap.label + "': delay " +
-          Table::num(tap.delay_s * 1e9, 3) + " ns, rel LoS " +
-          Table::num(tap.gain_db - channel.strongest_tap_db(), 1) + " dB");
-    }
-    result.notes.push_back(
-        std::string(label) + " worst reflection: " +
-        Table::num(rf::worst_reflection_rel_db(ir, 6), 1) +
-        " dB rel LoS (paper: <= -15 dB)");
-    return ir;
-  };
-  const rf::ImpulseResponse free_space = measure(false);
-  const rf::ImpulseResponse copper = measure(true);
-  for (std::size_t i = 0; i < free_space.delay_s.size();
-       i += imp.decimation) {
-    if (free_space.delay_s[i] > imp.max_delay_ns * 1e-9) break;
-    result.table.add_row({Table::num(free_space.delay_s[i] * 1e9, 3),
-                          Table::num(free_space.magnitude_db[i], 1),
-                          Table::num(copper.magnitude_db[i], 1)});
-  }
-}
-
-void run_isi_filters(const ScenarioSpec& spec, RunResult& result) {
-  using comm::IsiFilter;
-  const IsiSpec& isi = spec.isi;
-  const comm::Constellation c4 = comm::Constellation::ask(4);
-  comm::FilterDesignOptions options;
-  options.design_snr_db = isi.design_snr_db;
-  struct Design {
-    const char* name;
-    IsiFilter filter;
-  };
-  const std::vector<Design> designs = {
-      {"rectangular", IsiFilter::rectangular(5)},
-      {"optimal_symbolwise",
-       isi.reoptimize ? comm::optimize_filter_symbolwise(c4, options)
-                      : comm::paper_filter_symbolwise()},
-      {"optimal_sequence",
-       isi.reoptimize ? comm::optimize_filter_sequence(c4, options)
-                      : comm::paper_filter_sequence()},
-      {"suboptimal",
-       isi.reoptimize ? comm::design_filter_suboptimal(c4, options)
-                      : comm::paper_filter_suboptimal()},
-  };
-  for (const Design& design : designs) {
-    const auto& taps = design.filter.taps();
-    const double m =
-        static_cast<double>(design.filter.samples_per_symbol());
-    for (std::size_t i = 0; i < taps.size(); ++i) {
-      result.table.add_row({design.name,
-                            Table::num(static_cast<double>(i) / m, 2),
-                            Table::num(taps[i], 4)});
-    }
-    const comm::OneBitOsChannel channel(design.filter, c4,
-                                        isi.design_snr_db);
-    result.notes.push_back(
-        std::string(design.name) + ": symbolwise MI @" +
-        Table::num(isi.design_snr_db, 0) + " dB " +
-        Table::num(comm::mi_one_bit_symbolwise(channel), 3) +
-        " bpcu; sequence IR " +
-        Table::num(comm::info_rate_one_bit_sequence(
-                       channel, {isi.mc_symbols, isi.mc_seed}),
-                   3) +
-        " bpcu; unique detection: " +
-        (comm::is_uniquely_detectable(design.filter, c4) ? "yes" : "no"));
-  }
-}
-
-void run_info_rates(const ScenarioSpec& spec, RunResult& result) {
-  using namespace wi::comm;
-  const InfoRateSpec& ir = spec.info_rate;
-  const Constellation c4 = Constellation::ask(4);
-  const IsiFilter rect = IsiFilter::rectangular(5);
-  const IsiFilter f_seq = paper_filter_sequence();
-  const IsiFilter f_sym = paper_filter_symbolwise();
-  const IsiFilter f_sub = paper_filter_suboptimal();
-  const SequenceRateOptions mc{ir.mc_symbols, ir.mc_seed};
-  for (double snr = ir.snr_lo_db; snr <= ir.snr_hi_db + 1e-9;
-       snr += ir.snr_step_db) {
-    const OneBitOsChannel ch_seq(f_seq, c4, snr);
-    const OneBitOsChannel ch_sym(f_sym, c4, snr);
-    const OneBitOsChannel ch_rect(rect, c4, snr);
-    const OneBitOsChannel ch_sub(f_sub, c4, snr);
-    result.table.add_row(
-        {Table::num(snr, 1),
-         Table::num(info_rate_one_bit_sequence(ch_seq, mc), 3),
-         Table::num(mi_one_bit_symbolwise(ch_sym), 3),
-         Table::num(info_rate_one_bit_sequence(ch_rect, mc), 3),
-         Table::num(mi_one_bit_no_oversampling(c4, snr), 3),
-         Table::num(mi_unquantized_matched_filter(c4, snr, 5), 3),
-         Table::num(info_rate_one_bit_sequence(ch_sub, mc), 3)});
-  }
-  result.notes.push_back(
-      "expected: no-quantization -> 2 bpcu; 1bit no-OS -> 1 bpcu; "
-      "optimised ISI + sequence detection recovers most of the gap");
-}
-
-void run_adc_energy(const ScenarioSpec& spec, RunResult& result) {
-  using namespace wi::comm;
-  const AdcSpec& a = spec.adc;
-  const Constellation c4 = Constellation::ask(4);
-  const AdcModel adc{a.walden_fom_fj * 1e-15};
-  const OneBitOsChannel seq(paper_filter_sequence(), c4, a.snr_db);
-  const double rate_1bit_os =
-      info_rate_one_bit_sequence(seq, {a.mc_symbols, a.mc_seed});
-  const std::vector<ReceiverOption> options = {
-      {"1-bit, 5x OS, seq. detection", 1, 5, rate_1bit_os},
-      {"1-bit, Nyquist", 1, 1, mi_one_bit_no_oversampling(c4, a.snr_db)},
-      {"2-bit, Nyquist", 2, 1,
-       mi_quantized_awgn(c4, UniformQuantizer(2), a.snr_db)},
-      {"3-bit, Nyquist", 3, 1,
-       mi_quantized_awgn(c4, UniformQuantizer(3), a.snr_db)},
-      {"4-bit, Nyquist", 4, 1,
-       mi_quantized_awgn(c4, UniformQuantizer(4), a.snr_db)},
-      {"8-bit, Nyquist", 8, 1, mi_unquantized_awgn(c4, a.snr_db)},
-  };
-  for (const auto& option : options) {
-    const double sample_rate =
-        a.symbol_rate_hz * static_cast<double>(option.oversampling);
-    const double throughput =
-        option.info_rate_bpcu * a.symbol_rate_hz / 1e9;
-    result.table.add_row(
-        {option.name, Table::num(sample_rate / 1e9, 0),
-         Table::num(option.info_rate_bpcu, 3), Table::num(throughput, 1),
-         Table::num(adc.power_w(option.adc_bits, sample_rate) * 1e3, 3),
-         Table::num(
-             adc_energy_per_bit_j(adc, option, a.symbol_rate_hz) * 1e12,
-             4)});
-  }
-  result.notes.push_back(
-      "the 1-bit 5x-OS receiver delivers near-ideal throughput at a "
-      "fraction of the 8-bit converter's ADC energy per bit (Sec. III)");
-}
-
-void run_threshold_saturation(const ScenarioSpec& spec, RunResult& result) {
-  using namespace wi::fec;
-  const SaturationSpec& sat = spec.saturation;
-  const BaseMatrix block({{4, 4}});
-  const EdgeSpreading spreading = EdgeSpreading::paper_example();
-  const double block_threshold =
-      bec_threshold(block, sat.threshold_tolerance);
-  for (const std::size_t termination : sat.terminations) {
-    const double threshold =
-        coupled_bec_threshold(spreading, termination, sat.threshold_tolerance);
-    const double rate = 1.0 - static_cast<double>(termination + 2) /
-                                  (2.0 * static_cast<double>(termination));
-    result.table.add_row({Table::num(static_cast<long long>(termination)),
-                          Table::num(threshold, 4),
-                          Table::num(threshold - block_threshold, 4),
-                          Table::num(rate, 4), Table::num(0.5 - rate, 4)});
-  }
-  result.notes.push_back("block ensemble B=[4,4] BP threshold: " +
-                         Table::num(block_threshold, 4) +
-                         " (literature: 0.3834; MAP: ~0.4977)");
-}
-
-void run_ldpc_latency(const ScenarioSpec& spec, RunResult& result) {
-  using namespace wi::fec;
-  const LdpcLatencySpec& l = spec.ldpc;
-  BpOptions bp;
-  bp.max_iterations = l.max_bp_iterations;
-  for (const LdpcCurveSpec& curve : l.cc_curves) {
-    const std::size_t n = curve.lifting;
-    const LdpcConvolutionalCode code(EdgeSpreading::paper_example(), n,
-                                     l.termination, /*seed=*/n);
-    for (std::size_t w = curve.window_lo; w <= curve.window_hi; ++w) {
-      const auto simulate = [&](double ebn0) {
-        BerConfig config;
-        config.ebn0_db = ebn0;
-        config.min_errors = l.min_errors;
-        config.max_codewords = l.max_codewords;
-        config.seed = 1000 + n + w;
-        config.bp = bp;
-        return simulate_ber_window(code, w, config);
-      };
-      const double ebn0 =
-          required_ebn0_db(simulate, l.target_ber, l.search_lo_db,
-                           l.search_hi_db, l.search_step_db);
-      result.table.add_row(
-          {"LDPC-CC", Table::num(static_cast<long long>(n)),
-           Table::num(static_cast<long long>(w)),
-           Table::num(window_decoder_latency_bits(w, n, code.nv(),
-                                                  code.rate_asymptotic()),
-                      0),
-           Table::num(ebn0, 2)});
-    }
-  }
-  for (const std::size_t n : l.bc_liftings) {
-    const QcLdpcBlockCode code(BaseMatrix({{4, 4}}), n, /*seed=*/n);
-    const auto simulate = [&](double ebn0) {
-      BerConfig config;
-      config.ebn0_db = ebn0;
-      config.min_errors = l.min_errors;
-      config.max_codewords = l.max_codewords;
-      config.seed = 2000 + n;
-      config.bp = bp;
-      return simulate_ber_block(code, config);
-    };
-    const double ebn0 =
-        required_ebn0_db(simulate, l.target_ber, l.search_lo_db,
-                         l.search_hi_db, l.search_step_db);
-    result.table.add_row({"LDPC-BC", Table::num(static_cast<long long>(n)),
-                          "-", Table::num(block_code_latency_bits(n, 2, 0.5), 0),
-                          Table::num(ebn0, 2)});
-  }
-  result.notes.push_back(
-      "target BER " + Table::num(l.target_ber, 6) + ", min_errors " +
-      Table::num(static_cast<long long>(l.min_errors)) +
-      ", max_codewords " +
-      Table::num(static_cast<long long>(l.max_codewords)) +
-      "; required Eb/N0 falls with W and N, and at equal latency the "
-      "LDPC-CC needs less Eb/N0 than the LDPC-BC it is derived from");
-}
-
-void execute(const ScenarioSpec& spec, PhyCurveCache& cache,
-             RunResult& result) {
-  switch (spec.workload) {
-    case Workload::kLinkBudgetTable:
-      return run_link_budget_table(spec, result);
-    case Workload::kPathlossCampaign:
-      return run_pathloss_campaign(spec, result);
-    case Workload::kTxPowerSweep:
-      return run_tx_power_sweep(spec, result);
-    case Workload::kLinkRate:
-      return run_link_rate(spec, cache, result);
-    case Workload::kLinkPlan:
-      return run_link_plan(spec, cache, result);
-    case Workload::kNocLatency:
-      return run_noc_latency(spec, result);
-    case Workload::kNicsStack:
-      return run_nics_stack(spec, result);
-    case Workload::kHybridSystem:
-      return run_hybrid_system(spec, result);
-    case Workload::kCodingPlan:
-      return run_coding_plan(spec, result);
-    case Workload::kImpulseResponse:
-      return run_impulse_response(spec, result);
-    case Workload::kIsiFilters:
-      return run_isi_filters(spec, result);
-    case Workload::kInfoRates:
-      return run_info_rates(spec, result);
-    case Workload::kAdcEnergy:
-      return run_adc_energy(spec, result);
-    case Workload::kThresholdSaturation:
-      return run_threshold_saturation(spec, result);
-    case Workload::kLdpcLatency:
-      return run_ldpc_latency(spec, result);
-    case Workload::kFlitSim:
-      return run_flit_sim(spec, result);
-  }
-  throw StatusError(Status(StatusCode::kUnsupported, "unknown workload"));
-}
-
-}  // namespace
-
-std::vector<std::string> workload_headers(Workload workload) {
-  switch (workload) {
-    case Workload::kLinkBudgetTable:
-      return {"parameter", "unit", "value", "paper"};
-    case Workload::kPathlossCampaign:
-      return {"dist_mm", "model_free_dB", "meas_free_dB", "model_copper_dB",
-              "meas_copper_dB", "free+2x9.5dB", "free+2x12dB"};
-    case Workload::kTxPowerSweep:
-      return {"SNR_dB", "shortest_dBm", "longest_dBm", "longest_butler_dBm"};
-    case Workload::kLinkRate:
-      return {"link", "distance_m", "ptx_dbm", "snr_db", "phy_rate_gbps",
-              "shannon_gbps"};
-    case Workload::kLinkPlan:
-      return {"src", "dst", "distance_mm", "angle_deg", "reqd_ptx_dbm",
-              "snr_db", "phy_rate_gbps"};
-    case Workload::kNocLatency:
-      return {"inj_rate", "latency_cycles", "max_channel_load", "saturated"};
-    case Workload::kNicsStack:
-      return {"tech", "period", "vertical_links", "area_cost", "lat0_cycles",
-              "saturation"};
-    case Workload::kHybridSystem:
-      return {"inter_frac", "equipped_frac", "backplane_sat", "wireless_sat",
-              "capacity_gain", "backplane_lat0", "wireless_lat0",
-              "latency_gain"};
-    case Workload::kCodingPlan:
-      return {"latency_budget_bits", "family", "N", "W", "latency_bits",
-              "reqd_EbN0_dB"};
-    case Workload::kImpulseResponse:
-      return {"tau_ns", "free_h_dB", "copper_h_dB"};
-    case Workload::kIsiFilters:
-      return {"design", "tau_over_T", "h"};
-    case Workload::kInfoRates:
-      return {"SNR_dB", "MaxIR_seq", "MaxIR_symbolwise", "Rect_1bit_OS",
-              "1bit_no_OS", "no_quantization", "suboptimal_seq"};
-    case Workload::kAdcEnergy:
-      return {"receiver", "sample_rate_GSs", "rate_bpcu", "throughput_Gbps",
-              "ADC_power_mW", "pJ_per_bit"};
-    case Workload::kThresholdSaturation:
-      return {"L", "coupled_threshold", "gain_vs_block", "rate_terminated",
-              "rate_loss"};
-    case Workload::kLdpcLatency:
-      return {"family", "N", "W", "latency_bits", "reqd_EbN0_dB"};
-    case Workload::kFlitSim:
-      return {"inj_rate", "latency_cycles", "throughput", "delivered",
-              "injected", "stable"};
-  }
-  return {"-"};
-}
 
 SimEngine::SimEngine(EngineOptions options) : options_(options) {}
 
@@ -704,7 +27,13 @@ RunResult SimEngine::run(const ScenarioSpec& spec) {
   try {
     result.table = Table(workload_headers(spec.workload));
     result.status = spec.validate();
-    if (result.status.is_ok()) execute(spec, phy_cache_, result);
+    if (result.status.is_ok()) {
+      const WorkloadRunner& runner =
+          WorkloadRegistry::global().get(spec.workload);
+      WorkloadEnv env(phy_cache_);
+      result.table = runner.run(spec, env);
+      result.notes = std::move(env.notes());
+    }
   } catch (const StatusError& e) {
     result.status = e.status();
   } catch (const std::exception& e) {
@@ -784,7 +113,7 @@ RunResult SimEngine::run_sweep(const ScenarioSpec& base,
 }
 
 RunResult merge_sweep_results(const std::string& sweep_name,
-                              Workload workload,
+                              const std::string& workload,
                               const std::vector<RunResult>& runs) {
   RunResult merged;
   merged.scenario = sweep_name;

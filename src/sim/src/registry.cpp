@@ -1,6 +1,11 @@
 #include "wi/sim/registry.hpp"
 
 #include "wi/common/math.hpp"
+#include "wi/sim/workload.hpp"
+#include "wi/sim/workloads/adc_energy.hpp"
+#include "wi/sim/workloads/flit_sim.hpp"
+#include "wi/sim/workloads/impulse_response.hpp"
+#include "wi/sim/workloads/info_rates.hpp"
 
 namespace wi::sim {
 
@@ -25,14 +30,8 @@ const ScenarioSpec& ScenarioRegistry::get(const std::string& name) const {
   for (const auto& spec : specs_) {
     if (spec.name == name) return spec;
   }
-  std::string known;
-  for (const auto& spec : specs_) {
-    if (!known.empty()) known += ", ";
-    known += spec.name;
-  }
   throw StatusError(Status(StatusCode::kInvalidSpec,
-                           "unknown scenario '" + name + "' (available: " +
-                               known + ")"));
+                           unknown_name_message("scenario", name, names())));
 }
 
 std::vector<std::string> ScenarioRegistry::names() const {
@@ -50,7 +49,7 @@ namespace {
   ScenarioSpec spec;
   spec.name = std::move(name);
   spec.description = std::move(description);
-  spec.workload = Workload::kNocLatency;
+  spec.workload = "noc_latency";
   spec.noc.topology = topology;
   return spec;
 }
@@ -62,7 +61,7 @@ namespace {
     ScenarioSpec spec;
     spec.name = "table1_link_budget";
     spec.description = "Table I link budget parameters + derived anchors";
-    spec.workload = Workload::kLinkBudgetTable;
+    spec.workload = "link_budget_table";
     registry.add(spec);
   }
   {
@@ -70,14 +69,14 @@ namespace {
     spec.name = "fig01_pathloss";
     spec.description =
         "Fig. 1: pathloss vs distance, free space and copper boards";
-    spec.workload = Workload::kPathlossCampaign;
+    spec.workload = "pathloss_campaign";
     registry.add(spec);
   }
   {
     ScenarioSpec spec;
     spec.name = "fig04_tx_power";
     spec.description = "Fig. 4: required PTX vs target SNR, extreme links";
-    spec.workload = Workload::kTxPowerSweep;
+    spec.workload = "tx_power_sweep";
     registry.add(spec);
   }
   {
@@ -85,7 +84,7 @@ namespace {
     spec.name = "quickstart_link_rate";
     spec.description =
         "Size the extreme board-to-board links and their PHY data rate";
-    spec.workload = Workload::kLinkRate;
+    spec.workload = "link_rate";
     // Default receiver: the paper's 1-bit sequence detector (the
     // Monte-Carlo curve the PhyCurveCache exists for).
     registry.add(spec);
@@ -95,7 +94,7 @@ namespace {
     spec.name = "board_links_plan";
     spec.description =
         "Plan every adjacent-board link of a two-board 2x2-node system";
-    spec.workload = Workload::kLinkPlan;
+    spec.workload = "link_plan";
     spec.geometry.nodes_per_edge = 2;
     spec.phy.receiver = core::PhyReceiver::kOneBitSymbolwise;
     registry.add(spec);
@@ -178,7 +177,7 @@ namespace {
     spec.name = "ablation_vertical_links";
     spec.description =
         "Sec. IV: 4-layer NiCS vertical-link density/technology base";
-    spec.workload = Workload::kNicsStack;
+    spec.workload = "nics_stack";
     registry.add(spec);
   }
   {
@@ -186,7 +185,7 @@ namespace {
     spec.name = "ablation_hybrid_system";
     spec.description =
         "Sec. VI: backplane bus vs direct wireless board-to-board links";
-    spec.workload = Workload::kHybridSystem;
+    spec.workload = "hybrid_system";
     registry.add(spec);
   }
   {
@@ -194,7 +193,7 @@ namespace {
     spec.name = "fig10_coding_plan";
     spec.description =
         "Fig. 10: LDPC-CC operating points under a latency budget";
-    spec.workload = Workload::kCodingPlan;
+    spec.workload = "coding_plan";
     registry.add(spec);
   }
   {
@@ -202,7 +201,7 @@ namespace {
     spec.name = "fig02_impulse_50mm";
     spec.description =
         "Fig. 2: impulse response at 50 mm, free space vs copper boards";
-    spec.workload = Workload::kImpulseResponse;
+    spec.workload = "impulse_response";
     registry.add(spec);
   }
   {
@@ -210,10 +209,11 @@ namespace {
     spec.name = "fig03_impulse_150mm";
     spec.description =
         "Fig. 3: impulse response at 150 mm (diagonal link, rotated boards)";
-    spec.workload = Workload::kImpulseResponse;
-    spec.impulse.distance_m = 0.15;
-    spec.impulse.max_delay_ns = 2.0;
-    spec.impulse.seed = 23;
+    spec.workload = "impulse_response";
+    auto& impulse = spec.payload<ImpulseSpec>();
+    impulse.distance_m = 0.15;
+    impulse.max_delay_ns = 2.0;
+    impulse.seed = 23;
     registry.add(spec);
   }
   {
@@ -221,7 +221,7 @@ namespace {
     spec.name = "fig05_isi_filters";
     spec.description =
         "Fig. 5: the four ISI filter designs for the 1-bit 5x-OS receiver";
-    spec.workload = Workload::kIsiFilters;
+    spec.workload = "isi_filters";
     registry.add(spec);
   }
   {
@@ -229,7 +229,7 @@ namespace {
     spec.name = "fig06_info_rates";
     spec.description =
         "Fig. 6: information rates of 4-ASK with 1-bit quantization";
-    spec.workload = Workload::kInfoRates;
+    spec.workload = "info_rates";
     registry.add(spec);
   }
   {
@@ -237,7 +237,7 @@ namespace {
     spec.name = "ablation_adc_energy";
     spec.description =
         "Sec. III: ADC energy per information bit across front-ends";
-    spec.workload = Workload::kAdcEnergy;
+    spec.workload = "adc_energy";
     registry.add(spec);
   }
   {
@@ -245,7 +245,7 @@ namespace {
     spec.name = "ablation_threshold_saturation";
     spec.description =
         "BEC threshold saturation of the (4,8) ensemble behind Fig. 10";
-    spec.workload = Workload::kThresholdSaturation;
+    spec.workload = "threshold_saturation";
     registry.add(spec);
   }
   {
@@ -253,7 +253,7 @@ namespace {
     spec.name = "fig10_ldpc_latency";
     spec.description =
         "Fig. 10: required Eb/N0 vs decoding latency (Monte-Carlo BER)";
-    spec.workload = Workload::kLdpcLatency;
+    spec.workload = "ldpc_latency";
     registry.add(spec);
   }
 
@@ -270,11 +270,12 @@ namespace {
     spec.description =
         "Campaign family: Fig. 6 information rates, reduced Monte-Carlo "
         "budget for multi-seed statistics";
-    spec.workload = Workload::kInfoRates;
-    spec.info_rate.snr_lo_db = 0.0;
-    spec.info_rate.snr_hi_db = 30.0;
-    spec.info_rate.snr_step_db = 10.0;
-    spec.info_rate.mc_symbols = 6000;
+    spec.workload = "info_rates";
+    auto& info_rate = spec.payload<InfoRateSpec>();
+    info_rate.snr_lo_db = 0.0;
+    info_rate.snr_hi_db = 30.0;
+    info_rate.snr_step_db = 10.0;
+    info_rate.mc_symbols = 6000;
     registry.add(spec);
   }
   {
@@ -283,8 +284,8 @@ namespace {
     spec.description =
         "Campaign family: Sec. III ADC energy per bit, reduced "
         "Monte-Carlo budget for multi-seed statistics";
-    spec.workload = Workload::kAdcEnergy;
-    spec.adc.mc_symbols = 6000;
+    spec.workload = "adc_energy";
+    spec.payload<AdcSpec>().mc_symbols = 6000;
     registry.add(spec);
   }
   {
@@ -297,9 +298,10 @@ namespace {
         "Campaign family: flit-level DES on the 8x8 2D mesh, uniform "
         "traffic (stochastic Fig. 8(a) counterpart)",
         mesh2d);
-    spec.workload = Workload::kFlitSim;
-    spec.flit.warmup_cycles = 1000;
-    spec.flit.measure_cycles = 4000;
+    spec.workload = "flit_sim";
+    auto& flit = spec.payload<FlitSimSpec>();
+    flit.warmup_cycles = 1000;
+    flit.measure_cycles = 4000;
     registry.add(spec);
   }
   {
@@ -313,9 +315,50 @@ namespace {
         "Campaign family: flit-level DES on the 4x4 star-mesh, "
         "concentration 4 (stochastic Fig. 8(a) counterpart)",
         star);
-    spec.workload = Workload::kFlitSim;
-    spec.flit.warmup_cycles = 1000;
-    spec.flit.measure_cycles = 4000;
+    spec.workload = "flit_sim";
+    auto& flit = spec.payload<FlitSimSpec>();
+    flit.warmup_cycles = 1000;
+    flit.measure_cycles = 4000;
+    registry.add(spec);
+  }
+
+  // Plugin-only workloads (registered purely through the workload
+  // layer; the engine and the codec never name them).
+  {
+    TopologySpec mesh2d;
+    mesh2d.kind = TopologySpec::Kind::kMesh2d;
+    mesh2d.kx = 8;
+    mesh2d.ky = 8;
+    ScenarioSpec spec = noc_scenario(
+        "noc_saturation_mesh2d_8x8",
+        "Saturation sweep of the 8x8 2D mesh: latency-vs-load knee",
+        mesh2d);
+    spec.workload = "noc_saturation";
+    registry.add(spec);
+  }
+  {
+    TopologySpec star;
+    star.kind = TopologySpec::Kind::kStarMesh;
+    star.kx = 4;
+    star.ky = 4;
+    star.concentration = 4;
+    ScenarioSpec spec = noc_scenario(
+        "noc_saturation_star_mesh_4x4c4",
+        "Saturation sweep of the 4x4 star-mesh (concentration 4): "
+        "latency-vs-load knee",
+        star);
+    spec.workload = "noc_saturation";
+    registry.add(spec);
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "link_margin_map";
+    spec.description =
+        "Per-link SNR margin of the two-board 2x2-node geometry vs the "
+        "planning target and the 100 Gbit/s receiver requirement";
+    spec.workload = "link_margin_map";
+    spec.geometry.nodes_per_edge = 2;
+    spec.phy.receiver = core::PhyReceiver::kOneBitSymbolwise;
     registry.add(spec);
   }
 

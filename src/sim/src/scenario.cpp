@@ -2,6 +2,9 @@
 
 #include <charconv>
 #include <cmath>
+#include <stdexcept>
+
+#include "wi/sim/workload.hpp"
 
 namespace wi::sim {
 
@@ -23,26 +26,28 @@ namespace {
 
 }  // namespace
 
-const char* workload_name(Workload workload) {
-  switch (workload) {
-    case Workload::kLinkBudgetTable: return "link_budget_table";
-    case Workload::kPathlossCampaign: return "pathloss_campaign";
-    case Workload::kTxPowerSweep: return "tx_power_sweep";
-    case Workload::kLinkRate: return "link_rate";
-    case Workload::kLinkPlan: return "link_plan";
-    case Workload::kNocLatency: return "noc_latency";
-    case Workload::kNicsStack: return "nics_stack";
-    case Workload::kHybridSystem: return "hybrid_system";
-    case Workload::kCodingPlan: return "coding_plan";
-    case Workload::kImpulseResponse: return "impulse_response";
-    case Workload::kIsiFilters: return "isi_filters";
-    case Workload::kInfoRates: return "info_rates";
-    case Workload::kAdcEnergy: return "adc_energy";
-    case Workload::kThresholdSaturation: return "threshold_saturation";
-    case Workload::kLdpcLatency: return "ldpc_latency";
-    case Workload::kFlitSim: return "flit_sim";
+ScenarioSpec::ScenarioSpec(const ScenarioSpec& other)
+    : name(other.name),
+      description(other.description),
+      workload(other.workload),
+      geometry(other.geometry),
+      link(other.link),
+      phy(other.phy),
+      noc(other.noc),
+      payload_(other.payload_ ? other.payload_->clone() : nullptr) {}
+
+ScenarioSpec& ScenarioSpec::operator=(const ScenarioSpec& other) {
+  if (this != &other) {
+    name = other.name;
+    description = other.description;
+    workload = other.workload;
+    geometry = other.geometry;
+    link = other.link;
+    phy = other.phy;
+    noc = other.noc;
+    payload_ = other.payload_ ? other.payload_->clone() : nullptr;
   }
-  return "unknown";
+  return *this;
 }
 
 noc::Topology TopologySpec::build() const {
@@ -84,6 +89,58 @@ std::size_t TopologySpec::module_count() const {
   return 0;
 }
 
+Status NocSpec::validate(const std::string& scenario_name) const {
+  const auto& t = topology;
+  if (t.kx < 1 || t.ky < 1 || t.kz < 1) {
+    return invalid(scenario_name + ": topology dimensions must be >= 1");
+  }
+  if (t.concentration < 1) {
+    return invalid(scenario_name + ": concentration must be >= 1");
+  }
+  if (t.irl < 1) return invalid(scenario_name + ": irl must be >= 1");
+  if (t.tsv_period < 1) {
+    return invalid(scenario_name + ": tsv_period must be >= 1");
+  }
+  for (const double rate : injection_rates) {
+    if (rate < 0.0) {
+      return invalid(scenario_name + ": injection rates must be >= 0");
+    }
+  }
+  if (traffic == TrafficKind::kHotspot) {
+    if (hotspot_fraction < 0.0 || hotspot_fraction > 1.0) {
+      return invalid(scenario_name + ": hotspot_fraction must be in [0, 1]");
+    }
+    if (hotspot_module >= t.module_count()) {
+      return invalid(scenario_name + ": hotspot_module out of range for " +
+                     std::to_string(t.module_count()) + " modules");
+    }
+  }
+  return Status::ok();
+}
+
+noc::TrafficPattern NocSpec::build_traffic(std::size_t modules) const {
+  switch (traffic) {
+    case TrafficKind::kUniform:
+      return noc::TrafficPattern::uniform(modules);
+    case TrafficKind::kTranspose:
+      return noc::TrafficPattern::transpose(modules);
+    case TrafficKind::kBitComplement:
+      return noc::TrafficPattern::bit_complement(modules);
+    case TrafficKind::kHotspot:
+      return noc::TrafficPattern::hotspot(modules, hotspot_module,
+                                          hotspot_fraction);
+  }
+  throw StatusError(
+      Status(StatusCode::kUnsupported, "unknown traffic kind"));
+}
+
+std::unique_ptr<noc::Routing> NocSpec::build_routing() const {
+  if (routing == RoutingKind::kShortestPath) {
+    return std::make_unique<noc::ShortestPathRouting>();
+  }
+  return std::make_unique<noc::DimensionOrderRouting>();
+}
+
 Status ScenarioSpec::validate() const {
   if (name.empty()) return invalid("scenario name must not be empty");
   if (geometry.boards < 1) return invalid(name + ": boards must be >= 1");
@@ -96,11 +153,6 @@ Status ScenarioSpec::validate() const {
   if (geometry.nodes_per_edge < 1) {
     return invalid(name + ": nodes_per_edge must be >= 1");
   }
-  if ((workload == Workload::kLinkRate || workload == Workload::kLinkPlan) &&
-      geometry.boards < 2) {
-    // Board-to-board links need at least two boards.
-    return invalid(name + ": link workloads need >= 2 boards");
-  }
   if (link.budget.bandwidth_hz <= 0.0) {
     return invalid(name + ": link bandwidth must be > 0");
   }
@@ -110,177 +162,14 @@ Status ScenarioSpec::validate() const {
   if (phy.polarizations < 1) {
     return invalid(name + ": polarizations must be >= 1");
   }
-  if (workload == Workload::kPathlossCampaign &&
-      link.budget.carrier_freq_hz != rf::LinkBudgetParams{}.carrier_freq_hz) {
-    // The synthetic VNA campaign measures at the paper's fixed carrier;
-    // a model at a different carrier would silently stop tracking the
-    // measurement columns.
-    return invalid(name +
-                   ": the pathloss campaign runs at the fixed 232.5 GHz "
-                   "carrier; carrier_freq_hz cannot be overridden");
+  // Workload-specific checks live with the workload's runner; an
+  // unregistered workload name (or a payload of the wrong type) is
+  // itself an invalid spec.
+  try {
+    return WorkloadRegistry::global().get(workload).validate(*this);
+  } catch (const StatusError& e) {
+    return e.status();
   }
-  if (workload == Workload::kTxPowerSweep) {
-    if (tx_power.snr_step_db <= 0.0) {
-      return invalid(name + ": snr_step_db must be > 0");
-    }
-    if (tx_power.snr_hi_db < tx_power.snr_lo_db) {
-      return invalid(name + ": snr_hi_db must be >= snr_lo_db");
-    }
-    if (tx_power.shortest_m <= 0.0 || tx_power.longest_m <= 0.0) {
-      return invalid(name + ": link distances must be > 0");
-    }
-  }
-  if (workload == Workload::kNocLatency || workload == Workload::kFlitSim) {
-    const auto& t = noc.topology;
-    if (t.kx < 1 || t.ky < 1 || t.kz < 1) {
-      return invalid(name + ": topology dimensions must be >= 1");
-    }
-    if (t.concentration < 1) {
-      return invalid(name + ": concentration must be >= 1");
-    }
-    if (t.irl < 1) return invalid(name + ": irl must be >= 1");
-    if (t.tsv_period < 1) return invalid(name + ": tsv_period must be >= 1");
-    for (const double rate : noc.injection_rates) {
-      if (rate < 0.0) {
-        return invalid(name + ": injection rates must be >= 0");
-      }
-    }
-    if (noc.traffic == TrafficKind::kHotspot) {
-      if (noc.hotspot_fraction < 0.0 || noc.hotspot_fraction > 1.0) {
-        return invalid(name + ": hotspot_fraction must be in [0, 1]");
-      }
-      if (noc.hotspot_module >= t.module_count()) {
-        return invalid(name + ": hotspot_module out of range for " +
-                       std::to_string(t.module_count()) + " modules");
-      }
-    }
-  }
-  if (workload == Workload::kFlitSim) {
-    if (flit.measure_cycles < 1) {
-      return invalid(name + ": flit measure_cycles must be >= 1");
-    }
-    if (flit.buffer_depth < 1) {
-      return invalid(name + ": flit buffer_depth must be >= 1");
-    }
-    for (const double rate : flit.injection_rates) {
-      if (rate < 0.0) {
-        return invalid(name + ": flit injection rates must be >= 0");
-      }
-    }
-  }
-  if (workload == Workload::kNicsStack) {
-    const auto& c = nics.config;
-    if (c.layers < 1 || c.mesh_k < 1) {
-      return invalid(name + ": stack layers and mesh_k must be >= 1");
-    }
-    if (c.vertical_period < 1) {
-      return invalid(name + ": vertical_period must be >= 1");
-    }
-    if (c.vertical_traffic_fraction < 0.0 ||
-        c.vertical_traffic_fraction > 1.0) {
-      return invalid(name + ": vertical_traffic_fraction must be in [0, 1]");
-    }
-  }
-  if (workload == Workload::kHybridSystem) {
-    const auto& c = hybrid.config;
-    if (c.boards < 2) return invalid(name + ": hybrid system needs >= 2 boards");
-    if (c.mesh_k < 1) return invalid(name + ": mesh_k must be >= 1");
-    if (c.inter_board_fraction < 0.0 || c.inter_board_fraction > 1.0) {
-      return invalid(name + ": inter_board_fraction must be in [0, 1]");
-    }
-    if (c.wireless_node_fraction < 0.0 || c.wireless_node_fraction > 1.0) {
-      return invalid(name + ": wireless_node_fraction must be in [0, 1]");
-    }
-    if (c.wireless_bandwidth <= 0.0 || c.backplane_bandwidth <= 0.0) {
-      return invalid(name + ": link bandwidths must be > 0");
-    }
-  }
-  if (workload == Workload::kCodingPlan) {
-    if (coding.latency_budgets_bits.empty()) {
-      return invalid(name + ": latency_budgets_bits must not be empty");
-    }
-    for (const double budget : coding.latency_budgets_bits) {
-      if (!(budget > 0.0)) {
-        return invalid(name + ": latency budgets must be > 0");
-      }
-    }
-  }
-  if (workload == Workload::kImpulseResponse) {
-    if (impulse.distance_m <= 0.0) {
-      return invalid(name + ": impulse distance_m must be > 0");
-    }
-    if (impulse.max_delay_ns <= 0.0) {
-      return invalid(name + ": max_delay_ns must be > 0");
-    }
-    if (impulse.decimation < 1) {
-      return invalid(name + ": decimation must be >= 1");
-    }
-  }
-  if (workload == Workload::kIsiFilters && isi.mc_symbols < 1) {
-    return invalid(name + ": isi mc_symbols must be >= 1");
-  }
-  if (workload == Workload::kInfoRates) {
-    if (info_rate.snr_step_db <= 0.0) {
-      return invalid(name + ": info_rate snr_step_db must be > 0");
-    }
-    if (info_rate.snr_hi_db < info_rate.snr_lo_db) {
-      return invalid(name + ": info_rate snr_hi_db must be >= snr_lo_db");
-    }
-    if (info_rate.mc_symbols < 1) {
-      return invalid(name + ": info_rate mc_symbols must be >= 1");
-    }
-  }
-  if (workload == Workload::kAdcEnergy) {
-    if (adc.walden_fom_fj <= 0.0) {
-      return invalid(name + ": walden_fom_fj must be > 0");
-    }
-    if (adc.symbol_rate_hz <= 0.0) {
-      return invalid(name + ": adc symbol_rate_hz must be > 0");
-    }
-    if (adc.mc_symbols < 1) {
-      return invalid(name + ": adc mc_symbols must be >= 1");
-    }
-  }
-  if (workload == Workload::kThresholdSaturation) {
-    if (saturation.terminations.empty()) {
-      return invalid(name + ": saturation terminations must not be empty");
-    }
-    for (const std::size_t termination : saturation.terminations) {
-      if (termination < 1) {
-        return invalid(name + ": saturation terminations must be >= 1");
-      }
-    }
-    if (saturation.threshold_tolerance <= 0.0) {
-      return invalid(name + ": threshold_tolerance must be > 0");
-    }
-  }
-  if (workload == Workload::kLdpcLatency) {
-    const auto& l = ldpc;
-    if (!(l.target_ber > 0.0 && l.target_ber < 1.0)) {
-      return invalid(name + ": target_ber must be in (0, 1)");
-    }
-    if (l.min_errors < 1 || l.max_codewords < 1 ||
-        l.max_bp_iterations < 1 || l.termination < 1) {
-      return invalid(name + ": ldpc Monte-Carlo settings must be >= 1");
-    }
-    if (l.cc_curves.empty() && l.bc_liftings.empty()) {
-      return invalid(name + ": ldpc needs at least one CC curve or BC point");
-    }
-    for (const auto& curve : l.cc_curves) {
-      if (curve.lifting < 1 || curve.window_lo < 1 ||
-          curve.window_hi < curve.window_lo) {
-        return invalid(name + ": ldpc cc_curves need lifting/window_lo >= 1 "
-                              "and window_hi >= window_lo");
-      }
-    }
-    for (const std::size_t lifting : l.bc_liftings) {
-      if (lifting < 1) return invalid(name + ": bc_liftings must be >= 1");
-    }
-    if (l.search_step_db <= 0.0 || l.search_hi_db < l.search_lo_db) {
-      return invalid(name + ": ldpc Eb/N0 search bracket is inverted");
-    }
-  }
-  return Status::ok();
 }
 
 std::vector<ScenarioSpec> expand_grid(const ScenarioSpec& base,

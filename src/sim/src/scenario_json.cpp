@@ -1,262 +1,11 @@
 #include "wi/sim/scenario_json.hpp"
 
-#include <cmath>
 #include <utility>
 
+#include "wi/sim/spec_codec.hpp"
+#include "wi/sim/workload.hpp"
+
 namespace wi::sim {
-
-namespace {
-
-[[noreturn]] void fail(const std::string& message) {
-  throw StatusError(Status(StatusCode::kParseError, "scenario: " + message));
-}
-
-// ---------------------------------------------------------------------------
-// Enum tables. Each enum is encoded by a short stable snake_case name.
-
-template <typename Enum>
-struct EnumEntry {
-  Enum value;
-  const char* name;
-};
-
-template <typename Enum, std::size_t N>
-[[nodiscard]] const char* enum_name(const EnumEntry<Enum> (&table)[N],
-                                    Enum value) {
-  for (const auto& entry : table) {
-    if (entry.value == value) return entry.name;
-  }
-  return "unknown";
-}
-
-template <typename Enum, std::size_t N>
-[[nodiscard]] Enum enum_value(const EnumEntry<Enum> (&table)[N],
-                              const std::string& name,
-                              const char* enum_label) {
-  for (const auto& entry : table) {
-    if (name == entry.name) return entry.value;
-  }
-  std::string known;
-  for (const auto& entry : table) {
-    if (!known.empty()) known += ", ";
-    known += entry.name;
-  }
-  fail(std::string("unknown ") + enum_label + " '" + name +
-       "' (expected one of: " + known + ")");
-}
-
-constexpr EnumEntry<Workload> kWorkloads[] = {
-    {Workload::kLinkBudgetTable, "link_budget_table"},
-    {Workload::kPathlossCampaign, "pathloss_campaign"},
-    {Workload::kTxPowerSweep, "tx_power_sweep"},
-    {Workload::kLinkRate, "link_rate"},
-    {Workload::kLinkPlan, "link_plan"},
-    {Workload::kNocLatency, "noc_latency"},
-    {Workload::kNicsStack, "nics_stack"},
-    {Workload::kHybridSystem, "hybrid_system"},
-    {Workload::kCodingPlan, "coding_plan"},
-    {Workload::kImpulseResponse, "impulse_response"},
-    {Workload::kIsiFilters, "isi_filters"},
-    {Workload::kInfoRates, "info_rates"},
-    {Workload::kAdcEnergy, "adc_energy"},
-    {Workload::kThresholdSaturation, "threshold_saturation"},
-    {Workload::kLdpcLatency, "ldpc_latency"},
-    {Workload::kFlitSim, "flit_sim"},
-};
-
-constexpr EnumEntry<core::Beamforming> kBeamformings[] = {
-    {core::Beamforming::kIdealSteering, "ideal_steering"},
-    {core::Beamforming::kButlerMatrix, "butler_matrix"},
-};
-
-constexpr EnumEntry<core::PhyReceiver> kPhyReceivers[] = {
-    {core::PhyReceiver::kOneBitSequence, "one_bit_sequence"},
-    {core::PhyReceiver::kOneBitSymbolwise, "one_bit_symbolwise"},
-    {core::PhyReceiver::kOneBitRect, "one_bit_rect"},
-    {core::PhyReceiver::kUnquantized, "unquantized"},
-};
-
-constexpr EnumEntry<TopologySpec::Kind> kTopologyKinds[] = {
-    {TopologySpec::Kind::kMesh2d, "mesh2d"},
-    {TopologySpec::Kind::kStarMesh, "star_mesh"},
-    {TopologySpec::Kind::kStarMeshIrl, "star_mesh_irl"},
-    {TopologySpec::Kind::kMesh3d, "mesh3d"},
-    {TopologySpec::Kind::kCiliatedMesh3d, "ciliated_mesh3d"},
-    {TopologySpec::Kind::kPartialVertical3d, "partial_vertical3d"},
-};
-
-constexpr EnumEntry<TrafficKind> kTrafficKinds[] = {
-    {TrafficKind::kUniform, "uniform"},
-    {TrafficKind::kTranspose, "transpose"},
-    {TrafficKind::kBitComplement, "bit_complement"},
-    {TrafficKind::kHotspot, "hotspot"},
-};
-
-constexpr EnumEntry<RoutingKind> kRoutingKinds[] = {
-    {RoutingKind::kDimensionOrder, "dimension_order"},
-    {RoutingKind::kShortestPath, "shortest_path"},
-};
-
-constexpr EnumEntry<core::VerticalLinkTech> kVerticalTechs[] = {
-    {core::VerticalLinkTech::kTsv, "tsv"},
-    {core::VerticalLinkTech::kInductive, "inductive"},
-    {core::VerticalLinkTech::kCapacitive, "capacitive"},
-};
-
-// ---------------------------------------------------------------------------
-// Decoding helpers: visit every member of a JSON object exactly once;
-// unhandled keys are reported with their owning section.
-
-/// Largest double that is still an exact integer (2^53): counts and
-/// seeds beyond it cannot round-trip through a JSON number, and casting
-/// larger doubles to integer types is undefined behavior.
-constexpr double kMaxExactInteger = 9007199254740992.0;
-
-[[nodiscard]] bool is_exact_integer(double n) {
-  return n >= 0.0 && n <= kMaxExactInteger && n == std::floor(n);
-}
-
-class ObjectReader {
- public:
-  ObjectReader(const Json& json, std::string section)
-      : json_(json), section_(std::move(section)) {
-    if (!json.is_object()) fail(section_ + ": expected an object");
-  }
-
-  /// Calls `decode(value)` when `key` is present.
-  template <typename Fn>
-  void field(const char* key, Fn&& decode) {
-    const Json* value = json_.find(key);
-    if (value != nullptr) {
-      handled_.push_back(key);
-      decode(*value);
-    }
-  }
-
-  void number(const char* key, double& out) {
-    field(key, [&](const Json& v) { out = v.as_number(); });
-  }
-
-  void size(const char* key, std::size_t& out) {
-    field(key, [&](const Json& v) {
-      const double n = v.as_number();
-      if (!is_exact_integer(n)) {
-        fail(section_ + "." + key +
-             ": expected a non-negative integer (<= 2^53)");
-      }
-      out = static_cast<std::size_t>(n);
-    });
-  }
-
-  void u64(const char* key, std::uint64_t& out) {
-    field(key, [&](const Json& v) {
-      const double n = v.as_number();
-      if (!is_exact_integer(n)) {
-        fail(section_ + "." + key +
-             ": expected a non-negative integer (<= 2^53)");
-      }
-      out = static_cast<std::uint64_t>(n);
-    });
-  }
-
-  void boolean(const char* key, bool& out) {
-    field(key, [&](const Json& v) { out = v.as_bool(); });
-  }
-
-  void string(const char* key, std::string& out) {
-    field(key, [&](const Json& v) { out = v.as_string(); });
-  }
-
-  template <typename Enum, std::size_t N>
-  void enumeration(const char* key, const EnumEntry<Enum> (&table)[N],
-                   Enum& out) {
-    field(key, [&](const Json& v) {
-      out = enum_value(table, v.as_string(), key);
-    });
-  }
-
-  void number_list(const char* key, std::vector<double>& out) {
-    field(key, [&](const Json& v) {
-      out.clear();
-      for (const auto& item : v.as_array()) out.push_back(item.as_number());
-    });
-  }
-
-  void size_list(const char* key, std::vector<std::size_t>& out) {
-    field(key, [&](const Json& v) {
-      out.clear();
-      for (const auto& item : v.as_array()) {
-        const double n = item.as_number();
-        if (!is_exact_integer(n)) {
-          fail(section_ + "." + key +
-               ": expected non-negative integers (<= 2^53)");
-        }
-        out.push_back(static_cast<std::size_t>(n));
-      }
-    });
-  }
-
-  /// Must be called after all field() registrations: rejects document
-  /// keys that no field() consumed (typos would otherwise silently
-  /// leave a default value in place).
-  void finish() const {
-    for (const auto& [key, value] : json_.as_object()) {
-      bool known = false;
-      for (const char* h : handled_) {
-        if (key == h) {
-          known = true;
-          break;
-        }
-      }
-      if (!known) fail(section_ + ": unknown key '" + key + "'");
-    }
-  }
-
- private:
-  const Json& json_;
-  std::string section_;
-  std::vector<const char*> handled_;
-};
-
-[[nodiscard]] Json number_list_json(const std::vector<double>& values) {
-  Json array = Json::array();
-  for (const double v : values) array.push_back(Json(v));
-  return array;
-}
-
-[[nodiscard]] Json size_list_json(const std::vector<std::size_t>& values) {
-  Json array = Json::array();
-  for (const std::size_t v : values) {
-    array.push_back(Json(static_cast<double>(v)));
-  }
-  return array;
-}
-
-// ---------------------------------------------------------------------------
-// Per-struct encoders/decoders.
-
-[[nodiscard]] Json model_to_json(const noc::QueueingModelParams& m) {
-  Json json = Json::object();
-  json.set("router_delay_cycles", Json(m.router_delay_cycles));
-  json.set("link_delay_cycles", Json(m.link_delay_cycles));
-  json.set("local_delay_cycles", Json(m.local_delay_cycles));
-  json.set("channel_efficiency", Json(m.channel_efficiency));
-  json.set("packet_length_flits", Json(m.packet_length_flits));
-  return json;
-}
-
-void model_from_json(const Json& json, const std::string& section,
-                     noc::QueueingModelParams& m) {
-  ObjectReader reader(json, section);
-  reader.number("router_delay_cycles", m.router_delay_cycles);
-  reader.number("link_delay_cycles", m.link_delay_cycles);
-  reader.number("local_delay_cycles", m.local_delay_cycles);
-  reader.number("channel_efficiency", m.channel_efficiency);
-  reader.number("packet_length_flits", m.packet_length_flits);
-  reader.finish();
-}
-
-}  // namespace
 
 const char* beamforming_name(core::Beamforming value) {
   return enum_name(kBeamformings, value);
@@ -273,15 +22,12 @@ const char* traffic_kind_name(TrafficKind value) {
 const char* routing_kind_name(RoutingKind value) {
   return enum_name(kRoutingKinds, value);
 }
-const char* vertical_tech_name(core::VerticalLinkTech value) {
-  return enum_name(kVerticalTechs, value);
-}
 
 Json scenario_to_json(const ScenarioSpec& spec) {
   Json json = Json::object();
   json.set("name", Json(spec.name));
   json.set("description", Json(spec.description));
-  json.set("workload", Json(enum_name(kWorkloads, spec.workload)));
+  json.set("workload", Json(spec.workload));
 
   {
     Json g = Json::object();
@@ -320,20 +66,6 @@ Json scenario_to_json(const ScenarioSpec& spec) {
     json.set("phy", std::move(phy));
   }
   {
-    Json pathloss = Json::object();
-    pathloss.set("seed", Json(static_cast<double>(spec.pathloss.seed)));
-    json.set("pathloss", std::move(pathloss));
-  }
-  {
-    Json tx = Json::object();
-    tx.set("snr_lo_db", Json(spec.tx_power.snr_lo_db));
-    tx.set("snr_hi_db", Json(spec.tx_power.snr_hi_db));
-    tx.set("snr_step_db", Json(spec.tx_power.snr_step_db));
-    tx.set("shortest_m", Json(spec.tx_power.shortest_m));
-    tx.set("longest_m", Json(spec.tx_power.longest_m));
-    json.set("tx_power", std::move(tx));
-  }
-  {
     const auto& t = spec.noc.topology;
     Json topology = Json::object();
     topology.set("kind", Json(topology_kind_name(t.kind)));
@@ -357,117 +89,15 @@ Json scenario_to_json(const ScenarioSpec& spec) {
     noc.set("des_seed", Json(static_cast<double>(spec.noc.des_seed)));
     json.set("noc", std::move(noc));
   }
-  {
-    const auto& f = spec.flit;
-    Json flit = Json::object();
-    flit.set("injection_rates", number_list_json(f.injection_rates));
-    flit.set("warmup_cycles", Json(static_cast<double>(f.warmup_cycles)));
-    flit.set("measure_cycles", Json(static_cast<double>(f.measure_cycles)));
-    flit.set("drain_cycles", Json(static_cast<double>(f.drain_cycles)));
-    flit.set("buffer_depth", Json(static_cast<double>(f.buffer_depth)));
-    flit.set("seed", Json(static_cast<double>(f.seed)));
-    json.set("flit", std::move(flit));
-  }
-  {
-    const auto& c = spec.nics.config;
-    Json nics = Json::object();
-    nics.set("layers", Json(static_cast<double>(c.layers)));
-    nics.set("mesh_k", Json(static_cast<double>(c.mesh_k)));
-    nics.set("tech", Json(vertical_tech_name(c.tech)));
-    nics.set("vertical_period",
-             Json(static_cast<double>(c.vertical_period)));
-    nics.set("vertical_traffic_fraction", Json(c.vertical_traffic_fraction));
-    nics.set("model", model_to_json(c.model));
-    json.set("nics", std::move(nics));
-  }
-  {
-    const auto& c = spec.hybrid.config;
-    Json hybrid = Json::object();
-    hybrid.set("boards", Json(static_cast<double>(c.boards)));
-    hybrid.set("mesh_k", Json(static_cast<double>(c.mesh_k)));
-    hybrid.set("inter_board_fraction", Json(c.inter_board_fraction));
-    hybrid.set("wireless_bandwidth", Json(c.wireless_bandwidth));
-    hybrid.set("backplane_bandwidth", Json(c.backplane_bandwidth));
-    hybrid.set("wireless_node_fraction", Json(c.wireless_node_fraction));
-    hybrid.set("model", model_to_json(c.model));
-    json.set("hybrid", std::move(hybrid));
-  }
-  {
-    Json coding = Json::object();
-    coding.set("latency_budgets_bits",
-               number_list_json(spec.coding.latency_budgets_bits));
-    coding.set("deployed_lifting",
-               Json(static_cast<double>(spec.coding.deployed_lifting)));
-    coding.set("ebn0_db", Json(spec.coding.ebn0_db));
-    json.set("coding", std::move(coding));
-  }
-  {
-    Json impulse = Json::object();
-    impulse.set("distance_m", Json(spec.impulse.distance_m));
-    impulse.set("max_delay_ns", Json(spec.impulse.max_delay_ns));
-    impulse.set("decimation",
-                Json(static_cast<double>(spec.impulse.decimation)));
-    impulse.set("seed", Json(static_cast<double>(spec.impulse.seed)));
-    json.set("impulse", std::move(impulse));
-  }
-  {
-    Json isi = Json::object();
-    isi.set("design_snr_db", Json(spec.isi.design_snr_db));
-    isi.set("mc_symbols", Json(static_cast<double>(spec.isi.mc_symbols)));
-    isi.set("mc_seed", Json(static_cast<double>(spec.isi.mc_seed)));
-    isi.set("reoptimize", Json(spec.isi.reoptimize));
-    json.set("isi", std::move(isi));
-  }
-  {
-    Json info = Json::object();
-    info.set("snr_lo_db", Json(spec.info_rate.snr_lo_db));
-    info.set("snr_hi_db", Json(spec.info_rate.snr_hi_db));
-    info.set("snr_step_db", Json(spec.info_rate.snr_step_db));
-    info.set("mc_symbols",
-             Json(static_cast<double>(spec.info_rate.mc_symbols)));
-    info.set("mc_seed", Json(static_cast<double>(spec.info_rate.mc_seed)));
-    json.set("info_rate", std::move(info));
-  }
-  {
-    Json adc = Json::object();
-    adc.set("walden_fom_fj", Json(spec.adc.walden_fom_fj));
-    adc.set("snr_db", Json(spec.adc.snr_db));
-    adc.set("symbol_rate_hz", Json(spec.adc.symbol_rate_hz));
-    adc.set("mc_symbols", Json(static_cast<double>(spec.adc.mc_symbols)));
-    adc.set("mc_seed", Json(static_cast<double>(spec.adc.mc_seed)));
-    json.set("adc", std::move(adc));
-  }
-  {
-    Json saturation = Json::object();
-    saturation.set("terminations",
-                   size_list_json(spec.saturation.terminations));
-    saturation.set("threshold_tolerance",
-                   Json(spec.saturation.threshold_tolerance));
-    json.set("saturation", std::move(saturation));
-  }
-  {
-    const auto& l = spec.ldpc;
-    Json ldpc = Json::object();
-    ldpc.set("target_ber", Json(l.target_ber));
-    ldpc.set("min_errors", Json(static_cast<double>(l.min_errors)));
-    ldpc.set("max_codewords", Json(static_cast<double>(l.max_codewords)));
-    ldpc.set("max_bp_iterations",
-             Json(static_cast<double>(l.max_bp_iterations)));
-    ldpc.set("termination", Json(static_cast<double>(l.termination)));
-    Json curves = Json::array();
-    for (const auto& curve : l.cc_curves) {
-      Json c = Json::object();
-      c.set("lifting", Json(static_cast<double>(curve.lifting)));
-      c.set("window_lo", Json(static_cast<double>(curve.window_lo)));
-      c.set("window_hi", Json(static_cast<double>(curve.window_hi)));
-      curves.push_back(std::move(c));
+  // Per-workload payload, dispatched through the registry. Unregistered
+  // workload names still serialize (without a payload section) so
+  // diagnostics can show the spec; decoding rejects them.
+  if (const WorkloadRunner* runner =
+          WorkloadRegistry::global().find(spec.workload)) {
+    Json payload = runner->payload_to_json(spec);
+    if (!payload.is_null()) {
+      json.set(runner->payload_key(), std::move(payload));
     }
-    ldpc.set("cc_curves", std::move(curves));
-    ldpc.set("bc_liftings", size_list_json(l.bc_liftings));
-    ldpc.set("search_lo_db", Json(l.search_lo_db));
-    ldpc.set("search_hi_db", Json(l.search_hi_db));
-    ldpc.set("search_step_db", Json(l.search_step_db));
-    json.set("ldpc", std::move(ldpc));
   }
   return json;
 }
@@ -477,7 +107,14 @@ ScenarioSpec scenario_from_json(const Json& json) {
   ObjectReader reader(json, "scenario");
   reader.string("name", spec.name);
   reader.string("description", spec.description);
-  reader.enumeration("workload", kWorkloads, spec.workload);
+  reader.string("workload", spec.workload);
+
+  const WorkloadRegistry& registry = WorkloadRegistry::global();
+  const WorkloadRunner* runner = registry.find(spec.workload);
+  if (runner == nullptr) {
+    codec_fail(
+        unknown_name_message("workload", spec.workload, registry.names()));
+  }
 
   reader.field("geometry", [&](const Json& v) {
     ObjectReader r(v, "geometry");
@@ -515,20 +152,6 @@ ScenarioSpec scenario_from_json(const Json& json) {
     r.size("polarizations", spec.phy.polarizations);
     r.finish();
   });
-  reader.field("pathloss", [&](const Json& v) {
-    ObjectReader r(v, "pathloss");
-    r.u64("seed", spec.pathloss.seed);
-    r.finish();
-  });
-  reader.field("tx_power", [&](const Json& v) {
-    ObjectReader r(v, "tx_power");
-    r.number("snr_lo_db", spec.tx_power.snr_lo_db);
-    r.number("snr_hi_db", spec.tx_power.snr_hi_db);
-    r.number("snr_step_db", spec.tx_power.snr_step_db);
-    r.number("shortest_m", spec.tx_power.shortest_m);
-    r.number("longest_m", spec.tx_power.longest_m);
-    r.finish();
-  });
   reader.field("noc", [&](const Json& v) {
     ObjectReader r(v, "noc");
     r.field("topology", [&](const Json& t) {
@@ -556,117 +179,19 @@ ScenarioSpec scenario_from_json(const Json& json) {
     r.u64("des_seed", spec.noc.des_seed);
     r.finish();
   });
-  reader.field("flit", [&](const Json& v) {
-    ObjectReader r(v, "flit");
-    auto& f = spec.flit;
-    r.number_list("injection_rates", f.injection_rates);
-    r.size("warmup_cycles", f.warmup_cycles);
-    r.size("measure_cycles", f.measure_cycles);
-    r.size("drain_cycles", f.drain_cycles);
-    r.size("buffer_depth", f.buffer_depth);
-    r.u64("seed", f.seed);
-    r.finish();
+  // The selected workload's payload section.
+  reader.field(runner->payload_key(), [&](const Json& v) {
+    runner->payload_from_json(v, spec);
   });
-  reader.field("nics", [&](const Json& v) {
-    ObjectReader r(v, "nics");
-    auto& config = spec.nics.config;
-    r.size("layers", config.layers);
-    r.size("mesh_k", config.mesh_k);
-    r.enumeration("tech", kVerticalTechs, config.tech);
-    r.size("vertical_period", config.vertical_period);
-    r.number("vertical_traffic_fraction", config.vertical_traffic_fraction);
-    r.field("model", [&](const Json& m) {
-      model_from_json(m, "nics.model", config.model);
-    });
-    r.finish();
-  });
-  reader.field("hybrid", [&](const Json& v) {
-    ObjectReader r(v, "hybrid");
-    auto& config = spec.hybrid.config;
-    r.size("boards", config.boards);
-    r.size("mesh_k", config.mesh_k);
-    r.number("inter_board_fraction", config.inter_board_fraction);
-    r.number("wireless_bandwidth", config.wireless_bandwidth);
-    r.number("backplane_bandwidth", config.backplane_bandwidth);
-    r.number("wireless_node_fraction", config.wireless_node_fraction);
-    r.field("model", [&](const Json& m) {
-      model_from_json(m, "hybrid.model", config.model);
-    });
-    r.finish();
-  });
-  reader.field("coding", [&](const Json& v) {
-    ObjectReader r(v, "coding");
-    r.number_list("latency_budgets_bits", spec.coding.latency_budgets_bits);
-    r.size("deployed_lifting", spec.coding.deployed_lifting);
-    r.number("ebn0_db", spec.coding.ebn0_db);
-    r.finish();
-  });
-  reader.field("impulse", [&](const Json& v) {
-    ObjectReader r(v, "impulse");
-    r.number("distance_m", spec.impulse.distance_m);
-    r.number("max_delay_ns", spec.impulse.max_delay_ns);
-    r.size("decimation", spec.impulse.decimation);
-    r.u64("seed", spec.impulse.seed);
-    r.finish();
-  });
-  reader.field("isi", [&](const Json& v) {
-    ObjectReader r(v, "isi");
-    r.number("design_snr_db", spec.isi.design_snr_db);
-    r.size("mc_symbols", spec.isi.mc_symbols);
-    r.u64("mc_seed", spec.isi.mc_seed);
-    r.boolean("reoptimize", spec.isi.reoptimize);
-    r.finish();
-  });
-  reader.field("info_rate", [&](const Json& v) {
-    ObjectReader r(v, "info_rate");
-    r.number("snr_lo_db", spec.info_rate.snr_lo_db);
-    r.number("snr_hi_db", spec.info_rate.snr_hi_db);
-    r.number("snr_step_db", spec.info_rate.snr_step_db);
-    r.size("mc_symbols", spec.info_rate.mc_symbols);
-    r.u64("mc_seed", spec.info_rate.mc_seed);
-    r.finish();
-  });
-  reader.field("adc", [&](const Json& v) {
-    ObjectReader r(v, "adc");
-    r.number("walden_fom_fj", spec.adc.walden_fom_fj);
-    r.number("snr_db", spec.adc.snr_db);
-    r.number("symbol_rate_hz", spec.adc.symbol_rate_hz);
-    r.size("mc_symbols", spec.adc.mc_symbols);
-    r.u64("mc_seed", spec.adc.mc_seed);
-    r.finish();
-  });
-  reader.field("saturation", [&](const Json& v) {
-    ObjectReader r(v, "saturation");
-    r.size_list("terminations", spec.saturation.terminations);
-    r.number("threshold_tolerance", spec.saturation.threshold_tolerance);
-    r.finish();
-  });
-  reader.field("ldpc", [&](const Json& v) {
-    ObjectReader r(v, "ldpc");
-    auto& l = spec.ldpc;
-    r.number("target_ber", l.target_ber);
-    r.size("min_errors", l.min_errors);
-    r.size("max_codewords", l.max_codewords);
-    r.size("max_bp_iterations", l.max_bp_iterations);
-    r.size("termination", l.termination);
-    r.field("cc_curves", [&](const Json& curves) {
-      l.cc_curves.clear();
-      for (const auto& item : curves.as_array()) {
-        LdpcCurveSpec curve;
-        ObjectReader cr(item, "ldpc.cc_curves[]");
-        cr.size("lifting", curve.lifting);
-        cr.size("window_lo", curve.window_lo);
-        cr.size("window_hi", curve.window_hi);
-        cr.finish();
-        l.cc_curves.push_back(curve);
-      }
-    });
-    r.size_list("bc_liftings", l.bc_liftings);
-    r.number("search_lo_db", l.search_lo_db);
-    r.number("search_hi_db", l.search_hi_db);
-    r.number("search_step_db", l.search_step_db);
-    r.finish();
-  });
+  // A payload key of a *different* workload is a likely copy/paste or
+  // workload-selection mistake; say so instead of a bare unknown-key.
+  for (const auto& [key, value] : json.as_object()) {
+    if (key == runner->payload_key()) continue;
+    if (const WorkloadRunner* owner = registry.find_by_payload_key(key)) {
+      codec_fail("payload key '" + key + "' belongs to workload '" +
+                 owner->name() + "', not '" + spec.workload + "'");
+    }
+  }
   reader.finish();
   return spec;
 }

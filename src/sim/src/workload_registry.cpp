@@ -1,0 +1,170 @@
+#include "wi/sim/workload.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace wi::sim {
+
+void WorkloadRunner::payload_from_json(const Json&,
+                                       ScenarioSpec& spec) const {
+  // Payload-free workloads have no payload section; reaching this means
+  // the document carried one anyway.
+  throw StatusError(Status(
+      StatusCode::kParseError,
+      "scenario: workload '" + spec.workload + "' takes no payload"));
+}
+
+namespace {
+
+/// Top-level keys of the scenario JSON document that can never name a
+/// payload section.
+[[nodiscard]] bool is_reserved_spec_key(const std::string& key) {
+  for (const char* reserved :
+       {"name", "description", "workload", "geometry", "link", "phy",
+        "noc"}) {
+    if (key == reserved) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void WorkloadRegistry::register_runner(
+    std::unique_ptr<WorkloadRunner> runner) {
+  if (runner == nullptr || runner->name().empty()) {
+    throw StatusError(Status(StatusCode::kInvalidSpec,
+                             "workload registration needs a named runner"));
+  }
+  const std::string name = runner->name();
+  const std::string key = runner->payload_key();
+  if (is_reserved_spec_key(name) || is_reserved_spec_key(key)) {
+    // A payload section named like a shared spec section would make
+    // every scenario document ambiguous to decode.
+    throw StatusError(Status(
+        StatusCode::kInvalidSpec,
+        "workload '" + name + "' (payload key '" + key +
+            "') collides with a reserved scenario JSON section"));
+  }
+  for (const auto& existing : runners_) {
+    if (existing->name() == name) {
+      throw StatusError(
+          Status(StatusCode::kInvalidSpec,
+                 "duplicate workload registration '" + name + "'"));
+    }
+    if (existing->payload_key() == key) {
+      throw StatusError(Status(
+          StatusCode::kInvalidSpec,
+          "workload '" + name + "' reuses payload key '" + key +
+              "' of workload '" + existing->name() + "'"));
+    }
+  }
+  runners_.push_back(std::move(runner));
+}
+
+bool WorkloadRegistry::contains(const std::string& name) const {
+  return find(name) != nullptr;
+}
+
+const WorkloadRunner* WorkloadRegistry::find(const std::string& name) const {
+  for (const auto& runner : runners_) {
+    if (runner->name() == name) return runner.get();
+  }
+  return nullptr;
+}
+
+const WorkloadRunner& WorkloadRegistry::get(const std::string& name) const {
+  if (const WorkloadRunner* runner = find(name)) return *runner;
+  throw StatusError(Status(StatusCode::kInvalidSpec,
+                           unknown_name_message("workload", name, names())));
+}
+
+const WorkloadRunner* WorkloadRegistry::find_by_payload_key(
+    const std::string& key) const {
+  for (const auto& runner : runners_) {
+    if (runner->payload_key() == key) return runner.get();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> WorkloadRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(runners_.size());
+  for (const auto& runner : runners_) out.push_back(runner->name());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+WorkloadRegistry& WorkloadRegistry::global() {
+  // Built on first use (never during static initialization) from the
+  // generated plugin list; leaked deliberately so lookups stay valid in
+  // other static destructors.
+  static WorkloadRegistry* registry = [] {
+    auto* r = new WorkloadRegistry;
+    detail::register_builtin_workloads(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+std::vector<std::string> workload_headers(const std::string& workload) {
+  if (const WorkloadRunner* runner =
+          WorkloadRegistry::global().find(workload)) {
+    return runner->headers();
+  }
+  return {"-"};
+}
+
+namespace {
+
+[[nodiscard]] std::size_t edit_distance(const std::string& a,
+                                        const std::string& b) {
+  // Classic two-row Levenshtein; the candidate lists are tiny.
+  std::vector<std::size_t> prev(b.size() + 1);
+  std::vector<std::size_t> cur(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t substitute =
+          prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, substitute});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+}  // namespace
+
+std::string unknown_name_message(const std::string& kind,
+                                 const std::string& name,
+                                 const std::vector<std::string>& known) {
+  std::string message = "unknown " + kind + " '" + name + "'";
+  const std::string suggestion = closest_name(name, known);
+  if (!suggestion.empty()) {
+    message += " (did you mean '" + suggestion + "'?)";
+  }
+  message += "; known " + kind + "s:";
+  for (const auto& candidate : known) message += " " + candidate;
+  return message;
+}
+
+std::string closest_name(const std::string& name,
+                         const std::vector<std::string>& known) {
+  std::string best;
+  std::size_t best_distance = 0;
+  for (const auto& candidate : known) {
+    const std::size_t distance = edit_distance(name, candidate);
+    if (best.empty() || distance < best_distance) {
+      best = candidate;
+      best_distance = distance;
+    }
+  }
+  // Only suggest plausible typos: within a third of the name's length
+  // (at least 2 edits, so short names still get suggestions).
+  const std::size_t cutoff = std::max<std::size_t>(2, name.size() / 3);
+  if (best.empty() || best_distance > cutoff) return {};
+  return best;
+}
+
+}  // namespace wi::sim

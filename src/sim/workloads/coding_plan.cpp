@@ -1,0 +1,109 @@
+/// \file coding_plan.cpp
+/// \brief "coding_plan" workload plugin: Fig. 10 LDPC-CC operating
+///        point under a latency budget (table-driven planning).
+
+#include "wi/sim/workloads/coding_plan.hpp"
+
+#include "wi/core/coding_planner.hpp"
+#include "wi/sim/spec_codec.hpp"
+#include "wi/sim/workload.hpp"
+
+namespace wi::sim {
+namespace {
+
+class CodingPlanRunner final : public WorkloadRunner {
+ public:
+  std::string name() const override { return "coding_plan"; }
+  std::string payload_key() const override { return "coding"; }
+  std::string description() const override {
+    return "Fig. 10: LDPC-CC choice under latency budget";
+  }
+  std::vector<std::string> headers() const override {
+    return {"latency_budget_bits", "family", "N", "W", "latency_bits",
+            "reqd_EbN0_dB"};
+  }
+
+  std::unique_ptr<WorkloadPayload> default_payload() const override {
+    return std::make_unique<CodingSpec>();
+  }
+
+  Json payload_to_json(const ScenarioSpec& spec) const override {
+    const auto& coding = spec.payload<CodingSpec>();
+    Json json = Json::object();
+    json.set("latency_budgets_bits",
+             number_list_json(coding.latency_budgets_bits));
+    json.set("deployed_lifting",
+             Json(static_cast<double>(coding.deployed_lifting)));
+    json.set("ebn0_db", Json(coding.ebn0_db));
+    return json;
+  }
+
+  void payload_from_json(const Json& json,
+                         ScenarioSpec& spec) const override {
+    auto& coding = spec.payload<CodingSpec>();
+    ObjectReader reader(json, "coding");
+    reader.number_list("latency_budgets_bits", coding.latency_budgets_bits);
+    reader.size("deployed_lifting", coding.deployed_lifting);
+    reader.number("ebn0_db", coding.ebn0_db);
+    reader.finish();
+  }
+
+  Status validate(const ScenarioSpec& spec) const override {
+    const auto& coding = spec.payload<CodingSpec>();
+    if (coding.latency_budgets_bits.empty()) {
+      return {StatusCode::kInvalidSpec,
+              spec.name + ": latency_budgets_bits must not be empty"};
+    }
+    for (const double budget : coding.latency_budgets_bits) {
+      if (!(budget > 0.0)) {
+        return {StatusCode::kInvalidSpec,
+                spec.name + ": latency budgets must be > 0"};
+      }
+    }
+    return Status::ok();
+  }
+
+  Table run(const ScenarioSpec& spec, WorkloadEnv& env) const override {
+    Table table(headers());
+    const CodingSpec& coding = spec.payload<CodingSpec>();
+    const core::CodingPlanner planner = core::CodingPlanner::paper_table();
+    for (const double budget : coding.latency_budgets_bits) {
+      const core::CodingPoint* best = planner.best_within_latency(budget);
+      if (best == nullptr) {
+        table.add_row({Table::num(budget, 0), "none", "-", "-", "-", "-"});
+        continue;
+      }
+      table.add_row(
+          {Table::num(budget, 0), best->block_code ? "LDPC-BC" : "LDPC-CC",
+           Table::num(static_cast<long long>(best->lifting)),
+           best->block_code
+               ? std::string("-")
+               : Table::num(static_cast<long long>(best->window)),
+           Table::num(best->latency_info_bits, 0),
+           Table::num(best->required_ebn0_db, 2)});
+    }
+    env.note(
+        "latency gain vs best block code at " +
+        Table::num(coding.ebn0_db, 1) + " dB: " +
+        Table::num(planner.latency_gain_vs_block_bits(coding.ebn0_db), 0) +
+        " info bits");
+    const double replan_budget = coding.latency_budgets_bits.back();
+    const core::CodingPoint* replanned = planner.best_window_for_lifting(
+        coding.deployed_lifting, replan_budget);
+    if (replanned != nullptr) {
+      env.note("deployed N=" +
+               Table::num(static_cast<long long>(coding.deployed_lifting)) +
+               " replanned within " + Table::num(replan_budget, 0) +
+               " bits: W=" +
+               Table::num(static_cast<long long>(replanned->window)) +
+               " at " + Table::num(replanned->required_ebn0_db, 2) + " dB");
+    }
+    return table;
+  }
+};
+
+}  // namespace
+
+WI_SIM_REGISTER_WORKLOAD(coding_plan, CodingPlanRunner)
+
+}  // namespace wi::sim

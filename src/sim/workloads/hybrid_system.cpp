@@ -1,0 +1,104 @@
+/// \file hybrid_system.cpp
+/// \brief "hybrid_system" workload plugin: Sec. VI backplane bus vs
+///        direct wireless board-to-board links.
+
+#include "wi/sim/workloads/hybrid_system.hpp"
+
+#include "wi/sim/spec_codec.hpp"
+#include "wi/sim/workload.hpp"
+
+namespace wi::sim {
+namespace {
+
+class HybridSystemRunner final : public WorkloadRunner {
+ public:
+  std::string name() const override { return "hybrid_system"; }
+  std::string payload_key() const override { return "hybrid"; }
+  std::string description() const override {
+    return "Sec. VI: backplane vs wireless comparison";
+  }
+  std::vector<std::string> headers() const override {
+    return {"inter_frac", "equipped_frac", "backplane_sat", "wireless_sat",
+            "capacity_gain", "backplane_lat0", "wireless_lat0",
+            "latency_gain"};
+  }
+
+  std::unique_ptr<WorkloadPayload> default_payload() const override {
+    return std::make_unique<HybridSpec>();
+  }
+
+  Json payload_to_json(const ScenarioSpec& spec) const override {
+    const auto& c = spec.payload<HybridSpec>().config;
+    Json json = Json::object();
+    json.set("boards", Json(static_cast<double>(c.boards)));
+    json.set("mesh_k", Json(static_cast<double>(c.mesh_k)));
+    json.set("inter_board_fraction", Json(c.inter_board_fraction));
+    json.set("wireless_bandwidth", Json(c.wireless_bandwidth));
+    json.set("backplane_bandwidth", Json(c.backplane_bandwidth));
+    json.set("wireless_node_fraction", Json(c.wireless_node_fraction));
+    json.set("model", model_to_json(c.model));
+    return json;
+  }
+
+  void payload_from_json(const Json& json,
+                         ScenarioSpec& spec) const override {
+    auto& config = spec.payload<HybridSpec>().config;
+    ObjectReader reader(json, "hybrid");
+    reader.size("boards", config.boards);
+    reader.size("mesh_k", config.mesh_k);
+    reader.number("inter_board_fraction", config.inter_board_fraction);
+    reader.number("wireless_bandwidth", config.wireless_bandwidth);
+    reader.number("backplane_bandwidth", config.backplane_bandwidth);
+    reader.number("wireless_node_fraction", config.wireless_node_fraction);
+    reader.field("model", [&](const Json& m) {
+      model_from_json(m, "hybrid.model", config.model);
+    });
+    reader.finish();
+  }
+
+  Status validate(const ScenarioSpec& spec) const override {
+    const auto& c = spec.payload<HybridSpec>().config;
+    if (c.boards < 2) {
+      return {StatusCode::kInvalidSpec,
+              spec.name + ": hybrid system needs >= 2 boards"};
+    }
+    if (c.mesh_k < 1) {
+      return {StatusCode::kInvalidSpec, spec.name + ": mesh_k must be >= 1"};
+    }
+    if (c.inter_board_fraction < 0.0 || c.inter_board_fraction > 1.0) {
+      return {StatusCode::kInvalidSpec,
+              spec.name + ": inter_board_fraction must be in [0, 1]"};
+    }
+    if (c.wireless_node_fraction < 0.0 || c.wireless_node_fraction > 1.0) {
+      return {StatusCode::kInvalidSpec,
+              spec.name + ": wireless_node_fraction must be in [0, 1]"};
+    }
+    if (c.wireless_bandwidth <= 0.0 || c.backplane_bandwidth <= 0.0) {
+      return {StatusCode::kInvalidSpec,
+              spec.name + ": link bandwidths must be > 0"};
+    }
+    return Status::ok();
+  }
+
+  Table run(const ScenarioSpec& spec, WorkloadEnv&) const override {
+    Table table(headers());
+    const auto& c = spec.payload<HybridSpec>().config;
+    const core::HybridSystemModel model(c);
+    const auto cmp = model.compare();
+    table.add_row({Table::num(c.inter_board_fraction, 2),
+                   Table::num(c.wireless_node_fraction, 2),
+                   Table::num(cmp.backplane.saturation_rate, 3),
+                   Table::num(cmp.wireless.saturation_rate, 3),
+                   Table::num(cmp.capacity_gain, 2),
+                   Table::num(cmp.backplane.zero_load_latency_cycles, 2),
+                   Table::num(cmp.wireless.zero_load_latency_cycles, 2),
+                   Table::num(cmp.latency_gain, 2)});
+    return table;
+  }
+};
+
+}  // namespace
+
+WI_SIM_REGISTER_WORKLOAD(hybrid_system, HybridSystemRunner)
+
+}  // namespace wi::sim

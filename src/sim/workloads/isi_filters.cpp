@@ -1,0 +1,132 @@
+/// \file isi_filters.cpp
+/// \brief "isi_filters" workload plugin: the four Fig. 5 ISI filter
+///        designs for the 1-bit 5x-oversampling receiver.
+
+#include "wi/sim/workloads/isi_filters.hpp"
+
+#include "wi/comm/filter_design.hpp"
+#include "wi/comm/info_rate.hpp"
+#include "wi/sim/spec_codec.hpp"
+#include "wi/sim/workload.hpp"
+
+namespace wi::sim {
+namespace {
+
+class IsiFiltersRunner final : public WorkloadRunner {
+ public:
+  std::string name() const override { return "isi_filters"; }
+  std::string payload_key() const override { return "isi"; }
+  std::string description() const override {
+    return "Fig. 5: the four ISI filter designs";
+  }
+  std::vector<std::string> headers() const override {
+    return {"design", "tau_over_T", "h"};
+  }
+
+  std::unique_ptr<WorkloadPayload> default_payload() const override {
+    return std::make_unique<IsiSpec>();
+  }
+
+  Json payload_to_json(const ScenarioSpec& spec) const override {
+    const auto& isi = spec.payload<IsiSpec>();
+    Json json = Json::object();
+    json.set("design_snr_db", Json(isi.design_snr_db));
+    json.set("mc_symbols", Json(static_cast<double>(isi.mc_symbols)));
+    json.set("mc_seed", Json(static_cast<double>(isi.mc_seed)));
+    json.set("reoptimize", Json(isi.reoptimize));
+    json.set("opt_max_evals", Json(static_cast<double>(isi.opt_max_evals)));
+    json.set("opt_restarts", Json(static_cast<double>(isi.opt_restarts)));
+    json.set("opt_mc_symbols",
+             Json(static_cast<double>(isi.opt_mc_symbols)));
+    return json;
+  }
+
+  void payload_from_json(const Json& json,
+                         ScenarioSpec& spec) const override {
+    auto& isi = spec.payload<IsiSpec>();
+    ObjectReader reader(json, "isi");
+    reader.number("design_snr_db", isi.design_snr_db);
+    reader.size("mc_symbols", isi.mc_symbols);
+    reader.u64("mc_seed", isi.mc_seed);
+    reader.boolean("reoptimize", isi.reoptimize);
+    reader.size("opt_max_evals", isi.opt_max_evals);
+    reader.size("opt_restarts", isi.opt_restarts);
+    reader.size("opt_mc_symbols", isi.opt_mc_symbols);
+    reader.finish();
+  }
+
+  Status validate(const ScenarioSpec& spec) const override {
+    if (spec.payload<IsiSpec>().mc_symbols < 1) {
+      return {StatusCode::kInvalidSpec,
+              spec.name + ": isi mc_symbols must be >= 1"};
+    }
+    return Status::ok();
+  }
+
+  void apply_seed(ScenarioSpec& spec, std::uint64_t seed) const override {
+    spec.payload<IsiSpec>().mc_seed = seed;
+  }
+
+  Table run(const ScenarioSpec& spec, WorkloadEnv& env) const override {
+    using comm::IsiFilter;
+    Table table(headers());
+    const IsiSpec& isi = spec.payload<IsiSpec>();
+    const comm::Constellation c4 = comm::Constellation::ask(4);
+    comm::FilterDesignOptions options;
+    options.design_snr_db = isi.design_snr_db;
+    if (isi.opt_max_evals > 0) {
+      options.max_evals = static_cast<int>(isi.opt_max_evals);
+    }
+    if (isi.opt_restarts > 0) {
+      options.restarts = static_cast<int>(isi.opt_restarts);
+    }
+    if (isi.opt_mc_symbols > 0) {
+      options.sequence_mc_symbols = isi.opt_mc_symbols;
+    }
+    struct Design {
+      const char* name;
+      IsiFilter filter;
+    };
+    const std::vector<Design> designs = {
+        {"rectangular", IsiFilter::rectangular(5)},
+        {"optimal_symbolwise",
+         isi.reoptimize ? comm::optimize_filter_symbolwise(c4, options)
+                        : comm::paper_filter_symbolwise()},
+        {"optimal_sequence",
+         isi.reoptimize ? comm::optimize_filter_sequence(c4, options)
+                        : comm::paper_filter_sequence()},
+        {"suboptimal",
+         isi.reoptimize ? comm::design_filter_suboptimal(c4, options)
+                        : comm::paper_filter_suboptimal()},
+    };
+    for (const Design& design : designs) {
+      const auto& taps = design.filter.taps();
+      const double m =
+          static_cast<double>(design.filter.samples_per_symbol());
+      for (std::size_t i = 0; i < taps.size(); ++i) {
+        table.add_row({design.name,
+                       Table::num(static_cast<double>(i) / m, 2),
+                       Table::num(taps[i], 4)});
+      }
+      const comm::OneBitOsChannel channel(design.filter, c4,
+                                          isi.design_snr_db);
+      env.note(std::string(design.name) + ": symbolwise MI @" +
+               Table::num(isi.design_snr_db, 0) + " dB " +
+               Table::num(comm::mi_one_bit_symbolwise(channel), 3) +
+               " bpcu; sequence IR " +
+               Table::num(comm::info_rate_one_bit_sequence(
+                              channel, {isi.mc_symbols, isi.mc_seed}),
+                          3) +
+               " bpcu; unique detection: " +
+               (comm::is_uniquely_detectable(design.filter, c4) ? "yes"
+                                                                : "no"));
+    }
+    return table;
+  }
+};
+
+}  // namespace
+
+WI_SIM_REGISTER_WORKLOAD(isi_filters, IsiFiltersRunner)
+
+}  // namespace wi::sim

@@ -1,0 +1,60 @@
+/// \file link_budget_table.cpp
+/// \brief "link_budget_table" workload plugin: Table I parameters plus
+///        derived anchors (no payload; everything comes from the shared
+///        link section).
+
+#include "wi/sim/workload.hpp"
+
+#include "wi/rf/antenna.hpp"
+#include "wi/rf/link_budget.hpp"
+
+namespace wi::sim {
+namespace {
+
+class LinkBudgetTableRunner final : public WorkloadRunner {
+ public:
+  std::string name() const override { return "link_budget_table"; }
+  std::string description() const override {
+    return "Table I parameters + derived anchors";
+  }
+  std::vector<std::string> headers() const override {
+    return {"parameter", "unit", "value", "paper"};
+  }
+
+  Table run(const ScenarioSpec& spec, WorkloadEnv& env) const override {
+    Table table(headers());
+    const rf::LinkBudget budget(spec.link.budget);
+    const auto& p = budget.params();
+    auto row = [&](const char* name, const char* unit, double value,
+                   int decimals, const char* paper) {
+      table.add_row({name, unit, Table::num(value, decimals), paper});
+    };
+    row("RX noise figure", "dB", p.rx_noise_figure_db, 1, "10");
+    row("Path loss exponent", "-", p.path_loss_exponent, 1, "2");
+    row("Path loss shortest link 0.1m", "dB",
+        budget.path_loss_db(rf::kShortestLink_m), 1, "59.8");
+    row("Path loss largest link 0.3m", "dB",
+        budget.path_loss_db(rf::kLongestLink_m), 1, "69.3");
+    row("Array gain", "dB", p.array_gain_db, 1, "12");
+    row("Butler matrix inaccuracy", "dB", p.butler_inaccuracy_db, 1, "5");
+    row("Polarization mismatch", "dB", p.polarization_mismatch_db, 1, "3");
+    row("Implementation loss", "dB", p.implementation_loss_db, 1, "5");
+    row("RX temperature", "K", p.rx_temperature_k, 0, "323");
+    env.note("noise power over " + Table::num(p.bandwidth_hz / 1e9, 1) +
+             " GHz: " + Table::num(budget.noise_power_dbm(), 2) + " dBm");
+    const rf::PlanarArray array(4, 4);
+    env.note("4x4 array broadside gain: " +
+             Table::num(array.broadside_gain_dbi(), 2) + " dBi (paper: 12)");
+    const rf::ButlerMatrixBeamformer butler(array, 4);
+    env.note("Butler worst-case mismatch: " +
+             Table::num(butler.worst_case_mismatch_db(), 2) +
+             " dB (paper budget: 5)");
+    return table;
+  }
+};
+
+}  // namespace
+
+WI_SIM_REGISTER_WORKLOAD(link_budget_table, LinkBudgetTableRunner)
+
+}  // namespace wi::sim

@@ -1,0 +1,107 @@
+/// \file nics_stack.cpp
+/// \brief "nics_stack" workload plugin: Sec. IV 3D chip-stack
+///        configuration (vertical-link density/technology).
+
+#include "wi/sim/workloads/nics_stack.hpp"
+
+#include "wi/sim/spec_codec.hpp"
+#include "wi/sim/workload.hpp"
+
+namespace wi::sim {
+namespace {
+
+constexpr EnumEntry<core::VerticalLinkTech> kVerticalTechs[] = {
+    {core::VerticalLinkTech::kTsv, "tsv"},
+    {core::VerticalLinkTech::kInductive, "inductive"},
+    {core::VerticalLinkTech::kCapacitive, "capacitive"},
+};
+
+class NicsStackRunner final : public WorkloadRunner {
+ public:
+  std::string name() const override { return "nics_stack"; }
+  std::string payload_key() const override { return "nics"; }
+  std::string description() const override {
+    return "Sec. IV: one 3D chip-stack configuration";
+  }
+  std::vector<std::string> headers() const override {
+    return {"tech", "period", "vertical_links", "area_cost", "lat0_cycles",
+            "saturation"};
+  }
+
+  std::unique_ptr<WorkloadPayload> default_payload() const override {
+    return std::make_unique<NicsSpec>();
+  }
+
+  Json payload_to_json(const ScenarioSpec& spec) const override {
+    const auto& c = spec.payload<NicsSpec>().config;
+    Json json = Json::object();
+    json.set("layers", Json(static_cast<double>(c.layers)));
+    json.set("mesh_k", Json(static_cast<double>(c.mesh_k)));
+    json.set("tech", Json(vertical_tech_name(c.tech)));
+    json.set("vertical_period",
+             Json(static_cast<double>(c.vertical_period)));
+    json.set("vertical_traffic_fraction", Json(c.vertical_traffic_fraction));
+    json.set("model", model_to_json(c.model));
+    return json;
+  }
+
+  void payload_from_json(const Json& json,
+                         ScenarioSpec& spec) const override {
+    auto& config = spec.payload<NicsSpec>().config;
+    ObjectReader reader(json, "nics");
+    reader.size("layers", config.layers);
+    reader.size("mesh_k", config.mesh_k);
+    reader.enumeration("tech", kVerticalTechs, config.tech);
+    reader.size("vertical_period", config.vertical_period);
+    reader.number("vertical_traffic_fraction",
+                  config.vertical_traffic_fraction);
+    reader.field("model", [&](const Json& m) {
+      model_from_json(m, "nics.model", config.model);
+    });
+    reader.finish();
+  }
+
+  Status validate(const ScenarioSpec& spec) const override {
+    const auto& c = spec.payload<NicsSpec>().config;
+    if (c.layers < 1 || c.mesh_k < 1) {
+      return {StatusCode::kInvalidSpec,
+              spec.name + ": stack layers and mesh_k must be >= 1"};
+    }
+    if (c.vertical_period < 1) {
+      return {StatusCode::kInvalidSpec,
+              spec.name + ": vertical_period must be >= 1"};
+    }
+    if (c.vertical_traffic_fraction < 0.0 ||
+        c.vertical_traffic_fraction > 1.0) {
+      return {StatusCode::kInvalidSpec,
+              spec.name + ": vertical_traffic_fraction must be in [0, 1]"};
+    }
+    return Status::ok();
+  }
+
+  Table run(const ScenarioSpec& spec, WorkloadEnv&) const override {
+    Table table(headers());
+    const auto& config = spec.payload<NicsSpec>().config;
+    const core::NicsStackModel model(config);
+    const auto eval = model.evaluate();
+    const auto params = core::vertical_link_params(config.tech);
+    table.add_row(
+        {params.name,
+         Table::num(static_cast<long long>(config.vertical_period)),
+         Table::num(eval.vertical_link_count, 0),
+         Table::num(eval.area_cost, 0),
+         Table::num(eval.zero_load_latency_cycles, 2),
+         Table::num(eval.saturation_rate, 3)});
+    return table;
+  }
+};
+
+}  // namespace
+
+const char* vertical_tech_name(core::VerticalLinkTech value) {
+  return enum_name(kVerticalTechs, value);
+}
+
+WI_SIM_REGISTER_WORKLOAD(nics_stack, NicsStackRunner)
+
+}  // namespace wi::sim

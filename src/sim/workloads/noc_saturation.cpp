@@ -1,0 +1,139 @@
+/// \file noc_saturation.cpp
+/// \brief "noc_saturation" workload plugin: injection-rate sweep up to
+///        the analytic saturation point with a latency-vs-load knee.
+///
+/// Added purely through the plugin layer — no SimEngine or scenario
+/// codec edits — as the open-path proof for the workload registry.
+
+#include "wi/sim/workloads/noc_saturation.hpp"
+
+#include "wi/noc/queueing_model.hpp"
+#include "wi/sim/spec_codec.hpp"
+#include "wi/sim/workload.hpp"
+
+namespace wi::sim {
+namespace {
+
+class NocSaturationRunner final : public WorkloadRunner {
+ public:
+  std::string name() const override { return "noc_saturation"; }
+  std::string description() const override {
+    return "injection-rate sweep to saturation (latency-vs-load knee)";
+  }
+  std::vector<std::string> headers() const override {
+    return {"inj_rate", "load_fraction", "latency_cycles",
+            "latency_over_lat0", "knee"};
+  }
+
+  std::unique_ptr<WorkloadPayload> default_payload() const override {
+    return std::make_unique<NocSaturationSpec>();
+  }
+
+  Json payload_to_json(const ScenarioSpec& spec) const override {
+    const auto& s = spec.payload<NocSaturationSpec>();
+    Json json = Json::object();
+    json.set("rate_lo", Json(s.rate_lo));
+    json.set("steps", Json(static_cast<double>(s.steps)));
+    json.set("knee_factor", Json(s.knee_factor));
+    json.set("margin", Json(s.margin));
+    return json;
+  }
+
+  void payload_from_json(const Json& json,
+                         ScenarioSpec& spec) const override {
+    auto& s = spec.payload<NocSaturationSpec>();
+    ObjectReader reader(json, "noc_saturation");
+    reader.number("rate_lo", s.rate_lo);
+    reader.size("steps", s.steps);
+    reader.number("knee_factor", s.knee_factor);
+    reader.number("margin", s.margin);
+    reader.finish();
+  }
+
+  Status validate(const ScenarioSpec& spec) const override {
+    const Status noc = spec.noc.validate(spec.name);
+    if (!noc.is_ok()) return noc;
+    const auto& s = spec.payload<NocSaturationSpec>();
+    if (s.rate_lo <= 0.0) {
+      return {StatusCode::kInvalidSpec,
+              spec.name + ": noc_saturation rate_lo must be > 0"};
+    }
+    if (s.steps < 2) {
+      return {StatusCode::kInvalidSpec,
+              spec.name + ": noc_saturation steps must be >= 2"};
+    }
+    if (s.knee_factor <= 1.0) {
+      return {StatusCode::kInvalidSpec,
+              spec.name + ": noc_saturation knee_factor must be > 1"};
+    }
+    if (s.margin <= 0.0 || s.margin >= 1.0) {
+      return {StatusCode::kInvalidSpec,
+              spec.name + ": noc_saturation margin must be in (0, 1)"};
+    }
+    return Status::ok();
+  }
+
+  Table run(const ScenarioSpec& spec, WorkloadEnv& env) const override {
+    Table table(headers());
+    const NocSaturationSpec& s = spec.payload<NocSaturationSpec>();
+    const noc::Topology topology = spec.noc.topology.build();
+    const auto routing = spec.noc.build_routing();
+    const noc::TrafficPattern traffic =
+        spec.noc.build_traffic(topology.module_count());
+    const noc::QueueingModel model(topology, *routing, traffic,
+                                   spec.noc.model);
+    const double lat0 = model.zero_load_latency_cycles();
+    const double saturation = model.saturation_rate();
+    const double rate_hi = s.margin * saturation;
+    double knee_rate = 0.0;
+    if (!(rate_hi > s.rate_lo)) {
+      // An empty sweep must fail loudly, not return an ok zero-row
+      // table that a golden check would then happily accept.
+      throw StatusError(Status(
+          StatusCode::kInvalidSpec,
+          spec.name + ": sweep start rate_lo " + Table::num(s.rate_lo, 4) +
+              " is not below " + Table::num(s.margin, 3) +
+              " x saturation (" + Table::num(saturation, 4) +
+              ") for this topology"));
+    }
+    {
+      const double step =
+          (rate_hi - s.rate_lo) / static_cast<double>(s.steps - 1);
+      for (std::size_t i = 0; i < s.steps; ++i) {
+        const double rate = s.rate_lo + step * static_cast<double>(i);
+        const auto perf = model.evaluate(rate);
+        const double relative = perf.mean_latency_cycles / lat0;
+        const bool knee =
+            !perf.saturated && knee_rate == 0.0 && relative > s.knee_factor;
+        if (knee) knee_rate = rate;
+        table.add_row({Table::num(rate, 4),
+                       Table::num(rate / saturation, 3),
+                       perf.saturated
+                           ? std::string("sat")
+                           : Table::num(perf.mean_latency_cycles, 2),
+                       perf.saturated ? std::string("sat")
+                                      : Table::num(relative, 3),
+                       knee ? "knee" : "-"});
+      }
+    }
+    env.note("topology: " + topology.name());
+    env.note("zero-load latency: " + Table::num(lat0, 2) +
+             " cycles; analytic saturation: " + Table::num(saturation, 3) +
+             " flits/cycle/module");
+    env.note(knee_rate > 0.0
+                 ? "latency knee (> " + Table::num(s.knee_factor, 1) +
+                       "x zero-load) at " + Table::num(knee_rate, 4) +
+                       " flits/cycle/module (" +
+                       Table::num(knee_rate / saturation, 3) +
+                       " of saturation)"
+                 : "no latency knee below " + Table::num(s.margin, 3) +
+                       " x saturation");
+    return table;
+  }
+};
+
+}  // namespace
+
+WI_SIM_REGISTER_WORKLOAD(noc_saturation, NocSaturationRunner)
+
+}  // namespace wi::sim

@@ -1,0 +1,106 @@
+/// \file pathloss_campaign.cpp
+/// \brief "pathloss_campaign" workload plugin: Fig. 1 synthetic
+///        measurement campaigns + path-loss model fits.
+
+#include "wi/sim/workloads/pathloss_campaign.hpp"
+
+#include "wi/rf/campaign.hpp"
+#include "wi/rf/pathloss.hpp"
+#include "wi/sim/spec_codec.hpp"
+#include "wi/sim/workload.hpp"
+
+namespace wi::sim {
+namespace {
+
+class PathlossCampaignRunner final : public WorkloadRunner {
+ public:
+  std::string name() const override { return "pathloss_campaign"; }
+  std::string payload_key() const override { return "pathloss"; }
+  std::string description() const override {
+    return "Fig. 1: synthetic campaigns + path-loss model fits";
+  }
+  std::vector<std::string> headers() const override {
+    return {"dist_mm", "model_free_dB", "meas_free_dB", "model_copper_dB",
+            "meas_copper_dB", "free+2x9.5dB", "free+2x12dB"};
+  }
+
+  std::unique_ptr<WorkloadPayload> default_payload() const override {
+    return std::make_unique<PathlossSpec>();
+  }
+
+  Json payload_to_json(const ScenarioSpec& spec) const override {
+    const auto& p = spec.payload<PathlossSpec>();
+    Json json = Json::object();
+    json.set("seed", Json(static_cast<double>(p.seed)));
+    return json;
+  }
+
+  void payload_from_json(const Json& json,
+                         ScenarioSpec& spec) const override {
+    auto& p = spec.payload<PathlossSpec>();
+    ObjectReader reader(json, "pathloss");
+    reader.u64("seed", p.seed);
+    reader.finish();
+  }
+
+  Status validate(const ScenarioSpec& spec) const override {
+    if (spec.link.budget.carrier_freq_hz !=
+        rf::LinkBudgetParams{}.carrier_freq_hz) {
+      // The synthetic VNA campaign measures at the paper's fixed
+      // carrier; a model at a different carrier would silently stop
+      // tracking the measurement columns.
+      return {StatusCode::kInvalidSpec,
+              spec.name +
+                  ": the pathloss campaign runs at the fixed 232.5 GHz "
+                  "carrier; carrier_freq_hz cannot be overridden"};
+    }
+    return Status::ok();
+  }
+
+  void apply_seed(ScenarioSpec& spec, std::uint64_t seed) const override {
+    spec.payload<PathlossSpec>().seed = seed;
+  }
+
+  Table run(const ScenarioSpec& spec, WorkloadEnv& env) const override {
+    Table table(headers());
+    rf::CampaignConfig freespace;
+    freespace.distances_m = rf::default_distance_grid_m();
+    freespace.copper_boards = false;
+    freespace.vna.seed = spec.payload<PathlossSpec>().seed;
+    const auto points_free = rf::run_campaign(freespace);
+    const auto fit_free = rf::fit_path_loss(points_free, 0.05);
+
+    rf::CampaignConfig copper = freespace;
+    copper.copper_boards = true;
+    const auto points_copper = rf::run_campaign(copper);
+    const auto fit_copper = rf::fit_path_loss(points_copper, 0.05);
+
+    const rf::PathLossModel model_free =
+        rf::PathLossModel::free_space(spec.link.budget.carrier_freq_hz);
+    const rf::PathLossModel model_copper(fit_copper.reference_loss_db,
+                                         fit_copper.exponent, 0.05);
+    for (std::size_t i = 0; i < points_free.size(); ++i) {
+      const double d = points_free[i].distance_m;
+      const double pl_free = model_free.loss_db(d);
+      table.add_row({Table::num(d * 1e3, 0), Table::num(pl_free, 2),
+                     Table::num(points_free[i].pathloss_db, 2),
+                     Table::num(model_copper.loss_db(d), 2),
+                     Table::num(points_copper[i].pathloss_db, 2),
+                     // Fig. 1 reference lines: free-space PL minus
+                     // 2x9.5 dB horn gain / 2x12 dB array gain.
+                     Table::num(pl_free - 19.0, 2),
+                     Table::num(pl_free - 24.0, 2)});
+    }
+    env.note("fitted exponent free space: n = " +
+             Table::num(fit_free.exponent, 4) + " (paper: 2.000)");
+    env.note("fitted exponent copper boards: n = " +
+             Table::num(fit_copper.exponent, 4) + " (paper: 2.0454)");
+    return table;
+  }
+};
+
+}  // namespace
+
+WI_SIM_REGISTER_WORKLOAD(pathloss_campaign, PathlossCampaignRunner)
+
+}  // namespace wi::sim

@@ -1,0 +1,96 @@
+/// \file tx_power_sweep.cpp
+/// \brief "tx_power_sweep" workload plugin: Fig. 4 required PTX vs
+///        target SNR on the extreme links.
+
+#include "wi/sim/workloads/tx_power_sweep.hpp"
+
+#include "wi/rf/link_budget.hpp"
+#include "wi/sim/spec_codec.hpp"
+#include "wi/sim/workload.hpp"
+
+namespace wi::sim {
+namespace {
+
+class TxPowerSweepRunner final : public WorkloadRunner {
+ public:
+  std::string name() const override { return "tx_power_sweep"; }
+  std::string payload_key() const override { return "tx_power"; }
+  std::string description() const override {
+    return "Fig. 4: required PTX vs target SNR, extreme links";
+  }
+  std::vector<std::string> headers() const override {
+    return {"SNR_dB", "shortest_dBm", "longest_dBm", "longest_butler_dBm"};
+  }
+
+  std::unique_ptr<WorkloadPayload> default_payload() const override {
+    return std::make_unique<TxPowerSpec>();
+  }
+
+  Json payload_to_json(const ScenarioSpec& spec) const override {
+    const auto& tx = spec.payload<TxPowerSpec>();
+    Json json = Json::object();
+    json.set("snr_lo_db", Json(tx.snr_lo_db));
+    json.set("snr_hi_db", Json(tx.snr_hi_db));
+    json.set("snr_step_db", Json(tx.snr_step_db));
+    json.set("shortest_m", Json(tx.shortest_m));
+    json.set("longest_m", Json(tx.longest_m));
+    return json;
+  }
+
+  void payload_from_json(const Json& json,
+                         ScenarioSpec& spec) const override {
+    auto& tx = spec.payload<TxPowerSpec>();
+    ObjectReader reader(json, "tx_power");
+    reader.number("snr_lo_db", tx.snr_lo_db);
+    reader.number("snr_hi_db", tx.snr_hi_db);
+    reader.number("snr_step_db", tx.snr_step_db);
+    reader.number("shortest_m", tx.shortest_m);
+    reader.number("longest_m", tx.longest_m);
+    reader.finish();
+  }
+
+  Status validate(const ScenarioSpec& spec) const override {
+    const auto& tx = spec.payload<TxPowerSpec>();
+    if (tx.snr_step_db <= 0.0) {
+      return {StatusCode::kInvalidSpec,
+              spec.name + ": snr_step_db must be > 0"};
+    }
+    if (tx.snr_hi_db < tx.snr_lo_db) {
+      return {StatusCode::kInvalidSpec,
+              spec.name + ": snr_hi_db must be >= snr_lo_db"};
+    }
+    if (tx.shortest_m <= 0.0 || tx.longest_m <= 0.0) {
+      return {StatusCode::kInvalidSpec,
+              spec.name + ": link distances must be > 0"};
+    }
+    return Status::ok();
+  }
+
+  Table run(const ScenarioSpec& spec, WorkloadEnv& env) const override {
+    Table table(headers());
+    const rf::LinkBudget budget(spec.link.budget);
+    const TxPowerSpec& tx = spec.payload<TxPowerSpec>();
+    for (double snr = tx.snr_lo_db; snr <= tx.snr_hi_db + 1e-9;
+         snr += tx.snr_step_db) {
+      table.add_row(
+          {Table::num(snr, 1),
+           Table::num(budget.required_tx_power_dbm(snr, tx.shortest_m, false),
+                      2),
+           Table::num(budget.required_tx_power_dbm(snr, tx.longest_m, false),
+                      2),
+           Table::num(budget.required_tx_power_dbm(snr, tx.longest_m, true),
+                      2)});
+    }
+    env.note("100 Gbit/s at ~2 bit/s/Hz needs SNR ~4.77 dB -> PTX " +
+             Table::num(budget.required_tx_power_dbm(4.77, tx.longest_m, true),
+                        2) +
+             " dBm on the worst link");
+    return table;
+  }
+};
+
+}  // namespace
+
+WI_SIM_REGISTER_WORKLOAD(tx_power_sweep, TxPowerSweepRunner)
+
+}  // namespace wi::sim

@@ -14,9 +14,7 @@
 #include "wi/common/rng.hpp"
 #include "wi/common/table.hpp"
 #include "wi/common/table_io.hpp"
-#include "wi/sim/campaign.hpp"
-#include "wi/sim/scenario.hpp"
-#include "wi/sim/scenario_json.hpp"
+#include "wi/sim/sim.hpp"
 
 namespace wi {
 namespace {
@@ -117,15 +115,11 @@ template <typename Enum>
   ScenarioSpec spec;
   spec.name = "fuzz_" + std::to_string(rng.uniform_int(1u << 20));
   spec.description = random_cell(rng);
-  spec.workload = random_enum(
-      rng, {Workload::kLinkBudgetTable, Workload::kPathlossCampaign,
-            Workload::kTxPowerSweep, Workload::kLinkRate,
-            Workload::kLinkPlan, Workload::kNocLatency,
-            Workload::kNicsStack, Workload::kHybridSystem,
-            Workload::kCodingPlan, Workload::kImpulseResponse,
-            Workload::kIsiFilters, Workload::kInfoRates,
-            Workload::kAdcEnergy, Workload::kThresholdSaturation,
-            Workload::kLdpcLatency, Workload::kFlitSim});
+  // Every registered workload, including plugin-only ones: the codec
+  // must round-trip any of them.
+  const std::vector<std::string> workloads =
+      WorkloadRegistry::global().names();
+  spec.workload = workloads[rng.uniform_int(workloads.size())];
   spec.geometry.boards = 1 + rng.uniform_int(8);
   spec.geometry.board_size_mm = rng.uniform(1.0, 500.0);
   spec.geometry.separation_mm = rng.uniform(1.0, 500.0);
@@ -141,7 +135,6 @@ template <typename Enum>
             core::PhyReceiver::kOneBitSymbolwise,
             core::PhyReceiver::kOneBitRect, core::PhyReceiver::kUnquantized});
   spec.phy.polarizations = 1 + rng.uniform_int(2);
-  spec.pathloss.seed = random_seed(rng);
   spec.noc.topology.kind = random_enum(
       rng, {sim::TopologySpec::Kind::kMesh2d,
             sim::TopologySpec::Kind::kStarMesh,
@@ -164,28 +157,63 @@ template <typename Enum>
     spec.noc.injection_rates.push_back(rng.uniform(0.0, 1.0));
   }
   spec.noc.des_seed = random_seed(rng);
-  spec.flit.seed = random_seed(rng);
-  spec.flit.warmup_cycles = rng.uniform_int(5000);
-  spec.flit.measure_cycles = 1 + rng.uniform_int(20000);
-  spec.flit.injection_rates = spec.noc.injection_rates;
-  spec.nics.config.tech = random_enum(
-      rng, {core::VerticalLinkTech::kTsv, core::VerticalLinkTech::kInductive,
-            core::VerticalLinkTech::kCapacitive});
-  spec.nics.config.vertical_period = 1 + rng.uniform_int(4);
-  spec.hybrid.config.inter_board_fraction = rng.uniform(0.0, 1.0);
-  spec.impulse.distance_m = rng.uniform(0.01, 0.5);
-  spec.impulse.seed = random_seed(rng);
-  spec.isi.mc_symbols = 1 + rng.uniform_int(100000);
-  spec.isi.mc_seed = random_seed(rng);
-  spec.isi.reoptimize = rng.bernoulli(0.5);
-  spec.info_rate.snr_lo_db = rng.uniform(-10.0, 0.0);
-  spec.info_rate.snr_hi_db = rng.uniform(0.0, 40.0);
-  spec.info_rate.mc_seed = random_seed(rng);
-  spec.adc.mc_seed = random_seed(rng);
-  spec.saturation.terminations = {1 + rng.uniform_int(64)};
-  spec.ldpc.cc_curves = {{1 + rng.uniform_int(64), 3, 8}};
-  spec.ldpc.bc_liftings = {1 + rng.uniform_int(400)};
-  spec.ldpc.target_ber = rng.uniform(1e-6, 1e-2);
+  // Randomize the selected workload's payload (shared sections above
+  // fuzz every spec; the payload only exists for its own workload).
+  if (spec.workload == "pathloss_campaign") {
+    spec.payload<sim::PathlossSpec>().seed = random_seed(rng);
+  } else if (spec.workload == "flit_sim") {
+    auto& flit = spec.payload<sim::FlitSimSpec>();
+    flit.seed = random_seed(rng);
+    flit.warmup_cycles = rng.uniform_int(5000);
+    flit.measure_cycles = 1 + rng.uniform_int(20000);
+    flit.injection_rates = spec.noc.injection_rates;
+  } else if (spec.workload == "nics_stack") {
+    auto& config = spec.payload<sim::NicsSpec>().config;
+    config.tech = random_enum(
+        rng,
+        {core::VerticalLinkTech::kTsv, core::VerticalLinkTech::kInductive,
+         core::VerticalLinkTech::kCapacitive});
+    config.vertical_period = 1 + rng.uniform_int(4);
+  } else if (spec.workload == "hybrid_system") {
+    spec.payload<sim::HybridSpec>().config.inter_board_fraction =
+        rng.uniform(0.0, 1.0);
+  } else if (spec.workload == "impulse_response") {
+    auto& impulse = spec.payload<sim::ImpulseSpec>();
+    impulse.distance_m = rng.uniform(0.01, 0.5);
+    impulse.seed = random_seed(rng);
+  } else if (spec.workload == "isi_filters") {
+    auto& isi = spec.payload<sim::IsiSpec>();
+    isi.mc_symbols = 1 + rng.uniform_int(100000);
+    isi.mc_seed = random_seed(rng);
+    isi.reoptimize = rng.bernoulli(0.5);
+  } else if (spec.workload == "info_rates") {
+    auto& info_rate = spec.payload<sim::InfoRateSpec>();
+    info_rate.snr_lo_db = rng.uniform(-10.0, 0.0);
+    info_rate.snr_hi_db = rng.uniform(0.0, 40.0);
+    info_rate.mc_seed = random_seed(rng);
+  } else if (spec.workload == "adc_energy") {
+    spec.payload<sim::AdcSpec>().mc_seed = random_seed(rng);
+  } else if (spec.workload == "threshold_saturation") {
+    spec.payload<sim::SaturationSpec>().terminations = {
+        1 + rng.uniform_int(64)};
+  } else if (spec.workload == "ldpc_latency") {
+    auto& ldpc = spec.payload<sim::LdpcLatencySpec>();
+    ldpc.cc_curves = {{1 + rng.uniform_int(64), 3, 8}};
+    ldpc.bc_liftings = {1 + rng.uniform_int(400)};
+    ldpc.target_ber = rng.uniform(1e-6, 1e-2);
+  } else if (spec.workload == "tx_power_sweep") {
+    spec.payload<sim::TxPowerSpec>().snr_hi_db = rng.uniform(10.0, 40.0);
+  } else if (spec.workload == "coding_plan") {
+    spec.payload<sim::CodingSpec>().deployed_lifting =
+        1 + rng.uniform_int(64);
+  } else if (spec.workload == "noc_saturation") {
+    auto& saturation = spec.payload<sim::NocSaturationSpec>();
+    saturation.steps = 2 + rng.uniform_int(32);
+    saturation.knee_factor = rng.uniform(1.1, 4.0);
+  } else if (spec.workload == "link_margin_map") {
+    spec.payload<sim::LinkMarginSpec>().min_rate_gbps =
+        rng.uniform(10.0, 200.0);
+  }
   return spec;
 }
 

@@ -12,6 +12,7 @@
 #include "wi/noc/flit_sim.hpp"
 #include "wi/noc/queueing_model.hpp"
 #include "wi/sim/campaign.hpp"
+#include "wi/sim/workloads/flit_sim.hpp"
 
 namespace wi::noc {
 namespace {
@@ -118,13 +119,14 @@ TEST(ModelVsDes, CampaignMeanLatencyTracksQueueingModel) {
   spec.seeds = 5;
   spec.base_seed = 7;
   spec.scenario.name = "flit_mesh2d_8x8_lowrate";
-  spec.scenario.workload = sim::Workload::kFlitSim;
+  spec.scenario.workload = "flit_sim";
   spec.scenario.noc.topology.kind = sim::TopologySpec::Kind::kMesh2d;
   spec.scenario.noc.topology.kx = 8;
   spec.scenario.noc.topology.ky = 8;
-  spec.scenario.flit.warmup_cycles = 1000;
-  spec.scenario.flit.measure_cycles = 5000;
-  spec.scenario.flit.injection_rates = rates;
+  auto& flit = spec.scenario.payload<sim::FlitSimSpec>();
+  flit.warmup_cycles = 1000;
+  flit.measure_cycles = 5000;
+  flit.injection_rates = rates;
 
   sim::SimEngine engine({2});
   const sim::Campaign campaign(spec);

@@ -9,6 +9,8 @@
 #include "wi/sim/registry.hpp"
 #include "wi/sim/result_store.hpp"
 #include "wi/sim/scenario_json.hpp"
+#include "wi/sim/workloads/flit_sim.hpp"
+#include "wi/sim/workloads/info_rates.hpp"
 
 namespace wi::sim {
 namespace {
@@ -21,16 +23,16 @@ namespace fs = std::filesystem;
 [[nodiscard]] ScenarioSpec flit_scenario(std::size_t rates = 10) {
   ScenarioSpec spec;
   spec.name = "flit_4x4";
-  spec.workload = Workload::kFlitSim;
+  spec.workload = "flit_sim";
   spec.noc.topology.kind = TopologySpec::Kind::kMesh2d;
   spec.noc.topology.kx = 4;
   spec.noc.topology.ky = 4;
-  spec.flit.warmup_cycles = 200;
-  spec.flit.measure_cycles = 1000;
-  spec.flit.injection_rates.clear();
+  auto& flit = spec.payload<FlitSimSpec>();
+  flit.warmup_cycles = 200;
+  flit.measure_cycles = 1000;
+  flit.injection_rates.clear();
   for (std::size_t i = 0; i < rates; ++i) {
-    spec.flit.injection_rates.push_back(
-        0.02 + 0.02 * static_cast<double>(i));
+    flit.injection_rates.push_back(0.02 + 0.02 * static_cast<double>(i));
   }
   return spec;
 }
@@ -55,17 +57,19 @@ TEST(CampaignSeed, IsAPureFunctionOfBaseAndIndex) {
   EXPECT_NE(campaign_seed(1, 0), campaign_seed(2, 0));
 }
 
-TEST(CampaignSeed, ScenarioForSeedSetsEveryStochasticField) {
+TEST(CampaignSeed, ScenarioForSeedReseedsTheWorkloadPayload) {
   const ScenarioSpec base = flit_scenario();
   const ScenarioSpec replica = scenario_for_seed(base, 77);
   EXPECT_EQ(replica.name, "flit_4x4@seed=77");
-  EXPECT_EQ(replica.flit.seed, 77u);
-  EXPECT_EQ(replica.pathloss.seed, 77u);
-  EXPECT_EQ(replica.impulse.seed, 77u);
-  EXPECT_EQ(replica.isi.mc_seed, 77u);
-  EXPECT_EQ(replica.info_rate.mc_seed, 77u);
-  EXPECT_EQ(replica.adc.mc_seed, 77u);
-  EXPECT_EQ(replica.noc.des_seed, 77u);
+  // The reseeding is dispatched to the workload runner: the flit_sim
+  // runner points its DES seed at the replica seed...
+  EXPECT_EQ(replica.payload<FlitSimSpec>().seed, 77u);
+  // ...and the info_rates runner its Monte-Carlo seed.
+  ScenarioSpec info;
+  info.name = "info";
+  info.workload = "info_rates";
+  EXPECT_EQ(scenario_for_seed(info, 78).payload<InfoRateSpec>().mc_seed,
+            78u);
   // Distinct replicas get distinct canonical specs => distinct store keys.
   EXPECT_NE(scenario_to_string(replica),
             scenario_to_string(scenario_for_seed(base, 78)));

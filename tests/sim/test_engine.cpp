@@ -5,6 +5,7 @@
 #include <string>
 
 #include "wi/sim/registry.hpp"
+#include "wi/sim/workloads/hybrid_system.hpp"
 
 namespace wi::sim {
 namespace {
@@ -51,7 +52,7 @@ TEST(SimEngine, TxPowerSweepSchemaAndAnchors) {
   const RunResult result =
       engine.run(ScenarioRegistry::paper().get("fig04_tx_power"));
   ASSERT_TRUE(result.ok()) << result.status.to_string();
-  EXPECT_EQ(result.table.headers(), workload_headers(Workload::kTxPowerSweep));
+  EXPECT_EQ(result.table.headers(), workload_headers("tx_power_sweep"));
   ASSERT_EQ(result.table.rows(), 8u);  // SNR 0..35 step 5
   // Longest-link curves differ by the 5 dB Butler penalty.
   const double longest = std::stod(result.table.cell(0, 2));
@@ -87,7 +88,7 @@ TEST(SimEngine, UnreachableRouteSurfacesAsStatus) {
   SimEngine engine;
   ScenarioSpec spec;
   spec.name = "partial_vertical_dor";
-  spec.workload = Workload::kNocLatency;
+  spec.workload = "noc_latency";
   spec.noc.topology.kind = TopologySpec::Kind::kPartialVertical3d;
   spec.noc.topology.kx = 4;
   spec.noc.topology.ky = 4;
@@ -111,7 +112,7 @@ TEST(SimEngine, SweepSurvivesBadGridPoints) {
   SimEngine engine;
   ScenarioSpec base;
   base.name = "sweep";
-  base.workload = Workload::kNocLatency;
+  base.workload = "noc_latency";
   base.noc.topology.kind = TopologySpec::Kind::kPartialVertical3d;
   base.noc.topology.kx = 2;
   base.noc.topology.ky = 2;
@@ -151,7 +152,7 @@ TEST(SimEngine, RunAllPreservesInputOrder) {
 TEST(SimEngine, HybridComparisonFavoursWirelessAtHighInterTraffic) {
   SimEngine engine;
   ScenarioSpec spec = ScenarioRegistry::paper().get("ablation_hybrid_system");
-  spec.hybrid.config.inter_board_fraction = 0.5;
+  spec.payload<HybridSpec>().config.inter_board_fraction = 0.5;
   const RunResult result = engine.run(spec);
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(result.table.rows(), 1u);

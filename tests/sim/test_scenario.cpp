@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "wi/sim/workloads/hybrid_system.hpp"
+#include "wi/sim/workloads/tx_power_sweep.hpp"
+
 namespace wi::sim {
 namespace {
 
@@ -42,18 +45,22 @@ TEST(ScenarioSpec, RejectsBadFields) {
   EXPECT_EQ(spec.validate().code(), StatusCode::kInvalidSpec);
   spec.phy.polarizations = 2;
 
-  spec.workload = Workload::kHybridSystem;
-  spec.hybrid.config.inter_board_fraction = 1.5;
+  spec.workload = "hybrid_system";
+  spec.payload<HybridSpec>().config.inter_board_fraction = 1.5;
   EXPECT_EQ(spec.validate().code(), StatusCode::kInvalidSpec);
-  spec.hybrid.config.inter_board_fraction = 0.3;
+  spec.payload<HybridSpec>().config.inter_board_fraction = 0.3;
   EXPECT_TRUE(spec.validate().is_ok());
+
+  // An unregistered workload name is itself an invalid spec.
+  spec.workload = "no_such_workload";
+  EXPECT_EQ(spec.validate().code(), StatusCode::kInvalidSpec);
 }
 
 TEST(ScenarioSpec, ValidateMessagesNameTheScenario) {
   ScenarioSpec spec;
   spec.name = "my_scenario";
-  spec.workload = Workload::kTxPowerSweep;
-  spec.tx_power.snr_step_db = 0.0;
+  spec.workload = "tx_power_sweep";
+  spec.payload<TxPowerSpec>().snr_step_db = 0.0;
   const Status status = spec.validate();
   EXPECT_FALSE(status.is_ok());
   EXPECT_NE(status.message().find("my_scenario"), std::string::npos);

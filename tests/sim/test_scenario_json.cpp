@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "wi/sim/registry.hpp"
+#include "wi/sim/workloads/ldpc_latency.hpp"
+#include "wi/sim/workloads/nics_stack.hpp"
 
 namespace wi::sim {
 namespace {
@@ -26,7 +28,7 @@ TEST(ScenarioJson, MissingKeysKeepDefaults) {
       R"({"name": "sparse", "workload": "noc_latency",
           "noc": {"topology": {"kind": "mesh3d", "kz": 4}}})");
   EXPECT_EQ(decoded.name, "sparse");
-  EXPECT_EQ(decoded.workload, Workload::kNocLatency);
+  EXPECT_EQ(decoded.workload, "noc_latency");
   EXPECT_EQ(decoded.noc.topology.kind, TopologySpec::Kind::kMesh3d);
   EXPECT_EQ(decoded.noc.topology.kz, 4u);
   // Untouched fields carry the Table I defaults.
@@ -59,16 +61,18 @@ TEST(ScenarioJson, NonIntegerCountsAreErrors) {
   EXPECT_THROW((void)scenario_from_string(
                    R"({"name": "x", "geometry": {"boards": 2.5}})"),
                StatusError);
-  EXPECT_THROW((void)scenario_from_string(
-                   R"({"name": "x", "pathloss": {"seed": -1}})"),
-               StatusError);
+  EXPECT_THROW(
+      (void)scenario_from_string(
+          R"({"name": "x", "workload": "pathloss_campaign",
+              "pathloss": {"seed": -1}})"),
+      StatusError);
 }
 
 TEST(ScenarioJson, EncodesEnumsAsStableNames) {
   ScenarioSpec spec;
   spec.name = "enums";
-  spec.workload = Workload::kNicsStack;
-  spec.nics.config.tech = core::VerticalLinkTech::kInductive;
+  spec.workload = "nics_stack";
+  spec.payload<NicsSpec>().config.tech = core::VerticalLinkTech::kInductive;
   spec.noc.routing = RoutingKind::kShortestPath;
   spec.noc.traffic = TrafficKind::kHotspot;
   const Json json = scenario_to_json(spec);
@@ -81,16 +85,18 @@ TEST(ScenarioJson, EncodesEnumsAsStableNames) {
 TEST(ScenarioJson, LdpcCurvesRoundTrip) {
   ScenarioSpec spec;
   spec.name = "ldpc";
-  spec.workload = Workload::kLdpcLatency;
-  spec.ldpc.cc_curves = {{25, 3, 8}, {80, 2, 4}};
-  spec.ldpc.bc_liftings = {64};
+  spec.workload = "ldpc_latency";
+  auto& ldpc = spec.payload<LdpcLatencySpec>();
+  ldpc.cc_curves = {{25, 3, 8}, {80, 2, 4}};
+  ldpc.bc_liftings = {64};
   const ScenarioSpec decoded =
       scenario_from_string(scenario_to_string(spec));
-  ASSERT_EQ(decoded.ldpc.cc_curves.size(), 2u);
-  EXPECT_EQ(decoded.ldpc.cc_curves[1].lifting, 80u);
-  EXPECT_EQ(decoded.ldpc.cc_curves[1].window_hi, 4u);
-  ASSERT_EQ(decoded.ldpc.bc_liftings.size(), 1u);
-  EXPECT_EQ(decoded.ldpc.bc_liftings[0], 64u);
+  const auto& decoded_ldpc = decoded.payload<LdpcLatencySpec>();
+  ASSERT_EQ(decoded_ldpc.cc_curves.size(), 2u);
+  EXPECT_EQ(decoded_ldpc.cc_curves[1].lifting, 80u);
+  EXPECT_EQ(decoded_ldpc.cc_curves[1].window_hi, 4u);
+  ASSERT_EQ(decoded_ldpc.bc_liftings.size(), 1u);
+  EXPECT_EQ(decoded_ldpc.bc_liftings[0], 64u);
 }
 
 }  // namespace

@@ -1,0 +1,170 @@
+/// Tests of the open workload-plugin layer: registry completeness over
+/// the paper scenarios, workload-name round-tripping through the JSON
+/// codec, payload-key diagnostics, and the registry's duplicate /
+/// unknown-name error behavior.
+
+#include "wi/sim/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "wi/sim/registry.hpp"
+#include "wi/sim/scenario_json.hpp"
+#include "wi/sim/workloads/flit_sim.hpp"
+#include "wi/sim/workloads/tx_power_sweep.hpp"
+
+namespace wi::sim {
+namespace {
+
+TEST(WorkloadRegistry, EveryPaperScenarioResolvesToARegisteredRunner) {
+  const WorkloadRegistry& workloads = WorkloadRegistry::global();
+  const ScenarioRegistry& scenarios = ScenarioRegistry::paper();
+  for (const auto& name : scenarios.names()) {
+    const ScenarioSpec& spec = scenarios.get(name);
+    const WorkloadRunner* runner = workloads.find(spec.workload);
+    ASSERT_NE(runner, nullptr) << name << " -> " << spec.workload;
+    EXPECT_EQ(runner->name(), spec.workload);
+    EXPECT_FALSE(runner->headers().empty()) << spec.workload;
+    EXPECT_EQ(workload_headers(spec.workload), runner->headers());
+  }
+}
+
+TEST(WorkloadRegistry, EveryRunnerNameRoundTripsThroughTheCodec) {
+  for (const auto& name : WorkloadRegistry::global().names()) {
+    ScenarioSpec spec;
+    spec.name = "roundtrip_" + name;
+    spec.workload = name;
+    const ScenarioSpec decoded =
+        scenario_from_string(scenario_to_string(spec));
+    EXPECT_EQ(decoded.workload, name);
+    // The canonical serialization is the identity that matters (the
+    // result store hashes it).
+    EXPECT_EQ(scenario_to_string(decoded), scenario_to_string(spec))
+        << name;
+  }
+}
+
+TEST(WorkloadRegistry, ContainsTheBuiltinAndPluginWorkloads) {
+  const WorkloadRegistry& registry = WorkloadRegistry::global();
+  EXPECT_GE(registry.size(), 18u);
+  for (const char* name :
+       {"link_budget_table", "pathloss_campaign", "tx_power_sweep",
+        "link_rate", "link_plan", "noc_latency", "nics_stack",
+        "hybrid_system", "coding_plan", "impulse_response", "isi_filters",
+        "info_rates", "adc_energy", "threshold_saturation", "ldpc_latency",
+        "flit_sim", "noc_saturation", "link_margin_map"}) {
+    EXPECT_TRUE(registry.contains(name)) << name;
+  }
+}
+
+TEST(ScenarioJson, PayloadKeyOfAnotherWorkloadIsDiagnosed) {
+  // "flit" is flit_sim's payload section; attaching it to an
+  // info_rates scenario must name the owning workload, not just report
+  // an unknown key.
+  try {
+    (void)scenario_from_string(
+        R"({"name": "x", "workload": "info_rates",
+            "flit": {"seed": 1}})");
+    FAIL() << "expected StatusError";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status().code(), StatusCode::kParseError);
+    EXPECT_NE(e.status().message().find("flit_sim"), std::string::npos)
+        << e.status().message();
+    EXPECT_NE(e.status().message().find("info_rates"), std::string::npos);
+  }
+}
+
+TEST(ScenarioJson, UnknownWorkloadNameSuggestsTheNearestMatch) {
+  try {
+    (void)scenario_from_string(
+        R"({"name": "x", "workload": "info_rate"})");
+    FAIL() << "expected StatusError";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status().code(), StatusCode::kParseError);
+    EXPECT_NE(e.status().message().find("did you mean 'info_rates'"),
+              std::string::npos)
+        << e.status().message();
+  }
+}
+
+class DummyRunner final : public WorkloadRunner {
+ public:
+  explicit DummyRunner(std::string name, std::string key = {})
+      : name_(std::move(name)),
+        key_(key.empty() ? name_ : std::move(key)) {}
+  std::string name() const override { return name_; }
+  std::string payload_key() const override { return key_; }
+  std::vector<std::string> headers() const override { return {"x"}; }
+  Table run(const ScenarioSpec&, WorkloadEnv&) const override {
+    return Table(headers());
+  }
+
+ private:
+  std::string name_;
+  std::string key_;
+};
+
+TEST(WorkloadRegistry, RejectsDuplicateRegistration) {
+  WorkloadRegistry registry;
+  registry.register_runner(std::make_unique<DummyRunner>("dummy"));
+  try {
+    registry.register_runner(std::make_unique<DummyRunner>("dummy"));
+    FAIL() << "expected StatusError";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status().code(), StatusCode::kInvalidSpec);
+    EXPECT_NE(e.status().message().find("duplicate"), std::string::npos);
+  }
+  // A different name reusing an existing payload key is just as wrong:
+  // the codec could no longer dispatch the section unambiguously.
+  EXPECT_THROW(registry.register_runner(
+                   std::make_unique<DummyRunner>("dummy2", "dummy")),
+               StatusError);
+  // Unnamed runners never enter the registry.
+  EXPECT_THROW(registry.register_runner(std::make_unique<DummyRunner>("")),
+               StatusError);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(WorkloadRegistry, UnknownNameThrowsWithSuggestionAndKnownList) {
+  try {
+    (void)WorkloadRegistry::global().get("flit_sims");
+    FAIL() << "expected StatusError";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status().code(), StatusCode::kInvalidSpec);
+    EXPECT_NE(e.status().message().find("did you mean 'flit_sim'"),
+              std::string::npos)
+        << e.status().message();
+    EXPECT_NE(e.status().message().find("noc_latency"), std::string::npos);
+  }
+  EXPECT_EQ(workload_headers("no_such_workload"),
+            std::vector<std::string>{"-"});
+}
+
+TEST(ClosestName, SuggestsOnlyPlausibleTypos) {
+  const std::vector<std::string> known = {"info_rates", "flit_sim",
+                                          "noc_latency"};
+  EXPECT_EQ(closest_name("info_rate", known), "info_rates");
+  EXPECT_EQ(closest_name("flit_simm", known), "flit_sim");
+  EXPECT_EQ(closest_name("completely_different", known), "");
+}
+
+TEST(ScenarioSpec, PayloadAccessorsCreateReadAndMismatch) {
+  ScenarioSpec spec;
+  spec.name = "payloads";
+  spec.workload = "tx_power_sweep";
+  // Const access without a payload sees the defaults...
+  const ScenarioSpec& view = spec;
+  EXPECT_FALSE(spec.has_payload());
+  // ...mutable access materialises one.
+  (void)view;
+  spec.payload<TxPowerSpec>().snr_hi_db = 12.0;
+  EXPECT_TRUE(spec.has_payload());
+  EXPECT_DOUBLE_EQ(view.payload<TxPowerSpec>().snr_hi_db, 12.0);
+  // Reading it as another payload type is a workload/payload mismatch.
+  EXPECT_THROW((void)view.payload<FlitSimSpec>(), StatusError);
+}
+
+}  // namespace
+}  // namespace wi::sim

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Diff a fresh perf_report run against the committed BENCH_perf.json.
+
+Absolute ns/op numbers are machine-specific, so the trend gate compares
+the *speedup* column instead: optimized and frozen-baseline kernels are
+timed back to back in the same process, which makes the ratio portable
+across machines. Any slowdown is printed as a warning; the script only
+fails (exit 1) when a kernel's speedup dropped by more than
+--max-regression (default 25%) — the "perf trajectory went backwards"
+signal, not CI noise.
+
+Usage:
+  tools/check_perf_trend.py CURRENT.json [BASELINE.json]
+                            [--max-regression 0.25]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    if doc.get("schema") != "wi-bench-perf-v1":
+        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return {entry["name"]: entry for entry in doc.get("benchmarks", [])}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="freshly generated perf report")
+    parser.add_argument("baseline", nargs="?", default="BENCH_perf.json",
+                        help="committed reference (default BENCH_perf.json)")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="fail when a speedup drops by more than this "
+                             "fraction (default 0.25)")
+    args = parser.parse_args()
+
+    current = load(args.current)
+    baseline = load(args.baseline)
+
+    failures = []
+    warnings = []
+    print(f"perf trend: {args.current} vs {args.baseline} "
+          f"(fail threshold: {args.max_regression:.0%} speedup drop)")
+    print(f"{'benchmark':55} {'base':>7} {'now':>7} {'delta':>8}")
+    for name, base_entry in baseline.items():
+        cur_entry = current.get(name)
+        if cur_entry is None:
+            # A gated benchmark that vanished is itself a gate bypass:
+            # renaming/dropping a kernel must not silently pass.
+            failures.append(f"benchmark '{name}' missing from current run")
+            continue
+        base_speedup = base_entry.get("speedup")
+        cur_speedup = cur_entry.get("speedup")
+        if base_speedup is not None and cur_speedup is None:
+            # The baseline gates this kernel; a current entry without a
+            # speedup (schema drift, baseline twin no longer timed)
+            # would silently un-gate it.
+            failures.append(
+                f"benchmark '{name}' lost its speedup field in the "
+                f"current run")
+            continue
+        if base_speedup is None:
+            # No frozen-baseline twin: absolute times are not portable,
+            # so there is nothing machine-independent to gate on.
+            print(f"{name:55} {'-':>7} {'-':>7} {'(info only)':>8}")
+            continue
+        base_speedup = float(base_speedup)
+        cur_speedup = float(cur_speedup)
+        if base_speedup <= 0:
+            warnings.append(f"{name}: non-positive baseline speedup "
+                            f"{base_speedup}; skipping ratio check")
+            continue
+        delta = cur_speedup / base_speedup - 1.0
+        print(f"{name:55} {base_speedup:6.2f}x {cur_speedup:6.2f}x "
+              f"{delta:+7.1%}")
+        if delta < -args.max_regression:
+            failures.append(
+                f"{name}: speedup {base_speedup:.2f}x -> {cur_speedup:.2f}x "
+                f"({delta:+.1%})")
+        elif delta < 0:
+            warnings.append(
+                f"{name}: speedup slipped {delta:+.1%} "
+                f"({base_speedup:.2f}x -> {cur_speedup:.2f}x)")
+    for name in current:
+        if name not in baseline:
+            warnings.append(
+                f"benchmark '{name}' is new (not in {args.baseline})")
+
+    for warning in warnings:
+        print(f"warning: {warning}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        sys.exit(1)
+    print("perf trend OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,19 +1,27 @@
-#include <cstdio>
-#include "wi/comm/filter_design.hpp"
-#include "wi/comm/info_rate.hpp"
-using namespace wi::comm;
+/// \file tune_suboptimal.cpp
+/// \brief Heaviest-budget re-run of the noise-agnostic (suboptimal)
+///        ISI design — the registered "fig05_isi_filters" scenario with
+///        reoptimize=true and a larger search budget than tune_filters
+///        (no hand-wired optimiser calls).
+
+#include <iostream>
+
+#include "wi/sim/sim.hpp"
+
 int main() {
-  Constellation c4 = Constellation::ask(4);
-  FilterDesignOptions opt;
-  opt.max_evals = 8000; opt.restarts = 6;
-  IsiFilter f = design_filter_suboptimal(c4, opt);
-  std::printf("unique=%d margin=%.4f ambig=%zu\n  taps:",
-    (int)is_uniquely_detectable(f, c4), noise_free_margin(f, c4),
-    ambiguity_count(f, c4));
-  for (double t : f.taps()) std::printf(" %.4f,", t);
-  std::printf("\n");
-  OneBitOsChannel ch(f, c4, 25.0);
-  std::printf("seqIR@25=%.4f symMI@25=%.4f\n",
-    info_rate_one_bit_sequence(ch, {60000, 5}), mi_one_bit_symbolwise(ch));
-  return 0;
+  using namespace wi::sim;
+  SimEngine engine;
+  ScenarioSpec spec = ScenarioRegistry::paper().get("fig05_isi_filters");
+  spec.name = "tune_suboptimal";
+  auto& isi = spec.payload<IsiSpec>();
+  isi.reoptimize = true;
+  isi.mc_symbols = 60000;
+  isi.opt_max_evals = 8000;
+  isi.opt_restarts = 6;
+  std::cout << "# tune_suboptimal - deep search for the unique-detection "
+               "(noise-agnostic) design; check the 'suboptimal' rows and "
+               "its unique-detection note\n\n";
+  const RunResult result = engine.run(spec);
+  print_result(std::cout, result);
+  return result.ok() ? 0 : 1;
 }

@@ -5,7 +5,7 @@
 ///        references — the one driver behind `results/golden/` and the
 ///        reproduce-paper CI gate.
 ///
-///   wi_run --list                         # registry with descriptions
+///   wi_run --list                         # registry + workload kinds
 ///   wi_run fig08a_mesh2d_8x8              # run one scenario, print it
 ///   wi_run --all --out results/current    # regenerate every artifact
 ///   wi_run fig01_pathloss --check results/golden   # tolerance diff
@@ -23,8 +23,11 @@
 ///   wi_run campaign_info_rates --seeds 8 --check-ci DIR  # golden gate
 ///   wi_run --campaign my_campaign.json    # run a CampaignSpec file
 ///
-/// Exit codes: 0 ok, 1 scenario failure or golden mismatch, 2 usage.
+/// Exit codes: 0 ok, 1 scenario failure or golden mismatch, 2 usage
+/// (including unknown scenario/workload names, which print a
+/// nearest-match suggestion plus the full known-name list).
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -74,7 +77,7 @@ void print_usage(std::ostream& os) {
   os << "usage: wi_run [<scenario>...] [options]\n"
         "\n"
         "options:\n"
-        "  --list             list registered scenarios and exit\n"
+        "  --list             list scenarios + workload kinds and exit\n"
         "  --all              run every registered scenario\n"
         "  --spec FILE        run a ScenarioSpec JSON file (repeatable)\n"
         "  --dump-spec        print scenario JSON specs instead of running\n"
@@ -357,10 +360,27 @@ int main(int argc, char** argv) {
   const ScenarioRegistry& registry = ScenarioRegistry::paper();
 
   if (options.list) {
+    // Sorted, with the workload kind next to each scenario; the open
+    // workload registry is listed below the scenarios.
+    std::vector<std::string> names = registry.names();
+    std::sort(names.begin(), names.end());
+    std::size_t width = 0;
+    for (const auto& name : names) width = std::max(width, name.size());
     std::cout << "registered scenarios (" << registry.size() << "):\n";
-    for (const auto& name : registry.names()) {
-      std::cout << "  " << name << "\n      "
-                << registry.get(name).description << "\n";
+    for (const auto& name : names) {
+      const ScenarioSpec& spec = registry.get(name);
+      std::cout << "  " << name
+                << std::string(width - name.size() + 2, ' ') << "["
+                << spec.workload << "]\n      " << spec.description << "\n";
+    }
+    const WorkloadRegistry& workloads = WorkloadRegistry::global();
+    std::cout << "\nregistered workload kinds (" << workloads.size()
+              << "):\n";
+    for (const auto& name : workloads.names()) {
+      std::cout << "  " << name;
+      const std::string description = workloads.get(name).description();
+      if (!description.empty()) std::cout << "\n      " << description;
+      std::cout << "\n";
     }
     return 0;
   }
@@ -374,6 +394,21 @@ int main(int argc, char** argv) {
       }
     }
     for (const auto& name : options.scenarios) {
+      if (!registry.contains(name)) {
+        // Unknown names are usage errors (exit 2), kept distinct from
+        // run failures / golden drift (exit 1): print the nearest
+        // match and the full known-name list.
+        std::cerr << "wi_run: unknown scenario '" << name << "'";
+        const std::string suggestion = closest_name(name, registry.names());
+        if (!suggestion.empty()) {
+          std::cerr << " (did you mean '" << suggestion << "'?)";
+        }
+        std::cerr << "\nknown scenarios:\n";
+        std::vector<std::string> names = registry.names();
+        std::sort(names.begin(), names.end());
+        for (const auto& known : names) std::cerr << "  " << known << "\n";
+        return 2;
+      }
       specs.push_back(registry.get(name));
     }
     for (const auto& path : options.spec_files) {
