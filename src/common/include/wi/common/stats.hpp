@@ -58,6 +58,10 @@ class Histogram {
   /// Count one sample (under/overflow tracked separately).
   void add(double x);
 
+  /// Incorporate another histogram (parallel merge). Both sides must
+  /// use identical binning; throws std::invalid_argument otherwise.
+  void merge(const Histogram& other);
+
   [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
   [[nodiscard]] std::uint64_t bin(std::size_t i) const { return counts_[i]; }
   [[nodiscard]] std::uint64_t underflow() const { return underflow_; }

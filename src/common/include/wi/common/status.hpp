@@ -9,8 +9,10 @@
 /// whole sweep. `wi::sim` re-exports these names as its public error
 /// type.
 
+#include <optional>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <utility>
 
 namespace wi {
@@ -24,6 +26,9 @@ enum class StatusCode {
   kExecutionError,     ///< unexpected failure while running a scenario
   kParseError,         ///< malformed serialized input (JSON/CSV)
   kNotFound,           ///< a lookup (file, cache entry, scenario) missed
+  kUnavailable,        ///< a service cannot take the request now
+                       ///< (queue full, draining for shutdown): the
+                       ///< explicit backpressure signal — retry later
 };
 
 /// Short stable identifier of a code ("ok", "invalid_spec", ...).
@@ -36,8 +41,24 @@ enum class StatusCode {
     case StatusCode::kExecutionError: return "execution_error";
     case StatusCode::kParseError: return "parse_error";
     case StatusCode::kNotFound: return "not_found";
+    case StatusCode::kUnavailable: return "unavailable";
   }
   return "unknown";
+}
+
+/// Inverse of status_code_name — the parse half of every codec that
+/// serializes a Status (result store entries, the wi_serve protocol).
+/// nullopt for unknown names.
+[[nodiscard]] constexpr std::optional<StatusCode> status_code_from_name(
+    std::string_view name) {
+  for (const StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidSpec,
+        StatusCode::kUnreachableRoute, StatusCode::kUnsupported,
+        StatusCode::kExecutionError, StatusCode::kParseError,
+        StatusCode::kNotFound, StatusCode::kUnavailable}) {
+    if (name == status_code_name(code)) return code;
+  }
+  return std::nullopt;
 }
 
 /// Value-type result status: a code plus context message.

@@ -68,6 +68,20 @@ void Histogram::add(double x) {
   ++counts_[std::min(idx, counts_.size() - 1)];
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (lo_ != other.lo_ || hi_ != other.hi_ ||
+      counts_.size() != other.counts_.size()) {
+    throw std::invalid_argument(
+        "Histogram::merge: incompatible binning");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+}
+
 double Histogram::bin_center(std::size_t i) const {
   return lo_ + (static_cast<double>(i) + 0.5) * width_;
 }

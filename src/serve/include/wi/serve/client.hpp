@@ -1,0 +1,60 @@
+#pragma once
+/// \file client.hpp
+/// \brief Blocking line client of the wi_serve protocol — the shared
+///        transport of wi_loadgen and the end-to-end tests.
+///
+/// One Client is one TCP connection: call() writes a request frame and
+/// blocks for its response (the server answers in request order per
+/// connection). send_raw() exists so tests and the load generator can
+/// inject deliberately malformed frames and watch the server survive.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "wi/serve/net.hpp"
+#include "wi/serve/protocol.hpp"
+
+namespace wi::serve {
+
+class Client {
+ public:
+  Client() = default;
+
+  /// Connect to a wi_serve instance.
+  [[nodiscard]] Status connect(const std::string& host,
+                               std::uint16_t port);
+
+  [[nodiscard]] bool connected() const { return socket_.valid(); }
+
+  /// Round trip: write one request frame, block for one response.
+  /// Throws StatusError on transport failure (connection gone) or an
+  /// unparseable response; protocol-level failures come back as the
+  /// response's own status.
+  [[nodiscard]] Response call(const Request& request);
+
+  /// Write one raw line (no validation; a newline is appended) and
+  /// block for one response frame — the malformed-input path.
+  [[nodiscard]] Response call_raw(const std::string& line);
+
+  /// Fire-and-forget raw write (for tests that slam the connection
+  /// shut mid-protocol).
+  [[nodiscard]] Status send_raw(const std::string& line);
+
+  /// Read one response frame (pairs with send_raw).
+  [[nodiscard]] Response receive();
+
+  void close();
+
+ private:
+  Socket socket_;
+  std::unique_ptr<LineReader> reader_;
+};
+
+/// Convenience: connect, run one request, close. Throws StatusError on
+/// connect/transport failure.
+[[nodiscard]] Response call_once(const std::string& host,
+                                 std::uint16_t port,
+                                 const Request& request);
+
+}  // namespace wi::serve

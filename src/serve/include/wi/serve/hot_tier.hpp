@@ -1,0 +1,111 @@
+#pragma once
+/// \file hot_tier.hpp
+/// \brief In-memory LRU result cache with single-flight build
+///        coalescing — the tier in front of the on-disk ResultStore.
+///
+/// Keyed by the same content key as the store (result_content_key), so
+/// the tiers agree about request identity. Two jobs in one class:
+///
+///  * LRU of completed results: a repeat spec is served from memory
+///    without touching disk (the store stays the cold tier + the
+///    durable one).
+///  * Single-flight: concurrent requests for the same key coalesce
+///    onto ONE computation — the first caller leads, everyone else
+///    blocks on a shared future, mirroring PhyCurveCache's build-once
+///    idiom. This is what makes "M clients, same spec, exactly one
+///    SimEngine run" a guarantee rather than a race.
+///
+/// Failed results are delivered to waiters but never cached, matching
+/// the ResultStore policy (failures re-run next time).
+
+#include <cstddef>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "wi/sim/engine.hpp"
+
+namespace wi::serve {
+
+/// Thread-safe LRU + single-flight cache of scenario results.
+class HotTier {
+ public:
+  using ResultPtr = std::shared_ptr<const sim::RunResult>;
+
+  /// How acquire() resolved a key.
+  enum class Tier {
+    kHot,       ///< completed result was in the LRU
+    kInflight,  ///< someone is computing it right now — wait on future
+    kLead,      ///< this caller must compute and fulfill (or abandon)
+  };
+
+  struct Ticket {
+    Tier tier = Tier::kLead;
+    ResultPtr cached;                       ///< set for kHot
+    std::shared_future<ResultPtr> future;   ///< set for kInflight
+  };
+
+  struct Options {
+    std::size_t capacity = 256;  ///< completed entries kept (>= 1)
+  };
+
+  HotTier() : HotTier(Options{}) {}
+  explicit HotTier(Options options);
+
+  /// Resolve a key: hot hit, join of an in-flight build, or leadership
+  /// of a new build. A kLead caller MUST later call fulfill() exactly
+  /// once for the key — that is what releases the joined waiters.
+  [[nodiscard]] Ticket acquire(const std::string& key);
+
+  /// Complete a build: deliver `result` to every waiter, and insert it
+  /// into the LRU when it is a success. Also the backpressure path: a
+  /// leader whose enqueue was rejected fulfills with the kUnavailable
+  /// result so waiters get the same explicit answer.
+  void fulfill(const std::string& key, ResultPtr result);
+
+  /// Peek without side effects (no LRU bump, no flight join); nullptr
+  /// on miss. For tests and introspection.
+  [[nodiscard]] ResultPtr peek(const std::string& key) const;
+
+  /// Counters: hits = LRU hits, coalesced = joins of an in-flight
+  /// build, leads = acquire() calls that took leadership.
+  [[nodiscard]] std::size_t hits() const;
+  [[nodiscard]] std::size_t coalesced() const;
+  [[nodiscard]] std::size_t leads() const;
+  [[nodiscard]] std::size_t insertions() const;
+  [[nodiscard]] std::size_t evictions() const;
+  [[nodiscard]] std::size_t size() const;
+
+  [[nodiscard]] const Options& options() const { return options_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    ResultPtr result;
+  };
+  using LruList = std::list<Entry>;
+
+  void insert_locked(const std::string& key, ResultPtr result);
+
+  Options options_;
+  mutable std::mutex mutex_;
+  LruList lru_;  ///< front = most recent
+  std::unordered_map<std::string, LruList::iterator> index_;
+  struct Flight {
+    std::shared_ptr<std::promise<ResultPtr>> promise;
+    /// get_future() is one-shot, so the shared future is created once
+    /// at leadership time and handed to every joiner.
+    std::shared_future<ResultPtr> future;
+  };
+  std::unordered_map<std::string, Flight> inflight_;
+  std::size_t hits_ = 0;
+  std::size_t coalesced_ = 0;
+  std::size_t leads_ = 0;
+  std::size_t insertions_ = 0;
+  std::size_t evictions_ = 0;
+};
+
+}  // namespace wi::serve

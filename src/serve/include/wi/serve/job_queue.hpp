@@ -1,0 +1,135 @@
+#pragma once
+/// \file job_queue.hpp
+/// \brief Bounded MPMC job queue with per-client fair admission and
+///        round-robin dispatch.
+///
+/// Admission control for the wi_serve daemon: try_push never blocks —
+/// a full queue (or an over-quota client) is an immediate rejection the
+/// connection layer turns into an explicit backpressure response, so
+/// the accept loop can never wedge behind a slow simulation. Fairness
+/// is two-sided: a per-client quota stops one client from *filling*
+/// the queue, and pop() round-robins across clients so a burst from
+/// one client cannot monopolize the worker pool even within quota.
+/// close() stops admission but lets consumers drain what was accepted
+/// — the graceful-shutdown half of the contract: accepted work always
+/// completes, rejected work was always told so.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace wi::serve {
+
+template <typename T>
+class FairJobQueue {
+ public:
+  struct Options {
+    std::size_t capacity = 256;
+    /// Max queued jobs per client; 0 = no per-client cap (capacity).
+    std::size_t per_client_quota = 0;
+  };
+
+  explicit FairJobQueue(Options options = {}) : options_(options) {
+    if (options_.capacity == 0) options_.capacity = 1;
+    if (options_.per_client_quota == 0 ||
+        options_.per_client_quota > options_.capacity) {
+      options_.per_client_quota = options_.capacity;
+    }
+  }
+
+  /// Non-blocking admission; false when closed, the queue is at
+  /// capacity, or this client is at quota.
+  [[nodiscard]] bool try_push(std::uint64_t client, T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || size_ >= options_.capacity) return false;
+      Lane& lane = lane_for(client);
+      if (lane.jobs.size() >= options_.per_client_quota) return false;
+      lane.jobs.push_back(std::move(item));
+      ++size_;
+      if (size_ > peak_depth_) peak_depth_ = size_;
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocking round-robin pop; nullopt once closed *and* drained.
+  [[nodiscard]] std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return size_ > 0 || closed_; });
+    if (size_ == 0) return std::nullopt;
+    // Rotate over client lanes starting after the last-served one.
+    for (std::size_t step = 0; step < lanes_.size(); ++step) {
+      Lane& lane = lanes_[(cursor_ + 1 + step) % lanes_.size()];
+      if (lane.jobs.empty()) continue;
+      cursor_ = (cursor_ + 1 + step) % lanes_.size();
+      T item = std::move(lane.jobs.front());
+      lane.jobs.pop_front();
+      --size_;
+      return item;
+    }
+    return std::nullopt;  // unreachable: size_ > 0 implies a lane
+  }
+
+  /// Stop admission (try_push fails from now on) and wake every
+  /// consumer; pending jobs remain poppable until drained.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  /// Current depth across all clients.
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return size_;
+  }
+
+  /// High-water mark of size().
+  [[nodiscard]] std::size_t peak_depth() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return peak_depth_;
+  }
+
+  [[nodiscard]] const Options& options() const { return options_; }
+
+ private:
+  struct Lane {
+    std::uint64_t client = 0;
+    std::deque<T> jobs;
+  };
+
+  /// Lane of a client id (created on first use). Linear scan: the lane
+  /// count is the number of *distinct clients ever seen*, small for
+  /// any realistic connection pattern.
+  [[nodiscard]] Lane& lane_for(std::uint64_t client) {
+    for (Lane& lane : lanes_) {
+      if (lane.client == client) return lane;
+    }
+    lanes_.push_back(Lane{client, {}});
+    return lanes_.back();
+  }
+
+  Options options_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<Lane> lanes_;
+  std::size_t cursor_ = 0;  ///< last-served lane index
+  std::size_t size_ = 0;
+  std::size_t peak_depth_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace wi::serve

@@ -1,0 +1,129 @@
+#pragma once
+/// \file metrics.hpp
+/// \brief Aggregate server observability: counters, latency stats and
+///        the diffable metrics table.
+///
+/// Recording is sharded: threads hash onto one of a fixed set of
+/// shards, each with its own mutex, so worker and connection threads
+/// never serialize on one metrics lock. snapshot() folds the shards
+/// with RunningStats::merge (Chan's parallel update) and
+/// Histogram::merge — the same distributed-aggregation primitives the
+/// ROADMAP's campaign sharding needs — so no individual sample is ever
+/// stored. Percentiles come from a fixed log10-microsecond histogram
+/// (1 us .. 10 s, 20 bins/decade): ~12% worst-case bucket error, zero
+/// allocation per request.
+///
+/// The export format is a wi::Table ("metric", "value") — the same
+/// machinery the golden results use, so server metrics are printable,
+/// CSV-serializable and testable with the existing table tools.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "wi/common/stats.hpp"
+#include "wi/common/table.hpp"
+
+namespace wi::serve {
+
+/// Counter slots (one atomic per shard each).
+enum class Counter {
+  kRequests,            ///< every parsed frame
+  kRunScenario,         ///< run_scenario requests
+  kRunCampaign,         ///< run_campaign requests
+  kStats,               ///< stats requests
+  kHealth,              ///< health requests
+  kShutdown,            ///< shutdown requests
+  kHotHits,             ///< served from the in-memory LRU
+  kInflightJoins,       ///< coalesced onto an in-flight run
+  kColdHits,            ///< served from the on-disk store
+  kEngineRuns,          ///< actual SimEngine executions
+  kFailedRuns,          ///< runs whose result status was not ok
+  kBackpressure,        ///< queue-full rejections (kUnavailable)
+  kParseErrors,         ///< malformed frames (bad JSON / bad shape)
+  kOversizedFrames,     ///< frames over the max-frame bound
+  kRowsStreamed,        ///< result table rows sent to clients
+  kCount,               ///< sentinel
+};
+
+[[nodiscard]] const char* counter_name(Counter counter);
+
+/// One merged view of everything recorded so far.
+struct MetricsSnapshot {
+  std::uint64_t counters[static_cast<std::size_t>(Counter::kCount)] = {};
+  RunningStats queue_wait_us;  ///< admission-to-worker wait (run paths)
+  RunningStats run_us;         ///< engine execution time (engine runs)
+  RunningStats total_us;       ///< request receipt to response write
+  Histogram latency;           ///< total_us on the log10 grid
+
+  MetricsSnapshot();
+
+  [[nodiscard]] std::uint64_t counter(Counter c) const {
+    return counters[static_cast<std::size_t>(c)];
+  }
+  /// Latency percentile in microseconds (from the log10 histogram).
+  [[nodiscard]] double latency_percentile_us(double q) const;
+};
+
+/// Thread-safe sharded recorder.
+class ServerMetrics {
+ public:
+  ServerMetrics();
+  ~ServerMetrics();  // out of line: ShardBlock is incomplete here
+  ServerMetrics(const ServerMetrics&) = delete;
+  ServerMetrics& operator=(const ServerMetrics&) = delete;
+
+  void count(Counter counter, std::uint64_t n = 1);
+
+  /// Record one completed run-type request.
+  void observe_request(double queue_us, double run_us, double total_us,
+                       bool engine_ran);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// The latency histogram grid shared by server and loadgen:
+  /// log10(max(us, 1)) over [0, 7), 20 bins per decade.
+  [[nodiscard]] static Histogram make_latency_histogram();
+  static void add_latency(Histogram& histogram, double us);
+  [[nodiscard]] static double latency_quantile_us(
+      const Histogram& histogram, double q);
+
+ private:
+  struct Shard;
+  static constexpr std::size_t kShards = 8;
+
+  [[nodiscard]] Shard& local_shard();
+
+  // Defined in metrics.cpp so the header stays light.
+  struct ShardBlock;
+  std::unique_ptr<ShardBlock> shards_;
+};
+
+/// Render a snapshot plus live gauges as the canonical metrics table.
+/// Every rate/percentile row is derived here, in one place, so the
+/// stats request, the shutdown dump and the tests agree cell-for-cell.
+struct MetricsGauges {
+  std::size_t queue_depth = 0;
+  std::size_t queue_peak = 0;
+  std::size_t hot_size = 0;
+  std::size_t hot_capacity = 0;
+  std::size_t hot_evictions = 0;
+  std::size_t workers = 0;
+  std::size_t store_hits = 0;
+  std::size_t store_misses = 0;
+  std::size_t store_inserts = 0;
+  std::size_t store_corrupt = 0;
+  bool has_store = false;
+};
+
+[[nodiscard]] Table metrics_to_table(const MetricsSnapshot& snapshot,
+                                     const MetricsGauges& gauges);
+
+/// Value of a ("metric","value") table row by metric name; throws
+/// StatusError(kNotFound) when absent. Shared by wi_loadgen's gate
+/// checks and the tests.
+[[nodiscard]] double metrics_table_value(const Table& table,
+                                         const std::string& metric);
+
+}  // namespace wi::serve

@@ -1,0 +1,85 @@
+#pragma once
+/// \file net.hpp
+/// \brief Minimal POSIX TCP plumbing + newline framing for wi_serve.
+///
+/// The wire protocol is newline-delimited JSON (one request or
+/// response per line), so the only framing state a connection needs is
+/// a byte buffer scanned for '\n'. LineReader enforces the max-frame
+/// bound *while reading*: an oversized line is consumed and discarded
+/// up to its newline, reported as kOversized, and the connection stays
+/// usable — a client bug must not wedge the server.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "wi/common/status.hpp"
+
+namespace wi::serve {
+
+/// Default max frame: 4 MiB of JSON per line (inline campaign specs
+/// are a few KiB; anything near this bound is hostile or corrupt).
+inline constexpr std::size_t kDefaultMaxFrameBytes = 4u << 20;
+
+/// RAII file-descriptor wrapper (close on destruction, move-only).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+  Socket(Socket&& other) noexcept : fd_(other.release()) {}
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+  [[nodiscard]] int release();
+
+  /// shutdown(2) both directions — unblocks a thread parked in read().
+  void shutdown_both();
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listen on host:port (port 0 = ephemeral). On success returns a
+/// listening socket and writes the actually bound port to `port`.
+[[nodiscard]] Status tcp_listen(const std::string& host,
+                                std::uint16_t& port, Socket& out,
+                                int backlog = 64);
+
+/// Blocking connect to host:port.
+[[nodiscard]] Status tcp_connect(const std::string& host,
+                                 std::uint16_t port, Socket& out);
+
+/// Write the whole buffer (retrying short writes); kUnavailable when
+/// the peer went away.
+[[nodiscard]] Status write_all(const Socket& socket,
+                               const std::string& data);
+
+/// Buffered line reader over one socket.
+class LineReader {
+ public:
+  enum class ReadResult {
+    kLine,       ///< `line` holds one complete frame (no newline)
+    kEof,        ///< clean end of stream
+    kOversized,  ///< frame exceeded max_bytes; it was discarded and the
+                 ///< stream is positioned after its newline
+    kError,      ///< read(2) failed / stream died mid-frame
+  };
+
+  explicit LineReader(const Socket& socket,
+                      std::size_t max_bytes = kDefaultMaxFrameBytes)
+      : socket_(socket), max_bytes_(max_bytes) {}
+
+  [[nodiscard]] ReadResult read_line(std::string& line);
+
+ private:
+  const Socket& socket_;
+  std::size_t max_bytes_;
+  std::string buffer_;
+};
+
+}  // namespace wi::serve

@@ -1,0 +1,97 @@
+#pragma once
+/// \file protocol.hpp
+/// \brief Request/response codec of the wi_serve wire protocol.
+///
+/// One frame = one JSON object on one line (see net.hpp for framing).
+/// Five request types: run_scenario, run_campaign, stats, health,
+/// shutdown. Scenario/campaign payloads ride on the *existing* spec
+/// codecs (scenario_from_json / campaign_from_json), so a spec file
+/// that wi_run accepts is exactly what a client sends inline — and the
+/// same strictness applies: unknown keys are a parse error, never a
+/// silently defaulted run. Every response echoes the request id and
+/// carries a wi::Status; run responses add the cache tier that served
+/// them ("hot" | "inflight" | "cold" | "run") plus queue/run timings,
+/// so clients see per-request traces without a side channel.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "wi/common/json.hpp"
+#include "wi/sim/campaign.hpp"
+#include "wi/sim/engine.hpp"
+#include "wi/sim/scenario.hpp"
+#include "wi/sim/status.hpp"
+
+namespace wi::serve {
+
+enum class RequestType {
+  kRunScenario,
+  kRunCampaign,
+  kStats,
+  kHealth,
+  kShutdown,
+};
+
+/// Wire name of a request type ("run_scenario", ...).
+[[nodiscard]] const char* request_type_name(RequestType type);
+
+/// Inverse of request_type_name; nullopt for unknown names.
+[[nodiscard]] std::optional<RequestType> request_type_from_name(
+    std::string_view name);
+
+/// One client request.
+struct Request {
+  RequestType type = RequestType::kHealth;
+  std::string id;  ///< client correlation id, echoed verbatim
+
+  /// Registry scenario name — the by-name form of run_scenario /
+  /// run_campaign. Mutually exclusive with the inline payloads below.
+  std::string scenario;
+  /// Inline ScenarioSpec (run_scenario).
+  std::optional<sim::ScenarioSpec> spec;
+  /// Inline CampaignSpec (run_campaign).
+  std::optional<sim::CampaignSpec> campaign;
+
+  /// run_scenario: store-key seed salt (0 = the deterministic run).
+  std::uint64_t seed = 0;
+  /// run_campaign by name: replica count / seed-derivation root.
+  std::size_t seeds = 8;
+  std::uint64_t base_seed = 1;
+};
+
+/// One server response. `result` is present on successful run_scenario
+/// / run_campaign (the result table) and stats (the metrics table).
+struct Response {
+  std::string id;
+  RequestType type = RequestType::kHealth;
+  Status status;
+  std::string tier;  ///< "hot"|"inflight"|"cold"|"run" for run responses
+  double queue_us = 0.0;  ///< admission-to-worker wait of this request
+  double run_us = 0.0;    ///< engine execution time (0 on cache hits)
+  std::optional<sim::RunResult> result;
+
+  [[nodiscard]] bool ok() const { return status.is_ok(); }
+};
+
+/// Request <-> JSON. Decoding throws StatusError(kParseError) on
+/// malformed frames: unknown type/keys, payload-type mismatches, or a
+/// by-name AND inline payload in the same request.
+[[nodiscard]] Json request_to_json(const Request& request);
+[[nodiscard]] Request request_from_json(const Json& json);
+
+/// Response <-> JSON; same strictness.
+[[nodiscard]] Json response_to_json(const Response& response);
+[[nodiscard]] Response response_from_json(const Json& json);
+
+/// Compact one-line frames (no trailing newline — the framing layer
+/// appends it).
+[[nodiscard]] std::string request_to_line(const Request& request);
+[[nodiscard]] std::string response_to_line(const Response& response);
+
+/// Parse one frame; throws StatusError(kParseError).
+[[nodiscard]] Request request_from_line(const std::string& line);
+[[nodiscard]] Response response_from_line(const std::string& line);
+
+}  // namespace wi::serve

@@ -1,0 +1,78 @@
+#include "wi/serve/client.hpp"
+
+#include <utility>
+
+namespace wi::serve {
+
+Status Client::connect(const std::string& host, std::uint16_t port) {
+  Socket socket;
+  if (Status status = tcp_connect(host, port, socket);
+      !status.is_ok()) {
+    return status;
+  }
+  socket_ = std::move(socket);
+  // Responses can be large (result tables); no frame bound on the
+  // client side beyond sanity.
+  reader_ = std::make_unique<LineReader>(socket_, 64u << 20);
+  return Status::ok();
+}
+
+Response Client::call(const Request& request) {
+  return call_raw(request_to_line(request));
+}
+
+Response Client::call_raw(const std::string& line) {
+  if (Status status = send_raw(line); !status.is_ok()) {
+    throw StatusError(status);
+  }
+  return receive();
+}
+
+Status Client::send_raw(const std::string& line) {
+  if (!socket_.valid()) {
+    return Status(StatusCode::kUnavailable, "client is not connected");
+  }
+  return write_all(socket_, line + "\n");
+}
+
+Response Client::receive() {
+  if (!socket_.valid() || reader_ == nullptr) {
+    throw StatusError(
+        Status(StatusCode::kUnavailable, "client is not connected"));
+  }
+  std::string line;
+  switch (reader_->read_line(line)) {
+    case LineReader::ReadResult::kLine:
+      return response_from_line(line);
+    case LineReader::ReadResult::kEof:
+      throw StatusError(Status(StatusCode::kUnavailable,
+                               "server closed the connection"));
+    case LineReader::ReadResult::kOversized:
+      throw StatusError(Status(StatusCode::kParseError,
+                               "response frame exceeds the client "
+                               "frame bound"));
+    case LineReader::ReadResult::kError:
+      break;
+  }
+  throw StatusError(Status(StatusCode::kUnavailable,
+                           "connection failed while reading the "
+                           "response"));
+}
+
+void Client::close() {
+  reader_.reset();
+  socket_.close();
+}
+
+Response call_once(const std::string& host, std::uint16_t port,
+                   const Request& request) {
+  Client client;
+  if (Status status = client.connect(host, port); !status.is_ok()) {
+    throw StatusError(status);
+  }
+  Response response = client.call(request);
+  client.close();
+  return response;
+}
+
+}  // namespace wi::serve

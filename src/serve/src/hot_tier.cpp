@@ -1,0 +1,108 @@
+#include "wi/serve/hot_tier.hpp"
+
+#include <utility>
+
+namespace wi::serve {
+
+HotTier::HotTier(Options options) : options_(options) {
+  if (options_.capacity == 0) options_.capacity = 1;
+}
+
+HotTier::Ticket HotTier::acquire(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto it = index_.find(key); it != index_.end()) {
+    // LRU bump: splice the entry to the front (iterators stay valid).
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++hits_;
+    Ticket ticket;
+    ticket.tier = Tier::kHot;
+    ticket.cached = it->second->result;
+    return ticket;
+  }
+  if (const auto it = inflight_.find(key); it != inflight_.end()) {
+    ++coalesced_;
+    Ticket ticket;
+    ticket.tier = Tier::kInflight;
+    ticket.future = it->second.future;
+    return ticket;
+  }
+  ++leads_;
+  Flight flight;
+  flight.promise = std::make_shared<std::promise<ResultPtr>>();
+  flight.future = flight.promise->get_future().share();
+  inflight_.emplace(key, std::move(flight));
+  Ticket ticket;
+  ticket.tier = Tier::kLead;
+  return ticket;
+}
+
+void HotTier::fulfill(const std::string& key, ResultPtr result) {
+  std::shared_ptr<std::promise<ResultPtr>> promise;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = inflight_.find(key);
+    if (it != inflight_.end()) {
+      promise = std::move(it->second.promise);
+      inflight_.erase(it);
+    }
+    if (result != nullptr && result->ok()) {
+      insert_locked(key, result);
+    }
+  }
+  // Resolve outside the lock: waiters wake straight into a free mutex.
+  if (promise != nullptr) promise->set_value(std::move(result));
+}
+
+void HotTier::insert_locked(const std::string& key, ResultPtr result) {
+  if (const auto it = index_.find(key); it != index_.end()) {
+    it->second->result = std::move(result);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, std::move(result)});
+  index_[key] = lru_.begin();
+  ++insertions_;
+  while (lru_.size() > options_.capacity) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+HotTier::ResultPtr HotTier::peek(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  return it != index_.end() ? it->second->result : nullptr;
+}
+
+std::size_t HotTier::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::size_t HotTier::coalesced() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return coalesced_;
+}
+
+std::size_t HotTier::leads() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return leads_;
+}
+
+std::size_t HotTier::insertions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return insertions_;
+}
+
+std::size_t HotTier::evictions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
+}
+
+std::size_t HotTier::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+}  // namespace wi::serve

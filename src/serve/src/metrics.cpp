@@ -1,0 +1,190 @@
+#include "wi/serve/metrics.hpp"
+
+#include <cmath>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "wi/common/status.hpp"
+
+namespace wi::serve {
+
+namespace {
+
+// log10(us) over [0, 7): 1 us .. 10 s at 20 bins per decade.
+constexpr double kLatLo = 0.0;
+constexpr double kLatHi = 7.0;
+constexpr std::size_t kLatBins = 140;
+
+}  // namespace
+
+const char* counter_name(Counter counter) {
+  switch (counter) {
+    case Counter::kRequests: return "requests_total";
+    case Counter::kRunScenario: return "requests_run_scenario";
+    case Counter::kRunCampaign: return "requests_run_campaign";
+    case Counter::kStats: return "requests_stats";
+    case Counter::kHealth: return "requests_health";
+    case Counter::kShutdown: return "requests_shutdown";
+    case Counter::kHotHits: return "hot_hits";
+    case Counter::kInflightJoins: return "inflight_joins";
+    case Counter::kColdHits: return "cold_hits";
+    case Counter::kEngineRuns: return "engine_runs";
+    case Counter::kFailedRuns: return "failed_runs";
+    case Counter::kBackpressure: return "backpressure_rejects";
+    case Counter::kParseErrors: return "parse_errors";
+    case Counter::kOversizedFrames: return "oversized_frames";
+    case Counter::kRowsStreamed: return "rows_streamed";
+    case Counter::kCount: break;
+  }
+  return "unknown";
+}
+
+MetricsSnapshot::MetricsSnapshot()
+    : latency(ServerMetrics::make_latency_histogram()) {}
+
+double MetricsSnapshot::latency_percentile_us(double q) const {
+  return ServerMetrics::latency_quantile_us(latency, q);
+}
+
+struct ServerMetrics::Shard {
+  mutable std::mutex mutex;
+  std::uint64_t counters[static_cast<std::size_t>(Counter::kCount)] = {};
+  RunningStats queue_wait_us;
+  RunningStats run_us;
+  RunningStats total_us;
+  Histogram latency = ServerMetrics::make_latency_histogram();
+};
+
+struct ServerMetrics::ShardBlock {
+  Shard shards[kShards];
+};
+
+ServerMetrics::ServerMetrics() : shards_(std::make_unique<ShardBlock>()) {}
+
+ServerMetrics::~ServerMetrics() = default;
+
+ServerMetrics::Shard& ServerMetrics::local_shard() {
+  const std::size_t index =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kShards;
+  return shards_->shards[index];
+}
+
+void ServerMetrics::count(Counter counter, std::uint64_t n) {
+  Shard& shard = local_shard();
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.counters[static_cast<std::size_t>(counter)] += n;
+}
+
+void ServerMetrics::observe_request(double queue_us, double run_us,
+                                    double total_us, bool engine_ran) {
+  Shard& shard = local_shard();
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.queue_wait_us.add(queue_us);
+  if (engine_ran) shard.run_us.add(run_us);
+  shard.total_us.add(total_us);
+  add_latency(shard.latency, total_us);
+}
+
+MetricsSnapshot ServerMetrics::snapshot() const {
+  MetricsSnapshot merged;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    const Shard& shard = shards_->shards[s];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (std::size_t c = 0;
+         c < static_cast<std::size_t>(Counter::kCount); ++c) {
+      merged.counters[c] += shard.counters[c];
+    }
+    merged.queue_wait_us.merge(shard.queue_wait_us);
+    merged.run_us.merge(shard.run_us);
+    merged.total_us.merge(shard.total_us);
+    merged.latency.merge(shard.latency);
+  }
+  return merged;
+}
+
+Histogram ServerMetrics::make_latency_histogram() {
+  return Histogram(kLatLo, kLatHi, kLatBins);
+}
+
+void ServerMetrics::add_latency(Histogram& histogram, double us) {
+  histogram.add(std::log10(us < 1.0 ? 1.0 : us));
+}
+
+double ServerMetrics::latency_quantile_us(const Histogram& histogram,
+                                          double q) {
+  if (histogram.total() == 0) return 0.0;
+  return std::pow(10.0, histogram.quantile(q));
+}
+
+Table metrics_to_table(const MetricsSnapshot& snapshot,
+                       const MetricsGauges& gauges) {
+  Table table({"metric", "value"});
+  const auto add_count = [&](const std::string& name, std::uint64_t v) {
+    table.add_row({name, Table::num(static_cast<long long>(v))});
+  };
+  const auto add_num = [&](const std::string& name, double v) {
+    table.add_row({name, Table::num(v)});
+  };
+  for (std::size_t c = 0; c < static_cast<std::size_t>(Counter::kCount);
+       ++c) {
+    add_count(counter_name(static_cast<Counter>(c)),
+              snapshot.counters[c]);
+  }
+  // Per-tier hit rates over *completed* run requests (backpressure
+  // rejections asked for work but got none, so they are excluded).
+  const std::uint64_t run_requests =
+      snapshot.counter(Counter::kRunScenario) +
+      snapshot.counter(Counter::kRunCampaign);
+  const std::uint64_t rejected =
+      snapshot.counter(Counter::kBackpressure);
+  const std::uint64_t completed =
+      run_requests > rejected ? run_requests - rejected : 0;
+  const auto rate = [&](std::uint64_t part) {
+    return completed == 0
+               ? 0.0
+               : static_cast<double>(part) /
+                     static_cast<double>(completed);
+  };
+  const std::uint64_t hot = snapshot.counter(Counter::kHotHits);
+  const std::uint64_t joined =
+      snapshot.counter(Counter::kInflightJoins);
+  const std::uint64_t cold = snapshot.counter(Counter::kColdHits);
+  add_num("hit_rate_hot", rate(hot));
+  add_num("hit_rate_inflight", rate(joined));
+  add_num("hit_rate_cold", rate(cold));
+  add_num("hit_rate", rate(hot + joined + cold));
+  add_count("queue_depth", gauges.queue_depth);
+  add_count("queue_peak_depth", gauges.queue_peak);
+  add_num("queue_wait_us_mean", snapshot.queue_wait_us.mean());
+  add_num("queue_wait_us_max", snapshot.queue_wait_us.count() > 0
+                                   ? snapshot.queue_wait_us.max()
+                                   : 0.0);
+  add_num("run_us_mean", snapshot.run_us.mean());
+  add_num("latency_us_mean", snapshot.total_us.mean());
+  add_num("latency_us_p50", snapshot.latency_percentile_us(0.50));
+  add_num("latency_us_p99", snapshot.latency_percentile_us(0.99));
+  add_count("hot_tier_size", gauges.hot_size);
+  add_count("hot_tier_capacity", gauges.hot_capacity);
+  add_count("hot_tier_evictions", gauges.hot_evictions);
+  add_count("workers", gauges.workers);
+  add_count("store_enabled", gauges.has_store ? 1 : 0);
+  add_count("store_hits", gauges.store_hits);
+  add_count("store_misses", gauges.store_misses);
+  add_count("store_inserts", gauges.store_inserts);
+  add_count("store_corrupt_entries", gauges.store_corrupt);
+  return table;
+}
+
+double metrics_table_value(const Table& table,
+                           const std::string& metric) {
+  for (std::size_t row = 0; row < table.rows(); ++row) {
+    if (table.cell(row, 0) == metric) {
+      return std::stod(table.cell(row, 1));
+    }
+  }
+  throw StatusError(Status(StatusCode::kNotFound,
+                           "metrics table has no row '" + metric + "'"));
+}
+
+}  // namespace wi::serve

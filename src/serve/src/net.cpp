@@ -1,0 +1,163 @@
+#include "wi/serve/net.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace wi::serve {
+
+namespace {
+
+[[nodiscard]] Status errno_status(const std::string& what) {
+  return Status(StatusCode::kExecutionError,
+                what + ": " + std::strerror(errno));
+}
+
+[[nodiscard]] bool parse_address(const std::string& host,
+                                 std::uint16_t port, sockaddr_in& addr) {
+  addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  return inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.release();
+  }
+  return *this;
+}
+
+int Socket::release() {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+void Socket::shutdown_both() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status tcp_listen(const std::string& host, std::uint16_t& port,
+                  Socket& out, int backlog) {
+  sockaddr_in addr{};
+  if (!parse_address(host, port, addr)) {
+    return Status(StatusCode::kInvalidSpec,
+                  "not an IPv4 address: '" + host + "'");
+  }
+  Socket socket(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!socket.valid()) return errno_status("socket");
+  const int one = 1;
+  (void)setsockopt(socket.fd(), SOL_SOCKET, SO_REUSEADDR, &one,
+                   sizeof(one));
+  if (bind(socket.fd(), reinterpret_cast<const sockaddr*>(&addr),
+           sizeof(addr)) != 0) {
+    return errno_status("bind " + host + ":" + std::to_string(port));
+  }
+  if (listen(socket.fd(), backlog) != 0) return errno_status("listen");
+  // Report the port the kernel picked when the caller asked for 0.
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (getsockname(socket.fd(), reinterpret_cast<sockaddr*>(&bound),
+                  &len) != 0) {
+    return errno_status("getsockname");
+  }
+  port = ntohs(bound.sin_port);
+  out = std::move(socket);
+  return Status::ok();
+}
+
+Status tcp_connect(const std::string& host, std::uint16_t port,
+                   Socket& out) {
+  sockaddr_in addr{};
+  if (!parse_address(host, port, addr)) {
+    return Status(StatusCode::kInvalidSpec,
+                  "not an IPv4 address: '" + host + "'");
+  }
+  Socket socket(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!socket.valid()) return errno_status("socket");
+  if (connect(socket.fd(), reinterpret_cast<const sockaddr*>(&addr),
+              sizeof(addr)) != 0) {
+    return Status(StatusCode::kUnavailable,
+                  "connect " + host + ":" + std::to_string(port) + ": " +
+                      std::strerror(errno));
+  }
+  // Request/response lines are small; latency beats batching.
+  const int one = 1;
+  (void)setsockopt(socket.fd(), IPPROTO_TCP, TCP_NODELAY, &one,
+                   sizeof(one));
+  out = std::move(socket);
+  return Status::ok();
+}
+
+Status write_all(const Socket& socket, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(socket.fd(), data.data() + sent,
+                             data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status(StatusCode::kUnavailable,
+                    std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status::ok();
+}
+
+LineReader::ReadResult LineReader::read_line(std::string& line) {
+  bool discarding = false;
+  while (true) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      if (discarding || newline > max_bytes_) {
+        // The oversized frame ends here; drop it and resynchronize.
+        buffer_.erase(0, newline + 1);
+        return ReadResult::kOversized;
+      }
+      line.assign(buffer_, 0, newline);
+      buffer_.erase(0, newline + 1);
+      return ReadResult::kLine;
+    }
+    if (buffer_.size() > max_bytes_) {
+      // Frame already too large and still no newline: stop buffering,
+      // keep consuming until the terminator so the stream recovers.
+      discarding = true;
+      buffer_.clear();
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(socket_.fd(), chunk, sizeof(chunk), 0);
+    if (n == 0) return ReadResult::kEof;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ReadResult::kError;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+    if (discarding) {
+      const std::size_t end = buffer_.find('\n');
+      if (end != std::string::npos) {
+        buffer_.erase(0, end + 1);
+        return ReadResult::kOversized;
+      }
+      buffer_.clear();
+    }
+  }
+}
+
+}  // namespace wi::serve

@@ -1,0 +1,218 @@
+#include "wi/serve/protocol.hpp"
+
+#include <cmath>
+
+#include "wi/sim/result_store.hpp"
+#include "wi/sim/scenario_json.hpp"
+
+namespace wi::serve {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& message) {
+  throw StatusError(Status(StatusCode::kParseError, message));
+}
+
+[[nodiscard]] std::uint64_t as_uint(const Json& json,
+                                    const std::string& key) {
+  const double value = json.as_number();
+  if (value < 0 || std::floor(value) != value || value > (1ull << 53)) {
+    fail("'" + key + "' must be a non-negative integer");
+  }
+  return static_cast<std::uint64_t>(value);
+}
+
+}  // namespace
+
+const char* request_type_name(RequestType type) {
+  switch (type) {
+    case RequestType::kRunScenario: return "run_scenario";
+    case RequestType::kRunCampaign: return "run_campaign";
+    case RequestType::kStats: return "stats";
+    case RequestType::kHealth: return "health";
+    case RequestType::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+std::optional<RequestType> request_type_from_name(std::string_view name) {
+  for (const RequestType type :
+       {RequestType::kRunScenario, RequestType::kRunCampaign,
+        RequestType::kStats, RequestType::kHealth,
+        RequestType::kShutdown}) {
+    if (name == request_type_name(type)) return type;
+  }
+  return std::nullopt;
+}
+
+Json request_to_json(const Request& request) {
+  Json json = Json::object();
+  json.set("type", Json(request_type_name(request.type)));
+  if (!request.id.empty()) json.set("id", Json(request.id));
+  if (!request.scenario.empty()) {
+    json.set("scenario", Json(request.scenario));
+  }
+  if (request.spec.has_value()) {
+    json.set("spec", sim::scenario_to_json(*request.spec));
+  }
+  if (request.campaign.has_value()) {
+    json.set("campaign", sim::campaign_to_json(*request.campaign));
+  }
+  if (request.type == RequestType::kRunScenario && request.seed != 0) {
+    json.set("seed", Json(static_cast<double>(request.seed)));
+  }
+  if (request.type == RequestType::kRunCampaign &&
+      !request.scenario.empty()) {
+    json.set("seeds", Json(static_cast<double>(request.seeds)));
+    json.set("base_seed", Json(static_cast<double>(request.base_seed)));
+  }
+  return json;
+}
+
+Request request_from_json(const Json& json) {
+  if (!json.is_object()) fail("request must be a JSON object");
+  Request request;
+  bool saw_type = false;
+  for (const auto& [key, value] : json.as_object()) {
+    if (key == "type") {
+      const auto type = request_type_from_name(value.as_string());
+      if (!type.has_value()) {
+        fail("unknown request type '" + value.as_string() + "'");
+      }
+      request.type = *type;
+      saw_type = true;
+    } else if (key == "id") {
+      request.id = value.as_string();
+    } else if (key == "scenario") {
+      request.scenario = value.as_string();
+    } else if (key == "spec") {
+      request.spec = sim::scenario_from_json(value);
+    } else if (key == "campaign") {
+      request.campaign = sim::campaign_from_json(value);
+    } else if (key == "seed") {
+      request.seed = as_uint(value, key);
+    } else if (key == "seeds") {
+      request.seeds = static_cast<std::size_t>(as_uint(value, key));
+    } else if (key == "base_seed") {
+      request.base_seed = as_uint(value, key);
+    } else {
+      fail("unknown request key '" + key + "'");
+    }
+  }
+  if (!saw_type) fail("request has no 'type'");
+
+  // Shape checks: the payload must match the type, and the by-name /
+  // inline forms are mutually exclusive.
+  const bool is_run_scenario = request.type == RequestType::kRunScenario;
+  const bool is_run_campaign = request.type == RequestType::kRunCampaign;
+  if (request.spec.has_value() && !is_run_scenario) {
+    fail("'spec' is only valid on run_scenario requests");
+  }
+  if (request.campaign.has_value() && !is_run_campaign) {
+    fail("'campaign' is only valid on run_campaign requests");
+  }
+  if (!request.scenario.empty() && !is_run_scenario && !is_run_campaign) {
+    fail("'scenario' is only valid on run requests");
+  }
+  if (json.find("seed") != nullptr && !is_run_scenario) {
+    fail("'seed' is only valid on run_scenario requests");
+  }
+  if ((json.find("seeds") != nullptr ||
+       json.find("base_seed") != nullptr) &&
+      !is_run_campaign) {
+    fail("'seeds'/'base_seed' are only valid on run_campaign requests");
+  }
+  if (is_run_scenario) {
+    if (request.scenario.empty() == !request.spec.has_value()) {
+      fail("run_scenario needs exactly one of 'scenario' or 'spec'");
+    }
+  }
+  if (is_run_campaign) {
+    if (request.scenario.empty() == !request.campaign.has_value()) {
+      fail("run_campaign needs exactly one of 'scenario' or 'campaign'");
+    }
+    if (request.campaign.has_value() &&
+        (json.find("seeds") != nullptr ||
+         json.find("base_seed") != nullptr)) {
+      fail("'seeds'/'base_seed' conflict with an inline 'campaign' "
+           "(set them there)");
+    }
+    if (request.seeds == 0) fail("'seeds' must be >= 1");
+  }
+  return request;
+}
+
+Json response_to_json(const Response& response) {
+  Json json = Json::object();
+  if (!response.id.empty()) json.set("id", Json(response.id));
+  json.set("type", Json(request_type_name(response.type)));
+  Json status = Json::object();
+  status.set("code", Json(status_code_name(response.status.code())));
+  status.set("message", Json(response.status.message()));
+  json.set("status", std::move(status));
+  if (!response.tier.empty()) json.set("tier", Json(response.tier));
+  if (response.queue_us != 0.0) {
+    json.set("queue_us", Json(response.queue_us));
+  }
+  if (response.run_us != 0.0) json.set("run_us", Json(response.run_us));
+  if (response.result.has_value()) {
+    json.set("result", sim::run_result_to_json(*response.result));
+  }
+  return json;
+}
+
+Response response_from_json(const Json& json) {
+  if (!json.is_object()) fail("response must be a JSON object");
+  Response response;
+  bool saw_status = false;
+  for (const auto& [key, value] : json.as_object()) {
+    if (key == "id") {
+      response.id = value.as_string();
+    } else if (key == "type") {
+      const auto type = request_type_from_name(value.as_string());
+      if (!type.has_value()) {
+        fail("unknown response type '" + value.as_string() + "'");
+      }
+      response.type = *type;
+    } else if (key == "status") {
+      const auto code =
+          status_code_from_name(value.at("code").as_string());
+      if (!code.has_value()) {
+        fail("unknown status code '" + value.at("code").as_string() +
+             "'");
+      }
+      response.status = Status(*code, value.at("message").as_string());
+      saw_status = true;
+    } else if (key == "tier") {
+      response.tier = value.as_string();
+    } else if (key == "queue_us") {
+      response.queue_us = value.as_number();
+    } else if (key == "run_us") {
+      response.run_us = value.as_number();
+    } else if (key == "result") {
+      response.result = sim::run_result_from_json(value);
+    } else {
+      fail("unknown response key '" + key + "'");
+    }
+  }
+  if (!saw_status) fail("response has no 'status'");
+  return response;
+}
+
+std::string request_to_line(const Request& request) {
+  return request_to_json(request).dump();
+}
+
+std::string response_to_line(const Response& response) {
+  return response_to_json(response).dump();
+}
+
+Request request_from_line(const std::string& line) {
+  return request_from_json(Json::parse(line));
+}
+
+Response response_from_line(const std::string& line) {
+  return response_from_json(Json::parse(line));
+}
+
+}  // namespace wi::serve

@@ -42,6 +42,13 @@ struct RunResult {
 struct EngineOptions {
   /// Worker threads for run_all/run_sweep; 0 = hardware concurrency.
   std::size_t threads = 0;
+  /// Reuse hook for engines embedded in an external worker pool (the
+  /// wi_serve daemon): pin PHY curve builds to one thread, because the
+  /// *callers* are already running run() concurrently and a nested
+  /// curve-build pool per cache miss would oversubscribe the machine.
+  /// run_all() honors the pin too (it restores whatever build-thread
+  /// setting it found rather than resetting to "parallel").
+  bool serial_phy_builds = false;
 };
 
 /// Executes scenarios; owns the PHY curve cache shared across runs.

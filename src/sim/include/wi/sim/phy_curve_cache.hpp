@@ -54,6 +54,9 @@ class PhyCurveCache {
   /// scenarios in parallel, so curve builds do not oversubscribe.
   void set_build_threads(std::size_t threads);
 
+  /// Current build-thread setting (0 = one per hardware thread).
+  [[nodiscard]] std::size_t build_threads() const;
+
  private:
   struct Entry {
     PhyCurveKey key;

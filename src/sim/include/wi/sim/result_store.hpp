@@ -12,6 +12,7 @@
 /// missing. Only successful results are cached — failed points are
 /// retried on the next run.
 
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
 #include <mutex>
@@ -37,6 +38,26 @@ struct ResultStoreOptions {
   std::string version = "unversioned";
 };
 
+/// Content key of a (spec, version, seed) triple: 16 hex digits of
+/// FNV-1a64 over the canonical spec JSON chained with the version and
+/// seed. This is THE cache identity of a scenario result — the on-disk
+/// store and the wi_serve in-memory hot tier key by the same value, so
+/// the tiers agree about what "the same request" means.
+[[nodiscard]] std::string result_content_key(const ScenarioSpec& spec,
+                                             const std::string& version,
+                                             std::uint64_t seed = 0);
+
+/// Lifetime counters of one ResultStore instance (all thread-safe):
+/// `hits`/`misses` count load() outcomes, `inserts` counts entries
+/// actually persisted by save(), `corrupt_entries` counts loads that
+/// found an unreadable entry (each also logged once per path).
+struct ResultStoreStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t inserts = 0;
+  std::size_t corrupt_entries = 0;
+};
+
 class ResultStore {
  public:
   /// Creates the directory if needed; throws StatusError
@@ -49,7 +70,12 @@ class ResultStore {
                                 std::uint64_t seed = 0) const;
 
   /// Cached result, or nullopt on miss. Corrupt/mismatching entries
-  /// (hash collision, truncated write survivor) count as misses.
+  /// (hash collision, truncated write survivor) count as misses — and
+  /// an entry that *exists* but cannot be decoded is additionally
+  /// diagnosed: a kParseError Status naming the offending file is
+  /// logged to stderr once per path (and kept, see corruption_log()),
+  /// so operators can find and delete bad store files instead of
+  /// paying a silent recompute forever.
   [[nodiscard]] std::optional<RunResult> load(const ScenarioSpec& spec,
                                               std::uint64_t seed = 0) const;
 
@@ -72,9 +98,20 @@ class ResultStore {
                                     const std::vector<SweepAxis>& axes,
                                     std::size_t threads = 0);
 
-  /// Lifetime cache counters of this store instance.
+  /// Lifetime cache counters of this store instance. Counting happens
+  /// inside load()/save() themselves, so concurrent callers (the
+  /// wi_serve worker pool) get accurate numbers without extra locking.
   [[nodiscard]] std::size_t hits() const { return hits_; }
   [[nodiscard]] std::size_t misses() const { return misses_; }
+  [[nodiscard]] std::size_t inserts() const { return inserts_; }
+
+  /// One consistent snapshot of all counters.
+  [[nodiscard]] ResultStoreStats stats() const;
+
+  /// Corrupt-entry diagnostics collected so far (one Status per
+  /// distinct offending path, kParseError with the path in the
+  /// message). Also written to stderr when first encountered.
+  [[nodiscard]] std::vector<Status> corruption_log() const;
 
   [[nodiscard]] const ResultStoreOptions& options() const {
     return options_;
@@ -85,11 +122,19 @@ class ResultStore {
       const std::string& key) const;
 
  private:
+  /// Count + log (once per path) an entry that exists but cannot be
+  /// decoded.
+  void note_corrupt_entry(const std::filesystem::path& path,
+                          const std::string& detail) const;
+
   ResultStoreOptions options_;
-  std::mutex io_mutex_;    ///< serializes writes from run_all workers
-  std::mutex warn_mutex_;  ///< keeps dropped-entry warnings unsheared
-  std::size_t hits_ = 0;
-  std::size_t misses_ = 0;
+  std::mutex io_mutex_;            ///< serializes writes from run_all workers
+  mutable std::mutex warn_mutex_;  ///< guards the corruption log
+  mutable std::atomic<std::size_t> hits_{0};
+  mutable std::atomic<std::size_t> misses_{0};
+  std::atomic<std::size_t> inserts_{0};
+  mutable std::atomic<std::size_t> corrupt_entries_{0};
+  mutable std::vector<Status> corruption_log_;  ///< one per distinct path
 };
 
 }  // namespace wi::sim

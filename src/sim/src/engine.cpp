@@ -10,7 +10,9 @@
 
 namespace wi::sim {
 
-SimEngine::SimEngine(EngineOptions options) : options_(options) {}
+SimEngine::SimEngine(EngineOptions options) : options_(options) {
+  if (options_.serial_phy_builds) phy_cache_.set_build_threads(1);
+}
 
 std::size_t SimEngine::resolve_threads(std::size_t requested) const {
   std::size_t threads = requested != 0 ? requested : options_.threads;
@@ -68,6 +70,7 @@ std::vector<RunResult> SimEngine::run_all(
   // Scenario-level parallelism is already saturating the machine:
   // curve builds triggered inside workers must stay serial or each
   // cache miss would spawn a nested PhyAbstraction thread pool.
+  const std::size_t build_threads_before = phy_cache_.build_threads();
   phy_cache_.set_build_threads(1);
   // Work stealing via a shared atomic cursor: idle workers pull the
   // next pending scenario, so long scenarios never leave threads idle.
@@ -85,8 +88,9 @@ std::vector<RunResult> SimEngine::run_all(
   for (std::size_t t = 0; t + 1 < workers; ++t) pool.emplace_back(worker);
   worker();
   for (auto& thread : pool) thread.join();
-  // Later single-scenario runs may parallelize curve builds again.
-  phy_cache_.set_build_threads(0);
+  // Restore the caller's setting (a serial_phy_builds engine stays
+  // pinned; otherwise later single-scenario runs parallelize again).
+  phy_cache_.set_build_threads(build_threads_before);
   return results;
 }
 

@@ -71,4 +71,9 @@ void PhyCurveCache::set_build_threads(std::size_t threads) {
   build_threads_ = threads;
 }
 
+std::size_t PhyCurveCache::build_threads() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return build_threads_;
+}
+
 }  // namespace wi::sim

@@ -34,19 +34,26 @@ constexpr const char* kFormat = "wi-result-v1";
   return buffer;
 }
 
-[[nodiscard]] StatusCode status_code_from_name(const std::string& name) {
-  for (const StatusCode code :
-       {StatusCode::kOk, StatusCode::kInvalidSpec,
-        StatusCode::kUnreachableRoute, StatusCode::kUnsupported,
-        StatusCode::kExecutionError, StatusCode::kParseError,
-        StatusCode::kNotFound}) {
-    if (name == status_code_name(code)) return code;
-  }
+[[nodiscard]] StatusCode parse_status_code(const std::string& name) {
+  if (const auto code = status_code_from_name(name)) return *code;
   throw StatusError(Status(StatusCode::kParseError,
                            "unknown status code '" + name + "'"));
 }
 
 }  // namespace
+
+std::string result_content_key(const ScenarioSpec& spec,
+                               const std::string& version,
+                               std::uint64_t seed) {
+  // Chain spec, version and seed through one FNV stream; '\x1f'
+  // separators keep field boundaries unambiguous.
+  std::uint64_t hash = fnv1a64(scenario_to_string(spec));
+  hash = fnv1a64("\x1f", hash);
+  hash = fnv1a64(version, hash);
+  hash = fnv1a64("\x1f", hash);
+  hash = fnv1a64(std::to_string(seed), hash);
+  return to_hex16(hash);
+}
 
 Json run_result_to_json(const RunResult& result) {
   Json json = Json::object();
@@ -66,7 +73,7 @@ RunResult run_result_from_json(const Json& json) {
   RunResult result;
   result.scenario = json.at("scenario").as_string();
   const Json& status = json.at("status");
-  result.status = Status(status_code_from_name(status.at("code").as_string()),
+  result.status = Status(parse_status_code(status.at("code").as_string()),
                          status.at("message").as_string());
   for (const auto& note : json.at("notes").as_array()) {
     result.notes.push_back(note.as_string());
@@ -89,14 +96,7 @@ ResultStore::ResultStore(ResultStoreOptions options)
 
 std::string ResultStore::key(const ScenarioSpec& spec,
                              std::uint64_t seed) const {
-  // Chain spec, version and seed through one FNV stream; '\x1f'
-  // separators keep field boundaries unambiguous.
-  std::uint64_t hash = fnv1a64(scenario_to_string(spec));
-  hash = fnv1a64("\x1f", hash);
-  hash = fnv1a64(options_.version, hash);
-  hash = fnv1a64("\x1f", hash);
-  hash = fnv1a64(std::to_string(seed), hash);
-  return to_hex16(hash);
+  return result_content_key(spec, options_.version, seed);
 }
 
 std::filesystem::path ResultStore::entry_path(const std::string& key) const {
@@ -107,28 +107,78 @@ std::optional<RunResult> ResultStore::load(const ScenarioSpec& spec,
                                            std::uint64_t seed) const {
   const std::filesystem::path path = entry_path(key(spec, seed));
   std::ifstream in(path);
-  if (!in) return std::nullopt;
+  if (!in) {
+    ++misses_;
+    return std::nullopt;
+  }
   std::ostringstream buffer;
   buffer << in.rdbuf();
   try {
     const Json json = Json::parse(buffer.str());
-    if (json.at("format").as_string() != kFormat) return std::nullopt;
+    if (json.at("format").as_string() != kFormat) {
+      ++misses_;
+      return std::nullopt;
+    }
     if (json.at("version").as_string() != options_.version) {
+      ++misses_;
       return std::nullopt;
     }
     // Collision/corruption guard: the stored spec must be *identical*,
     // not merely hash-equal.
     if (json.at("spec").dump() != scenario_to_json(spec).dump()) {
+      ++misses_;
       return std::nullopt;
     }
-    return run_result_from_json(json.at("result"));
-  } catch (const std::exception&) {
+    RunResult result = run_result_from_json(json.at("result"));
+    ++hits_;
+    return result;
+  } catch (const std::exception& e) {
     // A truncated or hand-edited entry is a miss, not a fatal error.
     // Catching std::exception (not just StatusError) matters: a corrupt
     // entry whose table rows are ragged surfaces from Table::add_row as
-    // std::invalid_argument, and that must recompute, not crash.
+    // std::invalid_argument, and that must recompute, not crash. But
+    // the operator still needs to hear about it — once per path, as a
+    // structured Status naming the offending file.
+    note_corrupt_entry(path, e.what());
+    ++misses_;
     return std::nullopt;
   }
+}
+
+void ResultStore::note_corrupt_entry(const std::filesystem::path& path,
+                                     const std::string& detail) const {
+  ++corrupt_entries_;
+  std::string quoted_path = "'";
+  quoted_path += path.string();
+  quoted_path += "'";
+  std::string message = "result store: corrupt entry ";
+  message += quoted_path;
+  message += " treated as a miss (delete or regenerate it): ";
+  message += detail;
+  const Status status(StatusCode::kParseError, std::move(message));
+  std::lock_guard<std::mutex> lock(warn_mutex_);
+  for (const Status& seen : corruption_log_) {
+    // Warn once per path; a hot spec would otherwise spam every load.
+    if (seen.message().find(quoted_path) != std::string::npos) {
+      return;
+    }
+  }
+  corruption_log_.push_back(status);
+  std::cerr << status.to_string() << "\n";
+}
+
+ResultStoreStats ResultStore::stats() const {
+  ResultStoreStats stats;
+  stats.hits = hits_.load();
+  stats.misses = misses_.load();
+  stats.inserts = inserts_.load();
+  stats.corrupt_entries = corrupt_entries_.load();
+  return stats;
+}
+
+std::vector<Status> ResultStore::corruption_log() const {
+  std::lock_guard<std::mutex> lock(warn_mutex_);
+  return corruption_log_;
 }
 
 void ResultStore::save(const ScenarioSpec& spec, const RunResult& result,
@@ -164,6 +214,7 @@ void ResultStore::save(const ScenarioSpec& spec, const RunResult& result,
                              "result store: rename failed for '" +
                                  path.string() + "': " + ec.message()));
   }
+  ++inserts_;
 }
 
 std::vector<RunResult> ResultStore::run_all(
@@ -172,14 +223,13 @@ std::vector<RunResult> ResultStore::run_all(
   std::vector<RunResult> results(specs.size());
   std::vector<std::size_t> miss_indices;
   std::vector<ScenarioSpec> miss_specs;
+  // load() itself counts the hit/miss split.
   for (std::size_t i = 0; i < specs.size(); ++i) {
     if (auto cached = load(specs[i])) {
       results[i] = std::move(*cached);
-      ++hits_;
     } else {
       miss_indices.push_back(i);
       miss_specs.push_back(specs[i]);
-      ++misses_;
     }
   }
   if (miss_specs.empty()) return results;

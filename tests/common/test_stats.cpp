@@ -73,6 +73,94 @@ TEST(RunningStats, ResetClears) {
   EXPECT_DOUBLE_EQ(s.mean(), 0.0);
 }
 
+// Chan's parallel update must be *exact* for count/min/max and
+// invariant (to rounding) under how the sample stream is partitioned —
+// the property the sharded wi_serve metrics rely on when folding
+// per-thread accumulators into one snapshot.
+TEST(RunningStats, MergeIsPartitionInvariant) {
+  Rng rng(16);
+  std::vector<double> samples;
+  for (int i = 0; i < 900; ++i) samples.push_back(rng.gaussian(-2.0, 5.0));
+
+  RunningStats whole;
+  for (const double x : samples) whole.add(x);
+
+  // Three very unequal partitions of the same stream.
+  const std::size_t cuts[][2] = {{1, 899}, {450, 450}, {899, 1}};
+  for (const auto& cut : cuts) {
+    RunningStats a;
+    RunningStats b;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      (i < cut[0] ? a : b).add(samples[i]);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), whole.count());
+    EXPECT_NEAR(a.mean(), whole.mean(), 1e-10);
+    EXPECT_NEAR(a.variance(), whole.variance(), 1e-8);
+    EXPECT_DOUBLE_EQ(a.min(), whole.min());
+    EXPECT_DOUBLE_EQ(a.max(), whole.max());
+  }
+}
+
+TEST(RunningStats, MergeIsAssociative) {
+  Rng rng(17);
+  RunningStats parts[3];
+  for (int p = 0; p < 3; ++p) {
+    for (int i = 0; i < 100 * (p + 1); ++i) {
+      parts[p].add(rng.gaussian(3.0, 0.5));
+    }
+  }
+  // (a + b) + c  vs  a + (b + c)
+  RunningStats left = parts[0];
+  left.merge(parts[1]);
+  left.merge(parts[2]);
+  RunningStats bc = parts[1];
+  bc.merge(parts[2]);
+  RunningStats right = parts[0];
+  right.merge(bc);
+  EXPECT_EQ(left.count(), right.count());
+  EXPECT_NEAR(left.mean(), right.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), right.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(left.min(), right.min());
+  EXPECT_DOUBLE_EQ(left.max(), right.max());
+}
+
+TEST(RunningStats, MergeOfSingleSampleAccumulatorsMatchesAdd) {
+  // Degenerate shards: every sample lives in its own accumulator.
+  const double samples[] = {1.5, -0.25, 8.0, 8.0, 3.5};
+  RunningStats sequential;
+  RunningStats folded;
+  for (const double x : samples) {
+    sequential.add(x);
+    RunningStats single;
+    single.add(x);
+    folded.merge(single);
+  }
+  EXPECT_EQ(folded.count(), sequential.count());
+  EXPECT_NEAR(folded.mean(), sequential.mean(), 1e-12);
+  EXPECT_NEAR(folded.variance(), sequential.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(folded.min(), sequential.min());
+  EXPECT_DOUBLE_EQ(folded.max(), sequential.max());
+}
+
+TEST(RunningStats, ManyShardFoldMatchesSequential) {
+  Rng rng(18);
+  RunningStats whole;
+  RunningStats shards[8];
+  for (int i = 0; i < 4096; ++i) {
+    const double x = rng.gaussian(10.0, 3.0);
+    whole.add(x);
+    shards[i % 8].add(x);
+  }
+  RunningStats folded;
+  for (const RunningStats& shard : shards) folded.merge(shard);
+  EXPECT_EQ(folded.count(), whole.count());
+  EXPECT_NEAR(folded.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(folded.variance(), whole.variance(), 1e-7);
+  EXPECT_DOUBLE_EQ(folded.min(), whole.min());
+  EXPECT_DOUBLE_EQ(folded.max(), whole.max());
+}
+
 TEST(Histogram, RejectsBadConstruction) {
   EXPECT_THROW(Histogram(0.0, 0.0, 10), std::invalid_argument);
   EXPECT_THROW(Histogram(1.0, 0.0, 10), std::invalid_argument);
@@ -107,6 +195,41 @@ TEST(Histogram, MedianOfUniformData) {
   for (int i = 0; i < 100000; ++i) h.add(rng.uniform());
   EXPECT_NEAR(h.quantile(0.5), 0.5, 0.02);
   EXPECT_NEAR(h.quantile(0.9), 0.9, 0.02);
+}
+
+TEST(Histogram, MergeIsExactPerBin) {
+  Histogram a(0.0, 10.0, 10);
+  Histogram b(0.0, 10.0, 10);
+  Histogram whole(0.0, 10.0, 10);
+  Rng rng(19);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.uniform(-1.0, 12.0);  // exercises both tails
+    whole.add(x);
+    (i % 3 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.total(), whole.total());
+  EXPECT_EQ(a.underflow(), whole.underflow());
+  EXPECT_EQ(a.overflow(), whole.overflow());
+  for (std::size_t i = 0; i < whole.bin_count(); ++i) {
+    EXPECT_EQ(a.bin(i), whole.bin(i)) << "bin " << i;
+  }
+}
+
+TEST(Histogram, MergeRejectsIncompatibleBinning) {
+  Histogram base(0.0, 10.0, 10);
+  EXPECT_THROW(base.merge(Histogram(0.0, 10.0, 20)),
+               std::invalid_argument);
+  EXPECT_THROW(base.merge(Histogram(0.0, 5.0, 10)),
+               std::invalid_argument);
+  EXPECT_THROW(base.merge(Histogram(1.0, 10.0, 10)),
+               std::invalid_argument);
+  // A compatible merge afterwards still works (failed merges must not
+  // corrupt state).
+  Histogram same(0.0, 10.0, 10);
+  same.add(5.0);
+  base.merge(same);
+  EXPECT_EQ(base.total(), 1u);
 }
 
 }  // namespace

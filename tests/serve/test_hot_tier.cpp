@@ -1,0 +1,136 @@
+#include "wi/serve/hot_tier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace wi::serve {
+namespace {
+
+[[nodiscard]] HotTier::ResultPtr make_result(const std::string& name,
+                                             Status status = Status::ok()) {
+  auto result = std::make_shared<sim::RunResult>();
+  result->scenario = name;
+  result->status = std::move(status);
+  return result;
+}
+
+TEST(HotTier, LeadThenHit) {
+  HotTier tier;
+  const auto lead = tier.acquire("k1");
+  EXPECT_EQ(lead.tier, HotTier::Tier::kLead);
+  tier.fulfill("k1", make_result("one"));
+  const auto hit = tier.acquire("k1");
+  ASSERT_EQ(hit.tier, HotTier::Tier::kHot);
+  EXPECT_EQ(hit.cached->scenario, "one");
+  EXPECT_EQ(tier.hits(), 1u);
+  EXPECT_EQ(tier.leads(), 1u);
+}
+
+TEST(HotTier, InflightJoinGetsTheLeadersResult) {
+  HotTier tier;
+  ASSERT_EQ(tier.acquire("k").tier, HotTier::Tier::kLead);
+  auto join1 = tier.acquire("k");
+  auto join2 = tier.acquire("k");
+  ASSERT_EQ(join1.tier, HotTier::Tier::kInflight);
+  ASSERT_EQ(join2.tier, HotTier::Tier::kInflight);
+  tier.fulfill("k", make_result("value"));
+  // Both joiners share the one future (get_future is one-shot; the
+  // shared future is created at leadership time).
+  EXPECT_EQ(join1.future.get()->scenario, "value");
+  EXPECT_EQ(join2.future.get()->scenario, "value");
+  EXPECT_EQ(tier.coalesced(), 2u);
+}
+
+TEST(HotTier, LruEvictsTheColdestEntry) {
+  HotTier tier(HotTier::Options{2});
+  for (const char* key : {"a", "b"}) {
+    ASSERT_EQ(tier.acquire(key).tier, HotTier::Tier::kLead);
+    tier.fulfill(key, make_result(key));
+  }
+  // Touch "a" so "b" becomes the LRU victim.
+  ASSERT_EQ(tier.acquire("a").tier, HotTier::Tier::kHot);
+  ASSERT_EQ(tier.acquire("c").tier, HotTier::Tier::kLead);
+  tier.fulfill("c", make_result("c"));
+  EXPECT_EQ(tier.size(), 2u);
+  EXPECT_EQ(tier.evictions(), 1u);
+  EXPECT_NE(tier.peek("a"), nullptr);
+  EXPECT_EQ(tier.peek("b"), nullptr);  // evicted
+  EXPECT_NE(tier.peek("c"), nullptr);
+}
+
+TEST(HotTier, FailuresAreDeliveredButNeverCached) {
+  HotTier tier;
+  ASSERT_EQ(tier.acquire("bad").tier, HotTier::Tier::kLead);
+  auto join = tier.acquire("bad");
+  tier.fulfill("bad",
+               make_result("bad", Status(StatusCode::kExecutionError,
+                                         "boom")));
+  EXPECT_EQ(join.future.get()->status.code(),
+            StatusCode::kExecutionError);
+  // The failure reached the waiter but the next acquire must lead
+  // again (failed results re-run).
+  EXPECT_EQ(tier.peek("bad"), nullptr);
+  EXPECT_EQ(tier.acquire("bad").tier, HotTier::Tier::kLead);
+  tier.fulfill("bad", make_result("bad"));
+}
+
+TEST(HotTier, BackpressureFulfillReleasesWaiters) {
+  HotTier tier;
+  ASSERT_EQ(tier.acquire("k").tier, HotTier::Tier::kLead);
+  auto join = tier.acquire("k");
+  // Leader's enqueue was rejected: it fulfills with kUnavailable.
+  tier.fulfill("k", make_result("k", Status(StatusCode::kUnavailable,
+                                            "queue full")));
+  EXPECT_EQ(join.future.get()->status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(tier.size(), 0u);
+}
+
+TEST(HotTier, SingleFlightUnderConcurrency) {
+  // Many threads race on the same key: exactly one must lead, the rest
+  // must either join the flight or (after fulfill) hit the LRU.
+  constexpr int kThreads = 16;
+  HotTier tier;
+  std::atomic<int> leads{0};
+  std::atomic<int> served{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      auto ticket = tier.acquire("contested");
+      switch (ticket.tier) {
+        case HotTier::Tier::kLead:
+          leads.fetch_add(1);
+          tier.fulfill("contested", make_result("contested"));
+          served.fetch_add(1);
+          break;
+        case HotTier::Tier::kInflight:
+          if (ticket.future.get() != nullptr) served.fetch_add(1);
+          break;
+        case HotTier::Tier::kHot:
+          if (ticket.cached != nullptr) served.fetch_add(1);
+          break;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(leads.load(), 1);
+  EXPECT_EQ(served.load(), kThreads);
+  EXPECT_EQ(tier.insertions(), 1u);
+}
+
+TEST(HotTier, DistinctKeysDoNotCoalesce) {
+  HotTier tier;
+  EXPECT_EQ(tier.acquire("x").tier, HotTier::Tier::kLead);
+  EXPECT_EQ(tier.acquire("y").tier, HotTier::Tier::kLead);
+  tier.fulfill("x", make_result("x"));
+  tier.fulfill("y", make_result("y"));
+  EXPECT_EQ(tier.size(), 2u);
+  EXPECT_EQ(tier.coalesced(), 0u);
+}
+
+}  // namespace
+}  // namespace wi::serve

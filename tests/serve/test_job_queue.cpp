@@ -1,0 +1,147 @@
+#include "wi/serve/job_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <thread>
+#include <vector>
+
+namespace wi::serve {
+namespace {
+
+struct Item {
+  std::uint64_t client = 0;
+  int sequence = 0;
+};
+
+TEST(FairJobQueue, FifoWithinOneClient) {
+  FairJobQueue<Item> queue;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(queue.try_push(1, Item{1, i}));
+  }
+  for (int i = 0; i < 5; ++i) {
+    const auto item = queue.pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(item->sequence, i);
+  }
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(FairJobQueue, RoundRobinAcrossClients) {
+  FairJobQueue<Item> queue;
+  // Client 1 floods; clients 2 and 3 each queue one job.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(queue.try_push(1, Item{1, i}));
+  }
+  ASSERT_TRUE(queue.try_push(2, Item{2, 0}));
+  ASSERT_TRUE(queue.try_push(3, Item{3, 0}));
+  // A full rotation serves every client once before client 1 again.
+  std::vector<std::uint64_t> order;
+  for (int i = 0; i < 6; ++i) {
+    const auto item = queue.pop();
+    ASSERT_TRUE(item.has_value());
+    order.push_back(item->client);
+  }
+  // First three pops: one from each client (rotation), not three from
+  // the flooder.
+  std::map<std::uint64_t, int> first_three;
+  for (int i = 0; i < 3; ++i) ++first_three[order[i]];
+  EXPECT_EQ(first_three.size(), 3u) << "a client was starved";
+  // All of client 1's jobs still arrive in FIFO order overall.
+  std::vector<std::uint64_t> expected_clients = {1, 1, 1, 1, 2, 3};
+  std::sort(order.begin(), order.end());
+  std::sort(expected_clients.begin(), expected_clients.end());
+  EXPECT_EQ(order, expected_clients);
+}
+
+TEST(FairJobQueue, CapacityRejectsWithoutBlocking) {
+  FairJobQueue<Item>::Options options;
+  options.capacity = 3;
+  FairJobQueue<Item> queue(options);
+  EXPECT_TRUE(queue.try_push(1, Item{}));
+  EXPECT_TRUE(queue.try_push(2, Item{}));
+  EXPECT_TRUE(queue.try_push(3, Item{}));
+  EXPECT_FALSE(queue.try_push(4, Item{}));  // full: immediate false
+  (void)queue.pop();
+  EXPECT_TRUE(queue.try_push(4, Item{}));   // slot freed
+  EXPECT_EQ(queue.peak_depth(), 3u);
+}
+
+TEST(FairJobQueue, PerClientQuotaStopsAQueueHog) {
+  FairJobQueue<Item>::Options options;
+  options.capacity = 8;
+  options.per_client_quota = 2;
+  FairJobQueue<Item> queue(options);
+  EXPECT_TRUE(queue.try_push(1, Item{}));
+  EXPECT_TRUE(queue.try_push(1, Item{}));
+  EXPECT_FALSE(queue.try_push(1, Item{}));  // at quota, queue not full
+  EXPECT_TRUE(queue.try_push(2, Item{}));   // other clients unaffected
+  EXPECT_EQ(queue.size(), 3u);
+}
+
+TEST(FairJobQueue, CloseStopsAdmissionButDrains) {
+  FairJobQueue<Item> queue;
+  ASSERT_TRUE(queue.try_push(1, Item{1, 0}));
+  ASSERT_TRUE(queue.try_push(1, Item{1, 1}));
+  queue.close();
+  EXPECT_FALSE(queue.try_push(1, Item{1, 2}));
+  EXPECT_TRUE(queue.pop().has_value());
+  EXPECT_TRUE(queue.pop().has_value());
+  EXPECT_FALSE(queue.pop().has_value());  // closed + drained
+}
+
+TEST(FairJobQueue, CloseWakesBlockedConsumers) {
+  FairJobQueue<Item> queue;
+  std::atomic<int> finished{0};
+  std::vector<std::thread> consumers;
+  for (int i = 0; i < 4; ++i) {
+    consumers.emplace_back([&] {
+      while (queue.pop().has_value()) {
+      }
+      finished.fetch_add(1);
+    });
+  }
+  queue.close();
+  for (std::thread& consumer : consumers) consumer.join();
+  EXPECT_EQ(finished.load(), 4);
+}
+
+TEST(FairJobQueue, ConcurrentStressDeliversEverythingOnce) {
+  FairJobQueue<Item>::Options options;
+  options.capacity = 64;
+  FairJobQueue<Item> queue(options);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  std::atomic<int> delivered{0};
+  std::atomic<int> rejected{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        if (!queue.try_push(static_cast<std::uint64_t>(p),
+                            Item{static_cast<std::uint64_t>(p), i})) {
+          rejected.fetch_add(1);
+          std::this_thread::yield();
+          --i;  // retry until admitted: the test wants full delivery
+        }
+      }
+    });
+  }
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&] {
+      while (queue.pop().has_value()) delivered.fetch_add(1);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  queue.close();
+  for (std::thread& thread : consumers) thread.join();
+  EXPECT_EQ(delivered.load(), kProducers * kPerProducer);
+  EXPECT_LE(queue.peak_depth(), 64u);
+}
+
+}  // namespace
+}  // namespace wi::serve

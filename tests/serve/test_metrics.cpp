@@ -1,0 +1,135 @@
+#include "wi/serve/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "wi/common/status.hpp"
+
+namespace wi::serve {
+namespace {
+
+TEST(ServerMetrics, CountersAccumulate) {
+  ServerMetrics metrics;
+  metrics.count(Counter::kRequests);
+  metrics.count(Counter::kRequests);
+  metrics.count(Counter::kHotHits, 5);
+  const MetricsSnapshot snapshot = metrics.snapshot();
+  EXPECT_EQ(snapshot.counter(Counter::kRequests), 2u);
+  EXPECT_EQ(snapshot.counter(Counter::kHotHits), 5u);
+  EXPECT_EQ(snapshot.counter(Counter::kColdHits), 0u);
+}
+
+TEST(ServerMetrics, ShardMergeMatchesTotals) {
+  // Hammer the recorder from many threads (threads hash onto different
+  // shards); the snapshot must fold everything exactly.
+  ServerMetrics metrics;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        metrics.count(Counter::kRequests);
+        metrics.observe_request(10.0, 20.0, 100.0, true);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const MetricsSnapshot snapshot = metrics.snapshot();
+  constexpr std::uint64_t kTotal =
+      static_cast<std::uint64_t>(kThreads) * kPerThread;
+  EXPECT_EQ(snapshot.counter(Counter::kRequests), kTotal);
+  EXPECT_EQ(snapshot.queue_wait_us.count(), kTotal);
+  EXPECT_EQ(snapshot.run_us.count(), kTotal);
+  EXPECT_EQ(snapshot.total_us.count(), kTotal);
+  EXPECT_DOUBLE_EQ(snapshot.queue_wait_us.mean(), 10.0);
+  EXPECT_DOUBLE_EQ(snapshot.run_us.mean(), 20.0);
+  EXPECT_DOUBLE_EQ(snapshot.total_us.mean(), 100.0);
+  EXPECT_EQ(snapshot.latency.total(), kTotal);
+}
+
+TEST(ServerMetrics, LatencyPercentilesOnTheLogGrid) {
+  ServerMetrics metrics;
+  // 100 requests at ~1ms, one at ~1s: p50 near 1e3 us, p99 well above.
+  for (int i = 0; i < 100; ++i) {
+    metrics.observe_request(0.0, 0.0, 1000.0, false);
+  }
+  metrics.observe_request(0.0, 0.0, 1e6, false);
+  const MetricsSnapshot snapshot = metrics.snapshot();
+  const double p50 = snapshot.latency_percentile_us(0.50);
+  const double p999 = snapshot.latency_percentile_us(0.999);
+  EXPECT_GT(p50, 500.0);
+  EXPECT_LT(p50, 2000.0);
+  EXPECT_GT(p999, 1e5);
+}
+
+TEST(ServerMetrics, SubMicrosecondLatenciesClampToTheGrid) {
+  Histogram histogram = ServerMetrics::make_latency_histogram();
+  ServerMetrics::add_latency(histogram, 0.0);
+  ServerMetrics::add_latency(histogram, 0.5);
+  EXPECT_EQ(histogram.underflow(), 0u);
+  EXPECT_EQ(histogram.total(), 2u);
+  EXPECT_EQ(ServerMetrics::latency_quantile_us(
+                ServerMetrics::make_latency_histogram(), 0.5),
+            0.0);  // empty histogram reports 0
+}
+
+TEST(MetricsTable, SchemaAndDerivedRates) {
+  ServerMetrics metrics;
+  metrics.count(Counter::kRunScenario, 10);
+  metrics.count(Counter::kHotHits, 4);
+  metrics.count(Counter::kInflightJoins, 1);
+  metrics.count(Counter::kColdHits, 2);
+  metrics.count(Counter::kBackpressure, 2);
+  MetricsGauges gauges;
+  gauges.queue_depth = 3;
+  gauges.hot_size = 7;
+  gauges.workers = 2;
+  gauges.has_store = true;
+  gauges.store_hits = 11;
+  const Table table = metrics_to_table(metrics.snapshot(), gauges);
+  ASSERT_EQ(table.headers(),
+            (std::vector<std::string>{"metric", "value"}));
+  // Completed = 10 run requests - 2 backpressure rejects = 8.
+  EXPECT_DOUBLE_EQ(metrics_table_value(table, "hit_rate_hot"), 0.5);
+  EXPECT_DOUBLE_EQ(metrics_table_value(table, "hit_rate_inflight"),
+                   0.125);
+  EXPECT_DOUBLE_EQ(metrics_table_value(table, "hit_rate_cold"), 0.25);
+  EXPECT_DOUBLE_EQ(metrics_table_value(table, "hit_rate"), 0.875);
+  EXPECT_DOUBLE_EQ(metrics_table_value(table, "queue_depth"), 3.0);
+  EXPECT_DOUBLE_EQ(metrics_table_value(table, "hot_tier_size"), 7.0);
+  EXPECT_DOUBLE_EQ(metrics_table_value(table, "workers"), 2.0);
+  EXPECT_DOUBLE_EQ(metrics_table_value(table, "store_enabled"), 1.0);
+  EXPECT_DOUBLE_EQ(metrics_table_value(table, "store_hits"), 11.0);
+  // Every counter has a row under its canonical name.
+  for (std::size_t c = 0;
+       c < static_cast<std::size_t>(Counter::kCount); ++c) {
+    EXPECT_NO_THROW((void)metrics_table_value(
+        table, counter_name(static_cast<Counter>(c))));
+  }
+}
+
+TEST(MetricsTable, ZeroRequestsMeansZeroRates) {
+  ServerMetrics metrics;
+  const Table table =
+      metrics_to_table(metrics.snapshot(), MetricsGauges{});
+  EXPECT_DOUBLE_EQ(metrics_table_value(table, "hit_rate"), 0.0);
+  EXPECT_DOUBLE_EQ(metrics_table_value(table, "latency_us_p50"), 0.0);
+}
+
+TEST(MetricsTable, MissingMetricThrowsNotFound) {
+  ServerMetrics metrics;
+  const Table table =
+      metrics_to_table(metrics.snapshot(), MetricsGauges{});
+  try {
+    (void)metrics_table_value(table, "no_such_metric");
+    FAIL() << "expected StatusError";
+  } catch (const StatusError& error) {
+    EXPECT_EQ(error.status().code(), StatusCode::kNotFound);
+  }
+}
+
+}  // namespace
+}  // namespace wi::serve

@@ -1,0 +1,205 @@
+#include "wi/serve/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "wi/sim/registry.hpp"
+
+namespace wi::serve {
+namespace {
+
+using sim::CampaignSpec;
+using sim::ScenarioSpec;
+
+[[nodiscard]] Status parse_failure(const std::string& line) {
+  try {
+    (void)request_from_line(line);
+  } catch (const StatusError& error) {
+    return error.status();
+  }
+  return Status::ok();
+}
+
+TEST(Protocol, RequestRoundTripEveryType) {
+  std::vector<Request> requests;
+  {
+    Request request;
+    request.type = RequestType::kRunScenario;
+    request.id = "r1";
+    request.scenario = "table1_link_budget";
+    requests.push_back(request);
+  }
+  {
+    Request request;
+    request.type = RequestType::kRunScenario;
+    request.id = "r2";
+    request.spec = sim::ScenarioRegistry::paper().get("fig04_tx_power");
+    request.seed = 7;
+    requests.push_back(request);
+  }
+  {
+    Request request;
+    request.type = RequestType::kRunCampaign;
+    request.id = "r3";
+    request.scenario = "table1_link_budget";
+    request.seeds = 4;
+    request.base_seed = 99;
+    requests.push_back(request);
+  }
+  {
+    Request request;
+    request.type = RequestType::kRunCampaign;
+    request.id = "r4";
+    CampaignSpec campaign;
+    campaign.name = "inline_campaign";
+    campaign.seeds = 3;
+    campaign.base_seed = 5;
+    campaign.scenario =
+        sim::ScenarioRegistry::paper().get("table1_link_budget");
+    request.campaign = campaign;
+    requests.push_back(request);
+  }
+  for (const RequestType type :
+       {RequestType::kStats, RequestType::kHealth,
+        RequestType::kShutdown}) {
+    Request request;
+    request.type = type;
+    request.id = "aux";
+    requests.push_back(request);
+  }
+
+  for (const Request& original : requests) {
+    const std::string line = request_to_line(original);
+    const Request parsed = request_from_line(line);
+    EXPECT_EQ(parsed.type, original.type);
+    EXPECT_EQ(parsed.id, original.id);
+    EXPECT_EQ(parsed.scenario, original.scenario);
+    EXPECT_EQ(parsed.spec.has_value(), original.spec.has_value());
+    EXPECT_EQ(parsed.campaign.has_value(),
+              original.campaign.has_value());
+    EXPECT_EQ(parsed.seed, original.seed);
+    // The canonical line must be a fixed point of the codec.
+    EXPECT_EQ(request_to_line(parsed), line);
+  }
+}
+
+TEST(Protocol, ResponseRoundTripWithResult) {
+  Response response;
+  response.id = "resp-1";
+  response.type = RequestType::kRunScenario;
+  response.status = Status::ok();
+  response.tier = "run";
+  response.queue_us = 120.5;
+  response.run_us = 4096.25;
+  sim::RunResult result;
+  result.scenario = "table1_link_budget";
+  result.table = Table({"metric", "value"});
+  result.table.add_row({"snr_db", "15.2"});
+  result.notes.push_back("note one");
+  response.result = result;
+
+  const std::string line = response_to_line(response);
+  const Response parsed = response_from_line(line);
+  EXPECT_EQ(parsed.id, response.id);
+  EXPECT_EQ(parsed.type, response.type);
+  EXPECT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.tier, "run");
+  EXPECT_DOUBLE_EQ(parsed.queue_us, 120.5);
+  EXPECT_DOUBLE_EQ(parsed.run_us, 4096.25);
+  ASSERT_TRUE(parsed.result.has_value());
+  EXPECT_EQ(parsed.result->table, result.table);
+  EXPECT_EQ(parsed.result->notes, result.notes);
+  EXPECT_EQ(response_to_line(parsed), line);
+}
+
+TEST(Protocol, ResponseRoundTripFailureStatus) {
+  Response response;
+  response.id = "resp-2";
+  response.type = RequestType::kRunScenario;
+  response.status =
+      Status(StatusCode::kUnavailable, "queue is full — retry");
+  const Response parsed =
+      response_from_line(response_to_line(response));
+  EXPECT_EQ(parsed.status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(parsed.status.message(), "queue is full — retry");
+  EXPECT_FALSE(parsed.result.has_value());
+}
+
+TEST(Protocol, MalformedFramesAreParseErrors) {
+  const char* kBad[] = {
+      "",                                     // not JSON
+      "not json at all",
+      "[1,2,3]",                              // not an object
+      "{}",                                   // no type
+      "{\"type\":\"no_such_type\"}",
+      "{\"type\":\"run_scenario\"}",          // neither name nor spec
+      "{\"type\":\"run_scenario\",\"scenario\":\"a\",\"spec\":{}}",
+      "{\"type\":\"run_scenario\",\"scenario\":\"a\",\"bogus\":1}",
+      "{\"type\":\"health\",\"scenario\":\"a\"}",
+      "{\"type\":\"health\",\"seed\":1}",
+      "{\"type\":\"run_campaign\"}",
+      "{\"type\":\"run_campaign\",\"scenario\":\"a\",\"seeds\":0}",
+      "{\"type\":\"run_scenario\",\"scenario\":\"a\",\"seeds\":2}",
+      "{\"type\":\"run_scenario\",\"scenario\":\"a\",\"seed\":-3}",
+      "{\"type\":\"run_scenario\",\"scenario\":\"a\",\"seed\":1.5}",
+  };
+  for (const char* line : kBad) {
+    const Status status = parse_failure(line);
+    EXPECT_EQ(status.code(), StatusCode::kParseError)
+        << "frame: " << line << " -> " << status.to_string();
+  }
+}
+
+TEST(Protocol, InlineCampaignConflictsWithSeedKeys) {
+  Request request;
+  request.type = RequestType::kRunCampaign;
+  CampaignSpec campaign;
+  campaign.scenario =
+      sim::ScenarioRegistry::paper().get("table1_link_budget");
+  request.campaign = campaign;
+  std::string line = request_to_line(request);
+  // Patch the seeds key in next to the inline campaign.
+  line.insert(line.size() - 1, ",\"seeds\":4");
+  EXPECT_EQ(parse_failure(line).code(), StatusCode::kParseError);
+}
+
+TEST(Protocol, UnknownSpecKeysAreRejected) {
+  // The inline spec path must inherit the scenario codec's strictness:
+  // an unknown key inside 'spec' fails the whole request.
+  const std::string line =
+      "{\"type\":\"run_scenario\",\"spec\":{\"name\":\"x\","
+      "\"definitely_not_a_field\":1}}";
+  EXPECT_EQ(parse_failure(line).code(), StatusCode::kParseError);
+}
+
+TEST(Protocol, MalformedResponsesThrow) {
+  const char* kBad[] = {
+      "nope",
+      "{}",                              // no status
+      "{\"status\":{\"code\":\"whatever\",\"message\":\"\"}}",
+      "{\"status\":{\"code\":\"ok\",\"message\":\"\"},\"extra\":1}",
+  };
+  for (const char* line : kBad) {
+    EXPECT_THROW((void)response_from_line(line), StatusError)
+        << "frame: " << line;
+  }
+}
+
+TEST(Protocol, StatusCodesSurviveTheWire) {
+  for (const StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidSpec,
+        StatusCode::kUnreachableRoute, StatusCode::kUnsupported,
+        StatusCode::kExecutionError, StatusCode::kParseError,
+        StatusCode::kNotFound, StatusCode::kUnavailable}) {
+    Response response;
+    response.status = Status(code, "detail");
+    const Response parsed =
+        response_from_line(response_to_line(response));
+    EXPECT_EQ(parsed.status.code(), code);
+  }
+}
+
+}  // namespace
+}  // namespace wi::serve

@@ -57,19 +57,29 @@ TEST_F(ResultStoreTest, MissThenHit) {
   ResultStore store = make_store();
   SimEngine engine;
   const ScenarioSpec spec = cheap_spec();
+  // Counting happens at load()/save() level, so this probe is a miss.
   EXPECT_FALSE(store.load(spec).has_value());
+  EXPECT_EQ(store.misses(), 1u);
 
   const auto first = store.run_all(engine, {spec});
   ASSERT_EQ(first.size(), 1u);
   ASSERT_TRUE(first[0].ok());
   EXPECT_EQ(store.hits(), 0u);
-  EXPECT_EQ(store.misses(), 1u);
+  EXPECT_EQ(store.misses(), 2u);
+  EXPECT_EQ(store.inserts(), 1u);
 
   const auto second = store.run_all(engine, {spec});
   EXPECT_EQ(store.hits(), 1u);
-  EXPECT_EQ(store.misses(), 1u);
+  EXPECT_EQ(store.misses(), 2u);
+  EXPECT_EQ(store.inserts(), 1u);
   EXPECT_EQ(second[0].table, first[0].table);
   EXPECT_EQ(second[0].notes, first[0].notes);
+
+  const ResultStoreStats stats = store.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.inserts, 1u);
+  EXPECT_EQ(stats.corrupt_entries, 0u);
 }
 
 TEST_F(ResultStoreTest, KeyDependsOnSpecSeedAndVersion) {
@@ -187,6 +197,68 @@ TEST_F(ResultStoreTest, CorruptEntryIsAMiss) {
   // And the next cached run repairs the entry.
   (void)store.run_all(engine, {spec});
   EXPECT_TRUE(store.load(spec).has_value());
+}
+
+TEST_F(ResultStoreTest, CorruptEntryIsDiagnosedOncePerPath) {
+  ResultStore store = make_store();
+  SimEngine engine;
+  const ScenarioSpec spec = cheap_spec();
+  (void)store.run_all(engine, {spec});
+  const auto path = store.entry_path(store.key(spec));
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "{ truncated garbage";
+  }
+  ::testing::internal::CaptureStderr();
+  EXPECT_FALSE(store.load(spec).has_value());
+  EXPECT_FALSE(store.load(spec).has_value());
+  EXPECT_FALSE(store.load(spec).has_value());
+  const std::string log = ::testing::internal::GetCapturedStderr();
+
+  // The miss surfaces, and the diagnostic names the offending file —
+  // once, not per load.
+  EXPECT_EQ(store.stats().corrupt_entries, 3u);
+  const auto warnings = store.corruption_log();
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_EQ(warnings[0].code(), StatusCode::kParseError);
+  EXPECT_NE(warnings[0].message().find(path.string()), std::string::npos);
+  EXPECT_NE(log.find(path.string()), std::string::npos);
+  EXPECT_EQ(log.find(path.string()),
+            log.rfind(path.string()));  // exactly one stderr line
+
+  // An unreadable-but-absent entry is NOT a corruption: plain misses
+  // never pollute the log.
+  ScenarioSpec other = cheap_spec();
+  other.link.ptx_dbm += 3.0;
+  EXPECT_FALSE(store.load(other).has_value());
+  EXPECT_EQ(store.corruption_log().size(), 1u);
+}
+
+TEST_F(ResultStoreTest, CountersTrackResumePaths) {
+  // Mirrors the sweep-resume scenario at counter level: 2 pre-seeded
+  // entries + 2 fresh points = 2 hits, 2 misses, 2 inserts on resume.
+  const ScenarioSpec base = cheap_spec();
+  const SweepAxis axis{"ptx",
+                       {0, 5, 10, 15},
+                       [](ScenarioSpec& spec, double value) {
+                         spec.link.ptx_dbm = value;
+                       }};
+  {
+    ResultStore store = make_store();
+    SimEngine engine;
+    const auto grid = expand_grid(base, {axis});
+    store.save(grid[1], engine.run(grid[1]));
+    store.save(grid[3], engine.run(grid[3]));
+    EXPECT_EQ(store.inserts(), 2u);
+  }
+  ResultStore store = make_store();
+  SimEngine engine;
+  const RunResult merged = store.run_sweep(engine, base, {axis});
+  EXPECT_TRUE(merged.ok());
+  const ResultStoreStats stats = store.stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.inserts, 2u);
 }
 
 TEST_F(ResultStoreTest, SweepResumesPerRowAfterInterruption) {
