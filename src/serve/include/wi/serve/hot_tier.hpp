@@ -42,10 +42,29 @@ class HotTier {
     kLead,      ///< this caller must compute and fulfill (or abandon)
   };
 
+  /// Move-only: a kLead ticket carries an RAII abandonment guard — if
+  /// the leader unwinds (or simply drops the ticket) without calling
+  /// fulfill(), the destructor resolves the flight with an error
+  /// result, so coalesced waiters never hang and the key is released
+  /// for the next leader. After fulfill() the guard is a no-op (it
+  /// only fires while its own flight is still registered).
   struct Ticket {
+    Ticket() = default;
+    Ticket(Ticket&& other) noexcept;
+    Ticket& operator=(Ticket&& other) noexcept;
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+    ~Ticket();
+
     Tier tier = Tier::kLead;
     ResultPtr cached;                       ///< set for kHot
     std::shared_future<ResultPtr> future;   ///< set for kInflight
+
+   private:
+    friend class HotTier;
+    HotTier* owner_ = nullptr;  ///< armed for kLead tickets
+    std::string key_;
+    std::shared_ptr<std::promise<ResultPtr>> flight_;
   };
 
   struct Options {
@@ -77,6 +96,8 @@ class HotTier {
   [[nodiscard]] std::size_t leads() const;
   [[nodiscard]] std::size_t insertions() const;
   [[nodiscard]] std::size_t evictions() const;
+  /// Lead tickets destroyed without fulfill() (guard firings).
+  [[nodiscard]] std::size_t abandoned() const;
   [[nodiscard]] std::size_t size() const;
 
   [[nodiscard]] const Options& options() const { return options_; }
@@ -89,6 +110,12 @@ class HotTier {
   using LruList = std::list<Entry>;
 
   void insert_locked(const std::string& key, ResultPtr result);
+
+  /// Ticket-destructor path: resolve the flight with an error result
+  /// iff `flight` is still the registered build for `key` (a fulfilled
+  /// or superseded flight is left alone).
+  void abandon(const std::string& key,
+               const std::shared_ptr<std::promise<ResultPtr>>& flight);
 
   Options options_;
   mutable std::mutex mutex_;
@@ -106,6 +133,7 @@ class HotTier {
   std::size_t leads_ = 0;
   std::size_t insertions_ = 0;
   std::size_t evictions_ = 0;
+  std::size_t abandoned_ = 0;
 };
 
 }  // namespace wi::serve

@@ -64,13 +64,27 @@ class FairJobQueue {
     cv_.wait(lock, [&] { return size_ > 0 || closed_; });
     if (size_ == 0) return std::nullopt;
     // Rotate over client lanes starting after the last-served one.
+    // Lanes only exist while they hold jobs, so the first probe hits.
     for (std::size_t step = 0; step < lanes_.size(); ++step) {
-      Lane& lane = lanes_[(cursor_ + 1 + step) % lanes_.size()];
+      const std::size_t index = (cursor_ + 1 + step) % lanes_.size();
+      Lane& lane = lanes_[index];
       if (lane.jobs.empty()) continue;
-      cursor_ = (cursor_ + 1 + step) % lanes_.size();
       T item = std::move(lane.jobs.front());
       lane.jobs.pop_front();
       --size_;
+      if (lane.jobs.empty()) {
+        // Reclaim the drained lane so lanes_ stays bounded by the
+        // queue depth, never by the number of clients ever seen; keep
+        // the cursor pointing just before the next lane in rotation
+        // order.
+        lanes_.erase(lanes_.begin() +
+                     static_cast<std::ptrdiff_t>(index));
+        cursor_ = lanes_.empty()  ? 0
+                  : index == 0    ? lanes_.size() - 1
+                                  : index - 1;
+      } else {
+        cursor_ = index;
+      }
       return item;
     }
     return std::nullopt;  // unreachable: size_ > 0 implies a lane
@@ -103,6 +117,13 @@ class FairJobQueue {
     return peak_depth_;
   }
 
+  /// Live lane count: clients with at least one queued job. Drained
+  /// lanes are reclaimed, so this is bounded by size().
+  [[nodiscard]] std::size_t lane_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lanes_.size();
+  }
+
   [[nodiscard]] const Options& options() const { return options_; }
 
  private:
@@ -111,9 +132,9 @@ class FairJobQueue {
     std::deque<T> jobs;
   };
 
-  /// Lane of a client id (created on first use). Linear scan: the lane
-  /// count is the number of *distinct clients ever seen*, small for
-  /// any realistic connection pattern.
+  /// Lane of a client id (created on first use, reclaimed by pop()
+  /// when drained). Linear scan: the lane count is the number of
+  /// clients with work *currently queued*, bounded by capacity.
   [[nodiscard]] Lane& lane_for(std::uint64_t client) {
     for (Lane& lane : lanes_) {
       if (lane.client == client) return lane;

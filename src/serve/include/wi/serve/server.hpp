@@ -114,14 +114,16 @@ class Server {
   void accept_loop();
   void worker_loop();
   void connection_loop(Connection& connection);
+  // client_key is the connection's fair-admission identity (peer
+  // address, not connection serial — see accept_loop).
   [[nodiscard]] Response handle_request(const Request& request,
-                                        std::uint64_t client_id);
+                                        std::uint64_t client_key);
   [[nodiscard]] Response run_scenario(const Request& request,
-                                      std::uint64_t client_id);
+                                      std::uint64_t client_key);
   [[nodiscard]] Response run_campaign(const Request& request,
-                                      std::uint64_t client_id);
+                                      std::uint64_t client_key);
   [[nodiscard]] Response execute_keyed(
-      const std::string& key, std::uint64_t client_id, Job job,
+      const std::string& key, std::uint64_t client_key, Job job,
       Response response);
 
   /// Close admission, drain the queue, join workers. Safe from any

@@ -8,6 +8,34 @@ HotTier::HotTier(Options options) : options_(options) {
   if (options_.capacity == 0) options_.capacity = 1;
 }
 
+HotTier::Ticket::Ticket(Ticket&& other) noexcept
+    : tier(other.tier),
+      cached(std::move(other.cached)),
+      future(std::move(other.future)),
+      owner_(other.owner_),
+      key_(std::move(other.key_)),
+      flight_(std::move(other.flight_)) {
+  other.owner_ = nullptr;
+}
+
+HotTier::Ticket& HotTier::Ticket::operator=(Ticket&& other) noexcept {
+  if (this != &other) {
+    if (owner_ != nullptr) owner_->abandon(key_, flight_);
+    tier = other.tier;
+    cached = std::move(other.cached);
+    future = std::move(other.future);
+    owner_ = other.owner_;
+    key_ = std::move(other.key_);
+    flight_ = std::move(other.flight_);
+    other.owner_ = nullptr;
+  }
+  return *this;
+}
+
+HotTier::Ticket::~Ticket() {
+  if (owner_ != nullptr) owner_->abandon(key_, flight_);
+}
+
 HotTier::Ticket HotTier::acquire(const std::string& key) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (const auto it = index_.find(key); it != index_.end()) {
@@ -30,9 +58,12 @@ HotTier::Ticket HotTier::acquire(const std::string& key) {
   Flight flight;
   flight.promise = std::make_shared<std::promise<ResultPtr>>();
   flight.future = flight.promise->get_future().share();
-  inflight_.emplace(key, std::move(flight));
   Ticket ticket;
   ticket.tier = Tier::kLead;
+  ticket.owner_ = this;
+  ticket.key_ = key;
+  ticket.flight_ = flight.promise;
+  inflight_.emplace(key, std::move(flight));
   return ticket;
 }
 
@@ -51,6 +82,37 @@ void HotTier::fulfill(const std::string& key, ResultPtr result) {
   }
   // Resolve outside the lock: waiters wake straight into a free mutex.
   if (promise != nullptr) promise->set_value(std::move(result));
+}
+
+void HotTier::abandon(
+    const std::string& key,
+    const std::shared_ptr<std::promise<ResultPtr>>& flight) {
+  std::shared_ptr<std::promise<ResultPtr>> promise;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = inflight_.find(key);
+    if (it == inflight_.end() || it->second.promise != flight) {
+      return;  // fulfilled (or a newer flight took the key): no-op
+    }
+    promise = std::move(it->second.promise);
+    inflight_.erase(it);
+    ++abandoned_;
+  }
+  // Runs from a (noexcept) Ticket destructor: building the error
+  // result must not throw out. Waiters map a nullptr result to an
+  // explicit "abandoned — retry" response.
+  ResultPtr result;
+  try {
+    auto error = std::make_shared<sim::RunResult>();
+    error->status =
+        Status(StatusCode::kExecutionError,
+               "in-flight build abandoned by its leader (key " + key +
+                   ") — retry");
+    result = std::move(error);
+  } catch (...) {
+    result = nullptr;
+  }
+  promise->set_value(std::move(result));
 }
 
 void HotTier::insert_locked(const std::string& key, ResultPtr result) {
@@ -98,6 +160,11 @@ std::size_t HotTier::insertions() const {
 std::size_t HotTier::evictions() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return evictions_;
+}
+
+std::size_t HotTier::abandoned() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return abandoned_;
 }
 
 std::size_t HotTier::size() const {

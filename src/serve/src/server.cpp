@@ -1,5 +1,6 @@
 #include "wi/serve/server.hpp"
 
+#include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -79,7 +80,8 @@ struct Server::QueueHolder {
 
 struct Server::Connection {
   Socket socket;
-  std::uint64_t client_id = 0;
+  std::uint64_t client_id = 0;  ///< connection serial, for log lines
+  std::uint64_t fair_key = 0;   ///< peer address, for queue admission
   std::thread thread;
   std::atomic<bool> done{false};
 };
@@ -227,6 +229,12 @@ void Server::accept_loop() {
     auto connection = std::make_unique<Connection>();
     connection->socket = Socket(fd);
     connection->client_id = next_client_id_.fetch_add(1);
+    // Fair admission is keyed by peer address, not connection serial:
+    // a client that opens a connection per request (as Client/call_once
+    // does) keeps one lane and cannot evade its quota by reconnecting.
+    connection->fair_key =
+        (static_cast<std::uint64_t>(address.sin_family) << 32) |
+        static_cast<std::uint64_t>(ntohl(address.sin_addr.s_addr));
     Connection& ref = *connection;
     {
       std::lock_guard<std::mutex> lock(connections_mutex_);
@@ -279,12 +287,17 @@ void Server::connection_loop(Connection& connection) {
     } else {
       try {
         const Request request = request_from_line(line);
-        response = handle_request(request, connection.client_id);
+        response = handle_request(request, connection.fair_key);
         shutdown_handled =
             request.type == RequestType::kShutdown && response.ok();
       } catch (const StatusError& error) {
         metrics_.count(Counter::kParseErrors);
         response.status = error.status();
+      } catch (const std::exception& error) {
+        // A handler exception must never unwind a connection thread
+        // (std::terminate); answer it like any other failed request.
+        response.status =
+            Status(StatusCode::kExecutionError, error.what());
       }
     }
     if (response.result.has_value()) {
@@ -309,16 +322,21 @@ void Server::connection_loop(Connection& connection) {
     // return and stop() tear connections down.
     if (shutdown_handled) signal_shutdown();
   }
+  // Reap peers that finished before us, so a daemon that serves a
+  // burst and then sits idle does not retain every past Connection
+  // until the next accept. Our own entry (done is still false here) is
+  // reaped by a later connection, the accept loop, or stop().
+  reap_finished_connections();
   connection.done.store(true);
 }
 
 Response Server::handle_request(const Request& request,
-                                std::uint64_t client_id) {
+                                std::uint64_t client_key) {
   switch (request.type) {
     case RequestType::kRunScenario:
-      return run_scenario(request, client_id);
+      return run_scenario(request, client_key);
     case RequestType::kRunCampaign:
-      return run_campaign(request, client_id);
+      return run_campaign(request, client_key);
     case RequestType::kStats: {
       metrics_.count(Counter::kStats);
       Response response;
@@ -358,7 +376,7 @@ Response Server::handle_request(const Request& request,
 }
 
 Response Server::run_scenario(const Request& request,
-                              std::uint64_t client_id) {
+                              std::uint64_t client_key) {
   metrics_.count(Counter::kRunScenario);
   Response response;
   response.id = request.id;
@@ -391,12 +409,12 @@ Response Server::run_scenario(const Request& request,
   job.key = key;
   job.spec = std::move(spec);
   job.seed = request.seed;
-  return execute_keyed(key, client_id, std::move(job),
+  return execute_keyed(key, client_key, std::move(job),
                        std::move(response));
 }
 
 Response Server::run_campaign(const Request& request,
-                              std::uint64_t client_id) {
+                              std::uint64_t client_key) {
   metrics_.count(Counter::kRunCampaign);
   Response response;
   response.id = request.id;
@@ -432,12 +450,12 @@ Response Server::run_campaign(const Request& request,
   job.kind = Job::Kind::kCampaign;
   job.key = key;
   job.campaign = std::move(campaign);
-  return execute_keyed(key, client_id, std::move(job),
+  return execute_keyed(key, client_key, std::move(job),
                        std::move(response));
 }
 
 Response Server::execute_keyed(const std::string& key,
-                               std::uint64_t client_id, Job job,
+                               std::uint64_t client_key, Job job,
                                Response response) {
   const auto t0 = Clock::now();
   HotTier::Ticket ticket = hot_tier_.acquire(key);
@@ -481,7 +499,7 @@ Response Server::execute_keyed(const std::string& key,
   auto promise = std::make_shared<std::promise<JobOutcome>>();
   std::future<JobOutcome> outcome_future = promise->get_future();
   job.outcome = promise;
-  if (!queue_->queue.try_push(client_id, std::move(job))) {
+  if (!queue_->queue.try_push(client_key, std::move(job))) {
     auto rejected = std::make_shared<sim::RunResult>();
     rejected->scenario = scenario_name;
     rejected->status =
@@ -521,20 +539,51 @@ void Server::worker_loop() {
     auto result = std::make_shared<sim::RunResult>();
     if (job->kind == Job::Kind::kScenario) {
       std::optional<sim::RunResult> cached;
-      if (store_ != nullptr) cached = store_->load(job->spec, job->seed);
+      if (store_ != nullptr) {
+        try {
+          cached = store_->load(job->spec, job->seed);
+        } catch (const std::exception& error) {
+          // A failing cold tier degrades to a miss; the run below
+          // recomputes.
+          std::cerr << "[wi_serve] store load failed for " << job->key
+                    << ": " << error.what() << "\n";
+        }
+      }
       if (cached.has_value()) {
         *result = std::move(*cached);
         outcome.tier = "cold";
         metrics_.count(Counter::kColdHits);
       } else {
         const auto r0 = Clock::now();
-        *result = engine_.run(job->spec);
+        try {
+          *result = engine_.run(job->spec);
+        } catch (const StatusError& error) {
+          result->scenario = job->spec.name;
+          result->status = error.status();
+        } catch (const std::exception& error) {
+          result->scenario = job->spec.name;
+          result->status =
+              Status(StatusCode::kExecutionError, error.what());
+        }
         outcome.run_us = us_since(r0);
         outcome.tier = "run";
         metrics_.count(Counter::kEngineRuns);
         if (!result->ok()) metrics_.count(Counter::kFailedRuns);
         if (store_ != nullptr) {
-          store_->save(job->spec, *result, job->seed);
+          // ResultStore::save throws on write/rename failure (full or
+          // read-only store directory). Uncaught it would
+          // std::terminate the daemon from this worker thread and
+          // strand every coalesced waiter; the computed result is
+          // still good, so log and serve it unpersisted.
+          try {
+            store_->save(job->spec, *result, job->seed);
+          } catch (const StatusError& error) {
+            std::cerr << "[wi_serve] store save failed for " << job->key
+                      << ": " << error.status().to_string() << "\n";
+          } catch (const std::exception& error) {
+            std::cerr << "[wi_serve] store save failed for " << job->key
+                      << ": " << error.what() << "\n";
+          }
         }
       }
     } else {

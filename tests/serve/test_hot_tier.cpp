@@ -6,6 +6,7 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace wi::serve {
@@ -33,7 +34,8 @@ TEST(HotTier, LeadThenHit) {
 
 TEST(HotTier, InflightJoinGetsTheLeadersResult) {
   HotTier tier;
-  ASSERT_EQ(tier.acquire("k").tier, HotTier::Tier::kLead);
+  const auto lead = tier.acquire("k");
+  ASSERT_EQ(lead.tier, HotTier::Tier::kLead);
   auto join1 = tier.acquire("k");
   auto join2 = tier.acquire("k");
   ASSERT_EQ(join1.tier, HotTier::Tier::kInflight);
@@ -49,12 +51,14 @@ TEST(HotTier, InflightJoinGetsTheLeadersResult) {
 TEST(HotTier, LruEvictsTheColdestEntry) {
   HotTier tier(HotTier::Options{2});
   for (const char* key : {"a", "b"}) {
-    ASSERT_EQ(tier.acquire(key).tier, HotTier::Tier::kLead);
+    const auto lead = tier.acquire(key);
+    ASSERT_EQ(lead.tier, HotTier::Tier::kLead);
     tier.fulfill(key, make_result(key));
   }
   // Touch "a" so "b" becomes the LRU victim.
   ASSERT_EQ(tier.acquire("a").tier, HotTier::Tier::kHot);
-  ASSERT_EQ(tier.acquire("c").tier, HotTier::Tier::kLead);
+  const auto lead_c = tier.acquire("c");
+  ASSERT_EQ(lead_c.tier, HotTier::Tier::kLead);
   tier.fulfill("c", make_result("c"));
   EXPECT_EQ(tier.size(), 2u);
   EXPECT_EQ(tier.evictions(), 1u);
@@ -65,7 +69,8 @@ TEST(HotTier, LruEvictsTheColdestEntry) {
 
 TEST(HotTier, FailuresAreDeliveredButNeverCached) {
   HotTier tier;
-  ASSERT_EQ(tier.acquire("bad").tier, HotTier::Tier::kLead);
+  const auto lead = tier.acquire("bad");
+  ASSERT_EQ(lead.tier, HotTier::Tier::kLead);
   auto join = tier.acquire("bad");
   tier.fulfill("bad",
                make_result("bad", Status(StatusCode::kExecutionError,
@@ -75,13 +80,15 @@ TEST(HotTier, FailuresAreDeliveredButNeverCached) {
   // The failure reached the waiter but the next acquire must lead
   // again (failed results re-run).
   EXPECT_EQ(tier.peek("bad"), nullptr);
-  EXPECT_EQ(tier.acquire("bad").tier, HotTier::Tier::kLead);
+  const auto lead2 = tier.acquire("bad");
+  EXPECT_EQ(lead2.tier, HotTier::Tier::kLead);
   tier.fulfill("bad", make_result("bad"));
 }
 
 TEST(HotTier, BackpressureFulfillReleasesWaiters) {
   HotTier tier;
-  ASSERT_EQ(tier.acquire("k").tier, HotTier::Tier::kLead);
+  const auto lead = tier.acquire("k");
+  ASSERT_EQ(lead.tier, HotTier::Tier::kLead);
   auto join = tier.acquire("k");
   // Leader's enqueue was rejected: it fulfills with kUnavailable.
   tier.fulfill("k", make_result("k", Status(StatusCode::kUnavailable,
@@ -124,12 +131,63 @@ TEST(HotTier, SingleFlightUnderConcurrency) {
 
 TEST(HotTier, DistinctKeysDoNotCoalesce) {
   HotTier tier;
-  EXPECT_EQ(tier.acquire("x").tier, HotTier::Tier::kLead);
-  EXPECT_EQ(tier.acquire("y").tier, HotTier::Tier::kLead);
+  const auto lead_x = tier.acquire("x");
+  const auto lead_y = tier.acquire("y");
+  EXPECT_EQ(lead_x.tier, HotTier::Tier::kLead);
+  EXPECT_EQ(lead_y.tier, HotTier::Tier::kLead);
   tier.fulfill("x", make_result("x"));
   tier.fulfill("y", make_result("y"));
   EXPECT_EQ(tier.size(), 2u);
   EXPECT_EQ(tier.coalesced(), 0u);
+}
+
+TEST(HotTier, AbandonedLeadReleasesWaitersAndFreesTheKey) {
+  HotTier tier;
+  HotTier::Ticket join;
+  {
+    const auto lead = tier.acquire("k");
+    ASSERT_EQ(lead.tier, HotTier::Tier::kLead);
+    join = tier.acquire("k");
+    ASSERT_EQ(join.tier, HotTier::Tier::kInflight);
+    // lead goes out of scope without fulfill(): the guard fires.
+  }
+  const auto result = join.future.get();
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(result->status.code(), StatusCode::kExecutionError);
+  EXPECT_EQ(tier.abandoned(), 1u);
+  // The error is delivered, never cached, and the key is not wedged:
+  // the next acquire leads a fresh build.
+  EXPECT_EQ(tier.peek("k"), nullptr);
+  const auto lead2 = tier.acquire("k");
+  EXPECT_EQ(lead2.tier, HotTier::Tier::kLead);
+  tier.fulfill("k", make_result("k"));
+  EXPECT_NE(tier.peek("k"), nullptr);
+}
+
+TEST(HotTier, MovingALeadTicketKeepsTheGuardArmedOnce) {
+  HotTier tier;
+  {
+    auto lead = tier.acquire("k");
+    ASSERT_EQ(lead.tier, HotTier::Tier::kLead);
+    HotTier::Ticket moved = std::move(lead);
+    // The moved-from ticket is disarmed; destroying it must not
+    // abandon the flight `moved` still guards.
+  }
+  EXPECT_EQ(tier.abandoned(), 1u);
+}
+
+TEST(HotTier, FulfilledLeadTicketDestructorIsANoOp) {
+  HotTier tier;
+  {
+    const auto lead = tier.acquire("k");
+    ASSERT_EQ(lead.tier, HotTier::Tier::kLead);
+    tier.fulfill("k", make_result("k"));
+    // lead destroyed after fulfill: guard must not fire, and must not
+    // poison the cached entry.
+  }
+  EXPECT_EQ(tier.abandoned(), 0u);
+  ASSERT_NE(tier.peek("k"), nullptr);
+  EXPECT_EQ(tier.acquire("k").tier, HotTier::Tier::kHot);
 }
 
 }  // namespace

@@ -82,6 +82,49 @@ TEST(FairJobQueue, PerClientQuotaStopsAQueueHog) {
   EXPECT_EQ(queue.size(), 3u);
 }
 
+TEST(FairJobQueue, DrainedLanesAreReclaimed) {
+  // A long-running daemon sees an unbounded stream of client ids; the
+  // lane table must track *queued* clients, not clients ever seen.
+  FairJobQueue<Item> queue;
+  for (std::uint64_t c = 1; c <= 100; ++c) {
+    ASSERT_TRUE(queue.try_push(c, Item{c, 0}));
+  }
+  EXPECT_EQ(queue.lane_count(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(queue.pop().has_value());
+  }
+  EXPECT_EQ(queue.lane_count(), 0u);
+  // A returning client gets a fresh lane and full quota again.
+  ASSERT_TRUE(queue.try_push(7, Item{7, 1}));
+  EXPECT_EQ(queue.lane_count(), 1u);
+  ASSERT_TRUE(queue.pop().has_value());
+  EXPECT_EQ(queue.lane_count(), 0u);
+}
+
+TEST(FairJobQueue, RotationSurvivesLaneReclamation) {
+  FairJobQueue<Item> queue;
+  // Interleave pushes and pops so lanes are erased mid-rotation; every
+  // job must still come out exactly once, FIFO within its client.
+  std::map<std::uint64_t, int> next_expected;
+  for (int round = 0; round < 3; ++round) {
+    for (std::uint64_t c = 1; c <= 4; ++c) {
+      ASSERT_TRUE(queue.try_push(c, Item{c, round}));
+    }
+    const auto item = queue.pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(item->sequence, next_expected[item->client]++);
+  }
+  while (queue.size() > 0) {
+    const auto item = queue.pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(item->sequence, next_expected[item->client]++);
+  }
+  for (const auto& [client, count] : next_expected) {
+    EXPECT_EQ(count, 3) << "client " << client;
+  }
+  EXPECT_EQ(queue.lane_count(), 0u);
+}
+
 TEST(FairJobQueue, CloseStopsAdmissionButDrains) {
   FairJobQueue<Item> queue;
   ASSERT_TRUE(queue.try_push(1, Item{1, 0}));

@@ -262,6 +262,73 @@ TEST(ServerE2e, QueueSaturationAnswersWithBackpressure) {
   EXPECT_TRUE(health.ok());
 }
 
+TEST(ServerE2e, ReconnectingCannotEvadeThePerClientQuota) {
+  // Admission fairness is keyed by peer address, not connection
+  // serial: a client that opens a fresh connection per request still
+  // lands in the same lane, so the quota holds across reconnects.
+  ensure_sleepy_registered();
+  ServerOptions options;
+  options.workers = 1;
+  options.queue_capacity = 8;  // room in the queue — quota must bind
+  options.per_client_quota = 1;
+  ServerFixture fixture(std::move(options));
+  g_sleepy_ms.store(600);
+  const int started_before = g_sleepy_started.load();
+
+  const auto sleepy_request = [](const std::string& name,
+                                 const std::string& id) {
+    Request request;
+    request.type = RequestType::kRunScenario;
+    request.id = id;
+    request.spec = sleepy_spec(name);
+    return request;
+  };
+
+  Client first;
+  Client second;
+  ASSERT_TRUE(first.connect("127.0.0.1", fixture.port()).is_ok());
+  ASSERT_TRUE(second.connect("127.0.0.1", fixture.port()).is_ok());
+  // Job A (connection 1) occupies the single worker...
+  ASSERT_TRUE(
+      first.send_raw(request_to_line(sleepy_request("quota_a", "qa")))
+          .is_ok());
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (g_sleepy_started.load() == started_before &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(2ms);
+  }
+  ASSERT_GT(g_sleepy_started.load(), started_before);
+  // ...job B (connection 2, same peer) fills the peer's one-deep
+  // lane...
+  ASSERT_TRUE(
+      second.send_raw(request_to_line(sleepy_request("quota_b", "qb")))
+          .is_ok());
+  while (metrics_table_value(fixture.server().stats_table(),
+                             "queue_depth") < 1.0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(2ms);
+  }
+  ASSERT_DOUBLE_EQ(metrics_table_value(fixture.server().stats_table(),
+                                       "queue_depth"),
+                   1.0);
+
+  // ...so job C on a third, brand-new connection from the same peer
+  // must be rejected at quota even though the queue has 7 free slots.
+  const Response evading =
+      fixture.call(sleepy_request("quota_c", "qc"));
+  EXPECT_EQ(evading.status.code(), StatusCode::kUnavailable)
+      << evading.status.to_string();
+
+  // The in-quota work is unaffected.
+  const Response response_a = first.receive();
+  const Response response_b = second.receive();
+  EXPECT_TRUE(response_a.ok()) << response_a.status.to_string();
+  EXPECT_TRUE(response_b.ok()) << response_b.status.to_string();
+  first.close();
+  second.close();
+  g_sleepy_ms.store(150);
+}
+
 TEST(ServerE2e, MalformedAndOversizedFramesKeepTheConnectionUsable) {
   ServerOptions options = fast_options();
   options.max_frame_bytes = 4096;
