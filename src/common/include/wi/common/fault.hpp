@@ -1,0 +1,117 @@
+#pragma once
+/// \file fault.hpp
+/// \brief Deterministic, seed-driven fault injection shared by the NoC
+///        simulator and the wi_serve chaos hooks.
+///
+/// Every fault decision is a pure function of (seed, stream, index)
+/// through a SplitMix64 finalizer chain: no shared RNG state, no draw
+/// ordering. A FaultSchedule derived from the same FaultSpec is
+/// therefore bit-identical regardless of thread count, iteration order
+/// or how many other decisions were made first — the property the
+/// campaign statistical goldens and the 1-vs-N-thread identity tests
+/// pin down. Injection points test FaultSpec::enabled() (or a null
+/// injector pointer) up front, so the disabled path costs one branch.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "wi/common/status.hpp"
+
+namespace wi::fault {
+
+/// SplitMix64 finalizer: one high-quality 64-bit mix step.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Decision streams: each fault site draws from its own stream so the
+/// same seed never correlates unrelated decisions. Values are part of
+/// the golden contract — append, never renumber.
+enum class Stream : std::uint64_t {
+  kLinkFail = 1,      ///< does link i fail at all?
+  kLinkCycle = 2,     ///< at which cycle does link i fail?
+  kRouterFail = 3,    ///< does router i fail at all?
+  kRouterCycle = 4,   ///< at which cycle does router i fail?
+  kStoreFail = 5,     ///< wi_serve: fail the i-th ResultStore op
+  kStoreDelay = 6,    ///< wi_serve: delay the i-th ResultStore op
+  kStoreCorrupt = 7,  ///< wi_serve: corrupt the i-th store entry
+  kConnDrop = 8,      ///< wi_serve: drop the i-th response on the floor
+  kConnStall = 9,     ///< wi_serve: stall the i-th response write
+  kRetryJitter = 10,  ///< client: backoff jitter of the i-th retry
+  kChaosShape = 11,   ///< wi_loadgen: per-request chaos shaping
+};
+
+/// The derivation primitive: hash of (seed, stream, index), stateless
+/// and order-free.
+[[nodiscard]] constexpr std::uint64_t derive(std::uint64_t seed,
+                                             Stream stream,
+                                             std::uint64_t index) {
+  return splitmix64(
+      splitmix64(splitmix64(seed) ^ static_cast<std::uint64_t>(stream)) ^
+      index);
+}
+
+/// Top 53 bits of a hash as a double in [0, 1).
+[[nodiscard]] constexpr double unit_interval(std::uint64_t hash) {
+  return static_cast<double>(hash >> 11) * 0x1.0p-53;
+}
+
+/// One Bernoulli fault decision: derive + threshold.
+[[nodiscard]] constexpr bool decide(std::uint64_t seed, Stream stream,
+                                    std::uint64_t index, double rate) {
+  return rate > 0.0 && unit_interval(derive(seed, stream, index)) < rate;
+}
+
+/// Declarative fault model of one simulation: independent per-entity
+/// failure probabilities plus the activation window (as fractions of
+/// the simulated horizon) inside which each failure strikes.
+struct FaultSpec {
+  double link_fail_rate = 0.0;    ///< P(any given link dies)
+  double router_fail_rate = 0.0;  ///< P(any given router dies)
+  double window_begin = 0.0;      ///< earliest activation [0,1] of horizon
+  double window_end = 0.5;        ///< latest activation [0,1] of horizon
+  std::uint64_t seed = 1;         ///< fault stream seed (independent of
+                                  ///< the traffic seed)
+
+  /// False means every injection point short-circuits: the simulation
+  /// takes the exact legacy code path.
+  [[nodiscard]] bool enabled() const {
+    return link_fail_rate > 0.0 || router_fail_rate > 0.0;
+  }
+
+  [[nodiscard]] Status validate(const std::string& context) const;
+};
+
+/// One scheduled failure.
+struct FaultEvent {
+  enum class Kind : std::uint8_t { kLink = 0, kRouter = 1 };
+  Kind kind = Kind::kLink;
+  std::uint32_t index = 0;      ///< link or router index
+  std::uint64_t at_cycle = 0;   ///< activation cycle
+};
+
+/// The materialized schedule: every failing entity with its activation
+/// cycle, sorted by (at_cycle, kind, index).
+struct FaultSchedule {
+  std::vector<FaultEvent> events;
+
+  [[nodiscard]] bool empty() const { return events.empty(); }
+  [[nodiscard]] std::size_t links_failed() const;
+  [[nodiscard]] std::size_t routers_failed() const;
+
+  /// Derive the schedule for a network of `link_count` links and
+  /// `router_count` routers over `horizon_cycles` cycles. Pure in all
+  /// arguments; entity decisions are independent (per-entity derive),
+  /// so any partition of the entity range yields the same schedule.
+  [[nodiscard]] static FaultSchedule derive(const FaultSpec& spec,
+                                            std::size_t link_count,
+                                            std::size_t router_count,
+                                            std::uint64_t horizon_cycles);
+};
+
+}  // namespace wi::fault

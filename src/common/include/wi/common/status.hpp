@@ -29,6 +29,9 @@ enum class StatusCode {
   kUnavailable,        ///< a service cannot take the request now
                        ///< (queue full, draining for shutdown): the
                        ///< explicit backpressure signal — retry later
+  kDeadlineExceeded,   ///< the request's deadline passed before the
+                       ///< work ran (or a client timed out waiting):
+                       ///< retrying with a larger deadline may succeed
 };
 
 /// Short stable identifier of a code ("ok", "invalid_spec", ...).
@@ -42,6 +45,7 @@ enum class StatusCode {
     case StatusCode::kParseError: return "parse_error";
     case StatusCode::kNotFound: return "not_found";
     case StatusCode::kUnavailable: return "unavailable";
+    case StatusCode::kDeadlineExceeded: return "deadline_exceeded";
   }
   return "unknown";
 }
@@ -55,7 +59,8 @@ enum class StatusCode {
        {StatusCode::kOk, StatusCode::kInvalidSpec,
         StatusCode::kUnreachableRoute, StatusCode::kUnsupported,
         StatusCode::kExecutionError, StatusCode::kParseError,
-        StatusCode::kNotFound, StatusCode::kUnavailable}) {
+        StatusCode::kNotFound, StatusCode::kUnavailable,
+        StatusCode::kDeadlineExceeded}) {
     if (name == status_code_name(code)) return code;
   }
   return std::nullopt;

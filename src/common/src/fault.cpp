@@ -1,0 +1,95 @@
+#include "wi/common/fault.hpp"
+
+#include <algorithm>
+
+namespace wi::fault {
+
+namespace {
+
+[[nodiscard]] bool rate_ok(double rate) {
+  return rate >= 0.0 && rate <= 1.0;
+}
+
+/// Activation cycle of one failing entity: uniform over the window
+/// [begin, end] fractions of the horizon, derived from the entity's own
+/// cycle stream.
+[[nodiscard]] std::uint64_t activation_cycle(const FaultSpec& spec,
+                                             Stream cycle_stream,
+                                             std::uint64_t index,
+                                             std::uint64_t horizon) {
+  const double u = unit_interval(derive(spec.seed, cycle_stream, index));
+  const double begin = spec.window_begin * static_cast<double>(horizon);
+  const double span =
+      (spec.window_end - spec.window_begin) * static_cast<double>(horizon);
+  std::uint64_t cycle = static_cast<std::uint64_t>(begin + u * span);
+  if (horizon > 0 && cycle >= horizon) cycle = horizon - 1;
+  return cycle;
+}
+
+}  // namespace
+
+Status FaultSpec::validate(const std::string& context) const {
+  if (!rate_ok(link_fail_rate)) {
+    return {StatusCode::kInvalidSpec,
+            context + ": fault link_fail_rate must be in [0, 1]"};
+  }
+  if (!rate_ok(router_fail_rate)) {
+    return {StatusCode::kInvalidSpec,
+            context + ": fault router_fail_rate must be in [0, 1]"};
+  }
+  if (!(window_begin >= 0.0 && window_begin <= 1.0) ||
+      !(window_end >= 0.0 && window_end <= 1.0) ||
+      window_begin > window_end) {
+    return {StatusCode::kInvalidSpec,
+            context + ": fault activation window must satisfy "
+                      "0 <= window_begin <= window_end <= 1"};
+  }
+  return Status::ok();
+}
+
+std::size_t FaultSchedule::links_failed() const {
+  std::size_t n = 0;
+  for (const FaultEvent& e : events) {
+    if (e.kind == FaultEvent::Kind::kLink) ++n;
+  }
+  return n;
+}
+
+std::size_t FaultSchedule::routers_failed() const {
+  return events.size() - links_failed();
+}
+
+FaultSchedule FaultSchedule::derive(const FaultSpec& spec,
+                                    std::size_t link_count,
+                                    std::size_t router_count,
+                                    std::uint64_t horizon_cycles) {
+  FaultSchedule schedule;
+  if (!spec.enabled() || horizon_cycles == 0) return schedule;
+  for (std::size_t l = 0; l < link_count; ++l) {
+    if (!decide(spec.seed, Stream::kLinkFail, l, spec.link_fail_rate)) {
+      continue;
+    }
+    schedule.events.push_back(
+        {FaultEvent::Kind::kLink, static_cast<std::uint32_t>(l),
+         activation_cycle(spec, Stream::kLinkCycle, l, horizon_cycles)});
+  }
+  for (std::size_t r = 0; r < router_count; ++r) {
+    if (!decide(spec.seed, Stream::kRouterFail, r, spec.router_fail_rate)) {
+      continue;
+    }
+    schedule.events.push_back(
+        {FaultEvent::Kind::kRouter, static_cast<std::uint32_t>(r),
+         activation_cycle(spec, Stream::kRouterCycle, r, horizon_cycles)});
+  }
+  std::sort(schedule.events.begin(), schedule.events.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              if (a.at_cycle != b.at_cycle) return a.at_cycle < b.at_cycle;
+              if (a.kind != b.kind) {
+                return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+              }
+              return a.index < b.index;
+            });
+  return schedule;
+}
+
+}  // namespace wi::fault

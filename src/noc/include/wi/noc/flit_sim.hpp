@@ -16,10 +16,22 @@
 /// (unreachable pairs, inconsistent next hops) are recorded during
 /// table construction and thrown once as wi::StatusError the first time
 /// a flit actually needs the failed route.
+///
+/// Fault injection: the six-argument overload takes a
+/// wi::fault::FaultSchedule of link/router failures. When an event
+/// activates, the dead entity's buffered flits are destroyed and the
+/// next-hop table is recomputed over the surviving graph (deterministic
+/// reverse BFS, minimal hops, lowest link index first), so traffic
+/// reroutes around the failure. Destinations cut off from a source
+/// surface as wi::Status rows in FlitSimResult::route_failures — flits
+/// bound for them are dropped and counted, never thrown. An empty
+/// schedule takes the exact legacy code path bit for bit.
 
 #include <cstdint>
 #include <vector>
 
+#include "wi/common/fault.hpp"
+#include "wi/common/status.hpp"
 #include "wi/noc/routing.hpp"
 #include "wi/noc/topology.hpp"
 #include "wi/noc/traffic.hpp"
@@ -43,6 +55,20 @@ struct FlitSimResult {
   std::size_t delivered = 0;          ///< measured packets delivered
   std::size_t injected = 0;           ///< measured packets injected
   bool stable = false;                ///< queues drained afterwards
+  // Fault-mode accounting (all zero when the schedule is empty).
+  std::size_t dropped = 0;            ///< measured packets destroyed by a
+                                      ///< fault activation (buffered at a
+                                      ///< dying entity, or offered at a
+                                      ///< dead source)
+  std::size_t unreachable = 0;        ///< measured packets dropped for
+                                      ///< want of a live route
+  std::size_t dead_links = 0;         ///< links dead by the end (incl.
+                                      ///< collateral of router deaths)
+  std::size_t dead_routers = 0;       ///< routers dead by the end
+  /// Unique route failures hit by actual traffic (first few, one per
+  /// (source router, destination router) pair) — the Status rows the
+  /// fault_sweep workload surfaces instead of a throw.
+  std::vector<Status> route_failures;
 };
 
 /// Run one simulation at a given injection rate [packets/cycle/module]
@@ -52,5 +78,16 @@ struct FlitSimResult {
                                              const TrafficPattern& traffic,
                                              double injection_rate,
                                              const FlitSimConfig& config = {});
+
+/// Fault-injecting overload: link/router failures from `faults` strike
+/// at their scheduled cycles and traffic reroutes over the surviving
+/// graph. With an empty schedule this is bit-identical to the overload
+/// above.
+[[nodiscard]] FlitSimResult simulate_network(const Topology& topology,
+                                             const Routing& routing,
+                                             const TrafficPattern& traffic,
+                                             double injection_rate,
+                                             const FlitSimConfig& config,
+                                             const fault::FaultSchedule& faults);
 
 }  // namespace wi::noc

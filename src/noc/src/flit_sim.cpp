@@ -80,6 +80,13 @@ class FlitRing {
     ++size_;
   }
 
+  /// Destroys every queued flit (a fault activation killed the buffer).
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+    head_ready_ = kNeverReady;
+  }
+
  private:
   void grow() {
     std::vector<Flit> bigger(slots_.empty() ? 16 : slots_.size() * 2);
@@ -166,6 +173,81 @@ NextHopTable build_next_hop_table(const Topology& topology,
   return table;
 }
 
+/// Recompute-on-failure reroute: rebuild the next-hop table over the
+/// surviving graph. One reverse BFS per used destination (minimal hop
+/// count; ties broken by out-link order, so the result is deterministic
+/// and independent of how the failure set was produced). Sources with
+/// no live path get kFailedHop plus a kUnreachableRoute Status — the
+/// fault-mode forwarding loop drops those flits instead of throwing.
+void rebuild_live_routes(const Topology& topology,
+                         const std::vector<bool>& dst_used,
+                         const std::vector<std::vector<std::size_t>>& in_channels,
+                         const std::vector<std::uint8_t>& link_alive,
+                         const std::vector<std::uint8_t>& router_alive,
+                         NextHopTable& table) {
+  const std::size_t routers = topology.router_count();
+  std::vector<std::uint32_t> dist(routers);
+  std::vector<std::uint32_t> bfs_queue(routers);
+  constexpr std::uint32_t kUnset = 0xFFFFFFFFu;
+  for (std::size_t dst = 0; dst < routers; ++dst) {
+    if (!dst_used[dst]) continue;
+    std::fill(dist.begin(), dist.end(), kUnset);
+    std::size_t qhead = 0;
+    std::size_t qtail = 0;
+    if (router_alive[dst]) {
+      dist[dst] = 0;
+      bfs_queue[qtail++] = static_cast<std::uint32_t>(dst);
+    }
+    while (qhead < qtail) {
+      const std::size_t v = bfs_queue[qhead++];
+      for (const std::size_t l : in_channels[v]) {
+        if (!link_alive[l]) continue;
+        const std::size_t u = topology.link(l).src;
+        if (!router_alive[u] || dist[u] != kUnset) continue;
+        dist[u] = dist[v] + 1;
+        bfs_queue[qtail++] = static_cast<std::uint32_t>(u);
+      }
+    }
+    for (std::size_t at = 0; at < routers; ++at) {
+      if (at == dst) continue;
+      const std::size_t key = at * routers + dst;
+      NextHop& hop = table.hops[key];
+      if (!router_alive[at]) {
+        // Dead sources never forward; leave a failed entry so a stale
+        // lookup is caught rather than followed.
+        hop.link = kFailedHop;
+        table.failures[key] =
+            Status(StatusCode::kUnreachableRoute,
+                   "simulate_network: router " + std::to_string(at) +
+                       " failed");
+        continue;
+      }
+      if (dist[at] == kUnset) {
+        hop.link = kFailedHop;
+        table.failures[key] =
+            Status(StatusCode::kUnreachableRoute,
+                   "simulate_network: no live route from router " +
+                       std::to_string(at) + " to router " +
+                       std::to_string(dst) +
+                       (router_alive[dst] ? " after link/router failures"
+                                          : " (destination router failed)"));
+        continue;
+      }
+      const auto& outs = topology.out_links(at);
+      for (std::size_t oi = 0; oi < outs.size(); ++oi) {
+        const std::size_t l = outs[oi];
+        if (!link_alive[l]) continue;
+        const std::size_t w = topology.link(l).dst;
+        if (!router_alive[w] || dist[w] == kUnset) continue;
+        if (dist[w] + 1 != dist[at]) continue;
+        hop.link = static_cast<std::uint32_t>(l);
+        hop.out_index = static_cast<std::uint32_t>(oi);
+        break;
+      }
+    }
+  }
+}
+
 }  // namespace
 
 FlitSimResult simulate_network(const Topology& topology,
@@ -173,6 +255,16 @@ FlitSimResult simulate_network(const Topology& topology,
                                const TrafficPattern& traffic,
                                double injection_rate,
                                const FlitSimConfig& config) {
+  return simulate_network(topology, routing, traffic, injection_rate, config,
+                          fault::FaultSchedule{});
+}
+
+FlitSimResult simulate_network(const Topology& topology,
+                               const Routing& routing,
+                               const TrafficPattern& traffic,
+                               double injection_rate,
+                               const FlitSimConfig& config,
+                               const fault::FaultSchedule& faults) {
   const std::size_t modules = topology.module_count();
   const std::size_t routers = topology.router_count();
   const std::size_t channels = topology.link_count();
@@ -203,8 +295,7 @@ FlitSimResult simulate_network(const Topology& topology,
     module_router[d] = topology.module_router(d);
   }
 
-  const NextHopTable next_hop =
-      build_next_hop_table(topology, routing, dst_used);
+  NextHopTable next_hop = build_next_hop_table(topology, routing, dst_used);
 
   // Flat link -> destination-router lookup for the forwarding hot path.
   std::vector<std::uint32_t> link_dst(channels);
@@ -246,6 +337,21 @@ FlitSimResult simulate_network(const Topology& topology,
   }
   input_offset[routers] = input_ids.size();
 
+  // Fault-mode state. `chaos` gates every injection point: with an
+  // empty schedule none of this is touched and the cycle loop below is
+  // the exact legacy path (same RNG draws, same arbitration order).
+  const bool chaos = !faults.events.empty();
+  std::vector<std::uint8_t> link_alive;
+  std::vector<std::uint8_t> router_alive;
+  std::vector<bool> route_failure_seen;
+  if (chaos) {
+    link_alive.assign(channels, 1);
+    router_alive.assign(routers, 1);
+    route_failure_seen.assign(routers * routers, false);
+  }
+  std::size_t next_event = 0;
+  constexpr std::size_t kMaxRouteFailures = 8;
+
   // Per-output-channel bandwidth budgets, hoisted out of the cycle loop:
   // one flat template refreshed into a scratch buffer per busy router.
   std::vector<std::size_t> budget_offset(routers + 1, 0);
@@ -277,6 +383,59 @@ FlitSimResult simulate_network(const Topology& topology,
 
   for (std::uint64_t cycle = 0; cycle < total_cycles; ++cycle) {
     const bool in_window = cycle >= measure_begin && cycle < measure_end;
+    // 0. Fault activation: kill due entities, destroy their buffered
+    //    flits, then recompute routes over the surviving graph.
+    if (chaos && next_event < faults.events.size() &&
+        faults.events[next_event].at_cycle <= cycle) {
+      bool changed = false;
+      const auto kill_link = [&](std::size_t l) {
+        if (!link_alive[l]) return;
+        link_alive[l] = 0;
+        ++result.dead_links;
+        // The channel ring is the input buffer the link feeds at its
+        // downstream router: everything queued there dies with it.
+        FlitRing& ring = rings[l];
+        const std::size_t owner = link_dst[l];
+        while (!ring.empty()) {
+          if (ring.front().measured) ++result.dropped;
+          ring.pop_front();
+          --occupancy[owner];
+        }
+        changed = true;
+      };
+      while (next_event < faults.events.size() &&
+             faults.events[next_event].at_cycle <= cycle) {
+        const fault::FaultEvent& event = faults.events[next_event++];
+        if (event.kind == fault::FaultEvent::Kind::kLink) {
+          if (event.index < channels) kill_link(event.index);
+          continue;
+        }
+        const std::size_t r = event.index;
+        if (r >= routers || !router_alive[r]) continue;
+        router_alive[r] = 0;
+        ++result.dead_routers;
+        // Out-link queues buffer at the downstream routers and drain
+        // normally; the links themselves carry nothing further.
+        for (const std::size_t l : topology.out_links(r)) {
+          if (link_alive[l]) {
+            link_alive[l] = 0;
+            ++result.dead_links;
+          }
+        }
+        for (const std::size_t l : in_channels[r]) kill_link(l);
+        FlitRing& inject_ring = rings[channels + r];
+        while (!inject_ring.empty()) {
+          if (inject_ring.front().measured) ++result.dropped;
+          inject_ring.pop_front();
+          --occupancy[r];
+        }
+        changed = true;
+      }
+      if (changed) {
+        rebuild_live_routes(topology, dst_used, in_channels, link_alive,
+                            router_alive, next_hop);
+      }
+    }
     // 1. Injection: Bernoulli approximation of Poisson arrivals
     //    (injection_rate < 1 per module per cycle).
     if (cycle < measure_end) {
@@ -287,6 +446,16 @@ FlitSimResult simulate_network(const Topology& topology,
         std::size_t d = static_cast<std::size_t>(
             std::lower_bound(row, row + modules, u) - row);
         if (d >= modules) d = modules - 1;
+        if (chaos && !router_alive[module_router[m]]) {
+          // Dead source router: the module offered a packet the network
+          // never accepted. Both RNG draws above still happened, so the
+          // traffic sequence matches the fault-free run.
+          if (in_window) {
+            ++result.injected;
+            ++result.dropped;
+          }
+          continue;
+        }
         Flit flit;
         flit.dst_module = static_cast<std::uint32_t>(d);
         flit.dst_router = static_cast<std::uint32_t>(module_router[d]);
@@ -353,6 +522,20 @@ FlitSimResult simulate_network(const Topology& topology,
           const std::size_t key = r * routers + flit.dst_router;
           const NextHop hop = next_hop.hops[key];
           if (hop.link >= kFailedHop) {
+            if (chaos && hop.link == kFailedHop) {
+              // Fault mode: the destination is cut off. Drop the flit
+              // and surface the Status as result data, never a throw.
+              if (flit.measured) ++result.unreachable;
+              if (!route_failure_seen[key]) {
+                route_failure_seen[key] = true;
+                if (result.route_failures.size() < kMaxRouteFailures) {
+                  result.route_failures.push_back(next_hop.failures.at(key));
+                }
+              }
+              q.pop_front();
+              --occupancy[r];
+              continue;
+            }
             // Surfaced once per simulation; kNoHop means the routing
             // table missed a reachable pair, which is a bug here.
             if (hop.link == kFailedHop) {
@@ -390,8 +573,11 @@ FlitSimResult simulate_network(const Topology& topology,
       static_cast<double>(result.delivered) /
       (static_cast<double>(config.measure_cycles) *
        static_cast<double>(modules));
-  // Stability: everything measured was eventually delivered.
-  result.stable = result.delivered >= result.injected * 995 / 1000;
+  // Stability: everything measured was eventually resolved (delivered,
+  // or — in fault mode — terminally dropped; losses are accounted, not
+  // stuck in a queue).
+  result.stable = result.delivered + result.dropped + result.unreachable >=
+                  result.injected * 995 / 1000;
   return result;
 }
 

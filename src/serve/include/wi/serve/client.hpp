@@ -8,6 +8,7 @@
 /// connection). send_raw() exists so tests and the load generator can
 /// inject deliberately malformed frames and watch the server survive.
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -26,6 +27,14 @@ class Client {
                                std::uint16_t port);
 
   [[nodiscard]] bool connected() const { return socket_.valid(); }
+
+  /// Bound every receive() to `timeout_ms` (0 = block forever). Call
+  /// after connect(). A timed-out receive throws
+  /// StatusError(kDeadlineExceeded) — the client-side deadline — and
+  /// the connection should be considered poisoned (a late response may
+  /// still arrive and desynchronize the stream), so close and
+  /// reconnect before retrying.
+  [[nodiscard]] Status set_timeout(double timeout_ms);
 
   /// Round trip: write one request frame, block for one response.
   /// Throws StatusError on transport failure (connection gone) or an
@@ -56,5 +65,44 @@ class Client {
 [[nodiscard]] Response call_once(const std::string& host,
                                  std::uint16_t port,
                                  const Request& request);
+
+/// Retry policy of call_with_retry. Backoff is exponential with
+/// deterministic jitter: attempt i waits
+/// max(backoff_i, server retry_after_ms hint) * U[0.5, 1.5), where the
+/// jitter comes from fault::derive(seed ^ hash(request.id),
+/// kRetryJitter, i) — replayable, and decorrelated across requests so
+/// a burst of rejected clients does not retry in lockstep.
+struct RetryOptions {
+  std::size_t max_attempts = 4;      ///< total tries (>= 1)
+  double initial_backoff_ms = 10.0;  ///< first retry wait
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 1000.0;
+  /// Per-attempt receive timeout (0 = none). A timed-out attempt
+  /// reconnects and retries like a transport failure.
+  double timeout_ms = 0.0;
+  std::uint64_t seed = 1;  ///< jitter derivation seed
+};
+
+/// Observability of one call_with_retry invocation.
+struct RetryStats {
+  std::size_t attempts = 0;      ///< tries actually made
+  double backoff_ms_total = 0.0; ///< time slept between tries
+};
+
+/// Connect + call with retries. Retries on transport failures
+/// (kUnavailable thrown), client-side receive timeouts
+/// (kDeadlineExceeded thrown), and kUnavailable *responses* —
+/// backpressure, load shedding, draining — honoring the response's
+/// retry_after_ms hint as a backoff floor. A kUnavailable response on
+/// the last attempt is returned (the caller sees the server's own
+/// words); a thrown error on the last attempt propagates. A
+/// kDeadlineExceeded *response* is terminal — the server enforced the
+/// request's deadline, and retrying with the same deadline would just
+/// burn queue slots.
+[[nodiscard]] Response call_with_retry(const std::string& host,
+                                       std::uint16_t port,
+                                       const Request& request,
+                                       const RetryOptions& options = {},
+                                       RetryStats* stats = nullptr);
 
 }  // namespace wi::serve

@@ -1,0 +1,100 @@
+#pragma once
+/// \file fault_injector.hpp
+/// \brief Deterministic chaos hooks for the wi_serve request path.
+///
+/// The injector is the service-side twin of the NoC fault schedule:
+/// every decision comes from the same SplitMix64 derivation chain
+/// (wi/common/fault.hpp), keyed by (seed, stream, event index), so a
+/// chaos run is replayable — same seed, same rates, same sequence of
+/// store failures / delays / corruptions and connection drops /
+/// stalls, regardless of thread interleaving *per stream*. Each stream
+/// keeps its own atomic event counter: the i-th store write of a run
+/// always gets verdict derive(seed, kStoreFail, i), whichever worker
+/// performs it.
+///
+/// All rates default to zero and the server skips every hook when
+/// enabled() is false, so the production path pays one branch on a
+/// null pointer and nothing else. The hooks model the faults the
+/// resilience machinery must absorb:
+///
+///  * store_fail    — ResultStore I/O raises a transient error
+///                    (load degrades to a miss, save is dropped)
+///  * store_delay   — store I/O stalls for delay_ms
+///  * store_corrupt — a loaded entry is treated as corrupt (re-run)
+///  * conn_drop     — the connection dies before the response frame
+///  * conn_stall    — the response frame is delayed by delay_ms
+///
+/// wi_loadgen --chaos drives these to prove that every client request
+/// still resolves terminally (result, explicit error, or transport
+/// error the client retries) — no hangs, no silent losses.
+
+#include <atomic>
+#include <cstdint>
+
+#include "wi/common/fault.hpp"
+#include "wi/common/status.hpp"
+
+namespace wi::serve {
+
+struct FaultInjectorOptions {
+  double store_fail_rate = 0.0;     ///< P(transient store I/O failure)
+  double store_delay_rate = 0.0;    ///< P(store I/O stalls delay_ms)
+  double store_corrupt_rate = 0.0;  ///< P(loaded entry reads corrupt)
+  double conn_drop_rate = 0.0;      ///< P(connection dropped pre-write)
+  double conn_stall_rate = 0.0;     ///< P(response delayed delay_ms)
+  double delay_ms = 5.0;            ///< stall duration for the delays
+  std::uint64_t seed = 1;           ///< derivation root
+
+  /// Any rate strictly positive? False = every hook is a no-op.
+  [[nodiscard]] bool enabled() const {
+    return store_fail_rate > 0.0 || store_delay_rate > 0.0 ||
+           store_corrupt_rate > 0.0 || conn_drop_rate > 0.0 ||
+           conn_stall_rate > 0.0;
+  }
+
+  /// Rates in [0,1], delay_ms >= 0.
+  [[nodiscard]] Status validate() const;
+};
+
+/// Thread-safe deterministic fault source. One instance per server;
+/// hooks are called from worker and connection threads concurrently.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultInjectorOptions options);
+
+  [[nodiscard]] bool enabled() const { return options_.enabled(); }
+  [[nodiscard]] const FaultInjectorOptions& options() const {
+    return options_;
+  }
+
+  /// Each hook consumes one event on its stream and reports whether
+  /// the fault fires. Calling a hook with a zero rate still advances
+  /// the stream, keeping event indices aligned across runs that only
+  /// differ in one rate.
+  [[nodiscard]] bool store_fail();
+  [[nodiscard]] bool store_delay();
+  [[nodiscard]] bool store_corrupt();
+  [[nodiscard]] bool conn_drop();
+  [[nodiscard]] bool conn_stall();
+
+  [[nodiscard]] double delay_ms() const { return options_.delay_ms; }
+
+  /// Total hooks that fired (all streams).
+  [[nodiscard]] std::uint64_t activations() const {
+    return activations_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  [[nodiscard]] bool fire(fault::Stream stream, double rate,
+                          std::atomic<std::uint64_t>& counter);
+
+  FaultInjectorOptions options_;
+  std::atomic<std::uint64_t> store_fail_events_{0};
+  std::atomic<std::uint64_t> store_delay_events_{0};
+  std::atomic<std::uint64_t> store_corrupt_events_{0};
+  std::atomic<std::uint64_t> conn_drop_events_{0};
+  std::atomic<std::uint64_t> conn_stall_events_{0};
+  std::atomic<std::uint64_t> activations_{0};
+};
+
+}  // namespace wi::serve

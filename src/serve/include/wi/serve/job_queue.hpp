@@ -10,6 +10,9 @@
 /// is two-sided: a per-client quota stops one client from *filling*
 /// the queue, and pop() round-robins across clients so a burst from
 /// one client cannot monopolize the worker pool even within quota.
+/// An optional overload watermark sheds new work (with a typed kShed
+/// verdict the server turns into a retry-after hint) before the queue
+/// wedges at capacity, keeping tail latency bounded under overload.
 /// close() stops admission but lets consumers drain what was accepted
 /// — the graceful-shutdown half of the contract: accepted work always
 /// completes, rejected work was always told so.
@@ -25,6 +28,23 @@
 
 namespace wi::serve {
 
+/// Why an admission attempt did (not) succeed. Everything except
+/// kAccepted is an immediate, explicit rejection the connection layer
+/// answers with backpressure; kShed additionally means "the queue is
+/// still legally below capacity but past the overload watermark" — the
+/// load-shedding signal that should carry a retry-after hint.
+enum class PushOutcome {
+  kAccepted,
+  kClosed,     ///< admission closed (draining for shutdown)
+  kFull,       ///< queue at capacity
+  kOverQuota,  ///< this client is at its per-client quota
+  kShed,       ///< over the overload watermark: shed to protect latency
+};
+
+[[nodiscard]] constexpr bool push_accepted(PushOutcome outcome) {
+  return outcome == PushOutcome::kAccepted;
+}
+
 template <typename T>
 class FairJobQueue {
  public:
@@ -32,6 +52,10 @@ class FairJobQueue {
     std::size_t capacity = 256;
     /// Max queued jobs per client; 0 = no per-client cap (capacity).
     std::size_t per_client_quota = 0;
+    /// Overload watermark: depth at or above which new work is shed
+    /// (kShed) even though capacity remains. 0 = disabled. Clamped to
+    /// capacity.
+    std::size_t shed_watermark = 0;
   };
 
   explicit FairJobQueue(Options options = {}) : options_(options) {
@@ -40,22 +64,33 @@ class FairJobQueue {
         options_.per_client_quota > options_.capacity) {
       options_.per_client_quota = options_.capacity;
     }
+    if (options_.shed_watermark > options_.capacity) {
+      options_.shed_watermark = options_.capacity;
+    }
   }
 
-  /// Non-blocking admission; false when closed, the queue is at
-  /// capacity, or this client is at quota.
-  [[nodiscard]] bool try_push(std::uint64_t client, T item) {
+  /// Non-blocking admission with a typed verdict; anything but
+  /// kAccepted left the queue untouched.
+  [[nodiscard]] PushOutcome try_push(std::uint64_t client, T item) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      if (closed_ || size_ >= options_.capacity) return false;
+      if (closed_) return PushOutcome::kClosed;
+      if (size_ >= options_.capacity) return PushOutcome::kFull;
+      if (options_.shed_watermark != 0 &&
+          size_ >= options_.shed_watermark) {
+        ++shed_count_;
+        return PushOutcome::kShed;
+      }
       Lane& lane = lane_for(client);
-      if (lane.jobs.size() >= options_.per_client_quota) return false;
+      if (lane.jobs.size() >= options_.per_client_quota) {
+        return PushOutcome::kOverQuota;
+      }
       lane.jobs.push_back(std::move(item));
       ++size_;
       if (size_ > peak_depth_) peak_depth_ = size_;
     }
     cv_.notify_one();
-    return true;
+    return PushOutcome::kAccepted;
   }
 
   /// Blocking round-robin pop; nullopt once closed *and* drained.
@@ -117,6 +152,12 @@ class FairJobQueue {
     return peak_depth_;
   }
 
+  /// Pushes rejected by the overload watermark so far.
+  [[nodiscard]] std::size_t shed_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return shed_count_;
+  }
+
   /// Live lane count: clients with at least one queued job. Drained
   /// lanes are reclaimed, so this is bounded by size().
   [[nodiscard]] std::size_t lane_count() const {
@@ -150,6 +191,7 @@ class FairJobQueue {
   std::size_t cursor_ = 0;  ///< last-served lane index
   std::size_t size_ = 0;
   std::size_t peak_depth_ = 0;
+  std::size_t shed_count_ = 0;
   bool closed_ = false;
 };
 

@@ -44,6 +44,10 @@ enum class Counter {
   kParseErrors,         ///< malformed frames (bad JSON / bad shape)
   kOversizedFrames,     ///< frames over the max-frame bound
   kRowsStreamed,        ///< result table rows sent to clients
+  kLoadShed,            ///< overload-watermark rejections (retry-after)
+  kDeadlineExpired,     ///< jobs answered kDeadlineExceeded unrun
+  kInjectedFaults,      ///< FaultInjector activations (chaos mode)
+  kDroppedConnections,  ///< connections dropped by the FaultInjector
   kCount,               ///< sentinel
 };
 
@@ -114,6 +118,8 @@ struct MetricsGauges {
   std::size_t store_misses = 0;
   std::size_t store_inserts = 0;
   std::size_t store_corrupt = 0;
+  std::size_t store_orphans_removed = 0;
+  std::size_t store_transient_failures = 0;
   bool has_store = false;
 };
 

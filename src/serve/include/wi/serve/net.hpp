@@ -59,6 +59,13 @@ class Socket {
 [[nodiscard]] Status write_all(const Socket& socket,
                                const std::string& data);
 
+/// Bound every blocking read on the socket to `timeout_ms`
+/// (SO_RCVTIMEO); 0 restores "block forever". A read that times out
+/// surfaces as LineReader::ReadResult::kTimeout — how a client
+/// enforces its request deadline against a stalled server.
+[[nodiscard]] Status set_receive_timeout(const Socket& socket,
+                                         double timeout_ms);
+
 /// Buffered line reader over one socket.
 class LineReader {
  public:
@@ -67,6 +74,8 @@ class LineReader {
     kEof,        ///< clean end of stream
     kOversized,  ///< frame exceeded max_bytes; it was discarded and the
                  ///< stream is positioned after its newline
+    kTimeout,    ///< receive timeout expired (set_receive_timeout);
+                 ///< buffered partial data is kept — retryable
     kError,      ///< read(2) failed / stream died mid-frame
   };
 

@@ -59,6 +59,11 @@ struct Request {
   /// run_campaign by name: replica count / seed-derivation root.
   std::size_t seeds = 8;
   std::uint64_t base_seed = 1;
+
+  /// Per-request deadline in milliseconds from server receipt; 0 =
+  /// none. A job still queued when its deadline passes is answered
+  /// kDeadlineExceeded instead of running (run requests only).
+  double deadline_ms = 0.0;
 };
 
 /// One server response. `result` is present on successful run_scenario
@@ -70,6 +75,9 @@ struct Response {
   std::string tier;  ///< "hot"|"inflight"|"cold"|"run" for run responses
   double queue_us = 0.0;  ///< admission-to-worker wait of this request
   double run_us = 0.0;    ///< engine execution time (0 on cache hits)
+  /// Load-shedding hint: on kUnavailable rejections, how long the
+  /// client should back off before retrying (0 = no hint).
+  double retry_after_ms = 0.0;
   std::optional<sim::RunResult> result;
 
   [[nodiscard]] bool ok() const { return status.is_ok(); }

@@ -38,6 +38,7 @@
 #include <thread>
 #include <vector>
 
+#include "wi/serve/fault_injector.hpp"
 #include "wi/serve/hot_tier.hpp"
 #include "wi/serve/metrics.hpp"
 #include "wi/serve/net.hpp"
@@ -69,6 +70,15 @@ struct ServerOptions {
   /// parallelism).
   std::size_t campaign_threads = 2;
   std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Load-shedding watermark: queue depth at or above which new run
+  /// requests are rejected with kUnavailable + a retry_after_ms hint,
+  /// before the queue wedges at capacity. 0 = disabled.
+  std::size_t shed_watermark = 0;
+  /// The retry_after_ms hint attached to shed rejections.
+  double shed_retry_after_ms = 50.0;
+  /// Chaos mode: deterministic fault injection on the store and
+  /// connection paths. All-zero rates (the default) = no injector.
+  FaultInjectorOptions chaos;
   /// Log one line per connection/shutdown event to stderr.
   bool verbose = false;
 };
@@ -94,6 +104,13 @@ class Server {
   /// connections and join every thread. Idempotent.
   void stop();
 
+  /// Signal-safe-adjacent shutdown entry: close admission, drain
+  /// accepted work and release wait(). For the daemon's SIGTERM /
+  /// SIGINT watcher thread (NOT the handler itself — call from a
+  /// normal thread). Idempotent; does not join connection threads,
+  /// the caller follows up with stop().
+  void begin_shutdown();
+
   /// True once draining began (no new work is admitted).
   [[nodiscard]] bool draining() const { return draining_.load(); }
 
@@ -104,6 +121,8 @@ class Server {
   [[nodiscard]] HotTier& hot_tier() { return hot_tier_; }
   [[nodiscard]] sim::SimEngine& engine() { return engine_; }
   [[nodiscard]] sim::ResultStore* store() { return store_.get(); }
+  /// Non-null iff chaos rates were configured.
+  [[nodiscard]] FaultInjector* injector() { return injector_.get(); }
   [[nodiscard]] const ServerOptions& options() const { return options_; }
 
  private:
@@ -125,6 +144,8 @@ class Server {
   [[nodiscard]] Response execute_keyed(
       const std::string& key, std::uint64_t client_key, Job job,
       Response response);
+  /// Stamp the job's absolute expiry from request.deadline_ms (if set).
+  static void apply_deadline(Job& job, const Request& request);
 
   /// Close admission, drain the queue, join workers. Safe from any
   /// thread (including a connection thread handling shutdown);
@@ -140,6 +161,7 @@ class Server {
   std::unique_ptr<sim::ResultStore> store_;
   HotTier hot_tier_;
   ServerMetrics metrics_;
+  std::unique_ptr<FaultInjector> injector_;
 
   // Defined in server.cpp (holds the queue of move-only jobs).
   struct QueueHolder;

@@ -1,6 +1,12 @@
 #include "wi/serve/client.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <thread>
 #include <utility>
+
+#include "wi/common/fault.hpp"
 
 namespace wi::serve {
 
@@ -15,6 +21,10 @@ Status Client::connect(const std::string& host, std::uint16_t port) {
   // client side beyond sanity.
   reader_ = std::make_unique<LineReader>(socket_, 64u << 20);
   return Status::ok();
+}
+
+Status Client::set_timeout(double timeout_ms) {
+  return set_receive_timeout(socket_, timeout_ms);
 }
 
 Response Client::call(const Request& request) {
@@ -51,6 +61,10 @@ Response Client::receive() {
       throw StatusError(Status(StatusCode::kParseError,
                                "response frame exceeds the client "
                                "frame bound"));
+    case LineReader::ReadResult::kTimeout:
+      throw StatusError(Status(StatusCode::kDeadlineExceeded,
+                               "timed out waiting for the response — "
+                               "reconnect before retrying"));
     case LineReader::ReadResult::kError:
       break;
   }
@@ -73,6 +87,63 @@ Response call_once(const std::string& host, std::uint16_t port,
   Response response = client.call(request);
   client.close();
   return response;
+}
+
+Response call_with_retry(const std::string& host, std::uint16_t port,
+                         const Request& request,
+                         const RetryOptions& options,
+                         RetryStats* stats) {
+  const std::size_t max_attempts =
+      options.max_attempts == 0 ? 1 : options.max_attempts;
+  // Decorrelate jitter across requests without losing replayability:
+  // the stream seed folds in the request id.
+  const std::uint64_t jitter_seed =
+      options.seed ^
+      fault::splitmix64(std::hash<std::string>{}(request.id));
+  double backoff_ms = options.initial_backoff_ms;
+  for (std::size_t attempt = 0;; ++attempt) {
+    if (stats != nullptr) stats->attempts = attempt + 1;
+    double hint_ms = 0.0;
+    try {
+      Client client;
+      if (Status status = client.connect(host, port);
+          !status.is_ok()) {
+        throw StatusError(status);
+      }
+      if (options.timeout_ms > 0.0) {
+        if (Status status = client.set_timeout(options.timeout_ms);
+            !status.is_ok()) {
+          throw StatusError(status);
+        }
+      }
+      Response response = client.call(request);
+      client.close();
+      if (response.status.code() != StatusCode::kUnavailable ||
+          attempt + 1 >= max_attempts) {
+        return response;
+      }
+      hint_ms = response.retry_after_ms;
+    } catch (const StatusError& error) {
+      // Thrown kDeadlineExceeded is OUR receive timeout (retryable on
+      // a fresh connection); a server-enforced deadline arrives as a
+      // parsed response above and is terminal.
+      const StatusCode code = error.status().code();
+      const bool retryable = code == StatusCode::kUnavailable ||
+                             code == StatusCode::kDeadlineExceeded;
+      if (!retryable || attempt + 1 >= max_attempts) throw;
+    }
+    const double jitter =
+        0.5 + fault::unit_interval(fault::derive(
+                  jitter_seed, fault::Stream::kRetryJitter, attempt));
+    const double wait_ms = std::max(backoff_ms, hint_ms) * jitter;
+    if (wait_ms > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(wait_ms));
+    }
+    if (stats != nullptr) stats->backoff_ms_total += wait_ms;
+    backoff_ms = std::min(backoff_ms * options.backoff_multiplier,
+                          options.max_backoff_ms);
+  }
 }
 
 }  // namespace wi::serve

@@ -1,0 +1,92 @@
+#include "wi/serve/fault_injector.hpp"
+
+#include <string>
+
+namespace wi::serve {
+
+namespace {
+
+[[nodiscard]] Status check_rate(double rate, const char* name) {
+  if (!(rate >= 0.0) || rate > 1.0) {
+    return Status(StatusCode::kInvalidSpec,
+                  std::string("fault injector ") + name +
+                      " must be in [0, 1], got " + std::to_string(rate));
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+Status FaultInjectorOptions::validate() const {
+  if (Status s = check_rate(store_fail_rate, "store_fail_rate");
+      !s.is_ok()) {
+    return s;
+  }
+  if (Status s = check_rate(store_delay_rate, "store_delay_rate");
+      !s.is_ok()) {
+    return s;
+  }
+  if (Status s = check_rate(store_corrupt_rate, "store_corrupt_rate");
+      !s.is_ok()) {
+    return s;
+  }
+  if (Status s = check_rate(conn_drop_rate, "conn_drop_rate");
+      !s.is_ok()) {
+    return s;
+  }
+  if (Status s = check_rate(conn_stall_rate, "conn_stall_rate");
+      !s.is_ok()) {
+    return s;
+  }
+  if (!(delay_ms >= 0.0)) {
+    return Status(StatusCode::kInvalidSpec,
+                  "fault injector delay_ms must be >= 0, got " +
+                      std::to_string(delay_ms));
+  }
+  return Status::ok();
+}
+
+FaultInjector::FaultInjector(FaultInjectorOptions options)
+    : options_(options) {}
+
+bool FaultInjector::fire(fault::Stream stream, double rate,
+                         std::atomic<std::uint64_t>& counter) {
+  // fetch_add gives every event a unique, dense index on its stream;
+  // the verdict depends only on (seed, stream, index), never on which
+  // thread asked or when. Zero-rate hooks still consume an index so the
+  // streams stay aligned across runs that only differ in one rate.
+  const std::uint64_t index =
+      counter.fetch_add(1, std::memory_order_relaxed);
+  if (rate <= 0.0) return false;
+  const bool fired =
+      fault::decide(options_.seed, stream, index, rate);
+  if (fired) activations_.fetch_add(1, std::memory_order_relaxed);
+  return fired;
+}
+
+bool FaultInjector::store_fail() {
+  return fire(fault::Stream::kStoreFail, options_.store_fail_rate,
+              store_fail_events_);
+}
+
+bool FaultInjector::store_delay() {
+  return fire(fault::Stream::kStoreDelay, options_.store_delay_rate,
+              store_delay_events_);
+}
+
+bool FaultInjector::store_corrupt() {
+  return fire(fault::Stream::kStoreCorrupt, options_.store_corrupt_rate,
+              store_corrupt_events_);
+}
+
+bool FaultInjector::conn_drop() {
+  return fire(fault::Stream::kConnDrop, options_.conn_drop_rate,
+              conn_drop_events_);
+}
+
+bool FaultInjector::conn_stall() {
+  return fire(fault::Stream::kConnStall, options_.conn_stall_rate,
+              conn_stall_events_);
+}
+
+}  // namespace wi::serve

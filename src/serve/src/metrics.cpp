@@ -35,6 +35,10 @@ const char* counter_name(Counter counter) {
     case Counter::kParseErrors: return "parse_errors";
     case Counter::kOversizedFrames: return "oversized_frames";
     case Counter::kRowsStreamed: return "rows_streamed";
+    case Counter::kLoadShed: return "load_shed_rejects";
+    case Counter::kDeadlineExpired: return "deadline_expired_jobs";
+    case Counter::kInjectedFaults: return "injected_faults";
+    case Counter::kDroppedConnections: return "dropped_connections";
     case Counter::kCount: break;
   }
   return "unknown";
@@ -173,6 +177,8 @@ Table metrics_to_table(const MetricsSnapshot& snapshot,
   add_count("store_misses", gauges.store_misses);
   add_count("store_inserts", gauges.store_inserts);
   add_count("store_corrupt_entries", gauges.store_corrupt);
+  add_count("store_orphans_removed", gauges.store_orphans_removed);
+  add_count("store_transient_failures", gauges.store_transient_failures);
   return table;
 }
 

@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -106,6 +107,31 @@ Status tcp_connect(const std::string& host, std::uint16_t port,
   return Status::ok();
 }
 
+Status set_receive_timeout(const Socket& socket, double timeout_ms) {
+  if (!socket.valid()) {
+    return Status(StatusCode::kUnavailable, "socket is not open");
+  }
+  if (!(timeout_ms >= 0.0)) {
+    return Status(StatusCode::kInvalidSpec,
+                  "receive timeout must be >= 0 ms");
+  }
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout_ms / 1000.0);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (timeout_ms - static_cast<double>(tv.tv_sec) * 1000.0) * 1000.0);
+  // A zero timeval means "never time out" to the kernel; a caller who
+  // asked for a tiny-but-positive bound gets the smallest enforceable
+  // one instead of accidental infinity.
+  if (timeout_ms > 0.0 && tv.tv_sec == 0 && tv.tv_usec == 0) {
+    tv.tv_usec = 1;
+  }
+  if (setsockopt(socket.fd(), SOL_SOCKET, SO_RCVTIMEO, &tv,
+                 sizeof(tv)) != 0) {
+    return errno_status("setsockopt(SO_RCVTIMEO)");
+  }
+  return Status::ok();
+}
+
 Status write_all(const Socket& socket, const std::string& data) {
   std::size_t sent = 0;
   while (sent < data.size()) {
@@ -146,6 +172,9 @@ LineReader::ReadResult LineReader::read_line(std::string& line) {
     if (n == 0) return ReadResult::kEof;
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return ReadResult::kTimeout;
+      }
       return ReadResult::kError;
     }
     buffer_.append(chunk, static_cast<std::size_t>(n));

@@ -66,6 +66,9 @@ Json request_to_json(const Request& request) {
     json.set("seeds", Json(static_cast<double>(request.seeds)));
     json.set("base_seed", Json(static_cast<double>(request.base_seed)));
   }
+  if (request.deadline_ms > 0.0) {
+    json.set("deadline_ms", Json(request.deadline_ms));
+  }
   return json;
 }
 
@@ -95,6 +98,11 @@ Request request_from_json(const Json& json) {
       request.seeds = static_cast<std::size_t>(as_uint(value, key));
     } else if (key == "base_seed") {
       request.base_seed = as_uint(value, key);
+    } else if (key == "deadline_ms") {
+      request.deadline_ms = value.as_number();
+      if (!(request.deadline_ms >= 0.0)) {
+        fail("'deadline_ms' must be >= 0");
+      }
     } else {
       fail("unknown request key '" + key + "'");
     }
@@ -116,6 +124,10 @@ Request request_from_json(const Json& json) {
   }
   if (json.find("seed") != nullptr && !is_run_scenario) {
     fail("'seed' is only valid on run_scenario requests");
+  }
+  if (json.find("deadline_ms") != nullptr && !is_run_scenario &&
+      !is_run_campaign) {
+    fail("'deadline_ms' is only valid on run requests");
   }
   if ((json.find("seeds") != nullptr ||
        json.find("base_seed") != nullptr) &&
@@ -155,6 +167,9 @@ Json response_to_json(const Response& response) {
     json.set("queue_us", Json(response.queue_us));
   }
   if (response.run_us != 0.0) json.set("run_us", Json(response.run_us));
+  if (response.retry_after_ms != 0.0) {
+    json.set("retry_after_ms", Json(response.retry_after_ms));
+  }
   if (response.result.has_value()) {
     json.set("result", sim::run_result_to_json(*response.result));
   }
@@ -189,6 +204,8 @@ Response response_from_json(const Json& json) {
       response.queue_us = value.as_number();
     } else if (key == "run_us") {
       response.run_us = value.as_number();
+    } else if (key == "retry_after_ms") {
+      response.retry_after_ms = value.as_number();
     } else if (key == "result") {
       response.result = sim::run_result_from_json(value);
     } else {

@@ -69,7 +69,17 @@ struct Server::Job {
   std::uint64_t seed = 0;
   std::optional<sim::CampaignSpec> campaign;
   Clock::time_point enqueued;
+  /// Absolute expiry (receipt + deadline_ms); meaningful iff
+  /// has_deadline. A job popped past it is answered kDeadlineExceeded
+  /// without running.
+  Clock::time_point deadline;
+  bool has_deadline = false;
   std::shared_ptr<std::promise<JobOutcome>> outcome;
+
+  [[nodiscard]] std::string display_name() const {
+    return kind == Kind::kScenario ? spec.name
+                                   : campaign->display_name();
+  }
 };
 
 struct Server::QueueHolder {
@@ -116,12 +126,19 @@ Server::Server(ServerOptions options)
       options_.per_client_quota != 0
           ? options_.per_client_quota
           : std::max<std::size_t>(1, queue_options.capacity / 4);
+  queue_options.shed_watermark = options_.shed_watermark;
   queue_ = std::make_unique<QueueHolder>(queue_options);
+  if (options_.chaos.enabled()) {
+    injector_ = std::make_unique<FaultInjector>(options_.chaos);
+  }
 }
 
 Server::~Server() { stop(); }
 
 Status Server::start() {
+  if (Status valid = options_.chaos.validate(); !valid.is_ok()) {
+    return valid;
+  }
   if (started_.exchange(true)) {
     return Status(StatusCode::kExecutionError, "server already started");
   }
@@ -211,6 +228,12 @@ void Server::signal_shutdown() {
   lifecycle_cv_.notify_all();
 }
 
+void Server::begin_shutdown() {
+  if (!started_.load()) return;
+  drain();
+  signal_shutdown();
+}
+
 void Server::accept_loop() {
   for (;;) {
     sockaddr_in address{};
@@ -270,7 +293,11 @@ void Server::connection_loop(Connection& connection) {
   for (;;) {
     const LineReader::ReadResult read = reader.read_line(line);
     if (read == LineReader::ReadResult::kEof ||
-        read == LineReader::ReadResult::kError) {
+        read == LineReader::ReadResult::kError ||
+        read == LineReader::ReadResult::kTimeout) {
+      // kTimeout cannot happen (the server never arms SO_RCVTIMEO) but
+      // if it ever did, dropping the connection beats parsing a stale
+      // frame.
       break;
     }
     const auto t0 = Clock::now();
@@ -313,6 +340,26 @@ void Server::connection_loop(Connection& connection) {
                 << " queue_us=" << response.queue_us
                 << " run_us=" << response.run_us
                 << " total_us=" << us_since(t0) << "\n";
+    }
+    // Chaos hooks on the response path. Shutdown responses are exempt:
+    // dropping one would strand wait() and hang the daemon — the very
+    // failure mode the chaos gate exists to rule out.
+    if (injector_ != nullptr && !shutdown_handled) {
+      if (injector_->conn_drop()) {
+        metrics_.count(Counter::kInjectedFaults);
+        metrics_.count(Counter::kDroppedConnections);
+        if (options_.verbose) {
+          std::cerr << "[wi_serve] chaos: dropping client "
+                    << connection.client_id << " before its response\n";
+        }
+        break;  // client sees EOF and classifies/retries
+      }
+      if (injector_->conn_stall()) {
+        metrics_.count(Counter::kInjectedFaults);
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(
+                injector_->delay_ms()));
+      }
     }
     if (!write_all(connection.socket, response_to_line(response) + "\n")
              .is_ok()) {
@@ -409,6 +456,7 @@ Response Server::run_scenario(const Request& request,
   job.key = key;
   job.spec = std::move(spec);
   job.seed = request.seed;
+  apply_deadline(job, request);
   return execute_keyed(key, client_key, std::move(job),
                        std::move(response));
 }
@@ -450,8 +498,18 @@ Response Server::run_campaign(const Request& request,
   job.kind = Job::Kind::kCampaign;
   job.key = key;
   job.campaign = std::move(campaign);
+  apply_deadline(job, request);
   return execute_keyed(key, client_key, std::move(job),
                        std::move(response));
+}
+
+void Server::apply_deadline(Job& job, const Request& request) {
+  if (request.deadline_ms <= 0.0) return;
+  job.has_deadline = true;
+  job.deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double, std::milli>(
+                             request.deadline_ms));
 }
 
 Response Server::execute_keyed(const std::string& key,
@@ -499,22 +557,41 @@ Response Server::execute_keyed(const std::string& key,
   auto promise = std::make_shared<std::promise<JobOutcome>>();
   std::future<JobOutcome> outcome_future = promise->get_future();
   job.outcome = promise;
-  if (!queue_->queue.try_push(client_key, std::move(job))) {
+  const PushOutcome admitted =
+      queue_->queue.try_push(client_key, std::move(job));
+  if (!push_accepted(admitted)) {
     auto rejected = std::make_shared<sim::RunResult>();
     rejected->scenario = scenario_name;
-    rejected->status =
-        draining_.load()
-            ? Status(StatusCode::kUnavailable,
-                     "server is draining for shutdown — retry against "
-                     "a live instance")
-            : Status(StatusCode::kUnavailable,
-                     "job queue is full (capacity " +
-                         std::to_string(
-                             queue_->queue.options().capacity) +
-                         ", per-client quota " +
-                         std::to_string(
-                             queue_->queue.options().per_client_quota) +
-                         ") — back off and retry");
+    std::string reason;
+    switch (admitted) {
+      case PushOutcome::kClosed:
+        reason =
+            "server is draining for shutdown — retry against a live "
+            "instance";
+        break;
+      case PushOutcome::kShed:
+        metrics_.count(Counter::kLoadShed);
+        response.retry_after_ms = options_.shed_retry_after_ms;
+        reason = "server is shedding load (queue depth at the " +
+                 std::to_string(
+                     queue_->queue.options().shed_watermark) +
+                 "-job watermark) — retry after " +
+                 std::to_string(options_.shed_retry_after_ms) + " ms";
+        break;
+      case PushOutcome::kOverQuota:
+        reason = "client is at its per-client quota (" +
+                 std::to_string(
+                     queue_->queue.options().per_client_quota) +
+                 " queued jobs) — wait for queued work to finish";
+        break;
+      case PushOutcome::kFull:
+      default:
+        reason = "job queue is full (capacity " +
+                 std::to_string(queue_->queue.options().capacity) +
+                 ") — back off and retry";
+        break;
+    }
+    rejected->status = Status(StatusCode::kUnavailable, reason);
     metrics_.count(Counter::kBackpressure);
     response.status = rejected->status;
     // Release any waiter that coalesced onto this key while we tried.
@@ -526,7 +603,11 @@ Response Server::execute_keyed(const std::string& key,
   response.queue_us = outcome.queue_us;
   response.run_us = outcome.run_us;
   response.status = outcome.result->status;
-  response.result = *outcome.result;
+  // An expired job never ran: the answer is the status alone, with no
+  // result payload to mistake for workload output.
+  if (outcome.tier != "expired") {
+    response.result = *outcome.result;
+  }
   metrics_.observe_request(outcome.queue_us, outcome.run_us,
                            us_since(t0), outcome.tier == "run");
   return response;
@@ -537,16 +618,61 @@ void Server::worker_loop() {
     JobOutcome outcome;
     outcome.queue_us = us_since(job->enqueued);
     auto result = std::make_shared<sim::RunResult>();
+    // Deadline gate: a job whose deadline passed while it queued is
+    // answered without running — the client asked for "by then or not
+    // at all", and skipping the run is what keeps an overloaded queue
+    // from doing work nobody is waiting for. HotTier never caches
+    // failed results, so the expired answer cannot poison the key.
+    if (job->has_deadline && Clock::now() >= job->deadline) {
+      result->scenario = job->display_name();
+      result->status = Status(
+          StatusCode::kDeadlineExceeded,
+          "deadline expired after " +
+              std::to_string(outcome.queue_us / 1000.0) +
+              " ms in queue — job not run; retry with a larger "
+              "deadline");
+      metrics_.count(Counter::kDeadlineExpired);
+      outcome.tier = "expired";
+      hot_tier_.fulfill(job->key, result);
+      outcome.result = std::move(result);
+      job->outcome->set_value(std::move(outcome));
+      continue;
+    }
     if (job->kind == Job::Kind::kScenario) {
       std::optional<sim::RunResult> cached;
       if (store_ != nullptr) {
-        try {
-          cached = store_->load(job->spec, job->seed);
-        } catch (const std::exception& error) {
-          // A failing cold tier degrades to a miss; the run below
-          // recomputes.
-          std::cerr << "[wi_serve] store load failed for " << job->key
-                    << ": " << error.what() << "\n";
+        if (injector_ != nullptr && injector_->store_delay()) {
+          metrics_.count(Counter::kInjectedFaults);
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(
+                  injector_->delay_ms()));
+        }
+        if (injector_ != nullptr && injector_->store_fail()) {
+          // Injected transient I/O failure: the load degrades to a
+          // miss, exactly like the real errno paths in ResultStore.
+          metrics_.count(Counter::kInjectedFaults);
+          std::cerr << "[wi_serve] chaos: injected store load failure "
+                       "for "
+                    << job->key << "\n";
+        } else {
+          try {
+            cached = store_->load(job->spec, job->seed);
+          } catch (const std::exception& error) {
+            // A failing cold tier degrades to a miss; the run below
+            // recomputes.
+            std::cerr << "[wi_serve] store load failed for " << job->key
+                      << ": " << error.what() << "\n";
+          }
+          if (cached.has_value() && injector_ != nullptr &&
+              injector_->store_corrupt()) {
+            // Injected corruption: discard the loaded entry, as the
+            // store's own checksum path does for real bit rot.
+            metrics_.count(Counter::kInjectedFaults);
+            std::cerr << "[wi_serve] chaos: injected corrupt store "
+                         "entry for "
+                      << job->key << "\n";
+            cached.reset();
+          }
         }
       }
       if (cached.has_value()) {
@@ -570,19 +696,29 @@ void Server::worker_loop() {
         metrics_.count(Counter::kEngineRuns);
         if (!result->ok()) metrics_.count(Counter::kFailedRuns);
         if (store_ != nullptr) {
-          // ResultStore::save throws on write/rename failure (full or
-          // read-only store directory). Uncaught it would
-          // std::terminate the daemon from this worker thread and
-          // strand every coalesced waiter; the computed result is
-          // still good, so log and serve it unpersisted.
-          try {
-            store_->save(job->spec, *result, job->seed);
-          } catch (const StatusError& error) {
-            std::cerr << "[wi_serve] store save failed for " << job->key
-                      << ": " << error.status().to_string() << "\n";
-          } catch (const std::exception& error) {
-            std::cerr << "[wi_serve] store save failed for " << job->key
-                      << ": " << error.what() << "\n";
+          if (injector_ != nullptr && injector_->store_fail()) {
+            // Injected write failure: drop the save, serve the result
+            // unpersisted — the same degradation as a real ENOSPC.
+            metrics_.count(Counter::kInjectedFaults);
+            std::cerr << "[wi_serve] chaos: injected store save "
+                         "failure for "
+                      << job->key << "\n";
+          } else {
+            // ResultStore::save throws on write/rename failure (full
+            // or read-only store directory). Uncaught it would
+            // std::terminate the daemon from this worker thread and
+            // strand every coalesced waiter; the computed result is
+            // still good, so log and serve it unpersisted.
+            try {
+              store_->save(job->spec, *result, job->seed);
+            } catch (const StatusError& error) {
+              std::cerr << "[wi_serve] store save failed for "
+                        << job->key << ": "
+                        << error.status().to_string() << "\n";
+            } catch (const std::exception& error) {
+              std::cerr << "[wi_serve] store save failed for "
+                        << job->key << ": " << error.what() << "\n";
+            }
           }
         }
       }
@@ -633,6 +769,8 @@ Table Server::stats_table() {
     gauges.store_misses = stats.misses;
     gauges.store_inserts = stats.inserts;
     gauges.store_corrupt = stats.corrupt_entries;
+    gauges.store_orphans_removed = stats.orphans_removed;
+    gauges.store_transient_failures = stats.transient_write_failures;
     gauges.has_store = true;
   }
   return metrics_to_table(metrics_.snapshot(), gauges);

@@ -1,0 +1,36 @@
+#pragma once
+/// \file fault_codec.hpp
+/// \brief wi::fault::FaultSpec <-> JSON in the shared spec dialect
+///        (snake_case keys, absent = default, unknown = error).
+///
+/// Lives in the sim layer (not common) because the codec dialect —
+/// ObjectReader, exact-integer seeds — is the sim spec contract; the
+/// fault model itself stays dependency-free in src/common.
+
+#include "wi/common/fault.hpp"
+#include "wi/sim/spec_codec.hpp"
+
+namespace wi::sim {
+
+[[nodiscard]] inline Json fault_to_json(const fault::FaultSpec& f) {
+  Json json = Json::object();
+  json.set("link_fail_rate", Json(f.link_fail_rate));
+  json.set("router_fail_rate", Json(f.router_fail_rate));
+  json.set("window_begin", Json(f.window_begin));
+  json.set("window_end", Json(f.window_end));
+  json.set("seed", Json(static_cast<double>(f.seed)));
+  return json;
+}
+
+inline void fault_from_json(const Json& json, const std::string& section,
+                            fault::FaultSpec& f) {
+  ObjectReader reader(json, section);
+  reader.number("link_fail_rate", f.link_fail_rate);
+  reader.number("router_fail_rate", f.router_fail_rate);
+  reader.number("window_begin", f.window_begin);
+  reader.number("window_end", f.window_end);
+  reader.u64("seed", f.seed);
+  reader.finish();
+}
+
+}  // namespace wi::sim

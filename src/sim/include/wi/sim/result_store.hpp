@@ -50,18 +50,26 @@ struct ResultStoreOptions {
 /// Lifetime counters of one ResultStore instance (all thread-safe):
 /// `hits`/`misses` count load() outcomes, `inserts` counts entries
 /// actually persisted by save(), `corrupt_entries` counts loads that
-/// found an unreadable entry (each also logged once per path).
+/// found an unreadable entry (each also logged once per path),
+/// `orphans_removed` counts stale atomic-write temp files swept on
+/// open, and `transient_write_failures` counts saves that failed
+/// retryably (ENOSPC, EINTR — surfaced as kUnavailable).
 struct ResultStoreStats {
   std::size_t hits = 0;
   std::size_t misses = 0;
   std::size_t inserts = 0;
   std::size_t corrupt_entries = 0;
+  std::size_t orphans_removed = 0;
+  std::size_t transient_write_failures = 0;
 };
 
 class ResultStore {
  public:
   /// Creates the directory if needed; throws StatusError
-  /// (kExecutionError) when it cannot be created.
+  /// (kExecutionError) when it cannot be created. Orphaned atomic-write
+  /// temp files (*.json.tmp left by a crash mid-save) are swept here —
+  /// they can never become valid entries, only waste space — and
+  /// counted in stats().orphans_removed.
   explicit ResultStore(ResultStoreOptions options);
 
   /// Content key of a (spec, seed) pair under this store's version:
@@ -80,7 +88,9 @@ class ResultStore {
                                               std::uint64_t seed = 0) const;
 
   /// Persist a successful result (atomically); failed results are
-  /// ignored so they re-run next time.
+  /// ignored so they re-run next time. Transient I/O failures (ENOSPC,
+  /// EINTR) throw StatusError(kUnavailable) — retry later, the store
+  /// is intact; anything else throws kExecutionError.
   void save(const ScenarioSpec& spec, const RunResult& result,
             std::uint64_t seed = 0);
 
@@ -134,6 +144,8 @@ class ResultStore {
   mutable std::atomic<std::size_t> misses_{0};
   std::atomic<std::size_t> inserts_{0};
   mutable std::atomic<std::size_t> corrupt_entries_{0};
+  std::atomic<std::size_t> orphans_removed_{0};
+  std::atomic<std::size_t> transient_write_failures_{0};
   mutable std::vector<Status> corruption_log_;  ///< one per distinct path
 };
 

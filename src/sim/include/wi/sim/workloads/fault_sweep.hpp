@@ -1,0 +1,37 @@
+#pragma once
+/// \file fault_sweep.hpp
+/// \brief Payload of the "fault_sweep" workload (failure rate vs
+///        latency/throughput degradation under rerouting).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "wi/common/fault.hpp"
+#include "wi/sim/scenario.hpp"
+
+namespace wi::sim {
+
+/// Failure-injection sweep over the flit-level DES: each entry of
+/// `fail_rates` is one table row — a full simulation with per-link
+/// failure probability `rate` and per-router failure probability
+/// `rate * router_fail_fraction`, faults deriving from the embedded
+/// FaultSpec's seed and activation window. Topology, traffic and
+/// routing come from the scenario's NocSpec. The row grid is fixed by
+/// `fail_rates`, so the shape is stable across seeds — the contract the
+/// campaign aggregator relies on.
+struct FaultSweepSpec : PayloadBase<FaultSweepSpec> {
+  std::vector<double> fail_rates;      ///< empty = {0, 0.02, 0.05, 0.1, 0.2}
+  double router_fail_fraction = 0.25;  ///< router rate / link rate
+  double injection_rate = 0.1;         ///< offered load [flits/cycle/module]
+  /// Fault stream seed + activation window; the sweep overrides the
+  /// per-entity rates row by row.
+  fault::FaultSpec fault;
+  std::size_t warmup_cycles = 1000;    ///< excluded from statistics
+  std::size_t measure_cycles = 4000;   ///< measurement window
+  std::size_t drain_cycles = 8000;     ///< post-window drain limit
+  std::size_t buffer_depth = 8;        ///< input queue capacity [flits]
+  std::uint64_t seed = 1;              ///< traffic seed
+};
+
+}  // namespace wi::sim

@@ -3,6 +3,7 @@
 #include "wi/common/math.hpp"
 #include "wi/sim/workload.hpp"
 #include "wi/sim/workloads/adc_energy.hpp"
+#include "wi/sim/workloads/fault_sweep.hpp"
 #include "wi/sim/workloads/flit_sim.hpp"
 #include "wi/sim/workloads/impulse_response.hpp"
 #include "wi/sim/workloads/info_rates.hpp"
@@ -350,6 +351,53 @@ namespace {
     spec.workload = "noc_saturation";
     registry.add(spec);
   }
+  // Failure-injection sweeps: the Fig. 8(a) topologies under scheduled
+  // link/router deaths with reroute (ROADMAP scenario-diversity item).
+  {
+    TopologySpec mesh2d;
+    mesh2d.kind = TopologySpec::Kind::kMesh2d;
+    mesh2d.kx = 8;
+    mesh2d.ky = 8;
+    ScenarioSpec spec = noc_scenario(
+        "fault_sweep_mesh2d_8x8",
+        "Failure sweep of the 8x8 2D mesh: latency/throughput degradation "
+        "vs link/router failure rate under rerouting",
+        mesh2d);
+    spec.workload = "fault_sweep";
+    registry.add(spec);
+  }
+  {
+    TopologySpec star;
+    star.kind = TopologySpec::Kind::kStarMesh;
+    star.kx = 4;
+    star.ky = 4;
+    star.concentration = 4;
+    ScenarioSpec spec = noc_scenario(
+        "fault_sweep_star_mesh_4x4c4",
+        "Failure sweep of the 4x4 star-mesh (concentration 4): central "
+        "routers are high-value targets, so degradation is steeper",
+        star);
+    spec.workload = "fault_sweep";
+    registry.add(spec);
+  }
+  {
+    TopologySpec mesh2d;
+    mesh2d.kind = TopologySpec::Kind::kMesh2d;
+    mesh2d.kx = 8;
+    mesh2d.ky = 8;
+    ScenarioSpec spec = noc_scenario(
+        "campaign_fault_mesh2d_8x8",
+        "Campaign family: failure sweep of the 8x8 2D mesh across "
+        "failure seeds (statistical degradation envelope)",
+        mesh2d);
+    spec.workload = "fault_sweep";
+    auto& sweep = spec.payload<FaultSweepSpec>();
+    sweep.fail_rates = {0.0, 0.05, 0.15};
+    sweep.measure_cycles = 3000;
+    sweep.drain_cycles = 6000;
+    registry.add(spec);
+  }
+
   {
     ScenarioSpec spec;
     spec.name = "link_margin_map";

@@ -1,6 +1,8 @@
 #include "wi/sim/result_store.hpp"
 
+#include <cerrno>
 #include <charconv>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -92,6 +94,24 @@ ResultStore::ResultStore(ResultStoreOptions options)
         "result store: cannot create '" + options_.directory.string() +
             "': " + ec.message()));
   }
+  // Sweep orphaned atomic-write temp files: a crash between the tmp
+  // write and the rename leaves "<key>.json.tmp" behind, which can
+  // never become a valid entry. Removal failures are ignored (another
+  // process may be sweeping concurrently).
+  for (std::filesystem::directory_iterator it(options_.directory, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    const std::filesystem::path& path = it->path();
+    if (path.extension() != ".tmp" ||
+        path.stem().extension() != ".json") {
+      continue;
+    }
+    std::error_code remove_ec;
+    if (std::filesystem::remove(path, remove_ec) && !remove_ec) {
+      ++orphans_removed_;
+      std::cerr << "result store: removed orphaned temp file '"
+                << path.string() << "'\n";
+    }
+  }
 }
 
 std::string ResultStore::key(const ScenarioSpec& spec,
@@ -173,6 +193,8 @@ ResultStoreStats ResultStore::stats() const {
   stats.misses = misses_.load();
   stats.inserts = inserts_.load();
   stats.corrupt_entries = corrupt_entries_.load();
+  stats.orphans_removed = orphans_removed_.load();
+  stats.transient_write_failures = transient_write_failures_.load();
   return stats;
 }
 
@@ -199,9 +221,23 @@ void ResultStore::save(const ScenarioSpec& spec, const RunResult& result,
       path.string() + ".tmp";  // same directory => rename is atomic
   std::lock_guard<std::mutex> lock(io_mutex_);
   {
+    errno = 0;
     std::ofstream out(tmp, std::ios::trunc);
     out << payload;
+    out.flush();
     if (!out) {
+      const int err = errno;
+      // A half-written temp file must not linger as an orphan.
+      std::error_code cleanup_ec;
+      std::filesystem::remove(tmp, cleanup_ec);
+      if (err == ENOSPC || err == EINTR || err == EAGAIN ||
+          err == EDQUOT) {
+        ++transient_write_failures_;
+        throw StatusError(Status(
+            StatusCode::kUnavailable,
+            "result store: transient write failure for '" + tmp.string() +
+                "' (" + std::strerror(err) + ") — retry later"));
+      }
       throw StatusError(Status(StatusCode::kExecutionError,
                                "result store: write failed for '" +
                                    tmp.string() + "'"));
@@ -210,6 +246,17 @@ void ResultStore::save(const ScenarioSpec& spec, const RunResult& result,
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
   if (ec) {
+    std::error_code cleanup_ec;
+    std::filesystem::remove(tmp, cleanup_ec);
+    if (ec == std::errc::no_space_on_device ||
+        ec == std::errc::interrupted ||
+        ec == std::errc::resource_unavailable_try_again) {
+      ++transient_write_failures_;
+      throw StatusError(Status(
+          StatusCode::kUnavailable,
+          "result store: transient rename failure for '" + path.string() +
+              "' (" + ec.message() + ") — retry later"));
+    }
     throw StatusError(Status(StatusCode::kExecutionError,
                              "result store: rename failed for '" +
                                  path.string() + "': " + ec.message()));

@@ -1,0 +1,132 @@
+/// Fault-injecting DES tests: the six-argument simulate_network
+/// overload. An empty schedule is bit-identical to the legacy path, a
+/// scheduled link death reroutes traffic around it, router deaths take
+/// their links with them, severed destinations surface as Status rows
+/// (never throws), and the whole thing is deterministic per seed.
+
+#include "wi/noc/flit_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace wi::noc {
+namespace {
+
+FlitSimConfig quick_config() {
+  FlitSimConfig config;
+  config.warmup_cycles = 500;
+  config.measure_cycles = 3000;
+  config.drain_cycles = 4000;
+  return config;
+}
+
+/// One scheduled failure, mid-warmup by default so the measured window
+/// sees only the post-fault network.
+[[nodiscard]] fault::FaultSchedule one_event(fault::FaultEvent::Kind kind,
+                                             std::uint32_t index,
+                                             std::uint64_t at_cycle = 250) {
+  fault::FaultSchedule schedule;
+  schedule.events.push_back({kind, index, at_cycle});
+  return schedule;
+}
+
+TEST(FlitSimFaults, EmptyScheduleIsBitIdenticalToTheLegacyPath) {
+  const Topology t = Topology::mesh_2d(4, 4);
+  const DimensionOrderRouting routing;
+  const TrafficPattern traffic = TrafficPattern::uniform(16);
+  const auto legacy =
+      simulate_network(t, routing, traffic, 0.1, quick_config());
+  const auto faulted = simulate_network(t, routing, traffic, 0.1,
+                                        quick_config(),
+                                        fault::FaultSchedule{});
+  EXPECT_DOUBLE_EQ(faulted.mean_latency_cycles,
+                   legacy.mean_latency_cycles);
+  EXPECT_DOUBLE_EQ(faulted.delivered_per_cycle,
+                   legacy.delivered_per_cycle);
+  EXPECT_EQ(faulted.delivered, legacy.delivered);
+  EXPECT_EQ(faulted.injected, legacy.injected);
+  EXPECT_EQ(faulted.dead_links, 0u);
+  EXPECT_EQ(faulted.dead_routers, 0u);
+  EXPECT_EQ(faulted.dropped, 0u);
+  EXPECT_EQ(faulted.unreachable, 0u);
+}
+
+TEST(FlitSimFaults, SingleLinkDeathReroutesWithoutLosingDelivery) {
+  // A 2D mesh is 2-connected between interior routers: killing one link
+  // forces a detour but no destination becomes unreachable, so a
+  // low-load run still delivers essentially everything.
+  const Topology t = Topology::mesh_2d(4, 4);
+  const DimensionOrderRouting routing;
+  const auto result = simulate_network(
+      t, routing, TrafficPattern::uniform(16), 0.05, quick_config(),
+      one_event(fault::FaultEvent::Kind::kLink, 0));
+  EXPECT_EQ(result.dead_links, 1u);
+  EXPECT_EQ(result.dead_routers, 0u);
+  EXPECT_EQ(result.unreachable, 0u);
+  EXPECT_TRUE(result.route_failures.empty());
+  EXPECT_GT(result.delivered, 0u);
+  EXPECT_GE(result.delivered + result.dropped,
+            result.injected * 99 / 100);
+}
+
+TEST(FlitSimFaults, RouterDeathTakesItsLinksAndStrandsItsModules) {
+  // Killing router 0 in a 4x4 mesh severs its attached modules from the
+  // rest: traffic to/from them is unreachable and reported as Status
+  // rows, not thrown.
+  const Topology t = Topology::mesh_2d(4, 4);
+  const DimensionOrderRouting routing;
+  const auto result = simulate_network(
+      t, routing, TrafficPattern::uniform(16), 0.1, quick_config(),
+      one_event(fault::FaultEvent::Kind::kRouter, 0));
+  EXPECT_EQ(result.dead_routers, 1u);
+  EXPECT_GE(result.dead_links, 2u) << "a corner router owns 2 mesh links";
+  EXPECT_GT(result.unreachable, 0u);
+  ASSERT_FALSE(result.route_failures.empty());
+  for (const Status& failure : result.route_failures) {
+    EXPECT_EQ(failure.code(), StatusCode::kUnreachableRoute)
+        << failure.to_string();
+  }
+  // The surviving 15 routers keep talking.
+  EXPECT_GT(result.delivered, 0u);
+}
+
+TEST(FlitSimFaults, FaultRunsAreDeterministicPerSeed) {
+  const Topology t = Topology::mesh_2d(4, 4);
+  const DimensionOrderRouting routing;
+  const TrafficPattern traffic = TrafficPattern::uniform(16);
+  const auto schedule = one_event(fault::FaultEvent::Kind::kLink, 3, 700);
+  const auto first = simulate_network(t, routing, traffic, 0.1,
+                                      quick_config(), schedule);
+  const auto second = simulate_network(t, routing, traffic, 0.1,
+                                       quick_config(), schedule);
+  EXPECT_DOUBLE_EQ(first.mean_latency_cycles, second.mean_latency_cycles);
+  EXPECT_EQ(first.delivered, second.delivered);
+  EXPECT_EQ(first.dropped, second.dropped);
+  EXPECT_EQ(first.unreachable, second.unreachable);
+}
+
+TEST(FlitSimFaults, LateFaultsHurtLessThanEarlyFaults) {
+  // The same link death after the measurement window cannot touch the
+  // measured statistics; mid-measurement it can only lower delivery.
+  const Topology t = Topology::mesh_2d(4, 4);
+  const DimensionOrderRouting routing;
+  const TrafficPattern traffic = TrafficPattern::uniform(16);
+  const FlitSimConfig config = quick_config();
+  const std::uint64_t horizon =
+      static_cast<std::uint64_t>(config.warmup_cycles +
+                                 config.measure_cycles);
+
+  const auto clean = simulate_network(t, routing, traffic, 0.1, config);
+  const auto after_window = simulate_network(
+      t, routing, traffic, 0.1, config,
+      one_event(fault::FaultEvent::Kind::kRouter, 5,
+                horizon + config.drain_cycles + 1000));
+  EXPECT_EQ(after_window.injected, clean.injected)
+      << "injection precedes the never-reached activation";
+  EXPECT_EQ(after_window.dead_routers, 0u)
+      << "an event beyond the simulated horizon never activates";
+}
+
+}  // namespace
+}  // namespace wi::noc

@@ -1,0 +1,142 @@
+/// FaultInjector unit tests: per-stream verdict sequences are a pure
+/// function of (seed, stream, index) — independent of thread
+/// interleaving — rates are honored empirically, and validation rejects
+/// out-of-range options.
+
+#include "wi/serve/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "wi/common/fault.hpp"
+
+namespace wi::serve {
+namespace {
+
+TEST(FaultInjectorOptions, EnabledOnlyWithAPositiveRate) {
+  FaultInjectorOptions options;
+  EXPECT_FALSE(options.enabled());
+  options.conn_stall_rate = 0.01;
+  EXPECT_TRUE(options.enabled());
+}
+
+TEST(FaultInjectorOptions, ValidationRejectsBadRatesAndDelays) {
+  FaultInjectorOptions options;
+  EXPECT_TRUE(options.validate().is_ok());
+  options.store_fail_rate = -0.1;
+  EXPECT_EQ(options.validate().code(), StatusCode::kInvalidSpec);
+  options.store_fail_rate = 1.1;
+  EXPECT_EQ(options.validate().code(), StatusCode::kInvalidSpec);
+  options.store_fail_rate = 1.0;
+  EXPECT_TRUE(options.validate().is_ok());
+  options.delay_ms = -1.0;
+  EXPECT_EQ(options.validate().code(), StatusCode::kInvalidSpec);
+}
+
+TEST(FaultInjector, VerdictSequenceMatchesTheDerivationChain) {
+  FaultInjectorOptions options;
+  options.store_fail_rate = 0.3;
+  options.seed = 777;
+  FaultInjector injector(options);
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const bool expected = fault::decide(777, fault::Stream::kStoreFail,
+                                        i, 0.3);
+    EXPECT_EQ(injector.store_fail(), expected) << "event " << i;
+  }
+}
+
+TEST(FaultInjector, StreamsAreIndependent) {
+  // Interleaving calls on other streams must not shift a stream's own
+  // event indices: the i-th conn_drop verdict is the same whether or
+  // not store hooks ran in between.
+  FaultInjectorOptions options;
+  options.store_fail_rate = 0.5;
+  options.conn_drop_rate = 0.5;
+  options.seed = 42;
+
+  std::vector<bool> solo;
+  {
+    FaultInjector injector(options);
+    for (int i = 0; i < 100; ++i) solo.push_back(injector.conn_drop());
+  }
+  FaultInjector interleaved(options);
+  for (int i = 0; i < 100; ++i) {
+    (void)interleaved.store_fail();
+    (void)interleaved.store_fail();
+    EXPECT_EQ(interleaved.conn_drop(), solo[static_cast<std::size_t>(i)])
+        << "event " << i;
+  }
+}
+
+TEST(FaultInjector, ZeroRateHooksNeverFireButKeepStreamsAligned) {
+  // Two runs that differ only in store_delay_rate must agree on every
+  // other stream's verdicts even when the zero-rate hook is called.
+  FaultInjectorOptions quiet;
+  quiet.store_fail_rate = 0.4;
+  quiet.store_delay_rate = 0.0;
+  quiet.seed = 9;
+  FaultInjectorOptions noisy = quiet;
+  noisy.store_delay_rate = 0.9;
+
+  FaultInjector a(quiet);
+  FaultInjector b(noisy);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(a.store_delay());
+    (void)b.store_delay();
+    EXPECT_EQ(a.store_fail(), b.store_fail()) << "event " << i;
+  }
+}
+
+TEST(FaultInjector, FiredCountTracksRateAndActivations) {
+  FaultInjectorOptions options;
+  options.conn_stall_rate = 0.25;
+  options.seed = 5;
+  FaultInjector injector(options);
+  std::uint64_t fired = 0;
+  constexpr int kTrials = 8000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (injector.conn_stall()) ++fired;
+  }
+  EXPECT_EQ(injector.activations(), fired);
+  const double observed = static_cast<double>(fired) / kTrials;
+  EXPECT_NEAR(observed, 0.25, 0.03);
+}
+
+TEST(FaultInjector, ConcurrentHooksFireTheSameTotalPerStream) {
+  // With threads racing on one stream the *assignment* of verdicts to
+  // callers is racy, but the multiset of verdicts over N events is
+  // fixed: every index 0..N-1 is consumed exactly once.
+  FaultInjectorOptions options;
+  options.store_fail_rate = 0.2;
+  options.seed = 123;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+
+  FaultInjector injector(options);
+  std::vector<std::thread> threads;
+  std::vector<std::uint64_t> fired_per_thread(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        if (injector.store_fail()) ++fired_per_thread[static_cast<std::size_t>(t)];
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  std::uint64_t fired = 0;
+  for (const std::uint64_t f : fired_per_thread) fired += f;
+
+  std::uint64_t expected = 0;
+  for (std::uint64_t i = 0; i < kThreads * kPerThread; ++i) {
+    if (fault::decide(123, fault::Stream::kStoreFail, i, 0.2)) ++expected;
+  }
+  EXPECT_EQ(fired, expected);
+  EXPECT_EQ(injector.activations(), expected);
+}
+
+}  // namespace
+}  // namespace wi::serve

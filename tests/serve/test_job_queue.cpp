@@ -20,7 +20,7 @@ struct Item {
 TEST(FairJobQueue, FifoWithinOneClient) {
   FairJobQueue<Item> queue;
   for (int i = 0; i < 5; ++i) {
-    ASSERT_TRUE(queue.try_push(1, Item{1, i}));
+    ASSERT_TRUE(push_accepted(queue.try_push(1, Item{1, i})));
   }
   for (int i = 0; i < 5; ++i) {
     const auto item = queue.pop();
@@ -34,10 +34,10 @@ TEST(FairJobQueue, RoundRobinAcrossClients) {
   FairJobQueue<Item> queue;
   // Client 1 floods; clients 2 and 3 each queue one job.
   for (int i = 0; i < 4; ++i) {
-    ASSERT_TRUE(queue.try_push(1, Item{1, i}));
+    ASSERT_TRUE(push_accepted(queue.try_push(1, Item{1, i})));
   }
-  ASSERT_TRUE(queue.try_push(2, Item{2, 0}));
-  ASSERT_TRUE(queue.try_push(3, Item{3, 0}));
+  ASSERT_TRUE(push_accepted(queue.try_push(2, Item{2, 0})));
+  ASSERT_TRUE(push_accepted(queue.try_push(3, Item{3, 0})));
   // A full rotation serves every client once before client 1 again.
   std::vector<std::uint64_t> order;
   for (int i = 0; i < 6; ++i) {
@@ -61,12 +61,12 @@ TEST(FairJobQueue, CapacityRejectsWithoutBlocking) {
   FairJobQueue<Item>::Options options;
   options.capacity = 3;
   FairJobQueue<Item> queue(options);
-  EXPECT_TRUE(queue.try_push(1, Item{}));
-  EXPECT_TRUE(queue.try_push(2, Item{}));
-  EXPECT_TRUE(queue.try_push(3, Item{}));
-  EXPECT_FALSE(queue.try_push(4, Item{}));  // full: immediate false
+  EXPECT_TRUE(push_accepted(queue.try_push(1, Item{})));
+  EXPECT_TRUE(push_accepted(queue.try_push(2, Item{})));
+  EXPECT_TRUE(push_accepted(queue.try_push(3, Item{})));
+  EXPECT_EQ(queue.try_push(4, Item{}), PushOutcome::kFull);
   (void)queue.pop();
-  EXPECT_TRUE(queue.try_push(4, Item{}));   // slot freed
+  EXPECT_TRUE(push_accepted(queue.try_push(4, Item{})));   // slot freed
   EXPECT_EQ(queue.peak_depth(), 3u);
 }
 
@@ -75,10 +75,11 @@ TEST(FairJobQueue, PerClientQuotaStopsAQueueHog) {
   options.capacity = 8;
   options.per_client_quota = 2;
   FairJobQueue<Item> queue(options);
-  EXPECT_TRUE(queue.try_push(1, Item{}));
-  EXPECT_TRUE(queue.try_push(1, Item{}));
-  EXPECT_FALSE(queue.try_push(1, Item{}));  // at quota, queue not full
-  EXPECT_TRUE(queue.try_push(2, Item{}));   // other clients unaffected
+  EXPECT_TRUE(push_accepted(queue.try_push(1, Item{})));
+  EXPECT_TRUE(push_accepted(queue.try_push(1, Item{})));
+  EXPECT_EQ(queue.try_push(1, Item{}),
+            PushOutcome::kOverQuota);  // at quota, queue not full
+  EXPECT_TRUE(push_accepted(queue.try_push(2, Item{})));   // other clients unaffected
   EXPECT_EQ(queue.size(), 3u);
 }
 
@@ -87,7 +88,7 @@ TEST(FairJobQueue, DrainedLanesAreReclaimed) {
   // lane table must track *queued* clients, not clients ever seen.
   FairJobQueue<Item> queue;
   for (std::uint64_t c = 1; c <= 100; ++c) {
-    ASSERT_TRUE(queue.try_push(c, Item{c, 0}));
+    ASSERT_TRUE(push_accepted(queue.try_push(c, Item{c, 0})));
   }
   EXPECT_EQ(queue.lane_count(), 100u);
   for (int i = 0; i < 100; ++i) {
@@ -95,7 +96,7 @@ TEST(FairJobQueue, DrainedLanesAreReclaimed) {
   }
   EXPECT_EQ(queue.lane_count(), 0u);
   // A returning client gets a fresh lane and full quota again.
-  ASSERT_TRUE(queue.try_push(7, Item{7, 1}));
+  ASSERT_TRUE(push_accepted(queue.try_push(7, Item{7, 1})));
   EXPECT_EQ(queue.lane_count(), 1u);
   ASSERT_TRUE(queue.pop().has_value());
   EXPECT_EQ(queue.lane_count(), 0u);
@@ -108,7 +109,7 @@ TEST(FairJobQueue, RotationSurvivesLaneReclamation) {
   std::map<std::uint64_t, int> next_expected;
   for (int round = 0; round < 3; ++round) {
     for (std::uint64_t c = 1; c <= 4; ++c) {
-      ASSERT_TRUE(queue.try_push(c, Item{c, round}));
+      ASSERT_TRUE(push_accepted(queue.try_push(c, Item{c, round})));
     }
     const auto item = queue.pop();
     ASSERT_TRUE(item.has_value());
@@ -125,12 +126,43 @@ TEST(FairJobQueue, RotationSurvivesLaneReclamation) {
   EXPECT_EQ(queue.lane_count(), 0u);
 }
 
+TEST(FairJobQueue, ShedWatermarkRejectsBeforeCapacity) {
+  FairJobQueue<Item>::Options options;
+  options.capacity = 8;
+  options.shed_watermark = 2;
+  FairJobQueue<Item> queue(options);
+  EXPECT_TRUE(push_accepted(queue.try_push(1, Item{})));
+  EXPECT_TRUE(push_accepted(queue.try_push(2, Item{})));
+  // Depth hit the watermark: new work is shed although 6 slots remain.
+  EXPECT_EQ(queue.try_push(3, Item{}), PushOutcome::kShed);
+  EXPECT_EQ(queue.try_push(1, Item{}), PushOutcome::kShed);
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue.shed_count(), 2u);
+  // Draining below the watermark reopens admission.
+  (void)queue.pop();
+  EXPECT_TRUE(push_accepted(queue.try_push(3, Item{})));
+  EXPECT_EQ(queue.shed_count(), 2u);
+}
+
+TEST(FairJobQueue, ShedWatermarkClampsToCapacity) {
+  FairJobQueue<Item>::Options options;
+  options.capacity = 2;
+  options.shed_watermark = 100;
+  FairJobQueue<Item> queue(options);
+  EXPECT_EQ(queue.options().shed_watermark, 2u);
+  EXPECT_TRUE(push_accepted(queue.try_push(1, Item{})));
+  EXPECT_TRUE(push_accepted(queue.try_push(2, Item{})));
+  // At capacity the verdict is kFull (capacity wins the tie): the
+  // watermark never makes a legal push *more* admissible.
+  EXPECT_EQ(queue.try_push(3, Item{}), PushOutcome::kFull);
+}
+
 TEST(FairJobQueue, CloseStopsAdmissionButDrains) {
   FairJobQueue<Item> queue;
-  ASSERT_TRUE(queue.try_push(1, Item{1, 0}));
-  ASSERT_TRUE(queue.try_push(1, Item{1, 1}));
+  ASSERT_TRUE(push_accepted(queue.try_push(1, Item{1, 0})));
+  ASSERT_TRUE(push_accepted(queue.try_push(1, Item{1, 1})));
   queue.close();
-  EXPECT_FALSE(queue.try_push(1, Item{1, 2}));
+  EXPECT_EQ(queue.try_push(1, Item{1, 2}), PushOutcome::kClosed);
   EXPECT_TRUE(queue.pop().has_value());
   EXPECT_TRUE(queue.pop().has_value());
   EXPECT_FALSE(queue.pop().has_value());  // closed + drained
@@ -164,8 +196,9 @@ TEST(FairJobQueue, ConcurrentStressDeliversEverythingOnce) {
   for (int p = 0; p < kProducers; ++p) {
     threads.emplace_back([&, p] {
       for (int i = 0; i < kPerProducer; ++i) {
-        if (!queue.try_push(static_cast<std::uint64_t>(p),
-                            Item{static_cast<std::uint64_t>(p), i})) {
+        if (!push_accepted(
+                queue.try_push(static_cast<std::uint64_t>(p),
+                               Item{static_cast<std::uint64_t>(p), i}))) {
           rejected.fetch_add(1);
           std::this_thread::yield();
           --i;  // retry until admitted: the test wants full delivery

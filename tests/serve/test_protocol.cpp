@@ -192,7 +192,8 @@ TEST(Protocol, StatusCodesSurviveTheWire) {
        {StatusCode::kOk, StatusCode::kInvalidSpec,
         StatusCode::kUnreachableRoute, StatusCode::kUnsupported,
         StatusCode::kExecutionError, StatusCode::kParseError,
-        StatusCode::kNotFound, StatusCode::kUnavailable}) {
+        StatusCode::kNotFound, StatusCode::kUnavailable,
+        StatusCode::kDeadlineExceeded}) {
     Response response;
     response.status = Status(code, "detail");
     const Response parsed =

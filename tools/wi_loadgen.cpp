@@ -34,6 +34,22 @@
 ///                        requests) >= R
 ///   --shutdown           finish with a shutdown request; fail unless
 ///                        it is acknowledged ok (clean drain)
+///   --expect-terminal    fail unless EVERY frame reached a terminal
+///                        classification (success, explicit rejection,
+///                        server-enforced deadline, caught malformed
+///                        frame, or exhausted-retries transport error)
+///                        — the chaos-mode liveness gate: no request
+///                        may hang or vanish
+///
+/// Chaos mode (--chaos, built for a wi_serve running with --chaos-*
+/// fault injection): one connection per request, client-side receive
+/// timeouts, retries with exponential backoff + deterministic jitter
+/// honoring the server's retry_after_ms hints, and a deterministic
+/// slice of requests carrying tight deadlines the server may answer
+/// with kDeadlineExceeded. Pair with --expect-terminal:
+///
+///   wi_loadgen --port-file p.txt --chaos --count 400 \
+///     --malformed-fraction 0.1 --expect-terminal --shutdown
 
 #include <algorithm>
 #include <atomic>
@@ -50,6 +66,7 @@
 #include <thread>
 #include <vector>
 
+#include "wi/common/fault.hpp"
 #include "wi/serve/client.hpp"
 #include "wi/serve/metrics.hpp"
 #include "wi/sim/scenario_json.hpp"
@@ -76,6 +93,14 @@ struct CliOptions {
   bool shutdown = false;
   bool print_stats = false;
   bool quiet = false;
+
+  // Chaos mode.
+  bool chaos = false;
+  bool expect_terminal = false;
+  double deadline_fraction = 0.3;  ///< share of requests with deadlines
+  double deadline_ms = 250.0;      ///< deadline scale for that share
+  double timeout_ms = 10000.0;     ///< per-attempt receive timeout
+  std::size_t retries = 4;         ///< max attempts per request
 };
 
 void print_usage(std::ostream& os) {
@@ -102,6 +127,18 @@ void print_usage(std::ostream& os) {
         "  --min-hit-rate R         gate: server hit_rate >= R\n"
         "  --shutdown               finish with a clean-drain shutdown\n"
         "  --stats                  print the server stats table\n"
+        "  --chaos                  chaos mode: one connection per\n"
+        "                           request, timeouts, retries with\n"
+        "                           backoff+jitter, random deadlines\n"
+        "  --expect-terminal        gate: every frame terminally\n"
+        "                           resolved (chaos liveness)\n"
+        "  --deadline-fraction F    chaos: share of requests with a\n"
+        "                           deadline (default 0.3)\n"
+        "  --deadline-ms MS         chaos: deadline scale (default 250)\n"
+        "  --timeout-ms MS          chaos: per-attempt receive timeout\n"
+        "                           (default 10000)\n"
+        "  --retries N              chaos: max attempts per request\n"
+        "                           (default 4)\n"
         "  --quiet                  only gate results\n"
         "  --help                   this text\n";
 }
@@ -203,9 +240,11 @@ struct Tally {
   std::uint64_t ok = 0;              ///< well-formed answered ok
   std::uint64_t rejected = 0;        ///< well-formed answered non-ok
   std::uint64_t backpressure = 0;    ///< of which kUnavailable
+  std::uint64_t deadline_exceeded = 0;  ///< server-enforced deadlines
   std::uint64_t malformed_caught = 0;  ///< malformed answered non-ok
   std::uint64_t malformed_missed = 0;  ///< malformed answered ok (bad!)
   std::uint64_t transport_errors = 0;
+  std::uint64_t retries = 0;         ///< chaos: extra attempts made
   std::uint64_t tier_hot = 0;
   std::uint64_t tier_inflight = 0;
   std::uint64_t tier_cold = 0;
@@ -221,6 +260,10 @@ void record_response(Tally& tally, const TraceItem& item,
   if (item.well_formed) {
     if (response.ok()) {
       ++tally.ok;
+    } else if (response.status.code() ==
+               StatusCode::kDeadlineExceeded) {
+      // A terminal verdict the request asked for, not a failure.
+      ++tally.deadline_exceeded;
     } else {
       ++tally.rejected;
       if (response.status.code() == StatusCode::kUnavailable) {
@@ -296,6 +339,93 @@ void client_worker(const CliOptions& options,
   connection.close();
 }
 
+/// Chaos-mode client: one connection per request, receive timeouts,
+/// retries with backoff/jitter, and a deterministic slice of requests
+/// carrying tight deadlines. Every frame ends in exactly one terminal
+/// bucket — ok, rejected, deadline_exceeded, malformed_caught/missed,
+/// or transport_errors — which is what --expect-terminal audits.
+void chaos_worker(const CliOptions& options,
+                  const std::vector<TraceItem>& items, std::size_t client,
+                  Tally& tally) {
+  using Clock = std::chrono::steady_clock;
+  for (std::size_t i = client; i < items.size(); i += options.clients) {
+    const TraceItem& item = items[i];
+    const auto t0 = Clock::now();
+    const auto latency_us = [&] {
+      return std::chrono::duration<double, std::micro>(Clock::now() -
+                                                       t0)
+          .count();
+    };
+    if (!item.well_formed) {
+      // Malformed frames ride a throwaway connection, no retries: the
+      // server must answer them non-ok and survive.
+      try {
+        Client connection;
+        if (Status status =
+                connection.connect(options.host, options.port);
+            !status.is_ok()) {
+          throw StatusError(status);
+        }
+        if (Status status = connection.set_timeout(options.timeout_ms);
+            !status.is_ok()) {
+          throw StatusError(status);
+        }
+        const Response response = connection.call_raw(item.line);
+        connection.close();
+        record_response(tally, item, response, latency_us());
+      } catch (const StatusError&) {
+        std::lock_guard<std::mutex> lock(tally.mutex);
+        ++tally.sent;
+        ++tally.transport_errors;
+      }
+      continue;
+    }
+    Request request;
+    try {
+      request = request_from_line(item.line);
+    } catch (const StatusError&) {
+      // load_trace/generate_mix said well-formed; disagreeing here
+      // would be a codec bug — classify terminally anyway.
+      std::lock_guard<std::mutex> lock(tally.mutex);
+      ++tally.sent;
+      ++tally.transport_errors;
+      continue;
+    }
+    // Deterministic chaos shaping: request i either runs unbounded or
+    // carries a deadline in [0.25, 1) * deadline_ms — tight enough
+    // that a queue behind injected stalls will expire some of them.
+    const std::uint64_t shape =
+        fault::derive(options.seed, fault::Stream::kChaosShape, i);
+    if ((request.type == RequestType::kRunScenario ||
+         request.type == RequestType::kRunCampaign) &&
+        fault::unit_interval(shape) < options.deadline_fraction) {
+      request.deadline_ms =
+          options.deadline_ms *
+          (0.25 + 0.75 * fault::unit_interval(fault::splitmix64(shape)));
+    }
+    RetryOptions retry;
+    retry.max_attempts = options.retries == 0 ? 1 : options.retries;
+    retry.initial_backoff_ms = 5.0;
+    retry.timeout_ms = options.timeout_ms;
+    retry.seed = options.seed;
+    RetryStats attempts;
+    try {
+      const Response response = call_with_retry(
+          options.host, options.port, request, retry, &attempts);
+      record_response(tally, item, response, latency_us());
+      std::lock_guard<std::mutex> lock(tally.mutex);
+      tally.retries += attempts.attempts - 1;
+    } catch (const StatusError&) {
+      // Retries exhausted (or a non-retryable transport error): the
+      // terminal classification is "transport error", never a hang.
+      std::lock_guard<std::mutex> lock(tally.mutex);
+      ++tally.sent;
+      ++tally.transport_errors;
+      tally.retries += attempts.attempts - 1;
+    }
+  }
+}
+
 [[nodiscard]] bool parse_size(const std::string& text, std::size_t& out) {
   try {
     out = static_cast<std::size_t>(std::stoull(text));
@@ -326,6 +456,14 @@ void client_worker(const CliOptions& options,
     }
     if (arg == "--expect-success") {
       options.expect_success = true;
+      continue;
+    }
+    if (arg == "--chaos") {
+      options.chaos = true;
+      continue;
+    }
+    if (arg == "--expect-terminal") {
+      options.expect_terminal = true;
       continue;
     }
     if (arg == "--shutdown") {
@@ -373,6 +511,14 @@ void client_worker(const CliOptions& options,
       double rate = 0.0;
       if (!parse_double(value, rate)) return 2;
       options.min_hit_rate = rate;
+    } else if (arg == "--deadline-fraction" && (value = next())) {
+      if (!parse_double(value, options.deadline_fraction)) return 2;
+    } else if (arg == "--deadline-ms" && (value = next())) {
+      if (!parse_double(value, options.deadline_ms)) return 2;
+    } else if (arg == "--timeout-ms" && (value = next())) {
+      if (!parse_double(value, options.timeout_ms)) return 2;
+    } else if (arg == "--retries" && (value = next())) {
+      if (!parse_size(value, options.retries)) return 2;
     } else {
       std::cerr << "wi_loadgen: unknown or incomplete option '" << arg
                 << "'\n";
@@ -426,8 +572,10 @@ int main(int argc, char** argv) {
       std::vector<std::thread> threads;
       threads.reserve(options.clients);
       for (std::size_t c = 0; c < options.clients; ++c) {
-        threads.emplace_back(client_worker, std::cref(options),
-                             std::cref(items), c, std::ref(tally));
+        threads.emplace_back(options.chaos ? chaos_worker
+                                           : client_worker,
+                             std::cref(options), std::cref(items), c,
+                             std::ref(tally));
       }
       for (std::thread& thread : threads) thread.join();
     }
@@ -448,12 +596,15 @@ int main(int argc, char** argv) {
       row("ok", static_cast<double>(tally.ok));
       row("rejected", static_cast<double>(tally.rejected));
       row("backpressure", static_cast<double>(tally.backpressure));
+      row("deadline_exceeded",
+          static_cast<double>(tally.deadline_exceeded));
       row("malformed_caught",
           static_cast<double>(tally.malformed_caught));
       row("malformed_missed",
           static_cast<double>(tally.malformed_missed));
       row("transport_errors",
           static_cast<double>(tally.transport_errors));
+      row("retries", static_cast<double>(tally.retries));
       row("tier_hot", static_cast<double>(tally.tier_hot));
       row("tier_inflight", static_cast<double>(tally.tier_inflight));
       row("tier_cold", static_cast<double>(tally.tier_cold));
@@ -496,12 +647,39 @@ int main(int argc, char** argv) {
            "no malformed frame was accepted");
     }
 
+    if (options.expect_terminal) {
+      // The liveness audit: nothing hung (all worker threads joined,
+      // so reaching here already rules out a wedge) and nothing
+      // vanished — every frame landed in exactly one terminal bucket.
+      const std::uint64_t terminal =
+          tally.ok + tally.rejected + tally.deadline_exceeded +
+          tally.malformed_caught + tally.malformed_missed +
+          tally.transport_errors;
+      gate(tally.sent == items.size(),
+           "every frame was attempted (" + std::to_string(tally.sent) +
+               "/" + std::to_string(items.size()) + ")");
+      gate(terminal == tally.sent,
+           "every request terminally resolved (" +
+               std::to_string(terminal) + "/" +
+               std::to_string(tally.sent) + ")");
+      gate(tally.ok > 0,
+           "some requests still succeeded under chaos (" +
+               std::to_string(tally.ok) + ")");
+    }
+
+    // Control-plane requests in chaos mode go through the retry layer
+    // too: an injected connection drop must not fail the harness.
+    RetryOptions control_retry;
+    control_retry.max_attempts = options.chaos ? 8 : 1;
+    control_retry.timeout_ms = options.chaos ? options.timeout_ms : 0.0;
+    control_retry.seed = options.seed;
+
     if (options.min_hit_rate || options.print_stats) {
       Request stats;
       stats.type = RequestType::kStats;
       stats.id = "loadgen-stats";
-      const Response response =
-          call_once(options.host, options.port, stats);
+      const Response response = call_with_retry(
+          options.host, options.port, stats, control_retry);
       if (!response.ok() || !response.result.has_value()) {
         gate(false, "stats request answered ok");
       } else {
@@ -524,8 +702,8 @@ int main(int argc, char** argv) {
       Request request;
       request.type = RequestType::kShutdown;
       request.id = "loadgen-shutdown";
-      const Response response =
-          call_once(options.host, options.port, request);
+      const Response response = call_with_retry(
+          options.host, options.port, request, control_retry);
       gate(response.ok() && response.status.message() == "drained",
            "shutdown acknowledged with a clean drain");
     }

@@ -15,17 +15,32 @@
 ///   wi_serve --no-store                  # memory tiers only
 ///   wi_serve --metrics-out metrics.csv   # dump the final table on exit
 ///
-/// The daemon runs until a client sends {"type":"shutdown"}: admission
-/// closes, accepted jobs drain, the shutdown response is written, the
-/// final metrics table is printed (and saved with --metrics-out), and
-/// the process exits 0. Exit 1 = startup failure, 2 = usage.
+/// The daemon runs until a client sends {"type":"shutdown"} or the
+/// process receives SIGTERM/SIGINT: admission closes, accepted jobs
+/// drain, the shutdown response is written (request path), the final
+/// metrics table is printed (and saved with --metrics-out), and the
+/// process exits 0. Signals use the self-pipe pattern: the handler
+/// only writes one byte, a watcher thread does the actual drain — no
+/// async-signal-unsafe work in handler context. Exit 1 = startup
+/// failure, 2 = usage.
+///
+/// Chaos mode (--chaos or the --chaos-* rates) arms the deterministic
+/// FaultInjector: store I/O failures/delays/corruption and connection
+/// drops/stalls at the given rates, replayable via --chaos-seed. Pair
+/// with wi_loadgen --chaos to prove every request still terminates.
 
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <csignal>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <thread>
 
 #include "wi/serve/server.hpp"
 
@@ -39,6 +54,18 @@ namespace {
 
 using namespace wi;
 using namespace wi::serve;
+
+// Self-pipe shared between the signal handler and the watcher thread.
+int g_signal_pipe[2] = {-1, -1};
+std::atomic<int> g_signal_received{0};
+
+extern "C" void on_terminate_signal(int sig) {
+  g_signal_received.store(sig);
+  const char byte = 1;
+  // write(2) is async-signal-safe; the result only matters insofar as
+  // a full pipe means a byte is already in flight.
+  (void)!::write(g_signal_pipe[1], &byte, 1);
+}
 
 struct CliOptions {
   ServerOptions server;
@@ -67,6 +94,18 @@ void print_usage(std::ostream& os) {
         "                       (default 2)\n"
         "  --metrics-out PATH   also write the final metrics table as\n"
         "                       CSV on shutdown\n"
+        "  --shed-watermark N   shed new work at queue depth N with a\n"
+        "                       retry-after hint (default 0 = off)\n"
+        "  --shed-retry-after MS retry_after_ms hint on shed responses\n"
+        "                       (default 50)\n"
+        "  --chaos RATE         arm every fault stream at RATE\n"
+        "  --chaos-store-fail R    injected store I/O failure rate\n"
+        "  --chaos-store-delay R   injected store I/O delay rate\n"
+        "  --chaos-store-corrupt R injected corrupt-entry rate\n"
+        "  --chaos-conn-drop R     injected connection-drop rate\n"
+        "  --chaos-conn-stall R    injected response-stall rate\n"
+        "  --chaos-delay-ms MS     stall duration (default 5)\n"
+        "  --chaos-seed N          fault derivation seed (default 1)\n"
         "  --verbose            per-request trace lines on stderr\n"
         "  --quiet              suppress the shutdown metrics dump\n"
         "  --help               this text\n";
@@ -76,6 +115,16 @@ void print_usage(std::ostream& os) {
   try {
     out = static_cast<std::size_t>(std::stoull(text));
     return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+[[nodiscard]] bool parse_double(const std::string& text, double& out) {
+  try {
+    std::size_t used = 0;
+    out = std::stod(text, &used);
+    return used == text.size();
   } catch (const std::exception&) {
     return false;
   }
@@ -129,6 +178,48 @@ void print_usage(std::ostream& os) {
       if (!parse_size(value, options.server.campaign_threads)) return 2;
     } else if (arg == "--metrics-out" && (value = next())) {
       options.metrics_out = value;
+    } else if (arg == "--shed-watermark" && (value = next())) {
+      if (!parse_size(value, options.server.shed_watermark)) return 2;
+    } else if (arg == "--shed-retry-after" && (value = next())) {
+      if (!parse_double(value, options.server.shed_retry_after_ms)) {
+        return 2;
+      }
+    } else if (arg == "--chaos" && (value = next())) {
+      double rate = 0.0;
+      if (!parse_double(value, rate)) return 2;
+      FaultInjectorOptions& chaos = options.server.chaos;
+      chaos.store_fail_rate = rate;
+      chaos.store_delay_rate = rate;
+      chaos.store_corrupt_rate = rate;
+      chaos.conn_drop_rate = rate;
+      chaos.conn_stall_rate = rate;
+    } else if (arg == "--chaos-store-fail" && (value = next())) {
+      if (!parse_double(value, options.server.chaos.store_fail_rate)) {
+        return 2;
+      }
+    } else if (arg == "--chaos-store-delay" && (value = next())) {
+      if (!parse_double(value, options.server.chaos.store_delay_rate)) {
+        return 2;
+      }
+    } else if (arg == "--chaos-store-corrupt" && (value = next())) {
+      if (!parse_double(value,
+                        options.server.chaos.store_corrupt_rate)) {
+        return 2;
+      }
+    } else if (arg == "--chaos-conn-drop" && (value = next())) {
+      if (!parse_double(value, options.server.chaos.conn_drop_rate)) {
+        return 2;
+      }
+    } else if (arg == "--chaos-conn-stall" && (value = next())) {
+      if (!parse_double(value, options.server.chaos.conn_stall_rate)) {
+        return 2;
+      }
+    } else if (arg == "--chaos-delay-ms" && (value = next())) {
+      if (!parse_double(value, options.server.chaos.delay_ms)) return 2;
+    } else if (arg == "--chaos-seed" && (value = next())) {
+      std::size_t seed = 0;
+      if (!parse_size(value, seed)) return 2;
+      options.server.chaos.seed = seed;
     } else {
       std::cerr << "wi_serve: unknown or incomplete option '" << arg
                 << "'\n";
@@ -159,6 +250,11 @@ int main(int argc, char** argv) {
     }
     std::cout << "wi_serve listening on port " << server.port()
               << std::endl;
+    if (options.server.chaos.enabled()) {
+      std::cerr << "[wi_serve] CHAOS MODE: deterministic fault "
+                   "injection armed (seed "
+                << options.server.chaos.seed << ")\n";
+    }
     if (options.port_file) {
       std::ofstream out(*options.port_file, std::ios::trunc);
       out << server.port() << "\n";
@@ -168,7 +264,42 @@ int main(int argc, char** argv) {
         return 1;
       }
     }
+    // SIGTERM/SIGINT -> drain-before-shutdown, via self-pipe: the
+    // handler writes one byte, this watcher does the real work from a
+    // normal thread. One byte also flows on the plain shutdown path
+    // (below) so the watcher always terminates.
+    if (::pipe(g_signal_pipe) != 0) {
+      std::cerr << "wi_serve: cannot create the signal pipe\n";
+      return 1;
+    }
+    std::signal(SIGTERM, on_terminate_signal);
+    std::signal(SIGINT, on_terminate_signal);
+    std::thread signal_watcher([&server] {
+      char byte = 0;
+      ssize_t n;
+      do {
+        n = ::read(g_signal_pipe[0], &byte, 1);
+      } while (n < 0 && errno == EINTR);
+      const int sig = g_signal_received.load();
+      if (n > 0 && sig != 0) {
+        std::cerr << "[wi_serve] caught "
+                  << (sig == SIGTERM ? "SIGTERM" : "SIGINT")
+                  << " — draining before shutdown\n";
+        server.begin_shutdown();
+      }
+    });
     server.wait();
+    // Unblock the watcher if shutdown came from a request, not a
+    // signal (redundant-but-harmless extra byte otherwise).
+    {
+      const char byte = 0;
+      (void)!::write(g_signal_pipe[1], &byte, 1);
+    }
+    signal_watcher.join();
+    std::signal(SIGTERM, SIG_DFL);
+    std::signal(SIGINT, SIG_DFL);
+    ::close(g_signal_pipe[0]);
+    ::close(g_signal_pipe[1]);
     const Table metrics = server.stats_table();
     server.stop();
     if (!options.quiet) {
