@@ -162,9 +162,11 @@ void BM_PhyAbstractionBuild_Serial(benchmark::State& state) {
 BENCHMARK(BM_PhyAbstractionBuild_Serial);
 
 void BM_PhyAbstractionBuild_Parallel(benchmark::State& state) {
+  // Explicit worker count: threads=0 means hardware_concurrency(),
+  // which is 1 on some CI boxes and silently measures the serial loop.
   for (auto _ : state) {
     wi::core::PhyAbstraction phy(wi::core::PhyReceiver::kOneBitSequence,
-                                 25e9, 2, 0);
+                                 25e9, 2, 4);
     benchmark::DoNotOptimize(phy.info_rate_bpcu(25.0));
   }
 }

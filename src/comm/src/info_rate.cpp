@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <future>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <utility>
 #include <vector>
 
@@ -147,25 +149,68 @@ std::shared_ptr<const NoiseTape> noise_tape(const NoiseTapeKey& key) {
   const std::size_t draws = key.symbols * key.m;
   if (draws > kMaxCachedDraws) return record_noise_tape(key);
 
-  static std::mutex mutex;
-  static std::vector<std::pair<NoiseTapeKey, std::shared_ptr<const NoiseTape>>>
-      cache;
+  // Single-flight cache: steady-state hits take a shared (reader) lock
+  // only, and a miss publishes a pending future *before* recording, so
+  // same-key callers wait on that one recording while different-key
+  // recordings proceed in parallel. The old design held one global
+  // mutex across the whole recording, which serialized the parallel
+  // PhyAbstraction grid build the moment two workers touched the cache.
+  using TapeFuture = std::shared_future<std::shared_ptr<const NoiseTape>>;
+  struct CacheEntry {
+    NoiseTapeKey key;
+    TapeFuture tape;
+  };
+  static std::shared_mutex mutex;
+  static std::vector<CacheEntry> cache;  // insertion order = eviction order
   static std::size_t cached_draws = 0;
-  const std::lock_guard<std::mutex> lock(mutex);
-  for (const auto& entry : cache) {
-    if (entry.first == key) return entry.second;
+
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex);
+    for (const auto& entry : cache) {
+      if (entry.key == key) {
+        const TapeFuture tape = entry.tape;
+        lock.unlock();
+        return tape.get();  // ready, or blocks on the in-flight recording
+      }
+    }
   }
-  // Building under the lock is deliberate: concurrent callers (the
-  // parallel PhyAbstraction grid build) almost always want the same key
-  // and would have to wait for the recording anyway.
-  auto tape = record_noise_tape(key);
-  while (!cache.empty() && cached_draws + draws > kMaxCachedDraws) {
-    cached_draws -= cache.front().second->noise.size();
-    cache.erase(cache.begin());
+
+  std::promise<std::shared_ptr<const NoiseTape>> promise;
+  const TapeFuture future = promise.get_future().share();
+  {
+    std::unique_lock<std::shared_mutex> lock(mutex);
+    for (const auto& entry : cache) {  // lost the insert race?
+      if (entry.key == key) {
+        const TapeFuture tape = entry.tape;
+        lock.unlock();
+        return tape.get();
+      }
+    }
+    // Eviction accounts draws from the key, so pending entries are
+    // billed correctly before their tape exists; a shared_future held
+    // by a waiter keeps an evicted tape alive until the waiter is done.
+    while (!cache.empty() && cached_draws + draws > kMaxCachedDraws) {
+      cached_draws -= cache.front().key.symbols * cache.front().key.m;
+      cache.erase(cache.begin());
+    }
+    cached_draws += draws;
+    cache.push_back({key, future});
   }
-  cached_draws += draws;
-  cache.emplace_back(key, tape);
-  return tape;
+  try {
+    promise.set_value(record_noise_tape(key));
+  } catch (...) {
+    promise.set_exception(std::current_exception());
+    std::unique_lock<std::shared_mutex> lock(mutex);
+    for (std::size_t i = 0; i < cache.size(); ++i) {
+      if (cache[i].key == key) {
+        cached_draws -= draws;
+        cache.erase(cache.begin() + static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+    }
+    throw;
+  }
+  return future.get();
 }
 
 /// Emission tables larger than this many doubles (16 MB) fall back to

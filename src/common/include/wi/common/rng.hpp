@@ -92,6 +92,14 @@ class Rng {
   /// Bernoulli trial with success probability p.
   bool bernoulli(double p) { return uniform() < p; }
 
+  /// Raw 64-bit generator step. Consumes exactly one draw, the same
+  /// draw uniform()/bernoulli() would consume: uniform() of that step
+  /// is (raw() >> 11) * 0x1.0p-53, and bernoulli(p) of that step is
+  /// (raw() >> 11) < ceil(p * 2^53) — the scaling by a power of two is
+  /// exact, so batch consumers can test in integer space and stay
+  /// bit-compatible with the double path.
+  std::uint64_t raw() { return next(); }
+
   /// Number of arrivals of a Poisson process with the given mean
   /// (Knuth's method for small means, normal approximation for large).
   std::uint64_t poisson(double mean);

@@ -38,6 +38,17 @@
 
 namespace wi::noc {
 
+/// Simulator core selection. kAuto picks the event-driven core whenever
+/// the router delay is >= 1 cycle (the event wheel needs a nonzero
+/// pipeline depth to bound wake horizons) and the cycle-stepped legacy
+/// loop otherwise. Both cores are bit-identical; kLegacy exists as the
+/// differential-testing oracle and the zero-delay fallback.
+enum class FlitSimCore {
+  kAuto,
+  kLegacy,  ///< original cycle-stepped loop (visits every router)
+  kEvent,   ///< event-wheel + SoA core (requires router delay >= 1)
+};
+
 /// Simulator settings.
 struct FlitSimConfig {
   std::size_t warmup_cycles = 3000;    ///< excluded from statistics
@@ -46,6 +57,13 @@ struct FlitSimConfig {
   std::size_t buffer_depth = 8;        ///< input queue capacity [flits]
   double router_delay_cycles = 2.0;    ///< pipeline depth
   std::uint64_t seed = 1;
+  /// Worker threads for the partitioned-parallel event core (0 = one
+  /// per hardware thread). Results are bit-identical at any value.
+  std::size_t threads = 1;
+  /// Mesh partitions (contiguous router ranges) for the parallel mode;
+  /// 0 derives the count from `threads`. 1 partition = sequential core.
+  std::size_t partitions = 0;
+  FlitSimCore core = FlitSimCore::kAuto;
 };
 
 /// Aggregated results.
@@ -69,6 +87,11 @@ struct FlitSimResult {
   /// (source router, destination router) pair) — the Status rows the
   /// fault_sweep workload surfaces instead of a throw.
   std::vector<Status> route_failures;
+  /// Diagnostics (not part of any golden): router turns the core
+  /// actually executed. The event core only turns routers with pending
+  /// work, so this is 0 for a zero-traffic run and far below
+  /// routers * cycles at low load; the legacy core leaves it 0.
+  std::uint64_t turns_executed = 0;
 };
 
 /// Run one simulation at a given injection rate [packets/cycle/module]

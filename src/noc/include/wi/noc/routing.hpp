@@ -25,6 +25,18 @@ class Routing {
   [[nodiscard]] virtual Route route(const Topology& topology,
                                     std::size_t src_router,
                                     std::size_t dst_router) const = 0;
+
+  /// First link of route(topology, src, dst) without materialising the
+  /// whole path. The default delegates to route(); implementations with
+  /// O(1) first-step knowledge (dimension order) override it so the
+  /// simulator's O(routers^2) next-hop table build stays cheap on large
+  /// meshes. Must return exactly route(...).front() whenever route()
+  /// succeeds; an override may succeed on a topology where the full
+  /// walk would fail further downstream (the simulator then surfaces
+  /// the failure at the router where the walk actually dies).
+  [[nodiscard]] virtual std::size_t first_hop(const Topology& topology,
+                                              std::size_t src_router,
+                                              std::size_t dst_router) const;
 };
 
 /// Deterministic dimension-order routing (X, then Y, then Z). Requires
@@ -33,6 +45,10 @@ class DimensionOrderRouting final : public Routing {
  public:
   [[nodiscard]] Route route(const Topology& topology, std::size_t src_router,
                             std::size_t dst_router) const override;
+  /// O(1): one coordinate compare picks the dimension-order step.
+  [[nodiscard]] std::size_t first_hop(const Topology& topology,
+                                      std::size_t src_router,
+                                      std::size_t dst_router) const override;
 };
 
 /// Breadth-first shortest path; ties broken by link index order. Handles

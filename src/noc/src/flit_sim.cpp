@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "flit_sim_internal.hpp"
 #include "wi/common/rng.hpp"
 #include "wi/common/status.hpp"
 
@@ -265,6 +266,53 @@ FlitSimResult simulate_network(const Topology& topology,
                                double injection_rate,
                                const FlitSimConfig& config,
                                const fault::FaultSchedule& faults) {
+  // The event wheel bounds wake horizons by the (integer) pipeline
+  // delay; a sub-cycle delay would allow same-cycle wakes, so those
+  // configs stay on the cycle-stepped loop. The event core additionally
+  // packs flit records into 16 bytes (inject cycle | dst << 37 |
+  // measured << 63) and queue cursors into head | size << 16, which
+  // caps it at 2^26 routers, 2^37 total cycles, and 2^16-1 buffer
+  // depth; kAuto falls back to the legacy loop beyond those (kEvent
+  // throws from the core's constructor).
+  const std::uint64_t delay =
+      static_cast<std::uint64_t>(config.router_delay_cycles);
+  const std::uint64_t total = static_cast<std::uint64_t>(
+      config.warmup_cycles + config.measure_cycles + config.drain_cycles);
+  const bool event_ok =
+      delay >= 1 && topology.router_count() < (std::size_t{1} << 26) &&
+      total + delay < (std::uint64_t{1} << 37) &&
+      config.buffer_depth < (std::size_t{1} << 16);
+  switch (config.core) {
+    case FlitSimCore::kLegacy:
+      return detail::simulate_network_legacy(topology, routing, traffic,
+                                             injection_rate, config, faults);
+    case FlitSimCore::kEvent:
+      if (delay < 1) {
+        throw std::invalid_argument(
+            "simulate_network: the event core requires "
+            "router_delay_cycles >= 1");
+      }
+      return detail::simulate_network_event(topology, routing, traffic,
+                                            injection_rate, config, faults);
+    case FlitSimCore::kAuto:
+      break;
+  }
+  if (event_ok) {
+    return detail::simulate_network_event(topology, routing, traffic,
+                                          injection_rate, config, faults);
+  }
+  return detail::simulate_network_legacy(topology, routing, traffic,
+                                         injection_rate, config, faults);
+}
+
+namespace detail {
+
+FlitSimResult simulate_network_legacy(const Topology& topology,
+                                      const Routing& routing,
+                                      const TrafficPattern& traffic,
+                                      double injection_rate,
+                                      const FlitSimConfig& config,
+                                      const fault::FaultSchedule& faults) {
   const std::size_t modules = topology.module_count();
   const std::size_t routers = topology.router_count();
   const std::size_t channels = topology.link_count();
@@ -580,5 +628,7 @@ FlitSimResult simulate_network(const Topology& topology,
                   result.injected * 995 / 1000;
   return result;
 }
+
+}  // namespace detail
 
 }  // namespace wi::noc

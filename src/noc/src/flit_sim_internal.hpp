@@ -1,0 +1,30 @@
+#pragma once
+/// \file flit_sim_internal.hpp
+/// \brief Internal seam between the two simulate_network cores.
+///
+/// The public simulate_network() overloads dispatch between the legacy
+/// cycle-stepped loop (flit_sim.cpp) and the event-wheel core
+/// (flit_sim_event.cpp) based on FlitSimConfig::core. Both entry points
+/// take identical arguments and are bit-identical for router delays
+/// >= 1 cycle; the legacy core additionally handles zero-delay configs
+/// and serves as the differential-testing oracle.
+
+#include "wi/noc/flit_sim.hpp"
+
+namespace wi::noc::detail {
+
+/// Original cycle-stepped implementation (visits every router every
+/// cycle). Handles any router delay, including < 1.
+[[nodiscard]] FlitSimResult simulate_network_legacy(
+    const Topology& topology, const Routing& routing,
+    const TrafficPattern& traffic, double injection_rate,
+    const FlitSimConfig& config, const fault::FaultSchedule& faults);
+
+/// Event-wheel + SoA core with optional partitioned-parallel execution.
+/// Requires static_cast<uint64_t>(config.router_delay_cycles) >= 1.
+[[nodiscard]] FlitSimResult simulate_network_event(
+    const Topology& topology, const Routing& routing,
+    const TrafficPattern& traffic, double injection_rate,
+    const FlitSimConfig& config, const fault::FaultSchedule& faults);
+
+}  // namespace wi::noc::detail

@@ -8,6 +8,20 @@
 
 namespace wi::noc {
 
+std::size_t Routing::first_hop(const Topology& topology,
+                               std::size_t src_router,
+                               std::size_t dst_router) const {
+  const Route r = route(topology, src_router, dst_router);
+  if (r.empty()) {
+    throw StatusError(Status(
+        StatusCode::kUnreachableRoute,
+        "Routing::first_hop: empty route from router " +
+            std::to_string(src_router) + " to " +
+            std::to_string(dst_router) + " in '" + topology.name() + "'"));
+  }
+  return r.front();
+}
+
 Route DimensionOrderRouting::route(const Topology& topology,
                                    std::size_t src_router,
                                    std::size_t dst_router) const {
@@ -34,6 +48,41 @@ Route DimensionOrderRouting::route(const Topology& topology,
   while (at.y != target.y) step(0, at.y < target.y ? 1 : -1, 0);
   while (at.z != target.z) step(0, 0, at.z < target.z ? 1 : -1);
   return route;
+}
+
+std::size_t DimensionOrderRouting::first_hop(const Topology& topology,
+                                             std::size_t src_router,
+                                             std::size_t dst_router) const {
+  if (src_router == dst_router) {
+    throw StatusError(Status(
+        StatusCode::kUnreachableRoute,
+        "Routing::first_hop: empty route from router " +
+            std::to_string(src_router) + " to " +
+            std::to_string(dst_router) + " in '" + topology.name() + "'"));
+  }
+  const Coord at = topology.coord(src_router);
+  const Coord target = topology.coord(dst_router);
+  int dx = 0;
+  int dy = 0;
+  int dz = 0;
+  if (at.x != target.x) {
+    dx = at.x < target.x ? 1 : -1;
+  } else if (at.y != target.y) {
+    dy = at.y < target.y ? 1 : -1;
+  } else {
+    dz = at.z < target.z ? 1 : -1;
+  }
+  const std::size_t next =
+      topology.router_at(at.x + dx, at.y + dy, at.z + dz);
+  const std::size_t link = topology.find_link(src_router, next);
+  if (link == Topology::npos) {
+    throw StatusError(Status(
+        StatusCode::kUnreachableRoute,
+        "DimensionOrderRouting: no mesh link " + std::to_string(src_router) +
+            " -> " + std::to_string(next) + " in '" + topology.name() +
+            "' (irregular topologies need ShortestPathRouting)"));
+  }
+  return link;
 }
 
 Route ShortestPathRouting::route(const Topology& topology,

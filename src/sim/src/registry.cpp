@@ -323,6 +323,32 @@ namespace {
     registry.add(spec);
   }
 
+  // Large-mesh DES: 4096 modules, intractable under the cycle-stepped
+  // loop (every router every cycle) but minutes-to-seconds on the
+  // event-wheel core, which only turns routers with pending work. The
+  // golden pins the event core's behaviour at scale; rates stay below
+  // the 16-ary mesh's bisection knee so the run drains and the numbers
+  // are latency-meaningful.
+  {
+    TopologySpec mesh3d;
+    mesh3d.kind = TopologySpec::Kind::kMesh3d;
+    mesh3d.kx = 16;
+    mesh3d.ky = 16;
+    mesh3d.kz = 16;
+    ScenarioSpec spec = noc_scenario(
+        "flit_mesh3d_16x16x16",
+        "Large-mesh DES: 16x16x16 3D mesh (4096 modules), uniform "
+        "traffic on the event-wheel core",
+        mesh3d);
+    spec.workload = "flit_sim";
+    auto& flit = spec.payload<FlitSimSpec>();
+    flit.injection_rates = {0.01, 0.02, 0.04};
+    flit.warmup_cycles = 500;
+    flit.measure_cycles = 2000;
+    flit.drain_cycles = 4000;
+    registry.add(spec);
+  }
+
   // Plugin-only workloads (registered purely through the workload
   // layer; the engine and the codec never name them).
   {

@@ -1,0 +1,176 @@
+/// \file test_flit_sim_event.cpp
+/// \brief Event-wheel core specifics: wheel quiescence, degenerate
+///        topologies, partition-count bit-identity, and fault
+///        activations landing on partition window boundaries.
+///
+/// The golden tests pin the event core against the committed result
+/// files; this file pins it against the legacy cycle-stepped oracle
+/// (FlitSimCore::kLegacy) under configurations chosen to stress the
+/// event-specific machinery: the calendar wheel, the shard staircase,
+/// and the fault barriers.
+
+#include "wi/noc/flit_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "wi/common/fault.hpp"
+
+namespace wi::noc {
+namespace {
+
+FlitSimConfig base_config() {
+  FlitSimConfig config;
+  config.warmup_cycles = 500;
+  config.measure_cycles = 3000;
+  config.drain_cycles = 3000;
+  return config;
+}
+
+/// Full-result equality: every statistic the goldens pin, plus the
+/// fault accounting. turns_executed is diagnostics-only and excluded.
+void expect_identical(const FlitSimResult& a, const FlitSimResult& b) {
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.injected, b.injected);
+  EXPECT_DOUBLE_EQ(a.mean_latency_cycles, b.mean_latency_cycles);
+  EXPECT_DOUBLE_EQ(a.delivered_per_cycle, b.delivered_per_cycle);
+  EXPECT_EQ(a.stable, b.stable);
+  EXPECT_EQ(a.dropped, b.dropped);
+  EXPECT_EQ(a.unreachable, b.unreachable);
+  EXPECT_EQ(a.dead_links, b.dead_links);
+  EXPECT_EQ(a.dead_routers, b.dead_routers);
+  ASSERT_EQ(a.route_failures.size(), b.route_failures.size());
+  for (std::size_t i = 0; i < a.route_failures.size(); ++i) {
+    EXPECT_EQ(a.route_failures[i].message(), b.route_failures[i].message());
+  }
+}
+
+TEST(FlitSimEvent, ZeroTrafficTerminatesWithoutTurningARouter) {
+  const Topology t = Topology::mesh_2d(4, 4);
+  const DimensionOrderRouting routing;
+  FlitSimConfig config = base_config();
+  config.core = FlitSimCore::kEvent;
+  const auto result = simulate_network(t, routing,
+                                       TrafficPattern::uniform(16), 0.0,
+                                       config);
+  // No injections -> nothing is ever scheduled on the wheel, so the
+  // run completes without executing a single router turn. The legacy
+  // core would have visited 16 routers x 6500 cycles.
+  EXPECT_EQ(result.turns_executed, 0u);
+  EXPECT_EQ(result.injected, 0u);
+  EXPECT_EQ(result.delivered, 0u);
+  EXPECT_TRUE(result.stable);
+}
+
+TEST(FlitSimEvent, TurnsExecutedStaysFarBelowCycleSteppedWork) {
+  const Topology t = Topology::mesh_2d(8, 8);
+  const DimensionOrderRouting routing;
+  FlitSimConfig config = base_config();
+  config.core = FlitSimCore::kEvent;
+  const auto result = simulate_network(t, routing,
+                                       TrafficPattern::uniform(64), 0.01,
+                                       config);
+  EXPECT_GT(result.turns_executed, 0u);
+  // The cycle-stepped equivalent is routers * total cycles. At 1%
+  // load the wheel should skip the overwhelming majority of them.
+  const std::uint64_t cycle_stepped =
+      64ull * (config.warmup_cycles + config.measure_cycles +
+               config.drain_cycles);
+  EXPECT_LT(result.turns_executed, cycle_stepped / 2);
+}
+
+TEST(FlitSimEvent, SingleRouterMeshMatchesLegacy) {
+  // One router carrying four modules, zero links: every flit ejects
+  // where it is injected. Exercises the eject-at-source path and the
+  // empty ring arrays.
+  const Topology t = Topology::star_mesh(1, 1, 4);
+  const DimensionOrderRouting routing;
+  const TrafficPattern traffic = TrafficPattern::uniform(4);
+  FlitSimConfig legacy = base_config();
+  legacy.core = FlitSimCore::kLegacy;
+  FlitSimConfig event = base_config();
+  event.core = FlitSimCore::kEvent;
+  const auto a = simulate_network(t, routing, traffic, 0.4, legacy);
+  const auto b = simulate_network(t, routing, traffic, 0.4, event);
+  expect_identical(a, b);
+  EXPECT_GT(b.delivered, 0u);
+}
+
+TEST(FlitSimEvent, PartitionCountSweepIsBitIdentical) {
+  // Asymmetric mesh so partitions cut the router range unevenly; a
+  // saturating rate so shard boundaries carry real backpressure.
+  const Topology t = Topology::mesh_2d(5, 3);
+  const DimensionOrderRouting routing;
+  const TrafficPattern traffic = TrafficPattern::uniform(15);
+  FlitSimConfig legacy = base_config();
+  legacy.core = FlitSimCore::kLegacy;
+  legacy.seed = 7;
+  const auto oracle = simulate_network(t, routing, traffic, 0.25, legacy);
+  for (const std::size_t parts : {1u, 2u, 4u, 8u}) {
+    FlitSimConfig event = legacy;
+    event.core = FlitSimCore::kEvent;
+    event.partitions = parts;
+    event.threads = parts > 1 ? 4 : 1;
+    SCOPED_TRACE(testing::Message() << "partitions=" << parts);
+    const auto got = simulate_network(t, routing, traffic, 0.25, event);
+    expect_identical(oracle, got);
+  }
+}
+
+TEST(FlitSimEvent, FaultOnPartitionWindowBoundaryIsBitIdentical) {
+  // The parallel mode advances shards in conservative windows of
+  // `router_delay_cycles`; fault activations act as global barriers.
+  // Place activations exactly on window multiples (and one off-by-one
+  // neighbour) to pin the barrier handshake, and compare against the
+  // sequential legacy oracle.
+  const Topology t = Topology::mesh_2d(5, 3);
+  const DimensionOrderRouting routing;
+  const TrafficPattern traffic = TrafficPattern::uniform(15);
+  FlitSimConfig legacy = base_config();
+  legacy.core = FlitSimCore::kLegacy;
+  legacy.seed = 11;
+  const std::uint64_t delay =
+      static_cast<std::uint64_t>(legacy.router_delay_cycles);
+  ASSERT_GE(delay, 1u);
+  fault::FaultSchedule faults;
+  // Window-aligned link death, window-aligned router death, and a
+  // misaligned one straddling the boundary.
+  faults.events.push_back({fault::FaultEvent::Kind::kLink, 3, delay * 300});
+  faults.events.push_back(
+      {fault::FaultEvent::Kind::kRouter, 7, delay * 700});
+  faults.events.push_back(
+      {fault::FaultEvent::Kind::kLink, 9, delay * 900 + 1});
+  const auto oracle =
+      simulate_network(t, routing, traffic, 0.25, legacy, faults);
+  for (const std::size_t parts : {2u, 4u, 8u}) {
+    FlitSimConfig event = legacy;
+    event.core = FlitSimCore::kEvent;
+    event.partitions = parts;
+    event.threads = 4;
+    SCOPED_TRACE(testing::Message() << "partitions=" << parts);
+    const auto got =
+        simulate_network(t, routing, traffic, 0.25, event, faults);
+    expect_identical(oracle, got);
+  }
+  EXPECT_GT(oracle.dead_links, 0u);
+  EXPECT_GT(oracle.dead_routers, 0u);
+}
+
+TEST(FlitSimEvent, AutoFallsBackToLegacyBelowUnitDelay) {
+  // kAuto must not hand a sub-cycle pipeline to the event wheel.
+  const Topology t = Topology::mesh_2d(4, 4);
+  const DimensionOrderRouting routing;
+  FlitSimConfig config = base_config();
+  config.router_delay_cycles = 0.0;
+  config.core = FlitSimCore::kAuto;
+  const auto result = simulate_network(t, routing,
+                                       TrafficPattern::uniform(16), 0.1,
+                                       config);
+  EXPECT_GT(result.delivered, 0u);
+  // The legacy core leaves the event-core diagnostic at zero.
+  EXPECT_EQ(result.turns_executed, 0u);
+}
+
+}  // namespace
+}  // namespace wi::noc

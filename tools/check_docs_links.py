@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in the repo's markdown docs.
+
+Walks the markdown files the docs-check CI step cares about
+(README.md, docs/*.md, results/README.md by default, or any paths
+passed as arguments), extracts inline links and images, and verifies
+that every *relative* target exists on disk. External links (http/
+https/mailto) and pure in-page anchors are ignored; a `path#anchor`
+link is checked for the path part only — anchor validity would require
+a markdown renderer, and the failure mode the gate exists for is files
+moving or being renamed.
+
+Exit 0 when every link resolves, 1 with a per-link report otherwise.
+"""
+
+import argparse
+import glob
+import re
+import sys
+from pathlib import Path
+
+# Inline markdown links/images: [text](target) / ![alt](target).
+# Reference-style definitions: [label]: target
+_INLINE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_REFDEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_links(text):
+    in_code = False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_code = not in_code
+            continue
+        if in_code:
+            continue
+        for match in _INLINE.finditer(line):
+            yield match.group(1)
+        for match in _REFDEF.finditer(line):
+            yield match.group(1)
+
+
+def check_file(md_path, repo_root):
+    dead = []
+    text = md_path.read_text(encoding="utf-8")
+    for target in iter_links(text):
+        if target.startswith(_EXTERNAL) or target.startswith("#"):
+            continue
+        path_part = target.split("#", 1)[0]
+        if not path_part:
+            continue
+        if path_part.startswith("/"):
+            resolved = repo_root / path_part.lstrip("/")
+        else:
+            resolved = md_path.parent / path_part
+        if not resolved.exists():
+            dead.append((target, resolved))
+    return dead
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "files", nargs="*",
+        help="markdown files to check (default: README.md docs/*.md "
+             "results/README.md)")
+    args = parser.parse_args()
+
+    repo_root = Path(__file__).resolve().parent.parent
+    if args.files:
+        files = [Path(f) for f in args.files]
+    else:
+        files = [repo_root / "README.md", repo_root / "results/README.md"]
+        files += sorted(Path(p) for p in glob.glob(str(repo_root / "docs/*.md")))
+
+    missing_inputs = [f for f in files if not f.is_file()]
+    if missing_inputs:
+        for f in missing_inputs:
+            print(f"docs-check: input file not found: {f}", file=sys.stderr)
+        return 1
+
+    failures = 0
+    checked = 0
+    for md in files:
+        dead = check_file(md, repo_root)
+        checked += 1
+        for target, resolved in dead:
+            print(f"{md}: dead link '{target}' -> {resolved}", file=sys.stderr)
+            failures += 1
+    if failures:
+        print(f"docs-check: {failures} dead link(s) across {checked} file(s)",
+              file=sys.stderr)
+        return 1
+    print(f"docs-check: OK ({checked} files, all relative links resolve)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -180,6 +180,12 @@ int main(int argc, char** argv) {
          wi::noc::Topology::mesh_3d(4, 4, 4), 0.3},
         {"simulate_network/fig08a_mesh2d_8x8_rate0.2",
          wi::noc::Topology::mesh_2d(8, 8), 0.2},
+        // Low-load point: the event wheel only turns routers with
+        // pending work, while the cycle-stepped baseline still visits
+        // all 64 routers every cycle — this is where the event-driven
+        // rearchitecture pays off by an order of magnitude.
+        {"simulate_network/fig08a_mesh2d_8x8_rate0.02_lowload",
+         wi::noc::Topology::mesh_2d(8, 8), 0.02},
     };
     for (const Case& c : cases) {
       const wi::noc::TrafficPattern traffic =
@@ -212,6 +218,14 @@ int main(int argc, char** argv) {
   // --- PhyAbstraction SNR-curve build (17 sequence-rate grid points) ---
   {
     volatile double sink = 0.0;
+    // Warm the shared noise tape first: both variants would otherwise
+    // pay the one-off recording on their first build and the ratio
+    // would measure the cache, not the grid parallelism.
+    {
+      const wi::core::PhyAbstraction warm(
+          wi::core::PhyReceiver::kOneBitSequence, 25e9, 2, 1);
+      sink = warm.info_rate_bpcu(25.0);
+    }
     const double serial = time_ns(
         [&] {
           const wi::core::PhyAbstraction phy(
@@ -219,10 +233,15 @@ int main(int argc, char** argv) {
           sink = phy.info_rate_bpcu(25.0);
         },
         smoke ? 1 : 3);
+    // Explicit 4 workers: threads=0 resolves to hardware_concurrency(),
+    // which is 1 on some CI boxes and silently degenerates to the
+    // serial loop — the bug this entry exists to catch. The serial
+    // build is this entry's in-process baseline, so the JSON carries a
+    // speedup field and the perf-trend gate pins the parallel path.
     const double parallel = time_ns(
         [&] {
           const wi::core::PhyAbstraction phy(
-              wi::core::PhyReceiver::kOneBitSequence, 25e9, 2, 0);
+              wi::core::PhyReceiver::kOneBitSequence, 25e9, 2, 4);
           sink = phy.info_rate_bpcu(25.0);
         },
         smoke ? 1 : 3);
@@ -230,8 +249,8 @@ int main(int argc, char** argv) {
         {"phy_abstraction_build/one_bit_sequence/serial", serial, 0.0, 0.0,
          ""});
     entries.push_back(
-        {"phy_abstraction_build/one_bit_sequence/parallel", parallel, 0.0,
-         0.0, ""});
+        {"phy_abstraction_build/one_bit_sequence/parallel_4t", parallel,
+         serial, 0.0, ""});
     (void)sink;
   }
 
