@@ -14,7 +14,10 @@ class RunningStats {
   /// Incorporate one sample.
   void add(double x);
 
-  /// Incorporate another accumulator (parallel merge).
+  /// Incorporate another accumulator (parallel merge). Folding a
+  /// single-sample accumulator is exact: bit-identical to add()ing
+  /// that sample directly (the campaign shard aggregator depends on
+  /// this to reproduce the single-process aggregate bit-for-bit).
   void merge(const RunningStats& other);
 
   /// Number of samples seen so far.

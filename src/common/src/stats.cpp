@@ -21,6 +21,15 @@ void RunningStats::merge(const RunningStats& other) {
     *this = other;
     return;
   }
+  if (other.count_ == 1) {
+    // A single-sample accumulator holds its sample exactly (mean_ == x,
+    // m2_ == 0), so fold it through add(): bit-identical to having
+    // added the sample directly. The campaign aggregator folds one
+    // single-sample accumulator per seed, and this case is what makes
+    // a shard-merged aggregate bit-match the single-process one.
+    add(other.mean_);
+    return;
+  }
   const double n1 = static_cast<double>(count_);
   const double n2 = static_cast<double>(other.count_);
   const double delta = other.mean_ - mean_;

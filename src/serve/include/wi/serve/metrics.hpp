@@ -119,6 +119,7 @@ struct MetricsGauges {
   std::size_t store_inserts = 0;
   std::size_t store_corrupt = 0;
   std::size_t store_orphans_removed = 0;
+  std::size_t store_orphans_skipped = 0;
   std::size_t store_transient_failures = 0;
   bool has_store = false;
 };

@@ -178,6 +178,7 @@ Table metrics_to_table(const MetricsSnapshot& snapshot,
   add_count("store_inserts", gauges.store_inserts);
   add_count("store_corrupt_entries", gauges.store_corrupt);
   add_count("store_orphans_removed", gauges.store_orphans_removed);
+  add_count("store_orphans_skipped", gauges.store_orphans_skipped);
   add_count("store_transient_failures", gauges.store_transient_failures);
   return table;
 }

@@ -770,6 +770,7 @@ Table Server::stats_table() {
     gauges.store_inserts = stats.inserts;
     gauges.store_corrupt = stats.corrupt_entries;
     gauges.store_orphans_removed = stats.orphans_removed;
+    gauges.store_orphans_skipped = stats.orphans_skipped;
     gauges.store_transient_failures = stats.transient_write_failures;
     gauges.has_store = true;
   }

@@ -52,6 +52,28 @@ struct CampaignSpec {
   }
 };
 
+/// One worker's slice of a campaign's seed schedule: the replica
+/// indices congruent to `index` mod `count`. Seed *values* are already
+/// shard-invariant (campaign_seed is a pure function of (base_seed,
+/// k)), so shards 0..count-1 partition the seed set exactly once —
+/// independent processes sharing a ResultStore directory each run
+/// their shard and merge_campaign_results() folds the union back into
+/// the single-process aggregate bit-for-bit.
+struct CampaignShard {
+  std::size_t index = 0;  ///< this worker's shard id, in [0, count)
+  std::size_t count = 1;  ///< total shard count; 1 = unsharded
+
+  [[nodiscard]] bool active() const { return count > 1; }
+
+  /// Does this shard run replica `seed_index`?
+  [[nodiscard]] bool owns(std::size_t seed_index) const {
+    return count < 2 || seed_index % count == index;
+  }
+
+  /// kInvalidSpec unless count >= 1 and index < count.
+  [[nodiscard]] Status validate() const;
+};
+
 /// Seed of replica `index`: SplitMix64 finalizer over
 /// base_seed + index * golden-gamma, masked to 53 bits (JSON numbers
 /// must round-trip the seed exactly). Pure function of (base_seed,
@@ -88,9 +110,17 @@ struct CampaignResult {
   std::uint64_t base_seed = 0;
   Table aggregate;                 ///< campaign_headers() schema
   std::vector<RunResult> per_seed; ///< replica results, in seed order
+                                   ///< (owned seeds only when sharded;
+                                   ///< empty for merged results)
+  /// Replica indices that could not be folded: absent from the store,
+  /// corrupt, or shape-mismatched. Filled by merge_campaign_results()
+  /// — a partial merge is still ok(), the caller decides whether
+  /// partial is acceptable. Always empty for Campaign::run results.
+  std::vector<std::size_t> missing_seeds;
   std::vector<std::string> notes;
 
   [[nodiscard]] bool ok() const { return status.is_ok(); }
+  [[nodiscard]] bool complete() const { return missing_seeds.empty(); }
 };
 
 /// Runs a CampaignSpec through a SimEngine (optionally via a
@@ -108,13 +138,34 @@ class Campaign {
   /// shape-mismatched tables mark the campaign status failed; the
   /// replica results always survive for diagnosis. The aggregate is
   /// bit-identical at every thread count.
+  ///
+  /// An active `shard` restricts the run to the replica indices the
+  /// shard owns (index mod count) — the worker half of a distributed
+  /// campaign. Shard workers should share one ResultStore directory;
+  /// the aggregate then only covers the shard's own seeds (the full
+  /// aggregate comes from merge_campaign_results over the shared
+  /// store). Throws StatusError on an invalid shard.
   [[nodiscard]] CampaignResult run(SimEngine& engine,
                                    ResultStore* store = nullptr,
-                                   std::size_t threads = 0) const;
+                                   std::size_t threads = 0,
+                                   const CampaignShard& shard = {}) const;
 
  private:
   CampaignSpec spec_;
 };
+
+/// The aggregator half of a distributed campaign: loads whatever seed
+/// replicas of `spec` exist in `store` (written by any number of shard
+/// workers, possibly still running) and folds them cell-wise — one
+/// single-sample RunningStats per (cell, seed), merged in seed-index
+/// order, which is bit-identical to the sequential single-process
+/// accumulation. Seeds that are absent, corrupt (ResultStore::load
+/// degrades those to misses) or shape-mismatched are listed in
+/// missing_seeds and reported in the notes, never fatal: a partial
+/// merge reports partial CI95 over the seeds present so far. The
+/// result's status is only failed on an invalid spec.
+[[nodiscard]] CampaignResult merge_campaign_results(
+    const CampaignSpec& spec, const ResultStore& store);
 
 /// Statistical golden check: `golden` and `actual` must be aggregate
 /// tables over the same (row, key, column) grid. A cell passes when

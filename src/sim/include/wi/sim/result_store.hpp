@@ -6,13 +6,21 @@
 /// scenario's canonical serialized spec, an explicit seed salt and a
 /// version string (pass `git describe` so a code change invalidates
 /// everything it could have affected). Entries are written atomically
-/// (tmp file + rename) as soon as each scenario finishes, so an
-/// interrupted sweep resumes per grid point: re-running an unchanged
-/// sweep replays stored rows and only executes the points that are
-/// missing. Only successful results are cached — failed points are
-/// retried on the next run.
+/// (per-writer-unique tmp file + rename) as soon as each scenario
+/// finishes, so an interrupted sweep resumes per grid point:
+/// re-running an unchanged sweep replays stored rows and only executes
+/// the points that are missing. Only successful results are cached —
+/// failed points are retried on the next run.
+///
+/// The store directory is safe to share between concurrent *processes*
+/// (the `wi_run --shard` worker fleet): temp names are unique per
+/// writer (pid + counter), so two writers racing on the same key each
+/// stage their own file and the final rename is last-writer-wins
+/// atomic, and the startup orphan sweep is age-gated so it cannot
+/// remove another worker's in-flight write.
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <mutex>
@@ -36,6 +44,13 @@ struct ResultStoreOptions {
   /// Code-version component of every key; wire `git describe` through
   /// here (wi_run does) so stale caches cannot survive a code change.
   std::string version = "unversioned";
+  /// Minimum age before the startup sweep removes a `*.tmp` file. The
+  /// store directory may be shared by concurrent worker processes
+  /// (`wi_run --shard`), so a fresh temp file is most likely another
+  /// worker's in-flight atomic write, not a crash leftover — only
+  /// files older than this are swept. Zero sweeps unconditionally
+  /// (single-process tools that own the directory outright).
+  std::chrono::seconds orphan_ttl{600};
 };
 
 /// Content key of a (spec, version, seed) triple: 16 hex digits of
@@ -52,14 +67,18 @@ struct ResultStoreOptions {
 /// actually persisted by save(), `corrupt_entries` counts loads that
 /// found an unreadable entry (each also logged once per path),
 /// `orphans_removed` counts stale atomic-write temp files swept on
-/// open, and `transient_write_failures` counts saves that failed
-/// retryably (ENOSPC, EINTR — surfaced as kUnavailable).
+/// open, `orphans_skipped` counts temp files the sweep left alone
+/// because they were younger than `orphan_ttl` (presumed in-flight
+/// writes of a concurrent worker), and `transient_write_failures`
+/// counts saves that failed retryably (ENOSPC, EINTR — surfaced as
+/// kUnavailable).
 struct ResultStoreStats {
   std::size_t hits = 0;
   std::size_t misses = 0;
   std::size_t inserts = 0;
   std::size_t corrupt_entries = 0;
   std::size_t orphans_removed = 0;
+  std::size_t orphans_skipped = 0;
   std::size_t transient_write_failures = 0;
 };
 
@@ -67,9 +86,12 @@ class ResultStore {
  public:
   /// Creates the directory if needed; throws StatusError
   /// (kExecutionError) when it cannot be created. Orphaned atomic-write
-  /// temp files (*.json.tmp left by a crash mid-save) are swept here —
-  /// they can never become valid entries, only waste space — and
-  /// counted in stats().orphans_removed.
+  /// temp files (*.tmp left by a crash mid-save) are swept here — they
+  /// can never become valid entries, only waste space — but only when
+  /// older than options.orphan_ttl: a younger temp file is presumed to
+  /// be a concurrent worker's in-flight write and is left alone.
+  /// Removed and skipped files are counted in stats().orphans_removed
+  /// / stats().orphans_skipped.
   explicit ResultStore(ResultStoreOptions options);
 
   /// Content key of a (spec, seed) pair under this store's version:
@@ -145,6 +167,7 @@ class ResultStore {
   std::atomic<std::size_t> inserts_{0};
   mutable std::atomic<std::size_t> corrupt_entries_{0};
   std::atomic<std::size_t> orphans_removed_{0};
+  std::atomic<std::size_t> orphans_skipped_{0};
   std::atomic<std::size_t> transient_write_failures_{0};
   mutable std::vector<Status> corruption_log_;  ///< one per distinct path
 };

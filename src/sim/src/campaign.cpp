@@ -48,7 +48,133 @@ constexpr double kMaxExactInteger = 9007199254740992.0;  // 2^53
   return n >= 0.0 && n <= kMaxExactInteger && n == std::floor(n);
 }
 
+/// Incremental cell-wise reduction of replica tables into the
+/// campaign aggregate schema. Tables are folded one at a time (the
+/// distributed aggregator streams them out of the store as seeds
+/// arrive); each sample enters its cell as a single-sample
+/// RunningStats folded with RunningStats::merge, which is exact for
+/// single samples — so the fold is bit-identical to the sequential
+/// add() accumulation regardless of whether the tables came from one
+/// process or from N shard workers, as long as the fold order is seed
+/// order. Both aggregate_tables() and merge_campaign_results() reduce
+/// through this one class, which is what makes a shard-merged
+/// aggregate bit-identical to the single-process run.
+class AggregateAccumulator {
+ public:
+  /// Fold one replica table; kExecutionError on a shape mismatch with
+  /// the first folded table (the caller decides whether that is fatal
+  /// — Campaign::run — or degrades the replica — the merge path).
+  [[nodiscard]] Status add_table(const Table& table) {
+    if (!has_first_) {
+      has_first_ = true;
+      headers_ = table.headers();
+      rows_ = table.rows();
+      labels_.reserve(rows_);
+      for (std::size_t r = 0; r < rows_; ++r) {
+        labels_.push_back(table.cell(r, 0));
+      }
+      label_shared_.assign(rows_, true);
+      cells_.assign(rows_ * headers_.size(), Cell{});
+    } else {
+      if (table.headers() != headers_) {
+        return {StatusCode::kExecutionError,
+                "campaign: replica table headers differ between seeds"};
+      }
+      if (table.rows() != rows_) {
+        return {StatusCode::kExecutionError,
+                "campaign: replica table row counts differ between "
+                "seeds (" +
+                    std::to_string(table.rows()) + " vs " +
+                    std::to_string(rows_) + ")"};
+      }
+    }
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (table.cell(r, 0) != labels_[r]) label_shared_[r] = false;
+      for (std::size_t c = 0; c < headers_.size(); ++c) {
+        Cell& cell = cells_[r * headers_.size() + c];
+        if (!cell.numeric) continue;
+        double value = 0.0;
+        if (!parse_cell_number(table.cell(r, c), value) ||
+            !std::isfinite(value)) {
+          cell.numeric = false;
+          continue;
+        }
+        RunningStats sample;
+        sample.add(value);
+        cell.stats.merge(sample);  // exact single-sample fold
+      }
+    }
+    ++tables_;
+    return Status::ok();
+  }
+
+  [[nodiscard]] std::size_t tables() const { return tables_; }
+
+  /// The aggregate over everything folded so far: one row per (row,
+  /// column) cell that parsed as a finite number in *every* folded
+  /// table. Partial folds yield partial statistics (seeds column =
+  /// tables folded), the streaming-aggregator contract.
+  [[nodiscard]] Table aggregate() const {
+    Table aggregate(campaign_headers());
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const std::string key = label_shared_[r] ? labels_[r] : "-";
+      for (std::size_t c = 0; c < headers_.size(); ++c) {
+        const Cell& cell = cells_[r * headers_.size() + c];
+        if (!cell.numeric) continue;
+        aggregate.add_row(
+            {Table::num(static_cast<long long>(r)), key, headers_[c],
+             Table::num(static_cast<long long>(cell.stats.count())),
+             format_stat(cell.stats.mean()),
+             format_stat(cell.stats.stddev()),
+             format_stat(cell.stats.min()), format_stat(cell.stats.max()),
+             format_stat(cell.stats.ci95_halfwidth())});
+      }
+    }
+    return aggregate;
+  }
+
+ private:
+  struct Cell {
+    RunningStats stats;
+    bool numeric = true;  ///< finite number in every table so far
+  };
+
+  bool has_first_ = false;
+  std::size_t tables_ = 0;
+  std::size_t rows_ = 0;
+  std::vector<std::string> headers_;
+  std::vector<std::string> labels_;  ///< first table's row labels
+  std::vector<bool> label_shared_;   ///< label identical so far?
+  std::vector<Cell> cells_;          ///< row-major [row][column]
+};
+
+/// "3 indices: 1, 4, 7" — bounded rendering of a seed-index list.
+[[nodiscard]] std::string format_seed_indices(
+    const std::vector<std::size_t>& indices, std::size_t limit = 20) {
+  std::string text;
+  for (std::size_t i = 0; i < indices.size() && i < limit; ++i) {
+    if (i > 0) text += ", ";
+    text += std::to_string(indices[i]);
+  }
+  if (indices.size() > limit) {
+    text += ", ... (" + std::to_string(indices.size() - limit) + " more)";
+  }
+  return text;
+}
+
 }  // namespace
+
+Status CampaignShard::validate() const {
+  if (count < 1) {
+    return {StatusCode::kInvalidSpec, "shard: count must be >= 1"};
+  }
+  if (index >= count) {
+    return {StatusCode::kInvalidSpec,
+            "shard: index " + std::to_string(index) +
+                " out of range for " + std::to_string(count) + " shards"};
+  }
+  return Status::ok();
+}
 
 std::uint64_t campaign_seed(std::uint64_t base_seed, std::size_t index) {
   // The SplitMix64 stream seeded at base_seed, read at position index.
@@ -89,54 +215,12 @@ std::vector<std::string> campaign_headers() {
 }
 
 Table aggregate_tables(const std::vector<Table>& tables) {
-  Table aggregate(campaign_headers());
-  if (tables.empty()) return aggregate;
-  const Table& first = tables[0];
-  for (std::size_t t = 1; t < tables.size(); ++t) {
-    if (tables[t].headers() != first.headers()) {
-      fail(StatusCode::kExecutionError,
-           "replica table headers differ between seeds");
-    }
-    if (tables[t].rows() != first.rows()) {
-      fail(StatusCode::kExecutionError,
-           "replica table row counts differ between seeds (" +
-               std::to_string(tables[t].rows()) + " vs " +
-               std::to_string(first.rows()) + ")");
-    }
+  AggregateAccumulator accumulator;
+  for (const Table& table : tables) {
+    const Status status = accumulator.add_table(table);
+    if (!status.is_ok()) throw StatusError(status);
   }
-  for (std::size_t r = 0; r < first.rows(); ++r) {
-    // The row label: first column when it agrees across all replicas.
-    bool shared_label = true;
-    for (const Table& table : tables) {
-      if (table.cell(r, 0) != first.cell(r, 0)) {
-        shared_label = false;
-        break;
-      }
-    }
-    const std::string key = shared_label ? first.cell(r, 0) : "-";
-    for (std::size_t c = 0; c < first.columns(); ++c) {
-      RunningStats stats;
-      bool numeric = true;
-      for (const Table& table : tables) {
-        double value = 0.0;
-        if (!parse_cell_number(table.cell(r, c), value) ||
-            !std::isfinite(value)) {
-          numeric = false;
-          break;
-        }
-        stats.add(value);  // seed order: deterministic accumulation
-      }
-      if (!numeric) continue;
-      aggregate.add_row({Table::num(static_cast<long long>(r)), key,
-                         first.headers()[c],
-                         Table::num(static_cast<long long>(stats.count())),
-                         format_stat(stats.mean()),
-                         format_stat(stats.stddev()),
-                         format_stat(stats.min()), format_stat(stats.max()),
-                         format_stat(stats.ci95_halfwidth())});
-    }
-  }
-  return aggregate;
+  return accumulator.aggregate();
 }
 
 Campaign::Campaign(CampaignSpec spec) : spec_(std::move(spec)) {
@@ -145,7 +229,10 @@ Campaign::Campaign(CampaignSpec spec) : spec_(std::move(spec)) {
 }
 
 CampaignResult Campaign::run(SimEngine& engine, ResultStore* store,
-                             std::size_t threads) const {
+                             std::size_t threads,
+                             const CampaignShard& shard) const {
+  const Status shard_status = shard.validate();
+  if (!shard_status.is_ok()) throw StatusError(shard_status);
   CampaignResult result;
   result.campaign = spec_.display_name();
   result.seeds = spec_.seeds;
@@ -153,8 +240,11 @@ CampaignResult Campaign::run(SimEngine& engine, ResultStore* store,
   result.aggregate = Table(campaign_headers());
 
   std::vector<ScenarioSpec> replicas;
-  replicas.reserve(spec_.seeds);
+  replicas.reserve(spec_.seeds / std::max<std::size_t>(shard.count, 1) + 1);
+  std::size_t owned = 0;
   for (std::size_t k = 0; k < spec_.seeds; ++k) {
+    if (!shard.owns(k)) continue;
+    ++owned;
     replicas.push_back(scenario_for_seed(
         spec_.scenario, campaign_seed(spec_.base_seed, k)));
   }
@@ -197,6 +287,16 @@ CampaignResult Campaign::run(SimEngine& engine, ResultStore* store,
       Table::num(static_cast<long long>(spec_.seeds)) +
       " seeds derived from base_seed " +
       std::to_string(spec_.base_seed) + " (splitmix64)");
+  if (shard.active()) {
+    result.notes.push_back(
+        "shard " + std::to_string(shard.index) + "/" +
+        std::to_string(shard.count) + ": ran " +
+        Table::num(static_cast<long long>(owned)) + " of " +
+        Table::num(static_cast<long long>(spec_.seeds)) +
+        " seed replicas (indices congruent to " +
+        std::to_string(shard.index) + " mod " +
+        std::to_string(shard.count) + ")");
+  }
   if (store != nullptr) {
     result.notes.push_back(
         "store: " +
@@ -205,6 +305,75 @@ CampaignResult Campaign::run(SimEngine& engine, ResultStore* store,
         Table::num(
             static_cast<long long>(store->misses() - misses_before)) +
         " misses");
+  }
+  return result;
+}
+
+CampaignResult merge_campaign_results(const CampaignSpec& spec,
+                                      const ResultStore& store) {
+  CampaignResult result;
+  result.campaign = spec.display_name();
+  result.seeds = spec.seeds;
+  result.base_seed = spec.base_seed;
+  result.aggregate = Table(campaign_headers());
+  const Status valid = spec.validate();
+  if (!valid.is_ok()) {
+    result.status = valid;
+    return result;
+  }
+
+  // Fold in seed-index order: the order, together with the exact
+  // single-sample merge, is what makes the merged aggregate
+  // bit-identical to the single-process run. Anything unusable —
+  // absent (the worker has not finished that seed yet), corrupt
+  // (ResultStore::load already degrades those to misses and logs
+  // them), or shape-mismatched — goes on the missing list instead of
+  // aborting: the aggregator must keep working while workers are
+  // still streaming seeds in or after one of them crashed mid-write.
+  const std::size_t corrupt_before = store.stats().corrupt_entries;
+  AggregateAccumulator accumulator;
+  std::vector<std::string> degraded;
+  for (std::size_t k = 0; k < spec.seeds; ++k) {
+    const ScenarioSpec replica = scenario_for_seed(
+        spec.scenario, campaign_seed(spec.base_seed, k));
+    const std::optional<RunResult> entry = store.load(replica);
+    if (!entry || !entry->ok()) {
+      result.missing_seeds.push_back(k);
+      continue;
+    }
+    const Status folded = accumulator.add_table(entry->table);
+    if (!folded.is_ok()) {
+      result.missing_seeds.push_back(k);
+      degraded.push_back("seed index " + std::to_string(k) +
+                         " unusable: " + folded.message());
+      continue;
+    }
+  }
+  result.aggregate = accumulator.aggregate();
+
+  result.notes.push_back(
+      "merged " +
+      Table::num(static_cast<long long>(accumulator.tables())) + " of " +
+      Table::num(static_cast<long long>(spec.seeds)) +
+      " seed replicas from store '" +
+      store.options().directory.string() + "' (base_seed " +
+      std::to_string(spec.base_seed) + ", splitmix64)");
+  if (!result.missing_seeds.empty()) {
+    result.notes.push_back(
+        "partial aggregate: " +
+        Table::num(static_cast<long long>(result.missing_seeds.size())) +
+        " seed indices missing: " +
+        format_seed_indices(result.missing_seeds));
+  }
+  const std::size_t corrupt =
+      store.stats().corrupt_entries - corrupt_before;
+  if (corrupt > 0) {
+    result.notes.push_back(
+        Table::num(static_cast<long long>(corrupt)) +
+        " corrupt store entries skipped (see the store corruption log)");
+  }
+  for (std::string& note : degraded) {
+    result.notes.push_back(std::move(note));
   }
   return result;
 }
@@ -336,6 +505,15 @@ Json campaign_result_to_json(const CampaignResult& result) {
   json.set("status", std::move(status));
   json.set("seeds", Json(static_cast<double>(result.seeds)));
   json.set("base_seed", Json(static_cast<double>(result.base_seed)));
+  if (!result.missing_seeds.empty()) {
+    // Partial merges only: the replica indices the aggregator could
+    // not fold (absent / corrupt / shape-mismatched store entries).
+    Json missing = Json::array();
+    for (const std::size_t k : result.missing_seeds) {
+      missing.push_back(Json(static_cast<double>(k)));
+    }
+    json.set("missing_seeds", std::move(missing));
+  }
   Json notes = Json::array();
   for (const auto& note : result.notes) notes.push_back(Json(note));
   json.set("notes", std::move(notes));

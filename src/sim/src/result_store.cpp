@@ -1,5 +1,8 @@
 #include "wi/sim/result_store.hpp"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cerrno>
 #include <charconv>
 #include <cstring>
@@ -95,15 +98,27 @@ ResultStore::ResultStore(ResultStoreOptions options)
             "': " + ec.message()));
   }
   // Sweep orphaned atomic-write temp files: a crash between the tmp
-  // write and the rename leaves "<key>.json.tmp" behind, which can
-  // never become a valid entry. Removal failures are ignored (another
-  // process may be sweeping concurrently).
+  // write and the rename leaves "<key>.json.<writer>.tmp" behind,
+  // which can never become a valid entry. The sweep is age-gated:
+  // with the directory shared by concurrent worker processes, a young
+  // temp file is almost certainly another worker's *in-flight* write,
+  // and deleting it would drop that worker's result mid-save — only
+  // files older than orphan_ttl (crash leftovers) are removed.
+  // Removal/stat failures are ignored (another process may be
+  // sweeping, or the writer may have just renamed the file away).
+  const auto now = std::filesystem::file_time_type::clock::now();
   for (std::filesystem::directory_iterator it(options_.directory, ec), end;
        !ec && it != end; it.increment(ec)) {
     const std::filesystem::path& path = it->path();
-    if (path.extension() != ".tmp" ||
-        path.stem().extension() != ".json") {
-      continue;
+    if (path.extension() != ".tmp") continue;
+    if (options_.orphan_ttl.count() > 0) {
+      std::error_code stat_ec;
+      const auto mtime = std::filesystem::last_write_time(path, stat_ec);
+      if (stat_ec) continue;  // vanished mid-sweep: a writer finished
+      if (now - mtime < options_.orphan_ttl) {
+        ++orphans_skipped_;
+        continue;
+      }
     }
     std::error_code remove_ec;
     if (std::filesystem::remove(path, remove_ec) && !remove_ec) {
@@ -194,6 +209,7 @@ ResultStoreStats ResultStore::stats() const {
   stats.inserts = inserts_.load();
   stats.corrupt_entries = corrupt_entries_.load();
   stats.orphans_removed = orphans_removed_.load();
+  stats.orphans_skipped = orphans_skipped_.load();
   stats.transient_write_failures = transient_write_failures_.load();
   return stats;
 }
@@ -216,9 +232,20 @@ void ResultStore::save(const ScenarioSpec& spec, const RunResult& result,
   json.set("result", run_result_to_json(result));
   const std::string payload = json.dump(2) + "\n";
 
+  // The temp name must be unique per writer: with a shared store
+  // directory, two processes computing the same (key, seed) would
+  // otherwise stage into the *same* "<key>.json.tmp" — writer B
+  // truncates A's half-written file, A renames B's torso into place,
+  // and a corrupt entry lands under the final name. A pid + per-process
+  // counter suffix gives every in-flight write its own staging file;
+  // the final rename stays last-writer-wins atomic (same directory),
+  // and since content keys are deterministic both writers rename
+  // identical bytes anyway.
+  static std::atomic<std::uint64_t> tmp_counter{0};
   const std::filesystem::path path = entry_path(entry_key);
   const std::filesystem::path tmp =
-      path.string() + ".tmp";  // same directory => rename is atomic
+      path.string() + "." + std::to_string(::getpid()) + "-" +
+      std::to_string(tmp_counter.fetch_add(1)) + ".tmp";
   std::lock_guard<std::mutex> lock(io_mutex_);
   {
     errno = 0;

@@ -1,0 +1,252 @@
+/// \file test_store_contention.cpp
+/// \brief Multi-writer ResultStore safety: the shard-worker contract.
+///
+/// `wi_run --shard` points N independent *processes* at one store
+/// directory. These tests model that with N threads each owning its
+/// own ResultStore instance (separate io mutexes, exactly like
+/// separate processes) on one scratch directory, and pin the two
+/// concurrency fixes the distributed-campaign mode depends on:
+/// per-writer-unique temp names (no clobbered staging files, no
+/// half-written bodies renamed into place) and the age-gated orphan
+/// sweep (a new worker must not delete a peer's in-flight write).
+/// Mid-write crashes are injected deterministically via the wi::fault
+/// derivation hooks: a "killed" writer leaves a truncated temp file
+/// behind instead of completing its save, exactly the residue of a
+/// real kill -9 between write and rename.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "wi/common/fault.hpp"
+#include "wi/sim/registry.hpp"
+#include "wi/sim/result_store.hpp"
+
+namespace wi::sim {
+namespace {
+
+namespace fs = std::filesystem;
+
+class StoreContentionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("wi_store_contention_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::remove_all(dir_);
+  }
+
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] static ScenarioSpec spec_named(const std::string& name) {
+    ScenarioSpec spec = ScenarioRegistry::paper().get("table1_link_budget");
+    spec.name = name;  // the name feeds the content key
+    return spec;
+  }
+
+  /// A small deterministic result for `spec`: what every worker
+  /// computing this spec would produce.
+  [[nodiscard]] static RunResult result_for(const ScenarioSpec& spec) {
+    RunResult result;
+    result.scenario = spec.name;
+    result.table = Table({"metric", "value"});
+    result.table.add_row({"rows", spec.name});
+    result.table.add_row({"answer", "42.5"});
+    return result;
+  }
+
+  /// The residue of a writer killed mid-save: a truncated temp file
+  /// following the store's "<key>.json.<writer>.tmp" staging pattern.
+  void leave_truncated_tmp(const ResultStore& store,
+                           const ScenarioSpec& spec,
+                           const std::string& writer_tag) {
+    const fs::path tmp = store.entry_path(store.key(spec)).string() +
+                         "." + writer_tag + ".tmp";
+    std::ofstream out(tmp, std::ios::trunc);
+    out << "{\"format\": \"wi-result-v1\", \"key\": \"torso";  // cut off
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(StoreContentionTest, SameKeyWritersNeverPublishACorruptEntry) {
+  // 8 "processes" hammer the SAME key while a reader polls it. Under
+  // the old fixed "<key>.json.tmp" staging name, writer B truncates
+  // A's half-written file and A renames B's torso into place; with
+  // per-writer temp names every rename publishes a complete body.
+  const ScenarioSpec spec = spec_named("contended_key");
+  const RunResult expected = result_for(spec);
+  constexpr int kWriters = 8;
+  constexpr int kRounds = 40;
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> loads_seen{0};
+  ResultStore reader({dir_, "v1"});
+  std::thread reader_thread([&] {
+    while (!stop.load()) {
+      if (const auto entry = reader.load(spec)) {
+        ++loads_seen;
+        // A half-written body would either fail to parse (counted as
+        // corrupt) or carry a different table; both are fatal here.
+        ASSERT_EQ(entry->table, expected.table);
+      }
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&] {
+      ResultStore store({dir_, "v1"});
+      for (int round = 0; round < kRounds; ++round) {
+        store.save(spec, expected);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true);
+  reader_thread.join();
+
+  EXPECT_GT(loads_seen.load(), 0u);
+  EXPECT_EQ(reader.stats().corrupt_entries, 0u);
+  // The completed write survives: a fresh store sees a clean hit.
+  ResultStore verify({dir_, "v1"});
+  const auto entry = verify.load(spec);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->table, expected.table);
+  EXPECT_EQ(verify.stats().corrupt_entries, 0u);
+}
+
+TEST_F(StoreContentionTest, MixedKeysWithInjectedMidWriteKills) {
+  // 6 workers × 30 writes over a mix of shared and distinct keys.
+  // wi::fault::decide picks ~25% of the writes to "die" mid-save:
+  // those leave a truncated temp file (the kill -9 residue) instead
+  // of completing. Contract: no completed write is ever lost, no load
+  // ever observes a corrupt entry, and the kill residue stays out of
+  // the entry namespace.
+  constexpr int kWorkers = 6;
+  constexpr int kWrites = 30;
+  constexpr std::uint64_t kKillSeed = 77;
+
+  std::vector<std::thread> workers;
+  std::vector<std::vector<int>> completed(kWorkers);
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      ResultStore store({dir_, "v1"});
+      for (int i = 0; i < kWrites; ++i) {
+        // Even i: all workers share key "shared_<i>"; odd i: the key
+        // is private to this worker.
+        const std::string name =
+            i % 2 == 0 ? "shared_" + std::to_string(i)
+                       : "own_" + std::to_string(w) + "_" +
+                             std::to_string(i);
+        const ScenarioSpec spec = spec_named(name);
+        const std::uint64_t op =
+            static_cast<std::uint64_t>(w) * kWrites +
+            static_cast<std::uint64_t>(i);
+        if (fault::decide(kKillSeed, fault::Stream::kStoreFail, op,
+                          0.25)) {
+          leave_truncated_tmp(store, spec,
+                              "killed" + std::to_string(op) + "-0");
+          continue;  // this writer "died" before publishing
+        }
+        store.save(spec, result_for(spec));
+        completed[static_cast<std::size_t>(w)].push_back(i);
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+
+  // Every completed write is loadable and intact.
+  ResultStore verify({dir_, "v1"});
+  std::size_t checked = 0;
+  for (int w = 0; w < kWorkers; ++w) {
+    for (const int i : completed[static_cast<std::size_t>(w)]) {
+      const std::string name =
+          i % 2 == 0
+              ? "shared_" + std::to_string(i)
+              : "own_" + std::to_string(w) + "_" + std::to_string(i);
+      const ScenarioSpec spec = spec_named(name);
+      const auto entry = verify.load(spec);
+      ASSERT_TRUE(entry.has_value()) << "lost completed write " << name;
+      EXPECT_EQ(entry->table, result_for(spec).table);
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+  EXPECT_EQ(verify.stats().corrupt_entries, 0u);
+  // The kill residue is still there (young => the sweep above skipped
+  // it), invisible to loads.
+  EXPECT_GT(verify.stats().orphans_skipped, 0u);
+
+  // An explicit ttl=0 store owns the directory outright and may sweep
+  // everything; afterwards no temp files remain and all completed
+  // entries still load.
+  ResultStore sweeper({dir_, "v1", std::chrono::seconds{0}});
+  EXPECT_GT(sweeper.stats().orphans_removed, 0u);
+  EXPECT_EQ(sweeper.stats().orphans_skipped, 0u);
+  std::size_t tmp_left = 0;
+  for (const auto& file : fs::directory_iterator(dir_)) {
+    if (file.path().extension() == ".tmp") ++tmp_left;
+  }
+  EXPECT_EQ(tmp_left, 0u);
+  for (int w = 0; w < kWorkers; ++w) {
+    for (const int i : completed[static_cast<std::size_t>(w)]) {
+      const std::string name =
+          i % 2 == 0
+              ? "shared_" + std::to_string(i)
+              : "own_" + std::to_string(w) + "_" + std::to_string(i);
+      EXPECT_TRUE(sweeper.load(spec_named(name)).has_value());
+    }
+  }
+}
+
+TEST_F(StoreContentionTest, OrphanSweepIsAgeGated) {
+  const ScenarioSpec spec = spec_named("sweep_target");
+  fs::path stale;
+  {
+    ResultStore store({dir_, "v1"});
+    store.save(spec, result_for(spec));
+    // Two orphans: one fresh (a peer's in-flight write) and one
+    // backdated beyond the ttl (a crash leftover).
+    leave_truncated_tmp(store, spec, "young-0");
+    leave_truncated_tmp(store, spec, "stale-0");
+    stale = store.entry_path(store.key(spec)).string() + ".stale-0.tmp";
+  }
+  fs::last_write_time(stale, fs::file_time_type::clock::now() -
+                                 std::chrono::hours(2));
+
+  ResultStore swept({dir_, "v1"});  // default ttl: 10 minutes
+  const ResultStoreStats stats = swept.stats();
+  EXPECT_EQ(stats.orphans_removed, 1u) << "only the stale orphan goes";
+  EXPECT_EQ(stats.orphans_skipped, 1u) << "the young one is in flight";
+  EXPECT_FALSE(fs::exists(stale));
+  EXPECT_TRUE(swept.load(spec).has_value()) << "real entries untouched";
+}
+
+TEST_F(StoreContentionTest, SweepStillRemovesLegacyFixedNameOrphans) {
+  // Stores written before the unique-name scheme staged into
+  // "<key>.json.tmp"; an old crash leftover in that shape must still
+  // be swept once it ages out.
+  ResultStore store({dir_, "v1"});
+  const fs::path legacy =
+      store.entry_path(store.key(spec_named("legacy"))).string() + ".tmp";
+  {
+    std::ofstream out(legacy, std::ios::trunc);
+    out << "{\"torso";
+  }
+  fs::last_write_time(legacy, fs::file_time_type::clock::now() -
+                                  std::chrono::hours(2));
+  ResultStore sweeper({dir_, "v1"});
+  EXPECT_EQ(sweeper.stats().orphans_removed, 1u);
+  EXPECT_FALSE(fs::exists(legacy));
+}
+
+}  // namespace
+}  // namespace wi::sim

@@ -23,9 +23,23 @@
 ///   wi_run campaign_info_rates --seeds 8 --check-ci DIR  # golden gate
 ///   wi_run --campaign my_campaign.json    # run a CampaignSpec file
 ///
-/// Exit codes: 0 ok, 1 scenario failure or golden mismatch, 2 usage
-/// (including unknown scenario/workload names, which print a
-/// nearest-match suggestion plus the full known-name list).
+/// Distributed campaigns: N worker processes (or machines sharing a
+/// store directory) each run one shard of the seed schedule, and an
+/// aggregator merges whatever per-seed results exist — incrementally,
+/// while seeds are still streaming in — into the same aggregate the
+/// single-process run produces, bit-for-bit once all seeds landed:
+///
+///   wi_run campaign_info_rates --seeds 64 --shard 0/4 --store DIR  # worker
+///   wi_run campaign_info_rates --seeds 64 --merge DIR              # merge
+///   wi_run campaign_info_rates --seeds 64 --merge DIR --allow-partial
+///
+/// All workers and the aggregator must run the same build: store keys
+/// include the code version, so a mixed fleet simply misses.
+///
+/// Exit codes: 0 ok, 1 scenario failure, golden mismatch or an
+/// incomplete --merge without --allow-partial, 2 usage (including
+/// unknown scenario/workload names, which print a nearest-match
+/// suggestion plus the full known-name list).
 
 #include <algorithm>
 #include <filesystem>
@@ -69,6 +83,9 @@ struct CliOptions {
   std::optional<std::filesystem::path> check_path;
   std::optional<std::filesystem::path> campaign_out_dir;
   std::optional<std::filesystem::path> check_ci_path;
+  std::optional<CampaignShard> shard;
+  std::optional<std::filesystem::path> merge_dir;
+  bool allow_partial = false;
   CompareOptions compare;
   CiCheckOptions ci;
 };
@@ -106,7 +123,22 @@ void print_usage(std::ostream& os) {
         "  --ci-slack X       CI half-width multiplier (default 1)\n"
         "  --no-store         disable the default campaign result store\n"
         "                     (campaigns otherwise cache per-seed\n"
-        "                     results in results/store)\n";
+        "                     results in results/store)\n"
+        "\n"
+        "distributed campaigns (shard workers + aggregator):\n"
+        "  --shard I/N        run only the seed indices congruent to I\n"
+        "                     mod N (I in 0..N-1); seed values are\n"
+        "                     shard-invariant, so N workers sharing one\n"
+        "                     --store directory cover the seed set\n"
+        "                     exactly once\n"
+        "  --merge DIR        do not run anything: fold the per-seed\n"
+        "                     results present in store DIR into the\n"
+        "                     campaign aggregate (bit-identical to the\n"
+        "                     single-process run once complete) and\n"
+        "                     flag missing seed indices\n"
+        "  --allow-partial    exit 0 from --merge even when seeds are\n"
+        "                     still missing (partial CI95 reporting\n"
+        "                     while workers stream seeds in)\n";
 }
 
 [[nodiscard]] bool parse_count(const std::string& text,
@@ -137,6 +169,31 @@ void print_usage(std::ostream& os) {
               << "'\n";
     return false;
   }
+}
+
+/// "I/N" with I in [0, N): the shard syntax of --shard.
+[[nodiscard]] bool parse_shard(const std::string& text,
+                               CampaignShard& out) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string::npos || slash == 0 ||
+      slash + 1 >= text.size()) {
+    std::cerr << "wi_run: --shard expects I/N (e.g. 0/4), got '" << text
+              << "'\n";
+    return false;
+  }
+  CampaignShard shard;
+  if (!parse_count(text.substr(0, slash), "--shard index", shard.index) ||
+      !parse_count(text.substr(slash + 1), "--shard count", shard.count)) {
+    return false;
+  }
+  const wi::Status status = shard.validate();
+  if (!status.is_ok()) {
+    std::cerr << "wi_run: --shard " << text << ": " << status.message()
+              << "\n";
+    return false;
+  }
+  out = shard;
+  return true;
 }
 
 [[nodiscard]] std::optional<CliOptions> parse_cli(int argc, char** argv) {
@@ -194,6 +251,18 @@ void print_usage(std::ostream& os) {
       if (!parse_tolerance(*v, arg, options.ci.slack)) return std::nullopt;
     } else if (arg == "--no-store") {
       options.no_store = true;
+    } else if (arg == "--shard") {
+      const auto v = value();
+      if (!v) return std::nullopt;
+      CampaignShard shard;
+      if (!parse_shard(*v, shard)) return std::nullopt;
+      options.shard = shard;
+    } else if (arg == "--merge") {
+      const auto v = value();
+      if (!v) return std::nullopt;
+      options.merge_dir = *v;
+    } else if (arg == "--allow-partial") {
+      options.allow_partial = true;
     } else if (arg == "--out") {
       const auto v = value();
       if (!v) return std::nullopt;
@@ -446,6 +515,40 @@ int main(int argc, char** argv) {
     print_usage(std::cerr);
     return 2;
   }
+  if (options.shard || options.merge_dir) {
+    // Worker/aggregator modes are campaign-only, and their flag
+    // combinations are checked up front so a misconfigured fleet
+    // fails at launch (exit 2), not after hours of simulation.
+    if (options.shard && options.merge_dir) {
+      std::cerr << "wi_run: --shard runs a worker, --merge runs the "
+                   "aggregator; pick one\n";
+      return 2;
+    }
+    if (campaigns.empty() || !specs.empty()) {
+      std::cerr << "wi_run: --shard/--merge apply to campaigns only "
+                   "(--seeds N or --campaign FILE)\n";
+      return 2;
+    }
+    if (options.shard && options.no_store) {
+      std::cerr << "wi_run: a shard worker's output *is* the store; "
+                   "--shard cannot be combined with --no-store\n";
+      return 2;
+    }
+    if (options.shard && (options.campaign_out_dir || options.check_ci_path)) {
+      std::cerr << "wi_run: a shard aggregate covers only its own seeds; "
+                   "write artifacts / check goldens from --merge instead\n";
+      return 2;
+    }
+    if (options.merge_dir && (options.store_dir || options.no_store)) {
+      std::cerr << "wi_run: --merge reads the store given as its "
+                   "argument; --store/--no-store do not apply\n";
+      return 2;
+    }
+  }
+  if (options.allow_partial && !options.merge_dir) {
+    std::cerr << "wi_run: --allow-partial only applies to --merge\n";
+    return 2;
+  }
 
   if (options.dump_spec) {
     for (const auto& spec : specs) {
@@ -462,7 +565,11 @@ int main(int argc, char** argv) {
   try {
     SimEngine engine({options.threads});
     std::optional<ResultStore> store;
-    if (options.store_dir) {
+    if (options.merge_dir) {
+      // The aggregator's store is the shared worker directory; keys
+      // carry the same version string the workers wrote with.
+      store.emplace(ResultStoreOptions{*options.merge_dir, WI_GIT_DESCRIBE});
+    } else if (options.store_dir) {
       store.emplace(ResultStoreOptions{*options.store_dir, WI_GIT_DESCRIBE});
     } else if (!campaigns.empty() && !options.no_store) {
       // Per-seed persistence is the campaign layer's core contract:
@@ -500,7 +607,11 @@ int main(int argc, char** argv) {
     for (const CampaignSpec& spec : campaigns) {
       const Campaign campaign(spec);
       const CampaignResult result =
-          campaign.run(engine, store ? &*store : nullptr, options.threads);
+          options.merge_dir
+              ? merge_campaign_results(spec, *store)
+              : campaign.run(engine, store ? &*store : nullptr,
+                             options.threads,
+                             options.shard.value_or(CampaignShard{}));
       ++total;
       if (options.quiet) {
         std::cout << result.campaign << ": " << result.status.to_string()
@@ -513,6 +624,18 @@ int main(int argc, char** argv) {
       if (!result.ok()) {
         ++failures;
         continue;  // no artifacts/checks for failed campaigns
+      }
+      if (!result.complete() && !options.allow_partial) {
+        // A merge with holes is a worker-fleet problem, not a golden
+        // drift: report it loudly (exit 1) unless the caller asked to
+        // peek at partial statistics. The partial aggregate was still
+        // printed above.
+        std::cerr << "wi_run: campaign '" << result.campaign << "': "
+                  << result.missing_seeds.size() << " of " << result.seeds
+                  << " seeds missing from the store (workers still "
+                     "running? pass --allow-partial to accept)\n";
+        ++failures;
+        continue;
       }
       if (options.campaign_out_dir) {
         write_campaign_artifacts(*options.campaign_out_dir, result);
