@@ -47,8 +47,17 @@ struct NetworkPerformance {
 /// Analytic latency/throughput model.
 class QueueingModel {
  public:
-  /// Precomputes all module-pair routes and per-channel load
-  /// coefficients; evaluate() is then O(channels + pairs).
+  /// Precomputes per-channel load coefficients (and, for dense traffic
+  /// patterns, all module-pair routes); evaluate() is then
+  /// O(channels + pairs). Implicit patterns never materialise the
+  /// module-pair matrix or the path list: channel loads are aggregated
+  /// directly — in closed form for uniform/hotspot traffic on a regular
+  /// mesh under dimension-order routing (O(modules + channels) setup),
+  /// via O(modules) permutation walks for transpose/bit-complement/
+  /// tornado, and via an aggregate-only pairwise walk otherwise — and
+  /// evaluate() folds the same per-path sum through the aggregated
+  /// coefficients (mathematically identical to the dense walk; only
+  /// float summation order differs).
   QueueingModel(const Topology& topology, const Routing& routing,
                 const TrafficPattern& traffic,
                 QueueingModelParams params = {});
@@ -74,8 +83,14 @@ class QueueingModel {
   [[nodiscard]] const QueueingModelParams& params() const { return params_; }
 
  private:
+  void build_dense(const Topology& topology, const Routing& routing,
+                   const TrafficPattern& traffic);
+  void build_implicit(const Topology& topology, const Routing& routing,
+                      const TrafficPattern& traffic);
+
   QueueingModelParams params_;
   std::size_t channel_count_ = 0;
+  std::size_t modules_ = 0;
   double average_hops_ = 0.0;  ///< traffic-weighted router-to-router hops
   /// Per-channel flit arrival coefficient per unit injection rate.
   std::vector<double> channel_load_coeff_;
@@ -87,6 +102,10 @@ class QueueingModel {
     std::vector<std::size_t> channels;
   };
   std::vector<PathEntry> paths_;
+  /// Implicit-pattern mode: paths_ is empty and evaluate() folds the
+  /// per-path sum through the aggregated coefficients instead.
+  bool aggregate_ = false;
+  double total_weight_ = 0.0;  ///< sum of path weights (1 by row norm)
 };
 
 }  // namespace wi::noc

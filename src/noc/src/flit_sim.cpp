@@ -322,21 +322,29 @@ FlitSimResult simulate_network_legacy(const Topology& topology,
 
   // Per-destination cumulative distribution per source (flat row-major)
   // for fast sampling, plus the set of destination routers any flit can
-  // ever target (only those routes are precomputed).
-  std::vector<double> cdf(modules * modules);
-  std::vector<bool> dst_used(routers, false);
-  for (std::size_t s = 0; s < modules; ++s) {
-    double acc = 0.0;
-    for (std::size_t d = 0; d < modules; ++d) {
-      const double p = traffic.probability(s, d);
-      acc += p;
-      cdf[s * modules + d] = acc;
-      if (p > 0.0) dst_used[topology.module_router(d)] = true;
+  // ever target (only those routes are precomputed). Implicit patterns
+  // skip the O(modules^2) CDF entirely and draw destinations in closed
+  // form; any router may then be a destination. (This legacy oracle
+  // still keeps its dense next-hop table either way — the event core is
+  // the O(routers)-memory path for big meshes.)
+  const bool implicit = traffic.implicit_form();
+  std::vector<double> cdf;
+  std::vector<bool> dst_used(routers, implicit);
+  if (!implicit) {
+    cdf.resize(modules * modules);
+    for (std::size_t s = 0; s < modules; ++s) {
+      double acc = 0.0;
+      for (std::size_t d = 0; d < modules; ++d) {
+        const double p = traffic.probability(s, d);
+        acc += p;
+        cdf[s * modules + d] = acc;
+        if (p > 0.0) dst_used[topology.module_router(d)] = true;
+      }
     }
+    // The sampler clamps to the last module when u exceeds the row total
+    // (floating-point shortfall), so its router must be routable too.
+    if (modules > 0) dst_used[topology.module_router(modules - 1)] = true;
   }
-  // The sampler clamps to the last module when u exceeds the row total
-  // (floating-point shortfall), so its router must be routable too.
-  if (modules > 0) dst_used[topology.module_router(modules - 1)] = true;
 
   std::vector<std::size_t> module_router(modules);
   for (std::size_t d = 0; d < modules; ++d) {
@@ -489,11 +497,19 @@ FlitSimResult simulate_network_legacy(const Topology& topology,
     if (cycle < measure_end) {
       for (std::size_t m = 0; m < modules; ++m) {
         if (!rng.bernoulli(injection_rate)) continue;
-        const double u = rng.uniform();
-        const double* row = &cdf[m * modules];
-        std::size_t d = static_cast<std::size_t>(
-            std::lower_bound(row, row + modules, u) - row);
-        if (d >= modules) d = modules - 1;
+        std::size_t d;
+        if (implicit) {
+          d = traffic.sample(rng, m);
+        } else {
+          const double u = rng.uniform();
+          const double* row = &cdf[m * modules];
+          d = static_cast<std::size_t>(
+              std::lower_bound(row, row + modules, u) - row);
+          // Defensive clamp: float shortfall in the row total can push u
+          // past the last CDF entry (construction-time validation keeps
+          // genuinely bad matrices out; this guards roundoff only).
+          if (d >= modules) d = modules - 1;
+        }
         if (chaos && !router_alive[module_router[m]]) {
           // Dead source router: the module offered a packet the network
           // never accepted. Both RNG draws above still happened, so the

@@ -63,6 +63,8 @@
 #include "flit_sim_internal.hpp"
 #include "wi/common/rng.hpp"
 #include "wi/common/status.hpp"
+#include "wi/noc/mesh_grid.hpp"
+#include "wi/noc/routing.hpp"
 
 namespace wi::noc::detail {
 
@@ -246,9 +248,9 @@ class EventCore {
   /// the Status once per pair in fault mode, throw otherwise.
   void drop_unroutable(Shard& sh, u32 r, u64 c, u32 dstr, bool measured,
                        u8 p);
-  template <bool BW1>
+  template <bool BW1, bool GRID>
   void turn(Shard& sh, u32 r, u64 c);
-  template <bool BW1>
+  template <bool BW1, bool GRID>
   void execute_cycle(Shard& sh, u64 c);
   u64 shard_next_work(Shard& sh, u64 p1v);
   bool step(Shard& sh);
@@ -269,6 +271,11 @@ class EventCore {
 
   std::vector<bool> dst_used_;
   PortTable ports_;
+  // Computed next-hop for regular meshes under dimension-order routing:
+  // replaces the O(routers^2) port table with O(routers) state. Faults
+  // rebuild dense tables, so chaos mode always uses ports_.
+  std::optional<MeshGrid> grid_;
+  bool use_grid_ = false;
   std::vector<std::vector<size_t>> in_channels_;
   // Flat per-router output arrays: out_off_[r]..out_off_[r+1] indexes
   // (ring | downstream router << 32) words and the bandwidth template.
@@ -356,26 +363,46 @@ EventCore::EventCore(const Topology& topology, const Routing& routing,
   }
   depth_ = static_cast<u32>(config.buffer_depth);
 
+  chaos_ = !faults.events.empty();
+
   // --- traffic cdf + used destinations (identical to the legacy core;
   // the sampler clamps to the last module, so its router is routable).
-  std::vector<double> cdf(modules_ * modules_);
-  dst_used_.assign(routers_, false);
-  for (size_t s = 0; s < modules_; ++s) {
-    double acc = 0.0;
-    for (size_t d = 0; d < modules_; ++d) {
-      const double p = traffic.probability(s, d);
-      acc += p;
-      cdf[s * modules_ + d] = acc;
-      if (p > 0.0) dst_used_[topology.module_router(d)] = true;
+  // Implicit patterns never build the O(modules^2) CDF: destinations
+  // come from the closed-form sampler, and any router may be a target.
+  const bool implicit = traffic.implicit_form();
+  std::vector<double> cdf;
+  dst_used_.assign(routers_, implicit);
+  if (!implicit) {
+    cdf.resize(modules_ * modules_);
+    for (size_t s = 0; s < modules_; ++s) {
+      double acc = 0.0;
+      for (size_t d = 0; d < modules_; ++d) {
+        const double p = traffic.probability(s, d);
+        acc += p;
+        cdf[s * modules_ + d] = acc;
+        if (p > 0.0) dst_used_[topology.module_router(d)] = true;
+      }
     }
+    if (modules_ > 0) dst_used_[topology.module_router(modules_ - 1)] = true;
   }
-  if (modules_ > 0) dst_used_[topology.module_router(modules_ - 1)] = true;
   std::vector<size_t> module_router(modules_);
   for (size_t d = 0; d < modules_; ++d) {
     module_router[d] = topology.module_router(d);
   }
 
-  ports_ = build_port_table(topology, routing, dst_used_);
+  // --- next-hop state. A regular mesh under dimension-order routing
+  // gets the computed O(routers) grid (the port it yields is the dense
+  // table's port bit for bit — see MeshGrid — so results are unchanged);
+  // anything else, and fault mode (which rewrites tables per failure),
+  // keeps the dense O(routers^2) port table.
+  if (!chaos_ &&
+      dynamic_cast<const DimensionOrderRouting*>(&routing) != nullptr) {
+    grid_ = MeshGrid::analyze(topology);
+  }
+  use_grid_ = grid_.has_value();
+  if (!use_grid_) {
+    ports_ = build_port_table(topology, routing, dst_used_);
+  }
 
   // --- flat output arrays + input-channel lists.
   in_channels_.assign(routers_, {});
@@ -517,10 +544,11 @@ EventCore::EventCore(const Topology& topology, const Routing& routing,
     // search resumes near where lower_bound would land; the guard loops
     // below re-run the legacy comparisons (row[d] < u), so the sampled
     // destination is bit-identical even at bucket-boundary roundoff.
-    const size_t K = modules_;
+    // Implicit patterns have no CDF and need no guide.
+    const size_t K = implicit ? 0 : modules_;
     const double Kd = static_cast<double>(K);
     std::vector<u32> guide(modules_ * K);
-    for (size_t m = 0; m < modules_; ++m) {
+    for (size_t m = 0; m < modules_ && !implicit; ++m) {
       const double* row = &cdf[m * modules_];
       size_t i = 0;
       for (size_t k = 0; k < K; ++k) {
@@ -563,16 +591,26 @@ EventCore::EventCore(const Topology& topology, const Routing& routing,
         tr = tmp_r.data();
       }
       for (size_t m = 0; m < modules_; ++m) {
+        // The Bernoulli hit test consumes one generator step, exactly
+        // like the legacy loop's rng.bernoulli; on a hit the dense path
+        // draws one uniform for its CDF search and the implicit path
+        // hands the RNG to the pattern's closed-form sampler. Either
+        // way the stream never depends on network state.
         const u64 x = rng.raw();
         if ((x >> 11) >= thresh) continue;
-        const double u = rng.uniform();
-        const double* row = &cdf[m * modules_];
-        size_t k = static_cast<size_t>(u * Kd);
-        if (k >= K) k = K - 1;
-        size_t d = guide[m * K + k];
-        while (d > 0 && row[d - 1] >= u) --d;
-        while (d < modules_ && row[d] < u) ++d;
-        if (d >= modules_) d = modules_ - 1;
+        size_t d;
+        if (implicit) {
+          d = traffic.sample(rng, m);
+        } else {
+          const double u = rng.uniform();
+          const double* row = &cdf[m * modules_];
+          size_t k = static_cast<size_t>(u * Kd);
+          if (k >= K) k = K - 1;
+          d = guide[m * K + k];
+          while (d > 0 && row[d - 1] >= u) --d;
+          while (d < modules_ && row[d] < u) ++d;
+          if (d >= modules_) d = modules_ - 1;
+        }
         tm[n] = cycle | (static_cast<u64>(module_router[d]) << kCycBits) | mbit;
         tr[n] = static_cast<u32>(module_router[m]);
         ++n;
@@ -613,7 +651,6 @@ EventCore::EventCore(const Topology& topology, const Routing& routing,
   // --- fault mode: alive maps, per-pair failure dedup, and the global
   // barrier schedule (head-driven, exactly the cycles where the legacy
   // loop's `head.at_cycle <= cycle` test first fires).
-  chaos_ = !faults.events.empty();
   if (chaos_) {
     link_alive_.assign(channels_, 1);
     router_alive_.assign(routers_, 1);
@@ -690,7 +727,7 @@ void EventCore::drop_unroutable(Shard& sh, const u32 r, const u64 c,
           std::to_string(r) + " -> " + std::to_string(dstr)));
 }
 
-template <bool BW1>
+template <bool BW1, bool GRID>
 void EventCore::turn(Shard& sh, const u32 r, const u64 c) {
   ++sh.turns;
   // Hoist the hot arrays (and the scalars the loop re-derives indices
@@ -703,7 +740,10 @@ void EventCore::turn(Shard& sh, const u32 r, const u64 c) {
   u64* const hr = hr_.data();
   u8* const pp = pp_.data();
   const u64* const ord = out_rd_.data();
+  // GRID mode computes the next-hop port from packed coordinates; the
+  // dense table is never allocated then.
   const u8* const pt = ports_.port.data();
+  const MeshGrid* const grid = GRID ? &*grid_ : nullptr;
   const size_t csh = cap_shift_;
   const u32 cmask = cap_mask_;
   const u32 dep = depth_;
@@ -724,7 +764,7 @@ void EventCore::turn(Shard& sh, const u32 r, const u64 c) {
   int eject_budget = 1;
   const u32 n_in = n_inputs_[r];
   const u32 start = fast_mod(c, n_in);
-  const u8* prow = pt + static_cast<size_t>(r) * nrouters;
+  const u8* prow = GRID ? nullptr : pt + static_cast<size_t>(r) * nrouters;
   const size_t cb = chin_off_[r];
   const size_t ce = chin_off_[r + 1];
 
@@ -742,9 +782,13 @@ void EventCore::turn(Shard& sh, const u32 r, const u64 c) {
     f[si * 2 + 1] = m;
     const u32 owner = static_cast<u32>(rd >> 32);
     const u32 fdst = static_cast<u32>(m >> kCycBits) & kDstMask;
-    pp[si] = fdst == owner
-                 ? kEject
-                 : pt[static_cast<size_t>(owner) * nrouters + fdst];
+    if constexpr (GRID) {
+      pp[si] = fdst == owner ? kEject : grid->next_port(owner, fdst);
+    } else {
+      pp[si] = fdst == owner
+                   ? kEject
+                   : pt[static_cast<size_t>(owner) * nrouters + fdst];
+    }
     if (!(hs2 >> 16)) hr[drid] = ready;
     send_wake(sh, owner, ready);
   };
@@ -829,10 +873,14 @@ void EventCore::turn(Shard& sh, const u32 r, const u64 c) {
   /// false when the source must stall; consumes the record otherwise
   /// (pushed, or dropped unreachable in fault mode).
   const auto try_inject = [&](u32 dstr, u64 m) -> bool {
-    const u8 p = prow[dstr];
-    if (p >= kFailedPort) {
-      drop_unroutable(sh, r, c, dstr, (m >> 63) != 0, p);
-      return true;
+    const u8 p = GRID ? grid->next_port(r, dstr) : prow[dstr];
+    if constexpr (!GRID) {
+      // A full regular mesh always routes, so only the dense table can
+      // hold failed/unused markers.
+      if (p >= kFailedPort) {
+        drop_unroutable(sh, r, c, dstr, (m >> 63) != 0, p);
+        return true;
+      }
     }
     if constexpr (BW1) {
       if (!((obud >> p) & 1u)) return false;
@@ -892,7 +940,7 @@ void EventCore::turn(Shard& sh, const u32 r, const u64 c) {
   if (m != kNever) schedule(sh, r, m <= c ? c + 1 : m);
 }
 
-template <bool BW1>
+template <bool BW1, bool GRID>
 void EventCore::execute_cycle(Shard& sh, const u64 c) {
   while (sh.gw_pos < sh.gw.size() && (sh.gw[sh.gw_pos] >> kRouterBits) <= c) {
     schedule(sh,
@@ -909,7 +957,7 @@ void EventCore::execute_cycle(Shard& sh, const u64 c) {
     do {
       const u32 r = rbase + static_cast<u32>(std::countr_zero(bits));
       bits &= bits - 1;
-      turn<BW1>(sh, r, c);
+      turn<BW1, GRID>(sh, r, c);
     } while (bits);
   }
 }
@@ -987,9 +1035,15 @@ bool EventCore::step(Shard& sh) {
   }
   drain_mail(sh);
   if (bw1_) {
-    execute_cycle<true>(sh, t);
+    if (use_grid_) {
+      execute_cycle<true, true>(sh, t);
+    } else {
+      execute_cycle<true, false>(sh, t);
+    }
+  } else if (use_grid_) {
+    execute_cycle<false, true>(sh, t);
   } else {
-    execute_cycle<false>(sh, t);
+    execute_cycle<false, false>(sh, t);
   }
   sh.p1.store(t + 1, std::memory_order_release);
   if (t + 1 >= total_) sh.done = true;

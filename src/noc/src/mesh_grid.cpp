@@ -1,0 +1,82 @@
+#include "wi/noc/mesh_grid.hpp"
+
+namespace wi::noc {
+
+std::optional<MeshGrid> MeshGrid::analyze(const Topology& topology) {
+  const std::size_t kx = topology.kx();
+  const std::size_t ky = topology.ky();
+  const std::size_t kz = topology.kz();
+  const std::size_t routers = topology.router_count();
+  if (routers < 2 || kx == 0 || ky == 0 || kz == 0) return std::nullopt;
+  if (kx * ky * kz != routers) return std::nullopt;
+  // Coordinates are packed 10 bits per dimension.
+  if (kx > 1023 || ky > 1023 || kz > 1023) return std::nullopt;
+  // Dense port tables (and this grid) address ports as bytes; every
+  // mesh router has at most 6 mesh ports, but reject exotic manual
+  // builds outright.
+  constexpr std::size_t kMaxPorts = 254;
+
+  MeshGrid grid;
+  grid.packed_.resize(routers);
+  grid.dir_port_.assign(routers * 6, 0xFF);
+
+  for (std::size_t r = 0; r < routers; ++r) {
+    // Canonical mesh indexing: r == (z*ky + y)*kx + x.
+    const std::size_t x = r % kx;
+    const std::size_t y = (r / kx) % ky;
+    const std::size_t z = r / (kx * ky);
+    const Coord& c = topology.coord(r);
+    if (c.x < 0 || c.y < 0 || c.z < 0) return std::nullopt;
+    if (static_cast<std::size_t>(c.x) != x ||
+        static_cast<std::size_t>(c.y) != y ||
+        static_cast<std::size_t>(c.z) != z) {
+      return std::nullopt;
+    }
+    grid.packed_[r] = static_cast<std::uint32_t>(x) |
+                      (static_cast<std::uint32_t>(y) << 10) |
+                      (static_cast<std::uint32_t>(z) << 20);
+
+    const auto& out = topology.out_links(r);
+    if (out.size() > kMaxPorts) return std::nullopt;
+    for (std::size_t port = 0; port < out.size(); ++port) {
+      const Link& link = topology.link(out[port]);
+      const std::size_t dst = link.dst;
+      if (link.src != r || dst >= routers || dst == r) return std::nullopt;
+      // Classify the link as one of the six axis directions.
+      std::size_t dir;
+      if (dst == r + 1 && x + 1 < kx) {
+        dir = kPlusX;
+      } else if (r == dst + 1 && x > 0) {
+        dir = kMinusX;
+      } else if (dst == r + kx && y + 1 < ky) {
+        dir = kPlusY;
+      } else if (r == dst + kx && y > 0) {
+        dir = kMinusY;
+      } else if (dst == r + kx * ky && z + 1 < kz) {
+        dir = kPlusZ;
+      } else if (r == dst + kx * ky && z > 0) {
+        dir = kMinusZ;
+      } else {
+        return std::nullopt;  // long-range / diagonal link: not a mesh
+      }
+      // Exactly one link per (router, direction): a duplicate would
+      // make the computed port ambiguous where find_link takes the
+      // first scan hit.
+      if (grid.dir_port_[r * 6 + dir] != 0xFF) return std::nullopt;
+      grid.dir_port_[r * 6 + dir] = static_cast<std::uint8_t>(port);
+    }
+
+    // Full mesh: every in-bounds neighbour must be linked.
+    if ((x + 1 < kx) != (grid.dir_port_[r * 6 + kPlusX] != 0xFF) ||
+        (x > 0) != (grid.dir_port_[r * 6 + kMinusX] != 0xFF) ||
+        (y + 1 < ky) != (grid.dir_port_[r * 6 + kPlusY] != 0xFF) ||
+        (y > 0) != (grid.dir_port_[r * 6 + kMinusY] != 0xFF) ||
+        (z + 1 < kz) != (grid.dir_port_[r * 6 + kPlusZ] != 0xFF) ||
+        (z > 0) != (grid.dir_port_[r * 6 + kMinusZ] != 0xFF)) {
+      return std::nullopt;
+    }
+  }
+  return grid;
+}
+
+}  // namespace wi::noc

@@ -1,25 +1,103 @@
 #include "wi/noc/traffic.hpp"
 
-#include <stdexcept>
+#include <cmath>
+#include <string>
+
+#include "wi/common/status.hpp"
 
 namespace wi::noc {
+namespace {
+
+[[noreturn]] void fail(std::string message) {
+  throw StatusError(
+      Status(StatusCode::kInvalidSpec, std::move(message)));
+}
+
+/// Validation for user-supplied matrices: finite non-negative entries,
+/// rows summing to 1 within tolerance. Factory-built matrices bypass
+/// this (their rows intentionally sum to other totals before the shared
+/// normalisation, e.g. uniform's raw 1.0 entries).
+void check_matrix(const std::vector<double>& matrix, std::size_t modules) {
+  if (modules == 0 || matrix.size() != modules * modules) {
+    fail("TrafficPattern: bad matrix size");
+  }
+  constexpr double kRowSumTolerance = 1e-6;
+  for (std::size_t s = 0; s < modules; ++s) {
+    double row = 0.0;
+    for (std::size_t d = 0; d < modules; ++d) {
+      const double p = matrix[s * modules + d];
+      if (std::isnan(p) || std::isinf(p)) {
+        fail("TrafficPattern: non-finite probability in row " +
+             std::to_string(s));
+      }
+      if (p < 0.0) {
+        fail("TrafficPattern: negative probability in row " +
+             std::to_string(s));
+      }
+      row += p;
+    }
+    if (std::abs(row - 1.0) > kRowSumTolerance) {
+      fail("TrafficPattern: row " + std::to_string(s) + " sums to " +
+           std::to_string(row) + ", expected 1 within tolerance");
+    }
+  }
+}
+
+void check_mesh_extents(std::size_t modules, std::size_t kx, std::size_t ky,
+                        std::size_t kz) {
+  if (kx == 0 || ky == 0 || kz == 0 || kx * ky * kz != modules) {
+    fail("tornado: extents must multiply to modules");
+  }
+  if (kx < 3 && ky < 3 && kz < 3) {
+    // Every per-dimension shift (k-1)/2 is zero below extent 3, so the
+    // permutation would map each module to itself.
+    fail("tornado: at least one extent must be >= 3");
+  }
+}
+
+void check_hotspot(std::size_t modules, std::size_t hotspot_module,
+                   double hotspot_fraction) {
+  if (modules < 2) fail("hotspot: modules >= 2");
+  if (hotspot_module >= modules) fail("hotspot: module out of range");
+  if (!(hotspot_fraction >= 0.0 && hotspot_fraction <= 1.0)) {
+    fail("hotspot: fraction in [0,1]");
+  }
+}
+
+/// ceil(fraction * 2^53), saturated to [0, 2^53]: the integer threshold
+/// for which `raw() >> 11 < thresh` matches `uniform() < fraction`
+/// exactly (2^53 scaling is a pure exponent shift, no rounding).
+std::uint64_t fraction_threshold(double fraction) {
+  constexpr double kTwo53 = 9007199254740992.0;  // 2^53
+  if (fraction <= 0.0) return 0;
+  if (fraction >= 1.0) return static_cast<std::uint64_t>(kTwo53);
+  return static_cast<std::uint64_t>(std::ceil(fraction * kTwo53));
+}
+
+}  // namespace
 
 TrafficPattern::TrafficPattern(std::vector<double> matrix,
                                std::size_t modules)
+    : TrafficPattern(Unchecked{},
+                     (check_matrix(matrix, modules), std::move(matrix)),
+                     modules) {}
+
+TrafficPattern::TrafficPattern(Unchecked, std::vector<double> matrix,
+                               std::size_t modules)
     : modules_(modules), matrix_(std::move(matrix)) {
   if (modules_ == 0 || matrix_.size() != modules_ * modules_) {
-    throw std::invalid_argument("TrafficPattern: bad matrix size");
+    fail("TrafficPattern: bad matrix size");
   }
   for (std::size_t s = 0; s < modules_; ++s) {
     double row = 0.0;
     for (std::size_t d = 0; d < modules_; ++d) {
       if (matrix_[s * modules_ + d] < 0.0) {
-        throw std::invalid_argument("TrafficPattern: negative probability");
+        fail("TrafficPattern: negative probability");
       }
       row += matrix_[s * modules_ + d];
     }
     if (row <= 0.0) {
-      throw std::invalid_argument("TrafficPattern: empty row");
+      fail("TrafficPattern: empty row");
     }
     for (std::size_t d = 0; d < modules_; ++d) {
       matrix_[s * modules_ + d] /= row;
@@ -27,42 +105,40 @@ TrafficPattern::TrafficPattern(std::vector<double> matrix,
   }
 }
 
+TrafficPattern::TrafficPattern(TrafficPatternKind kind, std::size_t modules)
+    : kind_(kind), modules_(modules) {}
+
 TrafficPattern TrafficPattern::uniform(std::size_t modules) {
-  if (modules < 2) throw std::invalid_argument("uniform: modules >= 2");
+  if (modules < 2) fail("uniform: modules >= 2");
   std::vector<double> m(modules * modules, 1.0);
   for (std::size_t i = 0; i < modules; ++i) m[i * modules + i] = 0.0;
-  return TrafficPattern(std::move(m), modules);
+  return TrafficPattern(Unchecked{}, std::move(m), modules);
 }
 
 TrafficPattern TrafficPattern::transpose(std::size_t modules) {
-  if (modules < 2) throw std::invalid_argument("transpose: modules >= 2");
+  if (modules < 2) fail("transpose: modules >= 2");
   std::vector<double> m(modules * modules, 0.0);
   for (std::size_t i = 0; i < modules; ++i) {
     m[i * modules + (i + modules / 2) % modules] = 1.0;
   }
-  return TrafficPattern(std::move(m), modules);
+  return TrafficPattern(Unchecked{}, std::move(m), modules);
 }
 
 TrafficPattern TrafficPattern::bit_complement(std::size_t modules) {
   if (modules < 2 || (modules & (modules - 1)) != 0) {
-    throw std::invalid_argument("bit_complement: modules must be 2^k");
+    fail("bit_complement: modules must be 2^k");
   }
   std::vector<double> m(modules * modules, 0.0);
   for (std::size_t i = 0; i < modules; ++i) {
     m[i * modules + (modules - 1 - i)] = 1.0;
   }
-  return TrafficPattern(std::move(m), modules);
+  return TrafficPattern(Unchecked{}, std::move(m), modules);
 }
 
 TrafficPattern TrafficPattern::hotspot(std::size_t modules,
                                        std::size_t hotspot_module,
                                        double hotspot_fraction) {
-  if (hotspot_module >= modules) {
-    throw std::invalid_argument("hotspot: module out of range");
-  }
-  if (hotspot_fraction < 0.0 || hotspot_fraction > 1.0) {
-    throw std::invalid_argument("hotspot: fraction in [0,1]");
-  }
+  check_hotspot(modules, hotspot_module, hotspot_fraction);
   std::vector<double> m(modules * modules, 0.0);
   for (std::size_t s = 0; s < modules; ++s) {
     for (std::size_t d = 0; d < modules; ++d) {
@@ -73,7 +149,106 @@ TrafficPattern TrafficPattern::hotspot(std::size_t modules,
       m[s * modules + d] = p;
     }
   }
-  return TrafficPattern(std::move(m), modules);
+  return TrafficPattern(Unchecked{}, std::move(m), modules);
+}
+
+TrafficPattern TrafficPattern::tornado(std::size_t modules, std::size_t kx,
+                                       std::size_t ky, std::size_t kz) {
+  check_mesh_extents(modules, kx, ky, kz);
+  TrafficPattern shape(TrafficPatternKind::kTornado, modules);
+  shape.kx_ = kx;
+  shape.ky_ = ky;
+  shape.kz_ = kz;
+  std::vector<double> m(modules * modules, 0.0);
+  for (std::size_t i = 0; i < modules; ++i) {
+    m[i * modules + shape.tornado_target(i)] = 1.0;
+  }
+  return TrafficPattern(Unchecked{}, std::move(m), modules);
+}
+
+TrafficPattern TrafficPattern::implicit_uniform(std::size_t modules) {
+  if (modules < 2) fail("uniform: modules >= 2");
+  return TrafficPattern(TrafficPatternKind::kUniform, modules);
+}
+
+TrafficPattern TrafficPattern::implicit_transpose(std::size_t modules) {
+  if (modules < 2) fail("transpose: modules >= 2");
+  return TrafficPattern(TrafficPatternKind::kTranspose, modules);
+}
+
+TrafficPattern TrafficPattern::implicit_bit_complement(std::size_t modules) {
+  if (modules < 2 || (modules & (modules - 1)) != 0) {
+    fail("bit_complement: modules must be 2^k");
+  }
+  return TrafficPattern(TrafficPatternKind::kBitComplement, modules);
+}
+
+TrafficPattern TrafficPattern::implicit_hotspot(std::size_t modules,
+                                                std::size_t hotspot_module,
+                                                double hotspot_fraction) {
+  check_hotspot(modules, hotspot_module, hotspot_fraction);
+  TrafficPattern p(TrafficPatternKind::kHotspot, modules);
+  p.hot_module_ = hotspot_module;
+  p.hot_fraction_ = hotspot_fraction;
+  p.hot_thresh_ = fraction_threshold(hotspot_fraction);
+  return p;
+}
+
+TrafficPattern TrafficPattern::implicit_tornado(std::size_t modules,
+                                                std::size_t kx,
+                                                std::size_t ky,
+                                                std::size_t kz) {
+  check_mesh_extents(modules, kx, ky, kz);
+  TrafficPattern p(TrafficPatternKind::kTornado, modules);
+  p.kx_ = kx;
+  p.ky_ = ky;
+  p.kz_ = kz;
+  return p;
+}
+
+std::size_t TrafficPattern::permutation_target(std::size_t src) const {
+  switch (kind_) {
+    case TrafficPatternKind::kTranspose:
+      return (src + modules_ / 2) % modules_;
+    case TrafficPatternKind::kBitComplement:
+      return modules_ - 1 - src;
+    case TrafficPatternKind::kTornado:
+      return tornado_target(src);
+    default:
+      fail("permutation_target: not a permutation pattern");
+  }
+}
+
+double TrafficPattern::analytic_probability(std::size_t src,
+                                            std::size_t dst) const {
+  if (src == dst) return 0.0;
+  const double fan = static_cast<double>(modules_ - 1);
+  switch (kind_) {
+    case TrafficPatternKind::kUniform:
+      return 1.0 / fan;
+    case TrafficPatternKind::kTranspose:
+      return dst == (src + modules_ / 2) % modules_ ? 1.0 : 0.0;
+    case TrafficPatternKind::kBitComplement:
+      return dst == modules_ - 1 - src ? 1.0 : 0.0;
+    case TrafficPatternKind::kTornado:
+      return dst == tornado_target(src) ? 1.0 : 0.0;
+    case TrafficPatternKind::kHotspot: {
+      // The dense twin's hot row holds (1-f) spread uniformly, which
+      // its row normalisation rescales to 1/(M-1) — the hot module's
+      // own traffic is plain uniform.
+      if (src == hot_module_) return 1.0 / fan;
+      double p = (1.0 - hot_fraction_) / fan;
+      if (dst == hot_module_) p += hot_fraction_;
+      return p;
+    }
+    case TrafficPatternKind::kDense:
+      break;
+  }
+  return 0.0;
+}
+
+void TrafficPattern::dense_sample_unsupported() {
+  fail("TrafficPattern::sample: dense patterns sample via their CDF");
 }
 
 }  // namespace wi::noc

@@ -101,8 +101,22 @@ struct TopologySpec {
   [[nodiscard]] std::size_t module_count() const;
 };
 
-enum class TrafficKind { kUniform, kTranspose, kBitComplement, kHotspot };
+enum class TrafficKind {
+  kUniform,
+  kTranspose,
+  kBitComplement,
+  kHotspot,
+  kTornado,  ///< per-dimension half-ring shift on the topology's mesh
+};
 enum class RoutingKind { kDimensionOrder, kShortestPath };
+
+/// Traffic-pattern representation. kDense materialises the classic
+/// modules x modules probability matrix (the path every committed
+/// golden was produced through); kImplicit builds the O(1)-state
+/// analytic pattern with closed-form destination sampling — required
+/// for big meshes where the matrix/CDF alone would be gigabytes (a
+/// 32x32x32-router mesh needs ~8.6 GB dense, ~0 implicit).
+enum class TrafficMode { kDense, kImplicit };
 
 /// NoC system description shared by the NoC-evaluating workloads
 /// (noc_latency, flit_sim, noc_saturation): topology, traffic pattern,
@@ -110,6 +124,7 @@ enum class RoutingKind { kDimensionOrder, kShortestPath };
 struct NocSpec {
   TopologySpec topology;
   TrafficKind traffic = TrafficKind::kUniform;
+  TrafficMode traffic_mode = TrafficMode::kDense;
   std::size_t hotspot_module = 0;
   double hotspot_fraction = 0.2;
   RoutingKind routing = RoutingKind::kDimensionOrder;

@@ -87,6 +87,12 @@ inline constexpr EnumEntry<TrafficKind> kTrafficKinds[] = {
     {TrafficKind::kTranspose, "transpose"},
     {TrafficKind::kBitComplement, "bit_complement"},
     {TrafficKind::kHotspot, "hotspot"},
+    {TrafficKind::kTornado, "tornado"},
+};
+
+inline constexpr EnumEntry<TrafficMode> kTrafficModes[] = {
+    {TrafficMode::kDense, "dense"},
+    {TrafficMode::kImplicit, "implicit"},
 };
 
 inline constexpr EnumEntry<RoutingKind> kRoutingKinds[] = {

@@ -349,6 +349,77 @@ namespace {
     registry.add(spec);
   }
 
+  // Huge-mesh DES: 32768 routers. A dense traffic matrix/CDF alone
+  // would be 32768^2 doubles (~8.6 GB) and the dense routing table
+  // another gigabyte — this scenario only exists because the implicit
+  // traffic mode samples destinations in closed form and the event core
+  // computes dimension-ordered next-hops from mesh coordinates, keeping
+  // setup memory O(routers). The golden doubles as the memory-scaling
+  // regression anchor (CI runs it under a hard RSS ceiling).
+  {
+    TopologySpec mesh3d;
+    mesh3d.kind = TopologySpec::Kind::kMesh3d;
+    mesh3d.kx = 32;
+    mesh3d.ky = 32;
+    mesh3d.kz = 32;
+    ScenarioSpec spec = noc_scenario(
+        "flit_mesh3d_32x32x32",
+        "Huge-mesh DES: 32x32x32 3D mesh (32768 modules), implicit "
+        "uniform traffic and computed mesh routing (O(routers) memory)",
+        mesh3d);
+    spec.workload = "flit_sim";
+    spec.noc.traffic_mode = TrafficMode::kImplicit;
+    auto& flit = spec.payload<FlitSimSpec>();
+    flit.injection_rates = {0.005, 0.01};
+    flit.warmup_cycles = 500;
+    flit.measure_cycles = 2000;
+    flit.drain_cycles = 4000;
+    registry.add(spec);
+  }
+
+  // Analytic-pattern DES scenarios: hotspot and transpose on a 16x16
+  // mesh, sampled through the implicit pattern layer (no dense matrix).
+  {
+    TopologySpec mesh2d;
+    mesh2d.kind = TopologySpec::Kind::kMesh2d;
+    mesh2d.kx = 16;
+    mesh2d.ky = 16;
+    ScenarioSpec spec = noc_scenario(
+        "flit_hotspot_mesh2d_16x16",
+        "Flit-level DES on the 16x16 2D mesh, implicit hotspot traffic "
+        "(10% of load directed at the central module)",
+        mesh2d);
+    spec.workload = "flit_sim";
+    spec.noc.traffic = TrafficKind::kHotspot;
+    spec.noc.traffic_mode = TrafficMode::kImplicit;
+    spec.noc.hotspot_module = 136;  // router (8, 8): mesh centre
+    spec.noc.hotspot_fraction = 0.1;
+    auto& flit = spec.payload<FlitSimSpec>();
+    flit.injection_rates = {0.01, 0.02};
+    flit.warmup_cycles = 1000;
+    flit.measure_cycles = 4000;
+    registry.add(spec);
+  }
+  {
+    TopologySpec mesh2d;
+    mesh2d.kind = TopologySpec::Kind::kMesh2d;
+    mesh2d.kx = 16;
+    mesh2d.ky = 16;
+    ScenarioSpec spec = noc_scenario(
+        "flit_transpose_mesh2d_16x16",
+        "Flit-level DES on the 16x16 2D mesh, implicit transpose "
+        "permutation traffic (module i -> i + 128 mod 256)",
+        mesh2d);
+    spec.workload = "flit_sim";
+    spec.noc.traffic = TrafficKind::kTranspose;
+    spec.noc.traffic_mode = TrafficMode::kImplicit;
+    auto& flit = spec.payload<FlitSimSpec>();
+    flit.injection_rates = {0.02, 0.05};
+    flit.warmup_cycles = 1000;
+    flit.measure_cycles = 4000;
+    registry.add(spec);
+  }
+
   // Plugin-only workloads (registered purely through the workload
   // layer; the engine and the codec never name them).
   {

@@ -115,20 +115,43 @@ Status NocSpec::validate(const std::string& scenario_name) const {
                      std::to_string(t.module_count()) + " modules");
     }
   }
+  if (traffic == TrafficKind::kTornado) {
+    if (t.module_count() != t.kx * t.ky * t.kz) {
+      return invalid(scenario_name +
+                     ": tornado traffic requires one module per router");
+    }
+    if (t.kx < 3 && t.ky < 3 && t.kz < 3) {
+      return invalid(scenario_name +
+                     ": tornado traffic needs a mesh extent >= 3 (every "
+                     "half-ring shift is zero below that)");
+    }
+  }
   return Status::ok();
 }
 
 noc::TrafficPattern NocSpec::build_traffic(std::size_t modules) const {
+  const bool implicit = traffic_mode == TrafficMode::kImplicit;
   switch (traffic) {
     case TrafficKind::kUniform:
-      return noc::TrafficPattern::uniform(modules);
+      return implicit ? noc::TrafficPattern::implicit_uniform(modules)
+                      : noc::TrafficPattern::uniform(modules);
     case TrafficKind::kTranspose:
-      return noc::TrafficPattern::transpose(modules);
+      return implicit ? noc::TrafficPattern::implicit_transpose(modules)
+                      : noc::TrafficPattern::transpose(modules);
     case TrafficKind::kBitComplement:
-      return noc::TrafficPattern::bit_complement(modules);
+      return implicit ? noc::TrafficPattern::implicit_bit_complement(modules)
+                      : noc::TrafficPattern::bit_complement(modules);
     case TrafficKind::kHotspot:
-      return noc::TrafficPattern::hotspot(modules, hotspot_module,
-                                          hotspot_fraction);
+      return implicit ? noc::TrafficPattern::implicit_hotspot(
+                            modules, hotspot_module, hotspot_fraction)
+                      : noc::TrafficPattern::hotspot(modules, hotspot_module,
+                                                     hotspot_fraction);
+    case TrafficKind::kTornado:
+      return implicit
+                 ? noc::TrafficPattern::implicit_tornado(
+                       modules, topology.kx, topology.ky, topology.kz)
+                 : noc::TrafficPattern::tornado(modules, topology.kx,
+                                                topology.ky, topology.kz);
   }
   throw StatusError(
       Status(StatusCode::kUnsupported, "unknown traffic kind"));

@@ -1,0 +1,128 @@
+#include "wi/noc/mesh_grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "wi/noc/routing.hpp"
+#include "wi/noc/topology.hpp"
+
+namespace wi::noc {
+namespace {
+
+// The port MeshGrid computes must equal the port a dense table built
+// from DimensionOrderRouting::first_hop would store: the link's
+// position in out_links(src).
+std::size_t dense_port(const Topology& t, const Routing& r, std::size_t src,
+                       std::size_t dst) {
+  const std::size_t link = r.first_hop(t, src, dst);
+  const auto& out = t.out_links(src);
+  for (std::size_t p = 0; p < out.size(); ++p) {
+    if (out[p] == link) return p;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+void expect_matches_dense(const Topology& topology) {
+  const auto grid = MeshGrid::analyze(topology);
+  ASSERT_TRUE(grid.has_value()) << topology.name();
+  const DimensionOrderRouting routing;
+  const std::size_t n = topology.router_count();
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      if (a == b) continue;
+      EXPECT_EQ(grid->next_port(a, b), dense_port(topology, routing, a, b))
+          << topology.name() << " a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(MeshGrid, MatchesDenseTableOnMesh2d) {
+  expect_matches_dense(Topology::mesh_2d(5, 3));
+  expect_matches_dense(Topology::mesh_2d(8, 8));
+  expect_matches_dense(Topology::mesh_2d(1, 7));
+}
+
+TEST(MeshGrid, MatchesDenseTableOnMesh3d) {
+  expect_matches_dense(Topology::mesh_3d(4, 4, 4));
+  expect_matches_dense(Topology::mesh_3d(3, 2, 5));
+}
+
+TEST(MeshGrid, MatchesDenseTableOnConcentratedMeshes) {
+  // Concentration changes module attachment, not router regularity.
+  expect_matches_dense(Topology::star_mesh(4, 4, 4));
+  expect_matches_dense(Topology::star_mesh_irl(3, 3, 4, 2));
+  expect_matches_dense(Topology::ciliated_mesh_3d(3, 3, 2, 2));
+}
+
+TEST(MeshGrid, RejectsPartialVerticalMesh) {
+  // Missing vertical links: not a full mesh, dense fallback required.
+  const Topology t = Topology::partial_vertical_mesh_3d(4, 4, 2, 2);
+  EXPECT_FALSE(MeshGrid::analyze(t).has_value());
+}
+
+TEST(MeshGrid, RejectsIrregularGraphs) {
+  // Single router: nothing to route.
+  EXPECT_FALSE(MeshGrid::analyze(Topology::mesh_2d(1, 1)).has_value());
+
+  // A manual topology whose extents don't match its router count.
+  Topology wrong("wrong_extents", 3, 1, 1);
+  wrong.add_router({0, 0, 0});
+  wrong.add_router({1, 0, 0});
+  wrong.add_link({0, 1});
+  wrong.add_link({1, 0});
+  EXPECT_FALSE(MeshGrid::analyze(wrong).has_value());
+
+  // A ring: the wrap-around link is not an axis-neighbour step.
+  Topology ring("ring4", 4, 1, 1);
+  for (int i = 0; i < 4; ++i) ring.add_router({i, 0, 0});
+  for (std::size_t i = 0; i < 4; ++i) {
+    ring.add_link({i, (i + 1) % 4});
+    ring.add_link({(i + 1) % 4, i});
+  }
+  EXPECT_FALSE(MeshGrid::analyze(ring).has_value());
+
+  // A line missing one back-link: not a full mesh.
+  Topology gap("gap3", 3, 1, 1);
+  for (int i = 0; i < 3; ++i) gap.add_router({i, 0, 0});
+  gap.add_link({0, 1});
+  gap.add_link({1, 2});
+  gap.add_link({2, 1});
+  EXPECT_FALSE(MeshGrid::analyze(gap).has_value());
+
+  // Duplicate parallel links make the computed port ambiguous.
+  Topology dup("dup2", 2, 1, 1);
+  dup.add_router({0, 0, 0});
+  dup.add_router({1, 0, 0});
+  dup.add_link({0, 1});
+  dup.add_link({0, 1});
+  dup.add_link({1, 0});
+  EXPECT_FALSE(MeshGrid::analyze(dup).has_value());
+}
+
+TEST(MeshGrid, NextPortFollowsDimensionOrder) {
+  const Topology t = Topology::mesh_3d(3, 3, 3);
+  const auto grid = MeshGrid::analyze(t);
+  ASSERT_TRUE(grid.has_value());
+  const DimensionOrderRouting routing;
+  // Walk a full route hop by hop through the grid and confirm it lands
+  // on the destination in the same number of hops as the dense route.
+  const std::size_t src = t.router_at(0, 0, 0);
+  const std::size_t dst = t.router_at(2, 1, 2);
+  const Route dense = routing.route(t, src, dst);
+  std::size_t at = src;
+  std::size_t hops = 0;
+  while (at != dst) {
+    const std::uint8_t port = grid->next_port(at, dst);
+    const Link& link = t.link(t.out_links(at)[port]);
+    ASSERT_EQ(link.src, at);
+    at = link.dst;
+    ++hops;
+    ASSERT_LE(hops, dense.size());
+  }
+  EXPECT_EQ(hops, dense.size());
+}
+
+}  // namespace
+}  // namespace wi::noc

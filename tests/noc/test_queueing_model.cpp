@@ -127,6 +127,77 @@ TEST(QueueingModel, RejectsBadInput) {
   EXPECT_THROW((void)model.evaluate(-0.1), std::invalid_argument);
 }
 
+/// Dense and implicit builds of the same pattern must agree: the
+/// aggregate evaluation regroups the identical per-path sum by channel
+/// (and uniform/hotspot loads come from the closed-form pair counts),
+/// so only float summation order differs — compare with a relative
+/// tolerance, not exact equality.
+void expect_models_agree(const Topology& t, const TrafficPattern& dense,
+                         const TrafficPattern& implicit) {
+  const DimensionOrderRouting routing;
+  const QueueingModel a(t, routing, dense);
+  const QueueingModel b(t, routing, implicit);
+  EXPECT_NEAR(b.zero_load_latency_cycles() / a.zero_load_latency_cycles(),
+              1.0, 1e-9);
+  EXPECT_NEAR(b.saturation_rate() / a.saturation_rate(), 1.0, 1e-9);
+  const double rate = 0.8 * a.saturation_rate();
+  const auto pa = a.evaluate(rate);
+  const auto pb = b.evaluate(rate);
+  EXPECT_NEAR(pb.mean_latency_cycles / pa.mean_latency_cycles, 1.0, 1e-9);
+  EXPECT_NEAR(pb.max_channel_load / pa.max_channel_load, 1.0, 1e-9);
+}
+
+TEST(QueueingModel, ImplicitUniformMatchesDenseClosedForm) {
+  // Regular meshes take the closed-form pair-count path.
+  expect_models_agree(Topology::mesh_2d(8, 8), TrafficPattern::uniform(64),
+                      TrafficPattern::implicit_uniform(64));
+  expect_models_agree(Topology::mesh_3d(4, 4, 4),
+                      TrafficPattern::uniform(64),
+                      TrafficPattern::implicit_uniform(64));
+  // Concentrated mesh: 4 modules per router, still closed-form
+  // eligible (contiguous module attachment).
+  expect_models_agree(Topology::star_mesh(4, 4, 4),
+                      TrafficPattern::uniform(64),
+                      TrafficPattern::implicit_uniform(64));
+}
+
+TEST(QueueingModel, ImplicitHotspotMatchesDense) {
+  expect_models_agree(Topology::mesh_2d(8, 8),
+                      TrafficPattern::hotspot(64, 27, 0.3),
+                      TrafficPattern::implicit_hotspot(64, 27, 0.3));
+  expect_models_agree(Topology::star_mesh(4, 4, 4),
+                      TrafficPattern::hotspot(64, 11, 0.2),
+                      TrafficPattern::implicit_hotspot(64, 11, 0.2));
+}
+
+TEST(QueueingModel, ImplicitPermutationsMatchDense) {
+  expect_models_agree(Topology::mesh_2d(8, 8),
+                      TrafficPattern::transpose(64),
+                      TrafficPattern::implicit_transpose(64));
+  expect_models_agree(Topology::mesh_2d(8, 8),
+                      TrafficPattern::bit_complement(64),
+                      TrafficPattern::implicit_bit_complement(64));
+  expect_models_agree(Topology::mesh_2d(8, 8),
+                      TrafficPattern::tornado(64, 8, 8, 1),
+                      TrafficPattern::implicit_tornado(64, 8, 8, 1));
+}
+
+TEST(QueueingModel, ImplicitFallbackWithoutDimensionOrderRouting) {
+  // The closed-form pair counts only apply under dimension-order
+  // routing; shortest-path routing forces the aggregate-only pairwise
+  // fallback — which still must match the dense walk.
+  const Topology t = Topology::mesh_2d(4, 4);
+  const ShortestPathRouting routing;
+  const QueueingModel a(t, routing, TrafficPattern::uniform(16));
+  const QueueingModel b(t, routing, TrafficPattern::implicit_uniform(16));
+  EXPECT_NEAR(b.zero_load_latency_cycles() / a.zero_load_latency_cycles(),
+              1.0, 1e-9);
+  EXPECT_NEAR(b.saturation_rate() / a.saturation_rate(), 1.0, 1e-9);
+  const auto pa = a.evaluate(0.1);
+  const auto pb = b.evaluate(0.1);
+  EXPECT_NEAR(pb.mean_latency_cycles / pa.mean_latency_cycles, 1.0, 1e-9);
+}
+
 TEST(QueueingModel, Fig8bGapWidensWithScale) {
   // The paper's 512-module observation.
   const double gap_64 =

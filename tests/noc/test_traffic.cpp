@@ -2,6 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "wi/common/rng.hpp"
+#include "wi/common/status.hpp"
+
 namespace wi::noc {
 namespace {
 
@@ -36,7 +43,7 @@ TEST(Traffic, BitComplementReverses) {
   for (std::size_t s = 0; s < 8; ++s) {
     EXPECT_DOUBLE_EQ(t.probability(s, 7 - s), 1.0);
   }
-  EXPECT_THROW(TrafficPattern::bit_complement(6), std::invalid_argument);
+  EXPECT_THROW(TrafficPattern::bit_complement(6), StatusError);
 }
 
 TEST(Traffic, HotspotConcentrates) {
@@ -65,23 +72,202 @@ TEST(Traffic, HotspotZeroFractionIsUniform) {
   }
 }
 
-TEST(Traffic, RejectsBadArguments) {
-  EXPECT_THROW(TrafficPattern::uniform(1), std::invalid_argument);
-  EXPECT_THROW(TrafficPattern::hotspot(4, 9, 0.5), std::invalid_argument);
-  EXPECT_THROW(TrafficPattern::hotspot(4, 0, 1.5), std::invalid_argument);
-  EXPECT_THROW(TrafficPattern({1.0}, 2), std::invalid_argument);
-  // A row of all zeros cannot be normalised.
-  EXPECT_THROW(TrafficPattern({0.0, 0.0, 0.0, 0.0}, 2),
-               std::invalid_argument);
-  EXPECT_THROW(TrafficPattern({0.0, -1.0, 1.0, 0.0}, 2),
-               std::invalid_argument);
+TEST(Traffic, TornadoShiftsHalfRing) {
+  // 4x4 mesh: both dimensions shift by (4-1)/2 = 1.
+  const TrafficPattern t = TrafficPattern::tornado(16, 4, 4, 1);
+  for (std::size_t s = 0; s < 16; ++s) {
+    const std::size_t x = s % 4;
+    const std::size_t y = s / 4;
+    const std::size_t expect = ((y + 1) % 4) * 4 + (x + 1) % 4;
+    EXPECT_DOUBLE_EQ(t.probability(s, expect), 1.0);
+    double row = 0.0;
+    for (std::size_t d = 0; d < 16; ++d) row += t.probability(s, d);
+    EXPECT_DOUBLE_EQ(row, 1.0);
+  }
+  // Degenerate meshes (every shift zero) are self-traffic: rejected.
+  EXPECT_THROW(TrafficPattern::tornado(4, 2, 2, 1), StatusError);
+  EXPECT_THROW(TrafficPattern::tornado(8, 2, 2, 2), StatusError);
+  // Extents must multiply to the module count.
+  EXPECT_THROW(TrafficPattern::tornado(16, 4, 3, 1), StatusError);
 }
 
-TEST(Traffic, CustomMatrixNormalised) {
-  // Rows are rescaled to sum to one.
-  const TrafficPattern t({0.0, 2.0, 2.0, 0.0}, 2);
+TEST(Traffic, RejectsBadArguments) {
+  EXPECT_THROW(TrafficPattern::uniform(1), StatusError);
+  EXPECT_THROW(TrafficPattern::hotspot(4, 9, 0.5), StatusError);
+  EXPECT_THROW(TrafficPattern::hotspot(4, 0, 1.5), StatusError);
+  EXPECT_THROW(TrafficPattern({1.0}, 2), StatusError);
+  // A row of all zeros cannot be normalised.
+  EXPECT_THROW(TrafficPattern({0.0, 0.0, 0.0, 0.0}, 2), StatusError);
+  EXPECT_THROW(TrafficPattern({0.0, -1.0, 1.0, 0.0}, 2), StatusError);
+}
+
+TEST(Traffic, RejectsRowsNotSummingToOne) {
+  // Pre-normalised input is required: a row summing to 2 used to be
+  // silently rescaled, now it fails loudly at construction.
+  try {
+    TrafficPattern({0.0, 2.0, 2.0, 0.0}, 2);
+    FAIL() << "expected StatusError";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status().code(), StatusCode::kInvalidSpec);
+  }
+  // Slight float noise within tolerance is accepted.
+  EXPECT_NO_THROW(TrafficPattern({0.0, 1.0 + 5e-7, 1.0, 0.0}, 2));
+  EXPECT_THROW(TrafficPattern({0.0, 1.0 + 5e-3, 1.0, 0.0}, 2), StatusError);
+}
+
+TEST(Traffic, RejectsNonFiniteEntries) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(TrafficPattern({0.0, nan, 1.0, 0.0}, 2), StatusError);
+  EXPECT_THROW(TrafficPattern({0.0, inf, 1.0, 0.0}, 2), StatusError);
+}
+
+TEST(Traffic, CustomMatrixAccepted) {
+  const TrafficPattern t({0.0, 1.0, 1.0, 0.0}, 2);
   EXPECT_DOUBLE_EQ(t.probability(0, 1), 1.0);
   EXPECT_DOUBLE_EQ(t.probability(1, 0), 1.0);
+  EXPECT_EQ(t.kind(), TrafficPatternKind::kDense);
+  EXPECT_FALSE(t.implicit_form());
+}
+
+// --- implicit patterns ---
+
+TEST(TrafficImplicit, ProbabilityMatchesDenseTwin) {
+  struct Pair {
+    TrafficPattern dense;
+    TrafficPattern implicit;
+  };
+  const std::vector<Pair> pairs = {
+      {TrafficPattern::uniform(12), TrafficPattern::implicit_uniform(12)},
+      {TrafficPattern::transpose(9), TrafficPattern::implicit_transpose(9)},
+      {TrafficPattern::bit_complement(16),
+       TrafficPattern::implicit_bit_complement(16)},
+      {TrafficPattern::hotspot(10, 4, 0.3),
+       TrafficPattern::implicit_hotspot(10, 4, 0.3)},
+      {TrafficPattern::tornado(12, 4, 3, 1),
+       TrafficPattern::implicit_tornado(12, 4, 3, 1)},
+  };
+  for (const auto& [dense, implicit] : pairs) {
+    ASSERT_TRUE(implicit.implicit_form());
+    ASSERT_FALSE(dense.implicit_form());
+    const std::size_t n = dense.modules();
+    for (std::size_t s = 0; s < n; ++s) {
+      double row = 0.0;
+      for (std::size_t d = 0; d < n; ++d) {
+        EXPECT_NEAR(implicit.probability(s, d), dense.probability(s, d),
+                    1e-12)
+            << "kind=" << static_cast<int>(implicit.kind()) << " s=" << s
+            << " d=" << d;
+        row += implicit.probability(s, d);
+      }
+      EXPECT_NEAR(row, 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(TrafficImplicit, RejectsBadArguments) {
+  EXPECT_THROW(TrafficPattern::implicit_uniform(1), StatusError);
+  EXPECT_THROW(TrafficPattern::implicit_bit_complement(6), StatusError);
+  EXPECT_THROW(TrafficPattern::implicit_hotspot(4, 9, 0.5), StatusError);
+  EXPECT_THROW(TrafficPattern::implicit_hotspot(4, 0, -0.1), StatusError);
+  EXPECT_THROW(TrafficPattern::implicit_tornado(4, 2, 2, 1), StatusError);
+}
+
+TEST(TrafficImplicit, PermutationSamplesAreDeterministic) {
+  const TrafficPattern transpose = TrafficPattern::implicit_transpose(8);
+  const TrafficPattern complement =
+      TrafficPattern::implicit_bit_complement(8);
+  const TrafficPattern tornado =
+      TrafficPattern::implicit_tornado(27, 3, 3, 3);
+  Rng rng(7);
+  for (std::size_t s = 0; s < 8; ++s) {
+    EXPECT_EQ(transpose.sample(rng, s), (s + 4) % 8);
+    EXPECT_EQ(transpose.permutation_target(s), (s + 4) % 8);
+    EXPECT_EQ(complement.sample(rng, s), 7 - s);
+  }
+  for (std::size_t s = 0; s < 27; ++s) {
+    const std::size_t x = s % 3;
+    const std::size_t y = (s / 3) % 3;
+    const std::size_t z = s / 9;
+    const std::size_t expect =
+        ((z + 1) % 3) * 9 + ((y + 1) % 3) * 3 + (x + 1) % 3;
+    EXPECT_EQ(tornado.sample(rng, s), expect);
+    EXPECT_EQ(tornado.permutation_target(s), expect);
+  }
+}
+
+TEST(TrafficImplicit, UniformSampleMatchesDistribution) {
+  constexpr std::size_t kModules = 6;
+  constexpr std::size_t kDraws = 120000;
+  const TrafficPattern t = TrafficPattern::implicit_uniform(kModules);
+  Rng rng(42);
+  for (std::size_t s = 0; s < kModules; ++s) {
+    std::vector<std::size_t> counts(kModules, 0);
+    for (std::size_t i = 0; i < kDraws; ++i) {
+      const std::size_t d = t.sample(rng, s);
+      ASSERT_LT(d, kModules);
+      ASSERT_NE(d, s);
+      ++counts[d];
+    }
+    for (std::size_t d = 0; d < kModules; ++d) {
+      if (d == s) continue;
+      const double freq =
+          static_cast<double>(counts[d]) / static_cast<double>(kDraws);
+      // Expected 1/5 = 0.2; 120k draws put 5 sigma well under 0.01.
+      EXPECT_NEAR(freq, 0.2, 0.01) << "s=" << s << " d=" << d;
+    }
+  }
+}
+
+TEST(TrafficImplicit, HotspotSampleMass) {
+  constexpr std::size_t kModules = 8;
+  constexpr std::size_t kHot = 3;
+  constexpr double kFraction = 0.4;
+  constexpr std::size_t kDraws = 200000;
+  const TrafficPattern t =
+      TrafficPattern::implicit_hotspot(kModules, kHot, kFraction);
+  Rng rng(99);
+  std::size_t hot_hits = 0;
+  std::vector<std::size_t> cold(kModules, 0);
+  for (std::size_t i = 0; i < kDraws; ++i) {
+    const std::size_t d = t.sample(rng, 0);
+    ASSERT_LT(d, kModules);
+    ASSERT_NE(d, 0u);
+    if (d == kHot) {
+      ++hot_hits;
+    } else {
+      ++cold[d];
+    }
+  }
+  const double expect_hot = t.probability(0, kHot);  // f + (1-f)/7
+  EXPECT_NEAR(static_cast<double>(hot_hits) / kDraws, expect_hot, 0.01);
+  for (std::size_t d = 1; d < kModules; ++d) {
+    if (d == kHot) continue;
+    EXPECT_NEAR(static_cast<double>(cold[d]) / kDraws,
+                (1.0 - kFraction) / 7.0, 0.01);
+  }
+  // From the hot module itself the pattern is plain uniform.
+  std::vector<std::size_t> from_hot(kModules, 0);
+  for (std::size_t i = 0; i < kDraws; ++i) ++from_hot[t.sample(rng, kHot)];
+  for (std::size_t d = 0; d < kModules; ++d) {
+    if (d == kHot) continue;
+    EXPECT_NEAR(static_cast<double>(from_hot[d]) / kDraws, 1.0 / 7.0, 0.01);
+  }
+  EXPECT_EQ(from_hot[kHot], 0u);
+}
+
+TEST(TrafficImplicit, HotspotFullFractionAlwaysHitsHotspot) {
+  const TrafficPattern t = TrafficPattern::implicit_hotspot(8, 5, 1.0);
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(t.sample(rng, 2), 5u);
+  }
+}
+
+TEST(TrafficImplicit, DenseSampleThrows) {
+  const TrafficPattern dense = TrafficPattern::uniform(4);
+  Rng rng(1);
+  EXPECT_THROW((void)dense.sample(rng, 0), StatusError);
 }
 
 }  // namespace

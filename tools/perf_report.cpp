@@ -12,6 +12,8 @@
 /// committed baseline. The JSON schema ("wi-bench-perf-v1") is described
 /// in the README's Performance section.
 
+#include <sys/resource.h>
+
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -26,6 +28,8 @@
 #include "wi/comm/info_rate.hpp"
 #include "wi/core/phy_abstraction.hpp"
 #include "wi/noc/flit_sim.hpp"
+#include "wi/noc/mesh_grid.hpp"
+#include "wi/noc/queueing_model.hpp"
 #include "wi/sim/sim.hpp"
 
 namespace {
@@ -34,6 +38,16 @@ double now_ns() {
   return std::chrono::duration<double, std::nano>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+/// Process-lifetime peak resident set in kB (Linux ru_maxrss unit).
+/// The counter never decreases, so each entry's value is the peak up to
+/// the moment its timed runs finished — ordering memory-light kernels
+/// before their memory-hungry dense twins makes the contrast visible.
+double max_rss_kb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss);
 }
 
 /// Best-of-reps wall time of one call, in nanoseconds.
@@ -54,7 +68,15 @@ struct Entry {
   double baseline_ns_per_op = 0.0;  ///< 0 = no baseline twin
   double throughput = 0.0;          ///< 0 = not meaningful
   std::string throughput_unit;
+  double rss_kb = 0.0;  ///< peak RSS when the entry finished timing
 };
+
+/// push_back + max-RSS stamp: every entry records the process peak RSS
+/// observed once its timed runs completed.
+void push_entry(std::vector<Entry>& entries, Entry entry) {
+  entry.rss_kb = max_rss_kb();
+  entries.push_back(std::move(entry));
+}
 
 std::string json_escape_number(double v) {
   char buf[64];
@@ -87,6 +109,9 @@ void write_json(const std::vector<Entry>& entries, const std::string& path) {
       std::snprintf(thr, sizeof(thr), "%.2f", e.throughput);
       out << ",\n      \"throughput\": " << thr
           << ",\n      \"throughput_unit\": \"" << e.throughput_unit << "\"";
+    }
+    if (e.rss_kb > 0.0) {
+      out << ",\n      \"max_rss_kb\": " << json_escape_number(e.rss_kb);
     }
     out << "\n    }" << (i + 1 < entries.size() ? "," : "") << "\n";
   }
@@ -131,7 +156,7 @@ int main(int argc, char** argv) {
     const double opt = time_ns(
         [&] { sink = wi::comm::info_rate_one_bit_sequence(channel, options); },
         reps_fast);
-    entries.push_back({"info_rate_one_bit_sequence/4ask_m5_20000sym", opt,
+    push_entry(entries, {"info_rate_one_bit_sequence/4ask_m5_20000sym", opt,
                        base, 20000.0 / opt * 1e3, "Msymbols/s"});
     // Cold-tape cost: fresh seed defeats the memoization.
     std::uint64_t seed = 90000;
@@ -142,7 +167,7 @@ int main(int argc, char** argv) {
           sink = wi::comm::info_rate_one_bit_sequence(channel, cold_options);
         },
         reps_fast);
-    entries.push_back({"info_rate_one_bit_sequence/cold_noise_tape", cold,
+    push_entry(entries, {"info_rate_one_bit_sequence/cold_noise_tape", cold,
                        base, 20000.0 / cold * 1e3, "Msymbols/s"});
     (void)sink;
   }
@@ -158,7 +183,7 @@ int main(int argc, char** argv) {
     const double opt = time_ns(
         [&] { sink = wi::comm::mi_one_bit_symbolwise(channel); },
         smoke ? 1 : 50);
-    entries.push_back(
+    push_entry(entries,
         {"mi_one_bit_symbolwise/4ask_m5", opt, base, 0.0, ""});
     (void)sink;
   }
@@ -209,7 +234,7 @@ int main(int argc, char** argv) {
       const double cycles = static_cast<double>(config.warmup_cycles +
                                                 config.measure_cycles +
                                                 config.drain_cycles);
-      entries.push_back(
+      push_entry(entries,
           {c.name, opt, base, cycles / opt * 1e3, "Mcycles/s"});
       (void)sink;
     }
@@ -245,13 +270,114 @@ int main(int argc, char** argv) {
           sink = phy.info_rate_bpcu(25.0);
         },
         smoke ? 1 : 3);
-    entries.push_back(
+    push_entry(entries,
         {"phy_abstraction_build/one_bit_sequence/serial", serial, 0.0, 0.0,
          ""});
-    entries.push_back(
+    push_entry(entries,
         {"phy_abstraction_build/one_bit_sequence/parallel_4t", parallel,
          serial, 0.0, ""});
     (void)sink;
+  }
+
+  // --- implicit vs dense setup structures (16x16x16 mesh, 4096 nodes) ---
+  // The implicit kernels run first so their entries record the process
+  // peak RSS *before* the dense twins allocate the modules^2 matrix and
+  // the routers^2 next-hop table — the max_rss_kb contrast between the
+  // /implicit entries and their dense-baselined twins is the memory
+  // story the 32x32x32 scenario depends on.
+  {
+    const wi::noc::Topology topo = wi::noc::Topology::mesh_3d(16, 16, 16);
+    const std::size_t modules = topo.module_count();
+    const std::size_t routers = topo.router_count();
+    const wi::noc::DimensionOrderRouting routing;
+
+    // Traffic pattern construction + one probability row read (the row
+    // read keeps both sides' op big enough to time stably).
+    volatile double dsink = 0.0;
+    const double traffic_implicit = time_ns(
+        [&] {
+          const wi::noc::TrafficPattern p =
+              wi::noc::TrafficPattern::implicit_uniform(modules);
+          double sum = 0.0;
+          for (std::size_t d = 0; d < modules; ++d) {
+            sum += p.probability(0, d);
+          }
+          dsink = sum;
+        },
+        reps_fast);
+    push_entry(entries, {"traffic_build/mesh3d_16x16x16/implicit",
+                         traffic_implicit, 0.0, 0.0, ""});
+    const double traffic_dense = time_ns(
+        [&] {
+          const wi::noc::TrafficPattern p =
+              wi::noc::TrafficPattern::uniform(modules);
+          double sum = 0.0;
+          for (std::size_t d = 0; d < modules; ++d) {
+            sum += p.probability(0, d);
+          }
+          dsink = sum;
+        },
+        reps_slow);
+    push_entry(entries, {"traffic_build/mesh3d_16x16x16", traffic_implicit,
+                         traffic_dense, 0.0, ""});
+
+    // Routing structure build: MeshGrid coordinate analysis vs the
+    // dense (router, dst) first-hop port table the simulator needs
+    // when the mesh shape is not recognised.
+    volatile std::size_t sink = 0;
+    const double routing_implicit = time_ns(
+        [&] {
+          const auto grid = wi::noc::MeshGrid::analyze(topo);
+          sink = grid ? grid->next_port(0, routers - 1) : 0;
+        },
+        reps_fast);
+    push_entry(entries, {"routing_build/mesh3d_16x16x16/implicit",
+                         routing_implicit, 0.0, 0.0, ""});
+    const double routing_dense = time_ns(
+        [&] {
+          std::vector<std::uint8_t> table(routers * routers, 0xFF);
+          for (std::size_t r = 0; r < routers; ++r) {
+            const auto& out = topo.out_links(r);
+            for (std::size_t dst = 0; dst < routers; ++dst) {
+              if (dst == r) continue;
+              const std::size_t link = routing.first_hop(topo, r, dst);
+              for (std::size_t p = 0; p < out.size(); ++p) {
+                if (out[p] == link) {
+                  table[r * routers + dst] = static_cast<std::uint8_t>(p);
+                  break;
+                }
+              }
+            }
+          }
+          sink = table[routers];
+        },
+        smoke ? 1 : 3);
+    push_entry(entries, {"routing_build/mesh3d_16x16x16", routing_implicit,
+                         routing_dense, 0.0, ""});
+
+    // Queueing-model setup: closed-form channel loads vs the dense
+    // all-pairs route walk (8x8x8 keeps the dense twin affordable).
+    const wi::noc::Topology q_topo = wi::noc::Topology::mesh_3d(8, 8, 8);
+    const std::size_t q_modules = q_topo.module_count();
+    const double queueing_implicit = time_ns(
+        [&] {
+          const wi::noc::QueueingModel model(
+              q_topo, routing,
+              wi::noc::TrafficPattern::implicit_uniform(q_modules));
+          dsink = model.saturation_rate();
+        },
+        reps_fast);
+    const double queueing_dense = time_ns(
+        [&] {
+          const wi::noc::QueueingModel model(
+              q_topo, routing, wi::noc::TrafficPattern::uniform(q_modules));
+          dsink = model.saturation_rate();
+        },
+        reps_slow);
+    push_entry(entries, {"queueing_build/mesh3d_8x8x8", queueing_implicit,
+                         queueing_dense, 0.0, ""});
+    (void)sink;
+    (void)dsink;
   }
 
   // --- end-to-end SimEngine scenario (Fig. 8a queueing-model table) ---
@@ -266,7 +392,7 @@ int main(int argc, char** argv) {
           sink = engine.run(spec).table.rows();
         },
         reps_fast);
-    entries.push_back({"sim_engine/fig08a_mesh2d_8x8_noc_latency", t, 0.0,
+    push_entry(entries, {"sim_engine/fig08a_mesh2d_8x8_noc_latency", t, 0.0,
                        0.0, ""});
     (void)sink;
   }
